@@ -1,0 +1,53 @@
+//! Ablation bench: LHCS parameter variants and INT-refresh periods on the
+//! last-hop scenario (the design choices DESIGN.md calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::scenarios::{elephant_dumbbell, hop_congestion, HopLocation, MicrobenchSpec};
+use fncc_des::TimeDelta;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lhcs");
+    g.sample_size(10);
+    for disable in [false, true] {
+        let label = if disable { "without" } else { "with" };
+        g.bench_with_input(BenchmarkId::new("lhcs", label), &disable, |b, &disable| {
+            b.iter(|| {
+                let spec = MicrobenchSpec {
+                    cc: CcKind::Fncc,
+                    horizon_us: 500,
+                    join_at_us: 150,
+                    disable_lhcs: disable,
+                    ..Default::default()
+                };
+                hop_congestion(HopLocation::Last, &spec).mean_queue_kb
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_int_refresh");
+    g.sample_size(10);
+    for (label, refresh) in [
+        ("live", None),
+        ("1us", Some(TimeDelta::from_us(1))),
+        ("20us", Some(TimeDelta::from_us(20))),
+    ] {
+        g.bench_with_input(BenchmarkId::new("refresh", label), &refresh, |b, refresh| {
+            b.iter(|| {
+                let spec = MicrobenchSpec {
+                    cc: CcKind::Fncc,
+                    horizon_us: 500,
+                    join_at_us: 150,
+                    int_refresh: *refresh,
+                    ..Default::default()
+                };
+                elephant_dumbbell(&spec).mean_util_after_join
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

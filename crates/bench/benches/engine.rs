@@ -1,0 +1,97 @@
+//! Engine microbenchmarks: raw event throughput, switch forwarding, and
+//! topology construction.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fncc_des::engine::{Engine, Model, Scheduler};
+use fncc_des::{SimTime, TimeDelta};
+use fncc_net::config::FabricConfig;
+use fncc_net::ids::{FlowId, HostId, SwitchId};
+use fncc_net::packet::Packet;
+use fncc_net::switch::Switch;
+use fncc_net::telemetry::Telemetry;
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+use std::hint::black_box;
+
+/// Self-rescheduling no-op model: measures pure heap throughput.
+struct Churn {
+    remaining: u64,
+}
+
+impl Model for Churn {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.after(TimeDelta::from_ns(10), ev);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("event_churn_100k", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Churn { remaining: N });
+            // 16 concurrent timer chains.
+            for i in 0..16 {
+                eng.schedule(SimTime::from_ns(i), i as u32);
+            }
+            eng.run_until_idle();
+            eng.events_processed()
+        })
+    });
+    g.finish();
+}
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("switch_forwarding");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("arrive_txdone_10k", |b| {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_us(1));
+        let cfg = FabricConfig::paper_default();
+        b.iter(|| {
+            let mut sw = Switch::new(SwitchId(0), &topo.switches[0], &cfg);
+            let mut telem = Telemetry::new();
+            let mut out = Vec::new();
+            for i in 0..N {
+                out.clear();
+                let pkt = Packet::data(
+                    FlowId(0),
+                    HostId(0),
+                    HostId(2),
+                    i * 1456,
+                    1456,
+                    1518,
+                    SimTime::from_ns(i),
+                );
+                sw.on_arrive(SimTime::from_ns(i), 0, pkt, &cfg, &mut telem, &mut out);
+                if !sw.ports[2].idle() {
+                    out.clear();
+                    sw.on_tx_done(SimTime::from_ns(i), 2, &cfg, &mut telem, &mut out);
+                }
+            }
+            black_box(sw.ports[2].tx_bytes)
+        })
+    });
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology");
+    g.sample_size(10);
+    g.bench_function("fat_tree_k8_build", |b| {
+        b.iter(|| Topology::fat_tree(8, Bandwidth::gbps(100), TimeDelta::from_ns(1500)).n_hosts)
+    });
+    g.bench_function("fat_tree_k8_base_rtt", |b| {
+        let topo = Topology::fat_tree(8, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        b.iter(|| topo.base_rtt(1518, 70))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_switch, bench_topology);
+criterion_main!(benches);

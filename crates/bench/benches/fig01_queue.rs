@@ -1,0 +1,35 @@
+//! Fig. 1b–d bench: the elephant-dumbbell queue scenario at 100/200/400 G
+//! for FNCC/HPCC/DCQCN (scaled horizon). Measures simulator wall time and
+//! asserts the figure's shape (FNCC's queue is the shallowest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::scenarios::{elephant_dumbbell, MicrobenchSpec};
+
+fn spec(cc: CcKind, gbps: u64) -> MicrobenchSpec {
+    MicrobenchSpec { cc, line_gbps: gbps, horizon_us: 450, join_at_us: 150, ..Default::default() }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_queue");
+    g.sample_size(10);
+    for gbps in [100u64, 200, 400] {
+        for cc in [CcKind::Fncc, CcKind::Hpcc, CcKind::Dcqcn] {
+            g.bench_with_input(
+                BenchmarkId::new(cc.name(), gbps),
+                &(cc, gbps),
+                |b, &(cc, gbps)| b.iter(|| elephant_dumbbell(&spec(cc, gbps)).peak_queue_kb),
+            );
+        }
+    }
+    g.finish();
+
+    // Shape check once per bench run.
+    let f = elephant_dumbbell(&spec(CcKind::Fncc, 100)).peak_queue_kb;
+    let h = elephant_dumbbell(&spec(CcKind::Hpcc, 100)).peak_queue_kb;
+    let d = elephant_dumbbell(&spec(CcKind::Dcqcn, 100)).peak_queue_kb;
+    assert!(f < h && h < d, "Fig. 1 shape violated: FNCC {f} HPCC {h} DCQCN {d}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

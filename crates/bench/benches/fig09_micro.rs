@@ -1,0 +1,32 @@
+//! Fig. 9 bench: the full four-scheme response-speed microbenchmark at
+//! 100 Gb/s (scaled horizon).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::scenarios::{elephant_dumbbell, MicrobenchSpec};
+
+fn spec(cc: CcKind) -> MicrobenchSpec {
+    MicrobenchSpec { cc, horizon_us: 450, join_at_us: 150, ..Default::default() }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_micro");
+    g.sample_size(10);
+    for cc in [CcKind::Fncc, CcKind::Hpcc, CcKind::Dcqcn, CcKind::Rocc] {
+        g.bench_function(cc.name(), |b| {
+            b.iter(|| {
+                let r = elephant_dumbbell(&spec(cc));
+                (r.peak_queue_kb, r.events)
+            })
+        });
+    }
+    g.finish();
+
+    // Reaction ordering holds even at the scaled horizon.
+    let f = elephant_dumbbell(&spec(CcKind::Fncc)).reaction_us.unwrap();
+    let h = elephant_dumbbell(&spec(CcKind::Hpcc)).reaction_us.unwrap();
+    assert!(f <= h, "Fig. 9 shape violated: FNCC reacted at {f}, HPCC at {h}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 12 bench: the closed-form notification-latency model (pure
+//! computation) and the measured INT-age instrumentation run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::analysis::notification_gain_model;
+use fncc_core::scenarios::{elephant_dumbbell, MicrobenchSpec};
+use fncc_des::TimeDelta;
+use fncc_net::units::Bandwidth;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig12_model_closed_form", |b| {
+        b.iter(|| {
+            notification_gain_model(
+                black_box(3),
+                Bandwidth::gbps(100),
+                TimeDelta::from_ns(1500),
+                1518,
+                70,
+            )
+        })
+    });
+
+    let mut g = c.benchmark_group("fig12_measured_int_age");
+    g.sample_size(10);
+    for cc in [CcKind::Fncc, CcKind::Hpcc] {
+        g.bench_function(cc.name(), |b| {
+            b.iter(|| {
+                let spec = MicrobenchSpec { cc, horizon_us: 400, join_at_us: 150, ..Default::default() };
+                elephant_dumbbell(&spec).mean_int_age_us
+            })
+        });
+    }
+    g.finish();
+
+    // Shape: the modelled gain decreases with the hop index.
+    let m = notification_gain_model(3, Bandwidth::gbps(100), TimeDelta::from_ns(1500), 1518, 70);
+    assert!(m[0].gain() > m[2].gain());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

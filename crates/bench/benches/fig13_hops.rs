@@ -1,0 +1,45 @@
+//! Fig. 13 bench: congestion-location study (first/middle/last hop, LHCS
+//! on/off) and the fairness staircase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::scenarios::{fairness_staircase, hop_congestion, HopLocation, MicrobenchSpec};
+use fncc_des::TimeDelta;
+
+fn spec(cc: CcKind, disable_lhcs: bool) -> MicrobenchSpec {
+    MicrobenchSpec { cc, horizon_us: 500, join_at_us: 150, disable_lhcs, ..Default::default() }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_hops");
+    g.sample_size(10);
+    for loc in [HopLocation::First, HopLocation::Middle, HopLocation::Last] {
+        for cc in [CcKind::Hpcc, CcKind::Fncc] {
+            g.bench_with_input(
+                BenchmarkId::new(cc.name(), loc.name()),
+                &(cc, loc),
+                |b, &(cc, loc)| b.iter(|| hop_congestion(loc, &spec(cc, false)).peak_queue_kb),
+            );
+        }
+    }
+    g.bench_function("FNCC-no-LHCS/last", |b| {
+        b.iter(|| hop_congestion(HopLocation::Last, &spec(CcKind::Fncc, true)).peak_queue_kb)
+    });
+    g.finish();
+
+    let mut f = c.benchmark_group("fig13e_fairness");
+    f.sample_size(10);
+    f.bench_function("FNCC-staircase-4", |b| {
+        b.iter(|| fairness_staircase(CcKind::Fncc, 4, TimeDelta::from_us(400), 1).jain_per_period)
+    });
+    f.finish();
+
+    // Shape: LHCS fires at the last hop and lowers the standing queue.
+    let with = hop_congestion(HopLocation::Last, &spec(CcKind::Fncc, false));
+    let without = hop_congestion(HopLocation::Last, &spec(CcKind::Fncc, true));
+    assert!(with.lhcs_triggers > 0 && without.lhcs_triggers == 0);
+    assert!(with.mean_queue_kb <= without.mean_queue_kb * 1.05);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 14 bench: WebSearch workload on a k=4 fat-tree (scaled-down flow
+//! count; the full k=8 figure is produced by `fncc-repro fig14`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::scenarios::{fattree_workload, Workload, WorkloadSpec};
+
+fn spec(cc: CcKind) -> WorkloadSpec {
+    WorkloadSpec {
+        cc,
+        workload: Workload::WebSearch,
+        load: 0.5,
+        n_flows: 60,
+        seeds: vec![1],
+        k: 4,
+        line_gbps: 100,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_websearch");
+    g.sample_size(10);
+    for cc in [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc] {
+        g.bench_function(cc.name(), |b| {
+            b.iter(|| {
+                let r = fattree_workload(&spec(cc));
+                assert_eq!(r.unfinished, vec![0]);
+                r.events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The acknowledgment view handed to congestion-control state machines.
+
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::packet::IntRecord;
+
+/// Everything a CC algorithm may read from one (possibly cumulative) ACK.
+///
+/// The transport layer builds this after normalising the INT stack to
+/// request-path order (FNCC ACKs arrive with it reversed).
+#[derive(Debug)]
+pub struct AckView<'a> {
+    /// Arrival time at the sender.
+    pub now: SimTime,
+    /// Cumulative acknowledgment: next expected payload byte.
+    pub seq: u64,
+    /// Sender's next payload byte to send (Algorithm 3's `snd_nxt`).
+    pub snd_nxt: u64,
+    /// Payload bytes newly acknowledged by this ACK.
+    pub newly_acked: u64,
+    /// INT records in request-path order (first hop first).
+    pub int: &'a [IntRecord],
+    /// Concurrent-flow count `N` written by the receiver (FNCC); 0 if absent.
+    pub concurrent_flows: u16,
+    /// RoCC fair rate echoed by the receiver; `f64::INFINITY` if absent.
+    pub rocc_rate: f64,
+    /// Round-trip sample (send timestamp of the acked data echoed back).
+    pub rtt: TimeDelta,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructible_with_empty_int() {
+        let v = AckView {
+            now: SimTime::from_us(1),
+            seq: 100,
+            snd_nxt: 200,
+            newly_acked: 100,
+            int: &[],
+            concurrent_flows: 0,
+            rocc_rate: f64::INFINITY,
+            rtt: TimeDelta::from_us(12),
+        };
+        assert!(v.int.is_empty());
+        assert_eq!(v.seq, 100);
+    }
+}

@@ -1,0 +1,268 @@
+#![warn(missing_docs)]
+//! `fncc-cc` — congestion-control state machines.
+//!
+//! One module per algorithm, all re-implemented from their papers:
+//!
+//! * [`hpcc`] — HPCC (SIGCOMM'19), exactly Algorithm 3 of the FNCC paper:
+//!   INT-driven window law with per-ACK + per-RTT reference window.
+//! * [`fncc`] — the paper's contribution: HPCC's law fed by *return-path*
+//!   INT, plus the Last-Hop Congestion Speedup of Algorithm 2.
+//! * [`dcqcn`] — DCQCN (SIGCOMM'15): ECN/CNP rate control with fast
+//!   recovery, additive and hyper increase.
+//! * [`rocc`] — RoCC (CoNEXT'20) sender side: adopt the switch-computed fair
+//!   rate echoed in ACKs.
+//! * [`timely`], [`swift`] — RTT/delay-based baselines (§6 related work),
+//!   provided as extensions for ablation studies.
+//!
+//! Algorithms are dispatched through the [`CcFlow`] enum (static dispatch in
+//! the per-ACK hot path).
+
+pub mod ack;
+pub mod dcqcn;
+pub mod fncc;
+pub mod hpcc;
+pub mod rocc;
+pub mod swift;
+pub mod timely;
+
+pub use ack::AckView;
+pub use dcqcn::{DcqcnConfig, DcqcnFlow};
+pub use fncc::{FnccConfig, FnccFlow, LhcsConfig};
+pub use hpcc::{HpccConfig, HpccFlow};
+pub use rocc::{RoccConfig, RoccFlow};
+pub use swift::{SwiftConfig, SwiftFlow};
+pub use timely::{TimelyConfig, TimelyFlow};
+
+use fncc_des::time::{SimTime, TimeDelta};
+
+/// Which congestion-control scheme a simulation runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CcKind {
+    /// HPCC (baseline).
+    Hpcc,
+    /// FNCC (the paper's contribution).
+    Fncc,
+    /// DCQCN (baseline).
+    Dcqcn,
+    /// RoCC (baseline).
+    Rocc,
+    /// Timely (extension).
+    Timely,
+    /// Swift (extension).
+    Swift,
+}
+
+impl CcKind {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::Hpcc => "HPCC",
+            CcKind::Fncc => "FNCC",
+            CcKind::Dcqcn => "DCQCN",
+            CcKind::Rocc => "RoCC",
+            CcKind::Timely => "Timely",
+            CcKind::Swift => "Swift",
+        }
+    }
+
+    /// FNCC ACKs accumulate INT along the *return* path, so the record order
+    /// is reversed relative to the request path and must be normalised
+    /// before running the window law.
+    pub fn int_in_ack_reversed(self) -> bool {
+        matches!(self, CcKind::Fncc)
+    }
+}
+
+impl core::fmt::Display for CcKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-scheme configuration, used to spawn per-flow state.
+#[derive(Clone, Debug)]
+pub enum CcAlgo {
+    /// HPCC configuration.
+    Hpcc(HpccConfig),
+    /// FNCC configuration.
+    Fncc(FnccConfig),
+    /// DCQCN configuration.
+    Dcqcn(DcqcnConfig),
+    /// RoCC configuration.
+    Rocc(RoccConfig),
+    /// Timely configuration.
+    Timely(TimelyConfig),
+    /// Swift configuration.
+    Swift(SwiftConfig),
+}
+
+impl CcAlgo {
+    /// The scheme this configuration belongs to.
+    pub fn kind(&self) -> CcKind {
+        match self {
+            CcAlgo::Hpcc(_) => CcKind::Hpcc,
+            CcAlgo::Fncc(_) => CcKind::Fncc,
+            CcAlgo::Dcqcn(_) => CcKind::Dcqcn,
+            CcAlgo::Rocc(_) => CcKind::Rocc,
+            CcAlgo::Timely(_) => CcKind::Timely,
+            CcAlgo::Swift(_) => CcKind::Swift,
+        }
+    }
+
+    /// Spawn fresh per-flow state.
+    pub fn new_flow(&self) -> CcFlow {
+        match self {
+            CcAlgo::Hpcc(c) => CcFlow::Hpcc(HpccFlow::new(c.clone())),
+            CcAlgo::Fncc(c) => CcFlow::Fncc(FnccFlow::new(c.clone())),
+            CcAlgo::Dcqcn(c) => CcFlow::Dcqcn(DcqcnFlow::new(c.clone())),
+            CcAlgo::Rocc(c) => CcFlow::Rocc(RoccFlow::new(c.clone())),
+            CcAlgo::Timely(c) => CcFlow::Timely(TimelyFlow::new(c.clone())),
+            CcAlgo::Swift(c) => CcFlow::Swift(SwiftFlow::new(c.clone())),
+        }
+    }
+}
+
+/// Per-flow congestion-control state (enum dispatch — no vtables in the
+/// per-ACK path).
+#[derive(Clone, Debug)]
+pub enum CcFlow {
+    /// HPCC per-flow state.
+    Hpcc(HpccFlow),
+    /// FNCC per-flow state.
+    Fncc(FnccFlow),
+    /// DCQCN per-flow state.
+    Dcqcn(DcqcnFlow),
+    /// RoCC per-flow state.
+    Rocc(RoccFlow),
+    /// Timely per-flow state.
+    Timely(TimelyFlow),
+    /// Swift per-flow state.
+    Swift(SwiftFlow),
+}
+
+impl CcFlow {
+    /// Sending-window limit in bytes, if the scheme is window-based.
+    pub fn window_bytes(&self) -> Option<f64> {
+        match self {
+            CcFlow::Hpcc(f) => Some(f.window()),
+            CcFlow::Fncc(f) => Some(f.window()),
+            CcFlow::Swift(f) => Some(f.window()),
+            CcFlow::Dcqcn(_) | CcFlow::Rocc(_) | CcFlow::Timely(_) => None,
+        }
+    }
+
+    /// Pacing rate in bits/s.
+    pub fn pacing_rate_bps(&self) -> f64 {
+        match self {
+            CcFlow::Hpcc(f) => f.rate_bps(),
+            CcFlow::Fncc(f) => f.rate_bps(),
+            CcFlow::Dcqcn(f) => f.rate_bps(),
+            CcFlow::Rocc(f) => f.rate_bps(),
+            CcFlow::Timely(f) => f.rate_bps(),
+            CcFlow::Swift(f) => f.rate_bps(),
+        }
+    }
+
+    /// Process an acknowledgment (INT already normalised to request-path
+    /// order).
+    pub fn on_ack(&mut self, ack: &AckView<'_>) {
+        match self {
+            CcFlow::Hpcc(f) => f.on_ack(ack),
+            CcFlow::Fncc(f) => f.on_ack(ack),
+            CcFlow::Dcqcn(_) => {}
+            CcFlow::Rocc(f) => f.on_ack(ack),
+            CcFlow::Timely(f) => f.on_ack(ack),
+            CcFlow::Swift(f) => f.on_ack(ack),
+        }
+    }
+
+    /// Process a DCQCN congestion-notification packet.
+    pub fn on_cnp(&mut self, now: SimTime) {
+        if let CcFlow::Dcqcn(f) = self {
+            f.on_cnp(now);
+        }
+    }
+
+    /// Account transmitted payload bytes (DCQCN byte-counter stage).
+    pub fn on_sent(&mut self, bytes: u64) {
+        if let CcFlow::Dcqcn(f) = self {
+            f.on_sent(bytes);
+        }
+    }
+
+    /// Periodic CC tick; returns the delay until the next tick if the scheme
+    /// needs one (DCQCN's alpha/rate timers).
+    pub fn tick(&mut self, now: SimTime) -> Option<TimeDelta> {
+        match self {
+            CcFlow::Dcqcn(f) => Some(f.tick(now)),
+            _ => None,
+        }
+    }
+
+    /// Initial tick delay, if the scheme is timer-driven.
+    pub fn initial_tick(&self) -> Option<TimeDelta> {
+        match self {
+            CcFlow::Dcqcn(f) => Some(f.timer_period()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_net::units::Bandwidth;
+
+    fn algos() -> Vec<CcAlgo> {
+        let line = Bandwidth::gbps(100);
+        let rtt = TimeDelta::from_us(12);
+        vec![
+            CcAlgo::Hpcc(HpccConfig::paper_default(line, rtt)),
+            CcAlgo::Fncc(FnccConfig::paper_default(line, rtt)),
+            CcAlgo::Dcqcn(DcqcnConfig::paper_default(line)),
+            CcAlgo::Rocc(RoccConfig::new(line)),
+            CcAlgo::Timely(TimelyConfig::paper_default(line, rtt)),
+            CcAlgo::Swift(SwiftConfig::paper_default(line, rtt)),
+        ]
+    }
+
+    #[test]
+    fn kinds_and_names_roundtrip() {
+        let names: Vec<&str> = algos().iter().map(|a| a.kind().name()).collect();
+        assert_eq!(names, vec!["HPCC", "FNCC", "DCQCN", "RoCC", "Timely", "Swift"]);
+    }
+
+    #[test]
+    fn only_fncc_reverses_ack_int() {
+        for a in algos() {
+            assert_eq!(a.kind().int_in_ack_reversed(), a.kind() == CcKind::Fncc);
+        }
+    }
+
+    #[test]
+    fn fresh_flows_start_at_line_rate_scale() {
+        for a in algos() {
+            let f = a.new_flow();
+            let r = f.pacing_rate_bps();
+            assert!(r > 0.0 && r <= 100e9 * 1.01, "{:?} rate {r}", a.kind());
+        }
+    }
+
+    #[test]
+    fn window_presence_matches_scheme() {
+        for a in algos() {
+            let f = a.new_flow();
+            let has_window = f.window_bytes().is_some();
+            let expect = matches!(a.kind(), CcKind::Hpcc | CcKind::Fncc | CcKind::Swift);
+            assert_eq!(has_window, expect, "{:?}", a.kind());
+        }
+    }
+
+    #[test]
+    fn only_dcqcn_is_timer_driven() {
+        for a in algos() {
+            let f = a.new_flow();
+            assert_eq!(f.initial_tick().is_some(), a.kind() == CcKind::Dcqcn);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! RoCC (CoNEXT'20) sender side.
+//!
+//! RoCC is *switch-driven*: a PI controller at each switch port computes a
+//! fair rate from the queue depth (see `fncc_net::switch::Switch::rocc_step`);
+//! data frames pick up the minimum fair rate along their path and the
+//! receiver echoes it in ACKs. The sender simply adopts the advertised rate
+//! — all control intelligence lives in the network.
+
+use crate::ack::AckView;
+use fncc_net::units::Bandwidth;
+
+/// RoCC sender parameters.
+#[derive(Clone, Debug)]
+pub struct RoccConfig {
+    /// Host line rate (initial and maximum rate).
+    pub line: Bandwidth,
+}
+
+impl RoccConfig {
+    /// Sender config for a line rate.
+    pub fn new(line: Bandwidth) -> Self {
+        RoccConfig { line }
+    }
+}
+
+/// Per-flow RoCC sender state.
+#[derive(Clone, Debug)]
+pub struct RoccFlow {
+    cfg: RoccConfig,
+    rate: f64,
+}
+
+impl RoccFlow {
+    /// Fresh flow at line rate.
+    pub fn new(cfg: RoccConfig) -> Self {
+        let line = cfg.line.as_f64();
+        RoccFlow { cfg, rate: line }
+    }
+
+    /// Current sending rate (bits/s).
+    #[inline]
+    pub fn rate_bps(&self) -> f64 {
+        self.rate
+    }
+
+    /// Adopt the advertised fair rate from the ACK.
+    pub fn on_ack(&mut self, ack: &AckView<'_>) {
+        if ack.rocc_rate.is_finite() {
+            self.rate = ack.rocc_rate.clamp(0.0, self.cfg.line.as_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_des::time::{SimTime, TimeDelta};
+
+    fn ack(rate: f64) -> AckView<'static> {
+        AckView {
+            now: SimTime::from_us(1),
+            seq: 0,
+            snd_nxt: 0,
+            newly_acked: 0,
+            int: &[],
+            concurrent_flows: 0,
+            rocc_rate: rate,
+            rtt: TimeDelta::from_us(12),
+        }
+    }
+
+    #[test]
+    fn adopts_advertised_rate() {
+        let mut f = RoccFlow::new(RoccConfig::new(Bandwidth::gbps(100)));
+        assert_eq!(f.rate_bps(), 100e9);
+        f.on_ack(&ack(30e9));
+        assert_eq!(f.rate_bps(), 30e9);
+    }
+
+    #[test]
+    fn ignores_unset_rate() {
+        let mut f = RoccFlow::new(RoccConfig::new(Bandwidth::gbps(100)));
+        f.on_ack(&ack(40e9));
+        f.on_ack(&ack(f64::INFINITY));
+        assert_eq!(f.rate_bps(), 40e9);
+    }
+
+    #[test]
+    fn clamps_to_line_rate() {
+        let mut f = RoccFlow::new(RoccConfig::new(Bandwidth::gbps(100)));
+        f.on_ack(&ack(500e9));
+        assert_eq!(f.rate_bps(), 100e9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: congestion-control state machines stay within their
+//! invariant envelopes for *arbitrary* feedback sequences.
+
+use fncc_cc::ack::AckView;
+use fncc_cc::{
+    DcqcnConfig, DcqcnFlow, FnccConfig, FnccFlow, HpccConfig, HpccFlow, SwiftConfig, SwiftFlow,
+    TimelyConfig, TimelyFlow,
+};
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::packet::IntRecord;
+use fncc_net::units::Bandwidth;
+use proptest::prelude::*;
+
+const LINE: Bandwidth = Bandwidth::gbps(100);
+const RTT: TimeDelta = TimeDelta::from_us(12);
+
+fn view<'a>(k: u64, int: &'a [IntRecord], n: u16, rtt_us: f64) -> AckView<'a> {
+    AckView {
+        now: SimTime::from_us(k),
+        seq: k * 1456,
+        snd_nxt: (k + 20) * 1456,
+        newly_acked: 1456,
+        int,
+        concurrent_flows: n,
+        rocc_rate: f64::INFINITY,
+        rtt: TimeDelta::from_ps((rtt_us * 1e6) as u64),
+    }
+}
+
+/// Arbitrary INT for one hop: any queue depth up to 10 MB, any tx counter
+/// progress, strictly advancing timestamps.
+fn arb_int_sequence() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..10_000_000, 0u64..2_000_000), 1..80)
+}
+
+proptest! {
+    /// HPCC's window stays in [min_window, BDP] for any telemetry.
+    #[test]
+    fn hpcc_window_bounded(seq in arb_int_sequence()) {
+        let cfg = HpccConfig::paper_default(LINE, RTT);
+        let (min_w, bdp) = (cfg.min_window, cfg.bdp());
+        let mut f = HpccFlow::new(cfg);
+        let mut tx = 0u64;
+        for (k, (qlen, dtx)) in seq.into_iter().enumerate() {
+            tx += dtx;
+            let int = [IntRecord {
+                bandwidth: LINE,
+                ts: SimTime::from_us(k as u64 + 1),
+                tx_bytes: tx,
+                qlen,
+            }];
+            f.on_ack(&view(k as u64 + 1, &int, 0, 13.0));
+            prop_assert!(f.window().is_finite());
+            prop_assert!(f.window() >= min_w - 1e-9, "window {} below min", f.window());
+            prop_assert!(f.window() <= bdp + 1.0, "window {} above BDP", f.window());
+            prop_assert!(f.rate_bps() <= LINE.as_f64() * 1.001);
+        }
+    }
+
+    /// FNCC inherits the bounds and LHCS never produces non-finite Wc for
+    /// any N (including 0, which must be treated as 1).
+    #[test]
+    fn fncc_window_bounded_any_n(seq in arb_int_sequence(), n in 0u16..512) {
+        let cfg = FnccConfig::paper_default(LINE, RTT);
+        let mut f = FnccFlow::new(cfg);
+        let mut tx = 0u64;
+        for (k, (qlen, dtx)) in seq.into_iter().enumerate() {
+            tx += dtx;
+            let int = [IntRecord {
+                bandwidth: LINE,
+                ts: SimTime::from_us(k as u64 + 1),
+                tx_bytes: tx,
+                qlen,
+            }];
+            f.on_ack(&view(k as u64 + 1, &int, n, 13.0));
+            prop_assert!(f.window().is_finite() && f.window() > 0.0);
+            prop_assert!(f.wc().is_finite() && f.wc() > 0.0);
+        }
+    }
+
+    /// DCQCN's rate stays in [min_rate, line] under any interleaving of
+    /// CNPs, ticks and transmissions.
+    #[test]
+    fn dcqcn_rate_bounded(ops in proptest::collection::vec(0u8..3, 1..300)) {
+        let cfg = DcqcnConfig::paper_default(LINE);
+        let (lo, hi) = (cfg.min_rate, LINE.as_f64());
+        let mut f = DcqcnFlow::new(cfg);
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                0 => f.on_cnp(now),
+                1 => now = now + f.tick(now),
+                _ => f.on_sent(1_000_000),
+            }
+            prop_assert!(f.rate_bps() >= lo - 1e-6 && f.rate_bps() <= hi + 1e-6,
+                "rate {} out of [{lo}, {hi}]", f.rate_bps());
+            prop_assert!(f.alpha() >= 0.0 && f.alpha() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Timely's rate stays within its clamp for any RTT sequence.
+    #[test]
+    fn timely_rate_bounded(rtts in proptest::collection::vec(1.0f64..500.0, 1..200)) {
+        let mut f = TimelyFlow::new(TimelyConfig::paper_default(LINE, RTT));
+        for (k, rtt) in rtts.into_iter().enumerate() {
+            f.on_ack(&view(k as u64, &[], 0, rtt));
+            prop_assert!(f.rate_bps() >= LINE.as_f64() / 1000.0 - 1.0);
+            prop_assert!(f.rate_bps() <= LINE.as_f64() + 1.0);
+        }
+    }
+
+    /// Swift's window respects [min_cwnd, 2·BDP] for any delay sequence.
+    #[test]
+    fn swift_window_bounded(rtts in proptest::collection::vec(1.0f64..500.0, 1..200)) {
+        let cfg = SwiftConfig::paper_default(LINE, RTT);
+        let (lo, hi) = (cfg.min_cwnd, cfg.bdp() * 2.0);
+        let mut f = SwiftFlow::new(cfg);
+        for (k, rtt) in rtts.into_iter().enumerate() {
+            f.on_ack(&view(k as u64 * 20, &[], 0, rtt));
+            prop_assert!(f.window() >= lo - 1e-9 && f.window() <= hi + 1e-9,
+                "cwnd {} out of [{lo}, {hi}]", f.window());
+        }
+    }
+
+    /// Monotone-congestion property: strictly worse telemetry (deeper queue
+    /// at the same throughput) never yields a *larger* HPCC window after
+    /// the same number of ACKs.
+    #[test]
+    fn hpcc_monotone_in_queue_depth(q_small in 0u64..100_000, extra in 1u64..400_000) {
+        let run = |q: u64| {
+            let mut f = HpccFlow::new(HpccConfig::paper_default(LINE, RTT));
+            let mut tx = 0u64;
+            for k in 0..30u64 {
+                tx += 150_000; // line rate over one T
+                let int = [IntRecord {
+                    bandwidth: LINE,
+                    ts: SimTime::from_us(12 * (k + 1)),
+                    tx_bytes: tx,
+                    qlen: q,
+                }];
+                f.on_ack(&view(12 * (k + 1), &int, 0, 13.0));
+            }
+            f.window()
+        };
+        let w_small = run(q_small);
+        let w_big = run(q_small + extra);
+        prop_assert!(w_big <= w_small + 1.0, "deeper queue grew the window: {w_small} -> {w_big}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Closed-form models and static data: the Fig. 12 notification-latency
+//! model and the Fig. 1a hardware-trend table.
+
+use fncc_des::time::TimeDelta;
+use fncc_net::units::Bandwidth;
+
+/// One generation of NVIDIA Spectrum data-center switches (Fig. 1a's data,
+/// as quoted in the paper: capacity grows faster than buffer).
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchGen {
+    /// Product name.
+    pub name: &'static str,
+    /// Release year/month.
+    pub released: &'static str,
+    /// Switching capacity in Tb/s.
+    pub capacity_tbps: f64,
+    /// Shared packet buffer in MB.
+    pub buffer_mb: f64,
+}
+
+impl SwitchGen {
+    /// Buffer-absorption time: buffer size / capacity, in microseconds —
+    /// the y-axis of Fig. 1a.
+    pub fn burst_absorption_us(&self) -> f64 {
+        (self.buffer_mb * 8.0) / self.capacity_tbps
+    }
+}
+
+/// Fig. 1a's four generations (public NVIDIA Spectrum specifications:
+/// capacity grows 16× from Spectrum to Spectrum-4 while the shared buffer
+/// grows only 10×, so the burst-absorption time shrinks).
+pub fn hardware_trends() -> [SwitchGen; 4] {
+    [
+        SwitchGen { name: "Spectrum", released: "2015.6", capacity_tbps: 3.2, buffer_mb: 16.0 },
+        SwitchGen { name: "Spectrum-2", released: "2017.7", capacity_tbps: 12.8, buffer_mb: 42.0 },
+        SwitchGen { name: "Spectrum-3", released: "2020.3", capacity_tbps: 25.6, buffer_mb: 64.0 },
+        SwitchGen { name: "Spectrum-4", released: "2022.3", capacity_tbps: 51.2, buffer_mb: 160.0 },
+    ]
+}
+
+/// The Fig. 12 model for one congestion location.
+#[derive(Clone, Copy, Debug)]
+pub struct HopGain {
+    /// Congested switch index along the request path (0 = first hop).
+    pub hop: usize,
+    /// Age of that hop's INT when the sender acts, under HPCC (data-path
+    /// insertion at `t_j`, consumed at `t_8`).
+    pub hpcc_age: TimeDelta,
+    /// Same under FNCC (return-path insertion at `t_{8-j}`).
+    pub fncc_age: TimeDelta,
+}
+
+impl HopGain {
+    /// FNCC's freshness advantage for this hop.
+    pub fn gain(&self) -> TimeDelta {
+        self.hpcc_age - self.fncc_age
+    }
+}
+
+/// Closed-form notification-latency model (Fig. 12) for a symmetric
+/// `n_switches`-hop line: per-hop data latency is `mtu/bw + prop`, per-hop
+/// ACK latency is `ack/bw + prop`.
+///
+/// * HPCC samples hop `j`'s INT when the *data* packet passes it, so the
+///   record is `(H+1−j)·(d_data + d_ack)` old on arrival (j counted from 1).
+/// * FNCC samples it when the *ACK* passes on the way back: `j·d_ack` old.
+///
+/// The gain therefore shrinks linearly from the first hop (significant) to
+/// the last hop (slight) — which is exactly why the paper adds LHCS for the
+/// last hop.
+pub fn notification_gain_model(
+    n_switches: usize,
+    bw: Bandwidth,
+    prop: TimeDelta,
+    mtu: u32,
+    ack: u32,
+) -> Vec<HopGain> {
+    let d_data = bw.tx_time(mtu as u64) + prop;
+    let d_ack = bw.tx_time(ack as u64) + prop;
+    (0..n_switches)
+        .map(|hop| {
+            let j = hop + 1; // 1-indexed switch along the path
+            let remaining = (n_switches + 1 - j) as u64;
+            HopGain {
+                hop,
+                // data still travels `remaining` hops, ACK travels all the
+                // way back: H+1 host-to-host hops total.
+                hpcc_age: d_data * remaining + d_ack * (n_switches as u64 + 1),
+                fncc_age: d_ack * j as u64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_absorption_shrinks_across_generations() {
+        let gens = hardware_trends();
+        let times: Vec<f64> = gens.iter().map(|g| g.burst_absorption_us()).collect();
+        // Fig. 1a: the ratio falls from Spectrum to Spectrum-4.
+        assert!(times[0] > times[3], "absorption must shrink: {times:?}");
+        assert!(times[0] > times[1] && times[0] > times[2], "{times:?}");
+        // Sanity of scale: 16MB at 3.2Tb/s = 40us.
+        assert!((times[0] - 40.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn model_gain_decreases_with_hop_index() {
+        let g = notification_gain_model(
+            3,
+            Bandwidth::gbps(100),
+            TimeDelta::from_ns(1500),
+            1518,
+            70,
+        );
+        assert_eq!(g.len(), 3);
+        assert!(g[0].gain() > g[1].gain());
+        assert!(g[1].gain() > g[2].gain());
+        // Every hop still gains: FNCC INT is never staler than HPCC's.
+        for h in &g {
+            assert!(h.gain() > TimeDelta::ZERO, "hop {} gain zero", h.hop);
+        }
+    }
+
+    #[test]
+    fn model_matches_hand_computation_first_hop() {
+        let bw = Bandwidth::gbps(100);
+        let prop = TimeDelta::from_ns(1500);
+        let d_data = bw.tx_time(1518) + prop;
+        let d_ack = bw.tx_time(70) + prop;
+        let g = notification_gain_model(3, bw, prop, 1518, 70);
+        // Hop 1 (j=1): HPCC age = 3·d_data + 4·d_ack; FNCC age = 1·d_ack.
+        assert_eq!(g[0].hpcc_age, d_data * 3 + d_ack * 4);
+        assert_eq!(g[0].fncc_age, d_ack);
+    }
+
+    #[test]
+    fn last_hop_gain_is_smallest_but_positive() {
+        let g = notification_gain_model(
+            5,
+            Bandwidth::gbps(400),
+            TimeDelta::from_ns(1500),
+            1518,
+            70,
+        );
+        let last = g.last().unwrap();
+        let first = g.first().unwrap();
+        assert!(last.gain() < first.gain() / 3);
+        assert!(last.gain() > TimeDelta::ZERO);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+//! `fncc-core` — the paper-facing library of the FNCC reproduction.
+//!
+//! This crate glues the substrates ([`fncc_des`], [`fncc_net`], [`fncc_cc`],
+//! [`fncc_transport`], `fncc_workloads`) into runnable experiments:
+//!
+//! * [`sim`] — [`sim::SimBuilder`]: pick a topology, a congestion-control
+//!   scheme and a flow set, get a ready-to-run [`sim::Sim`]; the builder
+//!   wires the scheme's switch features (INT-on-data for HPCC, INT-on-ACK
+//!   for FNCC, RED/ECN for DCQCN, the PI controller for RoCC) automatically.
+//! * [`scenarios`] — the paper's experiments as functions: the elephant
+//!   dumbbell of §5.1–5.2, the hop-location study of §5.4, the fairness
+//!   staircase of §5.3, and the fat-tree workload runs of §5.5.
+//! * [`metrics`] — result extraction: reaction times, queue statistics,
+//!   FCT-slowdown tables per flow-size bucket.
+//! * [`analysis`] — closed-form models: the Fig. 12 notification-latency
+//!   model and the Fig. 1a switch buffer/capacity trend data.
+//! * [`sweep`] — a small parallel runner for parameter sweeps and
+//!   multi-seed repetitions (crossbeam-scoped worker pool).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fncc_core::prelude::*;
+//!
+//! let spec = MicrobenchSpec { cc: CcKind::Fncc, horizon_us: 500, ..MicrobenchSpec::default() };
+//! let result = elephant_dumbbell(&spec);
+//! assert!(result.queue_kb.max() < 600.0); // queue stayed shallow
+//! ```
+
+pub mod analysis;
+pub mod metrics;
+pub mod scenarios;
+pub mod sim;
+pub mod sweep;
+
+pub use analysis::{hardware_trends, notification_gain_model, HopGain, SwitchGen};
+pub use metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
+pub use scenarios::{
+    elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
+    FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, Workload, WorkloadResult,
+    WorkloadSpec,
+};
+pub use sim::{make_algo, Sim, SimBuilder};
+
+/// One-stop imports for examples and experiment binaries.
+pub mod prelude {
+    pub use crate::analysis::{hardware_trends, notification_gain_model};
+    pub use crate::metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
+    pub use crate::scenarios::{
+        elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
+        FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, Workload,
+        WorkloadResult, WorkloadSpec,
+    };
+    pub use crate::sim::{make_algo, Sim, SimBuilder};
+    pub use fncc_cc::CcKind;
+    pub use fncc_des::output::{series_to_csv, Table};
+    pub use fncc_des::stats::{jain_index, TimeSeries};
+    pub use fncc_des::time::{SimTime, TimeDelta};
+    pub use fncc_net::ids::{FlowId, HostId, SwitchId};
+    pub use fncc_net::topology::Topology;
+    pub use fncc_net::units::{Bandwidth, ByteSize};
+    pub use fncc_transport::FlowSpec;
+}

@@ -1,0 +1,636 @@
+//! The paper's experiments as library functions.
+//!
+//! Each scenario builds the exact topology and traffic of the corresponding
+//! evaluation section, runs it, and returns the series/statistics the paper
+//! plots. The `fncc-experiments` binary and the criterion benches are thin
+//! wrappers over these.
+
+use crate::metrics::{average_slowdowns, fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
+use crate::sim::{make_algo, Sim, SimBuilder};
+use fncc_cc::{CcAlgo, CcKind, FnccConfig};
+use fncc_des::stats::TimeSeries;
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::ids::{FlowId, HostId, SwitchId};
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+use fncc_transport::FlowSpec;
+use fncc_workloads::arrivals::{poisson_flows, PoissonConfig};
+use fncc_workloads::distributions::{fb_hadoop, web_search, FB_HADOOP_BUCKETS, WEB_SEARCH_BUCKETS};
+use fncc_workloads::patterns::staggered_fairness;
+
+/// Parameters of the §5.1/§5.2 elephant-flow microbenchmark (Figs. 1, 3, 9).
+#[derive(Clone, Debug)]
+pub struct MicrobenchSpec {
+    /// Congestion-control scheme under test.
+    pub cc: CcKind,
+    /// Link rate in Gb/s (the paper sweeps 100/200/400).
+    pub line_gbps: u64,
+    /// Number of senders at the first switch (2 in §5.1).
+    pub n_senders: u32,
+    /// When the second elephant joins (300 µs).
+    pub join_at_us: u64,
+    /// Simulation horizon (1200 µs covers Fig. 9's x-axis).
+    pub horizon_us: u64,
+    /// Telemetry sampling period in nanoseconds.
+    pub sample_ns: u64,
+    /// Disable LHCS (the Fig. 13 "FNCC without LHCS" ablation).
+    pub disable_lhcs: bool,
+    /// FNCC's `All_INT_Table` refresh period (None = live reads; the
+    /// default 1 µs snapshot is what Fig. 8's management module does and
+    /// also de-noises the sender's rate estimates — see `DESIGN.md`).
+    /// Ignored for non-FNCC schemes.
+    pub int_refresh: Option<TimeDelta>,
+    /// Seed for the fabric's stochastic components.
+    pub seed: u64,
+}
+
+impl Default for MicrobenchSpec {
+    fn default() -> Self {
+        MicrobenchSpec {
+            cc: CcKind::Fncc,
+            line_gbps: 100,
+            n_senders: 2,
+            join_at_us: 300,
+            horizon_us: 1200,
+            sample_ns: 1000,
+            disable_lhcs: false,
+            int_refresh: Some(TimeDelta::from_us(1)),
+            seed: 1,
+        }
+    }
+}
+
+impl MicrobenchSpec {
+    fn line(&self) -> Bandwidth {
+        Bandwidth::gbps(self.line_gbps)
+    }
+
+    fn algo(&self, topo: &Topology) -> CcAlgo {
+        let base_rtt = topo.base_rtt(1518, 70);
+        if self.cc == CcKind::Fncc && self.disable_lhcs {
+            CcAlgo::Fncc(FnccConfig::without_lhcs(self.line(), base_rtt))
+        } else {
+            make_algo(self.cc, self.line(), base_rtt)
+        }
+    }
+}
+
+/// Output of the elephant-dumbbell microbenchmark.
+#[derive(Clone, Debug)]
+pub struct ElephantResult {
+    /// Scheme.
+    pub cc: CcKind,
+    /// Link rate.
+    pub line: Bandwidth,
+    /// Bottleneck egress queue depth over time, in KB (Figs. 1b–d, 9a/c/e).
+    pub queue_kb: TimeSeries,
+    /// Bottleneck link utilization over time (Figs. 9g–h).
+    pub util: TimeSeries,
+    /// Per-sender flow rates over time, in Gb/s (Figs. 9b/d/f).
+    pub flow_rates_gbps: Vec<TimeSeries>,
+    /// Per-sender CC pacing rates (the control variable), in Gb/s — used
+    /// for reaction/convergence timing, free of goodput sampling noise.
+    pub cc_rates_gbps: Vec<TimeSeries>,
+    /// PFC pause frames emitted at the congestion point (Fig. 3).
+    pub pause_frames: u64,
+    /// First time flow 0 slowed below 90% line rate after the join (µs).
+    pub reaction_us: Option<f64>,
+    /// First sustained convergence of all senders to the fair rate (µs).
+    pub fair_convergence_us: Option<f64>,
+    /// Mean INT staleness per hop seen by senders (µs) — Fig. 2/12 measure.
+    pub mean_int_age_us: Vec<f64>,
+    /// Peak queue depth in KB.
+    pub peak_queue_kb: f64,
+    /// Mean utilization after the join.
+    pub mean_util_after_join: f64,
+    /// Engine events processed (performance accounting).
+    pub events: u64,
+}
+
+fn to_kb_series(src: &TimeSeries, name: &str) -> TimeSeries {
+    let mut out = TimeSeries::new(name);
+    for (t, v) in src.iter() {
+        out.push(t, v / 1024.0);
+    }
+    out
+}
+
+fn to_gbps_series(src: &TimeSeries, name: &str) -> TimeSeries {
+    let mut out = TimeSeries::new(name);
+    for (t, v) in src.iter() {
+        out.push(t, v / 1e9);
+    }
+    out
+}
+
+/// §5.1/§5.2: the dumbbell of Fig. 10 (M = 3 switches). Flow 0 starts at
+/// t = 0 at line rate; flow 1 joins at `join_at_us`. Returns the series of
+/// Figs. 1b–d, 3 and 9.
+pub fn elephant_dumbbell(spec: &MicrobenchSpec) -> ElephantResult {
+    let line = spec.line();
+    let topo = Topology::dumbbell(spec.n_senders, 3, line, TimeDelta::from_ns(1500));
+    let receiver = HostId(spec.n_senders);
+    let horizon = SimTime::from_us(spec.horizon_us);
+    // Elephants: sized to outlive the horizon.
+    let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
+    let join = SimTime::from_us(spec.join_at_us);
+    let flows: Vec<FlowSpec> = (0..spec.n_senders)
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: HostId(i),
+            dst: receiver,
+            size: elephant,
+            start: if i == 0 { SimTime::ZERO } else { join },
+        })
+        .collect();
+
+    let bottleneck_sw = SwitchId(0);
+    let bottleneck_port =
+        Sim::egress_port_on_path(&topo, HostId(0), receiver, FlowId(0), bottleneck_sw)
+            .expect("bottleneck on path");
+
+    let algo = spec.algo(&topo);
+    let is_fncc = spec.cc == CcKind::Fncc;
+    let mut builder = SimBuilder::with_algo(topo, algo)
+        .fabric(|f| {
+            f.seed = spec.seed;
+            if is_fncc {
+                f.int_refresh = spec.int_refresh;
+            }
+        })
+        .flows(flows)
+        .sample(TimeDelta::from_ns(spec.sample_ns), horizon)
+        .watch_queue(bottleneck_sw, bottleneck_port, "queue")
+        .watch_util(bottleneck_sw, bottleneck_port, "util");
+    for i in 0..spec.n_senders {
+        builder = builder
+            .watch_flow(FlowId(i), format!("flow{i}"))
+            .watch_cc_rate(FlowId(i), HostId(i), format!("cc{i}"));
+    }
+    let mut sim = builder.build();
+    sim.run_until(horizon);
+
+    let telem = sim.telemetry();
+    let queue_kb = to_kb_series(
+        telem.queue_series(bottleneck_sw, bottleneck_port).expect("queue watched"),
+        "queue_kb",
+    );
+    let util = telem.util_series(bottleneck_sw, bottleneck_port).expect("util watched").clone();
+    let flow_rates_gbps: Vec<TimeSeries> = (0..spec.n_senders)
+        .map(|i| {
+            to_gbps_series(
+                telem.flow_rate_series(FlowId(i)).expect("flow watched"),
+                &format!("{}-flow{}", spec.cc.name(), i),
+            )
+        })
+        .collect();
+    let cc_rates_gbps: Vec<TimeSeries> = (0..spec.n_senders)
+        .map(|i| {
+            to_gbps_series(
+                telem.cc_rate_series(FlowId(i)).expect("cc rate watched"),
+                &format!("{}-cc{}", spec.cc.name(), i),
+            )
+        })
+        .collect();
+
+    let line_gbps = line.as_gbps_f64();
+    // Reaction: the first time flow 0's *control* rate falls clearly below
+    // its pre-join steady level (HPCC/FNCC idle at η·line, so an absolute
+    // line-rate threshold would trip on steady-state jitter).
+    let pre_join = cc_rates_gbps[0]
+        .mean_in(join - TimeDelta::from_us(20), join)
+        .max(0.5 * line_gbps);
+    let reaction =
+        reaction_time(&cc_rates_gbps[0], join, 0.85 * pre_join).map(|t| t.as_us_f64());
+    let fair = line_gbps / spec.n_senders as f64;
+    let refs: Vec<&TimeSeries> = cc_rates_gbps.iter().collect();
+    let fair_convergence =
+        time_to_fair(&refs, fair, 0.15, TimeDelta::from_us(20), join).map(|t| t.as_us_f64());
+    let mean_int_age_us: Vec<f64> = (0..telem.int_age_hops())
+        .filter_map(|h| telem.mean_int_age(h).map(|a| a * 1e6))
+        .collect();
+    let pause_frames = sim.fabric().pause_frames_at(bottleneck_sw, 0)
+        + (1..spec.n_senders)
+            .map(|p| sim.fabric().pause_frames_at(bottleneck_sw, p as u8))
+            .sum::<u64>();
+    let peak_queue_kb = queue_kb.max();
+    let mean_util_after_join = util.mean_in(join, horizon);
+
+    ElephantResult {
+        cc: spec.cc,
+        line,
+        peak_queue_kb,
+        mean_util_after_join,
+        queue_kb,
+        util,
+        flow_rates_gbps,
+        cc_rates_gbps,
+        pause_frames,
+        reaction_us: reaction,
+        fair_convergence_us: fair_convergence,
+        mean_int_age_us,
+        events: sim.events_processed(),
+    }
+}
+
+/// Where the two flows of Fig. 11 merge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopLocation {
+    /// Both senders at switch 0 (the dumbbell itself).
+    First,
+    /// Second sender joins at the middle switch.
+    Middle,
+    /// Second sender joins at the last switch.
+    Last,
+}
+
+impl HopLocation {
+    /// Attachment switch of sender 1 in a 3-switch line.
+    fn attach(self) -> usize {
+        match self {
+            HopLocation::First => 0,
+            HopLocation::Middle => 1,
+            HopLocation::Last => 2,
+        }
+    }
+
+    /// The congested switch.
+    fn congested_switch(self) -> SwitchId {
+        SwitchId(self.attach() as u32)
+    }
+
+    /// Label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HopLocation::First => "first",
+            HopLocation::Middle => "middle",
+            HopLocation::Last => "last",
+        }
+    }
+}
+
+/// Output of the §5.4 hop-location study (Fig. 13a–d).
+#[derive(Clone, Debug)]
+pub struct HopCongestionResult {
+    /// Scheme.
+    pub cc: CcKind,
+    /// Congestion location.
+    pub location: HopLocation,
+    /// LHCS active?
+    pub lhcs: bool,
+    /// Congested-port queue depth (KB).
+    pub queue_kb: TimeSeries,
+    /// Congested-port utilization.
+    pub util: TimeSeries,
+    /// Sender flow rates (Gb/s).
+    pub flow_rates_gbps: Vec<TimeSeries>,
+    /// Peak queue depth (KB) — the Fig. 13 reduction metric.
+    pub peak_queue_kb: f64,
+    /// Mean queue depth after the join (KB).
+    pub mean_queue_kb: f64,
+    /// Mean utilization after the join.
+    pub mean_util: f64,
+    /// Total LHCS trigger count across senders.
+    pub lhcs_triggers: u64,
+}
+
+/// §5.4: congestion in the first/middle/last hop (Fig. 11 topologies, 100 G).
+/// Flow 0 runs from switch 0; flow 1 joins at `spec.join_at_us` attached at
+/// the congestion switch.
+pub fn hop_congestion(loc: HopLocation, spec: &MicrobenchSpec) -> HopCongestionResult {
+    let line = spec.line();
+    let attach = [0usize, loc.attach()];
+    let topo = Topology::line(3, &attach, line, TimeDelta::from_ns(1500));
+    let receiver = HostId(2);
+    let horizon = SimTime::from_us(spec.horizon_us);
+    let join = SimTime::from_us(spec.join_at_us);
+    let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
+    let flows = vec![
+        FlowSpec { id: FlowId(0), src: HostId(0), dst: receiver, size: elephant, start: SimTime::ZERO },
+        FlowSpec { id: FlowId(1), src: HostId(1), dst: receiver, size: elephant, start: join },
+    ];
+
+    let sw = loc.congested_switch();
+    let port = Sim::egress_port_on_path(&topo, HostId(0), receiver, FlowId(0), sw)
+        .expect("congested switch on path");
+
+    let algo = spec.algo(&topo);
+    let is_fncc = spec.cc == CcKind::Fncc;
+    let mut sim = SimBuilder::with_algo(topo, algo)
+        .fabric(|f| {
+            f.seed = spec.seed;
+            if is_fncc {
+                f.int_refresh = spec.int_refresh;
+            }
+        })
+        .flows(flows)
+        .sample(TimeDelta::from_ns(spec.sample_ns), horizon)
+        .watch_queue(sw, port, "queue")
+        .watch_util(sw, port, "util")
+        .watch_flow(FlowId(0), "flow0")
+        .watch_flow(FlowId(1), "flow1")
+        .build();
+    sim.run_until(horizon);
+
+    let telem = sim.telemetry();
+    let queue_kb = to_kb_series(telem.queue_series(sw, port).unwrap(), "queue_kb");
+    let util = telem.util_series(sw, port).unwrap().clone();
+    let flow_rates_gbps: Vec<TimeSeries> = (0..2)
+        .map(|i| to_gbps_series(telem.flow_rate_series(FlowId(i)).unwrap(), &format!("flow{i}")))
+        .collect();
+    let lhcs_triggers = (0..2u32)
+        .map(|i| sim.host(HostId(i)).lhcs_triggers(FlowId(i)).unwrap_or(0))
+        .sum();
+
+    HopCongestionResult {
+        cc: spec.cc,
+        location: loc,
+        lhcs: spec.cc == CcKind::Fncc && !spec.disable_lhcs,
+        peak_queue_kb: queue_kb.max(),
+        mean_queue_kb: queue_kb.mean_in(join, horizon),
+        mean_util: util.mean_in(join, horizon),
+        queue_kb,
+        util,
+        flow_rates_gbps,
+        lhcs_triggers,
+    }
+}
+
+/// Output of the §5.3 fairness staircase (Fig. 13e).
+#[derive(Clone, Debug)]
+pub struct FairnessResult {
+    /// Scheme.
+    pub cc: CcKind,
+    /// Per-flow rate series (Gb/s).
+    pub flow_rates_gbps: Vec<TimeSeries>,
+    /// Jain fairness index sampled at each join/leave period midpoint.
+    pub jain_per_period: Vec<f64>,
+    /// All flows drained (their fair-share-sized payloads completed).
+    pub all_finished: bool,
+}
+
+/// §5.3: `n` senders join a shared 100 G bottleneck one `interval` apart and
+/// leave in join order (Fig. 13e; the paper uses 100 ms intervals — pass a
+/// compressed interval for cheap runs; the dynamics are interval-invariant).
+pub fn fairness_staircase(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) -> FairnessResult {
+    let line = Bandwidth::gbps(100);
+    let topo = Topology::dumbbell(n, 3, line, TimeDelta::from_ns(1500));
+    let receiver = HostId(n);
+    let flows = staggered_fairness(n, receiver, line, interval);
+    let horizon = SimTime::ZERO + interval * (2 * n as u64) + TimeDelta::from_us(200);
+    let sample = TimeDelta::from_ps((interval.as_ps() / 200).max(1_000_000));
+
+    let mut builder = SimBuilder::new(topo, cc)
+        .fabric(|f| f.seed = seed)
+        .flows(flows)
+        .sample(sample, horizon);
+    for i in 0..n {
+        builder = builder.watch_flow(FlowId(i), format!("flow{i}"));
+    }
+    let mut sim = builder.build();
+    sim.run_until(horizon);
+
+    let telem = sim.telemetry();
+    let flow_rates_gbps: Vec<TimeSeries> = (0..n)
+        .map(|i| to_gbps_series(telem.flow_rate_series(FlowId(i)).unwrap(), &format!("flow{i}")))
+        .collect();
+
+    // Jain index at each period midpoint over flows active in that period.
+    let mut jain_per_period = Vec::new();
+    for p in 0..(2 * n).saturating_sub(1) {
+        let mid = SimTime::ZERO + interval * p as u64 + interval / 2;
+        let active: Vec<f64> = (0..n)
+            .filter(|&i| i <= p && p < n + i)
+            .map(|i| {
+                flow_rates_gbps[i as usize]
+                    .mean_in(mid - interval / 4, mid + interval / 4)
+            })
+            .collect();
+        if !active.is_empty() {
+            jain_per_period.push(fncc_des::stats::jain_index(&active));
+        }
+    }
+
+    FairnessResult {
+        cc,
+        flow_rates_gbps,
+        jain_per_period,
+        all_finished: telem.all_flows_finished(),
+    }
+}
+
+/// Which §5.5 trace to draw flow sizes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// DCTCP WebSearch (Fig. 14).
+    WebSearch,
+    /// Facebook Hadoop (Fig. 15).
+    FbHadoop,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::WebSearch => "WebSearch",
+            Workload::FbHadoop => "FB_Hadoop",
+        }
+    }
+
+    /// The reporting buckets of the corresponding figure.
+    pub fn buckets(self) -> &'static [u64] {
+        match self {
+            Workload::WebSearch => &WEB_SEARCH_BUCKETS,
+            Workload::FbHadoop => &FB_HADOOP_BUCKETS,
+        }
+    }
+}
+
+/// Parameters of the §5.5 large-scale runs (Figs. 14–15).
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Scheme.
+    pub cc: CcKind,
+    /// Trace.
+    pub workload: Workload,
+    /// Average host-link load (the paper: 0.5).
+    pub load: f64,
+    /// Flows per seed.
+    pub n_flows: u32,
+    /// Seeds (the paper averages 5 repetitions).
+    pub seeds: Vec<u64>,
+    /// Fat-tree parameter k (the paper: 8 → 128 hosts).
+    pub k: u32,
+    /// Link rate in Gb/s.
+    pub line_gbps: u64,
+}
+
+impl WorkloadSpec {
+    /// A right-sized default: k=8, 50% load, 400 flows × 2 seeds.
+    pub fn new(cc: CcKind, workload: Workload) -> Self {
+        WorkloadSpec { cc, workload, load: 0.5, n_flows: 400, seeds: vec![1, 2], k: 8, line_gbps: 100 }
+    }
+}
+
+/// Output of one §5.5 configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Scheme.
+    pub cc: CcKind,
+    /// Trace.
+    pub workload: Workload,
+    /// Slowdown rows averaged across seeds (Fig. 14/15 y-values).
+    pub rows: Vec<SlowdownStats>,
+    /// Flows that failed to finish per seed (must be 0).
+    pub unfinished: Vec<usize>,
+    /// Total engine events across seeds.
+    pub events: u64,
+}
+
+/// §5.5: Poisson arrivals from the chosen trace on a k-ary fat-tree with
+/// symmetric ECMP; reports FCT-slowdown statistics per flow-size bucket.
+pub fn fattree_workload(spec: &WorkloadSpec) -> WorkloadResult {
+    let line = Bandwidth::gbps(spec.line_gbps);
+    let cdf = match spec.workload {
+        Workload::WebSearch => web_search(),
+        Workload::FbHadoop => fb_hadoop(),
+    };
+    let mut runs = Vec::with_capacity(spec.seeds.len());
+    let mut unfinished = Vec::with_capacity(spec.seeds.len());
+    let mut events = 0u64;
+    for &seed in &spec.seeds {
+        let topo = Topology::fat_tree(spec.k, line, TimeDelta::from_ns(1500));
+        let flows = poisson_flows(
+            &PoissonConfig {
+                n_hosts: topo.n_hosts,
+                line,
+                load: spec.load,
+                n_flows: spec.n_flows,
+                first_id: 0,
+                start: SimTime::ZERO,
+                seed,
+            },
+            &cdf,
+        );
+        let last_start = flows.last().unwrap().start;
+        let cap = last_start + TimeDelta::from_ms(200);
+        let mut sim = SimBuilder::new(topo, spec.cc)
+            .fabric(|f| f.seed = seed)
+            .flows(flows)
+            .build();
+        sim.run_to_completion(TimeDelta::from_ms(1), cap);
+        let telem = sim.telemetry();
+        let not_done =
+            telem.flow_records().filter(|r| r.finish.is_none()).count();
+        unfinished.push(not_done);
+        let payload = sim.fabric().cfg.mtu_payload();
+        let header = sim.fabric().cfg.data_header;
+        runs.push(fct_slowdowns(&sim.topo, telem, spec.workload.buckets(), payload, header));
+        events += sim.events_processed();
+    }
+    WorkloadResult {
+        cc: spec.cc,
+        workload: spec.workload,
+        rows: average_slowdowns(&runs),
+        unfinished,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small, fast variant of the microbenchmark for unit tests.
+    fn quick(cc: CcKind) -> MicrobenchSpec {
+        MicrobenchSpec {
+            cc,
+            horizon_us: 500,
+            join_at_us: 150,
+            sample_ns: 2000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn elephant_fncc_reacts_and_keeps_queue_shallow() {
+        let r = elephant_dumbbell(&quick(CcKind::Fncc));
+        assert!(r.reaction_us.is_some(), "FNCC never reacted");
+        assert!(r.peak_queue_kb > 0.0);
+        assert!(r.peak_queue_kb < 500.0, "peak {}KB", r.peak_queue_kb);
+        assert!(r.mean_util_after_join > 0.7, "util {}", r.mean_util_after_join);
+        assert!(!r.mean_int_age_us.is_empty());
+    }
+
+    #[test]
+    fn elephant_fncc_reacts_before_hpcc_with_shallower_queue() {
+        let f = elephant_dumbbell(&quick(CcKind::Fncc));
+        let h = elephant_dumbbell(&quick(CcKind::Hpcc));
+        let (fr, hr) = (f.reaction_us.unwrap(), h.reaction_us.unwrap());
+        assert!(fr <= hr, "FNCC {fr}us vs HPCC {hr}us");
+        assert!(f.peak_queue_kb <= h.peak_queue_kb * 1.05, "queues F{} H{}", f.peak_queue_kb, h.peak_queue_kb);
+        // FNCC's INT (via ACK) must be fresher than HPCC's on the first hop.
+        assert!(
+            f.mean_int_age_us[0] < h.mean_int_age_us[0],
+            "INT age F{:?} H{:?}",
+            f.mean_int_age_us,
+            h.mean_int_age_us
+        );
+    }
+
+    #[test]
+    fn hop_congestion_runs_at_all_locations() {
+        for loc in [HopLocation::First, HopLocation::Middle, HopLocation::Last] {
+            let r = hop_congestion(loc, &quick(CcKind::Fncc));
+            assert!(r.peak_queue_kb > 0.0, "{loc:?} saw no queue");
+            assert!(r.mean_util > 0.5, "{loc:?} util {}", r.mean_util);
+        }
+    }
+
+    #[test]
+    fn lhcs_fires_only_at_last_hop() {
+        let last = hop_congestion(HopLocation::Last, &quick(CcKind::Fncc));
+        assert!(last.lhcs_triggers > 0, "LHCS silent at last hop");
+        let first = hop_congestion(HopLocation::First, &quick(CcKind::Fncc));
+        assert_eq!(first.lhcs_triggers, 0, "LHCS fired at first hop");
+        let mut spec = quick(CcKind::Fncc);
+        spec.disable_lhcs = true;
+        let disabled = hop_congestion(HopLocation::Last, &spec);
+        assert_eq!(disabled.lhcs_triggers, 0);
+        assert!(!disabled.lhcs);
+    }
+
+    #[test]
+    fn fairness_staircase_converges() {
+        let r = fairness_staircase(CcKind::Fncc, 3, TimeDelta::from_us(400), 1);
+        assert_eq!(r.flow_rates_gbps.len(), 3);
+        assert!(!r.jain_per_period.is_empty());
+        // Single-flow periods are trivially fair; shared periods should be
+        // reasonably fair too.
+        let min_jain = r.jain_per_period.iter().copied().fold(1.0, f64::min);
+        assert!(min_jain > 0.6, "Jain {min_jain} ({:?})", r.jain_per_period);
+    }
+
+    #[test]
+    fn tiny_fattree_workload_completes() {
+        let spec = WorkloadSpec {
+            cc: CcKind::Fncc,
+            workload: Workload::FbHadoop,
+            load: 0.3,
+            n_flows: 60,
+            seeds: vec![1],
+            k: 4,
+            line_gbps: 100,
+        };
+        let r = fattree_workload(&spec);
+        assert_eq!(r.unfinished, vec![0], "flows left unfinished");
+        let total: usize = r.rows.iter().map(|b| b.count).sum();
+        assert_eq!(total, 60);
+        for b in &r.rows {
+            if b.count > 0 {
+                assert!(b.avg >= 1.0, "slowdown below 1 in {}", b.label);
+                assert!(b.p99 >= b.p50);
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The simulation builder: topology + CC scheme + flows → runnable [`Sim`].
+
+use fncc_cc::{
+    CcAlgo, CcKind, DcqcnConfig, FnccConfig, HpccConfig, RoccConfig, SwiftConfig, TimelyConfig,
+};
+use fncc_des::engine::{Engine, RunOutcome};
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::config::{EcnConfig, FabricConfig, IntInsertion, RoccSwitchConfig};
+use fncc_net::fabric::{Ev, Fabric};
+use fncc_net::ids::{FlowId, HostId, SwitchId};
+use fncc_net::telemetry::Telemetry;
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+use fncc_transport::{DcHost, FlowSpec, HostTimer, TransportConfig};
+
+/// Build a CC configuration with paper defaults for `kind` on a network
+/// with the given line rate and base RTT.
+pub fn make_algo(kind: CcKind, line: Bandwidth, base_rtt: TimeDelta) -> CcAlgo {
+    match kind {
+        CcKind::Hpcc => CcAlgo::Hpcc(HpccConfig::paper_default(line, base_rtt)),
+        CcKind::Fncc => CcAlgo::Fncc(FnccConfig::paper_default(line, base_rtt)),
+        CcKind::Dcqcn => CcAlgo::Dcqcn(DcqcnConfig::paper_default(line)),
+        CcKind::Rocc => CcAlgo::Rocc(RoccConfig::new(line)),
+        CcKind::Timely => CcAlgo::Timely(TimelyConfig::paper_default(line, base_rtt)),
+        CcKind::Swift => CcAlgo::Swift(SwiftConfig::paper_default(line, base_rtt)),
+    }
+}
+
+/// Wire the switch-side features a CC scheme needs into a fabric config.
+fn apply_cc_features(cfg: &mut FabricConfig, kind: CcKind, line: Bandwidth) {
+    match kind {
+        CcKind::Hpcc => cfg.int = IntInsertion::OnData,
+        CcKind::Fncc => {
+            cfg.int = IntInsertion::OnAck;
+            // Fig. 8's periodic All_INT_Table is load-bearing: live reads
+            // phase-quantise txBytes deltas against ACK pass times, biasing
+            // the sender's U estimate high. A 1 µs snapshot period gives
+            // exact per-period byte counts (see DESIGN.md / the
+            // `ablation_int_refresh` experiment).
+            cfg.int_refresh = Some(TimeDelta::from_us(1));
+        }
+        CcKind::Dcqcn => cfg.ecn = EcnConfig::dcqcn_scaled(line),
+        CcKind::Rocc => cfg.rocc = Some(RoccSwitchConfig::default_for(line)),
+        CcKind::Timely | CcKind::Swift => {}
+    }
+}
+
+/// Builder for a complete simulation.
+pub struct SimBuilder {
+    topo: Topology,
+    cc: CcAlgo,
+    fabric: FabricConfig,
+    flows: Vec<FlowSpec>,
+    ack_every: u32,
+    sampling: Option<(TimeDelta, SimTime)>,
+    watch_queues: Vec<(SwitchId, u8, String)>,
+    watch_utils: Vec<(SwitchId, u8, String)>,
+    watch_flows: Vec<(FlowId, String)>,
+    watch_cc_rates: Vec<(FlowId, HostId, String)>,
+}
+
+impl SimBuilder {
+    /// A builder over `topo` running `kind` with paper-default parameters.
+    /// The base RTT for window-based schemes is computed from the topology.
+    pub fn new(topo: Topology, kind: CcKind) -> Self {
+        let mut fabric = FabricConfig::paper_default();
+        let line = topo.host_ports[0].bw;
+        let base_rtt = topo.base_rtt(fabric.mtu, fabric.ack_base);
+        apply_cc_features(&mut fabric, kind, line);
+        let cc = make_algo(kind, line, base_rtt);
+        SimBuilder {
+            topo,
+            cc,
+            fabric,
+            flows: Vec::new(),
+            ack_every: 1,
+            sampling: None,
+            watch_queues: Vec::new(),
+            watch_utils: Vec::new(),
+            watch_flows: Vec::new(),
+            watch_cc_rates: Vec::new(),
+        }
+    }
+
+    /// Same, but with an explicit (possibly non-default) CC configuration.
+    pub fn with_algo(topo: Topology, cc: CcAlgo) -> Self {
+        let mut fabric = FabricConfig::paper_default();
+        let line = topo.host_ports[0].bw;
+        apply_cc_features(&mut fabric, cc.kind(), line);
+        SimBuilder {
+            topo,
+            cc,
+            fabric,
+            flows: Vec::new(),
+            ack_every: 1,
+            sampling: None,
+            watch_queues: Vec::new(),
+            watch_utils: Vec::new(),
+            watch_flows: Vec::new(),
+            watch_cc_rates: Vec::new(),
+        }
+    }
+
+    /// Mutate the fabric configuration (PFC thresholds, buffer, INT refresh…).
+    pub fn fabric(mut self, f: impl FnOnce(&mut FabricConfig)) -> Self {
+        f(&mut self.fabric);
+        self
+    }
+
+    /// Add flows.
+    pub fn flows(mut self, flows: impl IntoIterator<Item = FlowSpec>) -> Self {
+        self.flows.extend(flows);
+        self
+    }
+
+    /// Cumulative-ACK granularity (§3.2.3's `m`).
+    pub fn ack_every(mut self, m: u32) -> Self {
+        self.ack_every = m;
+        self
+    }
+
+    /// Enable telemetry sampling every `every` until `until`.
+    pub fn sample(mut self, every: TimeDelta, until: SimTime) -> Self {
+        self.sampling = Some((every, until));
+        self
+    }
+
+    /// Watch a switch egress queue.
+    pub fn watch_queue(mut self, sw: SwitchId, port: u8, name: impl Into<String>) -> Self {
+        self.watch_queues.push((sw, port, name.into()));
+        self
+    }
+
+    /// Watch a switch egress utilization.
+    pub fn watch_util(mut self, sw: SwitchId, port: u8, name: impl Into<String>) -> Self {
+        self.watch_utils.push((sw, port, name.into()));
+        self
+    }
+
+    /// Watch a flow's sending rate.
+    pub fn watch_flow(mut self, flow: FlowId, name: impl Into<String>) -> Self {
+        self.watch_flows.push((flow, name.into()));
+        self
+    }
+
+    /// Watch a flow's CC pacing rate (the sender's control variable).
+    pub fn watch_cc_rate(mut self, flow: FlowId, host: HostId, name: impl Into<String>) -> Self {
+        self.watch_cc_rates.push((flow, host, name.into()));
+        self
+    }
+
+    /// Finalize into a runnable [`Sim`].
+    pub fn build(self) -> Sim {
+        let kind = self.cc.kind();
+        let tcfg = TransportConfig::new(self.cc).with_ack_every(self.ack_every);
+        let hosts: Vec<DcHost> =
+            (0..self.topo.n_hosts).map(|_| DcHost::new(tcfg.clone())).collect();
+        let mut fabric = Fabric::new(&self.topo, self.fabric, hosts);
+
+        for (sw, port, name) in self.watch_queues {
+            fabric.telemetry.watch_queue(sw, port, name);
+        }
+        for (sw, port, name) in self.watch_utils {
+            let bw = fabric.switches[sw.ix()].ports[port as usize].bw;
+            fabric.telemetry.watch_utilization(sw, port, bw, name);
+        }
+        for (flow, name) in self.watch_flows {
+            fabric.telemetry.watch_flow_rate(flow, name);
+        }
+        for (flow, host, name) in self.watch_cc_rates {
+            fabric.telemetry.watch_cc_rate(flow, host, name);
+        }
+        if let Some((every, until)) = self.sampling {
+            fabric.telemetry.enable_sampling(every, until);
+        }
+
+        for f in &self.flows {
+            fabric.hosts[f.src.ix()].add_flow(f.clone());
+        }
+
+        let mut eng = Engine::new(fabric);
+        for (t, ev) in eng.model.startup_events() {
+            eng.schedule(t, ev);
+        }
+        for f in &self.flows {
+            eng.schedule(f.start, Ev::HostTimer { host: f.src, timer: HostTimer::FlowStart(f.id) });
+        }
+        Sim { eng, topo: self.topo, kind }
+    }
+}
+
+/// A runnable simulation with its topology kept for analysis.
+pub struct Sim {
+    eng: Engine<Fabric<DcHost>>,
+    /// The network description (path tracing, ideal FCT).
+    pub topo: Topology,
+    /// The CC scheme in effect.
+    pub kind: CcKind,
+}
+
+impl Sim {
+    /// Run until `horizon` (periodic ticks keep the heap busy, so idle exits
+    /// are rare outside workload runs).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.eng.run_until(horizon)
+    }
+
+    /// Run in `chunk` steps until every registered flow finished or `cap`
+    /// is reached; returns true if all flows finished.
+    pub fn run_to_completion(&mut self, chunk: TimeDelta, cap: SimTime) -> bool {
+        let mut t = self.eng.now();
+        loop {
+            if self.eng.model.telemetry.flow_count() > 0
+                && self.eng.model.telemetry.all_flows_finished()
+            {
+                return true;
+            }
+            if t >= cap {
+                return self.eng.model.telemetry.all_flows_finished();
+            }
+            t = (t + chunk).min(cap);
+            self.eng.run_until(t);
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// Events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.eng.events_processed()
+    }
+
+    /// Measurement results.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.eng.model.telemetry
+    }
+
+    /// The live fabric (ports, switches, pause counters).
+    pub fn fabric(&self) -> &Fabric<DcHost> {
+        &self.eng.model
+    }
+
+    /// A host's transport state.
+    pub fn host(&self, h: HostId) -> &DcHost {
+        &self.eng.model.hosts[h.ix()]
+    }
+
+    /// The egress port switch `sw` uses on the request path of
+    /// (`src`→`dst`, `flow`) — e.g. to find the bottleneck port to watch.
+    pub fn egress_port_on_path(
+        topo: &Topology,
+        src: HostId,
+        dst: HostId,
+        flow: FlowId,
+        sw: SwitchId,
+    ) -> Option<u8> {
+        topo.trace_path(src, dst, flow).into_iter().find_map(|(n, p)| match n {
+            fncc_net::ids::NodeRef::Switch(s) if s == sw => Some(p),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dumbbell() -> Topology {
+        Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500))
+    }
+
+    fn two_flows() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec { id: FlowId(0), src: HostId(0), dst: HostId(2), size: 500_000, start: SimTime::ZERO },
+            FlowSpec { id: FlowId(1), src: HostId(1), dst: HostId(2), size: 500_000, start: SimTime::from_us(50) },
+        ]
+    }
+
+    #[test]
+    fn builder_wires_cc_features() {
+        let s = SimBuilder::new(dumbbell(), CcKind::Hpcc).build();
+        assert_eq!(s.fabric().cfg.int, IntInsertion::OnData);
+        let s = SimBuilder::new(dumbbell(), CcKind::Fncc).build();
+        assert_eq!(s.fabric().cfg.int, IntInsertion::OnAck);
+        let s = SimBuilder::new(dumbbell(), CcKind::Dcqcn).build();
+        assert!(s.fabric().cfg.ecn.enabled);
+        let s = SimBuilder::new(dumbbell(), CcKind::Rocc).build();
+        assert!(s.fabric().cfg.rocc.is_some());
+    }
+
+    #[test]
+    fn run_to_completion_finishes_flows() {
+        let mut s = SimBuilder::new(dumbbell(), CcKind::Hpcc).flows(two_flows()).build();
+        let done = s.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(10));
+        assert!(done);
+        assert!(s.telemetry().all_flows_finished());
+        assert_eq!(s.telemetry().counters.drops, 0);
+    }
+
+    #[test]
+    fn watches_produce_series() {
+        let mut s = SimBuilder::new(dumbbell(), CcKind::Fncc)
+            .flows(two_flows())
+            .sample(TimeDelta::from_us(1), SimTime::from_us(200))
+            .watch_queue(SwitchId(0), 2, "q")
+            .watch_util(SwitchId(0), 2, "u")
+            .watch_flow(FlowId(0), "r0")
+            .build();
+        s.run_until(SimTime::from_us(300));
+        let t = s.telemetry();
+        assert!(t.queue_series(SwitchId(0), 2).unwrap().len() > 100);
+        assert!(t.util_series(SwitchId(0), 2).unwrap().max() > 0.5);
+        assert!(t.flow_rate_series(FlowId(0)).unwrap().max() > 1e9);
+    }
+
+    #[test]
+    fn egress_port_lookup_matches_dumbbell_layout() {
+        let topo = dumbbell();
+        let p = Sim::egress_port_on_path(&topo, HostId(0), HostId(2), FlowId(0), SwitchId(0));
+        assert_eq!(p, Some(2));
+        let p = Sim::egress_port_on_path(&topo, HostId(0), HostId(2), FlowId(0), SwitchId(1));
+        assert_eq!(p, Some(1));
+        assert_eq!(
+            Sim::egress_port_on_path(&topo, HostId(0), HostId(1), FlowId(0), SwitchId(2)),
+            None,
+        );
+    }
+
+    #[test]
+    fn make_algo_covers_all_kinds() {
+        let line = Bandwidth::gbps(100);
+        let rtt = TimeDelta::from_us(12);
+        for kind in [CcKind::Hpcc, CcKind::Fncc, CcKind::Dcqcn, CcKind::Rocc, CcKind::Timely, CcKind::Swift] {
+            assert_eq!(make_algo(kind, line, rtt).kind(), kind);
+        }
+    }
+}

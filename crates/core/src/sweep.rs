@@ -1,0 +1,84 @@
+//! A small parallel sweep runner for multi-seed repetitions and parameter
+//! sweeps (simulations are single-threaded; repetitions are embarrassingly
+//! parallel).
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Run every job, using up to `threads` worker threads, and return results
+/// in job order. Panics in jobs propagate.
+pub fn run_parallel<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let job = queue.lock().pop_front();
+                let Some((ix, job)) = job else { break };
+                let out = job();
+                results.lock()[ix] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("job missing result"))
+        .collect()
+}
+
+/// Reasonable worker count: physical parallelism minus one, at least one.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let jobs: Vec<_> = (0..32).map(|i| move || i * i).collect();
+        let out = run_parallel(jobs, 4);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i + 1).collect();
+        assert_eq!(run_parallel(jobs, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_jobs() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![];
+        assert!(run_parallel(jobs, 8).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        let jobs: Vec<_> = (0..2).map(|i| move || i).collect();
+        assert_eq!(run_parallel(jobs, 64), vec![0, 1]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! The event loop: a time-ordered heap of model events with deterministic
+//! tie-breaking.
+//!
+//! The engine is generic over the [`Model`] so the hot dispatch path is fully
+//! monomorphised — no boxing, no dynamic dispatch. Models schedule follow-up
+//! events through the [`Scheduler`] handle passed to every callback; the
+//! engine drains those into the heap after each dispatch.
+
+use crate::time::{SimTime, TimeDelta};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation model: owns all mutable world state and reacts to events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Handle one event at simulation time `now`, scheduling any follow-ups
+    /// on `sched`.
+    fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handle through which a model schedules future events during a callback.
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` at absolute time `t`. Scheduling in the past is a logic
+    /// error and panics in debug builds; in release it is clamped to `now`.
+    #[inline]
+    pub fn at(&mut self, t: SimTime, ev: E) {
+        debug_assert!(t >= self.now, "scheduling into the past: {t} < {}", self.now);
+        self.pending.push((t.max(self.now), ev));
+    }
+
+    /// Schedule `ev` after a delay of `d` from now.
+    #[inline]
+    pub fn after(&mut self, d: TimeDelta, ev: E) {
+        self.pending.push((self.now + d, ev));
+    }
+
+    /// Schedule `ev` immediately (same timestamp, FIFO after the current
+    /// event's earlier insertions).
+    #[inline]
+    pub fn immediate(&mut self, ev: E) {
+        self.pending.push((self.now, ev));
+    }
+
+    /// Number of events queued by the current callback so far.
+    #[inline]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+struct HeapEntry<E> {
+    time: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Why a [`Engine::run_until`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event heap drained before the horizon.
+    Idle,
+    /// The event budget was exhausted (runaway-model backstop).
+    BudgetExhausted,
+}
+
+/// The discrete-event engine driving a [`Model`].
+pub struct Engine<M: Model> {
+    heap: BinaryHeap<HeapEntry<M::Event>>,
+    sched: Scheduler<M::Event>,
+    time: SimTime,
+    seq: u64,
+    events_processed: u64,
+    event_budget: u64,
+    /// The model being simulated; public so callers can inspect/mutate state
+    /// between phases (e.g. inject flows, read metrics).
+    pub model: M,
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine at t = 0 around `model`.
+    pub fn new(model: M) -> Self {
+        Engine {
+            heap: BinaryHeap::with_capacity(1024),
+            sched: Scheduler { now: SimTime::ZERO, pending: Vec::with_capacity(16) },
+            time: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            event_budget: u64::MAX,
+            model,
+        }
+    }
+
+    /// Cap the total number of events processed (safety backstop for tests).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Current simulation time (time of the most recently dispatched event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Total events dispatched so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events waiting in the heap.
+    #[inline]
+    pub fn queue_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule an event from outside a model callback (setup phase).
+    pub fn schedule(&mut self, t: SimTime, ev: M::Event) {
+        assert!(t >= self.time, "scheduling into the past: {t} < {}", self.time);
+        self.heap.push(HeapEntry { time: t, seq: self.seq, ev });
+        self.seq += 1;
+    }
+
+    /// Dispatch the single earliest event. Returns `false` if the heap is
+    /// empty. Time advances to the event's timestamp.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.time >= self.time, "event heap went backwards");
+        self.time = entry.time;
+        self.sched.now = entry.time;
+        self.model.handle(entry.time, entry.ev, &mut self.sched);
+        self.events_processed += 1;
+        for (t, ev) in self.sched.pending.drain(..) {
+            self.heap.push(HeapEntry { time: t, seq: self.seq, ev });
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Run until simulation time strictly exceeds `horizon`, the heap drains,
+    /// or the event budget runs out. Events *at* the horizon are processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.heap.peek() {
+                None => return RunOutcome::Idle,
+                Some(e) if e.time > horizon => {
+                    // Leave future events queued; clock parks at the horizon.
+                    self.time = self.time.max(horizon);
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {}
+            }
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until the heap drains or the budget runs out.
+    pub fn run_until_idle(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that records the order events were observed in.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        /// (delay, tag) pairs to schedule on seeing event 0.
+        chain: Vec<(TimeDelta, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if ev == 0 {
+                for &(d, tag) in &self.chain {
+                    sched.after(d, tag);
+                }
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder { seen: Vec::new(), chain: Vec::new() }
+    }
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut eng = Engine::new(recorder());
+        eng.schedule(SimTime::from_us(5), 5);
+        eng.schedule(SimTime::from_us(1), 1);
+        eng.schedule(SimTime::from_us(3), 3);
+        assert_eq!(eng.run_until_idle(), RunOutcome::Idle);
+        let tags: Vec<u32> = eng.model.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(tags, vec![1, 3, 5]);
+        assert_eq!(eng.now(), SimTime::from_us(5));
+        assert_eq!(eng.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut eng = Engine::new(recorder());
+        let t = SimTime::from_us(7);
+        for tag in 0..50u32 {
+            eng.schedule(t, tag + 10);
+        }
+        eng.run_until_idle();
+        let tags: Vec<u32> = eng.model.seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(tags, (10..60).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn callbacks_can_schedule_followups() {
+        let mut eng = Engine::new(recorder());
+        eng.model.chain = vec![(TimeDelta::from_us(2), 20), (TimeDelta::from_us(1), 10)];
+        eng.schedule(SimTime::from_us(1), 0);
+        eng.run_until_idle();
+        assert_eq!(
+            eng.model.seen,
+            vec![
+                (SimTime::from_us(1), 0),
+                (SimTime::from_us(2), 10),
+                (SimTime::from_us(3), 20),
+            ]
+        );
+    }
+
+    #[test]
+    fn immediate_events_run_at_same_time_after_current() {
+        struct Imm {
+            seen: Vec<u32>,
+        }
+        impl Model for Imm {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.seen.push(ev);
+                if ev == 0 {
+                    sched.immediate(1);
+                    sched.immediate(2);
+                }
+            }
+        }
+        let mut eng = Engine::new(Imm { seen: vec![] });
+        eng.schedule(SimTime::from_us(4), 0);
+        eng.schedule(SimTime::from_us(4), 9); // inserted before the immediates
+        eng.run_until_idle();
+        assert_eq!(eng.model.seen, vec![0, 9, 1, 2]);
+        assert_eq!(eng.now(), SimTime::from_us(4));
+    }
+
+    #[test]
+    fn run_until_parks_at_horizon() {
+        let mut eng = Engine::new(recorder());
+        eng.schedule(SimTime::from_us(1), 1);
+        eng.schedule(SimTime::from_us(10), 2);
+        assert_eq!(eng.run_until(SimTime::from_us(5)), RunOutcome::HorizonReached);
+        assert_eq!(eng.model.seen.len(), 1);
+        assert_eq!(eng.now(), SimTime::from_us(5));
+        assert_eq!(eng.queue_len(), 1);
+        // Resuming picks the remaining event up.
+        assert_eq!(eng.run_until(SimTime::from_us(10)), RunOutcome::Idle);
+        assert_eq!(eng.model.seen.len(), 2);
+    }
+
+    #[test]
+    fn horizon_is_inclusive() {
+        let mut eng = Engine::new(recorder());
+        eng.schedule(SimTime::from_us(5), 1);
+        assert_eq!(eng.run_until(SimTime::from_us(5)), RunOutcome::Idle);
+        assert_eq!(eng.model.seen.len(), 1);
+    }
+
+    #[test]
+    fn event_budget_stops_runaway_models() {
+        struct Loopy;
+        impl Model for Loopy {
+            type Event = ();
+            fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                sched.after(TimeDelta::from_ns(1), ());
+            }
+        }
+        let mut eng = Engine::new(Loopy);
+        eng.set_event_budget(1000);
+        eng.schedule(SimTime::ZERO, ());
+        assert_eq!(eng.run_until_idle(), RunOutcome::BudgetExhausted);
+        assert_eq!(eng.events_processed(), 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut eng = Engine::new(recorder());
+        eng.schedule(SimTime::from_us(5), 1);
+        eng.run_until_idle();
+        eng.schedule(SimTime::from_us(1), 2);
+    }
+
+    #[test]
+    fn empty_engine_is_idle() {
+        let mut eng = Engine::new(recorder());
+        assert_eq!(eng.run_until_idle(), RunOutcome::Idle);
+        assert!(!eng.step());
+        assert_eq!(eng.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,209 @@
+//! Result emission: aligned stdout tables (matching the rows the paper
+//! reports) and CSV files for plotting.
+
+use crate::stats::TimeSeries;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table for printing experiment rows to stdout.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row; must have the same arity as the header.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(r.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:width$}", c, width = widths[i]);
+                if i + 1 < ncol {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Serialize as CSV text.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV form to `path`, creating parent directories.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Write several time series sharing a time axis into one CSV
+/// (`time_us,name1,name2,…`); series are sampled on their own ticks, missing
+/// cells are left empty.
+pub fn series_to_csv(series: &[&TimeSeries]) -> String {
+    // Collect the union of timestamps.
+    let mut times: Vec<u64> = series
+        .iter()
+        .flat_map(|s| s.times().iter().map(|t| t.as_ps()))
+        .collect();
+    times.sort_unstable();
+    times.dedup();
+
+    let mut out = String::new();
+    out.push_str("time_us");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+
+    // Per-series cursor over its own samples.
+    let mut cursors = vec![0usize; series.len()];
+    for &tps in &times {
+        let _ = write!(out, "{:.3}", tps as f64 / 1e6);
+        for (si, s) in series.iter().enumerate() {
+            out.push(',');
+            let i = &mut cursors[si];
+            if *i < s.len() && s.times()[*i].as_ps() == tps {
+                let _ = write!(out, "{}", s.values()[*i]);
+                *i += 1;
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a string to `path`, creating parent directories.
+pub fn write_text(path: impl AsRef<Path>, text: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "value" column starts at same offset in all rows.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(&lines[2][off..off + 1], "1");
+        assert_eq!(&lines[3][off..off + 1], "2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn series_csv_merges_time_axes() {
+        let mut a = TimeSeries::new("a");
+        a.push(SimTime::from_us(1), 1.0);
+        a.push(SimTime::from_us(3), 3.0);
+        let mut b = TimeSeries::new("b");
+        b.push(SimTime::from_us(2), 2.0);
+        let csv = series_to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_us,a,b");
+        assert_eq!(lines[1], "1.000,1,");
+        assert_eq!(lines[2], "2.000,,2");
+        assert_eq!(lines[3], "3.000,3,");
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("fncc_des_test_csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/t.csv");
+        let mut t = Table::new(["x"]);
+        t.row(["1"]);
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic random number streams.
+//!
+//! Every stochastic component (workload generator, ECN marking, ECMP seeds,
+//! …) owns its own [`DetRng`] derived from `(master_seed, stream_id)`, so
+//! adding a new consumer of randomness never perturbs the draws seen by
+//! existing ones — runs stay reproducible as the codebase grows.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 — the standard seed-expansion / integer-mixing function.
+///
+/// Used both to derive per-stream seeds and as a cheap stateless hash for
+/// ECMP five-tuple hashing.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic per-component RNG stream.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Derive stream `stream` from `master_seed`. Different `(seed, stream)`
+    /// pairs yield statistically independent sequences.
+    pub fn new(master_seed: u64, stream: u64) -> Self {
+        let s = splitmix64(master_seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)));
+        DetRng { inner: SmallRng::seed_from_u64(s) }
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Exponentially distributed sample with the given mean (inter-arrival
+    /// times of a Poisson process).
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse-CDF; (1 - u) keeps the argument of ln strictly positive.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Raw 64 random bits.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream_is_deterministic() {
+        let mut a = DetRng::new(42, 7);
+        let mut b = DetRng::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = DetRng::new(42, 0);
+        let mut b = DetRng::new(42, 1);
+        let same = (0..64).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(1, 0);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = DetRng::new(2, 0);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn exp_has_roughly_right_mean() {
+        let mut r = DetRng::new(3, 0);
+        let n = 200_000;
+        let mean = 5.0;
+        let sum: f64 = (0..n).map(|_| r.exp(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < 0.1,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn chance_frequency_matches_p() {
+        let mut r = DetRng::new(4, 0);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.25)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.25).abs() < 0.01, "frequency {freq}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(5, 0);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Known-answer test pins the hash across refactors (ECMP path choice
+        // and every seeded experiment depend on it).
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+}

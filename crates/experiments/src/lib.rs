@@ -1,0 +1,112 @@
+//! `fncc-experiments` — regeneration of every table and figure in the FNCC
+//! paper's evaluation (§2 and §5).
+//!
+//! Each `fig*` function runs the corresponding scenario(s) from
+//! [`fncc_core::scenarios`], prints the same rows/series the paper reports,
+//! and writes CSV files under the output directory. The `fncc-repro` binary
+//! dispatches to them; see `DESIGN.md` for the experiment index.
+
+pub mod ablation;
+pub mod figs;
+pub mod report;
+pub mod scorecard;
+pub mod workload_figs;
+
+use std::path::PathBuf;
+
+/// Global run options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    /// Output directory for CSV files.
+    pub out: PathBuf,
+    /// Scale factor: `quick` shrinks horizons/flow counts for smoke runs,
+    /// `full` restores paper scale.
+    pub scale: Scale,
+    /// Worker threads for multi-run experiments.
+    pub threads: usize,
+    /// Override the number of seeds for Figs. 14/15.
+    pub seeds: Option<u32>,
+    /// Override the flows-per-seed for Figs. 14/15.
+    pub flows: Option<u32>,
+}
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long smoke test.
+    Quick,
+    /// Minutes-long default (shape-faithful).
+    Default,
+    /// Paper-scale (5 seeds × 2000 flows on the fat-tree).
+    Full,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            out: PathBuf::from("results"),
+            scale: Scale::Default,
+            threads: fncc_core::sweep::default_threads(),
+            seeds: None,
+            flows: None,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Workload seeds for Figs. 14/15 under the current scale.
+    pub fn workload_seeds(&self) -> Vec<u64> {
+        let n = self.seeds.unwrap_or(match self.scale {
+            Scale::Quick => 1,
+            Scale::Default => 2,
+            Scale::Full => 5,
+        });
+        (1..=n as u64).collect()
+    }
+
+    /// Flows per seed for Figs. 14/15 under the current scale.
+    pub fn workload_flows(&self) -> u32 {
+        self.flows.unwrap_or(match self.scale {
+            Scale::Quick => 60,
+            Scale::Default => 400,
+            Scale::Full => 2000,
+        })
+    }
+
+    /// Microbenchmark horizon (µs).
+    pub fn micro_horizon_us(&self) -> u64 {
+        match self.scale {
+            Scale::Quick => 600,
+            _ => 1200,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_controls_workload_size() {
+        let quick = RunOpts { scale: Scale::Quick, ..Default::default() };
+        assert_eq!(quick.workload_seeds(), vec![1]);
+        assert_eq!(quick.workload_flows(), 60);
+        let full = RunOpts { scale: Scale::Full, ..Default::default() };
+        assert_eq!(full.workload_seeds().len(), 5);
+        assert_eq!(full.workload_flows(), 2000);
+    }
+
+    #[test]
+    fn overrides_beat_scale() {
+        let o = RunOpts { scale: Scale::Full, seeds: Some(3), flows: Some(123), ..Default::default() };
+        assert_eq!(o.workload_seeds(), vec![1, 2, 3]);
+        assert_eq!(o.workload_flows(), 123);
+    }
+
+    #[test]
+    fn horizons_by_scale() {
+        assert_eq!(RunOpts::default().micro_horizon_us(), 1200);
+        let quick = RunOpts { scale: Scale::Quick, ..Default::default() };
+        assert_eq!(quick.micro_horizon_us(), 600);
+    }
+}

@@ -1,0 +1,104 @@
+//! `fncc-repro` — regenerate the FNCC paper's tables and figures.
+//!
+//! ```text
+//! fncc-repro [EXPERIMENT…] [--out DIR] [--quick|--full] [--threads N]
+//!            [--seeds N] [--flows N]
+//!
+//! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
+//!              fig15 ablate storm extra-cc all   (default: all)
+//! ```
+
+use fncc_experiments::{ablation, figs, scorecard, workload_figs, RunOpts, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fncc-repro [EXPERIMENT...] [--out DIR] [--quick|--full] \
+         [--threads N] [--seeds N] [--flows N]\n\
+         experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
+         fig14 fig15 ablate storm load-sweep extra-cc check all"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut opts = RunOpts::default();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => opts.out = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--quick" => opts.scale = Scale::Quick,
+            "--full" => opts.scale = Scale::Full,
+            "--threads" => {
+                opts.threads =
+                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--seeds" => {
+                opts.seeds = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--flows" => {
+                opts.flows = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "-h" | "--help" => usage(),
+            exp if !exp.starts_with('-') => experiments.push(exp.to_string()),
+            _ => usage(),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+
+    let t0 = Instant::now();
+    for exp in &experiments {
+        run_one(exp, &opts);
+    }
+    println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn run_one(exp: &str, opts: &RunOpts) {
+    let t0 = Instant::now();
+    match exp {
+        "fig1a" => figs::fig1a(opts),
+        "fig1" => figs::fig1_queues(opts),
+        "fig2" => figs::fig2(opts),
+        "fig3" => figs::fig3(opts),
+        "paths" => figs::paths(opts),
+        "fig9" => figs::fig9(opts),
+        "fig12" => figs::fig12(opts),
+        "fig13" => figs::fig13(opts),
+        "fig13e" => figs::fig13e(opts),
+        "fig14" => workload_figs::fig14(opts),
+        "fig15" => workload_figs::fig15(opts),
+        "ablate" => {
+            ablation::lhcs_sweep(opts);
+            ablation::int_refresh_sweep(opts);
+            ablation::ack_coalescing_sweep(opts);
+            ablation::pause_storm(opts);
+        }
+        "storm" => ablation::pause_storm(opts),
+        "load-sweep" => workload_figs::load_sweep(opts),
+        "check" => {
+            let failed = scorecard::check(opts);
+            if failed > 0 {
+                std::process::exit(1);
+            }
+        }
+        "extra-cc" => ablation::extra_cc(opts),
+        "all" => {
+            for e in [
+                "fig1a", "fig1", "fig2", "fig3", "paths", "fig9", "fig12", "fig13", "fig13e",
+                "fig14", "fig15", "ablate", "storm", "load-sweep", "extra-cc", "check",
+            ] {
+                run_one(e, opts);
+            }
+            return;
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+    println!("[{exp}] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,46 @@
+//! Output helpers: print a table to stdout and persist CSVs.
+
+use fncc_des::output::{series_to_csv, write_text, Table};
+use fncc_des::stats::TimeSeries;
+use std::path::Path;
+
+/// Print a titled table and store it as CSV under `dir/name.csv`.
+pub fn emit_table(dir: &Path, name: &str, title: &str, table: &Table) {
+    println!("\n== {title} ==");
+    print!("{}", table.render());
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = table.write_csv(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Store a set of time series as one CSV under `dir/name.csv`.
+pub fn emit_series(dir: &Path, name: &str, series: &[&TimeSeries]) {
+    let csv = series_to_csv(series);
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = write_text(&path, &csv) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("[csv] {} ({} series)", path.display(), series.len());
+    }
+}
+
+/// Format an optional µs value.
+pub fn opt_us(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.1}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}

@@ -1,0 +1,210 @@
+//! The reproduction scorecard: every headline claim of the paper checked
+//! live, with a PASS/FAIL verdict — `fncc-repro check`.
+
+use crate::report::f2;
+use crate::RunOpts;
+use fncc_cc::CcKind;
+use fncc_core::prelude::*;
+use fncc_core::scenarios::MicrobenchSpec;
+use fncc_core::sweep::run_parallel;
+use fncc_des::output::Table;
+
+struct Check {
+    id: &'static str,
+    claim: &'static str,
+    measured: String,
+    pass: bool,
+}
+
+fn quick(cc: CcKind, gbps: u64) -> MicrobenchSpec {
+    MicrobenchSpec { cc, line_gbps: gbps, horizon_us: 800, ..Default::default() }
+}
+
+/// Run the full claim checklist. Returns the number of failed checks.
+pub fn check(opts: &RunOpts) -> usize {
+    let mut checks: Vec<Check> = Vec::new();
+
+    // Shared microbenchmark runs (parallel).
+    let specs = [quick(CcKind::Fncc, 100),
+        quick(CcKind::Hpcc, 100),
+        quick(CcKind::Dcqcn, 100),
+        quick(CcKind::Rocc, 100),
+        quick(CcKind::Fncc, 400),
+        quick(CcKind::Hpcc, 400),
+        quick(CcKind::Dcqcn, 400)];
+    let jobs: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            let s = s.clone();
+            move || elephant_dumbbell(&s)
+        })
+        .collect();
+    let r = run_parallel(jobs, opts.threads);
+    let (f100, h100, d100, r100, f400, h400, d400) =
+        (&r[0], &r[1], &r[2], &r[3], &r[4], &r[5], &r[6]);
+
+    let rt = |e: &ElephantResult| e.reaction_us.unwrap_or(f64::INFINITY);
+    checks.push(Check {
+        id: "C1 (Fig.9b)",
+        claim: "FNCC is the first to slow down, then HPCC, then DCQCN/RoCC",
+        measured: format!(
+            "FNCC {:.0}us < HPCC {:.0}us < DCQCN {:.0}us, RoCC {:.0}us",
+            rt(f100), rt(h100), rt(d100), rt(r100)
+        ),
+        pass: rt(f100) < rt(h100)
+            && rt(h100) < rt(d100)
+            && rt(h100) < rt(r100),
+    });
+
+    checks.push(Check {
+        id: "C2 (Fig.9a)",
+        claim: "FNCC keeps the shallowest congestion-point queue",
+        measured: format!(
+            "peaks KB: FNCC {} < HPCC {} < DCQCN {}",
+            f2(f100.peak_queue_kb), f2(h100.peak_queue_kb), f2(d100.peak_queue_kb)
+        ),
+        pass: f100.peak_queue_kb < h100.peak_queue_kb
+            && h100.peak_queue_kb < d100.peak_queue_kb,
+    });
+
+    checks.push(Check {
+        id: "C3 (Fig.9g-h)",
+        claim: "FNCC maintains utilization at least as high as HPCC",
+        measured: format!(
+            "FNCC {} vs HPCC {}",
+            f2(f100.mean_util_after_join), f2(h100.mean_util_after_join)
+        ),
+        pass: f100.mean_util_after_join >= h100.mean_util_after_join - 0.01,
+    });
+
+    checks.push(Check {
+        id: "C4 (§5.2)",
+        claim: "orderings robust at 400 Gb/s",
+        measured: format!(
+            "reaction {:.0}<{:.0}<{:.0}; queue {}<{}<{}",
+            rt(f400), rt(h400), rt(d400),
+            f2(f400.peak_queue_kb), f2(h400.peak_queue_kb), f2(d400.peak_queue_kb)
+        ),
+        pass: rt(f400) <= rt(h400)
+            && rt(h400) < rt(d400)
+            && f400.peak_queue_kb < h400.peak_queue_kb
+            && h400.peak_queue_kb < d400.peak_queue_kb,
+    });
+
+    checks.push(Check {
+        id: "C5 (Fig.3)",
+        claim: "pause frames ordered FNCC <= HPCC <= DCQCN, DCQCN > 0 at 400G",
+        measured: format!(
+            "FNCC {} HPCC {} DCQCN {}",
+            f400.pause_frames, h400.pause_frames, d400.pause_frames
+        ),
+        pass: f400.pause_frames <= h400.pause_frames
+            && h400.pause_frames <= d400.pause_frames
+            && d400.pause_frames > 0,
+    });
+
+    checks.push(Check {
+        id: "C6 (Fig.2/12)",
+        claim: "ACK-path INT fresher at every hop; gain shrinks with hop index",
+        measured: format!(
+            "ages us FNCC {:?} vs HPCC {:?}",
+            f100.mean_int_age_us.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>(),
+            h100.mean_int_age_us.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>()
+        ),
+        pass: f100.mean_int_age_us.len() == 3
+            && (0..3).all(|i| f100.mean_int_age_us[i] < h100.mean_int_age_us[i])
+            && (h100.mean_int_age_us[0] - f100.mean_int_age_us[0])
+                > (h100.mean_int_age_us[2] - f100.mean_int_age_us[2]),
+    });
+
+    // Hop-location study.
+    let spec_f = quick(CcKind::Fncc, 100);
+    let spec_h = quick(CcKind::Hpcc, 100);
+    let mut spec_no = quick(CcKind::Fncc, 100);
+    spec_no.disable_lhcs = true;
+    let hf = hop_congestion(HopLocation::First, &spec_f);
+    let hh = hop_congestion(HopLocation::First, &spec_h);
+    let lf = hop_congestion(HopLocation::Last, &spec_f);
+    let lh = hop_congestion(HopLocation::Last, &spec_h);
+    let ln = hop_congestion(HopLocation::Last, &spec_no);
+    let first_gain = 1.0 - hf.peak_queue_kb / hh.peak_queue_kb;
+    let last_gain_no = 1.0 - ln.peak_queue_kb / lh.peak_queue_kb;
+    checks.push(Check {
+        id: "C7 (Fig.13a-c)",
+        claim: "queue gain larger at first hop than at last hop (w/o LHCS)",
+        measured: format!("first {:.1}% vs last {:.1}%", 100.0 * first_gain, 100.0 * last_gain_no),
+        pass: first_gain > last_gain_no,
+    });
+    checks.push(Check {
+        id: "C8 (Fig.13c-d)",
+        claim: "LHCS fires only at the last hop and cuts the standing queue",
+        measured: format!(
+            "triggers last={} first={}; mean queue {} -> {} KB",
+            lf.lhcs_triggers, hf.lhcs_triggers, f2(ln.mean_queue_kb), f2(lf.mean_queue_kb)
+        ),
+        pass: lf.lhcs_triggers > 0
+            && hf.lhcs_triggers == 0
+            && lf.mean_queue_kb < ln.mean_queue_kb,
+    });
+
+    // Fairness.
+    let fair = fairness_staircase(CcKind::Fncc, 4, TimeDelta::from_ms(1), 1);
+    let min_jain = fair.jain_per_period.iter().copied().fold(1.0, f64::min);
+    checks.push(Check {
+        id: "C9 (Fig.13e)",
+        claim: "good fairness at short time scales (min Jain > 0.9)",
+        measured: format!("min Jain {min_jain:.3}, drained: {}", fair.all_finished),
+        pass: min_jain > 0.9 && fair.all_finished,
+    });
+
+    // Workload (pocket scale).
+    let mut overall = Vec::new();
+    for cc in [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc] {
+        let spec = WorkloadSpec {
+            cc,
+            workload: Workload::FbHadoop,
+            load: 0.5,
+            n_flows: 200,
+            seeds: vec![11],
+            k: 4,
+            line_gbps: 100,
+        };
+        let r = fattree_workload(&spec);
+        let (mut s, mut n) = (0.0, 0usize);
+        for b in &r.rows {
+            s += b.avg * b.count as f64;
+            n += b.count;
+        }
+        overall.push(s / n as f64);
+    }
+    checks.push(Check {
+        id: "C10 (Fig.15)",
+        claim: "workload FCT slowdown: FNCC < DCQCN and FNCC <~ HPCC",
+        measured: format!(
+            "avg slowdown DCQCN {} HPCC {} FNCC {}",
+            f2(overall[0]), f2(overall[1]), f2(overall[2])
+        ),
+        pass: overall[2] < overall[0] && overall[2] < overall[1] * 1.1,
+    });
+
+    let mut t = Table::new(["check", "claim", "measured", "verdict"]);
+    let mut failed = 0;
+    for c in &checks {
+        if !c.pass {
+            failed += 1;
+        }
+        t.row([
+            c.id.to_string(),
+            c.claim.to_string(),
+            c.measured.clone(),
+            if c.pass { "PASS".to_string() } else { "FAIL".to_string() },
+        ]);
+    }
+    crate::report::emit_table(&opts.out, "scorecard", "Reproduction scorecard", &t);
+    println!(
+        "\n{}/{} claims reproduced",
+        checks.len() - failed,
+        checks.len()
+    );
+    failed
+}

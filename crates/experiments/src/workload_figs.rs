@@ -1,0 +1,139 @@
+//! Figures 14 and 15 — large-scale fat-tree workload runs.
+
+use crate::report::{emit_table, f2};
+use crate::RunOpts;
+use fncc_cc::CcKind;
+use fncc_core::scenarios::{fattree_workload, Workload, WorkloadResult, WorkloadSpec};
+use fncc_core::sweep::run_parallel;
+use fncc_des::output::Table;
+
+fn spec(cc: CcKind, workload: Workload, opts: &RunOpts) -> WorkloadSpec {
+    let mut s = WorkloadSpec::new(cc, workload);
+    s.seeds = opts.workload_seeds();
+    s.n_flows = opts.workload_flows();
+    if opts.scale == crate::Scale::Quick {
+        s.k = 4;
+    }
+    s
+}
+
+fn run(workload: Workload, fig: &str, opts: &RunOpts) {
+    let ccs = [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc];
+    let jobs: Vec<_> = ccs
+        .iter()
+        .map(|&cc| {
+            let s = spec(cc, workload, opts);
+            move || fattree_workload(&s)
+        })
+        .collect();
+    let results: Vec<WorkloadResult> = run_parallel(jobs, opts.threads);
+
+    for (stat, pick) in [
+        ("average", 0usize),
+        ("median", 1),
+        ("95th", 2),
+        ("99th", 3),
+    ] {
+        let mut t = Table::new([
+            "flow_size",
+            "DCQCN",
+            "HPCC",
+            "FNCC",
+            "FNCC_vs_HPCC_%",
+            "FNCC_vs_DCQCN_%",
+        ]);
+        let buckets = workload.buckets();
+        for (b, &upper) in buckets.iter().enumerate() {
+            let val = |r: &WorkloadResult| -> f64 {
+                let row = &r.rows[b];
+                match pick {
+                    0 => row.avg,
+                    1 => row.p50,
+                    2 => row.p95,
+                    _ => row.p99,
+                }
+            };
+            let (d, h, f) = (val(&results[0]), val(&results[1]), val(&results[2]));
+            if results.iter().all(|r| r.rows[b].count == 0) {
+                continue;
+            }
+            let pct = |base: f64| {
+                if base > 0.0 {
+                    f2(100.0 * (1.0 - f / base))
+                } else {
+                    "-".to_string()
+                }
+            };
+            t.row([
+                fncc_workloads::distributions::bucket_label(upper),
+                f2(d),
+                f2(h),
+                f2(f),
+                pct(h),
+                pct(d),
+            ]);
+        }
+        emit_table(
+            &opts.out,
+            &format!("{fig}_{stat}"),
+            &format!("{fig} — {} FCT slowdown, {} (50% load)", stat, workload.name()),
+            &t,
+        );
+    }
+
+    let mut meta = Table::new(["cc", "flows_per_seed", "seeds", "unfinished", "events"]);
+    for r in &results {
+        meta.row([
+            r.cc.name().to_string(),
+            opts.workload_flows().to_string(),
+            r.unfinished.len().to_string(),
+            format!("{:?}", r.unfinished),
+            r.events.to_string(),
+        ]);
+    }
+    emit_table(&opts.out, &format!("{fig}_meta"), &format!("{fig} run metadata"), &meta);
+}
+
+/// Fig. 14: WebSearch at 50% load on the k=8 fat-tree.
+pub fn fig14(opts: &RunOpts) {
+    run(Workload::WebSearch, "fig14", opts);
+}
+
+/// Fig. 15: FB_Hadoop at 50% load on the k=8 fat-tree.
+pub fn fig15(opts: &RunOpts) {
+    run(Workload::FbHadoop, "fig15", opts);
+}
+
+/// Extension: overall FCT slowdown vs offered load (30/50/70%) — the
+/// classic CC sensitivity sweep the paper fixes at 50%.
+pub fn load_sweep(opts: &RunOpts) {
+    let ccs = [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc];
+    let mut t = Table::new(["load", "cc", "avg_slowdown", "p99_slowdown", "unfinished"]);
+    for &load in &[0.3f64, 0.5, 0.7] {
+        let jobs: Vec<_> = ccs
+            .iter()
+            .map(|&cc| {
+                let mut s = spec(cc, Workload::FbHadoop, opts);
+                s.load = load;
+                s.k = 4; // pocket fabric keeps the sweep cheap
+                move || fattree_workload(&s)
+            })
+            .collect();
+        for r in run_parallel(jobs, opts.threads) {
+            let (mut sum, mut n, mut p99max) = (0.0, 0usize, 0.0f64);
+            for b in &r.rows {
+                sum += b.avg * b.count as f64;
+                n += b.count;
+                p99max = p99max.max(b.p99);
+            }
+            t.row([
+                format!("{:.0}%", load * 100.0),
+                r.cc.name().to_string(),
+                f2(sum / n.max(1) as f64),
+                f2(p99max),
+                format!("{:?}", r.unfinished),
+            ]);
+        }
+    }
+    emit_table(&opts.out, "ablation_load_sweep", "Extension — FCT slowdown vs offered load", &t);
+}

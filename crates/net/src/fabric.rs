@@ -1,0 +1,676 @@
+//! The live network: switches + host NICs driven by the DES engine.
+//!
+//! Host *behaviour* (transport, congestion control) is supplied by the
+//! [`HostLogic`] trait, implemented in `fncc-transport`; this module owns the
+//! mechanics every host shares — NIC serialization, PFC pause reaction, link
+//! propagation — and all event plumbing.
+
+use crate::config::FabricConfig;
+use crate::ids::{FlowId, HostId, NodeRef, SwitchId};
+use crate::packet::{Packet, PacketKind};
+use crate::port::Port;
+use crate::switch::{Switch, SwitchOutput};
+use crate::telemetry::Telemetry;
+use crate::topology::Topology;
+use crate::units::Bandwidth;
+use fncc_des::engine::{Model, Scheduler};
+use fncc_des::time::{SimTime, TimeDelta};
+
+/// The fabric's event alphabet, generic over the host-timer payload.
+#[derive(Debug)]
+pub enum Ev<T> {
+    /// A frame fully arrived at `node` on `port` (after propagation).
+    Arrive {
+        /// Receiving node.
+        node: NodeRef,
+        /// Receiving port.
+        port: u8,
+        /// The frame.
+        pkt: Box<Packet>,
+    },
+    /// `node`'s `port` finished serializing its in-flight frame.
+    TxDone {
+        /// Transmitting node.
+        node: NodeRef,
+        /// Transmitting port.
+        port: u8,
+    },
+    /// A host-defined timer fired.
+    HostTimer {
+        /// Owning host.
+        host: HostId,
+        /// Transport-defined payload.
+        timer: T,
+    },
+    /// Periodic `All_INT_Table` refresh across all switches.
+    IntRefresh,
+    /// Periodic RoCC PI-controller step across all switches.
+    RoccTick,
+    /// Telemetry sampling tick.
+    Sample,
+    /// Fault injection: force-pause `cfg.faults[ix]`'s port.
+    FaultPause {
+        /// Index into `cfg.faults`.
+        ix: usize,
+    },
+    /// Fault injection: release `cfg.faults[ix]`'s port.
+    FaultRelease {
+        /// Index into `cfg.faults`.
+        ix: usize,
+    },
+}
+
+/// Host-side services exposed to [`HostLogic`] callbacks.
+pub struct HostCtx<'a, T> {
+    now: SimTime,
+    host: HostId,
+    /// Fabric configuration (MTU, header sizes, …).
+    pub cfg: &'a FabricConfig,
+    /// Telemetry sink (flow records, counters).
+    pub telemetry: &'a mut Telemetry,
+    port: &'a mut Port,
+    sched: &'a mut Scheduler<Ev<T>>,
+}
+
+impl<'a, T> HostCtx<'a, T> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This host's id.
+    #[inline]
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// NIC line rate.
+    #[inline]
+    pub fn nic_bw(&self) -> Bandwidth {
+        self.port.bw
+    }
+
+    /// Bytes currently queued (plus in flight) at the NIC.
+    #[inline]
+    pub fn nic_backlog(&self) -> u64 {
+        self.port.queue_bytes
+            + self.port.in_flight.as_ref().map(|p| p.size as u64).unwrap_or(0)
+    }
+
+    /// True while the first-hop switch has PFC-paused this NIC.
+    #[inline]
+    pub fn nic_paused(&self) -> bool {
+        self.port.paused
+    }
+
+    /// Hand a frame to the NIC for transmission.
+    pub fn send(&mut self, pkt: Box<Packet>) {
+        debug_assert!(!pkt.kind.is_control(), "hosts do not send PFC frames");
+        self.port.enqueue(pkt);
+        start_port_tx(NodeRef::Host(self.host), self.port, self.now, self.cfg, self.sched);
+    }
+
+    /// Fire `timer` after `d`.
+    pub fn schedule(&mut self, d: TimeDelta, timer: T) {
+        self.sched.after(d, Ev::HostTimer { host: self.host, timer });
+    }
+}
+
+/// Transport/host behaviour plugged into the fabric.
+pub trait HostLogic: Sized {
+    /// Timer payload type (flow pacing, CC timers, flow starts, …).
+    type Timer: core::fmt::Debug;
+
+    /// A data/ACK/CNP frame was delivered to this host.
+    fn on_packet(&mut self, ctx: &mut HostCtx<'_, Self::Timer>, pkt: Box<Packet>);
+
+    /// A previously scheduled timer fired.
+    fn on_timer(&mut self, ctx: &mut HostCtx<'_, Self::Timer>, timer: Self::Timer);
+
+    /// The congestion-control pacing rate of a locally originated flow, if
+    /// live (telemetry probe for "first to slow down" measurements).
+    fn cc_rate_bps(&self, _flow: FlowId) -> Option<f64> {
+        None
+    }
+}
+
+/// The complete simulated network.
+pub struct Fabric<H: HostLogic> {
+    /// Configuration shared by all nodes.
+    pub cfg: FabricConfig,
+    /// Switches by id.
+    pub switches: Vec<Switch>,
+    /// Host NIC egress ports by host id.
+    pub host_ports: Vec<Port>,
+    /// Host behaviours by host id.
+    pub hosts: Vec<H>,
+    /// Measurement sink.
+    pub telemetry: Telemetry,
+    /// Scratch buffer for switch outputs (reused across events).
+    scratch: Vec<SwitchOutput>,
+}
+
+impl<H: HostLogic> Fabric<H> {
+    /// Build a fabric over `topo` with one [`HostLogic`] per host.
+    pub fn new(topo: &Topology, cfg: FabricConfig, hosts: Vec<H>) -> Self {
+        assert_eq!(hosts.len(), topo.n_hosts as usize, "one HostLogic per host");
+        let switches = topo
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Switch::new(SwitchId(i as u32), spec, &cfg))
+            .collect();
+        let host_ports = topo.host_ports.iter().map(Port::from_spec).collect();
+        Fabric {
+            cfg,
+            switches,
+            host_ports,
+            hosts,
+            telemetry: Telemetry::new(),
+            scratch: Vec::with_capacity(8),
+        }
+    }
+
+    /// Initial periodic events the caller must schedule on the engine before
+    /// running (INT refresh, RoCC ticks, sampling).
+    pub fn startup_events(&self) -> Vec<(SimTime, Ev<H::Timer>)> {
+        let mut evs = Vec::new();
+        if self.cfg.int_refresh.is_some() {
+            evs.push((SimTime::ZERO, Ev::IntRefresh));
+        }
+        if self.cfg.rocc.is_some() {
+            evs.push((SimTime::ZERO, Ev::RoccTick));
+        }
+        if !self.telemetry.sample_interval.is_zero() {
+            evs.push((SimTime::ZERO, Ev::Sample));
+        }
+        for (ix, f) in self.cfg.faults.iter().enumerate() {
+            evs.push((f.at, Ev::FaultPause { ix }));
+        }
+        evs
+    }
+
+    fn fault_port(&mut self, ix: usize) -> &mut Port {
+        let f = self.cfg.faults[ix];
+        match f.node {
+            NodeRef::Switch(s) => &mut self.switches[s.ix()].ports[f.port as usize],
+            NodeRef::Host(h) => {
+                debug_assert_eq!(f.port, 0);
+                &mut self.host_ports[h.ix()]
+            }
+        }
+    }
+
+    /// Convenience: run `f` with a [`HostCtx`] for `host`.
+    fn with_host_ctx(
+        &mut self,
+        host: HostId,
+        now: SimTime,
+        sched: &mut Scheduler<Ev<H::Timer>>,
+        f: impl FnOnce(&mut H, &mut HostCtx<'_, H::Timer>),
+    ) {
+        let hix = host.ix();
+        let mut ctx = HostCtx {
+            now,
+            host,
+            cfg: &self.cfg,
+            telemetry: &mut self.telemetry,
+            port: &mut self.host_ports[hix],
+            sched,
+        };
+        f(&mut self.hosts[hix], &mut ctx);
+    }
+
+    fn host_arrive(
+        &mut self,
+        host: HostId,
+        pkt: Box<Packet>,
+        now: SimTime,
+        sched: &mut Scheduler<Ev<H::Timer>>,
+    ) {
+        match pkt.kind {
+            PacketKind::PfcPause => {
+                let p = &mut self.host_ports[host.ix()];
+                p.paused = true;
+                p.pause_rx += 1;
+                if p.paused_since.is_none() {
+                    p.paused_since = Some(now);
+                }
+            }
+            PacketKind::PfcResume => {
+                let p = &mut self.host_ports[host.ix()];
+                p.paused = false;
+                if let Some(t0) = p.paused_since.take() {
+                    self.telemetry.note_pause_episode(now.since(t0));
+                }
+                let p = &mut self.host_ports[host.ix()];
+                start_port_tx(NodeRef::Host(host), p, now, &self.cfg, sched);
+            }
+            kind => {
+                match kind {
+                    PacketKind::Data => self.telemetry.counters.data_delivered += 1,
+                    PacketKind::Ack => self.telemetry.counters.acks_delivered += 1,
+                    PacketKind::Cnp => self.telemetry.counters.cnps_delivered += 1,
+                    _ => unreachable!(),
+                }
+                self.with_host_ctx(host, now, sched, |h, ctx| h.on_packet(ctx, pkt));
+            }
+        }
+    }
+
+    fn flush_switch_outputs(
+        &mut self,
+        sw_ix: usize,
+        _now: SimTime,
+        sched: &mut Scheduler<Ev<H::Timer>>,
+        mut outputs: Vec<SwitchOutput>,
+    ) -> Vec<SwitchOutput> {
+        for out in outputs.drain(..) {
+            match out {
+                SwitchOutput::StartTx { port } => {
+                    let t = self.switches[sw_ix].tx_time_of_in_flight(port, &self.cfg);
+                    sched.after(t, Ev::TxDone { node: NodeRef::Switch(SwitchId(sw_ix as u32)), port });
+                }
+                SwitchOutput::Deliver { port, peer, peer_port, pkt } => {
+                    let prop = self.switches[sw_ix].ports[port as usize].prop;
+                    sched.after(prop, Ev::Arrive { node: peer, port: peer_port, pkt });
+                }
+            }
+        }
+        outputs
+    }
+
+    fn do_sample(&mut self, now: SimTime) {
+        let switches = &self.switches;
+        self.telemetry.sample(
+            now,
+            |s, p| switches[s.ix()].ports[p as usize].queue_bytes,
+            |s, p| switches[s.ix()].ports[p as usize].tx_bytes,
+        );
+        let hosts = &self.hosts;
+        self.telemetry.sample_cc_rates(now, |h, f| hosts[h.ix()].cc_rate_bps(f));
+    }
+
+    /// Total PFC pause frames sent by one switch port (Fig. 3's metric).
+    pub fn pause_frames_at(&self, sw: SwitchId, port: u8) -> u64 {
+        self.switches[sw.ix()].ports[port as usize].pause_tx
+    }
+}
+
+/// If `port` is idle and has an eligible frame, begin serializing it
+/// (host-NIC variant: no INT/stamping logic).
+fn start_port_tx<T>(
+    node: NodeRef,
+    port: &mut Port,
+    _now: SimTime,
+    cfg: &FabricConfig,
+    sched: &mut Scheduler<Ev<T>>,
+) {
+    if !port.idle() {
+        return;
+    }
+    let Some(pkt) = port.dequeue() else { return };
+    let t = port.bw.tx_time(pkt.size as u64 + cfg.wire_overhead as u64);
+    // The fabric only uses start_port_tx for hosts; find the port index: a
+    // host has exactly one port, index 0.
+    port.in_flight = Some(pkt);
+    sched.after(t, Ev::TxDone { node, port: 0 });
+}
+
+impl<H: HostLogic> Model for Fabric<H> {
+    type Event = Ev<H::Timer>;
+
+    fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>) {
+        match ev {
+            Ev::Arrive { node, port, pkt } => match node {
+                NodeRef::Switch(s) => {
+                    let mut outputs = std::mem::take(&mut self.scratch);
+                    {
+                        // Split borrows: switch, cfg and telemetry are
+                        // disjoint fields.
+                        let Fabric { switches, cfg, telemetry, .. } = self;
+                        switches[s.ix()].on_arrive(now, port, pkt, cfg, telemetry, &mut outputs);
+                    }
+                    self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
+                }
+                NodeRef::Host(h) => self.host_arrive(h, pkt, now, sched),
+            },
+            Ev::TxDone { node, port } => match node {
+                NodeRef::Switch(s) => {
+                    let mut outputs = std::mem::take(&mut self.scratch);
+                    {
+                        let Fabric { switches, cfg, telemetry, .. } = self;
+                        switches[s.ix()].on_tx_done(now, port, cfg, telemetry, &mut outputs);
+                    }
+                    self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
+                }
+                NodeRef::Host(h) => {
+                    let p = &mut self.host_ports[h.ix()];
+                    let pkt = p.in_flight.take().expect("host TxDone with no frame");
+                    p.tx_bytes += pkt.size as u64;
+                    let (peer, peer_port, prop) = (p.peer, p.peer_port, p.prop);
+                    sched.after(prop, Ev::Arrive { node: peer, port: peer_port, pkt });
+                    start_port_tx(NodeRef::Host(h), p, now, &self.cfg, sched);
+                }
+            },
+            Ev::HostTimer { host, timer } => {
+                self.with_host_ctx(host, now, sched, |h, ctx| h.on_timer(ctx, timer));
+            }
+            Ev::IntRefresh => {
+                for sw in &mut self.switches {
+                    sw.refresh_int_table(now);
+                }
+                if let Some(d) = self.cfg.int_refresh {
+                    sched.after(d, Ev::IntRefresh);
+                }
+            }
+            Ev::RoccTick => {
+                for sw in &mut self.switches {
+                    sw.rocc_step(&self.cfg);
+                }
+                if let Some(rc) = &self.cfg.rocc {
+                    sched.after(rc.period, Ev::RoccTick);
+                }
+            }
+            Ev::Sample => {
+                self.do_sample(now);
+                let every = self.telemetry.sample_interval;
+                if !every.is_zero() && now + every <= self.telemetry.sample_until {
+                    sched.after(every, Ev::Sample);
+                }
+            }
+            Ev::FaultPause { ix } => {
+                let duration = self.cfg.faults[ix].duration;
+                let p = self.fault_port(ix);
+                p.paused = true;
+                if p.paused_since.is_none() {
+                    p.paused_since = Some(now);
+                }
+                sched.after(duration, Ev::FaultRelease { ix });
+            }
+            Ev::FaultRelease { ix } => {
+                let node = self.cfg.faults[ix].node;
+                let port_ix = self.cfg.faults[ix].port;
+                let p = self.fault_port(ix);
+                p.paused = false;
+                let episode = p.paused_since.take();
+                if let Some(t0) = episode {
+                    self.telemetry.note_pause_episode(now.since(t0));
+                }
+                match node {
+                    NodeRef::Switch(s) => {
+                        let mut outputs = std::mem::take(&mut self.scratch);
+                        {
+                            let Fabric { switches, cfg, .. } = self;
+                            switches[s.ix()].maybe_start_tx(port_ix, now, cfg, &mut outputs);
+                        }
+                        self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
+                    }
+                    NodeRef::Host(h) => {
+                        let p = &mut self.host_ports[h.ix()];
+                        start_port_tx(NodeRef::Host(h), p, now, &self.cfg, sched);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::units::Bandwidth;
+    use fncc_des::engine::Engine;
+
+    /// Minimal transport for fabric tests: on `Start`, send `n` data frames
+    /// back-to-back; the receiver ACKs every data frame; the sender counts
+    /// ACKs.
+    struct MiniHost {
+        send_to: Option<HostId>,
+        n_packets: u32,
+        acks_received: u32,
+        data_received: u32,
+        last_ack_at: SimTime,
+        int_seen: Vec<u64>, // qlen values observed in ACK INT
+    }
+
+    impl MiniHost {
+        fn idle() -> Self {
+            MiniHost {
+                send_to: None,
+                n_packets: 0,
+                acks_received: 0,
+                data_received: 0,
+                last_ack_at: SimTime::ZERO,
+                int_seen: Vec::new(),
+            }
+        }
+        fn sender(dst: HostId, n: u32) -> Self {
+            MiniHost { send_to: Some(dst), n_packets: n, ..Self::idle() }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum MiniTimer {
+        Start,
+    }
+
+    impl HostLogic for MiniHost {
+        type Timer = MiniTimer;
+
+        fn on_packet(&mut self, ctx: &mut HostCtx<'_, MiniTimer>, pkt: Box<Packet>) {
+            match pkt.kind {
+                PacketKind::Data => {
+                    self.data_received += 1;
+                    let ack = Packet::ack(
+                        pkt.flow,
+                        ctx.host(),
+                        pkt.src,
+                        pkt.seq + pkt.payload as u64,
+                        ctx.cfg.ack_base,
+                        ctx.now(),
+                    );
+                    ctx.send(ack);
+                }
+                PacketKind::Ack => {
+                    self.acks_received += 1;
+                    self.last_ack_at = ctx.now();
+                    for r in pkt.int.as_slice() {
+                        self.int_seen.push(r.qlen);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut HostCtx<'_, MiniTimer>, _t: MiniTimer) {
+            let dst = self.send_to.expect("start on non-sender");
+            let payload = ctx.cfg.mtu_payload();
+            for i in 0..self.n_packets {
+                let pkt = Packet::data(
+                    FlowId(0),
+                    ctx.host(),
+                    dst,
+                    i as u64 * payload as u64,
+                    payload,
+                    ctx.cfg.mtu,
+                    ctx.now(),
+                );
+                ctx.send(pkt);
+            }
+        }
+    }
+
+    fn dumbbell_fabric(cfg: FabricConfig, n: u32) -> Engine<Fabric<MiniHost>> {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let hosts = vec![
+            MiniHost::sender(HostId(2), n),
+            MiniHost::idle(),
+            MiniHost::idle(),
+        ];
+        let fabric = Fabric::new(&topo, cfg, hosts);
+        let mut eng = Engine::new(fabric);
+        for (t, ev) in eng.model.startup_events() {
+            eng.schedule(t, ev);
+        }
+        eng.schedule(SimTime::ZERO, Ev::HostTimer { host: HostId(0), timer: MiniTimer::Start });
+        eng
+    }
+
+    /// Two senders blasting `n` frames each at the shared receiver: the sw0
+    /// uplink is 2:1 oversubscribed, so queues (and PFC) engage.
+    fn contended_dumbbell(cfg: FabricConfig, n: u32) -> Engine<Fabric<MiniHost>> {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let hosts = vec![
+            MiniHost::sender(HostId(2), n),
+            MiniHost::sender(HostId(2), n),
+            MiniHost::idle(),
+        ];
+        let fabric = Fabric::new(&topo, cfg, hosts);
+        let mut eng = Engine::new(fabric);
+        for (t, ev) in eng.model.startup_events() {
+            eng.schedule(t, ev);
+        }
+        eng.schedule(SimTime::ZERO, Ev::HostTimer { host: HostId(0), timer: MiniTimer::Start });
+        eng.schedule(SimTime::ZERO, Ev::HostTimer { host: HostId(1), timer: MiniTimer::Start });
+        eng
+    }
+
+    #[test]
+    fn data_flows_end_to_end_and_acks_return() {
+        let mut eng = dumbbell_fabric(FabricConfig::paper_default(), 10);
+        eng.run_until_idle();
+        assert_eq!(eng.model.hosts[2].data_received, 10);
+        assert_eq!(eng.model.hosts[0].acks_received, 10);
+        assert_eq!(eng.model.telemetry.counters.data_delivered, 10);
+        assert_eq!(eng.model.telemetry.counters.acks_delivered, 10);
+        assert_eq!(eng.model.telemetry.counters.drops, 0);
+    }
+
+    #[test]
+    fn first_delivery_takes_store_and_forward_latency() {
+        let mut eng = dumbbell_fabric(FabricConfig::paper_default(), 1);
+        eng.run_until_idle();
+        // One-way data: 4 links * (1518B@100G + 1.5us) ≈ 4*(0.121+1.5) us;
+        // ACK back: 4 * (70B@100G + 1.5us). Total ≈ 12.5 us.
+        let t = eng.model.hosts[0].last_ack_at.as_us_f64();
+        assert!((12.0..13.0).contains(&t), "RTT {t}us out of range");
+    }
+
+    #[test]
+    fn hpcc_int_collected_on_data_path() {
+        let mut cfg = FabricConfig::paper_default();
+        cfg.int = crate::config::IntInsertion::OnData;
+        let mut eng = dumbbell_fabric(cfg, 40);
+        eng.run_until_idle();
+        // Receiver copies nothing in MiniHost; but data frames carried INT —
+        // check a delivered ACK has no INT (OnData mode) while data had 3.
+        // MiniHost stores INT seen in *ACKs*: should be empty.
+        assert!(eng.model.hosts[0].int_seen.is_empty());
+        // All 40 packets and ACKs delivered despite INT growth.
+        assert_eq!(eng.model.hosts[0].acks_received, 40);
+    }
+
+    #[test]
+    fn fncc_int_collected_on_ack_path_sees_queue() {
+        let mut cfg = FabricConfig::paper_default();
+        cfg.int = crate::config::IntInsertion::OnAck;
+        let mut eng = contended_dumbbell(cfg, 60);
+        eng.run_until_idle();
+        let ints = &eng.model.hosts[0].int_seen;
+        // Each ACK crosses 3 switches → 3 INT records each.
+        assert_eq!(ints.len() as u32, 60 * 3);
+        // Two senders blast at a 2:1 bottleneck: ACK-path INT must observe a
+        // nonzero request-path queue at sw0.
+        assert!(ints.iter().any(|&q| q > 0), "no queue ever observed via ACK INT");
+        assert!(ints.iter().all(|&q| q < 32 * 1024 * 1024));
+    }
+
+    #[test]
+    fn pfc_pauses_host_and_run_is_lossless() {
+        let mut cfg = FabricConfig::paper_default();
+        cfg.pfc.threshold = 10_000; // tiny: force pauses
+        let mut eng = contended_dumbbell(cfg, 400);
+        eng.run_until_idle();
+        let m = &eng.model;
+        assert_eq!(m.hosts[2].data_received, 800, "lossless under PFC");
+        assert!(m.telemetry.counters.pfc_pause_tx > 0, "pauses must trigger");
+        assert_eq!(
+            m.telemetry.counters.pfc_pause_tx,
+            m.telemetry.counters.pfc_resume_tx,
+            "every pause eventually resumes"
+        );
+        assert_eq!(m.telemetry.counters.drops, 0);
+        // Host NICs observed at least one pause.
+        assert!(m.host_ports[0].pause_rx + m.host_ports[1].pause_rx > 0);
+    }
+
+    #[test]
+    fn no_pfc_small_buffer_drops() {
+        let mut cfg = FabricConfig::paper_default();
+        cfg.pfc = crate::config::PfcConfig::disabled();
+        cfg.buffer_bytes = 20_000;
+        let mut eng = contended_dumbbell(cfg, 400);
+        eng.run_until_idle();
+        assert!(eng.model.telemetry.counters.drops > 0);
+        assert!(eng.model.hosts[2].data_received < 800);
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let mut eng = dumbbell_fabric(FabricConfig::paper_default(), 200);
+        eng.model.telemetry.enable_sampling(TimeDelta::from_us(1), SimTime::from_us(50));
+        eng.model.telemetry.watch_queue(SwitchId(0), 2, "sw0-uplink");
+        eng.model.telemetry.watch_utilization(SwitchId(0), 2, Bandwidth::gbps(100), "util");
+        eng.schedule(SimTime::ZERO, Ev::Sample);
+        eng.run_until_idle();
+        let q = eng.model.telemetry.queue_series(SwitchId(0), 2).unwrap();
+        assert!(q.len() >= 50, "expected ≥50 samples, got {}", q.len());
+        let u = eng.model.telemetry.util_series(SwitchId(0), 2).unwrap();
+        // While 200 MTU frames stream through, utilization must hit ~1.
+        assert!(u.max() > 0.9, "peak utilization {}", u.max());
+    }
+
+    #[test]
+    fn injected_stuck_pause_stalls_and_recovers() {
+        use crate::config::FaultSpec;
+        let mut cfg = FabricConfig::paper_default();
+        // Stick sw1's egress toward sw2 (port 1) for 50 us starting at 5 us.
+        cfg.faults.push(FaultSpec {
+            node: NodeRef::Switch(SwitchId(1)),
+            port: 1,
+            at: SimTime::from_us(5),
+            duration: TimeDelta::from_us(50),
+        });
+        let mut eng = dumbbell_fabric(cfg, 200);
+        eng.run_until_idle();
+        let m = &eng.model;
+        // Everything still delivered after the fault clears.
+        assert_eq!(m.hosts[2].data_received, 200);
+        assert_eq!(m.telemetry.counters.drops, 0);
+        // The watchdog saw the (injected) long pause episode.
+        assert_eq!(m.telemetry.pause_episodes(), 1 + m.telemetry.counters.pfc_resume_tx);
+        assert!(
+            m.telemetry.pause_time_max() >= TimeDelta::from_us(50),
+            "max pause {} must cover the injected fault",
+            m.telemetry.pause_time_max()
+        );
+        // The stall backed traffic up at sw1 while the fault was active;
+        // with the tiny default backlog it must have PFC-paused upstream
+        // (pause storm propagation) OR absorbed it in the shared buffer —
+        // either way the fault window shows in total pause time.
+        assert!(m.telemetry.pause_time_total() >= TimeDelta::from_us(50));
+    }
+
+    #[test]
+    fn deterministic_event_counts_across_runs() {
+        let run = || {
+            let mut eng = dumbbell_fabric(FabricConfig::paper_default(), 100);
+            eng.run_until_idle();
+            (eng.events_processed(), eng.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

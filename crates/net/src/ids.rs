@@ -1,0 +1,93 @@
+//! Typed identifiers for hosts, switches, flows and node references.
+
+use core::fmt;
+
+/// Identifier of a host (end-station with a single NIC port).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// Identifier of a switch.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub u32);
+
+/// Identifier of a flow (one RDMA QP / RC connection).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u32);
+
+/// A reference to either kind of node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// End host.
+    Host(HostId),
+    /// Switch.
+    Switch(SwitchId),
+}
+
+impl HostId {
+    /// Index into host-indexed vectors.
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SwitchId {
+    /// Index into switch-indexed vectors.
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FlowId {
+    /// Index into flow-indexed vectors.
+    #[inline]
+    pub fn ix(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+impl fmt::Debug for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sw{}", self.0)
+    }
+}
+impl fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+impl fmt::Debug for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Host(h) => write!(f, "{h:?}"),
+            NodeRef::Switch(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", HostId(3)), "h3");
+        assert_eq!(format!("{:?}", SwitchId(1)), "sw1");
+        assert_eq!(format!("{:?}", FlowId(9)), "f9");
+        assert_eq!(format!("{:?}", NodeRef::Host(HostId(2))), "h2");
+        assert_eq!(format!("{:?}", NodeRef::Switch(SwitchId(0))), "sw0");
+    }
+
+    #[test]
+    fn indices() {
+        assert_eq!(HostId(7).ix(), 7);
+        assert_eq!(SwitchId(7).ix(), 7);
+        assert_eq!(FlowId(7).ix(), 7);
+    }
+}

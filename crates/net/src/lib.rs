@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! `fncc-net` — the packet-level data-center network substrate.
+//!
+//! The FNCC paper evaluates congestion control on an OMNeT++/INET model of a
+//! RoCEv2 data center. This crate is that substrate rebuilt from scratch:
+//!
+//! * [`packet`] — data/ACK/CNP/PFC frames with the INT stack of Fig. 7;
+//! * [`port`] — store-and-forward ports with serialization, egress queues and
+//!   PFC pause state;
+//! * [`switch`] — output-queued shared-buffer switches implementing
+//!   Algorithm 1 (`All_INT_Table`, INT-into-ACK), HPCC-style INT-into-data,
+//!   RED/ECN marking for DCQCN, per-ingress PFC accounting (XOFF/XON), and
+//!   the RoCC PI fair-rate controller;
+//! * [`routing`] — per-destination tables with symmetric ECMP (Fig. 5) and
+//!   spanning-tree unique paths (Fig. 6);
+//! * [`topology`] — builders for the paper's topologies: dumbbell (Fig. 10),
+//!   hop-location lines (Fig. 11), and the k=8 three-level fat-tree of §5.5;
+//! * [`fabric`] — the event-driven network model gluing switches and hosts
+//!   (host behaviour is supplied by `fncc-transport` through [`fabric::HostLogic`]).
+
+pub mod config;
+pub mod fabric;
+pub mod ids;
+pub mod packet;
+pub mod port;
+pub mod routing;
+pub mod switch;
+pub mod telemetry;
+pub mod topology;
+pub mod units;
+pub mod wire;
+
+pub use config::{EcnConfig, FabricConfig, FaultSpec, IntInsertion, PfcConfig, RoccSwitchConfig};
+pub use fabric::{Ev, Fabric, HostCtx, HostLogic};
+pub use ids::{FlowId, HostId, NodeRef, SwitchId};
+pub use packet::{IntRecord, IntStack, Packet, PacketKind, MAX_HOPS};
+pub use telemetry::{FlowRecord, Telemetry};
+pub use topology::{Topology, TopologyKind};
+pub use units::{Bandwidth, ByteSize};

@@ -1,0 +1,183 @@
+//! A full-duplex network port: the egress half of one link direction.
+//!
+//! Each port owns an egress FIFO for data-class frames plus a strict-priority
+//! control FIFO for PFC frames (pause frames must cut through even when the
+//! data class is paused). Ingress needs no state — arriving frames are
+//! delivered as events.
+
+use crate::ids::NodeRef;
+use crate::packet::Packet;
+use crate::topology::PortSpec;
+use crate::units::Bandwidth;
+use fncc_des::time::TimeDelta;
+use std::collections::VecDeque;
+
+/// Egress state of one port.
+#[derive(Debug)]
+pub struct Port {
+    /// Far end of the link.
+    pub peer: NodeRef,
+    /// Port index at the far end.
+    pub peer_port: u8,
+    /// Link rate.
+    pub bw: Bandwidth,
+    /// One-way propagation delay.
+    pub prop: TimeDelta,
+    /// Data-class egress FIFO.
+    queue: VecDeque<Box<Packet>>,
+    /// Control-class egress FIFO (PFC frames): strict priority, never paused.
+    ctrl: VecDeque<Box<Packet>>,
+    /// Bytes queued in the data-class FIFO (the `qLen` of INT records).
+    pub queue_bytes: u64,
+    /// Frame currently being serialized, if any.
+    pub in_flight: Option<Box<Packet>>,
+    /// True while the peer has PFC-paused our data class.
+    pub paused: bool,
+    /// When the current pause began (watchdog/storm accounting).
+    pub paused_since: Option<fncc_des::SimTime>,
+    /// Cumulative data-class bytes fully transmitted (the `txBytes` of INT).
+    pub tx_bytes: u64,
+    /// PFC XOFF frames sent from this port ("pause times" of Fig. 3).
+    pub pause_tx: u64,
+    /// PFC XON frames sent from this port.
+    pub resume_tx: u64,
+    /// PFC XOFF frames received on this port.
+    pub pause_rx: u64,
+}
+
+impl Port {
+    /// Build a port from its topology description.
+    pub fn from_spec(spec: &PortSpec) -> Port {
+        Port {
+            peer: spec.peer,
+            peer_port: spec.peer_port,
+            bw: spec.bw,
+            prop: spec.prop,
+            queue: VecDeque::new(),
+            ctrl: VecDeque::new(),
+            queue_bytes: 0,
+            in_flight: None,
+            paused: false,
+            paused_since: None,
+            tx_bytes: 0,
+            pause_tx: 0,
+            resume_tx: 0,
+            pause_rx: 0,
+        }
+    }
+
+    /// Queue a data-class frame (data, ACK or CNP).
+    #[inline]
+    pub fn enqueue(&mut self, pkt: Box<Packet>) {
+        debug_assert!(!pkt.kind.is_control());
+        self.queue_bytes += pkt.size as u64;
+        self.queue.push_back(pkt);
+    }
+
+    /// Queue a control frame (strict priority).
+    #[inline]
+    pub fn enqueue_ctrl(&mut self, pkt: Box<Packet>) {
+        debug_assert!(pkt.kind.is_control());
+        self.ctrl.push_back(pkt);
+    }
+
+    /// Frames waiting in the data FIFO.
+    #[inline]
+    pub fn queued_frames(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is being serialized.
+    #[inline]
+    pub fn idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Take the next frame to serialize, honouring control priority and the
+    /// PFC pause state (pause gates the data class only). Updates
+    /// `queue_bytes`.
+    #[inline]
+    pub fn dequeue(&mut self) -> Option<Box<Packet>> {
+        if let Some(c) = self.ctrl.pop_front() {
+            return Some(c);
+        }
+        if self.paused {
+            return None;
+        }
+        let pkt = self.queue.pop_front()?;
+        self.queue_bytes -= pkt.size as u64;
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, HostId};
+    use crate::packet::PacketKind;
+    use fncc_des::time::SimTime;
+
+    fn spec() -> PortSpec {
+        PortSpec {
+            peer: NodeRef::Host(HostId(0)),
+            peer_port: 0,
+            bw: Bandwidth::gbps(100),
+            prop: TimeDelta::from_us(1),
+        }
+    }
+
+    fn data(size: u32) -> Box<Packet> {
+        Packet::data(FlowId(0), HostId(0), HostId(1), 0, size - 62, size, SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut p = Port::from_spec(&spec());
+        p.enqueue(data(100));
+        p.enqueue(data(200));
+        assert_eq!(p.queue_bytes, 300);
+        assert_eq!(p.queued_frames(), 2);
+        let a = p.dequeue().unwrap();
+        assert_eq!(a.size, 100);
+        assert_eq!(p.queue_bytes, 200);
+        let b = p.dequeue().unwrap();
+        assert_eq!(b.size, 200);
+        assert_eq!(p.queue_bytes, 0);
+        assert!(p.dequeue().is_none());
+    }
+
+    #[test]
+    fn control_frames_have_strict_priority() {
+        let mut p = Port::from_spec(&spec());
+        p.enqueue(data(100));
+        p.enqueue_ctrl(Packet::pfc(PacketKind::PfcPause, 64, SimTime::ZERO));
+        let first = p.dequeue().unwrap();
+        assert_eq!(first.kind, PacketKind::PfcPause);
+        let second = p.dequeue().unwrap();
+        assert_eq!(second.kind, PacketKind::Data);
+    }
+
+    #[test]
+    fn pause_gates_data_but_not_control() {
+        let mut p = Port::from_spec(&spec());
+        p.enqueue(data(100));
+        p.enqueue_ctrl(Packet::pfc(PacketKind::PfcResume, 64, SimTime::ZERO));
+        p.paused = true;
+        // Control still flows.
+        assert_eq!(p.dequeue().unwrap().kind, PacketKind::PfcResume);
+        // Data is gated…
+        assert!(p.dequeue().is_none());
+        assert_eq!(p.queue_bytes, 100);
+        // …until resumed.
+        p.paused = false;
+        assert_eq!(p.dequeue().unwrap().kind, PacketKind::Data);
+    }
+
+    #[test]
+    fn idle_tracks_in_flight() {
+        let mut p = Port::from_spec(&spec());
+        assert!(p.idle());
+        p.in_flight = Some(data(64));
+        assert!(!p.idle());
+    }
+}

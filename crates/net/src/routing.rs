@@ -1,0 +1,169 @@
+//! Routing: per-destination tables with symmetric ECMP (Fig. 5) and
+//! spanning-tree unique paths (Fig. 6).
+//!
+//! **Symmetry** (Observation 2 of the paper): an ACK must traverse exactly
+//! the reverse of its data packet's path so that FNCC's return-path INT
+//! describes the request path. Two mechanisms guarantee this:
+//!
+//! 1. The ECMP hash is computed over the *direction-normalised* five-tuple
+//!    (`min(src,dst), max(src,dst), flow`), so a flow's data and ACK frames
+//!    hash identically.
+//! 2. Next-hop lists are built in a canonical order and indexed by a fixed
+//!    *digit* of the hash per topology level (`level`), mirroring the
+//!    "symmetric routing table" of Fig. 5. With the canonical fat-tree
+//!    wiring in [`crate::topology`], the up-path choices made by the data
+//!    packet are exactly reproduced (in reverse) by the ACK.
+
+use crate::ids::{FlowId, HostId};
+use fncc_des::rng::splitmix64;
+
+/// Bits of the path hash consumed per ECMP level.
+const LEVEL_DIGIT_BITS: u32 = 8;
+
+/// Direction-normalised flow hash: identical for a data packet
+/// (`src → dst`) and its ACK (`dst → src`).
+#[inline]
+pub fn flow_hash(a: HostId, b: HostId, flow: FlowId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    splitmix64(((lo as u64) << 40) ^ ((hi as u64) << 16) ^ (flow.0 as u64) ^ 0x5bd1_e995)
+}
+
+/// How a switch forwards towards one destination host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteEntry {
+    /// Destination unreachable (configuration error if ever hit).
+    Unreachable,
+    /// Single next hop.
+    Single(u8),
+    /// Equal-cost set; `level` selects which hash digit picks the member.
+    Ecmp {
+        /// Candidate egress ports in canonical (symmetric) order.
+        ports: Vec<u8>,
+        /// Topology level of this choice point (0 = first up-hop, …).
+        level: u8,
+    },
+}
+
+/// Routing state of one switch.
+#[derive(Clone, Debug)]
+pub enum RoutingTable {
+    /// Classic per-destination table (dumbbell, line, fat-tree).
+    PerDst(Vec<RouteEntry>),
+    /// Spanning-tree routing: `trees[t][dst]` = egress port within tree `t`;
+    /// the flow hash picks the tree (Fig. 6 / TCP-Bolt style).
+    Trees(Vec<Vec<u8>>),
+}
+
+impl RoutingTable {
+    /// Select the egress port towards `dst` for a frame with path hash `h`.
+    ///
+    /// Panics on unreachable destinations — that is a topology-construction
+    /// bug, not a runtime condition.
+    #[inline]
+    pub fn egress(&self, dst: HostId, h: u64) -> u8 {
+        match self {
+            RoutingTable::PerDst(entries) => match &entries[dst.ix()] {
+                RouteEntry::Unreachable => panic!("no route to {dst:?}"),
+                RouteEntry::Single(p) => *p,
+                RouteEntry::Ecmp { ports, level } => {
+                    let digit = (h >> (LEVEL_DIGIT_BITS * *level as u32))
+                        & ((1 << LEVEL_DIGIT_BITS) - 1);
+                    ports[(digit as usize) % ports.len()]
+                }
+            },
+            RoutingTable::Trees(trees) => {
+                let t = (h as usize) % trees.len();
+                trees[t][dst.ix()]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_hash_is_direction_symmetric() {
+        for s in 0..20u32 {
+            for d in 0..20u32 {
+                for f in 0..5u32 {
+                    assert_eq!(
+                        flow_hash(HostId(s), HostId(d), FlowId(f)),
+                        flow_hash(HostId(d), HostId(s), FlowId(f)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_hash_differs_across_flows() {
+        let h0 = flow_hash(HostId(0), HostId(1), FlowId(0));
+        let h1 = flow_hash(HostId(0), HostId(1), FlowId(1));
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn flow_hash_differs_across_pairs() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..10u32 {
+            for d in (s + 1)..10u32 {
+                seen.insert(flow_hash(HostId(s), HostId(d), FlowId(0)));
+            }
+        }
+        assert_eq!(seen.len(), 45, "hash collisions across 45 distinct pairs");
+    }
+
+    #[test]
+    fn single_route_ignores_hash() {
+        let rt = RoutingTable::PerDst(vec![RouteEntry::Single(3)]);
+        assert_eq!(rt.egress(HostId(0), 0), 3);
+        assert_eq!(rt.egress(HostId(0), u64::MAX), 3);
+    }
+
+    #[test]
+    fn ecmp_uses_level_digit() {
+        let rt = RoutingTable::PerDst(vec![RouteEntry::Ecmp {
+            ports: vec![10, 11, 12, 13],
+            level: 1,
+        }]);
+        // Digit 1 = bits 8..16 of the hash.
+        let h = 0x0000_0200u64; // digit0 = 0, digit1 = 2
+        assert_eq!(rt.egress(HostId(0), h), 12);
+        let h = 0x0000_0501u64; // digit1 = 5 → 5 % 4 = 1
+        assert_eq!(rt.egress(HostId(0), h), 11);
+    }
+
+    #[test]
+    fn ecmp_spreads_over_all_members() {
+        let rt = RoutingTable::PerDst(vec![RouteEntry::Ecmp {
+            ports: vec![0, 1, 2, 3],
+            level: 0,
+        }]);
+        let mut hit = [false; 4];
+        for f in 0..200u32 {
+            let h = flow_hash(HostId(0), HostId(1), FlowId(f));
+            hit[rt.egress(HostId(0), h) as usize] = true;
+        }
+        assert!(hit.iter().all(|&b| b), "ECMP never chose some member: {hit:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unreachable_panics() {
+        let rt = RoutingTable::PerDst(vec![RouteEntry::Unreachable]);
+        rt.egress(HostId(0), 0);
+    }
+
+    #[test]
+    fn tree_routing_selects_by_hash() {
+        let rt = RoutingTable::Trees(vec![vec![1], vec![2], vec![3]]);
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..100u32 {
+            let h = flow_hash(HostId(0), HostId(0), FlowId(f));
+            seen.insert(rt.egress(HostId(0), h));
+        }
+        assert_eq!(seen, [1u8, 2, 3].into_iter().collect());
+    }
+}

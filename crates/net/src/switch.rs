@@ -1,0 +1,624 @@
+//! The switch data plane (Fig. 8): parser, ingress accounting + PFC,
+//! routing, RED/ECN, `All_INT_Table` management and INT insertion
+//! (Algorithm 1), and the RoCC PI fair-rate controller.
+
+use crate::config::{FabricConfig, IntInsertion};
+use crate::ids::{HostId, NodeRef, SwitchId};
+use crate::packet::{IntRecord, Packet, PacketKind};
+use crate::port::Port;
+use crate::routing::{flow_hash, RoutingTable};
+use crate::telemetry::Telemetry;
+use crate::topology::SwitchSpec;
+use crate::units::PFC_FRAME_BYTES;
+use fncc_des::rng::DetRng;
+use fncc_des::time::SimTime;
+
+/// Actions a switch asks the fabric to perform after handling an event
+/// (the fabric owns event scheduling; the switch stays scheduler-agnostic
+/// and therefore easy to unit-test).
+#[derive(Debug)]
+pub enum SwitchOutput {
+    /// Start serializing on `port`; `TxDone` is due after the frame's
+    /// serialization time (the frame is in `ports[port].in_flight`).
+    StartTx {
+        /// Egress port index.
+        port: u8,
+    },
+    /// Deliver `pkt` to `peer` after `ports[port]`'s propagation delay.
+    Deliver {
+        /// Egress port the frame left through.
+        port: u8,
+        /// Receiving node.
+        peer: NodeRef,
+        /// Receiving port index.
+        peer_port: u8,
+        /// The frame.
+        pkt: Box<Packet>,
+    },
+}
+
+/// A live switch.
+pub struct Switch {
+    /// This switch's id.
+    pub id: SwitchId,
+    /// Egress ports.
+    pub ports: Vec<Port>,
+    /// Forwarding table.
+    pub route: RoutingTable,
+    /// PFC accounting: buffered bytes per ingress port.
+    pub ingress_bytes: Vec<u64>,
+    /// True while we hold the upstream on that ingress port paused.
+    pub upstream_paused: Vec<bool>,
+    /// Total buffered bytes (shared-buffer occupancy).
+    pub buffered: u64,
+    /// `All_INT_Table` (Fig. 8): last periodic snapshot per port. Unused in
+    /// live mode.
+    pub int_table: Vec<IntRecord>,
+    /// RoCC advertised fair rate per port (bits/s).
+    pub rocc_rate: Vec<f64>,
+    /// RoCC controller: previous queue sample per port.
+    rocc_prev_q: Vec<f64>,
+    /// ECN marking randomness.
+    ecn_rng: DetRng,
+}
+
+impl Switch {
+    /// Instantiate from a topology description.
+    pub fn new(id: SwitchId, spec: &SwitchSpec, cfg: &FabricConfig) -> Switch {
+        let n = spec.ports.len();
+        let ports: Vec<Port> = spec.ports.iter().map(Port::from_spec).collect();
+        let int_table = ports
+            .iter()
+            .map(|p| IntRecord { bandwidth: p.bw, ts: SimTime::ZERO, tx_bytes: 0, qlen: 0 })
+            .collect();
+        let rocc_rate = ports.iter().map(|p| p.bw.as_f64()).collect();
+        Switch {
+            id,
+            ports,
+            route: spec.route.clone(),
+            ingress_bytes: vec![0; n],
+            upstream_paused: vec![false; n],
+            buffered: 0,
+            int_table,
+            rocc_rate,
+            rocc_prev_q: vec![0.0; n],
+            ecn_rng: DetRng::new(cfg.seed, 0x0057_17C4 ^ id.0 as u64),
+        }
+    }
+
+    /// Snapshot a port's live INT record.
+    #[inline]
+    fn live_int(&self, port: u8, now: SimTime) -> IntRecord {
+        let p = &self.ports[port as usize];
+        IntRecord { bandwidth: p.bw, ts: now, tx_bytes: p.tx_bytes, qlen: p.queue_bytes }
+    }
+
+    /// Periodic `All_INT_Table` refresh (Fig. 8 "Management" module).
+    pub fn refresh_int_table(&mut self, now: SimTime) {
+        for p in 0..self.ports.len() {
+            self.int_table[p] = self.live_int(p as u8, now);
+        }
+    }
+
+    /// One RoCC PI-controller step over every port.
+    pub fn rocc_step(&mut self, cfg: &FabricConfig) {
+        let Some(rc) = &cfg.rocc else { return };
+        for p in 0..self.ports.len() {
+            let q = self.ports[p].queue_bytes as f64;
+            let r = self.rocc_rate[p] - rc.gain_p * (q - rc.qref) - rc.gain_d * (q - self.rocc_prev_q[p]);
+            self.rocc_rate[p] = r.clamp(rc.min_rate, self.ports[p].bw.as_f64());
+            self.rocc_prev_q[p] = q;
+        }
+    }
+
+    /// Handle an arriving frame on `in_port`. Control frames flip the pause
+    /// state; everything else is routed and queued. Emits follow-up actions
+    /// into `out`.
+    pub fn on_arrive(
+        &mut self,
+        now: SimTime,
+        in_port: u8,
+        mut pkt: Box<Packet>,
+        cfg: &FabricConfig,
+        telem: &mut Telemetry,
+        out: &mut Vec<SwitchOutput>,
+    ) {
+        match pkt.kind {
+            PacketKind::PfcPause => {
+                let p = &mut self.ports[in_port as usize];
+                p.paused = true;
+                p.pause_rx += 1;
+                if p.paused_since.is_none() {
+                    p.paused_since = Some(now);
+                }
+                return;
+            }
+            PacketKind::PfcResume => {
+                let p = &mut self.ports[in_port as usize];
+                p.paused = false;
+                if let Some(t0) = p.paused_since.take() {
+                    telem.note_pause_episode(now.since(t0));
+                }
+                self.maybe_start_tx(in_port, now, cfg, out);
+                return;
+            }
+            _ => {}
+        }
+
+        // Shared-buffer admission.
+        if self.buffered + pkt.size as u64 > cfg.buffer_bytes {
+            telem.counters.drops += 1;
+            return;
+        }
+
+        // Port input engine (Algorithm 1 lines 2–4): remember the ingress
+        // port — used for PFC accounting on all frames and for the
+        // All_INT_Table lookup on ACKs. The accounted size is pinned here
+        // because INT insertion grows the frame before departure.
+        pkt.in_port = in_port;
+        pkt.accounted = pkt.size;
+        self.ingress_bytes[in_port as usize] += pkt.size as u64;
+        self.buffered += pkt.size as u64;
+
+        // Ingress pipeline: routing.
+        let h = flow_hash(pkt.src, pkt.dst, pkt.flow);
+        let out_port = self.route.egress(pkt.dst, h);
+        debug_assert_ne!(out_port, in_port, "routing loop at {:?}", self.id);
+
+        // RED/ECN marking on data frames (DCQCN), against the egress queue
+        // depth seen at enqueue.
+        if cfg.ecn.enabled && pkt.kind == PacketKind::Data {
+            let q = self.ports[out_port as usize].queue_bytes;
+            let p_mark = cfg.ecn.mark_probability(q);
+            if p_mark > 0.0 && self.ecn_rng.chance(p_mark) {
+                pkt.ecn = true;
+                telem.counters.ecn_marks += 1;
+            }
+        }
+
+        self.ports[out_port as usize].enqueue(pkt);
+
+        // PFC: pause the upstream once this ingress crosses the threshold.
+        if cfg.pfc.enabled
+            && !self.upstream_paused[in_port as usize]
+            && self.ingress_bytes[in_port as usize] > cfg.pfc.threshold
+        {
+            self.upstream_paused[in_port as usize] = true;
+            self.ports[in_port as usize].pause_tx += 1;
+            telem.counters.pfc_pause_tx += 1;
+            let frame = Packet::pfc(PacketKind::PfcPause, PFC_FRAME_BYTES, now);
+            self.ports[in_port as usize].enqueue_ctrl(frame);
+            self.maybe_start_tx(in_port, now, cfg, out);
+        }
+
+        self.maybe_start_tx(out_port, now, cfg, out);
+    }
+
+    /// A frame finished serializing on `port`: deliver it to the peer,
+    /// release buffer accounting, maybe un-pause the upstream, start the
+    /// next frame.
+    pub fn on_tx_done(
+        &mut self,
+        now: SimTime,
+        port: u8,
+        cfg: &FabricConfig,
+        telem: &mut Telemetry,
+        out: &mut Vec<SwitchOutput>,
+    ) {
+        let pkt = self.ports[port as usize]
+            .in_flight
+            .take()
+            .expect("TxDone with empty in_flight");
+
+        if !pkt.kind.is_control() {
+            self.ports[port as usize].tx_bytes += pkt.size as u64;
+            let ip = pkt.in_port as usize;
+            self.ingress_bytes[ip] -= pkt.accounted as u64;
+            self.buffered -= pkt.accounted as u64;
+            // PFC hysteresis: un-pause the upstream once drained enough.
+            if cfg.pfc.enabled
+                && self.upstream_paused[ip]
+                && self.ingress_bytes[ip] + cfg.pfc.resume_offset <= cfg.pfc.threshold
+            {
+                self.upstream_paused[ip] = false;
+                self.ports[ip].resume_tx += 1;
+                telem.counters.pfc_resume_tx += 1;
+                let frame = Packet::pfc(PacketKind::PfcResume, PFC_FRAME_BYTES, now);
+                self.ports[ip].enqueue_ctrl(frame);
+                self.maybe_start_tx(ip as u8, now, cfg, out);
+            }
+        }
+
+        let p = &self.ports[port as usize];
+        out.push(SwitchOutput::Deliver { port, peer: p.peer, peer_port: p.peer_port, pkt });
+        self.maybe_start_tx(port, now, cfg, out);
+    }
+
+    /// If `port` is idle and has an eligible frame, run the output engine
+    /// (Algorithm 1 lines 6–10: INT insertion; RoCC stamping) and start
+    /// serialization.
+    pub fn maybe_start_tx(
+        &mut self,
+        port: u8,
+        now: SimTime,
+        cfg: &FabricConfig,
+        out: &mut Vec<SwitchOutput>,
+    ) {
+        if !self.ports[port as usize].idle() {
+            return;
+        }
+        let Some(mut pkt) = self.ports[port as usize].dequeue() else {
+            return;
+        };
+        self.output_engine(&mut pkt, port, now, cfg);
+        self.ports[port as usize].in_flight = Some(pkt);
+        out.push(SwitchOutput::StartTx { port });
+    }
+
+    /// The output engine: INT insertion per the configured mode, RoCC rate
+    /// stamping.
+    fn output_engine(&mut self, pkt: &mut Packet, out_port: u8, now: SimTime, cfg: &FabricConfig) {
+        match (cfg.int, pkt.kind) {
+            // HPCC: every data frame picks up the INT of the egress port it
+            // is leaving through.
+            (IntInsertion::OnData, PacketKind::Data) => {
+                let rec = self.read_int(out_port, now, cfg);
+                pkt.push_int(rec);
+                pkt.path_xor ^= (self.id.0 as u16) & 0x0FFF;
+            }
+            // FNCC (Algorithm 1 lines 7–9): every ACK picks up
+            // `All_INT_Table[ack.input_port]` — the request-path egress
+            // queue the corresponding data packets flow through.
+            (IntInsertion::OnAck, PacketKind::Ack) => {
+                let rec = self.read_int(pkt.in_port, now, cfg);
+                pkt.push_int(rec);
+                // Fig. 7 pathID: XOR of all switch ids along the path.
+                pkt.path_xor ^= (self.id.0 as u16) & 0x0FFF;
+            }
+            _ => {}
+        }
+        if cfg.rocc.is_some() && pkt.kind == PacketKind::Data {
+            pkt.rocc_rate = pkt.rocc_rate.min(self.rocc_rate[out_port as usize]);
+        }
+    }
+
+    /// Read a port's INT record: live, or from the periodic table.
+    #[inline]
+    fn read_int(&self, port: u8, now: SimTime, cfg: &FabricConfig) -> IntRecord {
+        if cfg.int_refresh.is_some() {
+            self.int_table[port as usize]
+        } else {
+            self.live_int(port, now)
+        }
+    }
+
+    /// Serialization time of the frame currently in flight on `port`.
+    pub fn tx_time_of_in_flight(&self, port: u8, cfg: &FabricConfig) -> fncc_des::TimeDelta {
+        let p = &self.ports[port as usize];
+        let pkt = p.in_flight.as_ref().expect("no frame in flight");
+        p.bw.tx_time(pkt.size as u64 + cfg.wire_overhead as u64)
+    }
+}
+
+/// Convenience for tests and analysis: the egress port a switch would pick.
+pub fn egress_for(sw: &Switch, src: HostId, dst: HostId, flow: crate::ids::FlowId) -> u8 {
+    sw.route.egress(dst, flow_hash(src, dst, flow))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::FlowId;
+    use crate::topology::Topology;
+    use crate::units::Bandwidth;
+    use fncc_des::time::TimeDelta;
+
+    fn test_cfg() -> FabricConfig {
+        FabricConfig::paper_default()
+    }
+
+    /// A 2-sender dumbbell's first switch: ports 0,1 = hosts; port 2 = uplink.
+    fn sw0() -> Switch {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_us(1));
+        Switch::new(SwitchId(0), &topo.switches[0], &test_cfg())
+    }
+
+    fn data(flow: u32, src: u32, dst: u32, size: u32) -> Box<Packet> {
+        Packet::data(FlowId(flow), HostId(src), HostId(dst), 0, size - 62, size, SimTime::ZERO)
+    }
+
+    fn drain_tx(sw: &mut Switch, port: u8, cfg: &FabricConfig, telem: &mut Telemetry) -> Vec<Box<Packet>> {
+        // Repeatedly complete transmissions on `port` until it goes idle,
+        // collecting delivered frames.
+        let mut delivered = Vec::new();
+        loop {
+            if sw.ports[port as usize].idle() {
+                break;
+            }
+            let mut out = Vec::new();
+            sw.on_tx_done(SimTime::from_us(1), port, cfg, telem, &mut out);
+            for o in out {
+                if let SwitchOutput::Deliver { pkt, .. } = o {
+                    delivered.push(pkt);
+                }
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn routes_data_to_uplink_and_starts_tx() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        assert!(matches!(out.as_slice(), [SwitchOutput::StartTx { port: 2 }]));
+        assert!(sw.ports[2].in_flight.is_some());
+        assert_eq!(sw.ingress_bytes[0], 1000);
+        assert_eq!(sw.buffered, 1000);
+    }
+
+    #[test]
+    fn tx_done_delivers_to_peer_and_releases_buffer() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        out.clear();
+        sw.on_tx_done(SimTime::from_us(1), 2, &cfg, &mut telem, &mut out);
+        match &out[0] {
+            SwitchOutput::Deliver { peer, pkt, .. } => {
+                assert!(matches!(peer, NodeRef::Switch(SwitchId(1))));
+                assert_eq!(pkt.size, 1000);
+            }
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+        assert_eq!(sw.ingress_bytes[0], 0);
+        assert_eq!(sw.buffered, 0);
+        assert_eq!(sw.ports[2].tx_bytes, 1000);
+    }
+
+    #[test]
+    fn hpcc_mode_appends_int_to_data() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.int = IntInsertion::OnData;
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        sw.on_arrive(SimTime::from_us(3), 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        let pkt = sw.ports[2].in_flight.as_ref().unwrap();
+        assert_eq!(pkt.int.len(), 1);
+        assert_eq!(pkt.size, 1008, "INT grows the frame");
+        let rec = pkt.int.as_slice()[0];
+        assert_eq!(rec.ts, SimTime::from_us(3));
+        assert_eq!(rec.qlen, 0, "dequeued immediately, queue empty behind it");
+    }
+
+    #[test]
+    fn fncc_mode_appends_request_path_int_to_ack() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.int = IntInsertion::OnAck;
+        let mut telem = Telemetry::new();
+
+        // Build request-path state: two data frames head out port 2; one is
+        // in flight, one queued (queue_bytes = 1000).
+        let mut out = Vec::new();
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        assert_eq!(sw.ports[2].queue_bytes, 1000);
+
+        // An ACK for flow 0 arrives on port 2 (the data egress) heading to
+        // host 0: it must pick up port 2's INT (the request-path queue).
+        let ack = Packet::ack(FlowId(0), HostId(2), HostId(0), 1000, 70, SimTime::ZERO);
+        out.clear();
+        sw.on_arrive(SimTime::from_us(5), 2, ack, &cfg, &mut telem, &mut out);
+        let pkt = sw.ports[0].in_flight.as_ref().unwrap();
+        assert_eq!(pkt.kind, PacketKind::Ack);
+        assert_eq!(pkt.int.len(), 1);
+        let rec = pkt.int.as_slice()[0];
+        assert_eq!(rec.qlen, 1000, "ACK carries the data-path egress queue depth");
+        assert_eq!(pkt.size, 78);
+        // Data frames in FNCC mode carry no INT.
+        let d = sw.ports[2].in_flight.as_ref().unwrap();
+        assert_eq!(d.int.len(), 0);
+    }
+
+    #[test]
+    fn periodic_int_table_lags_live_state() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.int = IntInsertion::OnAck;
+        cfg.int_refresh = Some(TimeDelta::from_us(10));
+        let mut telem = Telemetry::new();
+
+        // Refresh at t=0 with empty queues, then build a queue.
+        sw.refresh_int_table(SimTime::ZERO);
+        let mut out = Vec::new();
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+
+        let ack = Packet::ack(FlowId(0), HostId(2), HostId(0), 0, 70, SimTime::ZERO);
+        out.clear();
+        sw.on_arrive(SimTime::from_us(5), 2, ack, &cfg, &mut telem, &mut out);
+        let pkt = sw.ports[0].in_flight.as_ref().unwrap();
+        assert_eq!(pkt.int.as_slice()[0].qlen, 0, "stale table value");
+
+        // After a refresh, a second ACK sees the queue.
+        sw.refresh_int_table(SimTime::from_us(10));
+        let ack2 = Packet::ack(FlowId(0), HostId(2), HostId(0), 0, 70, SimTime::ZERO);
+        out.clear();
+        // port 0 is busy with ack1; drain it first.
+        drain_tx(&mut sw, 0, &cfg, &mut telem);
+        sw.on_arrive(SimTime::from_us(11), 2, ack2, &cfg, &mut telem, &mut out);
+        let pkt2 = sw.ports[0].in_flight.as_ref().unwrap();
+        assert_eq!(pkt2.int.as_slice()[0].qlen, 1000);
+    }
+
+    #[test]
+    fn pfc_pause_sent_when_ingress_crosses_threshold() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.pfc.threshold = 2500; // tiny threshold for the test
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        // Three 1000B frames from host 0: after the third, ingress 0 holds
+        // 3000 > 2500 (the first is in flight but still accounted).
+        for _ in 0..3 {
+            sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        }
+        assert!(sw.upstream_paused[0]);
+        assert_eq!(sw.ports[0].pause_tx, 1);
+        assert_eq!(telem.counters.pfc_pause_tx, 1);
+        // The pause frame is in flight on port 0 (control priority).
+        assert_eq!(sw.ports[0].in_flight.as_ref().unwrap().kind, PacketKind::PfcPause);
+        // No duplicate pause while already paused.
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        assert_eq!(sw.ports[0].pause_tx, 1);
+    }
+
+    #[test]
+    fn pfc_resume_after_draining() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.pfc.threshold = 1500;
+        cfg.pfc.resume_offset = 500;
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        }
+        assert!(sw.upstream_paused[0]);
+        // Drain the uplink: after both data frames leave, ingress drops to 0
+        // → resume emitted.
+        drain_tx(&mut sw, 2, &cfg, &mut telem);
+        assert!(!sw.upstream_paused[0]);
+        assert_eq!(sw.ports[0].resume_tx, 1);
+        assert_eq!(telem.counters.pfc_resume_tx, 1);
+    }
+
+    #[test]
+    fn receiving_pause_stops_data_not_control() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        // Pause arrives on the uplink (port 2).
+        sw.on_arrive(SimTime::ZERO, 2, Packet::pfc(PacketKind::PfcPause, 64, SimTime::ZERO), &cfg, &mut telem, &mut out);
+        assert!(sw.ports[2].paused);
+        assert_eq!(sw.ports[2].pause_rx, 1);
+        // Data for the uplink queues but does not start.
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        assert!(sw.ports[2].idle());
+        assert_eq!(sw.ports[2].queue_bytes, 1000);
+        // Resume restarts it.
+        out.clear();
+        sw.on_arrive(SimTime::ZERO, 2, Packet::pfc(PacketKind::PfcResume, 64, SimTime::ZERO), &cfg, &mut telem, &mut out);
+        assert!(!sw.ports[2].paused);
+        assert!(sw.ports[2].in_flight.is_some());
+    }
+
+    #[test]
+    fn buffer_exhaustion_drops_without_pfc() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.pfc = crate::config::PfcConfig::disabled();
+        cfg.buffer_bytes = 2048;
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        assert_eq!(telem.counters.drops, 1);
+        assert_eq!(sw.buffered, 2000);
+    }
+
+    #[test]
+    fn ecn_marks_above_kmax() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.ecn = crate::config::EcnConfig { enabled: true, kmin: 0, kmax: 1, pmax: 1.0 };
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        // First frame: queue empty at enqueue, then it dequeues immediately.
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        // Second frame sees 0 queued (first is in flight, not queued)… build
+        // real queue with a third.
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        assert!(telem.counters.ecn_marks >= 1);
+    }
+
+    #[test]
+    fn rocc_controller_lowers_rate_under_queue() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(Bandwidth::gbps(100)));
+        let line = 100e9;
+        assert_eq!(sw.rocc_rate[2], line);
+        // Simulate a standing queue above qref.
+        let mut telem = Telemetry::new();
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1400), &cfg, &mut telem, &mut out);
+        }
+        for _ in 0..10 {
+            sw.rocc_step(&cfg);
+        }
+        assert!(sw.rocc_rate[2] < line, "rate should fall under congestion");
+        // Completing the in-flight frame starts the next one, which picks up
+        // the lowered stamp at its output-engine pass.
+        out.clear();
+        sw.on_tx_done(SimTime::from_us(1), 2, &cfg, &mut telem, &mut out);
+        let pkt = sw.ports[2].in_flight.as_ref().unwrap();
+        assert!(pkt.rocc_rate < line);
+    }
+
+    #[test]
+    fn rocc_rate_recovers_when_queue_drains() {
+        let mut sw = sw0();
+        let mut cfg = test_cfg();
+        cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(Bandwidth::gbps(100)));
+        sw.rocc_rate[2] = 10e9;
+        // Queue empty → integral term pushes the rate back up.
+        for _ in 0..10_000 {
+            sw.rocc_step(&cfg);
+        }
+        assert!(sw.rocc_rate[2] > 99e9, "rate {} should recover", sw.rocc_rate[2]);
+    }
+
+    #[test]
+    fn path_xor_accumulates_switch_ids_on_ack() {
+        let mut cfg = test_cfg();
+        cfg.int = IntInsertion::OnAck;
+        let mut telem = Telemetry::new();
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_us(1));
+        // Pass one ACK through sw1 then sw0 (reverse path order).
+        let mut xor_acc = 0u16;
+        let mut ack = Packet::ack(FlowId(0), HostId(2), HostId(0), 0, 70, SimTime::ZERO);
+        for swid in [1u32, 0] {
+            let mut sw = Switch::new(SwitchId(swid), &topo.switches[swid as usize], &cfg);
+            let mut out = Vec::new();
+            let in_port = if swid == 1 { 1 } else { 2 };
+            sw.on_arrive(SimTime::from_us(1), in_port, ack, &cfg, &mut telem, &mut out);
+            ack = sw.ports[0]
+                .in_flight
+                .take()
+                .expect("ack in flight");
+            xor_acc ^= swid as u16;
+            assert_eq!(ack.path_xor, xor_acc, "after sw{swid}");
+        }
+        assert_eq!(ack.int.len(), 2);
+    }
+
+    #[test]
+    fn egress_for_is_deterministic() {
+        let sw = sw0();
+        let a = egress_for(&sw, HostId(0), HostId(2), FlowId(0));
+        let b = egress_for(&sw, HostId(0), HostId(2), FlowId(0));
+        assert_eq!(a, b);
+        assert_eq!(a, 2);
+    }
+}

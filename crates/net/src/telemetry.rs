@@ -1,0 +1,422 @@
+//! Run-wide measurement state: counters, per-flow byte counters, flow
+//! completion records, and the sampling watch-lists feeding the paper's
+//! time-series plots.
+
+use crate::ids::{FlowId, HostId, SwitchId};
+use crate::units::Bandwidth;
+use fncc_des::stats::{RateMeter, TimeSeries};
+use fncc_des::time::{SimTime, TimeDelta};
+
+/// Lifetime record of one flow.
+#[derive(Clone, Debug)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub flow: FlowId,
+    /// Sender.
+    pub src: HostId,
+    /// Receiver.
+    pub dst: HostId,
+    /// Application bytes.
+    pub size: u64,
+    /// Start time (first eligible to send).
+    pub start: SimTime,
+    /// Completion time: last payload byte delivered at the receiver.
+    pub finish: Option<SimTime>,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if finished.
+    pub fn fct(&self) -> Option<TimeDelta> {
+        self.finish.map(|f| f.since(self.start))
+    }
+}
+
+/// Global event counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counters {
+    /// Data frames delivered to receivers.
+    pub data_delivered: u64,
+    /// ACK frames delivered to senders.
+    pub acks_delivered: u64,
+    /// CNPs delivered to senders.
+    pub cnps_delivered: u64,
+    /// Frames ECN-marked by switches.
+    pub ecn_marks: u64,
+    /// Frames dropped at buffer exhaustion (0 whenever PFC is on).
+    pub drops: u64,
+    /// PFC XOFF frames sent network-wide.
+    pub pfc_pause_tx: u64,
+    /// PFC XON frames sent network-wide.
+    pub pfc_resume_tx: u64,
+}
+
+struct QueueWatch {
+    sw: SwitchId,
+    port: u8,
+    series: TimeSeries,
+}
+
+struct UtilWatch {
+    sw: SwitchId,
+    port: u8,
+    bw: Bandwidth,
+    meter: RateMeter,
+    series: TimeSeries,
+}
+
+struct FlowWatch {
+    flow: FlowId,
+    meter: RateMeter,
+    series: TimeSeries,
+}
+
+struct CcRateWatch {
+    flow: FlowId,
+    host: HostId,
+    series: TimeSeries,
+}
+
+/// Telemetry sink owned by the fabric; scenario code configures watches
+/// before the run and harvests series after it.
+pub struct Telemetry {
+    /// Global counters.
+    pub counters: Counters,
+    /// Cumulative payload bytes handed to the NIC per flow (sender side).
+    flow_tx_bytes: Vec<u64>,
+    /// Flow lifetime records, indexed by flow id.
+    flows: Vec<Option<FlowRecord>>,
+    /// Sampling period; `TimeDelta::ZERO` disables sampling.
+    pub sample_interval: TimeDelta,
+    /// No further sample events are scheduled after this instant.
+    pub sample_until: SimTime,
+    queues: Vec<QueueWatch>,
+    utils: Vec<UtilWatch>,
+    flows_watched: Vec<FlowWatch>,
+    cc_watched: Vec<CcRateWatch>,
+    /// Per-hop INT age accumulators (seconds): how stale the telemetry of
+    /// hop `j` was when the sender consumed it (Fig. 12's quantity).
+    int_age_sum: Vec<f64>,
+    int_age_cnt: Vec<u64>,
+    pause_episodes: u64,
+    pause_time_total: TimeDelta,
+    pause_time_max: TimeDelta,
+}
+
+impl Telemetry {
+    /// Fresh telemetry with sampling disabled.
+    pub fn new() -> Self {
+        Telemetry {
+            counters: Counters::default(),
+            flow_tx_bytes: Vec::new(),
+            flows: Vec::new(),
+            sample_interval: TimeDelta::ZERO,
+            sample_until: SimTime::MAX,
+            queues: Vec::new(),
+            utils: Vec::new(),
+            flows_watched: Vec::new(),
+            cc_watched: Vec::new(),
+            int_age_sum: Vec::new(),
+            int_age_cnt: Vec::new(),
+            pause_episodes: 0,
+            pause_time_total: TimeDelta::ZERO,
+            pause_time_max: TimeDelta::ZERO,
+        }
+    }
+
+    // --- configuration ---------------------------------------------------
+
+    /// Enable periodic sampling with the given period, up to `until`.
+    pub fn enable_sampling(&mut self, every: TimeDelta, until: SimTime) {
+        assert!(!every.is_zero());
+        self.sample_interval = every;
+        self.sample_until = until;
+    }
+
+    /// Watch a switch egress queue depth (Fig. 1b–d, 9a/c/e, 13a–c).
+    pub fn watch_queue(&mut self, sw: SwitchId, port: u8, name: impl Into<String>) {
+        self.queues.push(QueueWatch { sw, port, series: TimeSeries::new(name) });
+    }
+
+    /// Watch a switch egress link utilization (Fig. 9g–h, 13a–c).
+    pub fn watch_utilization(&mut self, sw: SwitchId, port: u8, bw: Bandwidth, name: impl Into<String>) {
+        self.utils.push(UtilWatch {
+            sw,
+            port,
+            bw,
+            meter: RateMeter::new(SimTime::ZERO, 0),
+            series: TimeSeries::new(name),
+        });
+    }
+
+    /// Watch a sender's flow rate (Fig. 9b/d/f, 13d–e).
+    pub fn watch_flow_rate(&mut self, flow: FlowId, name: impl Into<String>) {
+        self.flows_watched.push(FlowWatch {
+            flow,
+            meter: RateMeter::new(SimTime::ZERO, 0),
+            series: TimeSeries::new(name),
+        });
+    }
+
+    /// Watch a sender's congestion-control pacing rate (reaction timing).
+    pub fn watch_cc_rate(&mut self, flow: FlowId, host: HostId, name: impl Into<String>) {
+        self.cc_watched.push(CcRateWatch { flow, host, series: TimeSeries::new(name) });
+    }
+
+    // --- updates from the fabric/hosts ------------------------------------
+
+    /// Register a flow at start time.
+    pub fn flow_started(&mut self, rec: FlowRecord) {
+        let ix = rec.flow.ix();
+        if self.flows.len() <= ix {
+            self.flows.resize(ix + 1, None);
+        }
+        self.flows[ix] = Some(rec);
+    }
+
+    /// Mark a flow finished (last payload byte delivered).
+    pub fn flow_finished(&mut self, flow: FlowId, at: SimTime) {
+        let rec = self.flows[flow.ix()].as_mut().expect("finish before start");
+        debug_assert!(rec.finish.is_none(), "double finish for {flow:?}");
+        rec.finish = Some(at);
+    }
+
+    /// Add sender-side transmitted payload bytes for a flow.
+    #[inline]
+    pub fn add_flow_tx(&mut self, flow: FlowId, bytes: u64) {
+        let ix = flow.ix();
+        if self.flow_tx_bytes.len() <= ix {
+            self.flow_tx_bytes.resize(ix + 1, 0);
+        }
+        self.flow_tx_bytes[ix] += bytes;
+    }
+
+    /// Cumulative transmitted payload bytes of a flow.
+    pub fn flow_tx(&self, flow: FlowId) -> u64 {
+        self.flow_tx_bytes.get(flow.ix()).copied().unwrap_or(0)
+    }
+
+    /// Take one sample of every watched quantity. Called by the fabric on
+    /// its sampling tick: `queue_read`/`tx_read` map `(switch, port)` to the
+    /// current queue depth and cumulative tx bytes.
+    pub fn sample(
+        &mut self,
+        now: SimTime,
+        mut queue_read: impl FnMut(SwitchId, u8) -> u64,
+        mut tx_read: impl FnMut(SwitchId, u8) -> u64,
+    ) {
+        for w in &mut self.queues {
+            w.series.push(now, queue_read(w.sw, w.port) as f64);
+        }
+        for w in &mut self.utils {
+            let rate = w.meter.sample(now, tx_read(w.sw, w.port));
+            w.series.push(now, rate / w.bw.as_f64());
+        }
+        for w in &mut self.flows_watched {
+            let bytes = self.flow_tx_bytes.get(w.flow.ix()).copied().unwrap_or(0);
+            let rate = w.meter.sample(now, bytes);
+            w.series.push(now, rate);
+        }
+    }
+
+    /// Sample watched CC pacing rates; `read` maps `(host, flow)` to the
+    /// current rate, `None` while the flow is not live (recorded as 0).
+    pub fn sample_cc_rates(
+        &mut self,
+        now: SimTime,
+        mut read: impl FnMut(HostId, FlowId) -> Option<f64>,
+    ) {
+        for w in &mut self.cc_watched {
+            w.series.push(now, read(w.host, w.flow).unwrap_or(0.0));
+        }
+    }
+
+    /// Record the end of one PFC pause episode of `duration` (watchdog:
+    /// pause storms / stuck-pause detection, §2.3).
+    pub fn note_pause_episode(&mut self, duration: TimeDelta) {
+        self.pause_episodes += 1;
+        self.pause_time_total += duration;
+        if duration > self.pause_time_max {
+            self.pause_time_max = duration;
+        }
+    }
+
+    /// Number of completed pause episodes network-wide.
+    pub fn pause_episodes(&self) -> u64 {
+        self.pause_episodes
+    }
+
+    /// Total time spent paused, summed over ports.
+    pub fn pause_time_total(&self) -> TimeDelta {
+        self.pause_time_total
+    }
+
+    /// Longest single pause episode (a storm/deadlock indicator when it
+    /// approaches the run length).
+    pub fn pause_time_max(&self) -> TimeDelta {
+        self.pause_time_max
+    }
+
+    /// Record how stale hop `hop`'s INT record was (in seconds) when a
+    /// sender consumed it. Hops are indexed in request-path order.
+    #[inline]
+    pub fn note_int_age(&mut self, hop: usize, age_secs: f64) {
+        if self.int_age_sum.len() <= hop {
+            self.int_age_sum.resize(hop + 1, 0.0);
+            self.int_age_cnt.resize(hop + 1, 0);
+        }
+        self.int_age_sum[hop] += age_secs;
+        self.int_age_cnt[hop] += 1;
+    }
+
+    /// Mean INT age (seconds) observed for hop `hop`, if any was recorded.
+    pub fn mean_int_age(&self, hop: usize) -> Option<f64> {
+        let n = *self.int_age_cnt.get(hop)?;
+        if n == 0 {
+            return None;
+        }
+        Some(self.int_age_sum[hop] / n as f64)
+    }
+
+    /// Number of hops with INT-age records.
+    pub fn int_age_hops(&self) -> usize {
+        self.int_age_cnt.len()
+    }
+
+    // --- harvesting --------------------------------------------------------
+
+    /// All flow records (finished or not).
+    pub fn flow_records(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.iter().filter_map(|f| f.as_ref())
+    }
+
+    /// Record for one flow.
+    pub fn flow_record(&self, flow: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(flow.ix()).and_then(|f| f.as_ref())
+    }
+
+    /// Number of registered flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// True if every registered flow has finished.
+    pub fn all_flows_finished(&self) -> bool {
+        self.flow_records().all(|r| r.finish.is_some())
+    }
+
+    /// Harvest the queue-depth series for a watched queue.
+    pub fn queue_series(&self, sw: SwitchId, port: u8) -> Option<&TimeSeries> {
+        self.queues.iter().find(|w| w.sw == sw && w.port == port).map(|w| &w.series)
+    }
+
+    /// Harvest the utilization series for a watched port.
+    pub fn util_series(&self, sw: SwitchId, port: u8) -> Option<&TimeSeries> {
+        self.utils.iter().find(|w| w.sw == sw && w.port == port).map(|w| &w.series)
+    }
+
+    /// Harvest the rate series for a watched flow.
+    pub fn flow_rate_series(&self, flow: FlowId) -> Option<&TimeSeries> {
+        self.flows_watched.iter().find(|w| w.flow == flow).map(|w| &w.series)
+    }
+
+    /// Harvest the CC pacing-rate series for a watched flow.
+    pub fn cc_rate_series(&self, flow: FlowId) -> Option<&TimeSeries> {
+        self.cc_watched.iter().find(|w| w.flow == flow).map(|w| &w.series)
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_lifecycle() {
+        let mut t = Telemetry::new();
+        t.flow_started(FlowRecord {
+            flow: FlowId(2),
+            src: HostId(0),
+            dst: HostId(1),
+            size: 1000,
+            start: SimTime::from_us(5),
+            finish: None,
+        });
+        assert_eq!(t.flow_count(), 1);
+        assert!(!t.all_flows_finished());
+        t.flow_finished(FlowId(2), SimTime::from_us(9));
+        assert!(t.all_flows_finished());
+        let rec = t.flow_record(FlowId(2)).unwrap();
+        assert_eq!(rec.fct(), Some(TimeDelta::from_us(4)));
+    }
+
+    #[test]
+    fn flow_tx_accumulates_with_sparse_ids() {
+        let mut t = Telemetry::new();
+        t.add_flow_tx(FlowId(7), 100);
+        t.add_flow_tx(FlowId(7), 50);
+        assert_eq!(t.flow_tx(FlowId(7)), 150);
+        assert_eq!(t.flow_tx(FlowId(3)), 0);
+        assert_eq!(t.flow_tx(FlowId(100)), 0);
+    }
+
+    #[test]
+    fn sampling_records_watched_quantities() {
+        let mut t = Telemetry::new();
+        t.watch_queue(SwitchId(1), 2, "q");
+        t.watch_utilization(SwitchId(1), 2, Bandwidth::gbps(100), "u");
+        t.watch_flow_rate(FlowId(0), "r");
+        t.add_flow_tx(FlowId(0), 0);
+
+        // At t=1us: queue 500 bytes, 12500 bytes txed → 100 Gb/s → util 1.0.
+        t.add_flow_tx(FlowId(0), 1250); // flow rate 10 Gb/s over 1 us
+        t.sample(SimTime::from_us(1), |_, _| 500, |_, _| 12_500);
+
+        let q = t.queue_series(SwitchId(1), 2).unwrap();
+        assert_eq!(q.values(), &[500.0]);
+        let u = t.util_series(SwitchId(1), 2).unwrap();
+        assert!((u.values()[0] - 1.0).abs() < 1e-9, "util {}", u.values()[0]);
+        let r = t.flow_rate_series(FlowId(0)).unwrap();
+        assert!((r.values()[0] - 10e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn unwatched_lookups_return_none() {
+        let t = Telemetry::new();
+        assert!(t.queue_series(SwitchId(0), 0).is_none());
+        assert!(t.util_series(SwitchId(0), 0).is_none());
+        assert!(t.flow_rate_series(FlowId(0)).is_none());
+    }
+
+    #[test]
+    fn int_age_accumulates_per_hop() {
+        let mut t = Telemetry::new();
+        assert_eq!(t.mean_int_age(0), None);
+        t.note_int_age(0, 2.0e-6);
+        t.note_int_age(0, 4.0e-6);
+        t.note_int_age(2, 10.0e-6);
+        assert!((t.mean_int_age(0).unwrap() - 3.0e-6).abs() < 1e-15);
+        assert_eq!(t.mean_int_age(1), None);
+        assert!((t.mean_int_age(2).unwrap() - 10.0e-6).abs() < 1e-15);
+        assert_eq!(t.int_age_hops(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn finish_before_start_panics() {
+        let mut t = Telemetry::new();
+        t.flow_started(FlowRecord {
+            flow: FlowId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            size: 1,
+            start: SimTime::ZERO,
+            finish: None,
+        });
+        t.flow_finished(FlowId(1), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,66 @@
+//! Host-side transport configuration.
+
+use fncc_cc::CcAlgo;
+use fncc_des::time::TimeDelta;
+
+/// Configuration shared by all hosts of a simulation.
+#[derive(Clone, Debug)]
+pub struct TransportConfig {
+    /// The congestion-control scheme (and its parameters).
+    pub algo: CcAlgo,
+    /// Cumulative-ACK granularity `m`: one ACK per `m` received data frames
+    /// (the flow's last frame is always ACKed immediately). 1 = per-packet.
+    pub ack_every: u32,
+    /// Sender defers pacing when the NIC already holds more than this many
+    /// bytes (keeps per-flow pacing accurate instead of dumping the window
+    /// into the NIC queue).
+    pub nic_backlog_limit: u64,
+    /// Receiver-side minimum gap between CNPs of one flow (DCQCN).
+    pub cnp_interval: TimeDelta,
+}
+
+impl TransportConfig {
+    /// Defaults: per-packet ACKs, two-MTU NIC backlog, 50 µs CNP pacing.
+    pub fn new(algo: CcAlgo) -> Self {
+        TransportConfig {
+            algo,
+            ack_every: 1,
+            nic_backlog_limit: 2 * 1518,
+            cnp_interval: TimeDelta::from_us(50),
+        }
+    }
+
+    /// Same, with cumulative ACK granularity `m` (the §3.2.3 option).
+    pub fn with_ack_every(mut self, m: u32) -> Self {
+        assert!(m >= 1);
+        self.ack_every = m;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_cc::{CcAlgo, HpccConfig};
+    use fncc_net::units::Bandwidth;
+
+    #[test]
+    fn defaults() {
+        let cfg = TransportConfig::new(CcAlgo::Hpcc(HpccConfig::paper_default(
+            Bandwidth::gbps(100),
+            TimeDelta::from_us(12),
+        )));
+        assert_eq!(cfg.ack_every, 1);
+        assert_eq!(cfg.cnp_interval, TimeDelta::from_us(50));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ack_every_zero_rejected() {
+        let cfg = TransportConfig::new(CcAlgo::Hpcc(HpccConfig::paper_default(
+            Bandwidth::gbps(100),
+            TimeDelta::from_us(12),
+        )));
+        let _ = cfg.with_ack_every(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Flow descriptions and per-flow sender/receiver state.
+
+use fncc_cc::CcFlow;
+use fncc_des::time::SimTime;
+use fncc_net::ids::{FlowId, HostId};
+
+/// A flow (one RDMA QP): `size` application bytes from `src` to `dst`,
+/// eligible to send from `start`.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Globally unique flow id.
+    pub id: FlowId,
+    /// Sender.
+    pub src: HostId,
+    /// Receiver.
+    pub dst: HostId,
+    /// Application bytes to transfer (> 0).
+    pub size: u64,
+    /// Start time.
+    pub start: SimTime,
+}
+
+/// Sender-side live state of one flow.
+#[derive(Debug)]
+pub(crate) struct SendFlow {
+    pub spec: FlowSpec,
+    pub cc: CcFlow,
+    /// Next payload byte to send (`snd_nxt`).
+    pub next_seq: u64,
+    /// Cumulatively acknowledged payload bytes.
+    pub acked: u64,
+    /// Pacing: earliest time the next frame may leave.
+    pub next_send: SimTime,
+    /// True while a `Pace` timer is outstanding (avoids duplicates).
+    pub pace_pending: bool,
+    /// All bytes acknowledged.
+    pub done: bool,
+}
+
+impl SendFlow {
+    pub fn new(spec: FlowSpec, cc: CcFlow) -> Self {
+        SendFlow {
+            spec,
+            cc,
+            next_seq: 0,
+            acked: 0,
+            next_send: SimTime::ZERO,
+            pace_pending: false,
+            done: false,
+        }
+    }
+
+    /// Unacknowledged payload bytes in flight.
+    #[inline]
+    pub fn inflight(&self) -> u64 {
+        self.next_seq - self.acked
+    }
+
+    /// Payload bytes not yet sent.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.spec.size - self.next_seq
+    }
+}
+
+/// Receiver-side live state of one flow.
+#[derive(Debug)]
+pub(crate) struct RecvFlow {
+    /// Next expected payload byte (cumulative, in-order delivery).
+    pub expected: u64,
+    /// Data frames received since the last ACK was emitted.
+    pub frames_since_ack: u32,
+    /// Last CNP emission time (DCQCN pacing).
+    pub last_cnp: Option<SimTime>,
+    /// Completed (last payload byte seen).
+    pub finished: bool,
+}
+
+impl RecvFlow {
+    pub fn new() -> Self {
+        RecvFlow { expected: 0, frames_since_ack: 0, last_cnp: None, finished: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_cc::{CcAlgo, HpccConfig};
+    use fncc_des::time::TimeDelta;
+    use fncc_net::units::Bandwidth;
+
+    fn spec() -> FlowSpec {
+        FlowSpec {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: HostId(1),
+            size: 10_000,
+            start: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn send_flow_accounting() {
+        let algo = CcAlgo::Hpcc(HpccConfig::paper_default(
+            Bandwidth::gbps(100),
+            TimeDelta::from_us(12),
+        ));
+        let mut sf = SendFlow::new(spec(), algo.new_flow());
+        assert_eq!(sf.inflight(), 0);
+        assert_eq!(sf.remaining(), 10_000);
+        sf.next_seq = 3_000;
+        sf.acked = 1_000;
+        assert_eq!(sf.inflight(), 2_000);
+        assert_eq!(sf.remaining(), 7_000);
+    }
+
+    #[test]
+    fn recv_flow_initial() {
+        let rf = RecvFlow::new();
+        assert_eq!(rf.expected, 0);
+        assert!(!rf.finished);
+        assert!(rf.last_cnp.is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! Poisson flow arrivals at a target average link load (§5.5 runs 50%).
+
+use crate::cdf::Cdf;
+use fncc_des::rng::DetRng;
+use fncc_des::time::SimTime;
+use fncc_net::ids::{FlowId, HostId};
+use fncc_net::units::Bandwidth;
+use fncc_transport::FlowSpec;
+
+/// Poisson workload parameters.
+#[derive(Clone, Debug)]
+pub struct PoissonConfig {
+    /// Number of hosts; sources and destinations are drawn uniformly.
+    pub n_hosts: u32,
+    /// Host NIC rate.
+    pub line: Bandwidth,
+    /// Target average load on host links, in `(0, 1]` (the paper: 0.5).
+    pub load: f64,
+    /// Number of flows to generate.
+    pub n_flows: u32,
+    /// First flow id to assign.
+    pub first_id: u32,
+    /// Arrivals begin at this time.
+    pub start: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate `n_flows` flows with Poisson arrivals whose aggregate offered
+/// load equals `load` × total host capacity, sizes drawn from `cdf`,
+/// endpoints uniform over distinct host pairs.
+pub fn poisson_flows(cfg: &PoissonConfig, cdf: &Cdf) -> Vec<FlowSpec> {
+    assert!(cfg.load > 0.0 && cfg.load <= 1.0, "load must be in (0,1]");
+    assert!(cfg.n_hosts >= 2);
+    let mut rng = DetRng::new(cfg.seed, 0xF10C);
+    // Aggregate arrival rate λ (flows/sec): load × Σ link rate / mean size.
+    let total_bps = cfg.line.as_f64() * cfg.n_hosts as f64;
+    let lambda = cfg.load * total_bps / (8.0 * cdf.mean());
+    let mean_gap = 1.0 / lambda;
+
+    let mut flows = Vec::with_capacity(cfg.n_flows as usize);
+    let mut t = cfg.start;
+    for k in 0..cfg.n_flows {
+        t += fncc_des::TimeDelta::from_secs_f64(rng.exp(mean_gap));
+        let src = rng.below(cfg.n_hosts as u64) as u32;
+        let mut dst = rng.below(cfg.n_hosts as u64 - 1) as u32;
+        if dst >= src {
+            dst += 1;
+        }
+        flows.push(FlowSpec {
+            id: FlowId(cfg.first_id + k),
+            src: HostId(src),
+            dst: HostId(dst),
+            size: cdf.sample(&mut rng),
+            start: t,
+        });
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::web_search;
+
+    fn cfg(n_flows: u32, seed: u64) -> PoissonConfig {
+        PoissonConfig {
+            n_hosts: 16,
+            line: Bandwidth::gbps(100),
+            load: 0.5,
+            n_flows,
+            first_id: 0,
+            start: SimTime::ZERO,
+            seed,
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_with_sequential_ids() {
+        let flows = poisson_flows(&cfg(100, 1), &web_search());
+        assert_eq!(flows.len(), 100);
+        for (k, f) in flows.iter().enumerate() {
+            assert_eq!(f.id, FlowId(k as u32));
+            assert_ne!(f.src, f.dst);
+            assert!(f.size >= 1);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered() {
+        let flows = poisson_flows(&cfg(500, 2), &web_search());
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn offered_load_matches_target() {
+        let c = cfg(20_000, 3);
+        let cdf = web_search();
+        let flows = poisson_flows(&c, &cdf);
+        let total_bytes: u64 = flows.iter().map(|f| f.size).sum();
+        let span = flows.last().unwrap().start.as_secs_f64();
+        let offered_bps = total_bytes as f64 * 8.0 / span;
+        let capacity = c.line.as_f64() * c.n_hosts as f64;
+        let load = offered_bps / capacity;
+        assert!((load - 0.5).abs() < 0.05, "offered load {load}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = poisson_flows(&cfg(50, 9), &web_search());
+        let b = poisson_flows(&cfg(50, 9), &web_search());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.dst, y.dst);
+        }
+        let c = poisson_flows(&cfg(50, 10), &web_search());
+        assert!(a.iter().zip(&c).any(|(x, y)| x.size != y.size || x.start != y.start));
+    }
+
+    #[test]
+    fn endpoints_cover_all_hosts() {
+        let flows = poisson_flows(&cfg(2_000, 4), &web_search());
+        let mut src_seen = [false; 16];
+        let mut dst_seen = [false; 16];
+        for f in &flows {
+            src_seen[f.src.ix()] = true;
+            dst_seen[f.dst.ix()] = true;
+        }
+        assert!(src_seen.iter().all(|&b| b));
+        assert!(dst_seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,141 @@
+//! Piecewise-linear CDFs over flow sizes.
+
+use fncc_des::rng::DetRng;
+
+/// A piecewise-linear cumulative distribution over flow sizes in bytes.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    /// `(size_bytes, cumulative_probability)`, strictly increasing in both
+    /// coordinates, ending at probability 1.0.
+    points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Build from `(size, cum_prob)` control points. The first point's
+    /// probability may be > 0 (mass at the minimum size); a `(0, 0)` anchor
+    /// is implied.
+    pub fn new(points: &[(f64, f64)]) -> Cdf {
+        assert!(!points.is_empty());
+        let mut pts = Vec::with_capacity(points.len() + 1);
+        if points[0].1 > 0.0 {
+            pts.push((points[0].0.min(1.0), 0.0));
+        }
+        pts.extend_from_slice(points);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0, "sizes must be nondecreasing: {w:?}");
+            assert!(w[0].1 <= w[1].1, "probabilities must be nondecreasing: {w:?}");
+        }
+        let last = pts.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1.0, ends at {}", last.1);
+        Cdf { points: pts }
+    }
+
+    /// Inverse-transform sample: a flow size in bytes (≥ 1).
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        let u = rng.f64();
+        self.quantile(u)
+    }
+
+    /// The size at cumulative probability `u ∈ [0, 1)` (linear interpolation
+    /// between control points).
+    pub fn quantile(&self, u: f64) -> u64 {
+        let pts = &self.points;
+        if u <= pts[0].1 {
+            return pts[0].0.max(1.0) as u64;
+        }
+        for w in pts.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return s1.max(1.0) as u64;
+                }
+                let frac = (u - p0) / (p1 - p0);
+                return (s0 + frac * (s1 - s0)).max(1.0) as u64;
+            }
+        }
+        pts.last().unwrap().0.max(1.0) as u64
+    }
+
+    /// Analytic mean of the piecewise-linear distribution
+    /// (`Σ Δp · (s_lo + s_hi)/2`).
+    pub fn mean(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1) * (w[0].0 + w[1].0) / 2.0)
+            .sum()
+    }
+
+    /// Largest size in the support.
+    pub fn max_size(&self) -> u64 {
+        self.points.last().unwrap().0 as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Cdf {
+        Cdf::new(&[(1000.0, 0.5), (3000.0, 1.0)])
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let c = simple();
+        // Anchor (1000, 0) implied? No: first prob 0.5 > 0 → anchor at
+        // (min(1000,1), 0) = (1,0). u=0.25 → midway 1..1000.
+        assert_eq!(c.quantile(0.5), 1000);
+        assert_eq!(c.quantile(0.75), 2000);
+        assert_eq!(c.quantile(1.0), 3000);
+        assert!(c.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn mean_matches_analytic() {
+        let c = Cdf::new(&[(0.0, 0.0), (1000.0, 1.0)]);
+        assert!((c.mean() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_follow_the_cdf() {
+        let c = simple();
+        let mut rng = DetRng::new(7, 0);
+        let n = 100_000;
+        let small = (0..n).filter(|_| c.sample(&mut rng) <= 1000).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "P(≤1000) = {frac}");
+    }
+
+    #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let c = simple();
+        let mut rng = DetRng::new(8, 0);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| c.sample(&mut rng)).sum();
+        let sm = sum as f64 / n as f64;
+        let am = c.mean();
+        assert!((sm - am).abs() / am < 0.02, "sample {sm} vs analytic {am}");
+    }
+
+    #[test]
+    fn sizes_never_zero() {
+        let c = Cdf::new(&[(0.0, 0.3), (10.0, 1.0)]);
+        let mut rng = DetRng::new(9, 0);
+        for _ in 0..10_000 {
+            assert!(c.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_monotone_probabilities() {
+        let _ = Cdf::new(&[(10.0, 0.8), (20.0, 0.5), (30.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_cdf_not_ending_at_one() {
+        let _ = Cdf::new(&[(10.0, 0.5)]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's two workload distributions (§5.5).
+//!
+//! **WebSearch** is the DCTCP search-cluster distribution as published with
+//! the HPCC simulation suite; its control points coincide with the Fig. 14
+//! x-axis buckets (10 KB … 30 MB).
+//!
+//! **FB_Hadoop** is the Facebook Hadoop-cluster distribution (Roy et al.,
+//! SIGCOMM'15). The exact trace is not published as a CDF table; we
+//! reconstruct a piecewise CDF over the Fig. 15 x-axis buckets
+//! (75 B … 1 MB) preserving the documented shape — most flows tiny, a
+//! long tail reaching 1 MB. See DESIGN.md's substitution table.
+
+use crate::cdf::Cdf;
+
+/// Fig. 14 flow-size buckets (upper edges, bytes) for WebSearch reporting.
+pub const WEB_SEARCH_BUCKETS: [u64; 11] = [
+    10_000, 20_000, 30_000, 50_000, 80_000, 200_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+    30_000_000,
+];
+
+/// Fig. 15 flow-size buckets (upper edges, bytes) for FB_Hadoop reporting.
+pub const FB_HADOOP_BUCKETS: [u64; 13] = [
+    75, 250, 350, 1_000, 2_000, 6_000, 10_000, 15_000, 23_000, 24_000, 25_000, 100_000, 1_000_000,
+];
+
+/// The DCTCP WebSearch flow-size distribution.
+pub fn web_search() -> Cdf {
+    Cdf::new(&[
+        (0.0, 0.0),
+        (10_000.0, 0.15),
+        (20_000.0, 0.20),
+        (30_000.0, 0.30),
+        (50_000.0, 0.40),
+        (80_000.0, 0.53),
+        (200_000.0, 0.60),
+        (1_000_000.0, 0.70),
+        (2_000_000.0, 0.80),
+        (5_000_000.0, 0.90),
+        (10_000_000.0, 0.97),
+        (30_000_000.0, 1.00),
+    ])
+}
+
+/// The Facebook Hadoop flow-size distribution (reconstructed).
+pub fn fb_hadoop() -> Cdf {
+    Cdf::new(&[
+        (0.0, 0.0),
+        (75.0, 0.10),
+        (250.0, 0.25),
+        (350.0, 0.35),
+        (1_000.0, 0.45),
+        (2_000.0, 0.55),
+        (6_000.0, 0.65),
+        (10_000.0, 0.70),
+        (15_000.0, 0.75),
+        (23_000.0, 0.80),
+        (24_000.0, 0.85),
+        (25_000.0, 0.90),
+        (100_000.0, 0.95),
+        (1_000_000.0, 1.00),
+    ])
+}
+
+/// Index of the reporting bucket a flow of `size` bytes falls into
+/// (first bucket whose upper edge is ≥ size; the last bucket catches
+/// everything above).
+pub fn bucket_of(size: u64, buckets: &[u64]) -> usize {
+    buckets
+        .iter()
+        .position(|&b| size <= b)
+        .unwrap_or(buckets.len() - 1)
+}
+
+/// Human-readable bucket label ("80KB", "2MB", "75B").
+pub fn bucket_label(upper: u64) -> String {
+    if upper >= 1_000_000 {
+        format!("{}MB", upper / 1_000_000)
+    } else if upper >= 1_000 {
+        format!("{}KB", upper / 1_000)
+    } else {
+        format!("{upper}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_des::rng::DetRng;
+
+    #[test]
+    fn websearch_mean_is_megabyte_scale() {
+        let m = web_search().mean();
+        // Mixture of many small and some multi-MB flows: mean ≈ 1.7 MB.
+        assert!(m > 1.0e6 && m < 3.0e6, "WebSearch mean {m}");
+    }
+
+    #[test]
+    fn hadoop_mean_is_tens_of_kb() {
+        let m = fb_hadoop().mean();
+        assert!(m > 10e3 && m < 100e3, "Hadoop mean {m}");
+    }
+
+    #[test]
+    fn hadoop_is_mostly_tiny_flows() {
+        let c = fb_hadoop();
+        let mut rng = DetRng::new(11, 0);
+        let n = 50_000;
+        let small = (0..n).filter(|_| c.sample(&mut rng) <= 25_000).count();
+        assert!(small as f64 / n as f64 > 0.85, "Hadoop must be short-flow heavy");
+    }
+
+    #[test]
+    fn websearch_has_heavy_tail() {
+        let c = web_search();
+        let mut rng = DetRng::new(12, 0);
+        let n = 50_000;
+        let big = (0..n).filter(|_| c.sample(&mut rng) > 1_000_000).count();
+        let frac = big as f64 / n as f64;
+        assert!((frac - 0.30).abs() < 0.02, "P(>1MB) = {frac}, expect 0.30");
+    }
+
+    #[test]
+    fn buckets_cover_the_support() {
+        assert_eq!(WEB_SEARCH_BUCKETS.last(), Some(&(web_search().max_size())));
+        assert_eq!(FB_HADOOP_BUCKETS.last(), Some(&(fb_hadoop().max_size())));
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        assert_eq!(bucket_of(1, &WEB_SEARCH_BUCKETS), 0);
+        assert_eq!(bucket_of(10_000, &WEB_SEARCH_BUCKETS), 0);
+        assert_eq!(bucket_of(10_001, &WEB_SEARCH_BUCKETS), 1);
+        assert_eq!(bucket_of(30_000_000, &WEB_SEARCH_BUCKETS), 10);
+        assert_eq!(bucket_of(99_000_000, &WEB_SEARCH_BUCKETS), 10);
+        assert_eq!(bucket_of(75, &FB_HADOOP_BUCKETS), 0);
+        assert_eq!(bucket_of(800, &FB_HADOOP_BUCKETS), 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(bucket_label(75), "75B");
+        assert_eq!(bucket_label(10_000), "10KB");
+        assert_eq!(bucket_label(30_000_000), "30MB");
+    }
+}

@@ -1,0 +1,36 @@
+//! Fairness staircase (Fig. 13e): four senders join a shared 100 Gb/s
+//! bottleneck one interval apart and leave in join order. A fair CC gives
+//! every active flow an equal share in every period.
+//!
+//! ```sh
+//! cargo run --release --example fairness
+//! ```
+
+use fncc::prelude::*;
+
+fn main() {
+    println!("Fairness staircase — 4 staggered flows on a shared bottleneck\n");
+    for cc in [CcKind::Fncc, CcKind::Hpcc] {
+        let r = fairness_staircase(cc, 4, TimeDelta::from_ms(1), 1);
+        print!("{:<6} Jain per period:", cc.name());
+        for j in &r.jain_per_period {
+            print!(" {j:.3}");
+        }
+        println!("  (all flows drained: {})", r.all_finished);
+    }
+
+    // Show the staircase itself: mean rate of each flow per period (FNCC).
+    let r = fairness_staircase(CcKind::Fncc, 4, TimeDelta::from_ms(1), 1);
+    println!("\nFNCC mean rate (Gb/s) per flow per 1 ms period:");
+    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "period", "flow0", "flow1", "flow2", "flow3");
+    for p in 0..7u64 {
+        let lo = SimTime::from_ms(p);
+        let hi = SimTime::from_ms(p + 1);
+        print!("{p:<8}");
+        for f in &r.flow_rates_gbps {
+            print!(" {:>8.1}", f.mean_in(lo, hi));
+        }
+        println!();
+    }
+    println!("\nExpected staircase: 100 -> 50 -> 33 -> 25 Gb/s as flows join, reversed as they leave.");
+}

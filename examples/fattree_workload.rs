@@ -1,0 +1,47 @@
+//! A small fat-tree datacenter under the paper's WebSearch workload:
+//! Poisson arrivals at 50% load, symmetric ECMP, FCT-slowdown report
+//! (a pocket version of Fig. 14).
+//!
+//! ```sh
+//! cargo run --release --example fattree_workload
+//! ```
+
+use fncc::prelude::*;
+
+fn main() {
+    println!("Fat-tree (k=4, 16 hosts) — WebSearch at 50% load, 150 flows/scheme\n");
+    let mut rows: Vec<(CcKind, Vec<SlowdownStats>)> = Vec::new();
+    for cc in [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc] {
+        let spec = WorkloadSpec {
+            cc,
+            workload: Workload::WebSearch,
+            load: 0.5,
+            n_flows: 150,
+            seeds: vec![7],
+            k: 4,
+            line_gbps: 100,
+        };
+        let r = fattree_workload(&spec);
+        assert_eq!(r.unfinished, vec![0], "{cc:?} left flows unfinished");
+        rows.push((cc, r.rows));
+    }
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}   (average FCT slowdown per size bucket)",
+        "flow_size", "DCQCN", "HPCC", "FNCC"
+    );
+    let buckets = Workload::WebSearch.buckets();
+    for (b, upper) in buckets.iter().enumerate() {
+        if rows.iter().all(|(_, r)| r[b].count == 0) {
+            continue;
+        }
+        println!(
+            "{:<10} {:>10.2} {:>10.2} {:>10.2}",
+            fncc::workloads::distributions::bucket_label(*upper),
+            rows[0].1[b].avg,
+            rows[1].1[b].avg,
+            rows[2].1[b].avg,
+        );
+    }
+    println!("\nFNCC ≤ HPCC ≪ DCQCN across buckets is the Fig. 14 shape.");
+}

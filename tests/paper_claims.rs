@@ -1,0 +1,171 @@
+//! End-to-end integration tests asserting the paper's headline claims hold
+//! in this reproduction (shape, not absolute numbers — see EXPERIMENTS.md).
+
+use fncc::prelude::*;
+
+fn quick(cc: CcKind) -> MicrobenchSpec {
+    MicrobenchSpec { cc, horizon_us: 800, ..Default::default() }
+}
+
+/// §5.1 / Fig. 9b: FNCC is the first to slow down, then HPCC, then
+/// DCQCN/RoCC.
+#[test]
+fn reaction_ordering_fncc_first() {
+    let f = elephant_dumbbell(&quick(CcKind::Fncc)).reaction_us.expect("FNCC reacted");
+    let h = elephant_dumbbell(&quick(CcKind::Hpcc)).reaction_us.expect("HPCC reacted");
+    let d = elephant_dumbbell(&quick(CcKind::Dcqcn)).reaction_us.expect("DCQCN reacted");
+    assert!(f < h, "FNCC {f} must react before HPCC {h}");
+    assert!(h < d, "HPCC {h} must react before DCQCN {d}");
+}
+
+/// §5.1 / Fig. 9a: FNCC keeps the shallowest bottleneck queue.
+#[test]
+fn queue_ordering_fncc_shallowest() {
+    let f = elephant_dumbbell(&quick(CcKind::Fncc)).peak_queue_kb;
+    let h = elephant_dumbbell(&quick(CcKind::Hpcc)).peak_queue_kb;
+    let d = elephant_dumbbell(&quick(CcKind::Dcqcn)).peak_queue_kb;
+    assert!(f < h, "FNCC {f}KB vs HPCC {h}KB");
+    assert!(h < d, "HPCC {h}KB vs DCQCN {d}KB");
+}
+
+/// §5.2 / Figs. 9c–f: the orderings are robust at 200 and 400 Gb/s.
+#[test]
+fn robust_at_higher_line_rates() {
+    for gbps in [200u64, 400] {
+        let mut f = quick(CcKind::Fncc);
+        f.line_gbps = gbps;
+        let mut h = quick(CcKind::Hpcc);
+        h.line_gbps = gbps;
+        let rf = elephant_dumbbell(&f);
+        let rh = elephant_dumbbell(&h);
+        assert!(
+            rf.peak_queue_kb < rh.peak_queue_kb,
+            "{gbps}G: FNCC {} vs HPCC {}",
+            rf.peak_queue_kb,
+            rh.peak_queue_kb
+        );
+        assert!(rf.reaction_us.unwrap() <= rh.reaction_us.unwrap(), "{gbps}G reaction");
+    }
+}
+
+/// §5.2 / Figs. 9g–h: FNCC maintains utilization at least as high as HPCC.
+#[test]
+fn utilization_fncc_at_least_hpcc() {
+    let f = elephant_dumbbell(&quick(CcKind::Fncc)).mean_util_after_join;
+    let h = elephant_dumbbell(&quick(CcKind::Hpcc)).mean_util_after_join;
+    assert!(f >= h - 0.01, "FNCC util {f} vs HPCC {h}");
+    assert!(f > 0.9, "FNCC util {f} too low");
+}
+
+/// §3.1 Observation 1 / Fig. 12: ACK-path INT is fresher than data-path
+/// INT at every hop, most at the first hop.
+#[test]
+fn int_freshness_gain_largest_at_first_hop() {
+    let f = elephant_dumbbell(&quick(CcKind::Fncc)).mean_int_age_us;
+    let h = elephant_dumbbell(&quick(CcKind::Hpcc)).mean_int_age_us;
+    assert_eq!(f.len(), 3);
+    assert_eq!(h.len(), 3);
+    for hop in 0..3 {
+        assert!(
+            f[hop] < h[hop],
+            "hop {hop}: FNCC age {} must be fresher than HPCC {}",
+            f[hop],
+            h[hop]
+        );
+    }
+    let gain: Vec<f64> = (0..3).map(|i| h[i] - f[i]).collect();
+    assert!(gain[0] > gain[1] && gain[1] > gain[2], "gain must shrink with hop: {gain:?}");
+}
+
+/// §2.3 / Fig. 3: pause-frame counts are ordered FNCC ≤ HPCC ≤ DCQCN.
+#[test]
+fn pause_frames_ordering() {
+    let mut f = quick(CcKind::Fncc);
+    f.line_gbps = 400;
+    let mut h = quick(CcKind::Hpcc);
+    h.line_gbps = 400;
+    let mut d = quick(CcKind::Dcqcn);
+    d.line_gbps = 400;
+    let pf = elephant_dumbbell(&f).pause_frames;
+    let ph = elephant_dumbbell(&h).pause_frames;
+    let pd = elephant_dumbbell(&d).pause_frames;
+    assert!(pf <= ph, "FNCC {pf} vs HPCC {ph}");
+    assert!(ph <= pd, "HPCC {ph} vs DCQCN {pd}");
+    assert!(pd > 0, "DCQCN must trigger PFC at 400G");
+}
+
+/// §5.4 / Fig. 13: FNCC's queue advantage shrinks from first to last hop,
+/// and LHCS restores it at the last hop.
+#[test]
+fn hop_location_gains_and_lhcs() {
+    let spec_f = quick(CcKind::Fncc);
+    let spec_h = quick(CcKind::Hpcc);
+    let mut reductions = Vec::new();
+    for loc in [HopLocation::First, HopLocation::Middle, HopLocation::Last] {
+        let h = hop_congestion(loc, &spec_h);
+        let f = hop_congestion(loc, &spec_f);
+        reductions.push(1.0 - f.peak_queue_kb / h.peak_queue_kb);
+    }
+    // First-hop gain must exceed last-hop gain (Fig. 12's theory).
+    assert!(
+        reductions[0] > reductions[2] - 0.01,
+        "gains by hop: {reductions:?}"
+    );
+
+    // LHCS fires only at the last hop and reduces the standing queue there.
+    let last_h = hop_congestion(HopLocation::Last, &spec_h);
+    let mut no_lhcs_spec = quick(CcKind::Fncc);
+    no_lhcs_spec.disable_lhcs = true;
+    let last_no = hop_congestion(HopLocation::Last, &no_lhcs_spec);
+    let last_with = hop_congestion(HopLocation::Last, &spec_f);
+    assert_eq!(last_no.lhcs_triggers, 0);
+    assert!(last_with.lhcs_triggers > 0);
+    assert!(
+        last_with.mean_queue_kb < last_no.mean_queue_kb,
+        "LHCS queue {} vs no-LHCS {}",
+        last_with.mean_queue_kb,
+        last_no.mean_queue_kb
+    );
+    assert!(last_with.peak_queue_kb < last_h.peak_queue_kb, "LHCS vs HPCC peak");
+}
+
+/// §5.3 / Fig. 13e: good fairness at short time scales. The paper staggers
+/// joins by 100 ms; 1 ms (≈80 RTTs) is already enough for W_AI-driven
+/// equalisation within each period.
+#[test]
+fn fairness_staircase_high_jain() {
+    let r = fairness_staircase(CcKind::Fncc, 4, TimeDelta::from_ms(1), 3);
+    assert!(r.all_finished, "staircase flows must drain");
+    let min = r.jain_per_period.iter().copied().fold(1.0, f64::min);
+    assert!(min > 0.9, "Jain {min} ({:?})", r.jain_per_period);
+}
+
+/// §5.5 / Figs. 14–15 (pocket scale): FNCC's FCT slowdown beats DCQCN
+/// overall and is at worst comparable to HPCC.
+#[test]
+fn workload_slowdowns_ordered() {
+    let mut results = Vec::new();
+    for cc in [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc] {
+        let spec = WorkloadSpec {
+            cc,
+            workload: Workload::FbHadoop,
+            load: 0.5,
+            n_flows: 150,
+            seeds: vec![5],
+            k: 4,
+            line_gbps: 100,
+        };
+        let r = fattree_workload(&spec);
+        assert_eq!(r.unfinished, vec![0], "{cc:?} unfinished flows");
+        // Weighted overall average slowdown.
+        let (mut sum, mut n) = (0.0, 0usize);
+        for b in &r.rows {
+            sum += b.avg * b.count as f64;
+            n += b.count;
+        }
+        results.push((cc, sum / n as f64));
+    }
+    let (dcqcn, hpcc, fncc) = (results[0].1, results[1].1, results[2].1);
+    assert!(fncc < dcqcn, "FNCC {fncc} must beat DCQCN {dcqcn}");
+    assert!(fncc < hpcc * 1.1, "FNCC {fncc} should be ≲ HPCC {hpcc}");
+}

@@ -1,0 +1,150 @@
+//! Property-based tests over the core data structures and invariants.
+
+use fncc::des::engine::{Engine, Model, Scheduler};
+use fncc::des::rng::DetRng;
+use fncc::des::stats::{jain_index, Samples};
+use fncc::des::{SimTime, TimeDelta};
+use fncc::net::ids::{FlowId, HostId};
+use fncc::net::topology::Topology;
+use fncc::net::units::Bandwidth;
+use fncc::workloads::cdf::Cdf;
+use proptest::prelude::*;
+
+/// The engine dispatches any multiset of events in nondecreasing time
+/// order, with FIFO tie-breaking.
+#[derive(Default)]
+struct Recorder {
+    seen: Vec<(u64, u32)>,
+}
+
+impl Model for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+        self.seen.push((now.as_ps(), ev));
+    }
+}
+
+proptest! {
+    #[test]
+    fn engine_orders_any_event_multiset(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng = Engine::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule(SimTime::from_ps(t), i as u32);
+        }
+        eng.run_until_idle();
+        let seen = &eng.model.seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Fat-tree ECMP paths are symmetric for every (pair, flow) — the
+    /// precondition of FNCC's return-path INT (Observation 2).
+    #[test]
+    fn fat_tree_paths_always_symmetric(
+        src in 0u32..16,
+        dst in 0u32..16,
+        flow in 0u32..10_000,
+    ) {
+        prop_assume!(src != dst);
+        let topo = Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let fwd = topo.path_switches(HostId(src), HostId(dst), FlowId(flow));
+        let mut rev = topo.path_switches(HostId(dst), HostId(src), FlowId(flow));
+        rev.reverse();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Spanning-tree routing is symmetric too (Fig. 6 mechanism).
+    #[test]
+    fn spanning_tree_paths_always_symmetric(
+        src in 0u32..16,
+        dst in 0u32..16,
+        flow in 0u32..10_000,
+        n_trees in 1usize..6,
+    ) {
+        prop_assume!(src != dst);
+        let topo = Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500))
+            .with_spanning_trees(n_trees);
+        let fwd = topo.path_switches(HostId(src), HostId(dst), FlowId(flow));
+        let mut rev = topo.path_switches(HostId(dst), HostId(src), FlowId(flow));
+        rev.reverse();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Ideal FCT is monotone in flow size and bounded below by the
+    /// propagation+pipeline floor.
+    #[test]
+    fn ideal_fct_monotone(size_a in 1u64..50_000_000, size_b in 1u64..50_000_000) {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let fct = |s| topo.ideal_fct(HostId(0), HostId(2), FlowId(0), s, 1456, 62);
+        let (lo, hi) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
+        prop_assert!(fct(lo) <= fct(hi));
+        // Floor: 4 links × 1.5 µs propagation.
+        prop_assert!(fct(lo) >= TimeDelta::from_us(6));
+    }
+
+    /// CDF sampling respects the support and quantiles are monotone.
+    #[test]
+    fn cdf_quantiles_monotone(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0) {
+        let cdf = fncc::workloads::distributions::web_search();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+        prop_assert!(cdf.quantile(hi) <= cdf.max_size());
+        prop_assert!(cdf.quantile(lo) >= 1);
+    }
+
+    /// Custom CDFs: the sample mean tracks the analytic mean.
+    #[test]
+    fn cdf_sample_mean_tracks_analytic(seed in 0u64..1000) {
+        let cdf = Cdf::new(&[(100.0, 0.3), (10_000.0, 0.9), (100_000.0, 1.0)]);
+        let mut rng = DetRng::new(seed, 0);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| cdf.sample(&mut rng)).sum();
+        let sample_mean = sum as f64 / n as f64;
+        let analytic = cdf.mean();
+        prop_assert!(
+            (sample_mean - analytic).abs() / analytic < 0.15,
+            "sample {} vs analytic {}", sample_mean, analytic
+        );
+    }
+
+    /// Jain's index is always in (0, 1] and equals 1 only for equal rates.
+    #[test]
+    fn jain_index_bounds(xs in proptest::collection::vec(0.01f64..1000.0, 1..32)) {
+        let j = jain_index(&xs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12);
+        let equal = vec![xs[0]; xs.len()];
+        prop_assert!((jain_index(&equal) - 1.0).abs() < 1e-9);
+    }
+
+    /// Nearest-rank percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentiles_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Samples::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let p50 = s.percentile(50.0);
+        let p95 = s.percentile(95.0);
+        let p99 = s.percentile(99.0);
+        prop_assert!(p50 <= p95 && p95 <= p99);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(p99 <= max && p50 >= min);
+    }
+
+    /// Bandwidth serialization arithmetic: tx_time is additive in bytes.
+    #[test]
+    fn tx_time_additive(a in 1u64..100_000, b in 1u64..100_000, gbps in 1u64..800) {
+        let bw = Bandwidth::gbps(gbps);
+        let sum = bw.tx_time(a + b);
+        let parts = bw.tx_time(a) + bw.tx_time(b);
+        // Rounding up per call may add at most 1 ps per part.
+        prop_assert!(parts >= sum);
+        prop_assert!(parts.as_ps() - sum.as_ps() <= 2);
+    }
+}
