@@ -33,18 +33,22 @@ fn bench(c: &mut Criterion) {
         ("1us", Some(TimeDelta::from_us(1))),
         ("20us", Some(TimeDelta::from_us(20))),
     ] {
-        g.bench_with_input(BenchmarkId::new("refresh", label), &refresh, |b, refresh| {
-            b.iter(|| {
-                let spec = MicrobenchSpec {
-                    cc: CcKind::Fncc,
-                    horizon_us: 500,
-                    join_at_us: 150,
-                    int_refresh: *refresh,
-                    ..Default::default()
-                };
-                elephant_dumbbell(&spec).mean_util_after_join
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("refresh", label),
+            &refresh,
+            |b, refresh| {
+                b.iter(|| {
+                    let spec = MicrobenchSpec {
+                        cc: CcKind::Fncc,
+                        horizon_us: 500,
+                        join_at_us: 150,
+                        int_refresh: *refresh,
+                        ..Default::default()
+                    };
+                    elephant_dumbbell(&spec).mean_util_after_join
+                })
+            },
+        );
     }
     g.finish();
 }

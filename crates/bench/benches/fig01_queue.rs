@@ -7,7 +7,13 @@ use fncc_cc::CcKind;
 use fncc_core::scenarios::{elephant_dumbbell, MicrobenchSpec};
 
 fn spec(cc: CcKind, gbps: u64) -> MicrobenchSpec {
-    MicrobenchSpec { cc, line_gbps: gbps, horizon_us: 450, join_at_us: 150, ..Default::default() }
+    MicrobenchSpec {
+        cc,
+        line_gbps: gbps,
+        horizon_us: 450,
+        join_at_us: 150,
+        ..Default::default()
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -28,7 +34,10 @@ fn bench(c: &mut Criterion) {
     let f = elephant_dumbbell(&spec(CcKind::Fncc, 100)).peak_queue_kb;
     let h = elephant_dumbbell(&spec(CcKind::Hpcc, 100)).peak_queue_kb;
     let d = elephant_dumbbell(&spec(CcKind::Dcqcn, 100)).peak_queue_kb;
-    assert!(f < h && h < d, "Fig. 1 shape violated: FNCC {f} HPCC {h} DCQCN {d}");
+    assert!(
+        f < h && h < d,
+        "Fig. 1 shape violated: FNCC {f} HPCC {h} DCQCN {d}"
+    );
 }
 
 criterion_group!(benches, bench);

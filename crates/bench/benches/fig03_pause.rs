@@ -5,20 +5,31 @@ use fncc_cc::CcKind;
 use fncc_core::scenarios::{elephant_dumbbell, MicrobenchSpec};
 
 fn spec(cc: CcKind) -> MicrobenchSpec {
-    MicrobenchSpec { cc, line_gbps: 400, horizon_us: 450, join_at_us: 150, ..Default::default() }
+    MicrobenchSpec {
+        cc,
+        line_gbps: 400,
+        horizon_us: 450,
+        join_at_us: 150,
+        ..Default::default()
+    }
 }
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig03_pause");
     g.sample_size(10);
     for cc in [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc] {
-        g.bench_function(cc.name(), |b| b.iter(|| elephant_dumbbell(&spec(cc)).pause_frames));
+        g.bench_function(cc.name(), |b| {
+            b.iter(|| elephant_dumbbell(&spec(cc)).pause_frames)
+        });
     }
     g.finish();
 
     let d = elephant_dumbbell(&spec(CcKind::Dcqcn)).pause_frames;
     let f = elephant_dumbbell(&spec(CcKind::Fncc)).pause_frames;
-    assert!(f <= d, "Fig. 3 shape violated: FNCC {f} pauses vs DCQCN {d}");
+    assert!(
+        f <= d,
+        "Fig. 3 shape violated: FNCC {f} pauses vs DCQCN {d}"
+    );
 }
 
 criterion_group!(benches, bench);

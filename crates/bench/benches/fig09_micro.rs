@@ -6,7 +6,12 @@ use fncc_cc::CcKind;
 use fncc_core::scenarios::{elephant_dumbbell, MicrobenchSpec};
 
 fn spec(cc: CcKind) -> MicrobenchSpec {
-    MicrobenchSpec { cc, horizon_us: 450, join_at_us: 150, ..Default::default() }
+    MicrobenchSpec {
+        cc,
+        horizon_us: 450,
+        join_at_us: 150,
+        ..Default::default()
+    }
 }
 
 fn bench(c: &mut Criterion) {
@@ -25,7 +30,10 @@ fn bench(c: &mut Criterion) {
     // Reaction ordering holds even at the scaled horizon.
     let f = elephant_dumbbell(&spec(CcKind::Fncc)).reaction_us.unwrap();
     let h = elephant_dumbbell(&spec(CcKind::Hpcc)).reaction_us.unwrap();
-    assert!(f <= h, "Fig. 9 shape violated: FNCC reacted at {f}, HPCC at {h}");
+    assert!(
+        f <= h,
+        "Fig. 9 shape violated: FNCC reacted at {f}, HPCC at {h}"
+    );
 }
 
 criterion_group!(benches, bench);

@@ -27,7 +27,12 @@ fn bench(c: &mut Criterion) {
     for cc in [CcKind::Fncc, CcKind::Hpcc] {
         g.bench_function(cc.name(), |b| {
             b.iter(|| {
-                let spec = MicrobenchSpec { cc, horizon_us: 400, join_at_us: 150, ..Default::default() };
+                let spec = MicrobenchSpec {
+                    cc,
+                    horizon_us: 400,
+                    join_at_us: 150,
+                    ..Default::default()
+                };
                 elephant_dumbbell(&spec).mean_int_age_us
             })
         });

@@ -7,7 +7,13 @@ use fncc_core::scenarios::{fairness_staircase, hop_congestion, HopLocation, Micr
 use fncc_des::TimeDelta;
 
 fn spec(cc: CcKind, disable_lhcs: bool) -> MicrobenchSpec {
-    MicrobenchSpec { cc, horizon_us: 500, join_at_us: 150, disable_lhcs, ..Default::default() }
+    MicrobenchSpec {
+        cc,
+        horizon_us: 500,
+        join_at_us: 150,
+        disable_lhcs,
+        ..Default::default()
+    }
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,104 @@
+//! Fluid-backend scale benchmarks: allocator throughput and end-to-end
+//! flows-per-second on the paper's fat-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fncc_cc::CcKind;
+use fncc_des::time::TimeDelta;
+use fncc_fluid::{scenarios, Demand, FluidSim, RateModel, WaterFiller};
+use fncc_net::ids::HostId;
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+
+fn fat_tree() -> Topology {
+    Topology::fat_tree(8, Bandwidth::gbps(100), TimeDelta::from_ns(1500))
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_allocator");
+    // A synthetic incast: n flows over (n host uplinks + 1 receiver link).
+    for n in [64usize, 1024, 16384] {
+        let caps: Vec<f64> = (0..n + 1).map(|_| 100e9).collect();
+        let paths: Vec<[u32; 2]> = (0..n).map(|i| [i as u32, n as u32]).collect();
+        let demands: Vec<Demand<'_>> = paths
+            .iter()
+            .map(|p| Demand {
+                cap: f64::INFINITY,
+                path: p,
+            })
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("incast_waterfill", n), &n, |b, _| {
+            let mut wf = WaterFiller::new(caps.len());
+            let mut rates = Vec::new();
+            b.iter(|| {
+                wf.allocate(&caps, &demands, &mut rates);
+                rates[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid_end_to_end");
+    g.sample_size(10);
+
+    let topo = fat_tree();
+    const N_PERM: u64 = 10_048; // 78.5 waves × 128 hosts
+    g.throughput(Throughput::Elements(N_PERM));
+    g.bench_function("permutation_10k_flows", |b| {
+        b.iter(|| {
+            let flows =
+                scenarios::permutation_waves(topo.n_hosts, 100_000, 79, TimeDelta::from_us(50), 1);
+            let r = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
+                .flows(flows)
+                .run();
+            assert!(r.telemetry.all_flows_finished());
+            r.reallocations
+        })
+    });
+
+    const N_STORM: u64 = 10_000;
+    g.throughput(Throughput::Elements(N_STORM));
+    g.bench_function("incast_storm_10k_flows", |b| {
+        b.iter(|| {
+            let flows = scenarios::incast_storm(
+                topo.n_hosts,
+                HostId(0),
+                100,
+                100_000,
+                100,
+                TimeDelta::from_us(200),
+            );
+            let r = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
+                .flows(flows)
+                .run();
+            assert!(r.telemetry.all_flows_finished());
+            r.reallocations
+        })
+    });
+
+    const N_POISSON: u64 = 5_000;
+    g.throughput(Throughput::Elements(N_POISSON));
+    g.bench_function("websearch_poisson_5k_flows", |b| {
+        b.iter(|| {
+            let flows = scenarios::poisson_trace(
+                topo.n_hosts,
+                Bandwidth::gbps(100),
+                0.5,
+                N_POISSON as u32,
+                scenarios::Trace::WebSearch,
+                1,
+            );
+            let r = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
+                .flows(flows)
+                .run();
+            assert!(r.telemetry.all_flows_finished());
+            r.reallocations
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_allocator, bench_end_to_end);
+criterion_main!(benches);

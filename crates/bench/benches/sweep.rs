@@ -1,0 +1,49 @@
+//! Regression guard for `fncc_core::sweep::run_parallel`: the per-slot
+//! hand-off must keep 1k short jobs fast (the old whole-vector mutex
+//! serialized every result write).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fncc_core::sweep::run_parallel;
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    const N: u64 = 1000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("short_jobs_1k_x8threads", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = (0..N)
+                .map(|i| {
+                    move || {
+                        // A few microseconds of real work per job.
+                        let mut acc = i;
+                        for k in 0..2_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        acc
+                    }
+                })
+                .collect();
+            run_parallel(jobs, 8).len()
+        })
+    });
+    g.bench_function("short_jobs_1k_x1thread", |b| {
+        b.iter(|| {
+            let jobs: Vec<_> = (0..N)
+                .map(|i| {
+                    move || {
+                        let mut acc = i;
+                        for k in 0..2_000u64 {
+                            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                        }
+                        acc
+                    }
+                })
+                .collect();
+            run_parallel(jobs, 1).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

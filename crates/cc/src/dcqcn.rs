@@ -288,6 +288,10 @@ mod tests {
         for k in 0..200 {
             f.on_cnp(SimTime::from_us(k * 55));
         }
-        assert!(f.alpha() > 0.9, "α under sustained congestion: {}", f.alpha());
+        assert!(
+            f.alpha() > 0.9,
+            "α under sustained congestion: {}",
+            f.alpha()
+        );
     }
 }

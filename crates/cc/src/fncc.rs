@@ -33,12 +33,19 @@ pub struct LhcsConfig {
 impl LhcsConfig {
     /// The paper's values: α = 1.05, β = 0.9.
     pub fn paper_default() -> Self {
-        LhcsConfig { enabled: true, alpha: 1.05, beta: 0.9 }
+        LhcsConfig {
+            enabled: true,
+            alpha: 1.05,
+            beta: 0.9,
+        }
     }
 
     /// LHCS disabled (the Fig. 13 ablation).
     pub fn disabled() -> Self {
-        LhcsConfig { enabled: false, ..Self::paper_default() }
+        LhcsConfig {
+            enabled: false,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -81,7 +88,11 @@ pub struct FnccFlow {
 impl FnccFlow {
     /// Fresh flow.
     pub fn new(cfg: FnccConfig) -> Self {
-        FnccFlow { inner: HpccFlow::new(cfg.hpcc), lhcs: cfg.lhcs, lhcs_triggers: 0 }
+        FnccFlow {
+            inner: HpccFlow::new(cfg.hpcc),
+            lhcs: cfg.lhcs,
+            lhcs_triggers: 0,
+        }
     }
 
     /// Current window in bytes.

@@ -143,7 +143,11 @@ impl HpccFlow {
 
     /// Algorithm 3 `NewACK`, with an optional pre-window hook (FNCC's
     /// `UpdateWc` runs there).
-    pub fn on_ack_with(&mut self, ack: &AckView<'_>, pre_window: impl FnOnce(&mut Self, &AckView<'_>)) {
+    pub fn on_ack_with(
+        &mut self,
+        ack: &AckView<'_>,
+        pre_window: impl FnOnce(&mut Self, &AckView<'_>),
+    ) {
         let update_wc = ack.seq > self.last_update_seq;
         let u = self.measure_inflight(ack);
         pre_window(self, ack);
@@ -346,20 +350,48 @@ mod tests {
         let tx = |k: u64| 150_000 * k;
         let ts = |k: u64| 12.0 * k as f64;
         // Prime (stores L) — update round 1 pins lastUpdateSeq to 100_000.
-        f.on_ack(&ack_at(ts(1), 1456, 100_000, &[rec(100, ts(1), tx(1), 300_000)]));
+        f.on_ack(&ack_at(
+            ts(1),
+            1456,
+            100_000,
+            &[rec(100, ts(1), tx(1), 300_000)],
+        ));
         // Second ACK: measurement live (U≈3 ≥ η) and seq < 100_000 → W moves,
         // Wc frozen.
-        f.on_ack(&ack_at(ts(2), 2912, 100_000, &[rec(100, ts(2), tx(2), 300_000)]));
+        f.on_ack(&ack_at(
+            ts(2),
+            2912,
+            100_000,
+            &[rec(100, ts(2), tx(2), 300_000)],
+        ));
         let wc_frozen = f.wc();
-        f.on_ack(&ack_at(ts(3), 4368, 100_000, &[rec(100, ts(3), tx(3), 300_000)]));
-        f.on_ack(&ack_at(ts(4), 5824, 100_000, &[rec(100, ts(4), tx(4), 300_000)]));
+        f.on_ack(&ack_at(
+            ts(3),
+            4368,
+            100_000,
+            &[rec(100, ts(3), tx(3), 300_000)],
+        ));
+        f.on_ack(&ack_at(
+            ts(4),
+            5824,
+            100_000,
+            &[rec(100, ts(4), tx(4), 300_000)],
+        ));
         assert_eq!(f.wc(), wc_frozen, "Wc must not move within the round");
         // An ACK beyond 100_000 opens the next round and moves Wc
         // multiplicatively (U ≈ 3 ≥ η and Wc is well below the BDP clamp
         // after the collapse... it is still at BDP here, so check the
         // direction instead: with U≈3 the new Wc is Wc/(U/η)+wai < Wc).
-        f.on_ack(&ack_at(ts(5), 100_001, 200_000, &[rec(100, ts(5), tx(5), 300_000)]));
-        assert!(f.wc() < wc_frozen, "round boundary must re-enable Wc updates");
+        f.on_ack(&ack_at(
+            ts(5),
+            100_001,
+            200_000,
+            &[rec(100, ts(5), tx(5), 300_000)],
+        ));
+        assert!(
+            f.wc() < wc_frozen,
+            "round boundary must re-enable Wc updates"
+        );
     }
 
     /// Additive probing: with U below η, W grows by WAI per round for at
@@ -377,7 +409,12 @@ mod tests {
         for k in 1..=3 {
             tx += 6_250;
             seq += 1456;
-            f.on_ack(&ack_at(k as f64, seq, seq + 1, &[rec(100, k as f64, tx, 0)]));
+            f.on_ack(&ack_at(
+                k as f64,
+                seq,
+                seq + 1,
+                &[rec(100, k as f64, tx, 0)],
+            ));
         }
         // Window grew, bounded by a few WAI increments (BDP-clamped).
         let grown = f.window() - w0;
@@ -394,9 +431,9 @@ mod tests {
             let t = k as f64;
             tx += 12_500;
             let int = [
-                rec(100, t, tx / 10, 0),     // idle first hop
-                rec(100, t, tx, 300_000),    // congested middle hop
-                rec(100, t, tx / 10, 0),     // idle last hop
+                rec(100, t, tx / 10, 0),  // idle first hop
+                rec(100, t, tx, 300_000), // congested middle hop
+                rec(100, t, tx / 10, 0),  // idle last hop
             ];
             f.on_ack(&ack_at(t, 1456 * (k + 1), 1456 * (k + 2), &int));
         }

@@ -229,7 +229,10 @@ mod tests {
     #[test]
     fn kinds_and_names_roundtrip() {
         let names: Vec<&str> = algos().iter().map(|a| a.kind().name()).collect();
-        assert_eq!(names, vec!["HPCC", "FNCC", "DCQCN", "RoCC", "Timely", "Swift"]);
+        assert_eq!(
+            names,
+            vec!["HPCC", "FNCC", "DCQCN", "RoCC", "Timely", "Swift"]
+        );
     }
 
     #[test]

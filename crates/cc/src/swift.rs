@@ -63,7 +63,11 @@ impl SwiftFlow {
     /// Fresh flow at one BDP.
     pub fn new(cfg: SwiftConfig) -> Self {
         let cwnd = cfg.bdp();
-        SwiftFlow { cfg, cwnd, last_decrease: SimTime::ZERO }
+        SwiftFlow {
+            cfg,
+            cwnd,
+            last_decrease: SimTime::ZERO,
+        }
     }
 
     /// Congestion window in bytes.

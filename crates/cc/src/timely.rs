@@ -62,7 +62,12 @@ impl TimelyFlow {
     /// Fresh flow at line rate.
     pub fn new(cfg: TimelyConfig) -> Self {
         let line = cfg.line.as_f64();
-        TimelyFlow { cfg, rate: line, prev_rtt: None, rtt_diff: 0.0 }
+        TimelyFlow {
+            cfg,
+            rate: line,
+            prev_rtt: None,
+            rtt_diff: 0.0,
+        }
     }
 
     /// Current sending rate (bits/s).
@@ -93,7 +98,9 @@ impl TimelyFlow {
         } else {
             self.rate *= 1.0 - self.cfg.beta * gradient.min(1.0);
         }
-        self.rate = self.rate.clamp(self.cfg.line.as_f64() / 1000.0, self.cfg.line.as_f64());
+        self.rate = self
+            .rate
+            .clamp(self.cfg.line.as_f64() / 1000.0, self.cfg.line.as_f64());
     }
 }
 
@@ -139,7 +146,12 @@ mod tests {
         for _ in 0..200 {
             f.on_ack(&ack_rtt(12.0));
         }
-        assert!(f.rate_bps() > low, "no recovery: {} -> {}", low, f.rate_bps());
+        assert!(
+            f.rate_bps() > low,
+            "no recovery: {} -> {}",
+            low,
+            f.rate_bps()
+        );
     }
 
     #[test]

@@ -31,10 +31,30 @@ impl SwitchGen {
 /// grows only 10×, so the burst-absorption time shrinks).
 pub fn hardware_trends() -> [SwitchGen; 4] {
     [
-        SwitchGen { name: "Spectrum", released: "2015.6", capacity_tbps: 3.2, buffer_mb: 16.0 },
-        SwitchGen { name: "Spectrum-2", released: "2017.7", capacity_tbps: 12.8, buffer_mb: 42.0 },
-        SwitchGen { name: "Spectrum-3", released: "2020.3", capacity_tbps: 25.6, buffer_mb: 64.0 },
-        SwitchGen { name: "Spectrum-4", released: "2022.3", capacity_tbps: 51.2, buffer_mb: 160.0 },
+        SwitchGen {
+            name: "Spectrum",
+            released: "2015.6",
+            capacity_tbps: 3.2,
+            buffer_mb: 16.0,
+        },
+        SwitchGen {
+            name: "Spectrum-2",
+            released: "2017.7",
+            capacity_tbps: 12.8,
+            buffer_mb: 42.0,
+        },
+        SwitchGen {
+            name: "Spectrum-3",
+            released: "2020.3",
+            capacity_tbps: 25.6,
+            buffer_mb: 64.0,
+        },
+        SwitchGen {
+            name: "Spectrum-4",
+            released: "2022.3",
+            capacity_tbps: 51.2,
+            buffer_mb: 160.0,
+        },
     ]
 }
 
@@ -109,13 +129,8 @@ mod tests {
 
     #[test]
     fn model_gain_decreases_with_hop_index() {
-        let g = notification_gain_model(
-            3,
-            Bandwidth::gbps(100),
-            TimeDelta::from_ns(1500),
-            1518,
-            70,
-        );
+        let g =
+            notification_gain_model(3, Bandwidth::gbps(100), TimeDelta::from_ns(1500), 1518, 70);
         assert_eq!(g.len(), 3);
         assert!(g[0].gain() > g[1].gain());
         assert!(g[1].gain() > g[2].gain());
@@ -139,13 +154,8 @@ mod tests {
 
     #[test]
     fn last_hop_gain_is_smallest_but_positive() {
-        let g = notification_gain_model(
-            5,
-            Bandwidth::gbps(400),
-            TimeDelta::from_ns(1500),
-            1518,
-            70,
-        );
+        let g =
+            notification_gain_model(5, Bandwidth::gbps(400), TimeDelta::from_ns(1500), 1518, 70);
         let last = g.last().unwrap();
         let first = g.first().unwrap();
         assert!(last.gain() < first.gain() / 3);

@@ -1,0 +1,164 @@
+//! Backend dispatch: one scenario description, two engines.
+//!
+//! [`SimBackend::Packet`] is the packet-level DES (every frame, ACK, PFC
+//! pause and INT record simulated — the paper-faithful engine). For
+//! [`SimBackend::Fluid`], flow throughput comes from `fncc-fluid`'s
+//! water-filling max-min model with per-scheme steady-state rate hooks —
+//! five to six orders of magnitude faster, validated against the packet
+//! engine by the cross-validation suite. See `DESIGN.md` for when to use
+//! which.
+
+use crate::metrics::{average_slowdowns, fct_slowdowns};
+use crate::scenarios::{fattree_workload, WorkloadResult, WorkloadSpec};
+use fncc_fluid::{FluidSim, Framing, RateModel};
+
+/// Which simulation engine runs a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimBackend {
+    /// Packet-level discrete-event simulation (paper-faithful).
+    #[default]
+    Packet,
+    /// Flow-level fluid model (fast path for large scales).
+    Fluid,
+}
+
+impl SimBackend {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<SimBackend> {
+        match s {
+            "packet" | "des" => Some(SimBackend::Packet),
+            "fluid" | "flow" => Some(SimBackend::Fluid),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimBackend::Packet => "packet",
+            SimBackend::Fluid => "fluid",
+        }
+    }
+}
+
+impl core::fmt::Display for SimBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run the §5.5 fat-tree workload on the chosen backend. Both paths build
+/// identical topologies and flow sets (same seeds → same flows), so their
+/// [`WorkloadResult`]s are directly comparable.
+pub fn fattree_workload_on(spec: &WorkloadSpec, backend: SimBackend) -> WorkloadResult {
+    match backend {
+        SimBackend::Packet => fattree_workload(spec),
+        SimBackend::Fluid => fattree_workload_fluid(spec),
+    }
+}
+
+/// The fluid twin of [`fattree_workload`]: `WorkloadSpec::instance` hands
+/// both backends the same topology and Poisson flow set per seed; only the
+/// rate engine differs.
+pub fn fattree_workload_fluid(spec: &WorkloadSpec) -> WorkloadResult {
+    let framing = Framing::default();
+    let mut runs = Vec::with_capacity(spec.seeds.len());
+    let mut unfinished = Vec::with_capacity(spec.seeds.len());
+    let mut events = 0u64;
+    for &seed in &spec.seeds {
+        let (topo, flows) = spec.instance(seed);
+        let result = FluidSim::new(topo.clone(), RateModel::paper_default(spec.cc))
+            .framing(framing)
+            .flows(flows)
+            .run();
+        let not_done = result
+            .telemetry
+            .flow_records()
+            .filter(|r| r.finish.is_none())
+            .count();
+        unfinished.push(not_done);
+        runs.push(fct_slowdowns(
+            &topo,
+            &result.telemetry,
+            spec.workload.buckets(),
+            framing.mtu_payload,
+            framing.header,
+        ));
+        events += result.reallocations;
+    }
+    WorkloadResult {
+        cc: spec.cc,
+        workload: spec.workload,
+        rows: average_slowdowns(&runs),
+        unfinished,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::Workload;
+    use fncc_cc::CcKind;
+
+    #[test]
+    fn backend_parse_roundtrip() {
+        assert_eq!(SimBackend::parse("packet"), Some(SimBackend::Packet));
+        assert_eq!(SimBackend::parse("des"), Some(SimBackend::Packet));
+        assert_eq!(SimBackend::parse("fluid"), Some(SimBackend::Fluid));
+        assert_eq!(SimBackend::parse("flow"), Some(SimBackend::Fluid));
+        assert_eq!(SimBackend::parse("quantum"), None);
+        assert_eq!(SimBackend::default(), SimBackend::Packet);
+        assert_eq!(format!("{}", SimBackend::Fluid), "fluid");
+    }
+
+    #[test]
+    fn fluid_workload_completes_and_buckets_all_flows() {
+        let spec = WorkloadSpec {
+            cc: CcKind::Fncc,
+            workload: Workload::FbHadoop,
+            load: 0.3,
+            n_flows: 200,
+            seeds: vec![1, 2],
+            k: 4,
+            line_gbps: 100,
+        };
+        let r = fattree_workload_on(&spec, SimBackend::Fluid);
+        assert_eq!(r.unfinished, vec![0, 0]);
+        let total: usize = r.rows.iter().map(|b| b.count).sum();
+        assert_eq!(total, 400);
+        for b in &r.rows {
+            if b.count > 0 {
+                assert!(b.avg >= 1.0, "slowdown below 1 in {}", b.label);
+                assert!(b.p99 >= b.p50);
+            }
+        }
+    }
+
+    #[test]
+    fn both_backends_run_the_same_spec() {
+        let spec = WorkloadSpec {
+            cc: CcKind::Fncc,
+            workload: Workload::FbHadoop,
+            load: 0.3,
+            n_flows: 40,
+            seeds: vec![1],
+            k: 4,
+            line_gbps: 100,
+        };
+        let p = fattree_workload_on(&spec, SimBackend::Packet);
+        let f = fattree_workload_on(&spec, SimBackend::Fluid);
+        assert_eq!(p.unfinished, vec![0]);
+        assert_eq!(f.unfinished, vec![0]);
+        // Identical flow populations land in identical buckets.
+        let counts = |r: &WorkloadResult| r.rows.iter().map(|b| b.count).collect::<Vec<_>>();
+        assert_eq!(counts(&p), counts(&f));
+        // The fluid engine does orders of magnitude less work.
+        assert!(
+            f.events * 100 < p.events,
+            "fluid {} vs packet {}",
+            f.events,
+            p.events
+        );
+    }
+}

@@ -17,6 +17,8 @@
 //!   model and the Fig. 1a switch buffer/capacity trend data.
 //! * [`sweep`] — a small parallel runner for parameter sweeps and
 //!   multi-seed repetitions (crossbeam-scoped worker pool).
+//! * [`backend`] — [`backend::SimBackend`]: dispatch a scenario to the
+//!   packet DES engine or the `fncc-fluid` flow-level fast path.
 //!
 //! ## Quickstart
 //!
@@ -29,12 +31,14 @@
 //! ```
 
 pub mod analysis;
+pub mod backend;
 pub mod metrics;
 pub mod scenarios;
 pub mod sim;
 pub mod sweep;
 
 pub use analysis::{hardware_trends, notification_gain_model, HopGain, SwitchGen};
+pub use backend::{fattree_workload_on, SimBackend};
 pub use metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
 pub use scenarios::{
     elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
@@ -46,11 +50,12 @@ pub use sim::{make_algo, Sim, SimBuilder};
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::analysis::{hardware_trends, notification_gain_model};
+    pub use crate::backend::{fattree_workload_on, SimBackend};
     pub use crate::metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
     pub use crate::scenarios::{
         elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
-        FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, Workload,
-        WorkloadResult, WorkloadSpec,
+        FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, Workload, WorkloadResult,
+        WorkloadSpec,
     };
     pub use crate::sim::{make_algo, Sim, SimBuilder};
     pub use fncc_cc::CcKind;

@@ -10,7 +10,10 @@ use fncc_workloads::distributions::{bucket_label, bucket_of};
 /// the congestion *reaction time* of a sender (Fig. 9's "first to slow
 /// down").
 pub fn reaction_time(series: &TimeSeries, after: SimTime, threshold: f64) -> Option<SimTime> {
-    series.iter().find(|&(t, v)| t > after && v < threshold).map(|(t, _)| t)
+    series
+        .iter()
+        .find(|&(t, v)| t > after && v < threshold)
+        .map(|(t, _)| t)
 }
 
 /// First time after `after` from which *all* series stay within
@@ -208,7 +211,11 @@ mod tests {
         let rows = fct_slowdowns(&topo, &telem, &buckets, 1456, 62);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].count, 1);
-        assert!((rows[0].avg - 1.0).abs() < 1e-9, "ideal flow slowdown {}", rows[0].avg);
+        assert!(
+            (rows[0].avg - 1.0).abs() < 1e-9,
+            "ideal flow slowdown {}",
+            rows[0].avg
+        );
         assert_eq!(rows[1].count, 0);
         assert_eq!(rows[2].count, 1);
         assert!(rows[2].avg > 5.0);

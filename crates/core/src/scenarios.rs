@@ -5,7 +5,9 @@
 //! plots. The `fncc-experiments` binary and the criterion benches are thin
 //! wrappers over these.
 
-use crate::metrics::{average_slowdowns, fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
+use crate::metrics::{
+    average_slowdowns, fct_slowdowns, reaction_time, time_to_fair, SlowdownStats,
+};
 use crate::sim::{make_algo, Sim, SimBuilder};
 use fncc_cc::{CcAlgo, CcKind, FnccConfig};
 use fncc_des::stats::TimeSeries;
@@ -172,10 +174,15 @@ pub fn elephant_dumbbell(spec: &MicrobenchSpec) -> ElephantResult {
 
     let telem = sim.telemetry();
     let queue_kb = to_kb_series(
-        telem.queue_series(bottleneck_sw, bottleneck_port).expect("queue watched"),
+        telem
+            .queue_series(bottleneck_sw, bottleneck_port)
+            .expect("queue watched"),
         "queue_kb",
     );
-    let util = telem.util_series(bottleneck_sw, bottleneck_port).expect("util watched").clone();
+    let util = telem
+        .util_series(bottleneck_sw, bottleneck_port)
+        .expect("util watched")
+        .clone();
     let flow_rates_gbps: Vec<TimeSeries> = (0..spec.n_senders)
         .map(|i| {
             to_gbps_series(
@@ -200,8 +207,7 @@ pub fn elephant_dumbbell(spec: &MicrobenchSpec) -> ElephantResult {
     let pre_join = cc_rates_gbps[0]
         .mean_in(join - TimeDelta::from_us(20), join)
         .max(0.5 * line_gbps);
-    let reaction =
-        reaction_time(&cc_rates_gbps[0], join, 0.85 * pre_join).map(|t| t.as_us_f64());
+    let reaction = reaction_time(&cc_rates_gbps[0], join, 0.85 * pre_join).map(|t| t.as_us_f64());
     let fair = line_gbps / spec.n_senders as f64;
     let refs: Vec<&TimeSeries> = cc_rates_gbps.iter().collect();
     let fair_convergence =
@@ -306,8 +312,20 @@ pub fn hop_congestion(loc: HopLocation, spec: &MicrobenchSpec) -> HopCongestionR
     let join = SimTime::from_us(spec.join_at_us);
     let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
     let flows = vec![
-        FlowSpec { id: FlowId(0), src: HostId(0), dst: receiver, size: elephant, start: SimTime::ZERO },
-        FlowSpec { id: FlowId(1), src: HostId(1), dst: receiver, size: elephant, start: join },
+        FlowSpec {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: receiver,
+            size: elephant,
+            start: SimTime::ZERO,
+        },
+        FlowSpec {
+            id: FlowId(1),
+            src: HostId(1),
+            dst: receiver,
+            size: elephant,
+            start: join,
+        },
     ];
 
     let sw = loc.congested_switch();
@@ -336,7 +354,12 @@ pub fn hop_congestion(loc: HopLocation, spec: &MicrobenchSpec) -> HopCongestionR
     let queue_kb = to_kb_series(telem.queue_series(sw, port).unwrap(), "queue_kb");
     let util = telem.util_series(sw, port).unwrap().clone();
     let flow_rates_gbps: Vec<TimeSeries> = (0..2)
-        .map(|i| to_gbps_series(telem.flow_rate_series(FlowId(i)).unwrap(), &format!("flow{i}")))
+        .map(|i| {
+            to_gbps_series(
+                telem.flow_rate_series(FlowId(i)).unwrap(),
+                &format!("flow{i}"),
+            )
+        })
         .collect();
     let lhcs_triggers = (0..2u32)
         .map(|i| sim.host(HostId(i)).lhcs_triggers(FlowId(i)).unwrap_or(0))
@@ -392,7 +415,12 @@ pub fn fairness_staircase(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) ->
 
     let telem = sim.telemetry();
     let flow_rates_gbps: Vec<TimeSeries> = (0..n)
-        .map(|i| to_gbps_series(telem.flow_rate_series(FlowId(i)).unwrap(), &format!("flow{i}")))
+        .map(|i| {
+            to_gbps_series(
+                telem.flow_rate_series(FlowId(i)).unwrap(),
+                &format!("flow{i}"),
+            )
+        })
         .collect();
 
     // Jain index at each period midpoint over flows active in that period.
@@ -401,10 +429,7 @@ pub fn fairness_staircase(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) ->
         let mid = SimTime::ZERO + interval * p as u64 + interval / 2;
         let active: Vec<f64> = (0..n)
             .filter(|&i| i <= p && p < n + i)
-            .map(|i| {
-                flow_rates_gbps[i as usize]
-                    .mean_in(mid - interval / 4, mid + interval / 4)
-            })
+            .map(|i| flow_rates_gbps[i as usize].mean_in(mid - interval / 4, mid + interval / 4))
             .collect();
         if !active.is_empty() {
             jain_per_period.push(fncc_des::stats::jain_index(&active));
@@ -468,7 +493,43 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A right-sized default: k=8, 50% load, 400 flows × 2 seeds.
     pub fn new(cc: CcKind, workload: Workload) -> Self {
-        WorkloadSpec { cc, workload, load: 0.5, n_flows: 400, seeds: vec![1, 2], k: 8, line_gbps: 100 }
+        WorkloadSpec {
+            cc,
+            workload,
+            load: 0.5,
+            n_flows: 400,
+            seeds: vec![1, 2],
+            k: 8,
+            line_gbps: 100,
+        }
+    }
+
+    /// The exact (topology, flow set) this spec produces for `seed`.
+    ///
+    /// Single source of truth shared by the packet and fluid backends
+    /// ([`fattree_workload`] / `fncc_core::backend::fattree_workload_fluid`)
+    /// — identical inputs are what make cross-backend slowdown tables
+    /// directly comparable.
+    pub fn instance(&self, seed: u64) -> (Topology, Vec<FlowSpec>) {
+        let line = Bandwidth::gbps(self.line_gbps);
+        let cdf = match self.workload {
+            Workload::WebSearch => web_search(),
+            Workload::FbHadoop => fb_hadoop(),
+        };
+        let topo = Topology::fat_tree(self.k, line, TimeDelta::from_ns(1500));
+        let flows = poisson_flows(
+            &PoissonConfig {
+                n_hosts: topo.n_hosts,
+                line,
+                load: self.load,
+                n_flows: self.n_flows,
+                first_id: 0,
+                start: SimTime::ZERO,
+                seed,
+            },
+            &cdf,
+        );
+        (topo, flows)
     }
 }
 
@@ -490,28 +551,11 @@ pub struct WorkloadResult {
 /// §5.5: Poisson arrivals from the chosen trace on a k-ary fat-tree with
 /// symmetric ECMP; reports FCT-slowdown statistics per flow-size bucket.
 pub fn fattree_workload(spec: &WorkloadSpec) -> WorkloadResult {
-    let line = Bandwidth::gbps(spec.line_gbps);
-    let cdf = match spec.workload {
-        Workload::WebSearch => web_search(),
-        Workload::FbHadoop => fb_hadoop(),
-    };
     let mut runs = Vec::with_capacity(spec.seeds.len());
     let mut unfinished = Vec::with_capacity(spec.seeds.len());
     let mut events = 0u64;
     for &seed in &spec.seeds {
-        let topo = Topology::fat_tree(spec.k, line, TimeDelta::from_ns(1500));
-        let flows = poisson_flows(
-            &PoissonConfig {
-                n_hosts: topo.n_hosts,
-                line,
-                load: spec.load,
-                n_flows: spec.n_flows,
-                first_id: 0,
-                start: SimTime::ZERO,
-                seed,
-            },
-            &cdf,
-        );
+        let (topo, flows) = spec.instance(seed);
         let last_start = flows.last().unwrap().start;
         let cap = last_start + TimeDelta::from_ms(200);
         let mut sim = SimBuilder::new(topo, spec.cc)
@@ -520,12 +564,17 @@ pub fn fattree_workload(spec: &WorkloadSpec) -> WorkloadResult {
             .build();
         sim.run_to_completion(TimeDelta::from_ms(1), cap);
         let telem = sim.telemetry();
-        let not_done =
-            telem.flow_records().filter(|r| r.finish.is_none()).count();
+        let not_done = telem.flow_records().filter(|r| r.finish.is_none()).count();
         unfinished.push(not_done);
         let payload = sim.fabric().cfg.mtu_payload();
         let header = sim.fabric().cfg.data_header;
-        runs.push(fct_slowdowns(&sim.topo, telem, spec.workload.buckets(), payload, header));
+        runs.push(fct_slowdowns(
+            &sim.topo,
+            telem,
+            spec.workload.buckets(),
+            payload,
+            header,
+        ));
         events += sim.events_processed();
     }
     WorkloadResult {
@@ -558,7 +607,11 @@ mod tests {
         assert!(r.reaction_us.is_some(), "FNCC never reacted");
         assert!(r.peak_queue_kb > 0.0);
         assert!(r.peak_queue_kb < 500.0, "peak {}KB", r.peak_queue_kb);
-        assert!(r.mean_util_after_join > 0.7, "util {}", r.mean_util_after_join);
+        assert!(
+            r.mean_util_after_join > 0.7,
+            "util {}",
+            r.mean_util_after_join
+        );
         assert!(!r.mean_int_age_us.is_empty());
     }
 
@@ -568,7 +621,12 @@ mod tests {
         let h = elephant_dumbbell(&quick(CcKind::Hpcc));
         let (fr, hr) = (f.reaction_us.unwrap(), h.reaction_us.unwrap());
         assert!(fr <= hr, "FNCC {fr}us vs HPCC {hr}us");
-        assert!(f.peak_queue_kb <= h.peak_queue_kb * 1.05, "queues F{} H{}", f.peak_queue_kb, h.peak_queue_kb);
+        assert!(
+            f.peak_queue_kb <= h.peak_queue_kb * 1.05,
+            "queues F{} H{}",
+            f.peak_queue_kb,
+            h.peak_queue_kb
+        );
         // FNCC's INT (via ACK) must be fresher than HPCC's on the first hop.
         assert!(
             f.mean_int_age_us[0] < h.mean_int_age_us[0],

@@ -153,8 +153,9 @@ impl SimBuilder {
     pub fn build(self) -> Sim {
         let kind = self.cc.kind();
         let tcfg = TransportConfig::new(self.cc).with_ack_every(self.ack_every);
-        let hosts: Vec<DcHost> =
-            (0..self.topo.n_hosts).map(|_| DcHost::new(tcfg.clone())).collect();
+        let hosts: Vec<DcHost> = (0..self.topo.n_hosts)
+            .map(|_| DcHost::new(tcfg.clone()))
+            .collect();
         let mut fabric = Fabric::new(&self.topo, self.fabric, hosts);
 
         for (sw, port, name) in self.watch_queues {
@@ -183,9 +184,19 @@ impl SimBuilder {
             eng.schedule(t, ev);
         }
         for f in &self.flows {
-            eng.schedule(f.start, Ev::HostTimer { host: f.src, timer: HostTimer::FlowStart(f.id) });
+            eng.schedule(
+                f.start,
+                Ev::HostTimer {
+                    host: f.src,
+                    timer: HostTimer::FlowStart(f.id),
+                },
+            );
         }
-        Sim { eng, topo: self.topo, kind }
+        Sim {
+            eng,
+            topo: self.topo,
+            kind,
+        }
     }
 }
 
@@ -257,10 +268,12 @@ impl Sim {
         flow: FlowId,
         sw: SwitchId,
     ) -> Option<u8> {
-        topo.trace_path(src, dst, flow).into_iter().find_map(|(n, p)| match n {
-            fncc_net::ids::NodeRef::Switch(s) if s == sw => Some(p),
-            _ => None,
-        })
+        topo.trace_path(src, dst, flow)
+            .into_iter()
+            .find_map(|(n, p)| match n {
+                fncc_net::ids::NodeRef::Switch(s) if s == sw => Some(p),
+                _ => None,
+            })
     }
 }
 
@@ -274,8 +287,20 @@ mod tests {
 
     fn two_flows() -> Vec<FlowSpec> {
         vec![
-            FlowSpec { id: FlowId(0), src: HostId(0), dst: HostId(2), size: 500_000, start: SimTime::ZERO },
-            FlowSpec { id: FlowId(1), src: HostId(1), dst: HostId(2), size: 500_000, start: SimTime::from_us(50) },
+            FlowSpec {
+                id: FlowId(0),
+                src: HostId(0),
+                dst: HostId(2),
+                size: 500_000,
+                start: SimTime::ZERO,
+            },
+            FlowSpec {
+                id: FlowId(1),
+                src: HostId(1),
+                dst: HostId(2),
+                size: 500_000,
+                start: SimTime::from_us(50),
+            },
         ]
     }
 
@@ -293,7 +318,9 @@ mod tests {
 
     #[test]
     fn run_to_completion_finishes_flows() {
-        let mut s = SimBuilder::new(dumbbell(), CcKind::Hpcc).flows(two_flows()).build();
+        let mut s = SimBuilder::new(dumbbell(), CcKind::Hpcc)
+            .flows(two_flows())
+            .build();
         let done = s.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(10));
         assert!(done);
         assert!(s.telemetry().all_flows_finished());
@@ -333,7 +360,14 @@ mod tests {
     fn make_algo_covers_all_kinds() {
         let line = Bandwidth::gbps(100);
         let rtt = TimeDelta::from_us(12);
-        for kind in [CcKind::Hpcc, CcKind::Fncc, CcKind::Dcqcn, CcKind::Rocc, CcKind::Timely, CcKind::Swift] {
+        for kind in [
+            CcKind::Hpcc,
+            CcKind::Fncc,
+            CcKind::Dcqcn,
+            CcKind::Rocc,
+            CcKind::Timely,
+            CcKind::Swift,
+        ] {
             assert_eq!(make_algo(kind, line, rtt).kind(), kind);
         }
     }

@@ -3,10 +3,16 @@
 //! parallel).
 
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Run every job, using up to `threads` worker threads, and return results
 /// in job order. Panics in jobs propagate.
+///
+/// Work distribution is a single atomic claim counter; each result is
+/// written through its own slot, so workers never contend on a shared
+/// results container (the previous design serialized every hand-off
+/// through one `Mutex<Vec<Option<T>>>` — measurably slower with thousands
+/// of sub-millisecond jobs, see `benches/sweep.rs`).
 pub fn run_parallel<T, F>(jobs: Vec<F>, threads: usize) -> Vec<T>
 where
     T: Send,
@@ -21,31 +27,41 @@ where
         return jobs.into_iter().map(|j| j()).collect();
     }
 
-    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    // Per-slot cells: `next` hands out job indices; workers take the job
+    // out of its slot, run it, and park the result in the matching slot.
+    // The per-slot mutexes are never contended (each index is claimed by
+    // exactly one worker) — they exist to make the hand-off safe, not to
+    // serialize anything.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
 
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|_| loop {
-                let job = queue.lock().pop_front();
-                let Some((ix, job)) = job else { break };
+                let ix = next.fetch_add(1, Ordering::Relaxed);
+                if ix >= n {
+                    break;
+                }
+                let job = jobs[ix].lock().take().expect("job claimed twice");
                 let out = job();
-                results.lock()[ix] = Some(out);
+                *slots[ix].lock() = Some(out);
             });
         }
     })
     .expect("sweep worker panicked");
 
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|r| r.expect("job missing result"))
+        .map(|slot| slot.into_inner().expect("job missing result"))
         .collect()
 }
 
 /// Reasonable worker count: physical parallelism minus one, at least one.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1).max(1)).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -75,6 +91,18 @@ mod tests {
     fn more_threads_than_jobs() {
         let jobs: Vec<_> = (0..2).map(|i| move || i).collect();
         assert_eq!(run_parallel(jobs, 64), vec![0, 1]);
+    }
+
+    #[test]
+    fn thousand_short_jobs_in_order() {
+        let jobs: Vec<_> = (0..1000u64)
+            .map(|i| move || i.wrapping_mul(2654435761))
+            .collect();
+        let out = run_parallel(jobs, 8);
+        assert_eq!(out.len(), 1000);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64).wrapping_mul(2654435761));
+        }
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl<E> Scheduler<E> {
     /// error and panics in debug builds; in release it is clamped to `now`.
     #[inline]
     pub fn at(&mut self, t: SimTime, ev: E) {
-        debug_assert!(t >= self.now, "scheduling into the past: {t} < {}", self.now);
+        debug_assert!(
+            t >= self.now,
+            "scheduling into the past: {t} < {}",
+            self.now
+        );
         self.pending.push((t.max(self.now), ev));
     }
 
@@ -114,7 +118,10 @@ impl<M: Model> Engine<M> {
     pub fn new(model: M) -> Self {
         Engine {
             heap: BinaryHeap::with_capacity(1024),
-            sched: Scheduler { now: SimTime::ZERO, pending: Vec::with_capacity(16) },
+            sched: Scheduler {
+                now: SimTime::ZERO,
+                pending: Vec::with_capacity(16),
+            },
             time: SimTime::ZERO,
             seq: 0,
             events_processed: 0,
@@ -148,8 +155,16 @@ impl<M: Model> Engine<M> {
 
     /// Schedule an event from outside a model callback (setup phase).
     pub fn schedule(&mut self, t: SimTime, ev: M::Event) {
-        assert!(t >= self.time, "scheduling into the past: {t} < {}", self.time);
-        self.heap.push(HeapEntry { time: t, seq: self.seq, ev });
+        assert!(
+            t >= self.time,
+            "scheduling into the past: {t} < {}",
+            self.time
+        );
+        self.heap.push(HeapEntry {
+            time: t,
+            seq: self.seq,
+            ev,
+        });
         self.seq += 1;
     }
 
@@ -165,7 +180,11 @@ impl<M: Model> Engine<M> {
         self.model.handle(entry.time, entry.ev, &mut self.sched);
         self.events_processed += 1;
         for (t, ev) in self.sched.pending.drain(..) {
-            self.heap.push(HeapEntry { time: t, seq: self.seq, ev });
+            self.heap.push(HeapEntry {
+                time: t,
+                seq: self.seq,
+                ev,
+            });
             self.seq += 1;
         }
         true
@@ -221,7 +240,10 @@ mod tests {
     }
 
     fn recorder() -> Recorder {
-        Recorder { seen: Vec::new(), chain: Vec::new() }
+        Recorder {
+            seen: Vec::new(),
+            chain: Vec::new(),
+        }
     }
 
     #[test]
@@ -293,7 +315,10 @@ mod tests {
         let mut eng = Engine::new(recorder());
         eng.schedule(SimTime::from_us(1), 1);
         eng.schedule(SimTime::from_us(10), 2);
-        assert_eq!(eng.run_until(SimTime::from_us(5)), RunOutcome::HorizonReached);
+        assert_eq!(
+            eng.run_until(SimTime::from_us(5)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(eng.model.seen.len(), 1);
         assert_eq!(eng.now(), SimTime::from_us(5));
         assert_eq!(eng.queue_len(), 1);

@@ -31,7 +31,9 @@ impl DetRng {
     /// pairs yield statistically independent sequences.
     pub fn new(master_seed: u64, stream: u64) -> Self {
         let s = splitmix64(master_seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A)));
-        DetRng { inner: SmallRng::seed_from_u64(s) }
+        DetRng {
+            inner: SmallRng::seed_from_u64(s),
+        }
     }
 
     /// Uniform in `[0, 1)`.
@@ -165,7 +167,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

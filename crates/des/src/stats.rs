@@ -14,7 +14,11 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// New empty series with a label.
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), times: Vec::new(), values: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            times: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Append a sample. Samples must be pushed in nondecreasing time order.
@@ -164,7 +168,8 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.data.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.data
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
     }
@@ -223,7 +228,10 @@ pub struct RateMeter {
 impl RateMeter {
     /// Start metering from `(t0, bytes0)`.
     pub fn new(t0: SimTime, bytes0: u64) -> Self {
-        RateMeter { last_bytes: bytes0, last_time: t0 }
+        RateMeter {
+            last_bytes: bytes0,
+            last_time: t0,
+        }
     }
 
     /// Rate in bits/s over `(last_tick, now]`; returns 0 for a zero-length

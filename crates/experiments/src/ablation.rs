@@ -17,24 +17,52 @@ use fncc_transport::FlowSpec;
 /// harder at the cost of utilization; α gates trigger sensitivity.
 pub fn lhcs_sweep(opts: &RunOpts) {
     let line = Bandwidth::gbps(100);
-    let mut t = Table::new(["beta", "alpha", "peak_queue_KB", "mean_util", "lhcs_triggers"]);
+    let mut t = Table::new([
+        "beta",
+        "alpha",
+        "peak_queue_KB",
+        "mean_util",
+        "lhcs_triggers",
+    ]);
     for &beta in &[0.8, 0.9, 0.95, 1.0] {
         for &alpha in &[1.01, 1.05, 1.2] {
             let topo = Topology::line(3, &[0, 2], line, TimeDelta::from_ns(1500));
             let base_rtt = topo.base_rtt(1518, 70);
             let algo = CcAlgo::Fncc(FnccConfig {
                 hpcc: fncc_cc::HpccConfig::paper_default(line, base_rtt),
-                lhcs: LhcsConfig { enabled: true, alpha, beta },
+                lhcs: LhcsConfig {
+                    enabled: true,
+                    alpha,
+                    beta,
+                },
             });
             let horizon = SimTime::from_us(800);
             let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
             let flows = vec![
-                FlowSpec { id: FlowId(0), src: HostId(0), dst: HostId(2), size: elephant, start: SimTime::ZERO },
-                FlowSpec { id: FlowId(1), src: HostId(1), dst: HostId(2), size: elephant, start: SimTime::from_us(300) },
+                FlowSpec {
+                    id: FlowId(0),
+                    src: HostId(0),
+                    dst: HostId(2),
+                    size: elephant,
+                    start: SimTime::ZERO,
+                },
+                FlowSpec {
+                    id: FlowId(1),
+                    src: HostId(1),
+                    dst: HostId(2),
+                    size: elephant,
+                    start: SimTime::from_us(300),
+                },
             ];
             let sw = SwitchId(2);
-            let port = fncc_core::sim::Sim::egress_port_on_path(&topo, HostId(0), HostId(2), FlowId(0), sw)
-                .unwrap();
+            let port = fncc_core::sim::Sim::egress_port_on_path(
+                &topo,
+                HostId(0),
+                HostId(2),
+                FlowId(0),
+                sw,
+            )
+            .unwrap();
             let mut sim = SimBuilder::with_algo(topo, algo)
                 .flows(flows)
                 .sample(TimeDelta::from_us(1), horizon)
@@ -57,7 +85,12 @@ pub fn lhcs_sweep(opts: &RunOpts) {
             ]);
         }
     }
-    emit_table(&opts.out, "ablation_lhcs", "Ablation — LHCS α/β sweep (last-hop congestion)", &t);
+    emit_table(
+        &opts.out,
+        "ablation_lhcs",
+        "Ablation — LHCS α/β sweep (last-hop congestion)",
+        &t,
+    );
 }
 
 /// Periodic `All_INT_Table` refresh: how stale may the table get before
@@ -96,15 +129,32 @@ pub fn int_refresh_sweep(opts: &RunOpts) {
 /// freshness.
 pub fn ack_coalescing_sweep(opts: &RunOpts) {
     let line = Bandwidth::gbps(100);
-    let mut t = Table::new(["ack_every_m", "reaction_us", "peak_queue_KB", "acks_delivered"]);
+    let mut t = Table::new([
+        "ack_every_m",
+        "reaction_us",
+        "peak_queue_KB",
+        "acks_delivered",
+    ]);
     for m in [1u32, 2, 4, 8] {
         let topo = Topology::dumbbell(2, 3, line, TimeDelta::from_ns(1500));
         let horizon = SimTime::from_us(opts.micro_horizon_us());
         let join = SimTime::from_us(300);
         let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
         let flows = vec![
-            FlowSpec { id: FlowId(0), src: HostId(0), dst: HostId(2), size: elephant, start: SimTime::ZERO },
-            FlowSpec { id: FlowId(1), src: HostId(1), dst: HostId(2), size: elephant, start: join },
+            FlowSpec {
+                id: FlowId(0),
+                src: HostId(0),
+                dst: HostId(2),
+                size: elephant,
+                start: SimTime::ZERO,
+            },
+            FlowSpec {
+                id: FlowId(1),
+                src: HostId(1),
+                dst: HostId(2),
+                size: elephant,
+                start: join,
+            },
         ];
         let mut sim = SimBuilder::new(topo, CcKind::Fncc)
             .ack_every(m)
@@ -128,7 +178,12 @@ pub fn ack_coalescing_sweep(opts: &RunOpts) {
             telem.counters.acks_delivered.to_string(),
         ]);
     }
-    emit_table(&opts.out, "ablation_ack_coalescing", "Ablation — cumulative ACK granularity m", &t);
+    emit_table(
+        &opts.out,
+        "ablation_ack_coalescing",
+        "Ablation — cumulative ACK granularity m",
+        &t,
+    );
 }
 
 /// Failure injection: a stuck PFC pause on the spine link (§2.3's pause
@@ -200,7 +255,11 @@ pub fn pause_storm(opts: &RunOpts) {
 pub fn extra_cc(opts: &RunOpts) {
     let mut t = Table::new(["cc", "reaction_us", "peak_queue_KB", "mean_util", "pauses"]);
     for cc in [CcKind::Fncc, CcKind::Hpcc, CcKind::Timely, CcKind::Swift] {
-        let spec = MicrobenchSpec { cc, horizon_us: opts.micro_horizon_us(), ..Default::default() };
+        let spec = MicrobenchSpec {
+            cc,
+            horizon_us: opts.micro_horizon_us(),
+            ..Default::default()
+        };
         let r = elephant_dumbbell(&spec);
         t.row([
             cc.name().to_string(),

@@ -22,7 +22,13 @@ fn micro_spec(cc: CcKind, gbps: u64, opts: &RunOpts) -> MicrobenchSpec {
 
 /// Fig. 1a: NVIDIA Spectrum buffer/capacity trend (static data).
 pub fn fig1a(opts: &RunOpts) {
-    let mut t = Table::new(["switch", "released", "capacity_tbps", "buffer_mb", "buffer/capacity_us"]);
+    let mut t = Table::new([
+        "switch",
+        "released",
+        "capacity_tbps",
+        "buffer_mb",
+        "buffer/capacity_us",
+    ]);
     for g in hardware_trends() {
         t.row([
             g.name.to_string(),
@@ -32,7 +38,12 @@ pub fn fig1a(opts: &RunOpts) {
             f2(g.burst_absorption_us()),
         ]);
     }
-    emit_table(&opts.out, "fig1a_hardware_trends", "Fig. 1a — switch buffer vs capacity", &t);
+    emit_table(
+        &opts.out,
+        "fig1a_hardware_trends",
+        "Fig. 1a — switch buffer vs capacity",
+        &t,
+    );
 }
 
 /// Figs. 1b–d: bottleneck queue length over time at 100/200/400 Gb/s for
@@ -90,11 +101,22 @@ pub fn fig2(opts: &RunOpts) {
     for hop in 0..h.mean_int_age_us.len().max(f.mean_int_age_us.len()) {
         t.row([
             format!("mean INT age, hop {hop} (us)"),
-            h.mean_int_age_us.get(hop).map(|&x| f2(x)).unwrap_or("-".into()),
-            f.mean_int_age_us.get(hop).map(|&x| f2(x)).unwrap_or("-".into()),
+            h.mean_int_age_us
+                .get(hop)
+                .map(|&x| f2(x))
+                .unwrap_or("-".into()),
+            f.mean_int_age_us
+                .get(hop)
+                .map(|&x| f2(x))
+                .unwrap_or("-".into()),
         ]);
     }
-    emit_table(&opts.out, "fig2_notification", "Fig. 2 — sub-RTT notification (measured)", &t);
+    emit_table(
+        &opts.out,
+        "fig2_notification",
+        "Fig. 2 — sub-RTT notification (measured)",
+        &t,
+    );
 }
 
 /// Fig. 3: PFC pause frames at the congestion point, 200 and 400 Gb/s.
@@ -106,7 +128,12 @@ pub fn fig3(opts: &RunOpts) {
         let p400 = elephant_dumbbell(&micro_spec(cc, 400, opts)).pause_frames;
         t.row([cc.name().to_string(), p200.to_string(), p400.to_string()]);
     }
-    emit_table(&opts.out, "fig3_pause_frames", "Fig. 3 — pause frames at the congestion point", &t);
+    emit_table(
+        &opts.out,
+        "fig3_pause_frames",
+        "Fig. 3 — pause frames at the congestion point",
+        &t,
+    );
 }
 
 /// Figs. 5/6: path symmetry under symmetric ECMP and under spanning-tree
@@ -114,10 +141,18 @@ pub fn fig3(opts: &RunOpts) {
 pub fn paths(opts: &RunOpts) {
     let line = Bandwidth::gbps(100);
     let prop = TimeDelta::from_ns(1500);
-    let mut t = Table::new(["routing", "pairs_checked", "symmetric", "distinct_paths_h0_h127"]);
+    let mut t = Table::new([
+        "routing",
+        "pairs_checked",
+        "symmetric",
+        "distinct_paths_h0_h127",
+    ]);
     for (name, topo) in [
         ("symmetric-ECMP", Topology::fat_tree(8, line, prop)),
-        ("spanning-trees(8)", Topology::fat_tree(8, line, prop).with_spanning_trees(8)),
+        (
+            "spanning-trees(8)",
+            Topology::fat_tree(8, line, prop).with_spanning_trees(8),
+        ),
     ] {
         let mut checked = 0u32;
         let mut symmetric = 0u32;
@@ -202,16 +237,34 @@ pub fn fig9(opts: &RunOpts) {
                 rates.push(cr.clone());
             }
         }
-        emit_series(&opts.out, &format!("fig9_queue_{gbps}g"), &queues.iter().collect::<Vec<_>>());
-        emit_series(&opts.out, &format!("fig9_util_{gbps}g"), &utils.iter().collect::<Vec<_>>());
-        emit_series(&opts.out, &format!("fig9_rates_{gbps}g"), &rates.iter().collect::<Vec<_>>());
+        emit_series(
+            &opts.out,
+            &format!("fig9_queue_{gbps}g"),
+            &queues.iter().collect::<Vec<_>>(),
+        );
+        emit_series(
+            &opts.out,
+            &format!("fig9_util_{gbps}g"),
+            &utils.iter().collect::<Vec<_>>(),
+        );
+        emit_series(
+            &opts.out,
+            &format!("fig9_rates_{gbps}g"),
+            &rates.iter().collect::<Vec<_>>(),
+        );
     }
-    emit_table(&opts.out, "fig9_summary", "Fig. 9 — response-speed microbenchmark", &summary);
+    emit_table(
+        &opts.out,
+        "fig9_summary",
+        "Fig. 9 — response-speed microbenchmark",
+        &summary,
+    );
 }
 
 /// Fig. 12: the notification-latency model vs measurement.
 pub fn fig12(opts: &RunOpts) {
-    let model = notification_gain_model(3, Bandwidth::gbps(100), TimeDelta::from_ns(1500), 1518, 70);
+    let model =
+        notification_gain_model(3, Bandwidth::gbps(100), TimeDelta::from_ns(1500), 1518, 70);
     let f = elephant_dumbbell(&micro_spec(CcKind::Fncc, 100, opts));
     let h = elephant_dumbbell(&micro_spec(CcKind::Hpcc, 100, opts));
     let mut t = Table::new([
@@ -228,11 +281,22 @@ pub fn fig12(opts: &RunOpts) {
             f2(g.hpcc_age.as_us_f64()),
             f2(g.fncc_age.as_us_f64()),
             f2(g.gain().as_us_f64()),
-            h.mean_int_age_us.get(g.hop).map(|&x| f2(x)).unwrap_or("-".into()),
-            f.mean_int_age_us.get(g.hop).map(|&x| f2(x)).unwrap_or("-".into()),
+            h.mean_int_age_us
+                .get(g.hop)
+                .map(|&x| f2(x))
+                .unwrap_or("-".into()),
+            f.mean_int_age_us
+                .get(g.hop)
+                .map(|&x| f2(x))
+                .unwrap_or("-".into()),
         ]);
     }
-    emit_table(&opts.out, "fig12_notification_model", "Fig. 12 — INT freshness by congestion hop", &t);
+    emit_table(
+        &opts.out,
+        "fig12_notification_model",
+        "Fig. 12 — INT freshness by congestion hop",
+        &t,
+    );
 }
 
 /// Figs. 13a–d: congestion location study with the LHCS ablation.
@@ -254,11 +318,16 @@ pub fn fig13(opts: &RunOpts) {
             ..Default::default()
         };
         let hpcc = hop_congestion(loc, &mk(CcKind::Hpcc, false));
-        let mut rows: Vec<(String, HopCongestionResult)> =
-            vec![("HPCC".into(), hpcc.clone())];
+        let mut rows: Vec<(String, HopCongestionResult)> = vec![("HPCC".into(), hpcc.clone())];
         if loc == HopLocation::Last {
-            rows.push(("FNCC w/o LHCS".into(), hop_congestion(loc, &mk(CcKind::Fncc, true))));
-            rows.push(("FNCC with LHCS".into(), hop_congestion(loc, &mk(CcKind::Fncc, false))));
+            rows.push((
+                "FNCC w/o LHCS".into(),
+                hop_congestion(loc, &mk(CcKind::Fncc, true)),
+            ));
+            rows.push((
+                "FNCC with LHCS".into(),
+                hop_congestion(loc, &mk(CcKind::Fncc, false)),
+            ));
         } else {
             rows.push(("FNCC".into(), hop_congestion(loc, &mk(CcKind::Fncc, false))));
         }
@@ -294,10 +363,19 @@ pub fn fig13(opts: &RunOpts) {
                     all.push(s);
                 }
             }
-            emit_series(&opts.out, "fig13d_lasthop_rates", &all.iter().collect::<Vec<_>>());
+            emit_series(
+                &opts.out,
+                "fig13d_lasthop_rates",
+                &all.iter().collect::<Vec<_>>(),
+            );
         }
     }
-    emit_table(&opts.out, "fig13_summary", "Fig. 13 — gains by congestion location", &t);
+    emit_table(
+        &opts.out,
+        "fig13_summary",
+        "Fig. 13 — gains by congestion location",
+        &t,
+    );
 }
 
 /// Fig. 13e: the fairness staircase.
@@ -311,7 +389,12 @@ pub fn fig13e(opts: &RunOpts) {
     for (p, j) in r.jain_per_period.iter().enumerate() {
         t.row([p.to_string(), f3(*j)]);
     }
-    emit_table(&opts.out, "fig13e_fairness", "Fig. 13e — fairness over staggered flows", &t);
+    emit_table(
+        &opts.out,
+        "fig13e_fairness",
+        "Fig. 13e — fairness over staggered flows",
+        &t,
+    );
     emit_series(
         &opts.out,
         "fig13e_rates",

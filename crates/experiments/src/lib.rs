@@ -12,6 +12,7 @@ pub mod report;
 pub mod scorecard;
 pub mod workload_figs;
 
+use fncc_core::SimBackend;
 use std::path::PathBuf;
 
 /// Global run options shared by all experiments.
@@ -28,6 +29,10 @@ pub struct RunOpts {
     pub seeds: Option<u32>,
     /// Override the flows-per-seed for Figs. 14/15.
     pub flows: Option<u32>,
+    /// Engine for the workload experiments (`--backend fluid` swaps the
+    /// packet DES for the flow-level fast path — same flow sets, so tables
+    /// stay comparable).
+    pub backend: SimBackend,
 }
 
 /// Experiment scale.
@@ -49,6 +54,7 @@ impl Default for RunOpts {
             threads: fncc_core::sweep::default_threads(),
             seeds: None,
             flows: None,
+            backend: SimBackend::Packet,
         }
     }
 }
@@ -88,17 +94,28 @@ mod tests {
 
     #[test]
     fn scale_controls_workload_size() {
-        let quick = RunOpts { scale: Scale::Quick, ..Default::default() };
+        let quick = RunOpts {
+            scale: Scale::Quick,
+            ..Default::default()
+        };
         assert_eq!(quick.workload_seeds(), vec![1]);
         assert_eq!(quick.workload_flows(), 60);
-        let full = RunOpts { scale: Scale::Full, ..Default::default() };
+        let full = RunOpts {
+            scale: Scale::Full,
+            ..Default::default()
+        };
         assert_eq!(full.workload_seeds().len(), 5);
         assert_eq!(full.workload_flows(), 2000);
     }
 
     #[test]
     fn overrides_beat_scale() {
-        let o = RunOpts { scale: Scale::Full, seeds: Some(3), flows: Some(123), ..Default::default() };
+        let o = RunOpts {
+            scale: Scale::Full,
+            seeds: Some(3),
+            flows: Some(123),
+            ..Default::default()
+        };
         assert_eq!(o.workload_seeds(), vec![1, 2, 3]);
         assert_eq!(o.workload_flows(), 123);
     }
@@ -106,7 +123,10 @@ mod tests {
     #[test]
     fn horizons_by_scale() {
         assert_eq!(RunOpts::default().micro_horizon_us(), 1200);
-        let quick = RunOpts { scale: Scale::Quick, ..Default::default() };
+        let quick = RunOpts {
+            scale: Scale::Quick,
+            ..Default::default()
+        };
         assert_eq!(quick.micro_horizon_us(), 600);
     }
 }

@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! fncc-repro [EXPERIMENT…] [--out DIR] [--quick|--full] [--threads N]
-//!            [--seeds N] [--flows N]
+//!            [--seeds N] [--flows N] [--backend packet|fluid]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
 //!              fig15 ablate storm extra-cc all   (default: all)
+//!
+//! `--backend fluid` swaps the packet DES for the flow-level fast path in
+//! the workload experiments (fig14, fig15, load-sweep) — same flow sets,
+//! orders of magnitude faster, slowdowns within the cross-validated band.
 //! ```
 
 use fncc_experiments::{ablation, figs, scorecard, workload_figs, RunOpts, Scale};
@@ -15,7 +19,7 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: fncc-repro [EXPERIMENT...] [--out DIR] [--quick|--full] \
-         [--threads N] [--seeds N] [--flows N]\n\
+         [--threads N] [--seeds N] [--flows N] [--backend packet|fluid]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
          fig14 fig15 ablate storm load-sweep extra-cc check all"
     );
@@ -32,14 +36,30 @@ fn main() {
             "--quick" => opts.scale = Scale::Quick,
             "--full" => opts.scale = Scale::Full,
             "--threads" => {
-                opts.threads =
-                    args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                opts.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--seeds" => {
-                opts.seeds = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                opts.seeds = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--flows" => {
-                opts.flows = Some(args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()))
+                opts.flows = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--backend" => {
+                opts.backend = args
+                    .next()
+                    .and_then(|s| fncc_core::SimBackend::parse(&s))
+                    .unwrap_or_else(|| usage())
             }
             "-h" | "--help" => usage(),
             exp if !exp.starts_with('-') => experiments.push(exp.to_string()),
@@ -88,8 +108,22 @@ fn run_one(exp: &str, opts: &RunOpts) {
         "extra-cc" => ablation::extra_cc(opts),
         "all" => {
             for e in [
-                "fig1a", "fig1", "fig2", "fig3", "paths", "fig9", "fig12", "fig13", "fig13e",
-                "fig14", "fig15", "ablate", "storm", "load-sweep", "extra-cc", "check",
+                "fig1a",
+                "fig1",
+                "fig2",
+                "fig3",
+                "paths",
+                "fig9",
+                "fig12",
+                "fig13",
+                "fig13e",
+                "fig14",
+                "fig15",
+                "ablate",
+                "storm",
+                "load-sweep",
+                "extra-cc",
+                "check",
             ] {
                 run_one(e, opts);
             }

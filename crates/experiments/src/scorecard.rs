@@ -17,7 +17,12 @@ struct Check {
 }
 
 fn quick(cc: CcKind, gbps: u64) -> MicrobenchSpec {
-    MicrobenchSpec { cc, line_gbps: gbps, horizon_us: 800, ..Default::default() }
+    MicrobenchSpec {
+        cc,
+        line_gbps: gbps,
+        horizon_us: 800,
+        ..Default::default()
+    }
 }
 
 /// Run the full claim checklist. Returns the number of failed checks.
@@ -25,13 +30,15 @@ pub fn check(opts: &RunOpts) -> usize {
     let mut checks: Vec<Check> = Vec::new();
 
     // Shared microbenchmark runs (parallel).
-    let specs = [quick(CcKind::Fncc, 100),
+    let specs = [
+        quick(CcKind::Fncc, 100),
         quick(CcKind::Hpcc, 100),
         quick(CcKind::Dcqcn, 100),
         quick(CcKind::Rocc, 100),
         quick(CcKind::Fncc, 400),
         quick(CcKind::Hpcc, 400),
-        quick(CcKind::Dcqcn, 400)];
+        quick(CcKind::Dcqcn, 400),
+    ];
     let jobs: Vec<_> = specs
         .iter()
         .map(|s| {
@@ -49,11 +56,12 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "FNCC is the first to slow down, then HPCC, then DCQCN/RoCC",
         measured: format!(
             "FNCC {:.0}us < HPCC {:.0}us < DCQCN {:.0}us, RoCC {:.0}us",
-            rt(f100), rt(h100), rt(d100), rt(r100)
+            rt(f100),
+            rt(h100),
+            rt(d100),
+            rt(r100)
         ),
-        pass: rt(f100) < rt(h100)
-            && rt(h100) < rt(d100)
-            && rt(h100) < rt(r100),
+        pass: rt(f100) < rt(h100) && rt(h100) < rt(d100) && rt(h100) < rt(r100),
     });
 
     checks.push(Check {
@@ -61,10 +69,11 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "FNCC keeps the shallowest congestion-point queue",
         measured: format!(
             "peaks KB: FNCC {} < HPCC {} < DCQCN {}",
-            f2(f100.peak_queue_kb), f2(h100.peak_queue_kb), f2(d100.peak_queue_kb)
+            f2(f100.peak_queue_kb),
+            f2(h100.peak_queue_kb),
+            f2(d100.peak_queue_kb)
         ),
-        pass: f100.peak_queue_kb < h100.peak_queue_kb
-            && h100.peak_queue_kb < d100.peak_queue_kb,
+        pass: f100.peak_queue_kb < h100.peak_queue_kb && h100.peak_queue_kb < d100.peak_queue_kb,
     });
 
     checks.push(Check {
@@ -72,7 +81,8 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "FNCC maintains utilization at least as high as HPCC",
         measured: format!(
             "FNCC {} vs HPCC {}",
-            f2(f100.mean_util_after_join), f2(h100.mean_util_after_join)
+            f2(f100.mean_util_after_join),
+            f2(h100.mean_util_after_join)
         ),
         pass: f100.mean_util_after_join >= h100.mean_util_after_join - 0.01,
     });
@@ -82,8 +92,12 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "orderings robust at 400 Gb/s",
         measured: format!(
             "reaction {:.0}<{:.0}<{:.0}; queue {}<{}<{}",
-            rt(f400), rt(h400), rt(d400),
-            f2(f400.peak_queue_kb), f2(h400.peak_queue_kb), f2(d400.peak_queue_kb)
+            rt(f400),
+            rt(h400),
+            rt(d400),
+            f2(f400.peak_queue_kb),
+            f2(h400.peak_queue_kb),
+            f2(d400.peak_queue_kb)
         ),
         pass: rt(f400) <= rt(h400)
             && rt(h400) < rt(d400)
@@ -108,8 +122,14 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "ACK-path INT fresher at every hop; gain shrinks with hop index",
         measured: format!(
             "ages us FNCC {:?} vs HPCC {:?}",
-            f100.mean_int_age_us.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>(),
-            h100.mean_int_age_us.iter().map(|x| (x * 10.0).round() / 10.0).collect::<Vec<_>>()
+            f100.mean_int_age_us
+                .iter()
+                .map(|x| (x * 10.0).round() / 10.0)
+                .collect::<Vec<_>>(),
+            h100.mean_int_age_us
+                .iter()
+                .map(|x| (x * 10.0).round() / 10.0)
+                .collect::<Vec<_>>()
         ),
         pass: f100.mean_int_age_us.len() == 3
             && (0..3).all(|i| f100.mean_int_age_us[i] < h100.mean_int_age_us[i])
@@ -132,7 +152,11 @@ pub fn check(opts: &RunOpts) -> usize {
     checks.push(Check {
         id: "C7 (Fig.13a-c)",
         claim: "queue gain larger at first hop than at last hop (w/o LHCS)",
-        measured: format!("first {:.1}% vs last {:.1}%", 100.0 * first_gain, 100.0 * last_gain_no),
+        measured: format!(
+            "first {:.1}% vs last {:.1}%",
+            100.0 * first_gain,
+            100.0 * last_gain_no
+        ),
         pass: first_gain > last_gain_no,
     });
     checks.push(Check {
@@ -140,11 +164,12 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "LHCS fires only at the last hop and cuts the standing queue",
         measured: format!(
             "triggers last={} first={}; mean queue {} -> {} KB",
-            lf.lhcs_triggers, hf.lhcs_triggers, f2(ln.mean_queue_kb), f2(lf.mean_queue_kb)
+            lf.lhcs_triggers,
+            hf.lhcs_triggers,
+            f2(ln.mean_queue_kb),
+            f2(lf.mean_queue_kb)
         ),
-        pass: lf.lhcs_triggers > 0
-            && hf.lhcs_triggers == 0
-            && lf.mean_queue_kb < ln.mean_queue_kb,
+        pass: lf.lhcs_triggers > 0 && hf.lhcs_triggers == 0 && lf.mean_queue_kb < ln.mean_queue_kb,
     });
 
     // Fairness.
@@ -182,7 +207,9 @@ pub fn check(opts: &RunOpts) -> usize {
         claim: "workload FCT slowdown: FNCC < DCQCN and FNCC <~ HPCC",
         measured: format!(
             "avg slowdown DCQCN {} HPCC {} FNCC {}",
-            f2(overall[0]), f2(overall[1]), f2(overall[2])
+            f2(overall[0]),
+            f2(overall[1]),
+            f2(overall[2])
         ),
         pass: overall[2] < overall[0] && overall[2] < overall[1] * 1.1,
     });
@@ -197,7 +224,11 @@ pub fn check(opts: &RunOpts) -> usize {
             c.id.to_string(),
             c.claim.to_string(),
             c.measured.clone(),
-            if c.pass { "PASS".to_string() } else { "FAIL".to_string() },
+            if c.pass {
+                "PASS".to_string()
+            } else {
+                "FAIL".to_string()
+            },
         ]);
     }
     crate::report::emit_table(&opts.out, "scorecard", "Reproduction scorecard", &t);

@@ -3,7 +3,8 @@
 use crate::report::{emit_table, f2};
 use crate::RunOpts;
 use fncc_cc::CcKind;
-use fncc_core::scenarios::{fattree_workload, Workload, WorkloadResult, WorkloadSpec};
+use fncc_core::backend::fattree_workload_on;
+use fncc_core::scenarios::{Workload, WorkloadResult, WorkloadSpec};
 use fncc_core::sweep::run_parallel;
 use fncc_des::output::Table;
 
@@ -19,21 +20,17 @@ fn spec(cc: CcKind, workload: Workload, opts: &RunOpts) -> WorkloadSpec {
 
 fn run(workload: Workload, fig: &str, opts: &RunOpts) {
     let ccs = [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc];
+    let backend = opts.backend;
     let jobs: Vec<_> = ccs
         .iter()
         .map(|&cc| {
             let s = spec(cc, workload, opts);
-            move || fattree_workload(&s)
+            move || fattree_workload_on(&s, backend)
         })
         .collect();
     let results: Vec<WorkloadResult> = run_parallel(jobs, opts.threads);
 
-    for (stat, pick) in [
-        ("average", 0usize),
-        ("median", 1),
-        ("95th", 2),
-        ("99th", 3),
-    ] {
+    for (stat, pick) in [("average", 0usize), ("median", 1), ("95th", 2), ("99th", 3)] {
         let mut t = Table::new([
             "flow_size",
             "DCQCN",
@@ -76,7 +73,11 @@ fn run(workload: Workload, fig: &str, opts: &RunOpts) {
         emit_table(
             &opts.out,
             &format!("{fig}_{stat}"),
-            &format!("{fig} — {} FCT slowdown, {} (50% load)", stat, workload.name()),
+            &format!(
+                "{fig} — {} FCT slowdown, {} (50% load)",
+                stat,
+                workload.name()
+            ),
             &t,
         );
     }
@@ -91,7 +92,12 @@ fn run(workload: Workload, fig: &str, opts: &RunOpts) {
             r.events.to_string(),
         ]);
     }
-    emit_table(&opts.out, &format!("{fig}_meta"), &format!("{fig} run metadata"), &meta);
+    emit_table(
+        &opts.out,
+        &format!("{fig}_meta"),
+        &format!("{fig} run metadata"),
+        &meta,
+    );
 }
 
 /// Fig. 14: WebSearch at 50% load on the k=8 fat-tree.
@@ -110,13 +116,14 @@ pub fn load_sweep(opts: &RunOpts) {
     let ccs = [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc];
     let mut t = Table::new(["load", "cc", "avg_slowdown", "p99_slowdown", "unfinished"]);
     for &load in &[0.3f64, 0.5, 0.7] {
+        let backend = opts.backend;
         let jobs: Vec<_> = ccs
             .iter()
             .map(|&cc| {
                 let mut s = spec(cc, Workload::FbHadoop, opts);
                 s.load = load;
                 s.k = 4; // pocket fabric keeps the sweep cheap
-                move || fattree_workload(&s)
+                move || fattree_workload_on(&s, backend)
             })
             .collect();
         for r in run_parallel(jobs, opts.threads) {
@@ -135,5 +142,10 @@ pub fn load_sweep(opts: &RunOpts) {
             ]);
         }
     }
-    emit_table(&opts.out, "ablation_load_sweep", "Extension — FCT slowdown vs offered load", &t);
+    emit_table(
+        &opts.out,
+        "ablation_load_sweep",
+        "Extension — FCT slowdown vs offered load",
+        &t,
+    );
 }

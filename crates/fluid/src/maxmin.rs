@@ -1,0 +1,664 @@
+//! Water-filling max-min fair allocation with per-flow rate caps.
+//!
+//! The classic progressive-filling algorithm: raise every unfrozen flow's
+//! rate uniformly until a link saturates (or a flow hits its cap), freeze
+//! the affected flows, subtract their share, repeat.
+//!
+//! The implementation leans on two structural facts. First, an unfrozen
+//! link's saturation level is simply `remaining / users` — independent of
+//! the current water level. Second, that quantity can only *increase* when
+//! other flows freeze (a flow frozen at level `x ≤ remaining/users` leaves
+//! `(remaining − x)/(users − 1) ≥ remaining/users`). Together they make a
+//! *lazy min-heap* exact: pop the smallest recorded level, recompute it
+//! fresh, and either accept it (it is still the global minimum) or push it
+//! back with its new value. Every accepted pop freezes at least one link's
+//! worth of flows, so the loop terminates after `O(links + flows)` heap
+//! operations instead of the naive `O(rounds · links)` rescans.
+//!
+//! [`WaterFiller`] owns scratch buffers so the per-event hot path in
+//! [`crate::sim::FluidSim`] allocates nothing; the free function
+//! [`water_fill`] is the convenient one-shot wrapper used by tests.
+
+/// One flow's demand: an optional rate cap and the directed links it
+/// crosses (ids into the capacity array).
+#[derive(Clone, Debug)]
+pub struct Demand<'a> {
+    /// Upper bound on the flow's rate (bits/s); `f64::INFINITY` when only
+    /// the links limit it.
+    pub cap: f64,
+    /// Directed links on the flow's path.
+    pub path: &'a [u32],
+}
+
+/// Relative tie width for "same" saturation levels: one part per billion
+/// (≈ 0.1 bit/s at 100 Gb/s) is far below physical meaning but merges
+/// float-divergent equal bottlenecks, so symmetric workloads (permutation,
+/// uniform incast) freeze in a handful of rounds.
+const TIE_REL: f64 = 1e-9;
+
+/// Reusable progressive-filling allocator over a fixed link universe.
+pub struct WaterFiller {
+    n_links: usize,
+    /// Per-link headroom not yet claimed by frozen flows.
+    remaining: Vec<f64>,
+    /// Per-link count of *unfrozen* flows.
+    users: Vec<u32>,
+    /// Per-link total flow count this run (snapshot of `users` at build).
+    count: Vec<u32>,
+    /// Per-link CSR fill cursor; after building, `cursor[l]` is one past
+    /// link `l`'s slice in `link_flows` (slice start = cursor − count).
+    cursor: Vec<u32>,
+    /// Flow indices grouped by link (CSR payload).
+    link_flows: Vec<u32>,
+    /// Links used by at least one flow this run.
+    active_links: Vec<u32>,
+    /// Lazy min-heap of `(saturation level, link)`.
+    heap: Vec<(f64, u32)>,
+    frozen: Vec<bool>,
+    by_cap: Vec<u32>,
+}
+
+impl WaterFiller {
+    /// An allocator for a network of `n_links` directed links.
+    pub fn new(n_links: usize) -> Self {
+        WaterFiller {
+            n_links,
+            remaining: vec![0.0; n_links],
+            users: vec![0; n_links],
+            count: vec![0; n_links],
+            cursor: vec![0; n_links],
+            link_flows: Vec::new(),
+            active_links: Vec::new(),
+            heap: Vec::new(),
+            frozen: Vec::new(),
+            by_cap: Vec::new(),
+        }
+    }
+
+    /// Links that carried at least one flow in the last `allocate` call.
+    #[inline]
+    pub fn last_active_links(&self) -> &[u32] {
+        &self.active_links
+    }
+
+    /// Capacity left unallocated on link `l` after the last `allocate`
+    /// call (bits/s). Only meaningful for links in
+    /// [`Self::last_active_links`]; a residual near zero means the link is
+    /// saturated — it was a bottleneck in the max-min solution.
+    #[inline]
+    pub fn residual(&self, l: u32) -> f64 {
+        self.remaining[l as usize]
+    }
+
+    /// Current saturation level of link `l` (`∞` once all its flows froze).
+    #[inline]
+    fn fill(&self, l: u32) -> f64 {
+        let u = self.users[l as usize];
+        if u == 0 {
+            f64::INFINITY
+        } else {
+            self.remaining[l as usize].max(0.0) / u as f64
+        }
+    }
+
+    #[inline]
+    fn heap_push(&mut self, key: f64, l: u32) {
+        self.heap.push((key, l));
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.heap[p].0 <= self.heap[i].0 {
+                break;
+            }
+            self.heap.swap(i, p);
+            i = p;
+        }
+    }
+
+    #[inline]
+    fn heap_pop(&mut self) -> Option<(f64, u32)> {
+        let n = self.heap.len();
+        if n == 0 {
+            return None;
+        }
+        self.heap.swap(0, n - 1);
+        let top = self.heap.pop();
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let (a, b) = (2 * i + 1, 2 * i + 2);
+            let mut m = i;
+            if a < n && self.heap[a].0 < self.heap[m].0 {
+                m = a;
+            }
+            if b < n && self.heap[b].0 < self.heap[m].0 {
+                m = b;
+            }
+            if m == i {
+                break;
+            }
+            self.heap.swap(i, m);
+            i = m;
+        }
+        top
+    }
+
+    /// Max-min fair rates (bits/s) for `flows` over links with the given
+    /// `capacity` (bits/s), written into `rates` (resized to match).
+    /// Flows with empty paths get their cap (degenerate, defensive).
+    pub fn allocate(&mut self, capacity: &[f64], flows: &[Demand<'_>], rates: &mut Vec<f64>) {
+        assert_eq!(capacity.len(), self.n_links, "capacity array size mismatch");
+        let nf = flows.len();
+        rates.clear();
+        rates.resize(nf, 0.0);
+        if nf == 0 {
+            return;
+        }
+
+        // Reset only the links the previous run touched.
+        for &l in &self.active_links {
+            self.users[l as usize] = 0;
+        }
+        self.active_links.clear();
+        let mut total = 0u32;
+        for f in flows {
+            for &l in f.path {
+                if self.users[l as usize] == 0 {
+                    self.active_links.push(l);
+                    self.remaining[l as usize] = capacity[l as usize];
+                }
+                self.users[l as usize] += 1;
+                total += 1;
+            }
+        }
+
+        // CSR flow lists per active link.
+        self.link_flows.clear();
+        self.link_flows.resize(total as usize, 0);
+        let mut at = 0u32;
+        for &l in &self.active_links {
+            let n = self.users[l as usize];
+            self.count[l as usize] = n;
+            self.cursor[l as usize] = at;
+            at += n;
+        }
+        for (i, f) in flows.iter().enumerate() {
+            for &l in f.path {
+                let c = self.cursor[l as usize];
+                self.link_flows[c as usize] = i as u32;
+                self.cursor[l as usize] = c + 1;
+            }
+        }
+        // cursor[l] now points one past link l's slice.
+
+        self.frozen.clear();
+        self.frozen.resize(nf, false);
+        // The cap ladder is only needed when some cap is finite; the fluid
+        // hot path passes every cap as ∞, so skip the O(n log n) sort then.
+        self.by_cap.clear();
+        if flows.iter().any(|f| f.cap.is_finite()) {
+            self.by_cap.extend(0..nf as u32);
+            self.by_cap.sort_unstable_by(|&a, &b| {
+                flows[a as usize]
+                    .cap
+                    .partial_cmp(&flows[b as usize].cap)
+                    .expect("NaN cap")
+            });
+        }
+        let ncap = self.by_cap.len();
+        let mut cap_ix = 0usize;
+        let mut unfrozen = nf;
+
+        // Seed the lazy heap with every active link's saturation level.
+        self.heap.clear();
+        self.heap.reserve(self.active_links.len());
+        for li in 0..self.active_links.len() {
+            let l = self.active_links[li];
+            let key = self.fill(l);
+            self.heap_push(key, l);
+        }
+
+        macro_rules! freeze {
+            ($i:expr, $at:expr) => {{
+                let i = $i as usize;
+                if !self.frozen[i] {
+                    self.frozen[i] = true;
+                    rates[i] = $at;
+                    unfrozen -= 1;
+                    for &l in flows[i].path {
+                        self.remaining[l as usize] -= $at;
+                        self.users[l as usize] -= 1;
+                    }
+                }
+            }};
+        }
+
+        // Freeze every flow of link `l` at `level`.
+        macro_rules! freeze_link {
+            ($l:expr, $level:expr) => {{
+                let l = $l as usize;
+                let end = self.cursor[l];
+                let begin = end - self.count[l];
+                for ix in begin..end {
+                    let i = self.link_flows[ix as usize];
+                    freeze!(i, $level);
+                }
+            }};
+        }
+
+        while unfrozen > 0 {
+            // True minimum saturation level via lazy re-evaluation: recorded
+            // keys are lower bounds (levels only rise), so a popped entry
+            // whose fresh value still beats the next key is the minimum.
+            let mut min_link: Option<(f64, u32)> = None;
+            while let Some((key, l)) = self.heap_pop() {
+                let fresh = self.fill(l);
+                if fresh.is_infinite() {
+                    continue; // all its flows froze through other links
+                }
+                if fresh <= key * (1.0 + TIE_REL)
+                    || self.heap.first().is_none_or(|&(next, _)| fresh <= next)
+                {
+                    min_link = Some((fresh, l));
+                    break;
+                }
+                self.heap_push(fresh, l);
+            }
+
+            while cap_ix < ncap && self.frozen[self.by_cap[cap_ix] as usize] {
+                cap_ix += 1;
+            }
+            let cap_limit = if cap_ix < ncap {
+                flows[self.by_cap[cap_ix] as usize].cap
+            } else {
+                f64::INFINITY
+            };
+
+            match min_link {
+                Some((link_limit, l)) if cap_limit > link_limit => {
+                    // The bottleneck link saturates first. Also drain every
+                    // other link tied at (numerically) the same level.
+                    let tie = link_limit * (1.0 + TIE_REL) + 1e-30;
+                    freeze_link!(l, link_limit);
+                    while let Some(&(key, l2)) = self.heap.first() {
+                        if key > tie {
+                            break;
+                        }
+                        self.heap_pop();
+                        let fresh = self.fill(l2);
+                        if fresh.is_infinite() {
+                            continue;
+                        }
+                        if fresh <= tie {
+                            freeze_link!(l2, link_limit);
+                        } else {
+                            self.heap_push(fresh, l2);
+                        }
+                    }
+                }
+                Some((link_limit, l)) => {
+                    // A cap binds first: put the link back, freeze every
+                    // flow capped at or below this level.
+                    self.heap_push(link_limit, l);
+                    while cap_ix < ncap {
+                        let i = self.by_cap[cap_ix];
+                        if self.frozen[i as usize] {
+                            cap_ix += 1;
+                            continue;
+                        }
+                        if flows[i as usize].cap > cap_limit {
+                            break;
+                        }
+                        freeze!(i, flows[i as usize].cap);
+                        cap_ix += 1;
+                    }
+                }
+                None if cap_limit.is_finite() => {
+                    // Only capped, link-less flows remain.
+                    while cap_ix < ncap {
+                        let i = self.by_cap[cap_ix];
+                        if !self.frozen[i as usize] {
+                            freeze!(i, flows[i as usize].cap);
+                        }
+                        cap_ix += 1;
+                    }
+                }
+                None => {
+                    // No links, no finite caps: defensive fallback.
+                    for i in 0..nf as u32 {
+                        if !self.frozen[i as usize] {
+                            let cap = flows[i as usize].cap.min(f64::MAX);
+                            freeze!(i, cap);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One-shot convenience wrapper over [`WaterFiller`].
+pub fn water_fill(capacity: &[f64], flows: &[Demand<'_>]) -> Vec<f64> {
+    let mut wf = WaterFiller::new(capacity.len());
+    let mut rates = Vec::new();
+    wf.allocate(capacity, flows, &mut rates);
+    rates
+}
+
+/// Verify feasibility: per-link load relative to capacity. Returns the
+/// worst relative overshoot (≤ 0 when feasible).
+pub fn worst_oversubscription(capacity: &[f64], flows: &[Demand<'_>], rates: &[f64]) -> f64 {
+    let mut load = vec![0.0f64; capacity.len()];
+    for (f, &r) in flows.iter().zip(rates) {
+        for &l in f.path {
+            load[l as usize] += r;
+        }
+    }
+    load.iter()
+        .zip(capacity)
+        .map(|(&ld, &cap)| if cap > 0.0 { ld / cap - 1.0 } else { 0.0 })
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Verify Pareto optimality / max-min structure: every flow is either at
+/// its cap or crosses at least one link whose load is within `tol` of its
+/// capacity (a saturated bottleneck — no flow's rate can be raised without
+/// lowering another's). Returns the first violating flow.
+pub fn find_non_pareto_flow(
+    capacity: &[f64],
+    flows: &[Demand<'_>],
+    rates: &[f64],
+    tol: f64,
+) -> Option<usize> {
+    let mut load = vec![0.0f64; capacity.len()];
+    for (f, &r) in flows.iter().zip(rates) {
+        for &l in f.path {
+            load[l as usize] += r;
+        }
+    }
+    for (i, (f, &r)) in flows.iter().zip(rates).enumerate() {
+        if r >= f.cap * (1.0 - tol) {
+            continue; // capped
+        }
+        let bottlenecked = f
+            .path
+            .iter()
+            .any(|&l| load[l as usize] >= capacity[l as usize] * (1.0 - tol));
+        if !bottlenecked {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: f64 = 1e9;
+
+    #[test]
+    fn single_flow_gets_line_rate() {
+        let caps = [100.0 * G, 100.0 * G];
+        let path = [0u32, 1];
+        let flows = [Demand {
+            cap: f64::INFINITY,
+            path: &path,
+        }];
+        let r = water_fill(&caps, &flows);
+        assert!((r[0] - 100.0 * G).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_equally() {
+        let caps = [100.0 * G, 100.0 * G, 100.0 * G];
+        let (pa, pb) = ([0u32, 2], [1u32, 2]);
+        let flows = [
+            Demand {
+                cap: f64::INFINITY,
+                path: &pa,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &pb,
+            },
+        ];
+        let r = water_fill(&caps, &flows);
+        assert!((r[0] - 50.0 * G).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 50.0 * G).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn capped_flow_releases_share() {
+        // Two flows on one 100G link; one capped at 20G → other gets 80G.
+        let caps = [100.0 * G];
+        let p = [0u32];
+        let flows = [
+            Demand {
+                cap: 20.0 * G,
+                path: &p,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p,
+            },
+        ];
+        let r = water_fill(&caps, &flows);
+        assert!((r[0] - 20.0 * G).abs() < 1.0, "{r:?}");
+        assert!((r[1] - 80.0 * G).abs() < 1.0, "{r:?}");
+    }
+
+    #[test]
+    fn classic_maxmin_example() {
+        // Three links a(10) b(10) c(4); flows: f0 over a+c, f1 over b+c,
+        // f2 over a, f3 over b. Max-min: f0=f1=2 (c saturates), f2=f3=8.
+        let caps = [10.0, 10.0, 4.0];
+        let (p0, p1, p2, p3) = ([0u32, 2], [1u32, 2], [0u32], [1u32]);
+        let flows = [
+            Demand {
+                cap: f64::INFINITY,
+                path: &p0,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p1,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p2,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p3,
+            },
+        ];
+        let r = water_fill(&caps, &flows);
+        assert!(
+            (r[0] - 2.0).abs() < 1e-9 && (r[1] - 2.0).abs() < 1e-9,
+            "{r:?}"
+        );
+        assert!(
+            (r[2] - 8.0).abs() < 1e-9 && (r[3] - 8.0).abs() < 1e-9,
+            "{r:?}"
+        );
+        assert!(worst_oversubscription(&caps, &flows, &r) < 1e-9);
+        assert_eq!(find_non_pareto_flow(&caps, &flows, &r, 1e-9), None);
+    }
+
+    #[test]
+    fn incast_divides_receiver_link() {
+        let n = 64usize;
+        let caps: Vec<f64> = (0..n + 1).map(|_| 100.0 * G).collect();
+        let paths: Vec<[u32; 2]> = (0..n).map(|i| [i as u32, n as u32]).collect();
+        let flows: Vec<Demand<'_>> = paths
+            .iter()
+            .map(|p| Demand {
+                cap: f64::INFINITY,
+                path: p,
+            })
+            .collect();
+        let r = water_fill(&caps, &flows);
+        for &x in &r {
+            assert!((x - 100.0 * G / n as f64).abs() < 1.0, "{x}");
+        }
+    }
+
+    #[test]
+    fn cascade_of_bottlenecks_resolves_in_order() {
+        // Chain where freeing one bottleneck reveals the next: link 0 has
+        // 4 flows (25 each), link 1 has flows {3} plus two private flows
+        // at higher shares.
+        let caps = [100.0, 90.0];
+        let (p_a, p_b, p_ab) = ([0u32], [1u32], [0u32, 1]);
+        let flows = [
+            Demand {
+                cap: f64::INFINITY,
+                path: &p_a,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p_a,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p_a,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p_ab,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p_b,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p_b,
+            },
+        ];
+        let r = water_fill(&caps, &flows);
+        // Link 0 saturates at 25 for its four flows; link 1 then has
+        // 90 − 25 = 65 left for two flows → 32.5 each.
+        for i in 0..4 {
+            assert!((r[i] - 25.0).abs() < 1e-9, "{r:?}");
+        }
+        assert!((r[4] - 32.5).abs() < 1e-9, "{r:?}");
+        assert!((r[5] - 32.5).abs() < 1e-9, "{r:?}");
+        assert!(worst_oversubscription(&caps, &flows, &r) < 1e-9);
+        assert_eq!(find_non_pareto_flow(&caps, &flows, &r, 1e-9), None);
+    }
+
+    #[test]
+    fn filler_reuse_is_consistent() {
+        let caps = [10.0, 10.0, 4.0];
+        let mut wf = WaterFiller::new(3);
+        let mut rates = Vec::new();
+        // First run with one shape…
+        let p_all = [0u32, 1, 2];
+        let flows = [Demand {
+            cap: f64::INFINITY,
+            path: &p_all,
+        }];
+        wf.allocate(&caps, &flows, &mut rates);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+        // …then a different shape reusing the scratch state.
+        let (p0, p1) = ([0u32], [0u32, 1]);
+        let flows = [
+            Demand {
+                cap: f64::INFINITY,
+                path: &p0,
+            },
+            Demand {
+                cap: 3.0,
+                path: &p1,
+            },
+        ];
+        wf.allocate(&caps, &flows, &mut rates);
+        assert!((rates[1] - 3.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[0] - 7.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(water_fill(&[1.0 * G], &[]).is_empty());
+        let flows = [Demand {
+            cap: 5.0 * G,
+            path: &[][..],
+        }];
+        let r = water_fill(&[1.0 * G], &flows);
+        assert!(
+            (r[0] - 5.0 * G).abs() < 1.0,
+            "empty-path flow takes its cap: {r:?}"
+        );
+    }
+
+    #[test]
+    fn detectors_flag_bad_allocations() {
+        let caps = [10.0];
+        let p = [0u32];
+        let flows = [
+            Demand {
+                cap: f64::INFINITY,
+                path: &p,
+            },
+            Demand {
+                cap: f64::INFINITY,
+                path: &p,
+            },
+        ];
+        // Oversubscribed by 50%.
+        assert!(worst_oversubscription(&caps, &flows, &[7.5, 7.5]) > 0.49);
+        // Feasible but not Pareto-optimal (link only half full).
+        assert_eq!(
+            find_non_pareto_flow(&caps, &flows, &[2.5, 2.5], 1e-9),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn random_demands_stay_feasible_and_pareto() {
+        // Deterministic pseudo-random stress over a 3-tier-ish link set.
+        let mut seed = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..50 {
+            let nl = 20 + (next() % 30) as usize;
+            let caps: Vec<f64> = (0..nl).map(|_| (1 + next() % 100) as f64).collect();
+            let nf = 1 + (next() % 200) as usize;
+            let paths: Vec<Vec<u32>> = (0..nf)
+                .map(|_| {
+                    let len = 1 + (next() % 5) as usize;
+                    let mut p: Vec<u32> = (0..len).map(|_| (next() % nl as u64) as u32).collect();
+                    p.sort_unstable();
+                    p.dedup();
+                    p
+                })
+                .collect();
+            let flows: Vec<Demand<'_>> = paths
+                .iter()
+                .map(|p| {
+                    let cap = if next() % 3 == 0 {
+                        (1 + next() % 50) as f64
+                    } else {
+                        f64::INFINITY
+                    };
+                    Demand { cap, path: p }
+                })
+                .collect();
+            let r = water_fill(&caps, &flows);
+            assert!(
+                worst_oversubscription(&caps, &flows, &r) < 1e-6,
+                "trial {trial} oversubscribed"
+            );
+            assert_eq!(
+                find_non_pareto_flow(&caps, &flows, &r, 1e-6),
+                None,
+                "trial {trial} not Pareto-optimal"
+            );
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Large-scale scenario builders for the fluid backend.
+//!
+//! These produce plain [`FlowSpec`] sets, so they also feed the packet
+//! backend at small scale — which is exactly what the cross-validation
+//! suite does. The scales here (10k–1M flows) are fluid-only territory.
+
+use fncc_des::rng::DetRng;
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::ids::{FlowId, HostId};
+use fncc_net::units::Bandwidth;
+use fncc_transport::FlowSpec;
+use fncc_workloads::arrivals::{poisson_flows, PoissonConfig};
+use fncc_workloads::distributions::{fb_hadoop, web_search};
+use fncc_workloads::patterns::permutation;
+
+/// Which flow-size trace a large-scale run draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trace {
+    /// DCTCP WebSearch (mice-heavy with elephant tail).
+    WebSearch,
+    /// Facebook Hadoop.
+    FbHadoop,
+    /// Fixed-size flows (microbenchmark style).
+    Fixed(u64),
+}
+
+/// Repeated random-permutation waves: every host sends `size` bytes to a
+/// distinct peer, a fresh derangement every `gap`, `waves` times over.
+/// Total flows = `waves · n_hosts`.
+pub fn permutation_waves(
+    n_hosts: u32,
+    size: u64,
+    waves: u32,
+    gap: TimeDelta,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let mut flows = Vec::with_capacity((waves * n_hosts) as usize);
+    for w in 0..waves {
+        let start = SimTime::ZERO + gap * w as u64;
+        let wave = permutation(n_hosts, size, start, seed.wrapping_add(w as u64));
+        flows.extend(wave.into_iter().map(|mut f| {
+            f.id = FlowId(w * n_hosts + f.id.0);
+            f
+        }));
+    }
+    flows
+}
+
+/// Incast storm: `fan_in` senders (cycling over hosts ≠ receiver) each fire
+/// `size` bytes at `receiver`, a new storm wave every `gap`, `waves` times.
+/// Total flows = `waves · fan_in`.
+pub fn incast_storm(
+    n_hosts: u32,
+    receiver: HostId,
+    fan_in: u32,
+    size: u64,
+    waves: u32,
+    gap: TimeDelta,
+) -> Vec<FlowSpec> {
+    assert!(n_hosts >= 2 && receiver.0 < n_hosts);
+    let mut flows = Vec::with_capacity((waves * fan_in) as usize);
+    let senders: Vec<u32> = (0..n_hosts).filter(|&h| h != receiver.0).collect();
+    for w in 0..waves {
+        let start = SimTime::ZERO + gap * w as u64;
+        for i in 0..fan_in {
+            let src = senders[(i as usize + w as usize) % senders.len()];
+            flows.push(FlowSpec {
+                id: FlowId(w * fan_in + i),
+                src: HostId(src),
+                dst: receiver,
+                size,
+                start,
+            });
+        }
+    }
+    flows
+}
+
+/// Heavy-tailed Poisson arrivals at `load` average link utilization with
+/// sizes from `trace` — the §5.5 workload at fluid scale.
+pub fn poisson_trace(
+    n_hosts: u32,
+    line: Bandwidth,
+    load: f64,
+    n_flows: u32,
+    trace: Trace,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let cfg = PoissonConfig {
+        n_hosts,
+        line,
+        load,
+        n_flows,
+        first_id: 0,
+        start: SimTime::ZERO,
+        seed,
+    };
+    match trace {
+        Trace::WebSearch => poisson_flows(&cfg, &web_search()),
+        Trace::FbHadoop => poisson_flows(&cfg, &fb_hadoop()),
+        Trace::Fixed(size) => {
+            // Poisson arrivals with deterministic sizes: reuse the arrival
+            // process, overwrite the sampled sizes.
+            let mut flows = poisson_flows(&cfg, &web_search());
+            for f in &mut flows {
+                f.size = size;
+            }
+            flows
+        }
+    }
+}
+
+/// Uniform random pairs with exponential arrivals — a quick generator for
+/// stress runs that sidesteps CDF sampling cost entirely.
+pub fn uniform_pairs(
+    n_hosts: u32,
+    n_flows: u32,
+    size: u64,
+    mean_gap: TimeDelta,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    assert!(n_hosts >= 2);
+    let mut rng = DetRng::new(seed, 0xF1D);
+    let mut t = SimTime::ZERO;
+    (0..n_flows)
+        .map(|k| {
+            t += TimeDelta::from_secs_f64(rng.exp(mean_gap.as_secs_f64()));
+            let src = rng.below(n_hosts as u64) as u32;
+            let mut dst = rng.below(n_hosts as u64 - 1) as u32;
+            if dst >= src {
+                dst += 1;
+            }
+            FlowSpec {
+                id: FlowId(k),
+                src: HostId(src),
+                dst: HostId(dst),
+                size,
+                start: t,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_waves_count_and_ids() {
+        let flows = permutation_waves(16, 1000, 5, TimeDelta::from_us(10), 1);
+        assert_eq!(flows.len(), 80);
+        let mut ids: Vec<u32> = flows.iter().map(|f| f.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..80).collect::<Vec<_>>());
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn incast_storm_targets_receiver() {
+        let flows = incast_storm(16, HostId(3), 10, 5000, 4, TimeDelta::from_us(50));
+        assert_eq!(flows.len(), 40);
+        for f in &flows {
+            assert_eq!(f.dst, HostId(3));
+            assert_ne!(f.src, HostId(3));
+        }
+        // Waves are spaced by the gap.
+        assert_eq!(flows[0].start, SimTime::ZERO);
+        assert_eq!(flows[39].start, SimTime::ZERO + TimeDelta::from_us(150));
+    }
+
+    #[test]
+    fn poisson_trace_fixed_sizes() {
+        let flows = poisson_trace(16, Bandwidth::gbps(100), 0.5, 200, Trace::Fixed(4096), 7);
+        assert_eq!(flows.len(), 200);
+        assert!(flows.iter().all(|f| f.size == 4096));
+    }
+
+    #[test]
+    fn uniform_pairs_are_valid_and_ordered() {
+        let flows = uniform_pairs(32, 500, 10_000, TimeDelta::from_us(1), 3);
+        assert_eq!(flows.len(), 500);
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            assert!(f.src.0 < 32 && f.dst.0 < 32);
+        }
+    }
+}

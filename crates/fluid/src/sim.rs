@@ -1,0 +1,508 @@
+//! The fluid event loop: advance time between flow arrivals/completions,
+//! re-solving the max-min allocation at every active-set change.
+//!
+//! Between consecutive events every active flow drains at its allocated
+//! rate, so the simulator's cost is `O(events · allocation)` regardless of
+//! flow sizes or link speeds — the property that lets it run millions of
+//! flows where the packet DES backend tops out at hundreds.
+//!
+//! FCT composition: a flow's completion time is
+//!
+//! ```text
+//! finish = t_drained(wire bytes at allocated rates)
+//!        + pipeline floor (first-frame store-and-forward latency)
+//!        + queue_rtts · base_rtt · contention    (see RateModel)
+//! ```
+//!
+//! where `contention = 1 − mean_rate / (η · path line rate)` measures how
+//! much of its lifetime the flow spent sharing its path: an uncontended
+//! flow drains at the scheme's full rate (contention 0, no queue to sit
+//! behind), a flow halved by an elephant pays half the scheme's standing
+//! queue. An uncontended flow under an ideal scheme scores a slowdown of
+//! exactly 1.0 against [`Topology::ideal_fct`].
+
+use crate::link::LinkMap;
+use crate::maxmin::{Demand, WaterFiller};
+use crate::model::RateModel;
+use fncc_des::time::SimTime;
+use fncc_net::config::FabricConfig;
+use fncc_net::telemetry::{FlowRecord, Telemetry};
+use fncc_net::topology::Topology;
+use fncc_transport::FlowSpec;
+
+/// Fabric framing parameters the fluid model needs. The default derives
+/// from [`FabricConfig::paper_default`], so the two backends can never
+/// silently disagree on wire-byte accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct Framing {
+    /// Payload bytes per full-size frame.
+    pub mtu_payload: u32,
+    /// Per-frame header overhead in bytes.
+    pub header: u32,
+}
+
+impl Default for Framing {
+    fn default() -> Self {
+        Framing::from(&FabricConfig::paper_default())
+    }
+}
+
+impl From<&FabricConfig> for Framing {
+    fn from(cfg: &FabricConfig) -> Self {
+        Framing {
+            mtu_payload: cfg.mtu_payload(),
+            header: cfg.data_header,
+        }
+    }
+}
+
+impl Framing {
+    /// Bytes on the wire for `size` application bytes.
+    #[inline]
+    pub fn wire_bytes(&self, size: u64) -> u64 {
+        let npkts = size.div_ceil(self.mtu_payload as u64).max(1);
+        size + npkts * self.header as u64
+    }
+}
+
+/// RTTs of continuous bottleneck saturation before a scheme's standing
+/// queue is fully built (the `queue_rtts` penalty ramps linearly up to
+/// this). Matches the packet backend's observed queue ramp on the elephant
+/// microbenchmark (~tens of µs at a ~13 µs RTT).
+const QUEUE_BUILD_RTTS: f64 = 4.0;
+
+/// One live flow in the fluid state.
+struct ActiveFlow {
+    /// Index into the sorted spec array.
+    spec_ix: u32,
+    /// Wire bits still to drain.
+    remaining_bits: f64,
+    /// Total wire bits (for the mean-rate contention estimate).
+    wire_bits: f64,
+    /// Directed links on the path.
+    path: Vec<u32>,
+    /// Pipeline floor (first-frame store-and-forward latency), seconds.
+    floor: f64,
+    /// η-scaled path line rate — the rate an uncontended flow of this
+    /// scheme would drain at (bits/s).
+    fair_line: f64,
+    /// Drain start (arrival) time, seconds.
+    t_start: f64,
+}
+
+/// Result of a fluid run.
+pub struct FluidResult {
+    /// Per-flow lifetime records (compatible with the packet backend's
+    /// telemetry, so `fncc_core::metrics::fct_slowdowns` applies directly).
+    pub telemetry: Telemetry,
+    /// Max-min re-allocations performed (the event count).
+    pub reallocations: u64,
+    /// Peak number of concurrently active flows.
+    pub peak_active: usize,
+    /// Simulated instant the last flow completed.
+    pub horizon: SimTime,
+}
+
+impl FluidResult {
+    /// Mean FCT slowdown (actual / contention-free ideal) over finished
+    /// flows, the cross-backend comparison metric.
+    pub fn mean_slowdown(&self, topo: &Topology, framing: Framing) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for rec in self.telemetry.flow_records() {
+            let Some(fct) = rec.fct() else { continue };
+            let ideal = topo.ideal_fct(
+                rec.src,
+                rec.dst,
+                rec.flow,
+                rec.size,
+                framing.mtu_payload,
+                framing.header,
+            );
+            sum += (fct.as_secs_f64() / ideal.as_secs_f64().max(f64::MIN_POSITIVE)).max(1.0);
+            n += 1;
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Flow-level simulator over a [`Topology`] under a [`RateModel`].
+pub struct FluidSim {
+    topo: Topology,
+    links: LinkMap,
+    model: RateModel,
+    framing: Framing,
+    flows: Vec<FlowSpec>,
+}
+
+impl FluidSim {
+    /// A fluid simulation of `model` over `topo`.
+    pub fn new(topo: Topology, model: RateModel) -> Self {
+        let links = LinkMap::new(&topo);
+        FluidSim {
+            topo,
+            links,
+            model,
+            framing: Framing::default(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// Override framing parameters (defaults match the packet backend).
+    pub fn framing(mut self, framing: Framing) -> Self {
+        self.framing = framing;
+        self
+    }
+
+    /// Add flows.
+    pub fn flows(mut self, flows: impl IntoIterator<Item = FlowSpec>) -> Self {
+        self.flows.extend(flows);
+        self
+    }
+
+    /// The network description.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Framing in effect.
+    pub fn framing_params(&self) -> Framing {
+        self.framing
+    }
+
+    /// Run every flow to completion and return the records.
+    pub fn run(mut self) -> FluidResult {
+        // Effective capacities: the scheme sustains η of each link.
+        let eta = self.model.utilization;
+        let capacity: Vec<f64> = self.links.capacities().iter().map(|&c| c * eta).collect();
+
+        // Scheme standing-queue delay in seconds (0 when there are no flows).
+        let base_rtt = if self.flows.is_empty() {
+            0.0
+        } else {
+            self.topo.base_rtt(1518, 70).as_secs_f64()
+        };
+        let queue_delay = self.model.queue_rtts * base_rtt;
+
+        self.flows.sort_by_key(|f| f.start);
+        let specs = std::mem::take(&mut self.flows);
+
+        let mut telemetry = Telemetry::new();
+        for f in &specs {
+            telemetry.flow_started(FlowRecord {
+                flow: f.id,
+                src: f.src,
+                dst: f.dst,
+                size: f.size,
+                start: f.start,
+                finish: None,
+            });
+        }
+
+        let mut filler = WaterFiller::new(self.links.len());
+        let mut rates: Vec<f64> = Vec::new();
+        let mut active: Vec<ActiveFlow> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut t = 0.0f64; // seconds
+        let mut reallocations = 0u64;
+        let mut peak_active = 0usize;
+        let mut horizon = SimTime::ZERO;
+        // Completion indices scratch (collected per event).
+        let mut finished: Vec<usize> = Vec::new();
+        // Standing-queue state: since when each link has been continuously
+        // saturated (NaN = not saturated), and the allocation epoch each
+        // link was last part of (stale links reset their history).
+        let mut sat_since: Vec<f64> = vec![f64::NAN; self.links.len()];
+        let mut seen_epoch: Vec<u64> = vec![0; self.links.len()];
+        let mut epoch = 0u64;
+
+        while next_arrival < specs.len() || !active.is_empty() {
+            let mut idle_jump = false;
+            if active.is_empty() {
+                // Jump the clock to the next arrival. The network was idle
+                // over the gap, so any standing-queue history is stale.
+                t = specs[next_arrival].start.as_secs_f64();
+                idle_jump = true;
+            }
+            // Admit every flow whose start time has been reached.
+            while next_arrival < specs.len() {
+                let s = &specs[next_arrival];
+                let start = s.start.as_secs_f64();
+                if start > t + 1e-15 {
+                    break;
+                }
+                let path = self.links.path_links(&self.topo, s.src, s.dst, s.id);
+                let wire_bits = self.framing.wire_bytes(s.size) as f64 * 8.0;
+                // Pipeline floor: ideal FCT minus pure streaming time at the
+                // path bottleneck (what the fluid drain models).
+                let ideal = self
+                    .topo
+                    .ideal_fct(
+                        s.src,
+                        s.dst,
+                        s.id,
+                        s.size,
+                        self.framing.mtu_payload,
+                        self.framing.header,
+                    )
+                    .as_secs_f64();
+                let bottleneck = path
+                    .iter()
+                    .map(|&l| self.links.capacity(l))
+                    .fold(f64::INFINITY, f64::min);
+                let floor = (ideal - wire_bits / bottleneck).max(0.0);
+                active.push(ActiveFlow {
+                    spec_ix: next_arrival as u32,
+                    remaining_bits: wire_bits,
+                    wire_bits,
+                    path,
+                    floor,
+                    fair_line: bottleneck * eta,
+                    t_start: start,
+                });
+                next_arrival += 1;
+            }
+            peak_active = peak_active.max(active.len());
+
+            // Re-solve the allocation for the current active set.
+            let demands: Vec<Demand<'_>> = active
+                .iter()
+                .map(|f| Demand {
+                    cap: f64::INFINITY,
+                    path: &f.path,
+                })
+                .collect();
+            filler.allocate(&capacity, &demands, &mut rates);
+            reallocations += 1;
+
+            // Track how long each link has been continuously saturated —
+            // the proxy for whether a standing queue had time to build.
+            // An idle-network clock jump is a discontinuity: bumping the
+            // epoch twice makes every link read as freshly (re)activated,
+            // so queues drained during the gap don't haunt the next burst.
+            epoch += if idle_jump { 2 } else { 1 };
+            for &l in filler.last_active_links() {
+                let was_active = seen_epoch[l as usize] == epoch - 1;
+                seen_epoch[l as usize] = epoch;
+                let saturated = filler.residual(l) <= 0.01 * capacity[l as usize];
+                if !saturated || !was_active {
+                    sat_since[l as usize] = if saturated { t } else { f64::NAN };
+                } else if sat_since[l as usize].is_nan() {
+                    sat_since[l as usize] = t;
+                }
+            }
+
+            // Earliest completion under these rates.
+            let mut dt_fin = f64::INFINITY;
+            for (f, &r) in active.iter().zip(&rates) {
+                if r > 0.0 {
+                    dt_fin = dt_fin.min(f.remaining_bits / r);
+                }
+            }
+            debug_assert!(dt_fin.is_finite(), "active flow with zero rate");
+
+            let t_arr = if next_arrival < specs.len() {
+                specs[next_arrival].start.as_secs_f64()
+            } else {
+                f64::INFINITY
+            };
+            let t_next = (t + dt_fin).min(t_arr);
+            let dt = t_next - t;
+
+            // Drain.
+            for (f, &r) in active.iter_mut().zip(&rates) {
+                f.remaining_bits -= r * dt;
+            }
+            t = t_next;
+
+            // Retire everything that completed at this instant (tolerance:
+            // half a bit — below any meaningful transfer granularity).
+            finished.clear();
+            for (i, f) in active.iter().enumerate() {
+                if f.remaining_bits <= 0.5 {
+                    finished.push(i);
+                }
+            }
+            for &i in finished.iter().rev() {
+                let f = active.swap_remove(i);
+                let spec = &specs[f.spec_ix as usize];
+                let drain = (t - f.t_start).max(0.0);
+                // Contention: how far the flow's lifetime-average rate fell
+                // below the scheme's uncontended drain rate on this path.
+                // Scales the standing-queue delay so idle-path flows (the
+                // common case for mice) pay nothing.
+                let mean_rate = if drain > 0.0 {
+                    f.wire_bits / drain
+                } else {
+                    f.fair_line
+                };
+                let contention = (1.0 - mean_rate / f.fair_line).clamp(0.0, 1.0);
+                // Queue build-up: the deepest standing queue on the path,
+                // as the fraction of QUEUE_BUILD_RTTS the bottleneck has
+                // been continuously saturated. Transient sharing (mice
+                // colliding for microseconds) builds no queue; an elephant
+                // holding a link saturated for many RTTs builds the
+                // scheme's full standing queue.
+                let mut sat_dur = 0.0f64;
+                for &l in &f.path {
+                    let since = sat_since[l as usize];
+                    if !since.is_nan() {
+                        sat_dur = sat_dur.max(t - since);
+                    }
+                }
+                let buildup = if base_rtt > 0.0 {
+                    (sat_dur / (QUEUE_BUILD_RTTS * base_rtt)).min(1.0)
+                } else {
+                    0.0
+                };
+                let fct_secs = drain + f.floor + queue_delay * contention * buildup;
+                let finish = spec.start
+                    + fncc_des::time::TimeDelta::from_secs_f64(fct_secs.max(f64::MIN_POSITIVE));
+                telemetry.flow_finished(spec.id, finish);
+                if finish > horizon {
+                    horizon = finish;
+                }
+            }
+        }
+
+        FluidResult {
+            telemetry,
+            reallocations,
+            peak_active,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_cc::CcKind;
+    use fncc_des::time::TimeDelta;
+    use fncc_net::ids::{FlowId, HostId};
+    use fncc_net::units::Bandwidth;
+
+    const BW: Bandwidth = Bandwidth::gbps(100);
+    const PROP: TimeDelta = TimeDelta::from_ns(1500);
+
+    fn flow(id: u32, src: u32, dst: u32, size: u64, start_us: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src: HostId(src),
+            dst: HostId(dst),
+            size,
+            start: SimTime::from_us(start_us),
+        }
+    }
+
+    #[test]
+    fn uncontended_flow_has_unit_slowdown_under_ideal_model() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let r = FluidSim::new(topo.clone(), RateModel::ideal())
+            .flows([flow(0, 0, 2, 1_000_000, 0)])
+            .run();
+        let s = r.mean_slowdown(&topo, Framing::default());
+        assert!((s - 1.0).abs() < 0.02, "slowdown {s}");
+        assert!(r.telemetry.all_flows_finished());
+    }
+
+    #[test]
+    fn two_elephants_halve_throughput() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let size = 10_000_000u64;
+        let r = FluidSim::new(topo.clone(), RateModel::ideal())
+            .flows([flow(0, 0, 2, size, 0), flow(1, 1, 2, size, 0)])
+            .run();
+        // Both share the 100G bottleneck: each drains at 50G.
+        let framing = Framing::default();
+        let expect = framing.wire_bytes(size) as f64 * 8.0 / 50e9;
+        for rec in r.telemetry.flow_records() {
+            let fct = rec.fct().unwrap().as_secs_f64();
+            assert!(
+                (fct - expect).abs() / expect < 0.05,
+                "fct {fct} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn later_arrival_triggers_reallocation() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let size = 10_000_000u64; // 800 µs alone at 100G
+        let r = FluidSim::new(topo.clone(), RateModel::ideal())
+            .flows([flow(0, 0, 2, size, 0), flow(1, 1, 2, size, 400)])
+            .run();
+        let rec0 = r.telemetry.flow_record(FlowId(0)).unwrap().clone();
+        let rec1 = r.telemetry.flow_record(FlowId(1)).unwrap().clone();
+        let (f0, f1) = (
+            rec0.fct().unwrap().as_secs_f64(),
+            rec1.fct().unwrap().as_secs_f64(),
+        );
+        // Flow 0 runs alone 400 µs, then shares; by max-min symmetry the
+        // two equal-size flows see identical FCTs, but flow 0 leaves the
+        // network first in absolute time.
+        let solo = Framing::default().wire_bytes(size) as f64 * 8.0 / 100e9;
+        assert!(f0 > solo && f1 > solo, "f0 {f0} f1 {f1} solo {solo}");
+        assert!((f0 - f1).abs() / f0 < 1e-6, "symmetric FCTs: {f0} vs {f1}");
+        assert!(
+            rec0.finish.unwrap() < rec1.finish.unwrap(),
+            "flow 0 exits first"
+        );
+        assert!(r.reallocations >= 3);
+        assert_eq!(r.peak_active, 2);
+    }
+
+    #[test]
+    fn scheme_models_order_mean_slowdown() {
+        // Same contended workload under FNCC vs DCQCN models: DCQCN's
+        // longer ramp must cost more slowdown.
+        let topo = Topology::dumbbell(4, 3, BW, PROP);
+        let flows: Vec<FlowSpec> = (0..4).map(|i| flow(i, i, 4, 500_000, 0)).collect();
+        let run = |kind| {
+            FluidSim::new(
+                Topology::dumbbell(4, 3, BW, PROP),
+                RateModel::paper_default(kind),
+            )
+            .flows(flows.clone())
+            .run()
+            .mean_slowdown(&topo, Framing::default())
+        };
+        let fncc = run(CcKind::Fncc);
+        let dcqcn = run(CcKind::Dcqcn);
+        assert!(fncc < dcqcn, "FNCC {fncc} vs DCQCN {dcqcn}");
+    }
+
+    #[test]
+    fn empty_flow_set_is_fine() {
+        let topo = Topology::star(4, BW, PROP);
+        let r = FluidSim::new(topo, RateModel::ideal()).run();
+        assert_eq!(r.reallocations, 0);
+        assert_eq!(r.peak_active, 0);
+        assert_eq!(r.horizon, SimTime::ZERO);
+    }
+
+    #[test]
+    fn incast_on_star_finishes_synchronously() {
+        let n = 16u32;
+        let topo = Topology::star(n + 1, BW, PROP);
+        let flows: Vec<FlowSpec> = (0..n).map(|i| flow(i, i, n, 1_000_000, 0)).collect();
+        let r = FluidSim::new(topo, RateModel::ideal()).flows(flows).run();
+        assert!(r.telemetry.all_flows_finished());
+        // Equal shares of the receiver link: everyone completes together,
+        // in two allocation rounds (start + batch completion).
+        assert!(r.reallocations <= 3, "reallocations {}", r.reallocations);
+        let fcts: Vec<f64> = r
+            .telemetry
+            .flow_records()
+            .map(|rec| rec.fct().unwrap().as_secs_f64())
+            .collect();
+        let (min, max) = fcts
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        assert!((max - min) / max < 1e-6, "spread {min}..{max}");
+    }
+}

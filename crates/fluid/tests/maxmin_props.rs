@@ -1,0 +1,121 @@
+//! Property tests: the water-filling allocator produces *feasible* (no
+//! link oversubscribed) and *Pareto-optimal / max-min* (every uncapped
+//! flow pinned by a saturated bottleneck) rates for arbitrary demand sets,
+//! both on synthetic link sets and over real topologies' routed paths.
+
+use fncc_des::time::TimeDelta;
+use fncc_fluid::{find_non_pareto_flow, water_fill, worst_oversubscription, Demand, LinkMap};
+use fncc_net::ids::{FlowId, HostId};
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-6;
+
+proptest! {
+    /// Arbitrary synthetic networks: random capacities, random paths,
+    /// random (sometimes finite) caps.
+    #[test]
+    fn synthetic_allocations_feasible_and_pareto(
+        caps_raw in proptest::collection::vec(1u64..1000, 4..40),
+        flow_raw in proptest::collection::vec((0u64..1_000_000, 1u64..6, 0u64..100), 1..120),
+    ) {
+        let nl = caps_raw.len();
+        let capacity: Vec<f64> = caps_raw.iter().map(|&c| c as f64 * 1e8).collect();
+        // Derive each flow's path from its hash fields, dedup'd.
+        let paths: Vec<Vec<u32>> = flow_raw
+            .iter()
+            .map(|&(h, len, _)| {
+                let mut p: Vec<u32> =
+                    (0..len).map(|k| ((h.wrapping_mul(31).wrapping_add(k * 7919)) % nl as u64) as u32).collect();
+                p.sort_unstable();
+                p.dedup();
+                p
+            })
+            .collect();
+        let flows: Vec<Demand<'_>> = flow_raw
+            .iter()
+            .zip(&paths)
+            .map(|(&(_, _, cap_sel), p)| Demand {
+                cap: if cap_sel < 30 { (cap_sel + 1) as f64 * 1e9 } else { f64::INFINITY },
+                path: p,
+            })
+            .collect();
+        let rates = water_fill(&capacity, &flows);
+        prop_assert!(rates.iter().all(|r| r.is_finite() && *r >= 0.0));
+        let over = worst_oversubscription(&capacity, &flows, &rates);
+        prop_assert!(over < TOL, "oversubscribed by {over}");
+        prop_assert_eq!(find_non_pareto_flow(&capacity, &flows, &rates, TOL), None);
+    }
+
+    /// Real routed paths: random flow sets over the k=4 fat-tree with ECMP.
+    #[test]
+    fn fat_tree_allocations_feasible_and_pareto(
+        endpoints in proptest::collection::vec((0u32..16, 0u32..16, 0u32..10_000), 1..80),
+    ) {
+        let topo = Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let links = LinkMap::new(&topo);
+        let paths: Vec<Vec<u32>> = endpoints
+            .iter()
+            .filter(|&&(s, d, _)| s != d)
+            .map(|&(s, d, f)| links.path_links(&topo, HostId(s), HostId(d), FlowId(f)))
+            .collect();
+        prop_assume!(!paths.is_empty());
+        let flows: Vec<Demand<'_>> =
+            paths.iter().map(|p| Demand { cap: f64::INFINITY, path: p }).collect();
+        let rates = water_fill(links.capacities(), &flows);
+        let over = worst_oversubscription(links.capacities(), &flows, &rates);
+        prop_assert!(over < TOL, "oversubscribed by {over}");
+        prop_assert_eq!(find_non_pareto_flow(links.capacities(), &flows, &rates, TOL), None);
+        // On a 1:1 fat-tree no flow can beat its NIC, and every flow gets
+        // something.
+        for (&r, p) in rates.iter().zip(&paths) {
+            prop_assert!(r > 0.0);
+            let nic = links.capacity(p[0]);
+            prop_assert!(r <= nic * (1.0 + TOL), "rate {r} above NIC {nic}");
+        }
+    }
+
+    /// Max-min dominance: splitting one flow's traffic onto a second flow
+    /// with the same path never *raises* the original flow's rate.
+    #[test]
+    fn adding_a_flow_never_helps_existing_sharers(
+        n_before in 1usize..20,
+    ) {
+        let caps = [100e9f64, 100e9];
+        let p = [0u32, 1];
+        let mk = |n: usize| -> Vec<f64> {
+            let flows: Vec<Demand<'_>> =
+                (0..n).map(|_| Demand { cap: f64::INFINITY, path: &p }).collect();
+            water_fill(&caps, &flows)
+        };
+        let before = mk(n_before);
+        let after = mk(n_before + 1);
+        prop_assert!(after[0] <= before[0] * (1.0 + TOL));
+    }
+}
+
+/// Star incast: n flows into one host split the receiver link evenly —
+/// the allocator's answer matches the closed form exactly.
+#[test]
+fn star_incast_matches_closed_form() {
+    for n in [1u32, 2, 7, 32] {
+        let topo = Topology::star(n + 1, Bandwidth::gbps(100), TimeDelta::from_us(1));
+        let links = LinkMap::new(&topo);
+        let paths: Vec<Vec<u32>> = (0..n)
+            .map(|i| links.path_links(&topo, HostId(i), HostId(n), FlowId(i)))
+            .collect();
+        let flows: Vec<Demand<'_>> = paths
+            .iter()
+            .map(|p| Demand {
+                cap: f64::INFINITY,
+                path: p,
+            })
+            .collect();
+        let rates = water_fill(links.capacities(), &flows);
+        let expect = 100e9 / n as f64;
+        for &r in &rates {
+            assert!((r - expect).abs() / expect < 1e-9, "n={n}: {r} vs {expect}");
+        }
+    }
+}

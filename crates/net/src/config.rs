@@ -42,7 +42,11 @@ impl PfcConfig {
 
     /// PFC disabled (packets can drop at buffer exhaustion).
     pub fn disabled() -> Self {
-        PfcConfig { enabled: false, threshold: u64::MAX, resume_offset: 0 }
+        PfcConfig {
+            enabled: false,
+            threshold: u64::MAX,
+            resume_offset: 0,
+        }
     }
 }
 
@@ -62,7 +66,12 @@ pub struct EcnConfig {
 impl EcnConfig {
     /// Disabled.
     pub fn disabled() -> Self {
-        EcnConfig { enabled: false, kmin: u64::MAX, kmax: u64::MAX, pmax: 0.0 }
+        EcnConfig {
+            enabled: false,
+            kmin: u64::MAX,
+            kmax: u64::MAX,
+            pmax: 0.0,
+        }
     }
 
     /// DCQCN defaults scaled linearly with line rate, anchored at the
@@ -216,7 +225,12 @@ mod tests {
 
     #[test]
     fn ecn_probability_ramp() {
-        let e = EcnConfig { enabled: true, kmin: 100, kmax: 300, pmax: 0.2 };
+        let e = EcnConfig {
+            enabled: true,
+            kmin: 100,
+            kmax: 300,
+            pmax: 0.2,
+        };
         assert_eq!(e.mark_probability(0), 0.0);
         assert_eq!(e.mark_probability(99), 0.0);
         assert_eq!(e.mark_probability(100), 0.0);

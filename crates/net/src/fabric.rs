@@ -95,7 +95,12 @@ impl<'a, T> HostCtx<'a, T> {
     #[inline]
     pub fn nic_backlog(&self) -> u64 {
         self.port.queue_bytes
-            + self.port.in_flight.as_ref().map(|p| p.size as u64).unwrap_or(0)
+            + self
+                .port
+                .in_flight
+                .as_ref()
+                .map(|p| p.size as u64)
+                .unwrap_or(0)
     }
 
     /// True while the first-hop switch has PFC-paused this NIC.
@@ -108,12 +113,24 @@ impl<'a, T> HostCtx<'a, T> {
     pub fn send(&mut self, pkt: Box<Packet>) {
         debug_assert!(!pkt.kind.is_control(), "hosts do not send PFC frames");
         self.port.enqueue(pkt);
-        start_port_tx(NodeRef::Host(self.host), self.port, self.now, self.cfg, self.sched);
+        start_port_tx(
+            NodeRef::Host(self.host),
+            self.port,
+            self.now,
+            self.cfg,
+            self.sched,
+        );
     }
 
     /// Fire `timer` after `d`.
     pub fn schedule(&mut self, d: TimeDelta, timer: T) {
-        self.sched.after(d, Ev::HostTimer { host: self.host, timer });
+        self.sched.after(
+            d,
+            Ev::HostTimer {
+                host: self.host,
+                timer,
+            },
+        );
     }
 }
 
@@ -270,11 +287,29 @@ impl<H: HostLogic> Fabric<H> {
             match out {
                 SwitchOutput::StartTx { port } => {
                     let t = self.switches[sw_ix].tx_time_of_in_flight(port, &self.cfg);
-                    sched.after(t, Ev::TxDone { node: NodeRef::Switch(SwitchId(sw_ix as u32)), port });
+                    sched.after(
+                        t,
+                        Ev::TxDone {
+                            node: NodeRef::Switch(SwitchId(sw_ix as u32)),
+                            port,
+                        },
+                    );
                 }
-                SwitchOutput::Deliver { port, peer, peer_port, pkt } => {
+                SwitchOutput::Deliver {
+                    port,
+                    peer,
+                    peer_port,
+                    pkt,
+                } => {
                     let prop = self.switches[sw_ix].ports[port as usize].prop;
-                    sched.after(prop, Ev::Arrive { node: peer, port: peer_port, pkt });
+                    sched.after(
+                        prop,
+                        Ev::Arrive {
+                            node: peer,
+                            port: peer_port,
+                            pkt,
+                        },
+                    );
                 }
             }
         }
@@ -289,7 +324,8 @@ impl<H: HostLogic> Fabric<H> {
             |s, p| switches[s.ix()].ports[p as usize].tx_bytes,
         );
         let hosts = &self.hosts;
-        self.telemetry.sample_cc_rates(now, |h, f| hosts[h.ix()].cc_rate_bps(f));
+        self.telemetry
+            .sample_cc_rates(now, |h, f| hosts[h.ix()].cc_rate_bps(f));
     }
 
     /// Total PFC pause frames sent by one switch port (Fig. 3's metric).
@@ -329,7 +365,12 @@ impl<H: HostLogic> Model for Fabric<H> {
                     {
                         // Split borrows: switch, cfg and telemetry are
                         // disjoint fields.
-                        let Fabric { switches, cfg, telemetry, .. } = self;
+                        let Fabric {
+                            switches,
+                            cfg,
+                            telemetry,
+                            ..
+                        } = self;
                         switches[s.ix()].on_arrive(now, port, pkt, cfg, telemetry, &mut outputs);
                     }
                     self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
@@ -340,7 +381,12 @@ impl<H: HostLogic> Model for Fabric<H> {
                 NodeRef::Switch(s) => {
                     let mut outputs = std::mem::take(&mut self.scratch);
                     {
-                        let Fabric { switches, cfg, telemetry, .. } = self;
+                        let Fabric {
+                            switches,
+                            cfg,
+                            telemetry,
+                            ..
+                        } = self;
                         switches[s.ix()].on_tx_done(now, port, cfg, telemetry, &mut outputs);
                     }
                     self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
@@ -350,7 +396,14 @@ impl<H: HostLogic> Model for Fabric<H> {
                     let pkt = p.in_flight.take().expect("host TxDone with no frame");
                     p.tx_bytes += pkt.size as u64;
                     let (peer, peer_port, prop) = (p.peer, p.peer_port, p.prop);
-                    sched.after(prop, Ev::Arrive { node: peer, port: peer_port, pkt });
+                    sched.after(
+                        prop,
+                        Ev::Arrive {
+                            node: peer,
+                            port: peer_port,
+                            pkt,
+                        },
+                    );
                     start_port_tx(NodeRef::Host(h), p, now, &self.cfg, sched);
                 }
             },
@@ -448,7 +501,11 @@ mod tests {
             }
         }
         fn sender(dst: HostId, n: u32) -> Self {
-            MiniHost { send_to: Some(dst), n_packets: n, ..Self::idle() }
+            MiniHost {
+                send_to: Some(dst),
+                n_packets: n,
+                ..Self::idle()
+            }
         }
     }
 
@@ -515,7 +572,13 @@ mod tests {
         for (t, ev) in eng.model.startup_events() {
             eng.schedule(t, ev);
         }
-        eng.schedule(SimTime::ZERO, Ev::HostTimer { host: HostId(0), timer: MiniTimer::Start });
+        eng.schedule(
+            SimTime::ZERO,
+            Ev::HostTimer {
+                host: HostId(0),
+                timer: MiniTimer::Start,
+            },
+        );
         eng
     }
 
@@ -533,8 +596,20 @@ mod tests {
         for (t, ev) in eng.model.startup_events() {
             eng.schedule(t, ev);
         }
-        eng.schedule(SimTime::ZERO, Ev::HostTimer { host: HostId(0), timer: MiniTimer::Start });
-        eng.schedule(SimTime::ZERO, Ev::HostTimer { host: HostId(1), timer: MiniTimer::Start });
+        eng.schedule(
+            SimTime::ZERO,
+            Ev::HostTimer {
+                host: HostId(0),
+                timer: MiniTimer::Start,
+            },
+        );
+        eng.schedule(
+            SimTime::ZERO,
+            Ev::HostTimer {
+                host: HostId(1),
+                timer: MiniTimer::Start,
+            },
+        );
         eng
     }
 
@@ -584,7 +659,10 @@ mod tests {
         assert_eq!(ints.len() as u32, 60 * 3);
         // Two senders blast at a 2:1 bottleneck: ACK-path INT must observe a
         // nonzero request-path queue at sw0.
-        assert!(ints.iter().any(|&q| q > 0), "no queue ever observed via ACK INT");
+        assert!(
+            ints.iter().any(|&q| q > 0),
+            "no queue ever observed via ACK INT"
+        );
         assert!(ints.iter().all(|&q| q < 32 * 1024 * 1024));
     }
 
@@ -598,8 +676,7 @@ mod tests {
         assert_eq!(m.hosts[2].data_received, 800, "lossless under PFC");
         assert!(m.telemetry.counters.pfc_pause_tx > 0, "pauses must trigger");
         assert_eq!(
-            m.telemetry.counters.pfc_pause_tx,
-            m.telemetry.counters.pfc_resume_tx,
+            m.telemetry.counters.pfc_pause_tx, m.telemetry.counters.pfc_resume_tx,
             "every pause eventually resumes"
         );
         assert_eq!(m.telemetry.counters.drops, 0);
@@ -621,9 +698,15 @@ mod tests {
     #[test]
     fn sampling_produces_series() {
         let mut eng = dumbbell_fabric(FabricConfig::paper_default(), 200);
-        eng.model.telemetry.enable_sampling(TimeDelta::from_us(1), SimTime::from_us(50));
-        eng.model.telemetry.watch_queue(SwitchId(0), 2, "sw0-uplink");
-        eng.model.telemetry.watch_utilization(SwitchId(0), 2, Bandwidth::gbps(100), "util");
+        eng.model
+            .telemetry
+            .enable_sampling(TimeDelta::from_us(1), SimTime::from_us(50));
+        eng.model
+            .telemetry
+            .watch_queue(SwitchId(0), 2, "sw0-uplink");
+        eng.model
+            .telemetry
+            .watch_utilization(SwitchId(0), 2, Bandwidth::gbps(100), "util");
         eng.schedule(SimTime::ZERO, Ev::Sample);
         eng.run_until_idle();
         let q = eng.model.telemetry.queue_series(SwitchId(0), 2).unwrap();
@@ -651,7 +734,10 @@ mod tests {
         assert_eq!(m.hosts[2].data_received, 200);
         assert_eq!(m.telemetry.counters.drops, 0);
         // The watchdog saw the (injected) long pause episode.
-        assert_eq!(m.telemetry.pause_episodes(), 1 + m.telemetry.counters.pfc_resume_tx);
+        assert_eq!(
+            m.telemetry.pause_episodes(),
+            1 + m.telemetry.counters.pfc_resume_tx
+        );
         assert!(
             m.telemetry.pause_time_max() >= TimeDelta::from_us(50),
             "max pause {} must cover the injected fault",

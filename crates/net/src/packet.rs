@@ -40,7 +40,10 @@ const EMPTY_RECORD: IntRecord = IntRecord {
 
 impl Default for IntStack {
     fn default() -> Self {
-        IntStack { records: [EMPTY_RECORD; MAX_HOPS], len: 0 }
+        IntStack {
+            records: [EMPTY_RECORD; MAX_HOPS],
+            len: 0,
+        }
     }
 }
 

@@ -127,7 +127,15 @@ mod tests {
     }
 
     fn data(size: u32) -> Box<Packet> {
-        Packet::data(FlowId(0), HostId(0), HostId(1), 0, size - 62, size, SimTime::ZERO)
+        Packet::data(
+            FlowId(0),
+            HostId(0),
+            HostId(1),
+            0,
+            size - 62,
+            size,
+            SimTime::ZERO,
+        )
     }
 
     #[test]

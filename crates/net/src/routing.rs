@@ -66,8 +66,8 @@ impl RoutingTable {
                 RouteEntry::Unreachable => panic!("no route to {dst:?}"),
                 RouteEntry::Single(p) => *p,
                 RouteEntry::Ecmp { ports, level } => {
-                    let digit = (h >> (LEVEL_DIGIT_BITS * *level as u32))
-                        & ((1 << LEVEL_DIGIT_BITS) - 1);
+                    let digit =
+                        (h >> (LEVEL_DIGIT_BITS * *level as u32)) & ((1 << LEVEL_DIGIT_BITS) - 1);
                     ports[(digit as usize) % ports.len()]
                 }
             },
@@ -146,7 +146,10 @@ mod tests {
             let h = flow_hash(HostId(0), HostId(1), FlowId(f));
             hit[rt.egress(HostId(0), h) as usize] = true;
         }
-        assert!(hit.iter().all(|&b| b), "ECMP never chose some member: {hit:?}");
+        assert!(
+            hit.iter().all(|&b| b),
+            "ECMP never chose some member: {hit:?}"
+        );
     }
 
     #[test]

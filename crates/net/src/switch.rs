@@ -69,7 +69,12 @@ impl Switch {
         let ports: Vec<Port> = spec.ports.iter().map(Port::from_spec).collect();
         let int_table = ports
             .iter()
-            .map(|p| IntRecord { bandwidth: p.bw, ts: SimTime::ZERO, tx_bytes: 0, qlen: 0 })
+            .map(|p| IntRecord {
+                bandwidth: p.bw,
+                ts: SimTime::ZERO,
+                tx_bytes: 0,
+                qlen: 0,
+            })
             .collect();
         let rocc_rate = ports.iter().map(|p| p.bw.as_f64()).collect();
         Switch {
@@ -90,7 +95,12 @@ impl Switch {
     #[inline]
     fn live_int(&self, port: u8, now: SimTime) -> IntRecord {
         let p = &self.ports[port as usize];
-        IntRecord { bandwidth: p.bw, ts: now, tx_bytes: p.tx_bytes, qlen: p.queue_bytes }
+        IntRecord {
+            bandwidth: p.bw,
+            ts: now,
+            tx_bytes: p.tx_bytes,
+            qlen: p.queue_bytes,
+        }
     }
 
     /// Periodic `All_INT_Table` refresh (Fig. 8 "Management" module).
@@ -105,7 +115,9 @@ impl Switch {
         let Some(rc) = &cfg.rocc else { return };
         for p in 0..self.ports.len() {
             let q = self.ports[p].queue_bytes as f64;
-            let r = self.rocc_rate[p] - rc.gain_p * (q - rc.qref) - rc.gain_d * (q - self.rocc_prev_q[p]);
+            let r = self.rocc_rate[p]
+                - rc.gain_p * (q - rc.qref)
+                - rc.gain_d * (q - self.rocc_prev_q[p]);
             self.rocc_rate[p] = r.clamp(rc.min_rate, self.ports[p].bw.as_f64());
             self.rocc_prev_q[p] = q;
         }
@@ -230,7 +242,12 @@ impl Switch {
         }
 
         let p = &self.ports[port as usize];
-        out.push(SwitchOutput::Deliver { port, peer: p.peer, peer_port: p.peer_port, pkt });
+        out.push(SwitchOutput::Deliver {
+            port,
+            peer: p.peer,
+            peer_port: p.peer_port,
+            pkt,
+        });
         self.maybe_start_tx(port, now, cfg, out);
     }
 
@@ -324,10 +341,23 @@ mod tests {
     }
 
     fn data(flow: u32, src: u32, dst: u32, size: u32) -> Box<Packet> {
-        Packet::data(FlowId(flow), HostId(src), HostId(dst), 0, size - 62, size, SimTime::ZERO)
+        Packet::data(
+            FlowId(flow),
+            HostId(src),
+            HostId(dst),
+            0,
+            size - 62,
+            size,
+            SimTime::ZERO,
+        )
     }
 
-    fn drain_tx(sw: &mut Switch, port: u8, cfg: &FabricConfig, telem: &mut Telemetry) -> Vec<Box<Packet>> {
+    fn drain_tx(
+        sw: &mut Switch,
+        port: u8,
+        cfg: &FabricConfig,
+        telem: &mut Telemetry,
+    ) -> Vec<Packet> {
         // Repeatedly complete transmissions on `port` until it goes idle,
         // collecting delivered frames.
         let mut delivered = Vec::new();
@@ -339,7 +369,7 @@ mod tests {
             sw.on_tx_done(SimTime::from_us(1), port, cfg, telem, &mut out);
             for o in out {
                 if let SwitchOutput::Deliver { pkt, .. } = o {
-                    delivered.push(pkt);
+                    delivered.push(*pkt);
                 }
             }
         }
@@ -352,8 +382,18 @@ mod tests {
         let cfg = test_cfg();
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
-        assert!(matches!(out.as_slice(), [SwitchOutput::StartTx { port: 2 }]));
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
+        assert!(matches!(
+            out.as_slice(),
+            [SwitchOutput::StartTx { port: 2 }]
+        ));
         assert!(sw.ports[2].in_flight.is_some());
         assert_eq!(sw.ingress_bytes[0], 1000);
         assert_eq!(sw.buffered, 1000);
@@ -365,7 +405,14 @@ mod tests {
         let cfg = test_cfg();
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         out.clear();
         sw.on_tx_done(SimTime::from_us(1), 2, &cfg, &mut telem, &mut out);
         match &out[0] {
@@ -387,7 +434,14 @@ mod tests {
         cfg.int = IntInsertion::OnData;
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
-        sw.on_arrive(SimTime::from_us(3), 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::from_us(3),
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         let pkt = sw.ports[2].in_flight.as_ref().unwrap();
         assert_eq!(pkt.int.len(), 1);
         assert_eq!(pkt.size, 1008, "INT grows the frame");
@@ -406,8 +460,22 @@ mod tests {
         // Build request-path state: two data frames head out port 2; one is
         // in flight, one queued (queue_bytes = 1000).
         let mut out = Vec::new();
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert_eq!(sw.ports[2].queue_bytes, 1000);
 
         // An ACK for flow 0 arrives on port 2 (the data egress) heading to
@@ -419,7 +487,10 @@ mod tests {
         assert_eq!(pkt.kind, PacketKind::Ack);
         assert_eq!(pkt.int.len(), 1);
         let rec = pkt.int.as_slice()[0];
-        assert_eq!(rec.qlen, 1000, "ACK carries the data-path egress queue depth");
+        assert_eq!(
+            rec.qlen, 1000,
+            "ACK carries the data-path egress queue depth"
+        );
         assert_eq!(pkt.size, 78);
         // Data frames in FNCC mode carry no INT.
         let d = sw.ports[2].in_flight.as_ref().unwrap();
@@ -437,8 +508,22 @@ mod tests {
         // Refresh at t=0 with empty queues, then build a queue.
         sw.refresh_int_table(SimTime::ZERO);
         let mut out = Vec::new();
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
 
         let ack = Packet::ack(FlowId(0), HostId(2), HostId(0), 0, 70, SimTime::ZERO);
         out.clear();
@@ -467,15 +552,32 @@ mod tests {
         // Three 1000B frames from host 0: after the third, ingress 0 holds
         // 3000 > 2500 (the first is in flight but still accounted).
         for _ in 0..3 {
-            sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+            sw.on_arrive(
+                SimTime::ZERO,
+                0,
+                data(0, 0, 2, 1000),
+                &cfg,
+                &mut telem,
+                &mut out,
+            );
         }
         assert!(sw.upstream_paused[0]);
         assert_eq!(sw.ports[0].pause_tx, 1);
         assert_eq!(telem.counters.pfc_pause_tx, 1);
         // The pause frame is in flight on port 0 (control priority).
-        assert_eq!(sw.ports[0].in_flight.as_ref().unwrap().kind, PacketKind::PfcPause);
+        assert_eq!(
+            sw.ports[0].in_flight.as_ref().unwrap().kind,
+            PacketKind::PfcPause
+        );
         // No duplicate pause while already paused.
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert_eq!(sw.ports[0].pause_tx, 1);
     }
 
@@ -488,7 +590,14 @@ mod tests {
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
         for _ in 0..2 {
-            sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+            sw.on_arrive(
+                SimTime::ZERO,
+                0,
+                data(0, 0, 2, 1000),
+                &cfg,
+                &mut telem,
+                &mut out,
+            );
         }
         assert!(sw.upstream_paused[0]);
         // Drain the uplink: after both data frames leave, ingress drops to 0
@@ -506,16 +615,37 @@ mod tests {
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
         // Pause arrives on the uplink (port 2).
-        sw.on_arrive(SimTime::ZERO, 2, Packet::pfc(PacketKind::PfcPause, 64, SimTime::ZERO), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            2,
+            Packet::pfc(PacketKind::PfcPause, 64, SimTime::ZERO),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert!(sw.ports[2].paused);
         assert_eq!(sw.ports[2].pause_rx, 1);
         // Data for the uplink queues but does not start.
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert!(sw.ports[2].idle());
         assert_eq!(sw.ports[2].queue_bytes, 1000);
         // Resume restarts it.
         out.clear();
-        sw.on_arrive(SimTime::ZERO, 2, Packet::pfc(PacketKind::PfcResume, 64, SimTime::ZERO), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            2,
+            Packet::pfc(PacketKind::PfcResume, 64, SimTime::ZERO),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert!(!sw.ports[2].paused);
         assert!(sw.ports[2].in_flight.is_some());
     }
@@ -528,9 +658,30 @@ mod tests {
         cfg.buffer_bytes = 2048;
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert_eq!(telem.counters.drops, 1);
         assert_eq!(sw.buffered, 2000);
     }
@@ -539,15 +690,41 @@ mod tests {
     fn ecn_marks_above_kmax() {
         let mut sw = sw0();
         let mut cfg = test_cfg();
-        cfg.ecn = crate::config::EcnConfig { enabled: true, kmin: 0, kmax: 1, pmax: 1.0 };
+        cfg.ecn = crate::config::EcnConfig {
+            enabled: true,
+            kmin: 0,
+            kmax: 1,
+            pmax: 1.0,
+        };
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
         // First frame: queue empty at enqueue, then it dequeues immediately.
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         // Second frame sees 0 queued (first is in flight, not queued)… build
         // real queue with a third.
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
-        sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1000), &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut out,
+        );
         assert!(telem.counters.ecn_marks >= 1);
     }
 
@@ -555,14 +732,23 @@ mod tests {
     fn rocc_controller_lowers_rate_under_queue() {
         let mut sw = sw0();
         let mut cfg = test_cfg();
-        cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(Bandwidth::gbps(100)));
+        cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(
+            Bandwidth::gbps(100),
+        ));
         let line = 100e9;
         assert_eq!(sw.rocc_rate[2], line);
         // Simulate a standing queue above qref.
         let mut telem = Telemetry::new();
         let mut out = Vec::new();
         for _ in 0..200 {
-            sw.on_arrive(SimTime::ZERO, 0, data(0, 0, 2, 1400), &cfg, &mut telem, &mut out);
+            sw.on_arrive(
+                SimTime::ZERO,
+                0,
+                data(0, 0, 2, 1400),
+                &cfg,
+                &mut telem,
+                &mut out,
+            );
         }
         for _ in 0..10 {
             sw.rocc_step(&cfg);
@@ -580,13 +766,19 @@ mod tests {
     fn rocc_rate_recovers_when_queue_drains() {
         let mut sw = sw0();
         let mut cfg = test_cfg();
-        cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(Bandwidth::gbps(100)));
+        cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(
+            Bandwidth::gbps(100),
+        ));
         sw.rocc_rate[2] = 10e9;
         // Queue empty → integral term pushes the rate back up.
         for _ in 0..10_000 {
             sw.rocc_step(&cfg);
         }
-        assert!(sw.rocc_rate[2] > 99e9, "rate {} should recover", sw.rocc_rate[2]);
+        assert!(
+            sw.rocc_rate[2] > 99e9,
+            "rate {} should recover",
+            sw.rocc_rate[2]
+        );
     }
 
     #[test]
@@ -602,11 +794,15 @@ mod tests {
             let mut sw = Switch::new(SwitchId(swid), &topo.switches[swid as usize], &cfg);
             let mut out = Vec::new();
             let in_port = if swid == 1 { 1 } else { 2 };
-            sw.on_arrive(SimTime::from_us(1), in_port, ack, &cfg, &mut telem, &mut out);
-            ack = sw.ports[0]
-                .in_flight
-                .take()
-                .expect("ack in flight");
+            sw.on_arrive(
+                SimTime::from_us(1),
+                in_port,
+                ack,
+                &cfg,
+                &mut telem,
+                &mut out,
+            );
+            ack = sw.ports[0].in_flight.take().expect("ack in flight");
             xor_acc ^= swid as u16;
             assert_eq!(ack.path_xor, xor_acc, "after sw{swid}");
         }

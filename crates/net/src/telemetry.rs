@@ -134,11 +134,21 @@ impl Telemetry {
 
     /// Watch a switch egress queue depth (Fig. 1b–d, 9a/c/e, 13a–c).
     pub fn watch_queue(&mut self, sw: SwitchId, port: u8, name: impl Into<String>) {
-        self.queues.push(QueueWatch { sw, port, series: TimeSeries::new(name) });
+        self.queues.push(QueueWatch {
+            sw,
+            port,
+            series: TimeSeries::new(name),
+        });
     }
 
     /// Watch a switch egress link utilization (Fig. 9g–h, 13a–c).
-    pub fn watch_utilization(&mut self, sw: SwitchId, port: u8, bw: Bandwidth, name: impl Into<String>) {
+    pub fn watch_utilization(
+        &mut self,
+        sw: SwitchId,
+        port: u8,
+        bw: Bandwidth,
+        name: impl Into<String>,
+    ) {
         self.utils.push(UtilWatch {
             sw,
             port,
@@ -159,7 +169,11 @@ impl Telemetry {
 
     /// Watch a sender's congestion-control pacing rate (reaction timing).
     pub fn watch_cc_rate(&mut self, flow: FlowId, host: HostId, name: impl Into<String>) {
-        self.cc_watched.push(CcRateWatch { flow, host, series: TimeSeries::new(name) });
+        self.cc_watched.push(CcRateWatch {
+            flow,
+            host,
+            series: TimeSeries::new(name),
+        });
     }
 
     // --- updates from the fabric/hosts ------------------------------------
@@ -306,22 +320,34 @@ impl Telemetry {
 
     /// Harvest the queue-depth series for a watched queue.
     pub fn queue_series(&self, sw: SwitchId, port: u8) -> Option<&TimeSeries> {
-        self.queues.iter().find(|w| w.sw == sw && w.port == port).map(|w| &w.series)
+        self.queues
+            .iter()
+            .find(|w| w.sw == sw && w.port == port)
+            .map(|w| &w.series)
     }
 
     /// Harvest the utilization series for a watched port.
     pub fn util_series(&self, sw: SwitchId, port: u8) -> Option<&TimeSeries> {
-        self.utils.iter().find(|w| w.sw == sw && w.port == port).map(|w| &w.series)
+        self.utils
+            .iter()
+            .find(|w| w.sw == sw && w.port == port)
+            .map(|w| &w.series)
     }
 
     /// Harvest the rate series for a watched flow.
     pub fn flow_rate_series(&self, flow: FlowId) -> Option<&TimeSeries> {
-        self.flows_watched.iter().find(|w| w.flow == flow).map(|w| &w.series)
+        self.flows_watched
+            .iter()
+            .find(|w| w.flow == flow)
+            .map(|w| &w.series)
     }
 
     /// Harvest the CC pacing-rate series for a watched flow.
     pub fn cc_rate_series(&self, flow: FlowId) -> Option<&TimeSeries> {
-        self.cc_watched.iter().find(|w| w.flow == flow).map(|w| &w.series)
+        self.cc_watched
+            .iter()
+            .find(|w| w.flow == flow)
+            .map(|w| &w.series)
     }
 }
 

@@ -91,7 +91,10 @@ impl Topology {
                 spec.peer,
                 spec.peer_port
             );
-            assert_eq!(back.peer_port, my_port, "{me:?}:{my_port} peer-port mismatch");
+            assert_eq!(
+                back.peer_port, my_port,
+                "{me:?}:{my_port} peer-port mismatch"
+            );
             assert_eq!(back.bw, spec.bw, "{me:?}:{my_port} asymmetric bandwidth");
             assert_eq!(back.prop, spec.prop, "{me:?}:{my_port} asymmetric delay");
         };
@@ -182,12 +185,17 @@ impl Topology {
         let n = self.n_hosts;
         let mut max = TimeDelta::ZERO;
         let pairs: Vec<(u32, u32)> = if n <= 64 {
-            (0..n).flat_map(|a| (0..n).filter(move |&b| b != a).map(move |b| (a, b))).collect()
+            (0..n)
+                .flat_map(|a| (0..n).filter(move |&b| b != a).map(move |b| (a, b)))
+                .collect()
         } else {
             // Sample host 0 against everyone plus a diagonal sweep; in the
             // regular topologies we build, the diameter is hit by host 0 vs
             // the farthest pod already.
-            (1..n).map(|b| (0, b)).chain((1..n).map(|a| (a, n - 1)).filter(|&(a, b)| a != b)).collect()
+            (1..n)
+                .map(|b| (0, b))
+                .chain((1..n).map(|a| (a, n - 1)).filter(|&(a, b)| a != b))
+                .collect()
         };
         for (a, b) in pairs {
             let r = self.flow_base_rtt(HostId(a), HostId(b), FlowId(0), mtu, ack_bytes);
@@ -268,7 +276,10 @@ impl Topology {
     ) -> Topology {
         assert!(m_switches >= 1);
         let m = m_switches as usize;
-        assert!(sender_attach.iter().all(|&a| a < m), "attachment beyond chain");
+        assert!(
+            sender_attach.iter().all(|&a| a < m),
+            "attachment beyond chain"
+        );
         let n_senders = sender_attach.len() as u32;
         let receiver = HostId(n_senders);
         let n_hosts = n_senders + 1;
@@ -279,21 +290,45 @@ impl Topology {
         // placeholder filled below
         host_ports.resize(
             n_hosts as usize,
-            PortSpec { peer: NodeRef::Host(HostId(0)), peer_port: 0, bw, prop },
+            PortSpec {
+                peer: NodeRef::Host(HostId(0)),
+                peer_port: 0,
+                bw,
+                prop,
+            },
         );
 
         for (i, &a) in sender_attach.iter().enumerate() {
             let p = ports[a].len() as u8;
-            ports[a].push(PortSpec { peer: NodeRef::Host(HostId(i as u32)), peer_port: 0, bw, prop });
-            host_ports[i] = PortSpec { peer: NodeRef::Switch(SwitchId(a as u32)), peer_port: p, bw, prop };
+            ports[a].push(PortSpec {
+                peer: NodeRef::Host(HostId(i as u32)),
+                peer_port: 0,
+                bw,
+                prop,
+            });
+            host_ports[i] = PortSpec {
+                peer: NodeRef::Switch(SwitchId(a as u32)),
+                peer_port: p,
+                bw,
+                prop,
+            };
         }
         // Receiver at the last switch.
         {
             let a = m - 1;
             let p = ports[a].len() as u8;
-            ports[a].push(PortSpec { peer: NodeRef::Host(receiver), peer_port: 0, bw, prop });
-            host_ports[receiver.ix()] =
-                PortSpec { peer: NodeRef::Switch(SwitchId(a as u32)), peer_port: p, bw, prop };
+            ports[a].push(PortSpec {
+                peer: NodeRef::Host(receiver),
+                peer_port: 0,
+                bw,
+                prop,
+            });
+            host_ports[receiver.ix()] = PortSpec {
+                peer: NodeRef::Switch(SwitchId(a as u32)),
+                peer_port: p,
+                bw,
+                prop,
+            };
         }
         // Chain links j <-> j+1.
         let mut next_port: Vec<Option<u8>> = vec![None; m];
@@ -341,10 +376,18 @@ impl Topology {
                 };
                 entries.push(entry);
             }
-            switches.push(SwitchSpec { ports: ports[j].clone(), route: RoutingTable::PerDst(entries) });
+            switches.push(SwitchSpec {
+                ports: ports[j].clone(),
+                route: RoutingTable::PerDst(entries),
+            });
         }
 
-        let t = Topology { kind: TopologyKind::Line, n_hosts, host_ports, switches };
+        let t = Topology {
+            kind: TopologyKind::Line,
+            n_hosts,
+            host_ports,
+            switches,
+        };
         t.validate();
         t
     }
@@ -355,15 +398,28 @@ impl Topology {
         let mut ports = Vec::with_capacity(n_hosts as usize);
         let mut host_ports = Vec::with_capacity(n_hosts as usize);
         for h in 0..n_hosts {
-            ports.push(PortSpec { peer: NodeRef::Host(HostId(h)), peer_port: 0, bw, prop });
-            host_ports.push(PortSpec { peer: NodeRef::Switch(SwitchId(0)), peer_port: h as u8, bw, prop });
+            ports.push(PortSpec {
+                peer: NodeRef::Host(HostId(h)),
+                peer_port: 0,
+                bw,
+                prop,
+            });
+            host_ports.push(PortSpec {
+                peer: NodeRef::Switch(SwitchId(0)),
+                peer_port: h as u8,
+                bw,
+                prop,
+            });
         }
         let entries = (0..n_hosts).map(|h| RouteEntry::Single(h as u8)).collect();
         let t = Topology {
             kind: TopologyKind::Star,
             n_hosts,
             host_ports,
-            switches: vec![SwitchSpec { ports, route: RoutingTable::PerDst(entries) }],
+            switches: vec![SwitchSpec {
+                ports,
+                route: RoutingTable::PerDst(entries),
+            }],
         };
         t.validate();
         t
@@ -389,11 +445,15 @@ impl Topology {
         let tor_of = |h: HostId| (h.0 % hosts_per_pod) / half;
         let slot_of = |h: HostId| h.0 % half;
 
-        let mut host_ports =
-            vec![
-                PortSpec { peer: NodeRef::Host(HostId(0)), peer_port: 0, bw, prop };
-                n_hosts as usize
-            ];
+        let mut host_ports = vec![
+            PortSpec {
+                peer: NodeRef::Host(HostId(0)),
+                peer_port: 0,
+                bw,
+                prop
+            };
+            n_hosts as usize
+        ];
         let mut switches: Vec<SwitchSpec> = Vec::with_capacity((n_tor + n_agg + n_core) as usize);
 
         // ToR switches.
@@ -402,7 +462,12 @@ impl Topology {
                 let mut ports = Vec::with_capacity(k as usize);
                 for i in 0..half {
                     let h = host_id(p, t, i);
-                    ports.push(PortSpec { peer: NodeRef::Host(h), peer_port: 0, bw, prop });
+                    ports.push(PortSpec {
+                        peer: NodeRef::Host(h),
+                        peer_port: 0,
+                        bw,
+                        prop,
+                    });
                     host_ports[h.ix()] = PortSpec {
                         peer: NodeRef::Switch(tor_id(p, t)),
                         peer_port: i as u8,
@@ -424,10 +489,16 @@ impl Topology {
                     entries.push(if pod_of(h) == p && tor_of(h) == t {
                         RouteEntry::Single(slot_of(h) as u8)
                     } else {
-                        RouteEntry::Ecmp { ports: (half as u8..k as u8).collect(), level: 0 }
+                        RouteEntry::Ecmp {
+                            ports: (half as u8..k as u8).collect(),
+                            level: 0,
+                        }
                     });
                 }
-                switches.push(SwitchSpec { ports, route: RoutingTable::PerDst(entries) });
+                switches.push(SwitchSpec {
+                    ports,
+                    route: RoutingTable::PerDst(entries),
+                });
             }
         }
         // Aggregation switches.
@@ -456,10 +527,16 @@ impl Topology {
                     entries.push(if pod_of(h) == p {
                         RouteEntry::Single(tor_of(h) as u8)
                     } else {
-                        RouteEntry::Ecmp { ports: (half as u8..k as u8).collect(), level: 1 }
+                        RouteEntry::Ecmp {
+                            ports: (half as u8..k as u8).collect(),
+                            level: 1,
+                        }
                     });
                 }
-                switches.push(SwitchSpec { ports, route: RoutingTable::PerDst(entries) });
+                switches.push(SwitchSpec {
+                    ports,
+                    route: RoutingTable::PerDst(entries),
+                });
             }
         }
         // Core switches.
@@ -478,10 +555,18 @@ impl Topology {
             for hid in 0..n_hosts {
                 entries.push(RouteEntry::Single(pod_of(HostId(hid)) as u8));
             }
-            switches.push(SwitchSpec { ports, route: RoutingTable::PerDst(entries) });
+            switches.push(SwitchSpec {
+                ports,
+                route: RoutingTable::PerDst(entries),
+            });
         }
 
-        let t = Topology { kind: TopologyKind::FatTree(k), n_hosts, host_ports, switches };
+        let t = Topology {
+            kind: TopologyKind::FatTree(k),
+            n_hosts,
+            host_ports,
+            switches,
+        };
         t.validate();
         t
     }
@@ -531,7 +616,12 @@ impl Topology {
         }
 
         let mut host_ports = vec![
-            PortSpec { peer: NodeRef::Host(HostId(0)), peer_port: 0, bw, prop };
+            PortSpec {
+                peer: NodeRef::Host(HostId(0)),
+                peer_port: 0,
+                bw,
+                prop
+            };
             n_hosts as usize
         ];
         let mut ports: Vec<Vec<PortSpec>> = vec![Vec::new(); n_sw as usize];
@@ -539,16 +629,35 @@ impl Topology {
             for i in 0..hosts_per_router {
                 let h = HostId(s * hosts_per_router + i);
                 let p = ports[s as usize].len() as u8;
-                ports[s as usize].push(PortSpec { peer: NodeRef::Host(h), peer_port: 0, bw, prop });
-                host_ports[h.ix()] =
-                    PortSpec { peer: NodeRef::Switch(SwitchId(s)), peer_port: p, bw, prop };
+                ports[s as usize].push(PortSpec {
+                    peer: NodeRef::Host(h),
+                    peer_port: 0,
+                    bw,
+                    prop,
+                });
+                host_ports[h.ix()] = PortSpec {
+                    peer: NodeRef::Switch(SwitchId(s)),
+                    peer_port: p,
+                    bw,
+                    prop,
+                };
             }
         }
         for &(s1, s2) in &links {
             let p1 = ports[s1.ix()].len() as u8;
             let p2 = ports[s2.ix()].len() as u8;
-            ports[s1.ix()].push(PortSpec { peer: NodeRef::Switch(s2), peer_port: p2, bw, prop });
-            ports[s2.ix()].push(PortSpec { peer: NodeRef::Switch(s1), peer_port: p1, bw, prop });
+            ports[s1.ix()].push(PortSpec {
+                peer: NodeRef::Switch(s2),
+                peer_port: p2,
+                bw,
+                prop,
+            });
+            ports[s2.ix()].push(PortSpec {
+                peer: NodeRef::Switch(s1),
+                peer_port: p1,
+                bw,
+                prop,
+            });
         }
 
         let switches = ports
@@ -559,8 +668,13 @@ impl Topology {
             })
             .collect();
 
-        let t = Topology { kind: TopologyKind::Custom, n_hosts, host_ports, switches }
-            .with_spanning_trees(n_trees);
+        let t = Topology {
+            kind: TopologyKind::Custom,
+            n_hosts,
+            host_ports,
+            switches,
+        }
+        .with_spanning_trees(n_trees);
         t.validate();
         t
     }
@@ -591,7 +705,9 @@ impl Topology {
         // parallel edges or disconnection.
         let n = n_switches as usize;
         let edges: Vec<(u32, u32)> = 'outer: loop {
-            let mut stubs: Vec<u32> = (0..n_switches).flat_map(|s| std::iter::repeat_n(s, degree as usize)).collect();
+            let mut stubs: Vec<u32> = (0..n_switches)
+                .flat_map(|s| std::iter::repeat_n(s, degree as usize))
+                .collect();
             rng.shuffle(&mut stubs);
             let mut used = std::collections::HashSet::new();
             let mut edges = Vec::with_capacity(stubs.len() / 2);
@@ -627,7 +743,12 @@ impl Topology {
         // Ports: hosts first, then network links in edge order.
         let n_hosts = n_switches * hosts_per_switch;
         let mut host_ports = vec![
-            PortSpec { peer: NodeRef::Host(HostId(0)), peer_port: 0, bw, prop };
+            PortSpec {
+                peer: NodeRef::Host(HostId(0)),
+                peer_port: 0,
+                bw,
+                prop
+            };
             n_hosts as usize
         ];
         let mut ports: Vec<Vec<PortSpec>> = vec![Vec::new(); n];
@@ -635,16 +756,35 @@ impl Topology {
             for i in 0..hosts_per_switch {
                 let h = HostId(s * hosts_per_switch + i);
                 let p = ports[s as usize].len() as u8;
-                ports[s as usize].push(PortSpec { peer: NodeRef::Host(h), peer_port: 0, bw, prop });
-                host_ports[h.ix()] =
-                    PortSpec { peer: NodeRef::Switch(SwitchId(s)), peer_port: p, bw, prop };
+                ports[s as usize].push(PortSpec {
+                    peer: NodeRef::Host(h),
+                    peer_port: 0,
+                    bw,
+                    prop,
+                });
+                host_ports[h.ix()] = PortSpec {
+                    peer: NodeRef::Switch(SwitchId(s)),
+                    peer_port: p,
+                    bw,
+                    prop,
+                };
             }
         }
         for &(a, b) in &edges {
             let pa = ports[a as usize].len() as u8;
             let pb = ports[b as usize].len() as u8;
-            ports[a as usize].push(PortSpec { peer: NodeRef::Switch(SwitchId(b)), peer_port: pb, bw, prop });
-            ports[b as usize].push(PortSpec { peer: NodeRef::Switch(SwitchId(a)), peer_port: pa, bw, prop });
+            ports[a as usize].push(PortSpec {
+                peer: NodeRef::Switch(SwitchId(b)),
+                peer_port: pb,
+                bw,
+                prop,
+            });
+            ports[b as usize].push(PortSpec {
+                peer: NodeRef::Switch(SwitchId(a)),
+                peer_port: pa,
+                bw,
+                prop,
+            });
         }
 
         let switches = ports
@@ -656,8 +796,13 @@ impl Topology {
             })
             .collect();
 
-        let t = Topology { kind: TopologyKind::Custom, n_hosts, host_ports, switches }
-            .with_spanning_trees(n_trees);
+        let t = Topology {
+            kind: TopologyKind::Custom,
+            n_hosts,
+            host_ports,
+            switches,
+        }
+        .with_spanning_trees(n_trees);
         t.validate();
         t
     }
@@ -693,8 +838,7 @@ impl Topology {
                     if let NodeRef::Switch(peer) = self.switches[s].ports[p].peer {
                         if !visited[peer.ix()] {
                             visited[peer.ix()] = true;
-                            parent_port[peer.ix()] =
-                                Some(self.switches[s].ports[p].peer_port);
+                            parent_port[peer.ix()] = Some(self.switches[s].ports[p].peer_port);
                             order.push_back(peer.ix());
                         }
                     }
@@ -721,8 +865,7 @@ impl Topology {
                 }
             };
 
-            let mut table: Vec<Vec<u8>> =
-                vec![vec![0; self.n_hosts as usize]; n_sw];
+            let mut table: Vec<Vec<u8>> = vec![vec![0; self.n_hosts as usize]; n_sw];
             for h in 0..self.n_hosts {
                 let _ = HostId(h);
                 let attach = match self.host_ports[h as usize].peer {
@@ -746,8 +889,7 @@ impl Topology {
                     }
                 }
                 for s in 0..n_sw {
-                    table[s][h as usize] =
-                        towards[s].expect("host unreachable in spanning tree");
+                    table[s][h as usize] = towards[s].expect("host unreachable in spanning tree");
                 }
             }
             for (s, tbl) in table.into_iter().enumerate() {
@@ -804,7 +946,10 @@ mod tests {
             t.path_switches(HostId(0), HostId(2), FlowId(0)),
             vec![SwitchId(0), SwitchId(1), SwitchId(2)]
         );
-        assert_eq!(t.path_switches(HostId(1), HostId(2), FlowId(0)), vec![SwitchId(2)]);
+        assert_eq!(
+            t.path_switches(HostId(1), HostId(2), FlowId(0)),
+            vec![SwitchId(2)]
+        );
         // And middle-hop attach.
         let t = Topology::line(3, &[0, 1], BW, PROP);
         assert_eq!(
@@ -829,7 +974,10 @@ mod tests {
         for a in 0..5u32 {
             for b in 0..5u32 {
                 if a != b {
-                    assert_eq!(t.path_switches(HostId(a), HostId(b), FlowId(0)), vec![SwitchId(0)]);
+                    assert_eq!(
+                        t.path_switches(HostId(a), HostId(b), FlowId(0)),
+                        vec![SwitchId(0)]
+                    );
                 }
             }
         }
@@ -849,7 +997,10 @@ mod tests {
     fn fat_tree_intra_tor_path() {
         let t = Topology::fat_tree(4, BW, PROP);
         // hosts 0 and 1 share ToR 0.
-        assert_eq!(t.path_switches(HostId(0), HostId(1), FlowId(0)), vec![SwitchId(0)]);
+        assert_eq!(
+            t.path_switches(HostId(0), HostId(1), FlowId(0)),
+            vec![SwitchId(0)]
+        );
     }
 
     #[test]
@@ -885,7 +1036,11 @@ mod tests {
             let p = t.path_switches(HostId(0), HostId(127), FlowId(f));
             cores_seen.insert(p[2]); // middle switch is the core
         }
-        assert!(cores_seen.len() > 8, "ECMP concentrated on {} cores", cores_seen.len());
+        assert!(
+            cores_seen.len() > 8,
+            "ECMP concentrated on {} cores",
+            cores_seen.len()
+        );
     }
 
     #[test]

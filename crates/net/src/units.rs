@@ -143,7 +143,10 @@ mod tests {
         // 1250 bytes at 10 Gb/s = 1 us exactly.
         assert_eq!(Bandwidth::gbps(10).tx_time(1250), TimeDelta::from_us(1));
         // 1518 bytes at 100 Gb/s = 121.44 ns = 121440 ps.
-        assert_eq!(Bandwidth::gbps(100).tx_time(1518), TimeDelta::from_ps(121_440));
+        assert_eq!(
+            Bandwidth::gbps(100).tx_time(1518),
+            TimeDelta::from_ps(121_440)
+        );
         // One byte at 400 Gb/s = 20 ps.
         assert_eq!(Bandwidth::gbps(400).tx_time(1), TimeDelta::from_ps(20));
     }
@@ -161,7 +164,10 @@ mod tests {
         for bytes in [1u64, 64, 1518, 1_000_000] {
             let t = bw.tx_time(bytes);
             let back = bw.bytes_in(t);
-            assert!(back >= bytes && back <= bytes + 1, "bytes {bytes} back {back}");
+            assert!(
+                back >= bytes && back <= bytes + 1,
+                "bytes {bytes} back {back}"
+            );
         }
     }
 

@@ -29,8 +29,9 @@ use crate::units::Bandwidth;
 use fncc_des::time::SimTime;
 
 /// The 16 encodable link rates (Gb/s).
-pub const RATE_TABLE_GBPS: [u64; 16] =
-    [1, 10, 25, 40, 50, 100, 200, 400, 800, 1600, 2, 5, 20, 75, 150, 300];
+pub const RATE_TABLE_GBPS: [u64; 16] = [
+    1, 10, 25, 40, 50, 100, 200, 400, 800, 1600, 2, 5, 20, 75, 150, 300,
+];
 
 /// Timestamp modulus (2²⁴ ns).
 pub const TS_MOD_NS: u64 = 1 << 24;

@@ -78,7 +78,12 @@ pub(crate) struct RecvFlow {
 
 impl RecvFlow {
     pub fn new() -> Self {
-        RecvFlow { expected: 0, frames_since_ack: 0, last_cnp: None, finished: false }
+        RecvFlow {
+            expected: 0,
+            frames_since_ack: 0,
+            last_cnp: None,
+            finished: false,
+        }
     }
 }
 

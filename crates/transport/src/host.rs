@@ -84,7 +84,10 @@ impl DcHost {
     }
 
     fn start_flow(&mut self, ctx: &mut HostCtx<'_, HostTimer>, id: FlowId) {
-        let spec = self.pending.remove(&id).expect("FlowStart for unregistered flow");
+        let spec = self
+            .pending
+            .remove(&id)
+            .expect("FlowStart for unregistered flow");
         debug_assert_eq!(spec.src, ctx.host());
         ctx.telemetry.flow_started(FlowRecord {
             flow: id,
@@ -105,7 +108,9 @@ impl DcHost {
     /// The send loop: emit frames while the window and pacing allow.
     fn pump(&mut self, ctx: &mut HostCtx<'_, HostTimer>, id: FlowId) {
         let cfg = &self.cfg;
-        let Some(sf) = self.send.get_mut(&id) else { return };
+        let Some(sf) = self.send.get_mut(&id) else {
+            return;
+        };
         if sf.done {
             return;
         }
@@ -132,15 +137,25 @@ impl DcHost {
                 // frame's serialization.
                 if !sf.pace_pending {
                     sf.pace_pending = true;
-                    ctx.schedule(ctx.nic_bw().tx_time(ctx.cfg.mtu as u64), HostTimer::Pace(id));
+                    ctx.schedule(
+                        ctx.nic_bw().tx_time(ctx.cfg.mtu as u64),
+                        HostTimer::Pace(id),
+                    );
                 }
                 return;
             }
 
             let payload = payload_max.min(sf.remaining()) as u32;
             let wire = payload + ctx.cfg.data_header;
-            let mut pkt =
-                Packet::data(id, sf.spec.src, sf.spec.dst, sf.next_seq, payload, wire, now);
+            let mut pkt = Packet::data(
+                id,
+                sf.spec.src,
+                sf.spec.dst,
+                sf.next_seq,
+                payload,
+                wire,
+                now,
+            );
             pkt.last_of_flow = sf.next_seq + payload as u64 == sf.spec.size;
             sf.next_seq += payload as u64;
             sf.cc.on_sent(payload as u64);
@@ -191,8 +206,14 @@ impl DcHost {
             ctx.telemetry.flow_finished(id, ctx.now());
         }
         if want_ack {
-            let mut ack =
-                Packet::ack(id, ctx.host(), pkt.src, ack_seq, ctx.cfg.ack_base, ctx.now());
+            let mut ack = Packet::ack(
+                id,
+                ctx.host(),
+                pkt.src,
+                ack_seq,
+                ctx.cfg.ack_base,
+                ctx.now(),
+            );
             // Echo the data timestamp so the sender can sample the RTT.
             ack.sent_at = pkt.sent_at;
             // HPCC receiver (Fig. 4a): copy the request-path INT collected by
@@ -215,7 +236,9 @@ impl DcHost {
     fn on_ack(&mut self, ctx: &mut HostCtx<'_, HostTimer>, pkt: Box<Packet>) {
         let id = pkt.flow;
         let reversed = self.cfg.algo.kind().int_in_ack_reversed();
-        let Some(sf) = self.send.get_mut(&id) else { return };
+        let Some(sf) = self.send.get_mut(&id) else {
+            return;
+        };
         let newly = pkt.seq.saturating_sub(sf.acked);
         if pkt.seq > sf.acked {
             sf.acked = pkt.seq;
@@ -228,7 +251,8 @@ impl DcHost {
         // Fig. 12 instrumentation: how stale is each hop's telemetry on
         // arrival at the sender?
         for (hop, rec) in int.as_slice().iter().enumerate() {
-            ctx.telemetry.note_int_age(hop, ctx.now().since(rec.ts).as_secs_f64());
+            ctx.telemetry
+                .note_int_age(hop, ctx.now().since(rec.ts).as_secs_f64());
         }
         let view = AckView {
             now: ctx.now(),
@@ -285,7 +309,9 @@ impl HostLogic for DcHost {
                 self.pump(ctx, id);
             }
             HostTimer::CcTick(id) => {
-                let Some(sf) = self.send.get_mut(&id) else { return };
+                let Some(sf) = self.send.get_mut(&id) else {
+                    return;
+                };
                 if sf.done {
                     return;
                 }
@@ -331,8 +357,9 @@ mod tests {
         }
         fabric_tweak(&mut cfg);
         let tcfg = TransportConfig::new(algo);
-        let hosts: Vec<DcHost> =
-            (0..topo.n_hosts).map(|_| DcHost::new(tcfg.clone())).collect();
+        let hosts: Vec<DcHost> = (0..topo.n_hosts)
+            .map(|_| DcHost::new(tcfg.clone()))
+            .collect();
         let mut fabric = Fabric::new(&topo, cfg, hosts);
         for f in &flows {
             fabric.hosts[f.src.ix()].add_flow(f.clone());
@@ -344,7 +371,10 @@ mod tests {
         for f in flows {
             eng.schedule(
                 f.start,
-                Ev::HostTimer { host: f.src, timer: HostTimer::FlowStart(f.id) },
+                Ev::HostTimer {
+                    host: f.src,
+                    timer: HostTimer::FlowStart(f.id),
+                },
             );
         }
         eng
@@ -389,17 +419,32 @@ mod tests {
             |_| {},
             vec![flow(0, 0, 2, size, 0), flow(1, 1, 2, size, 0)],
         );
-        eng.model.telemetry.enable_sampling(TimeDelta::from_us(1), SimTime::from_ms(2));
-        eng.model.telemetry.watch_queue(fncc_net::ids::SwitchId(0), 2, "q");
+        eng.model
+            .telemetry
+            .enable_sampling(TimeDelta::from_us(1), SimTime::from_ms(2));
+        eng.model
+            .telemetry
+            .watch_queue(fncc_net::ids::SwitchId(0), 2, "q");
         eng.schedule(SimTime::ZERO, Ev::Sample);
         eng.run_until(SimTime::from_ms(5));
         assert!(eng.model.telemetry.all_flows_finished());
         // Both flows finished ⇒ they shared; HPCC must keep the queue well
         // below the PFC threshold.
-        let q = eng.model.telemetry.queue_series(fncc_net::ids::SwitchId(0), 2).unwrap();
+        let q = eng
+            .model
+            .telemetry
+            .queue_series(fncc_net::ids::SwitchId(0), 2)
+            .unwrap();
         assert!(q.max() > 0.0, "bottleneck never queued?");
-        assert!(q.max() < 500.0 * 1024.0, "queue {}KB at PFC threshold", q.max() / 1024.0);
-        assert_eq!(eng.model.telemetry.counters.pfc_pause_tx, 0, "HPCC should avoid PFC here");
+        assert!(
+            q.max() < 500.0 * 1024.0,
+            "queue {}KB at PFC threshold",
+            q.max() / 1024.0
+        );
+        assert_eq!(
+            eng.model.telemetry.counters.pfc_pause_tx, 0,
+            "HPCC should avoid PFC here"
+        );
     }
 
     #[test]
@@ -439,12 +484,19 @@ mod tests {
         for f in flows {
             eng.schedule(
                 f.start,
-                Ev::HostTimer { host: f.src, timer: HostTimer::FlowStart(f.id) },
+                Ev::HostTimer {
+                    host: f.src,
+                    timer: HostTimer::FlowStart(f.id),
+                },
             );
         }
         eng.run_until(SimTime::from_ms(1));
         let total: u64 = (0..4)
-            .map(|i| eng.model.hosts[i as usize].lhcs_triggers(FlowId(i)).unwrap_or(0))
+            .map(|i| {
+                eng.model.hosts[i as usize]
+                    .lhcs_triggers(FlowId(i))
+                    .unwrap_or(0)
+            })
             .sum();
         assert!(total > 0, "LHCS never fired under 4:1 last-hop incast");
     }
@@ -458,7 +510,11 @@ mod tests {
         let mut eng = build(4, algo, |_| {}, flows);
         eng.run_until(SimTime::from_ms(1));
         let total: u64 = (0..4)
-            .map(|i| eng.model.hosts[i as usize].lhcs_triggers(FlowId(i)).unwrap_or(0))
+            .map(|i| {
+                eng.model.hosts[i as usize]
+                    .lhcs_triggers(FlowId(i))
+                    .unwrap_or(0)
+            })
             .sum();
         assert_eq!(total, 0, "LHCS fired on first-hop congestion");
     }

@@ -118,7 +118,10 @@ mod tests {
             assert_eq!(x.dst, y.dst);
         }
         let c = poisson_flows(&cfg(50, 10), &web_search());
-        assert!(a.iter().zip(&c).any(|(x, y)| x.size != y.size || x.start != y.start));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.size != y.size || x.start != y.start));
     }
 
     #[test]

@@ -23,10 +23,17 @@ impl Cdf {
         pts.extend_from_slice(points);
         for w in pts.windows(2) {
             assert!(w[0].0 <= w[1].0, "sizes must be nondecreasing: {w:?}");
-            assert!(w[0].1 <= w[1].1, "probabilities must be nondecreasing: {w:?}");
+            assert!(
+                w[0].1 <= w[1].1,
+                "probabilities must be nondecreasing: {w:?}"
+            );
         }
         let last = pts.last().unwrap();
-        assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1.0, ends at {}", last.1);
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0, ends at {}",
+            last.1
+        );
         Cdf { points: pts }
     }
 

@@ -106,7 +106,10 @@ mod tests {
         let mut rng = DetRng::new(11, 0);
         let n = 50_000;
         let small = (0..n).filter(|_| c.sample(&mut rng) <= 25_000).count();
-        assert!(small as f64 / n as f64 > 0.85, "Hadoop must be short-flow heavy");
+        assert!(
+            small as f64 / n as f64 > 0.85,
+            "Hadoop must be short-flow heavy"
+        );
     }
 
     #[test]

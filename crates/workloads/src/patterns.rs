@@ -11,7 +11,13 @@ use fncc_transport::FlowSpec;
 /// `start` — the classic incast microbenchmark.
 pub fn incast(n: u32, receiver: HostId, size: u64, start: SimTime) -> Vec<FlowSpec> {
     (0..n)
-        .map(|i| FlowSpec { id: FlowId(i), src: HostId(i), dst: receiver, size, start })
+        .map(|i| FlowSpec {
+            id: FlowId(i),
+            src: HostId(i),
+            dst: receiver,
+            size,
+            start,
+        })
         .collect()
 }
 
@@ -111,8 +117,7 @@ mod tests {
 
     #[test]
     fn staggered_joins_are_spaced_by_interval() {
-        let flows =
-            staggered_fairness(4, HostId(4), Bandwidth::gbps(100), TimeDelta::from_ms(1));
+        let flows = staggered_fairness(4, HostId(4), Bandwidth::gbps(100), TimeDelta::from_ms(1));
         assert_eq!(flows.len(), 4);
         for (i, f) in flows.iter().enumerate() {
             assert_eq!(f.start, SimTime::from_ms(i as u64));
@@ -124,8 +129,7 @@ mod tests {
         // n=2, T=1ms, 100G: bytes/interval = 12.5 MB.
         // flow0 active periods 0 (alone) and 1 (shared): 12.5M + 6.25M.
         // flow1 active periods 1 (shared) and 2 (alone): 6.25M + 12.5M.
-        let flows =
-            staggered_fairness(2, HostId(2), Bandwidth::gbps(100), TimeDelta::from_ms(1));
+        let flows = staggered_fairness(2, HostId(2), Bandwidth::gbps(100), TimeDelta::from_ms(1));
         let expect = 12.5e6 + 6.25e6;
         assert!((flows[0].size as f64 - expect).abs() / expect < 1e-9);
         assert!((flows[1].size as f64 - expect).abs() / expect < 1e-9);
@@ -133,8 +137,7 @@ mod tests {
 
     #[test]
     fn staggered_four_flow_sizes_are_symmetric() {
-        let flows =
-            staggered_fairness(4, HostId(4), Bandwidth::gbps(100), TimeDelta::from_ms(1));
+        let flows = staggered_fairness(4, HostId(4), Bandwidth::gbps(100), TimeDelta::from_ms(1));
         // Join/leave symmetry: flow i and flow n-1-i see mirrored shares.
         assert_eq!(flows[0].size, flows[3].size);
         assert_eq!(flows[1].size, flows[2].size);

@@ -22,7 +22,10 @@ fn main() {
     // Show the staircase itself: mean rate of each flow per period (FNCC).
     let r = fairness_staircase(CcKind::Fncc, 4, TimeDelta::from_ms(1), 1);
     println!("\nFNCC mean rate (Gb/s) per flow per 1 ms period:");
-    println!("{:<8} {:>8} {:>8} {:>8} {:>8}", "period", "flow0", "flow1", "flow2", "flow3");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "period", "flow0", "flow1", "flow2", "flow3"
+    );
     for p in 0..7u64 {
         let lo = SimTime::from_ms(p);
         let hi = SimTime::from_ms(p + 1);
@@ -32,5 +35,7 @@ fn main() {
         }
         println!();
     }
-    println!("\nExpected staircase: 100 -> 50 -> 33 -> 25 Gb/s as flows join, reversed as they leave.");
+    println!(
+        "\nExpected staircase: 100 -> 50 -> 33 -> 25 Gb/s as flows join, reversed as they leave."
+    );
 }

@@ -56,8 +56,9 @@ fn run(n_senders: u32, lhcs: bool) -> (f64, f64, f64, u64, bool) {
     // is what LHCS drains (β < 1 under-utilises until the queue empties).
     let standing_kb =
         q.mean_in(SimTime::from_us(150), SimTime::from_us(last_fct_us as u64)) / 1024.0;
-    let triggers: u64 =
-        (0..n_senders).map(|i| sim.host(HostId(i)).lhcs_triggers(FlowId(i)).unwrap_or(0)).sum();
+    let triggers: u64 = (0..n_senders)
+        .map(|i| sim.host(HostId(i)).lhcs_triggers(FlowId(i)).unwrap_or(0))
+        .sum();
     (peak_kb, standing_kb, last_fct_us, triggers, all_done)
 }
 

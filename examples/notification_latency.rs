@@ -12,8 +12,14 @@ fn main() {
     let model =
         notification_gain_model(3, Bandwidth::gbps(100), TimeDelta::from_ns(1500), 1518, 70);
 
-    let f = elephant_dumbbell(&MicrobenchSpec { cc: CcKind::Fncc, ..Default::default() });
-    let h = elephant_dumbbell(&MicrobenchSpec { cc: CcKind::Hpcc, ..Default::default() });
+    let f = elephant_dumbbell(&MicrobenchSpec {
+        cc: CcKind::Fncc,
+        ..Default::default()
+    });
+    let h = elephant_dumbbell(&MicrobenchSpec {
+        cc: CcKind::Hpcc,
+        ..Default::default()
+    });
 
     println!("INT staleness when the sender consumes it (100 Gb/s dumbbell, 3 switches)\n");
     println!(
@@ -36,7 +42,11 @@ fn main() {
     );
     println!(
         "\nMeasured sender reaction after the 300 us join: FNCC {} us, HPCC {} us.",
-        f.reaction_us.map(|x| format!("{:.0}", x - 300.0)).unwrap_or_else(|| "-".into()),
-        h.reaction_us.map(|x| format!("{:.0}", x - 300.0)).unwrap_or_else(|| "-".into()),
+        f.reaction_us
+            .map(|x| format!("{:.0}", x - 300.0))
+            .unwrap_or_else(|| "-".into()),
+        h.reaction_us
+            .map(|x| format!("{:.0}", x - 300.0))
+            .unwrap_or_else(|| "-".into()),
     );
 }

@@ -10,10 +10,17 @@ use fncc::prelude::*;
 
 fn main() {
     println!("PFC pause frames at the congestion point (two elephants, join at 300 us)\n");
-    println!("{:<6} {:>8} {:>14} {:>14} {:>10}", "cc", "Gb/s", "peak_queue_KB", "pause_frames", "drops");
+    println!(
+        "{:<6} {:>8} {:>14} {:>14} {:>10}",
+        "cc", "Gb/s", "peak_queue_KB", "pause_frames", "drops"
+    );
     for gbps in [100u64, 200, 400] {
         for cc in [CcKind::Fncc, CcKind::Hpcc, CcKind::Dcqcn] {
-            let spec = MicrobenchSpec { cc, line_gbps: gbps, ..Default::default() };
+            let spec = MicrobenchSpec {
+                cc,
+                line_gbps: gbps,
+                ..Default::default()
+            };
             let r = elephant_dumbbell(&spec);
             println!(
                 "{:<6} {:>8} {:>14.1} {:>14} {:>10}",

@@ -23,7 +23,14 @@ fn dumbbell_sim(cc: CcKind, n: u32, size: u64) -> fncc::core::sim::Sim {
 /// With PFC on, no scheme ever drops a frame, and every flow completes.
 #[test]
 fn lossless_and_complete_for_all_schemes() {
-    for cc in [Kind::Fncc, Kind::Hpcc, Kind::Dcqcn, Kind::Rocc, Kind::Timely, Kind::Swift] {
+    for cc in [
+        Kind::Fncc,
+        Kind::Hpcc,
+        Kind::Dcqcn,
+        Kind::Rocc,
+        Kind::Timely,
+        Kind::Swift,
+    ] {
         let mut sim = dumbbell_sim(cc, 4, 400_000);
         let done = sim.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(50));
         assert!(done, "{cc:?}: flows did not finish");
@@ -82,8 +89,11 @@ fn determinism_across_runs() {
     let run = || {
         let mut sim = dumbbell_sim(CcKind::Dcqcn, 4, 300_000);
         sim.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(20));
-        let finishes: Vec<_> =
-            sim.telemetry().flow_records().map(|r| (r.flow, r.finish)).collect();
+        let finishes: Vec<_> = sim
+            .telemetry()
+            .flow_records()
+            .map(|r| (r.flow, r.finish))
+            .collect();
         (sim.events_processed(), finishes)
     };
     assert_eq!(run(), run());
@@ -103,8 +113,10 @@ fn seeds_perturb_ecn_marking() {
                 start: SimTime::ZERO,
             })
             .collect();
-        let mut sim =
-            SimBuilder::new(topo, CcKind::Dcqcn).fabric(|f| f.seed = seed).flows(flows).build();
+        let mut sim = SimBuilder::new(topo, CcKind::Dcqcn)
+            .fabric(|f| f.seed = seed)
+            .flows(flows)
+            .build();
         sim.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(30));
         sim.telemetry().counters.ecn_marks
     };
@@ -150,12 +162,21 @@ fn cumulative_acks_preserve_semantics() {
             size: 1_456_000,
             start: SimTime::ZERO,
         }];
-        let mut sim = SimBuilder::new(topo, CcKind::Fncc).ack_every(m).flows(flows).build();
-        assert!(sim.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(10)), "m={m}");
+        let mut sim = SimBuilder::new(topo, CcKind::Fncc)
+            .ack_every(m)
+            .flows(flows)
+            .build();
+        assert!(
+            sim.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(10)),
+            "m={m}"
+        );
         assert_eq!(sim.telemetry().counters.drops, 0);
         // One ACK per m frames, plus the forced ACK on the last frame when
         // the flow length is not a multiple of m.
-        assert_eq!(sim.telemetry().counters.acks_delivered, 1000u64.div_ceil(m as u64));
+        assert_eq!(
+            sim.telemetry().counters.acks_delivered,
+            1000u64.div_ceil(m as u64)
+        );
     }
 }
 

@@ -4,16 +4,26 @@
 use fncc::prelude::*;
 
 fn quick(cc: CcKind) -> MicrobenchSpec {
-    MicrobenchSpec { cc, horizon_us: 800, ..Default::default() }
+    MicrobenchSpec {
+        cc,
+        horizon_us: 800,
+        ..Default::default()
+    }
 }
 
 /// §5.1 / Fig. 9b: FNCC is the first to slow down, then HPCC, then
 /// DCQCN/RoCC.
 #[test]
 fn reaction_ordering_fncc_first() {
-    let f = elephant_dumbbell(&quick(CcKind::Fncc)).reaction_us.expect("FNCC reacted");
-    let h = elephant_dumbbell(&quick(CcKind::Hpcc)).reaction_us.expect("HPCC reacted");
-    let d = elephant_dumbbell(&quick(CcKind::Dcqcn)).reaction_us.expect("DCQCN reacted");
+    let f = elephant_dumbbell(&quick(CcKind::Fncc))
+        .reaction_us
+        .expect("FNCC reacted");
+    let h = elephant_dumbbell(&quick(CcKind::Hpcc))
+        .reaction_us
+        .expect("HPCC reacted");
+    let d = elephant_dumbbell(&quick(CcKind::Dcqcn))
+        .reaction_us
+        .expect("DCQCN reacted");
     assert!(f < h, "FNCC {f} must react before HPCC {h}");
     assert!(h < d, "HPCC {h} must react before DCQCN {d}");
 }
@@ -44,7 +54,10 @@ fn robust_at_higher_line_rates() {
             rf.peak_queue_kb,
             rh.peak_queue_kb
         );
-        assert!(rf.reaction_us.unwrap() <= rh.reaction_us.unwrap(), "{gbps}G reaction");
+        assert!(
+            rf.reaction_us.unwrap() <= rh.reaction_us.unwrap(),
+            "{gbps}G reaction"
+        );
     }
 }
 
@@ -74,7 +87,10 @@ fn int_freshness_gain_largest_at_first_hop() {
         );
     }
     let gain: Vec<f64> = (0..3).map(|i| h[i] - f[i]).collect();
-    assert!(gain[0] > gain[1] && gain[1] > gain[2], "gain must shrink with hop: {gain:?}");
+    assert!(
+        gain[0] > gain[1] && gain[1] > gain[2],
+        "gain must shrink with hop: {gain:?}"
+    );
 }
 
 /// §2.3 / Fig. 3: pause-frame counts are ordered FNCC ≤ HPCC ≤ DCQCN.
@@ -126,7 +142,10 @@ fn hop_location_gains_and_lhcs() {
         last_with.mean_queue_kb,
         last_no.mean_queue_kb
     );
-    assert!(last_with.peak_queue_kb < last_h.peak_queue_kb, "LHCS vs HPCC peak");
+    assert!(
+        last_with.peak_queue_kb < last_h.peak_queue_kb,
+        "LHCS vs HPCC peak"
+    );
 }
 
 /// §5.3 / Fig. 13e: good fairness at short time scales. The paper staggers
@@ -141,7 +160,9 @@ fn fairness_staircase_high_jain() {
 }
 
 /// §5.5 / Figs. 14–15 (pocket scale): FNCC's FCT slowdown beats DCQCN
-/// overall and is at worst comparable to HPCC.
+/// overall and is at worst comparable to HPCC. Averaged over three seeds —
+/// the paper averages five runs, and a single 150-flow draw is noisy enough
+/// to flip the DCQCN/FNCC ordering on unlucky seeds.
 #[test]
 fn workload_slowdowns_ordered() {
     let mut results = Vec::new();
@@ -151,12 +172,12 @@ fn workload_slowdowns_ordered() {
             workload: Workload::FbHadoop,
             load: 0.5,
             n_flows: 150,
-            seeds: vec![5],
+            seeds: vec![1, 2, 3],
             k: 4,
             line_gbps: 100,
         };
         let r = fattree_workload(&spec);
-        assert_eq!(r.unfinished, vec![0], "{cc:?} unfinished flows");
+        assert_eq!(r.unfinished, vec![0; 3], "{cc:?} unfinished flows");
         // Weighted overall average slowdown.
         let (mut sum, mut n) = (0.0, 0usize);
         for b in &r.rows {

@@ -1,0 +1,315 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! over a simple wall-clock harness: a short warm-up, then timed batches
+//! until a target measurement window is filled, reporting mean ns/iter
+//! (and element throughput when configured). No statistics engine, no
+//! HTML reports; good enough to catch order-of-magnitude regressions and
+//! to keep `cargo bench` runnable offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: a plain name or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn label(self) -> String {
+        self
+    }
+}
+
+/// Passed to every benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Measured mean ns/iter, filled by `iter`.
+    mean_ns: f64,
+}
+
+/// Target measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+/// Warm-up window per benchmark.
+const WARMUP_WINDOW: Duration = Duration::from_millis(80);
+
+impl Bencher {
+    /// Time `f`, calling it repeatedly until the measurement window fills.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iteration cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.05 / est.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < MEASURE_WINDOW {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+
+    /// `iter` variant with per-iteration setup excluded from timing
+    /// (approximated: setup included per call, documented limitation).
+    pub fn iter_with_setup<S, I, R, F>(&mut self, mut setup: S, mut f: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.iter_custom(|| {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(f(input));
+            t0.elapsed()
+        });
+    }
+
+    fn iter_custom<F: FnMut() -> Duration>(&mut self, mut timed: F) {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while total < MEASURE_WINDOW && wall.elapsed() < MEASURE_WINDOW * 4 {
+            total += timed();
+            iters += 1;
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters.max(1) as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn report(label: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{label:<44} {:>12}/iter", human_time(mean_ns));
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let per_sec = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("   {:.2} Melem/s", per_sec / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("   {:.2} MB/s", per_sec / 1e6));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    filter: Option<&'a str>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = self.filter {
+            if !full.contains(filter) {
+                return;
+            }
+        }
+        let mut b = Bencher { mean_ns: f64::NAN };
+        f(&mut b);
+        report(&full, b.mean_ns, self.throughput);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.label(), f);
+        self
+    }
+
+    /// Benchmark a closure over an explicit input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.label(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is immediate; nothing buffered).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- FILTER` passes the filter as the first free arg.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            filter: self.filter.as_deref(),
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let matches = self
+            .filter
+            .as_deref()
+            .map(|flt| name.contains(flt))
+            .unwrap_or(true);
+        if matches {
+            let mut b = Bencher { mean_ns: f64::NAN };
+            f(&mut b);
+            report(name, b.mean_ns, None);
+        }
+        self
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: f64::NAN };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns.is_finite() && b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(5.0).ends_with("ns"));
+        assert!(human_time(5e3).ends_with("µs"));
+        assert!(human_time(5e6).ends_with("ms"));
+        assert!(human_time(5e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for `crossbeam`, backed by `std::thread::scope`
+//! (stable since Rust 1.63, which made crossbeam's scoped threads largely
+//! redundant). Only the `thread::scope` + `Scope::spawn` subset the
+//! workspace uses is provided.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle through which scoped threads are spawned.
+    ///
+    /// Mirrors `crossbeam::thread::Scope`: `spawn` takes a closure that
+    /// receives the scope again so workers can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to the enclosing [`scope`] call.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Run `f` with a [`Scope`]; all spawned threads are joined before this
+    /// returns. Matches crossbeam's signature: the result is `Err` only if a
+    /// *detached* child panicked, which cannot happen here (std re-raises
+    /// child panics on implicit join), so this always returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let n = AtomicUsize::new(0);
+        let r = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+        assert_eq!(n.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings() {
+        let n = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|s2| {
+                n.fetch_add(1, Ordering::SeqCst);
+                s2.spawn(|_| n.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        super::thread::scope(|s| {
+            let h = s.spawn(|_| 7);
+            assert_eq!(h.join().unwrap(), 7);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (doc comments / `#[test]` attributes, multiple
+//!   `arg in strategy` bindings, trailing commas);
+//! * [`Strategy`] for integer and float ranges, tuples, and
+//!   [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Semantics differ from real proptest in one way: there is no shrinking.
+//! A failing case panics with the generated inputs printed, which is enough
+//! to reproduce (generation is deterministic per test name). Case count
+//! defaults to 64 and can be raised with `PROPTEST_CASES`.
+
+use core::ops::Range;
+
+/// Deterministic generator handed to strategies (splitmix64 stream).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test-name hash so every test owns a distinct stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_B00C,
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in [0, n).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree;
+/// `generate` draws one concrete value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: core::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $ix:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$ix.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Map adapter returned by [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: core::fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Combinator extensions (the `prop_map` subset).
+pub trait StrategyExt: Strategy + Sized {
+    /// Transform generated values with `f`.
+    fn prop_map<T: core::fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: lengths in `size`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES` override).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// FNV-1a over the test name — the per-test seed.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// One-stop imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy, StrategyExt,
+        TestRng,
+    };
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a property; panics with the message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// Expands to an early `return` from the per-case closure the [`proptest!`]
+/// macro wraps each body in.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests. Each function body runs [`cases()`] times with
+/// fresh inputs drawn from its strategies; failures panic with the inputs
+/// printed (deterministic per test name, so re-runs reproduce).
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut __rng = $crate::TestRng::new($crate::name_seed(stringify!($name)));
+            for __case in 0..$crate::cases() {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                let __inputs = format!(
+                    concat!("[", stringify!($name), " case {}] inputs: ", $(stringify!($arg), "={:?} ",)+),
+                    __case, $(&$arg),+
+                );
+                let __run = || { $body };
+                if let Err(p) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run)) {
+                    eprintln!("{__inputs}");
+                    std::panic::resume_unwind(p);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -5i64..5, z in 0.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.5..2.5).contains(&z));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(xs in crate::collection::vec(0u32..10, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            for &x in &xs {
+                prop_assert!(x < 10, "element {x} out of range");
+            }
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u64..100, 0u64..100)) {
+            prop_assume!(pair.0 != pair.1);
+            prop_assert_ne!(pair.0, pair.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::new(crate::name_seed("t"));
+        let mut b = TestRng::new(crate::name_seed("t"));
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::new(crate::name_seed("u"));
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (1u64..5).prop_map(|x| x * 10);
+        let mut rng = TestRng::new(1);
+        for _ in 0..32 {
+            let v = s.generate(&mut rng);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+}
