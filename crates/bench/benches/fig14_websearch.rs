@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fncc_cc::CcKind;
-use fncc_core::scenarios::{fattree_workload, Workload, WorkloadSpec};
+use fncc_core::scenarios::{Workload, WorkloadSpec};
+use fncc_core::{run_scenario, SimBackend};
 
 fn spec(cc: CcKind) -> WorkloadSpec {
     WorkloadSpec {
@@ -23,7 +24,7 @@ fn bench(c: &mut Criterion) {
     for cc in [CcKind::Dcqcn, CcKind::Hpcc, CcKind::Fncc] {
         g.bench_function(cc.name(), |b| {
             b.iter(|| {
-                let r = fattree_workload(&spec(cc));
+                let r = run_scenario(&spec(cc).scenario(), SimBackend::Packet);
                 assert_eq!(r.unfinished, vec![0]);
                 r.events
             })

@@ -1,0 +1,55 @@
+//! The unified Scenario path itself, one description on both engines: the
+//! packet/fluid cost ratio is the headline number of the backend split, and
+//! this bench guards the dispatch layer against accidental overhead (the
+//! scenario build + JSON round-trip must stay trivially cheap next to the
+//! run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fncc_cc::CcKind;
+use fncc_core::prelude::*;
+use fncc_core::Scenario;
+
+fn scenario() -> Scenario {
+    Scenario {
+        seeds: vec![1],
+        stop: StopCondition::Drain { cap_ms: 50 },
+        ..Scenario::new(
+            "bench-incast-fattree",
+            TopologySpec::FatTree { k: 4 },
+            TrafficSpec::Incast {
+                receiver: 0,
+                fan_in: 12,
+                size: 200_000,
+                waves: 2,
+                gap_us: 100,
+            },
+            CcKind::Fncc,
+        )
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_run");
+    g.sample_size(10);
+    for backend in [SimBackend::Packet, SimBackend::Fluid] {
+        g.bench_function(backend.name(), |b| {
+            b.iter(|| {
+                let r = run_scenario(&scenario(), backend);
+                assert!(r.unfinished.iter().all(|&u| u == 0));
+                r.events
+            })
+        });
+    }
+    g.bench_function("describe_and_roundtrip", |b| {
+        b.iter(|| {
+            let sc = scenario();
+            let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+            assert_eq!(parsed, sc);
+            parsed.instance(1).1.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,16 +1,35 @@
-//! Backend dispatch: one scenario description, two engines.
+//! Backend dispatch: one declarative [`Scenario`], two engines, one
+//! [`RunReport`].
 //!
-//! [`SimBackend::Packet`] is the packet-level DES (every frame, ACK, PFC
-//! pause and INT record simulated — the paper-faithful engine). For
-//! [`SimBackend::Fluid`], flow throughput comes from `fncc-fluid`'s
-//! water-filling max-min model with per-scheme steady-state rate hooks —
-//! five to six orders of magnitude faster, validated against the packet
-//! engine by the cross-validation suite. See `DESIGN.md` for when to use
-//! which.
+//! [`PacketBackend`] is the packet-level DES (every frame, ACK, PFC pause
+//! and INT record simulated — the paper-faithful engine). [`FluidBackend`]
+//! computes flow throughput from `fncc-fluid`'s water-filling max-min model
+//! with per-scheme steady-state rate hooks — five to six orders of
+//! magnitude faster, validated against the packet engine by the
+//! cross-validation suite. Both implement [`Backend`] over the same
+//! scenario description, so any experiment can swap engines with one flag.
+//! [`SimBackend`] is the thin CLI-facing parser that resolves to a
+//! `Box<dyn Backend>`. See `DESIGN.md` for when to use which.
 
-use crate::metrics::{average_slowdowns, fct_slowdowns};
-use crate::scenarios::{fattree_workload, WorkloadResult, WorkloadSpec};
+use crate::metrics::{average_slowdowns, fct_slowdowns, reaction_time, time_to_fair};
+use crate::report::RunReport;
+use crate::scenario::{Scenario, StopCondition, TrafficSpec};
+use crate::scenarios::{WorkloadResult, WorkloadSpec};
+use crate::sim::{make_algo, Sim, SimBuilder};
+use fncc_cc::{CcAlgo, CcKind, FnccConfig};
+use fncc_des::stats::TimeSeries;
+use fncc_des::time::{SimTime, TimeDelta};
 use fncc_fluid::{FluidSim, Framing, RateModel};
+use fncc_net::ids::{FlowId, NodeRef};
+use std::str::FromStr;
+
+/// An engine that can execute any [`Scenario`].
+pub trait Backend {
+    /// Backend display name (`"packet"` / `"fluid"`).
+    fn name(&self) -> &'static str;
+    /// Execute the scenario and produce the unified report artifact.
+    fn run(&self, scenario: &Scenario) -> RunReport;
+}
 
 /// Which simulation engine runs a scenario.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -23,13 +42,9 @@ pub enum SimBackend {
 }
 
 impl SimBackend {
-    /// Parse a CLI name.
+    /// Parse a CLI name (case-insensitive; see also the [`FromStr`] impl).
     pub fn parse(s: &str) -> Option<SimBackend> {
-        match s {
-            "packet" | "des" => Some(SimBackend::Packet),
-            "fluid" | "flow" => Some(SimBackend::Fluid),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Display name.
@@ -37,6 +52,26 @@ impl SimBackend {
         match self {
             SimBackend::Packet => "packet",
             SimBackend::Fluid => "fluid",
+        }
+    }
+
+    /// Resolve to the engine implementation.
+    pub fn resolve(self) -> Box<dyn Backend> {
+        match self {
+            SimBackend::Packet => Box::new(PacketBackend),
+            SimBackend::Fluid => Box::new(FluidBackend),
+        }
+    }
+}
+
+impl FromStr for SimBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "packet" | "des" => Ok(SimBackend::Packet),
+            "fluid" | "flow" => Ok(SimBackend::Fluid),
+            other => Err(format!("unknown backend '{other}' (packet|fluid)")),
         }
     }
 }
@@ -47,58 +82,356 @@ impl core::fmt::Display for SimBackend {
     }
 }
 
+/// Run `scenario` on the chosen engine.
+pub fn run_scenario(scenario: &Scenario, backend: SimBackend) -> RunReport {
+    backend.resolve().run(scenario)
+}
+
+// ----------------------------------------------------------------------
+// Packet backend
+// ----------------------------------------------------------------------
+
+/// The packet-level discrete-event engine.
+pub struct PacketBackend;
+
+impl Backend for PacketBackend {
+    fn name(&self) -> &'static str {
+        "packet"
+    }
+
+    /// Build each seed's `(topology, flows)` instance, run the DES under
+    /// the scenario's probes and stop condition, and aggregate: slowdown
+    /// rows (drain runs) are averaged across seeds, events and unfinished
+    /// counts summed, time series and traffic-specific scalars taken from
+    /// the first seed.
+    fn run(&self, sc: &Scenario) -> RunReport {
+        let mut report = RunReport::new(&sc.name, self.name(), sc.cc.name());
+        report.seeds = sc.seeds.clone();
+        let buckets = sc.traffic.buckets();
+        let mut runs: Vec<Vec<crate::metrics::SlowdownStats>> = Vec::new();
+
+        for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
+            let (topo, flows) = sc.instance(seed);
+            let line = sc.link.bandwidth();
+            let base_rtt = topo.base_rtt(1518, 70);
+            let algo = if sc.cc == CcKind::Fncc && sc.overrides.disable_lhcs {
+                CcAlgo::Fncc(FnccConfig::without_lhcs(line, base_rtt))
+            } else {
+                make_algo(sc.cc, line, base_rtt)
+            };
+            let is_fncc = sc.cc == CcKind::Fncc;
+            let int_refresh = sc.overrides.int_refresh();
+            let cp = if sc.probes.congestion_point {
+                sc.congestion_point(&topo)
+            } else {
+                None
+            };
+            let horizon = match sc.stop {
+                StopCondition::Horizon { us } => SimTime::from_us(us),
+                StopCondition::Drain { cap_ms } => {
+                    flows.iter().map(|f| f.start).max().unwrap_or(SimTime::ZERO)
+                        + TimeDelta::from_ms(cap_ms)
+                }
+            };
+
+            let mut builder = SimBuilder::with_algo(topo.clone(), algo)
+                .fabric(|f| {
+                    f.seed = seed;
+                    if is_fncc {
+                        f.int_refresh = int_refresh;
+                    }
+                })
+                .flows(flows.clone());
+            if sc.probes.sample_ns > 0 {
+                builder = builder.sample(TimeDelta::from_ns(sc.probes.sample_ns), horizon);
+            }
+            if let Some((sw, port)) = cp {
+                builder = builder
+                    .watch_queue(sw, port, "queue")
+                    .watch_util(sw, port, "util");
+            }
+            let n_watched_flows = (sc.probes.flow_rates as usize).min(flows.len());
+            for i in 0..n_watched_flows {
+                builder = builder.watch_flow(FlowId(i as u32), format!("flow{i}"));
+            }
+            let n_watched_cc = (sc.probes.cc_rates as usize).min(flows.len());
+            for (i, f) in flows.iter().take(n_watched_cc).enumerate() {
+                builder = builder.watch_cc_rate(FlowId(i as u32), f.src, format!("cc{i}"));
+            }
+
+            let mut sim = builder.build();
+            match sc.stop {
+                StopCondition::Horizon { .. } => {
+                    sim.run_until(horizon);
+                }
+                StopCondition::Drain { .. } => {
+                    sim.run_to_completion(TimeDelta::from_ms(1), horizon);
+                }
+            }
+
+            let telem = sim.telemetry();
+            report
+                .unfinished
+                .push(telem.flow_records().filter(|r| r.finish.is_none()).count());
+            report.events += sim.events_processed();
+            if matches!(sc.stop, StopCondition::Drain { .. }) {
+                let payload = sim.fabric().cfg.mtu_payload();
+                let header = sim.fabric().cfg.data_header;
+                runs.push(fct_slowdowns(&sim.topo, telem, &buckets, payload, header));
+            }
+            if seed_ix == 0 {
+                extract_series(&mut report, &sim, cp, n_watched_flows, n_watched_cc);
+                extract_scalars(&mut report, sc, &sim, cp, &flows);
+            }
+        }
+
+        if !runs.is_empty() {
+            report.slowdowns = average_slowdowns(&runs);
+            if let Some(m) = report.mean_slowdown() {
+                report.put_scalar("mean_slowdown", m);
+            }
+        }
+        report
+    }
+}
+
+/// Copy the watched series out of the telemetry under canonical names:
+/// `queue_kb` (KB), `util`, `flow{i}` / `cc{i}` (Gb/s).
+fn extract_series(
+    report: &mut RunReport,
+    sim: &Sim,
+    cp: Option<(fncc_net::ids::SwitchId, u8)>,
+    n_flows: usize,
+    n_cc: usize,
+) {
+    let telem = sim.telemetry();
+    let scaled = |src: &TimeSeries, name: &str, div: f64| {
+        let mut out = TimeSeries::new(name);
+        for (t, v) in src.iter() {
+            out.push(t, v / div);
+        }
+        out
+    };
+    if let Some((sw, port)) = cp {
+        if let Some(q) = telem.queue_series(sw, port) {
+            report.series.push(scaled(q, "queue_kb", 1024.0));
+        }
+        if let Some(u) = telem.util_series(sw, port) {
+            let mut u = u.clone();
+            u.name = "util".into();
+            report.series.push(u);
+        }
+    }
+    for i in 0..n_flows {
+        if let Some(s) = telem.flow_rate_series(FlowId(i as u32)) {
+            report.series.push(scaled(s, &format!("flow{i}"), 1e9));
+        }
+    }
+    for i in 0..n_cc {
+        if let Some(s) = telem.cc_rate_series(FlowId(i as u32)) {
+            report.series.push(scaled(s, &format!("cc{i}"), 1e9));
+        }
+    }
+}
+
+/// Traffic-aware scalar extraction (first seed): reaction/convergence and
+/// queue statistics for elephants, Jain indices for the staircase.
+fn extract_scalars(
+    report: &mut RunReport,
+    sc: &Scenario,
+    sim: &Sim,
+    cp: Option<(fncc_net::ids::SwitchId, u8)>,
+    flows: &[fncc_transport::FlowSpec],
+) {
+    let telem = sim.telemetry();
+    let horizon = sc.stop.sizing_horizon();
+    let line_gbps = sc.link.bandwidth().as_gbps_f64();
+
+    // Congestion-point statistics.
+    let after = match &sc.traffic {
+        TrafficSpec::Elephants { join_at_us } => SimTime::from_us(*join_at_us),
+        _ => SimTime::ZERO,
+    };
+    let queue_stats = report
+        .series("queue_kb")
+        .map(|q| (q.max(), q.mean_in(after, horizon)));
+    if let Some((peak, mean)) = queue_stats {
+        report.put_scalar("peak_queue_kb", peak);
+        report.put_scalar("mean_queue_kb", mean);
+    }
+    let util_mean = report.series("util").map(|u| u.mean_in(after, horizon));
+    if let Some(m) = util_mean {
+        report.put_scalar("mean_util", m);
+    }
+    if let Some((sw, _)) = cp {
+        // PFC pauses emitted on the congested switch's host-facing ports.
+        let pauses: u64 = sim.topo.switches[sw.ix()]
+            .ports
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p.peer, NodeRef::Host(_)))
+            .map(|(p, _)| sim.fabric().pause_frames_at(sw, p as u8))
+            .sum();
+        report.put_scalar("pause_frames", pauses as f64);
+    }
+
+    match &sc.traffic {
+        TrafficSpec::Elephants { join_at_us } => {
+            let join = SimTime::from_us(*join_at_us);
+            let n_senders = sim.topo.n_hosts - 1;
+            // Reaction: the first time flow 0's *control* rate falls clearly
+            // below its pre-join steady level (HPCC/FNCC idle at η·line, so
+            // an absolute line-rate threshold would trip on steady jitter).
+            let mut reaction = None;
+            let mut fair_conv = None;
+            if let Some(cc0) = report.series("cc0") {
+                let pre_join = cc0
+                    .mean_in(join - TimeDelta::from_us(20), join)
+                    .max(0.5 * line_gbps);
+                reaction = reaction_time(cc0, join, 0.85 * pre_join).map(|t| t.as_us_f64());
+                let refs: Vec<&TimeSeries> = (0..n_senders)
+                    .filter_map(|i| report.series(&format!("cc{i}")))
+                    .collect();
+                if refs.len() == n_senders as usize {
+                    let fair = line_gbps / n_senders as f64;
+                    fair_conv = time_to_fair(&refs, fair, 0.15, TimeDelta::from_us(20), join)
+                        .map(|t| t.as_us_f64());
+                }
+            }
+            if let Some(t) = reaction {
+                report.put_scalar("reaction_us", t);
+            }
+            if let Some(t) = fair_conv {
+                report.put_scalar("fair_convergence_us", t);
+            }
+            // INT freshness per hop (Fig. 2/12) and LHCS trigger count.
+            // Hops without samples are compacted out, so the scalar index
+            // is dense — consumers may stop at the first missing index.
+            let ages: Vec<f64> = (0..telem.int_age_hops())
+                .filter_map(|h| telem.mean_int_age(h).map(|a| a * 1e6))
+                .collect();
+            for (i, age) in ages.into_iter().enumerate() {
+                report.put_scalar(format!("int_age_us_hop{i}"), age);
+            }
+            let triggers: u64 = flows
+                .iter()
+                .map(|f| sim.host(f.src).lhcs_triggers(f.id).unwrap_or(0))
+                .sum();
+            report.put_scalar("lhcs_triggers", triggers as f64);
+        }
+        TrafficSpec::Staircase { interval_us } => {
+            let interval = TimeDelta::from_us(*interval_us);
+            let n = sim.topo.n_hosts - 1;
+            // Jain index at each period midpoint over flows active then.
+            let mut jain: Vec<f64> = Vec::new();
+            {
+                let rates: Vec<Option<&TimeSeries>> =
+                    (0..n).map(|i| report.series(&format!("flow{i}"))).collect();
+                for p in 0..(2 * n).saturating_sub(1) {
+                    let mid = SimTime::ZERO + interval * p as u64 + interval / 2;
+                    let active: Vec<f64> = (0..n)
+                        .filter(|&i| i <= p && p < n + i)
+                        .filter_map(|i| rates[i as usize])
+                        .map(|s| s.mean_in(mid - interval / 4, mid + interval / 4))
+                        .collect();
+                    if !active.is_empty() {
+                        jain.push(fncc_des::stats::jain_index(&active));
+                    }
+                }
+            }
+            let min = jain.iter().copied().fold(1.0, f64::min);
+            for (p, j) in jain.into_iter().enumerate() {
+                report.put_scalar(format!("jain_p{p}"), j);
+            }
+            report.put_scalar("jain_min", min);
+            report.put_scalar(
+                "all_finished",
+                if telem.all_flows_finished() { 1.0 } else { 0.0 },
+            );
+        }
+        TrafficSpec::Incast { .. } | TrafficSpec::Poisson { .. } => {}
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fluid backend
+// ----------------------------------------------------------------------
+
+/// The flow-level fluid fast path.
+pub struct FluidBackend;
+
+impl Backend for FluidBackend {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    /// Run every seed's instance through the water-filling allocator under
+    /// the scheme's [`RateModel`]. The fluid engine always drains all flows
+    /// (a [`StopCondition::Horizon`] is ignored beyond elephant sizing) and
+    /// produces no time series — slowdown rows and scalar metrics only.
+    fn run(&self, sc: &Scenario) -> RunReport {
+        let mut report = RunReport::new(&sc.name, self.name(), sc.cc.name());
+        report.seeds = sc.seeds.clone();
+        let framing = Framing::default();
+        let buckets = sc.traffic.buckets();
+        let mut runs = Vec::with_capacity(sc.seeds.len());
+        let mut peak_active = 0usize;
+        let mut horizon = SimTime::ZERO;
+        for &seed in &sc.seeds {
+            let (topo, flows) = sc.instance(seed);
+            let result = FluidSim::new(topo.clone(), RateModel::paper_default(sc.cc))
+                .framing(framing)
+                .flows(flows)
+                .run();
+            report.unfinished.push(
+                result
+                    .telemetry
+                    .flow_records()
+                    .filter(|r| r.finish.is_none())
+                    .count(),
+            );
+            runs.push(fct_slowdowns(
+                &topo,
+                &result.telemetry,
+                &buckets,
+                framing.mtu_payload,
+                framing.header,
+            ));
+            report.events += result.reallocations;
+            peak_active = peak_active.max(result.peak_active);
+            horizon = horizon.max(result.horizon);
+        }
+        report.slowdowns = average_slowdowns(&runs);
+        if let Some(m) = report.mean_slowdown() {
+            report.put_scalar("mean_slowdown", m);
+        }
+        report.put_scalar("peak_active", peak_active as f64);
+        report.put_scalar("horizon_us", horizon.as_us_f64());
+        report
+    }
+}
+
+// ----------------------------------------------------------------------
+// Workload compatibility wrappers
+// ----------------------------------------------------------------------
+
 /// Run the §5.5 fat-tree workload on the chosen backend. Both paths build
 /// identical topologies and flow sets (same seeds → same flows), so their
 /// [`WorkloadResult`]s are directly comparable.
 pub fn fattree_workload_on(spec: &WorkloadSpec, backend: SimBackend) -> WorkloadResult {
-    match backend {
-        SimBackend::Packet => fattree_workload(spec),
-        SimBackend::Fluid => fattree_workload_fluid(spec),
-    }
+    let report = run_scenario(&spec.scenario(), backend);
+    WorkloadResult::from_report(spec, &report)
 }
 
-/// The fluid twin of [`fattree_workload`]: `WorkloadSpec::instance` hands
-/// both backends the same topology and Poisson flow set per seed; only the
-/// rate engine differs.
+/// The fluid twin of [`crate::scenarios::fattree_workload`].
 pub fn fattree_workload_fluid(spec: &WorkloadSpec) -> WorkloadResult {
-    let framing = Framing::default();
-    let mut runs = Vec::with_capacity(spec.seeds.len());
-    let mut unfinished = Vec::with_capacity(spec.seeds.len());
-    let mut events = 0u64;
-    for &seed in &spec.seeds {
-        let (topo, flows) = spec.instance(seed);
-        let result = FluidSim::new(topo.clone(), RateModel::paper_default(spec.cc))
-            .framing(framing)
-            .flows(flows)
-            .run();
-        let not_done = result
-            .telemetry
-            .flow_records()
-            .filter(|r| r.finish.is_none())
-            .count();
-        unfinished.push(not_done);
-        runs.push(fct_slowdowns(
-            &topo,
-            &result.telemetry,
-            spec.workload.buckets(),
-            framing.mtu_payload,
-            framing.header,
-        ));
-        events += result.reallocations;
-    }
-    WorkloadResult {
-        cc: spec.cc,
-        workload: spec.workload,
-        rows: average_slowdowns(&runs),
-        unfinished,
-        events,
-    }
+    fattree_workload_on(spec, SimBackend::Fluid)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenarios::Workload;
+    use crate::scenario::Workload;
     use fncc_cc::CcKind;
 
     #[test]
@@ -110,6 +443,16 @@ mod tests {
         assert_eq!(SimBackend::parse("quantum"), None);
         assert_eq!(SimBackend::default(), SimBackend::Packet);
         assert_eq!(format!("{}", SimBackend::Fluid), "fluid");
+    }
+
+    #[test]
+    fn backend_parse_is_case_insensitive() {
+        assert_eq!("Packet".parse(), Ok(SimBackend::Packet));
+        assert_eq!("FLUID".parse(), Ok(SimBackend::Fluid));
+        assert_eq!("DES".parse(), Ok(SimBackend::Packet));
+        assert!("".parse::<SimBackend>().is_err());
+        assert_eq!(SimBackend::Packet.resolve().name(), "packet");
+        assert_eq!(SimBackend::Fluid.resolve().name(), "fluid");
     }
 
     #[test]

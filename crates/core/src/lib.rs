@@ -17,8 +17,16 @@
 //!   model and the Fig. 1a switch buffer/capacity trend data.
 //! * [`sweep`] — a small parallel runner for parameter sweeps and
 //!   multi-seed repetitions (crossbeam-scoped worker pool).
-//! * [`backend`] — [`backend::SimBackend`]: dispatch a scenario to the
-//!   packet DES engine or the `fncc-fluid` flow-level fast path.
+//! * [`scenario`] — the declarative [`scenario::Scenario`]: topology +
+//!   traffic + CC + probes + stop condition as a pure value, with a JSON
+//!   file format (`fncc-repro run <file.json>`).
+//! * [`backend`] — the [`backend::Backend`] trait (`run(&Scenario) ->
+//!   RunReport`) implemented by the packet DES engine and the
+//!   `fncc-fluid` flow-level fast path; [`backend::SimBackend`] is the
+//!   thin CLI parser that resolves to one of them.
+//! * [`report`] — [`report::RunReport`], the single artifact format every
+//!   backend emits (named series + scalars + slowdown rows + JSON writer).
+//! * [`json`] — the dependency-free JSON parser/writer behind both.
 //!
 //! ## Quickstart
 //!
@@ -32,29 +40,45 @@
 
 pub mod analysis;
 pub mod backend;
+pub mod json;
 pub mod metrics;
+pub mod report;
+pub mod scenario;
 pub mod scenarios;
 pub mod sim;
 pub mod sweep;
 
 pub use analysis::{hardware_trends, notification_gain_model, HopGain, SwitchGen};
-pub use backend::{fattree_workload_on, SimBackend};
+pub use backend::{
+    fattree_workload_on, run_scenario, Backend, FluidBackend, PacketBackend, SimBackend,
+};
 pub use metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
+pub use report::{RunReport, RUN_REPORT_SCHEMA};
+pub use scenario::{
+    parse_cc, CcOverrides, LinkSpec, ProbeSpec, Scenario, StopCondition, TopologySpec, TrafficSpec,
+    Workload,
+};
 pub use scenarios::{
     elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
-    FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, Workload, WorkloadResult,
-    WorkloadSpec,
+    FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, WorkloadResult, WorkloadSpec,
 };
 pub use sim::{make_algo, Sim, SimBuilder};
 
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::analysis::{hardware_trends, notification_gain_model};
-    pub use crate::backend::{fattree_workload_on, SimBackend};
+    pub use crate::backend::{
+        fattree_workload_on, run_scenario, Backend, FluidBackend, PacketBackend, SimBackend,
+    };
     pub use crate::metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
+    pub use crate::report::RunReport;
+    pub use crate::scenario::{
+        CcOverrides, LinkSpec, ProbeSpec, Scenario, StopCondition, TopologySpec, TrafficSpec,
+        Workload,
+    };
     pub use crate::scenarios::{
         elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
-        FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, Workload, WorkloadResult,
+        FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, WorkloadResult,
         WorkloadSpec,
     };
     pub use crate::sim::{make_algo, Sim, SimBuilder};

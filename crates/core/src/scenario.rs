@@ -1,0 +1,939 @@
+//! The declarative experiment description: [`Scenario`].
+//!
+//! A scenario is a pure value — *what* to simulate (topology, traffic,
+//! congestion control, probes, stop condition), never *how*. Any
+//! [`crate::backend::Backend`] can execute it: the packet DES replays every
+//! frame, the fluid engine water-fills rates between flow events, and both
+//! produce the same [`crate::report::RunReport`] artifact. Scenarios
+//! serialize to a small JSON format (`fncc-repro run <file.json>`), parsed
+//! and written by [`crate::json`] — see `DESIGN.md` §Scenario files for the
+//! schema and how to add a `TopologySpec`/`TrafficSpec` variant.
+
+use crate::json::{num_u64, obj, Json};
+use fncc_cc::CcKind;
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::ids::{HostId, NodeRef, SwitchId};
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+use fncc_transport::FlowSpec;
+use fncc_workloads::arrivals::{poisson_flows, PoissonConfig};
+use fncc_workloads::distributions::{FB_HADOOP_BUCKETS, WEB_SEARCH_BUCKETS};
+use fncc_workloads::patterns::staggered_fairness;
+
+/// Which §5.5 trace to draw flow sizes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// DCTCP WebSearch (Fig. 14).
+    WebSearch,
+    /// Facebook Hadoop (Fig. 15).
+    FbHadoop,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::WebSearch => "WebSearch",
+            Workload::FbHadoop => "FB_Hadoop",
+        }
+    }
+
+    /// The reporting buckets of the corresponding figure.
+    pub fn buckets(self) -> &'static [u64] {
+        match self {
+            Workload::WebSearch => &WEB_SEARCH_BUCKETS,
+            Workload::FbHadoop => &FB_HADOOP_BUCKETS,
+        }
+    }
+
+    /// Parse a trace name (case-insensitive; accepts figure aliases).
+    pub fn parse(s: &str) -> Option<Workload> {
+        match s.to_ascii_lowercase().as_str() {
+            "websearch" | "web_search" | "fig14" => Some(Workload::WebSearch),
+            "fb_hadoop" | "fbhadoop" | "hadoop" | "fig15" => Some(Workload::FbHadoop),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a CC scheme name (case-insensitive).
+pub fn parse_cc(s: &str) -> Option<CcKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "fncc" => Some(CcKind::Fncc),
+        "hpcc" => Some(CcKind::Hpcc),
+        "dcqcn" => Some(CcKind::Dcqcn),
+        "rocc" => Some(CcKind::Rocc),
+        "timely" => Some(CcKind::Timely),
+        "swift" => Some(CcKind::Swift),
+        _ => None,
+    }
+}
+
+/// Uniform link parameters of a scenario's network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Link rate in Gb/s (the paper sweeps 100/200/400).
+    pub gbps: u64,
+    /// One-way propagation delay in nanoseconds.
+    pub prop_ns: u64,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec {
+            gbps: 100,
+            prop_ns: 1500,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// The link rate.
+    pub fn bandwidth(self) -> Bandwidth {
+        Bandwidth::gbps(self.gbps)
+    }
+
+    /// The propagation delay.
+    pub fn prop(self) -> TimeDelta {
+        TimeDelta::from_ns(self.prop_ns)
+    }
+}
+
+/// Declarative network shape. `build` instantiates the corresponding
+/// [`Topology`] with the scenario's [`LinkSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// Fig. 10: `senders` hosts at the first of `switches` chained switches,
+    /// one receiver at the last.
+    Dumbbell {
+        /// Sender count (hosts 0..senders; the receiver is host `senders`).
+        senders: u32,
+        /// Chain length (the paper's M = 3).
+        switches: u32,
+    },
+    /// Fig. 11: a chain of `switches`; sender `i` attaches at `attach[i]`,
+    /// the receiver at the last switch.
+    Line {
+        /// Chain length.
+        switches: u32,
+        /// Attachment switch per sender.
+        attach: Vec<u32>,
+    },
+    /// Single switch over `hosts` hosts.
+    Star {
+        /// Host count.
+        hosts: u32,
+    },
+    /// Three-level fat-tree with parameter `k` (k³/4 hosts).
+    FatTree {
+        /// Fat-tree parameter (even; the paper uses 8 → 128 hosts).
+        k: u32,
+    },
+    /// Two-level leaf–spine; oversubscription = `hosts_per_leaf / spines`.
+    LeafSpine {
+        /// Leaf switch count.
+        leaves: u32,
+        /// Spine switch count.
+        spines: u32,
+        /// Hosts per leaf (pick > `spines` for an oversubscribed fabric).
+        hosts_per_leaf: u32,
+    },
+}
+
+impl TopologySpec {
+    /// Number of hosts this spec instantiates.
+    pub fn n_hosts(&self) -> u32 {
+        match self {
+            TopologySpec::Dumbbell { senders, .. } => senders + 1,
+            TopologySpec::Line { attach, .. } => attach.len() as u32 + 1,
+            TopologySpec::Star { hosts } => *hosts,
+            TopologySpec::FatTree { k } => k * k * k / 4,
+            TopologySpec::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+        }
+    }
+
+    /// Instantiate the topology.
+    pub fn build(&self, link: LinkSpec) -> Topology {
+        let bw = link.bandwidth();
+        let prop = link.prop();
+        match self {
+            TopologySpec::Dumbbell { senders, switches } => {
+                Topology::dumbbell(*senders, *switches, bw, prop)
+            }
+            TopologySpec::Line { switches, attach } => {
+                let attach: Vec<usize> = attach.iter().map(|&a| a as usize).collect();
+                Topology::line(*switches, &attach, bw, prop)
+            }
+            TopologySpec::Star { hosts } => Topology::star(*hosts, bw, prop),
+            TopologySpec::FatTree { k } => Topology::fat_tree(*k, bw, prop),
+            TopologySpec::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+            } => Topology::leaf_spine(*leaves, *spines, *hosts_per_leaf, bw, prop),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologySpec::Dumbbell { .. } => "dumbbell",
+            TopologySpec::Line { .. } => "line",
+            TopologySpec::Star { .. } => "star",
+            TopologySpec::FatTree { .. } => "fat_tree",
+            TopologySpec::LeafSpine { .. } => "leaf_spine",
+        }
+    }
+}
+
+/// Declarative traffic pattern. `flows` produces the exact [`FlowSpec`] set
+/// for one seed — the single source of truth both backends consume, which
+/// is what makes cross-backend comparisons meaningful.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrafficSpec {
+    /// Long-lived flows sized to outlive the horizon: every host except the
+    /// receiver (the last host) sends one elephant; flow 0 starts at t = 0,
+    /// the rest join at `join_at_us` (§5.1/§5.2).
+    Elephants {
+        /// When the joining elephants start (the paper: 300 µs).
+        join_at_us: u64,
+    },
+    /// §5.3 fairness staircase: each sender joins one `interval_us` after
+    /// the previous and leaves in join order, payloads sized to its
+    /// fair-share integral.
+    Staircase {
+        /// Join/leave period length in microseconds.
+        interval_us: u64,
+    },
+    /// Incast: `fan_in` senders (cycling over hosts ≠ receiver) each fire
+    /// `size` bytes at the receiver, a new wave every `gap_us`.
+    Incast {
+        /// Receiver host id.
+        receiver: u32,
+        /// Concurrent senders per wave.
+        fan_in: u32,
+        /// Bytes per sender per wave.
+        size: u64,
+        /// Number of waves.
+        waves: u32,
+        /// Wave spacing in microseconds.
+        gap_us: u64,
+    },
+    /// §5.5: Poisson arrivals over random host pairs, sizes from `workload`,
+    /// mean offered load `load` per host link.
+    Poisson {
+        /// Flow-size trace.
+        workload: Workload,
+        /// Average host-link load (the paper: 0.5).
+        load: f64,
+        /// Flows per seed.
+        flows: u32,
+    },
+}
+
+impl TrafficSpec {
+    /// The exact flow set for one `seed` on `topo`. `sizing_horizon` feeds
+    /// patterns whose flow sizes derive from the run length (elephants).
+    pub fn flows(
+        &self,
+        topo: &Topology,
+        link: LinkSpec,
+        sizing_horizon: SimTime,
+        seed: u64,
+    ) -> Vec<FlowSpec> {
+        let line = link.bandwidth();
+        match self {
+            TrafficSpec::Elephants { join_at_us } => {
+                let n_senders = topo.n_hosts - 1;
+                let receiver = HostId(n_senders);
+                let elephant = (line.as_f64() / 8.0 * sizing_horizon.as_secs_f64() * 1.5) as u64;
+                let join = SimTime::from_us(*join_at_us);
+                (0..n_senders)
+                    .map(|i| FlowSpec {
+                        id: fncc_net::ids::FlowId(i),
+                        src: HostId(i),
+                        dst: receiver,
+                        size: elephant,
+                        start: if i == 0 { SimTime::ZERO } else { join },
+                    })
+                    .collect()
+            }
+            TrafficSpec::Staircase { interval_us } => {
+                let n = topo.n_hosts - 1;
+                staggered_fairness(n, HostId(n), line, TimeDelta::from_us(*interval_us))
+            }
+            TrafficSpec::Incast {
+                receiver,
+                fan_in,
+                size,
+                waves,
+                gap_us,
+            } => fncc_fluid::scenarios::incast_storm(
+                topo.n_hosts,
+                HostId(*receiver),
+                *fan_in,
+                *size,
+                *waves,
+                TimeDelta::from_us(*gap_us),
+            ),
+            TrafficSpec::Poisson {
+                workload,
+                load,
+                flows,
+            } => {
+                let cdf = match workload {
+                    Workload::WebSearch => fncc_workloads::distributions::web_search(),
+                    Workload::FbHadoop => fncc_workloads::distributions::fb_hadoop(),
+                };
+                poisson_flows(
+                    &PoissonConfig {
+                        n_hosts: topo.n_hosts,
+                        line,
+                        load: *load,
+                        n_flows: *flows,
+                        first_id: 0,
+                        start: SimTime::ZERO,
+                        seed,
+                    },
+                    &cdf,
+                )
+            }
+        }
+    }
+
+    /// Flow-size buckets for slowdown reporting.
+    pub fn buckets(&self) -> Vec<u64> {
+        match self {
+            TrafficSpec::Poisson { workload, .. } => workload.buckets().to_vec(),
+            // Generic mice/medium/elephant split for fixed-size patterns.
+            _ => vec![10_000, 1_000_000, 1_000_000_000],
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficSpec::Elephants { .. } => "elephants",
+            TrafficSpec::Staircase { .. } => "staircase",
+            TrafficSpec::Incast { .. } => "incast",
+            TrafficSpec::Poisson { .. } => "poisson",
+        }
+    }
+}
+
+/// Per-scheme parameter overrides (all FNCC-only today; ignored elsewhere).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CcOverrides {
+    /// Disable LHCS (the Fig. 13 "FNCC without LHCS" ablation).
+    pub disable_lhcs: bool,
+    /// FNCC's `All_INT_Table` refresh period in µs; 0 = live reads. The
+    /// default 1 µs snapshot is what Fig. 8's management module does and
+    /// also de-noises the sender's rate estimates — see `DESIGN.md`.
+    pub int_refresh_us: u64,
+}
+
+impl Default for CcOverrides {
+    fn default() -> Self {
+        CcOverrides {
+            disable_lhcs: false,
+            int_refresh_us: 1,
+        }
+    }
+}
+
+impl CcOverrides {
+    /// The refresh period as the fabric expects it (`None` = live reads).
+    pub fn int_refresh(&self) -> Option<TimeDelta> {
+        if self.int_refresh_us == 0 {
+            None
+        } else {
+            Some(TimeDelta::from_us(self.int_refresh_us))
+        }
+    }
+}
+
+/// What the packet backend measures while running (the fluid backend keeps
+/// only per-flow records; it has no queues to probe).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct ProbeSpec {
+    /// Telemetry sampling period in nanoseconds (0 = no time series).
+    pub sample_ns: u64,
+    /// Watch queue depth and utilization at the scenario's congestion point.
+    pub congestion_point: bool,
+    /// Watch goodput of the first `flow_rates` flows.
+    pub flow_rates: u32,
+    /// Watch CC pacing rate of the first `cc_rates` flows.
+    pub cc_rates: u32,
+}
+
+impl ProbeSpec {
+    /// Standard microbenchmark probes: 1 µs sampling, congestion point,
+    /// `n` flow and pacing rates.
+    pub fn micro(sample_ns: u64, n: u32) -> Self {
+        ProbeSpec {
+            sample_ns,
+            congestion_point: true,
+            flow_rates: n,
+            cc_rates: n,
+        }
+    }
+}
+
+/// When a run ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCondition {
+    /// Run exactly `us` microseconds of simulated time.
+    Horizon {
+        /// Horizon in microseconds.
+        us: u64,
+    },
+    /// Run until every flow finished, capped at `cap_ms` past the last
+    /// flow's start (flows still unfinished are reported, not an error).
+    Drain {
+        /// Cap in milliseconds.
+        cap_ms: u64,
+    },
+}
+
+impl StopCondition {
+    /// Horizon used to size horizon-dependent traffic (elephants).
+    pub fn sizing_horizon(&self) -> SimTime {
+        match self {
+            StopCondition::Horizon { us } => SimTime::from_us(*us),
+            StopCondition::Drain { cap_ms } => SimTime::from_us(cap_ms * 1000),
+        }
+    }
+}
+
+/// A complete declarative experiment: one description, any backend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Name used in reports and artifact file names.
+    pub name: String,
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Uniform link parameters.
+    pub link: LinkSpec,
+    /// Traffic pattern.
+    pub traffic: TrafficSpec,
+    /// Congestion-control scheme under test.
+    pub cc: CcKind,
+    /// Scheme parameter overrides.
+    pub overrides: CcOverrides,
+    /// Measurement probes (packet backend only).
+    pub probes: ProbeSpec,
+    /// Stop condition.
+    pub stop: StopCondition,
+    /// Seeds; multi-seed runs average slowdown rows across seeds.
+    pub seeds: Vec<u64>,
+}
+
+impl Scenario {
+    /// A scenario skeleton with library defaults: 100 G / 1.5 µs links,
+    /// default CC overrides, no probes, drain-with-200 ms-cap stop, seed 1.
+    pub fn new(
+        name: impl Into<String>,
+        topology: TopologySpec,
+        traffic: TrafficSpec,
+        cc: CcKind,
+    ) -> Self {
+        Scenario {
+            name: name.into(),
+            topology,
+            link: LinkSpec::default(),
+            traffic,
+            cc,
+            overrides: CcOverrides::default(),
+            probes: ProbeSpec::default(),
+            stop: StopCondition::Drain { cap_ms: 200 },
+            seeds: vec![1],
+        }
+    }
+
+    /// The exact `(topology, flow set)` this scenario produces for `seed` —
+    /// identical for every backend.
+    pub fn instance(&self, seed: u64) -> (Topology, Vec<FlowSpec>) {
+        let topo = self.topology.build(self.link);
+        let flows = self
+            .traffic
+            .flows(&topo, self.link, self.stop.sizing_horizon(), seed);
+        (topo, flows)
+    }
+
+    /// The scenario's congestion point: the switch egress port where its
+    /// traffic pattern concentrates, used by the `congestion_point` probe.
+    ///
+    /// * elephants on a line: the joining sender's attachment switch;
+    /// * incast: the receiver's attachment switch (its last hop);
+    /// * everything else: the first switch on flow 0's path (the classic
+    ///   dumbbell bottleneck).
+    pub fn congestion_point(&self, topo: &Topology) -> Option<(SwitchId, u8)> {
+        let (observer_src, dst) = match &self.traffic {
+            TrafficSpec::Incast { receiver, .. } => {
+                let src = (0..topo.n_hosts).find(|&h| h != *receiver)?;
+                (HostId(src), HostId(*receiver))
+            }
+            _ => {
+                if topo.n_hosts < 2 {
+                    return None;
+                }
+                (HostId(0), HostId(topo.n_hosts - 1))
+            }
+        };
+        let flow0 = fncc_net::ids::FlowId(0);
+        let path = topo.trace_path(observer_src, dst, flow0);
+        let switch_hops: Vec<(SwitchId, u8)> = path
+            .into_iter()
+            .filter_map(|(n, p)| match n {
+                NodeRef::Switch(s) => Some((s, p)),
+                NodeRef::Host(_) => None,
+            })
+            .collect();
+        match &self.traffic {
+            TrafficSpec::Incast { .. } => switch_hops.last().copied(),
+            TrafficSpec::Elephants { .. } => {
+                if let TopologySpec::Line { attach, .. } = &self.topology {
+                    // Congestion forms where the last-attached sender joins.
+                    let sw = SwitchId(*attach.last()?);
+                    switch_hops.iter().find(|&&(s, _)| s == sw).copied()
+                } else {
+                    switch_hops.first().copied()
+                }
+            }
+            _ => switch_hops.first().copied(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // JSON (see DESIGN.md §Scenario files for the schema)
+    // ------------------------------------------------------------------
+
+    /// Serialize to the scenario-file JSON format.
+    pub fn to_json(&self) -> String {
+        let topology = match &self.topology {
+            TopologySpec::Dumbbell { senders, switches } => obj([
+                ("kind", Json::Str("dumbbell".into())),
+                ("senders", Json::Num(*senders as f64)),
+                ("switches", Json::Num(*switches as f64)),
+            ]),
+            TopologySpec::Line { switches, attach } => obj([
+                ("kind", Json::Str("line".into())),
+                ("switches", Json::Num(*switches as f64)),
+                (
+                    "attach",
+                    Json::Arr(attach.iter().map(|&a| Json::Num(a as f64)).collect()),
+                ),
+            ]),
+            TopologySpec::Star { hosts } => obj([
+                ("kind", Json::Str("star".into())),
+                ("hosts", Json::Num(*hosts as f64)),
+            ]),
+            TopologySpec::FatTree { k } => obj([
+                ("kind", Json::Str("fat_tree".into())),
+                ("k", Json::Num(*k as f64)),
+            ]),
+            TopologySpec::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+            } => obj([
+                ("kind", Json::Str("leaf_spine".into())),
+                ("leaves", Json::Num(*leaves as f64)),
+                ("spines", Json::Num(*spines as f64)),
+                ("hosts_per_leaf", Json::Num(*hosts_per_leaf as f64)),
+            ]),
+        };
+        let traffic = match &self.traffic {
+            TrafficSpec::Elephants { join_at_us } => obj([
+                ("kind", Json::Str("elephants".into())),
+                ("join_at_us", num_u64(*join_at_us)),
+            ]),
+            TrafficSpec::Staircase { interval_us } => obj([
+                ("kind", Json::Str("staircase".into())),
+                ("interval_us", num_u64(*interval_us)),
+            ]),
+            TrafficSpec::Incast {
+                receiver,
+                fan_in,
+                size,
+                waves,
+                gap_us,
+            } => obj([
+                ("kind", Json::Str("incast".into())),
+                ("receiver", Json::Num(*receiver as f64)),
+                ("fan_in", Json::Num(*fan_in as f64)),
+                ("size", num_u64(*size)),
+                ("waves", Json::Num(*waves as f64)),
+                ("gap_us", num_u64(*gap_us)),
+            ]),
+            TrafficSpec::Poisson {
+                workload,
+                load,
+                flows,
+            } => obj([
+                ("kind", Json::Str("poisson".into())),
+                ("workload", Json::Str(workload.name().into())),
+                ("load", Json::Num(*load)),
+                ("flows", Json::Num(*flows as f64)),
+            ]),
+        };
+        let stop = match self.stop {
+            StopCondition::Horizon { us } => {
+                obj([("kind", Json::Str("horizon".into())), ("us", num_u64(us))])
+            }
+            StopCondition::Drain { cap_ms } => obj([
+                ("kind", Json::Str("drain".into())),
+                ("cap_ms", num_u64(cap_ms)),
+            ]),
+        };
+        obj([
+            ("name", Json::Str(self.name.clone())),
+            ("topology", topology),
+            (
+                "link",
+                obj([
+                    ("gbps", num_u64(self.link.gbps)),
+                    ("prop_ns", num_u64(self.link.prop_ns)),
+                ]),
+            ),
+            ("traffic", traffic),
+            ("cc", Json::Str(self.cc.name().into())),
+            (
+                "overrides",
+                obj([
+                    ("disable_lhcs", Json::Bool(self.overrides.disable_lhcs)),
+                    ("int_refresh_us", num_u64(self.overrides.int_refresh_us)),
+                ]),
+            ),
+            (
+                "probes",
+                obj([
+                    ("sample_ns", num_u64(self.probes.sample_ns)),
+                    ("congestion_point", Json::Bool(self.probes.congestion_point)),
+                    ("flow_rates", Json::Num(self.probes.flow_rates as f64)),
+                    ("cc_rates", Json::Num(self.probes.cc_rates as f64)),
+                ]),
+            ),
+            ("stop", stop),
+            (
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| num_u64(s)).collect()),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse the scenario-file JSON format. `link`, `overrides`, `probes`,
+    /// `stop` and `seeds` are optional and default as in [`Scenario::new`].
+    pub fn from_json(text: &str) -> Result<Scenario, String> {
+        let v = Json::parse(text)?;
+        let str_field = |o: &Json, key: &str| -> Result<String, String> {
+            o.get(key)
+                .and_then(|x| x.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field '{key}'"))
+        };
+        let u64_field = |o: &Json, key: &str| -> Result<u64, String> {
+            o.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let u32_field = |o: &Json, key: &str| -> Result<u32, String> {
+            u64_field(o, key).and_then(|x| {
+                u32::try_from(x).map_err(|_| format!("field '{key}' out of u32 range"))
+            })
+        };
+
+        let name = str_field(&v, "name")?;
+
+        let t = v.get("topology").ok_or("missing 'topology'")?;
+        let topology = match str_field(t, "kind")?.as_str() {
+            "dumbbell" => TopologySpec::Dumbbell {
+                senders: u32_field(t, "senders")?,
+                switches: u32_field(t, "switches")?,
+            },
+            "line" => TopologySpec::Line {
+                switches: u32_field(t, "switches")?,
+                attach: t
+                    .get("attach")
+                    .and_then(|a| a.as_arr())
+                    .ok_or("missing 'attach' array")?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .and_then(|v| u32::try_from(v).ok())
+                            .ok_or_else(|| "non-integer attach entry".to_string())
+                    })
+                    .collect::<Result<Vec<u32>, String>>()?,
+            },
+            "star" => TopologySpec::Star {
+                hosts: u32_field(t, "hosts")?,
+            },
+            "fat_tree" => TopologySpec::FatTree {
+                k: u32_field(t, "k")?,
+            },
+            "leaf_spine" => TopologySpec::LeafSpine {
+                leaves: u32_field(t, "leaves")?,
+                spines: u32_field(t, "spines")?,
+                hosts_per_leaf: u32_field(t, "hosts_per_leaf")?,
+            },
+            other => return Err(format!("unknown topology kind '{other}'")),
+        };
+
+        let link = match v.get("link") {
+            None => LinkSpec::default(),
+            Some(l) => LinkSpec {
+                gbps: u64_field(l, "gbps")?,
+                prop_ns: u64_field(l, "prop_ns")?,
+            },
+        };
+
+        let tr = v.get("traffic").ok_or("missing 'traffic'")?;
+        let traffic = match str_field(tr, "kind")?.as_str() {
+            "elephants" => TrafficSpec::Elephants {
+                join_at_us: u64_field(tr, "join_at_us")?,
+            },
+            "staircase" => TrafficSpec::Staircase {
+                interval_us: u64_field(tr, "interval_us")?,
+            },
+            "incast" => TrafficSpec::Incast {
+                receiver: u32_field(tr, "receiver")?,
+                fan_in: u32_field(tr, "fan_in")?,
+                size: u64_field(tr, "size")?,
+                waves: u32_field(tr, "waves")?,
+                gap_us: u64_field(tr, "gap_us")?,
+            },
+            "poisson" => TrafficSpec::Poisson {
+                workload: Workload::parse(&str_field(tr, "workload")?)
+                    .ok_or("unknown workload name")?,
+                load: tr
+                    .get("load")
+                    .and_then(|x| x.as_f64())
+                    .ok_or("missing 'load'")?,
+                flows: u32_field(tr, "flows")?,
+            },
+            other => return Err(format!("unknown traffic kind '{other}'")),
+        };
+
+        let cc = parse_cc(&str_field(&v, "cc")?).ok_or("unknown cc name")?;
+
+        let overrides = match v.get("overrides") {
+            None => CcOverrides::default(),
+            Some(o) => CcOverrides {
+                disable_lhcs: o
+                    .get("disable_lhcs")
+                    .and_then(|x| x.as_bool())
+                    .unwrap_or(false),
+                int_refresh_us: o
+                    .get("int_refresh_us")
+                    .and_then(|x| x.as_u64())
+                    .unwrap_or(CcOverrides::default().int_refresh_us),
+            },
+        };
+
+        let probes = match v.get("probes") {
+            None => ProbeSpec::default(),
+            Some(p) => ProbeSpec {
+                sample_ns: p.get("sample_ns").and_then(|x| x.as_u64()).unwrap_or(0),
+                congestion_point: p
+                    .get("congestion_point")
+                    .and_then(|x| x.as_bool())
+                    .unwrap_or(false),
+                flow_rates: p.get("flow_rates").and_then(|x| x.as_u64()).unwrap_or(0) as u32,
+                cc_rates: p.get("cc_rates").and_then(|x| x.as_u64()).unwrap_or(0) as u32,
+            },
+        };
+
+        let stop = match v.get("stop") {
+            None => StopCondition::Drain { cap_ms: 200 },
+            Some(s) => match str_field(s, "kind")?.as_str() {
+                "horizon" => StopCondition::Horizon {
+                    us: u64_field(s, "us")?,
+                },
+                "drain" => StopCondition::Drain {
+                    cap_ms: u64_field(s, "cap_ms")?,
+                },
+                other => return Err(format!("unknown stop kind '{other}'")),
+            },
+        };
+
+        let seeds = match v.get("seeds") {
+            None => vec![1],
+            Some(s) => s
+                .as_arr()
+                .ok_or("'seeds' must be an array")?
+                .iter()
+                .map(|x| x.as_u64().ok_or_else(|| "non-integer seed".to_string()))
+                .collect::<Result<Vec<u64>, String>>()?,
+        };
+
+        Ok(Scenario {
+            name,
+            topology,
+            link,
+            traffic,
+            cc,
+            overrides,
+            probes,
+            stop,
+            seeds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_net::ids::FlowId;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "incast-fattree".into(),
+            topology: TopologySpec::FatTree { k: 4 },
+            link: LinkSpec::default(),
+            traffic: TrafficSpec::Incast {
+                receiver: 0,
+                fan_in: 8,
+                size: 200_000,
+                waves: 2,
+                gap_us: 100,
+            },
+            cc: CcKind::Fncc,
+            overrides: CcOverrides::default(),
+            probes: ProbeSpec::micro(1000, 2),
+            stop: StopCondition::Drain { cap_ms: 50 },
+            seeds: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let sc = sample();
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn minimal_document_gets_defaults() {
+        let sc = Scenario::from_json(
+            r#"{"name":"mini",
+                "topology":{"kind":"dumbbell","senders":2,"switches":3},
+                "traffic":{"kind":"elephants","join_at_us":300},
+                "cc":"FNCC"}"#,
+        )
+        .unwrap();
+        assert_eq!(sc.link, LinkSpec::default());
+        assert_eq!(sc.overrides, CcOverrides::default());
+        assert_eq!(sc.stop, StopCondition::Drain { cap_ms: 200 });
+        assert_eq!(sc.seeds, vec![1]);
+        assert_eq!(sc.probes, ProbeSpec::default());
+    }
+
+    #[test]
+    fn instance_is_deterministic_per_seed() {
+        let sc = sample();
+        let (ta, fa) = sc.instance(7);
+        let (tb, fb) = sc.instance(7);
+        assert_eq!(ta.n_hosts, tb.n_hosts);
+        assert_eq!(fa, fb);
+        assert_eq!(fa.len(), 16);
+    }
+
+    #[test]
+    fn elephants_size_with_horizon() {
+        let sc = Scenario {
+            stop: StopCondition::Horizon { us: 1000 },
+            traffic: TrafficSpec::Elephants { join_at_us: 300 },
+            topology: TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            ..sample()
+        };
+        let (_, flows) = sc.instance(1);
+        assert_eq!(flows.len(), 2);
+        // 100 Gb/s × 1 ms × 1.5 / 8 = 18.75 MB.
+        assert_eq!(flows[0].size, 18_750_000);
+        assert_eq!(flows[0].start, SimTime::ZERO);
+        assert_eq!(flows[1].start, SimTime::from_us(300));
+    }
+
+    #[test]
+    fn congestion_point_per_pattern() {
+        // Dumbbell elephants: first switch on the path.
+        let dumbbell = Scenario {
+            topology: TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            traffic: TrafficSpec::Elephants { join_at_us: 300 },
+            ..sample()
+        };
+        let topo = dumbbell.topology.build(dumbbell.link);
+        assert_eq!(
+            dumbbell.congestion_point(&topo),
+            Some((SwitchId(0), 2)),
+            "dumbbell bottleneck is sw0's chain egress"
+        );
+        // Line with last-hop attach: the attach switch.
+        let line = Scenario {
+            topology: TopologySpec::Line {
+                switches: 3,
+                attach: vec![0, 2],
+            },
+            traffic: TrafficSpec::Elephants { join_at_us: 300 },
+            ..sample()
+        };
+        let topo = line.topology.build(line.link);
+        let (sw, _) = line.congestion_point(&topo).unwrap();
+        assert_eq!(sw, SwitchId(2));
+        // Incast: the receiver's attachment switch, host-facing port.
+        let inc = sample();
+        let topo = inc.topology.build(inc.link);
+        let (sw, port) = inc.congestion_point(&topo).unwrap();
+        let path = topo.trace_path(HostId(1), HostId(0), FlowId(0));
+        let (last, last_port) = *path.last().unwrap();
+        assert_eq!(NodeRef::Switch(sw), last);
+        assert_eq!(port, last_port);
+    }
+
+    #[test]
+    fn leaf_spine_scenario_builds_oversubscribed() {
+        let sc = Scenario::new(
+            "ls",
+            TopologySpec::LeafSpine {
+                leaves: 4,
+                spines: 2,
+                hosts_per_leaf: 8,
+            },
+            TrafficSpec::Poisson {
+                workload: Workload::FbHadoop,
+                load: 0.4,
+                flows: 64,
+            },
+            CcKind::Fncc,
+        );
+        let (topo, flows) = sc.instance(3);
+        assert_eq!(topo.n_hosts, 32);
+        assert_eq!(flows.len(), 64);
+    }
+
+    #[test]
+    fn bad_documents_report_errors() {
+        assert!(Scenario::from_json("{}").is_err());
+        assert!(Scenario::from_json(
+            r#"{"name":"x","topology":{"kind":"moebius"},
+                "traffic":{"kind":"elephants","join_at_us":1},"cc":"fncc"}"#
+        )
+        .is_err());
+        assert!(Scenario::from_json(
+            r#"{"name":"x","topology":{"kind":"star","hosts":4},
+                "traffic":{"kind":"elephants","join_at_us":1},"cc":"quic"}"#
+        )
+        .is_err());
+    }
+}

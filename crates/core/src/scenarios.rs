@@ -1,24 +1,26 @@
 //! The paper's experiments as library functions.
 //!
-//! Each scenario builds the exact topology and traffic of the corresponding
-//! evaluation section, runs it, and returns the series/statistics the paper
-//! plots. The `fncc-experiments` binary and the criterion benches are thin
-//! wrappers over these.
+//! Each function builds the declarative [`Scenario`] of the corresponding
+//! evaluation section, executes it through the unified
+//! [`crate::backend::Backend`] path (packet DES by default), and reshapes
+//! the [`RunReport`] into the rich result type the figure code plots. The
+//! `fncc-experiments` binary and the criterion benches are thin wrappers
+//! over these — or over [`crate::backend::run_scenario`] directly.
 
-use crate::metrics::{
-    average_slowdowns, fct_slowdowns, reaction_time, time_to_fair, SlowdownStats,
+use crate::backend::{Backend, PacketBackend};
+use crate::metrics::SlowdownStats;
+use crate::report::RunReport;
+use crate::scenario::{
+    CcOverrides, LinkSpec, ProbeSpec, Scenario, StopCondition, TopologySpec, TrafficSpec,
 };
-use crate::sim::{make_algo, Sim, SimBuilder};
-use fncc_cc::{CcAlgo, CcKind, FnccConfig};
+use fncc_cc::CcKind;
 use fncc_des::stats::TimeSeries;
-use fncc_des::time::{SimTime, TimeDelta};
-use fncc_net::ids::{FlowId, HostId, SwitchId};
+use fncc_des::time::TimeDelta;
 use fncc_net::topology::Topology;
 use fncc_net::units::Bandwidth;
 use fncc_transport::FlowSpec;
-use fncc_workloads::arrivals::{poisson_flows, PoissonConfig};
-use fncc_workloads::distributions::{fb_hadoop, web_search, FB_HADOOP_BUCKETS, WEB_SEARCH_BUCKETS};
-use fncc_workloads::patterns::staggered_fairness;
+
+pub use crate::scenario::Workload;
 
 /// Parameters of the §5.1/§5.2 elephant-flow microbenchmark (Figs. 1, 3, 9).
 #[derive(Clone, Debug)]
@@ -67,12 +69,61 @@ impl MicrobenchSpec {
         Bandwidth::gbps(self.line_gbps)
     }
 
-    fn algo(&self, topo: &Topology) -> CcAlgo {
-        let base_rtt = topo.base_rtt(1518, 70);
-        if self.cc == CcKind::Fncc && self.disable_lhcs {
-            CcAlgo::Fncc(FnccConfig::without_lhcs(self.line(), base_rtt))
-        } else {
-            make_algo(self.cc, self.line(), base_rtt)
+    fn overrides(&self) -> CcOverrides {
+        CcOverrides {
+            disable_lhcs: self.disable_lhcs,
+            // Ceiling to whole µs: a sub-µs refresh must not truncate to 0,
+            // which the scenario encoding reserves for "live reads".
+            int_refresh_us: self
+                .int_refresh
+                .map(|d| d.as_ps().div_ceil(1_000_000))
+                .unwrap_or(0),
+        }
+    }
+
+    /// The declarative form of the elephant dumbbell this spec describes.
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            name: format!("elephant-dumbbell-{}", self.cc.name()),
+            topology: TopologySpec::Dumbbell {
+                senders: self.n_senders,
+                switches: 3,
+            },
+            link: LinkSpec {
+                gbps: self.line_gbps,
+                prop_ns: 1500,
+            },
+            traffic: TrafficSpec::Elephants {
+                join_at_us: self.join_at_us,
+            },
+            cc: self.cc,
+            overrides: self.overrides(),
+            probes: ProbeSpec::micro(self.sample_ns, self.n_senders),
+            stop: StopCondition::Horizon {
+                us: self.horizon_us,
+            },
+            seeds: vec![self.seed],
+        }
+    }
+
+    /// The declarative form of the Fig. 11 hop-location study at `loc`.
+    pub fn scenario_at(&self, loc: HopLocation) -> Scenario {
+        Scenario {
+            name: format!("hop-{}-{}", loc.name(), self.cc.name()),
+            topology: TopologySpec::Line {
+                switches: 3,
+                attach: vec![0, loc.attach() as u32],
+            },
+            traffic: TrafficSpec::Elephants {
+                join_at_us: self.join_at_us,
+            },
+            probes: ProbeSpec {
+                sample_ns: self.sample_ns,
+                congestion_point: true,
+                flow_rates: 2,
+                cc_rates: 0,
+            },
+            ..self.scenario()
         }
     }
 }
@@ -109,134 +160,62 @@ pub struct ElephantResult {
     pub events: u64,
 }
 
-fn to_kb_series(src: &TimeSeries, name: &str) -> TimeSeries {
-    let mut out = TimeSeries::new(name);
-    for (t, v) in src.iter() {
-        out.push(t, v / 1024.0);
-    }
-    out
+/// Pull a renamed copy of the canonical `prefix{i}` series out of a report.
+fn renamed_series(
+    report: &RunReport,
+    prefix: &str,
+    n: u32,
+    rename: impl Fn(u32) -> String,
+) -> Vec<TimeSeries> {
+    (0..n)
+        .filter_map(|i| report.series(&format!("{prefix}{i}")))
+        .enumerate()
+        .map(|(i, s)| {
+            let mut s = s.clone();
+            s.name = rename(i as u32);
+            s
+        })
+        .collect()
 }
 
-fn to_gbps_series(src: &TimeSeries, name: &str) -> TimeSeries {
-    let mut out = TimeSeries::new(name);
-    for (t, v) in src.iter() {
-        out.push(t, v / 1e9);
+impl ElephantResult {
+    /// Reshape the unified report into the microbenchmark result.
+    fn from_report(spec: &MicrobenchSpec, report: &RunReport) -> ElephantResult {
+        let cc = spec.cc;
+        let mean_int_age_us: Vec<f64> = (0..)
+            .map(|h| report.scalar(&format!("int_age_us_hop{h}")))
+            .take_while(Option::is_some)
+            .flatten()
+            .collect();
+        ElephantResult {
+            cc,
+            line: spec.line(),
+            queue_kb: report.series("queue_kb").cloned().unwrap_or_default(),
+            util: report.series("util").cloned().unwrap_or_default(),
+            flow_rates_gbps: renamed_series(report, "flow", spec.n_senders, |i| {
+                format!("{}-flow{}", cc.name(), i)
+            }),
+            cc_rates_gbps: renamed_series(report, "cc", spec.n_senders, |i| {
+                format!("{}-cc{}", cc.name(), i)
+            }),
+            pause_frames: report.scalar("pause_frames").unwrap_or(0.0) as u64,
+            reaction_us: report.scalar("reaction_us"),
+            fair_convergence_us: report.scalar("fair_convergence_us"),
+            mean_int_age_us,
+            peak_queue_kb: report.scalar("peak_queue_kb").unwrap_or(0.0),
+            mean_util_after_join: report.scalar("mean_util").unwrap_or(0.0),
+            events: report.events,
+        }
     }
-    out
 }
 
 /// §5.1/§5.2: the dumbbell of Fig. 10 (M = 3 switches). Flow 0 starts at
 /// t = 0 at line rate; flow 1 joins at `join_at_us`. Returns the series of
-/// Figs. 1b–d, 3 and 9.
+/// Figs. 1b–d, 3 and 9. Runs through the unified `Scenario` → packet
+/// backend path.
 pub fn elephant_dumbbell(spec: &MicrobenchSpec) -> ElephantResult {
-    let line = spec.line();
-    let topo = Topology::dumbbell(spec.n_senders, 3, line, TimeDelta::from_ns(1500));
-    let receiver = HostId(spec.n_senders);
-    let horizon = SimTime::from_us(spec.horizon_us);
-    // Elephants: sized to outlive the horizon.
-    let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
-    let join = SimTime::from_us(spec.join_at_us);
-    let flows: Vec<FlowSpec> = (0..spec.n_senders)
-        .map(|i| FlowSpec {
-            id: FlowId(i),
-            src: HostId(i),
-            dst: receiver,
-            size: elephant,
-            start: if i == 0 { SimTime::ZERO } else { join },
-        })
-        .collect();
-
-    let bottleneck_sw = SwitchId(0);
-    let bottleneck_port =
-        Sim::egress_port_on_path(&topo, HostId(0), receiver, FlowId(0), bottleneck_sw)
-            .expect("bottleneck on path");
-
-    let algo = spec.algo(&topo);
-    let is_fncc = spec.cc == CcKind::Fncc;
-    let mut builder = SimBuilder::with_algo(topo, algo)
-        .fabric(|f| {
-            f.seed = spec.seed;
-            if is_fncc {
-                f.int_refresh = spec.int_refresh;
-            }
-        })
-        .flows(flows)
-        .sample(TimeDelta::from_ns(spec.sample_ns), horizon)
-        .watch_queue(bottleneck_sw, bottleneck_port, "queue")
-        .watch_util(bottleneck_sw, bottleneck_port, "util");
-    for i in 0..spec.n_senders {
-        builder = builder
-            .watch_flow(FlowId(i), format!("flow{i}"))
-            .watch_cc_rate(FlowId(i), HostId(i), format!("cc{i}"));
-    }
-    let mut sim = builder.build();
-    sim.run_until(horizon);
-
-    let telem = sim.telemetry();
-    let queue_kb = to_kb_series(
-        telem
-            .queue_series(bottleneck_sw, bottleneck_port)
-            .expect("queue watched"),
-        "queue_kb",
-    );
-    let util = telem
-        .util_series(bottleneck_sw, bottleneck_port)
-        .expect("util watched")
-        .clone();
-    let flow_rates_gbps: Vec<TimeSeries> = (0..spec.n_senders)
-        .map(|i| {
-            to_gbps_series(
-                telem.flow_rate_series(FlowId(i)).expect("flow watched"),
-                &format!("{}-flow{}", spec.cc.name(), i),
-            )
-        })
-        .collect();
-    let cc_rates_gbps: Vec<TimeSeries> = (0..spec.n_senders)
-        .map(|i| {
-            to_gbps_series(
-                telem.cc_rate_series(FlowId(i)).expect("cc rate watched"),
-                &format!("{}-cc{}", spec.cc.name(), i),
-            )
-        })
-        .collect();
-
-    let line_gbps = line.as_gbps_f64();
-    // Reaction: the first time flow 0's *control* rate falls clearly below
-    // its pre-join steady level (HPCC/FNCC idle at η·line, so an absolute
-    // line-rate threshold would trip on steady-state jitter).
-    let pre_join = cc_rates_gbps[0]
-        .mean_in(join - TimeDelta::from_us(20), join)
-        .max(0.5 * line_gbps);
-    let reaction = reaction_time(&cc_rates_gbps[0], join, 0.85 * pre_join).map(|t| t.as_us_f64());
-    let fair = line_gbps / spec.n_senders as f64;
-    let refs: Vec<&TimeSeries> = cc_rates_gbps.iter().collect();
-    let fair_convergence =
-        time_to_fair(&refs, fair, 0.15, TimeDelta::from_us(20), join).map(|t| t.as_us_f64());
-    let mean_int_age_us: Vec<f64> = (0..telem.int_age_hops())
-        .filter_map(|h| telem.mean_int_age(h).map(|a| a * 1e6))
-        .collect();
-    let pause_frames = sim.fabric().pause_frames_at(bottleneck_sw, 0)
-        + (1..spec.n_senders)
-            .map(|p| sim.fabric().pause_frames_at(bottleneck_sw, p as u8))
-            .sum::<u64>();
-    let peak_queue_kb = queue_kb.max();
-    let mean_util_after_join = util.mean_in(join, horizon);
-
-    ElephantResult {
-        cc: spec.cc,
-        line,
-        peak_queue_kb,
-        mean_util_after_join,
-        queue_kb,
-        util,
-        flow_rates_gbps,
-        cc_rates_gbps,
-        pause_frames,
-        reaction_us: reaction,
-        fair_convergence_us: fair_convergence,
-        mean_int_age_us,
-        events: sim.events_processed(),
-    }
+    let report = PacketBackend.run(&spec.scenario());
+    ElephantResult::from_report(spec, &report)
 }
 
 /// Where the two flows of Fig. 11 merge.
@@ -258,11 +237,6 @@ impl HopLocation {
             HopLocation::Middle => 1,
             HopLocation::Last => 2,
         }
-    }
-
-    /// The congested switch.
-    fn congested_switch(self) -> SwitchId {
-        SwitchId(self.attach() as u32)
     }
 
     /// Label used in reports.
@@ -304,78 +278,18 @@ pub struct HopCongestionResult {
 /// Flow 0 runs from switch 0; flow 1 joins at `spec.join_at_us` attached at
 /// the congestion switch.
 pub fn hop_congestion(loc: HopLocation, spec: &MicrobenchSpec) -> HopCongestionResult {
-    let line = spec.line();
-    let attach = [0usize, loc.attach()];
-    let topo = Topology::line(3, &attach, line, TimeDelta::from_ns(1500));
-    let receiver = HostId(2);
-    let horizon = SimTime::from_us(spec.horizon_us);
-    let join = SimTime::from_us(spec.join_at_us);
-    let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
-    let flows = vec![
-        FlowSpec {
-            id: FlowId(0),
-            src: HostId(0),
-            dst: receiver,
-            size: elephant,
-            start: SimTime::ZERO,
-        },
-        FlowSpec {
-            id: FlowId(1),
-            src: HostId(1),
-            dst: receiver,
-            size: elephant,
-            start: join,
-        },
-    ];
-
-    let sw = loc.congested_switch();
-    let port = Sim::egress_port_on_path(&topo, HostId(0), receiver, FlowId(0), sw)
-        .expect("congested switch on path");
-
-    let algo = spec.algo(&topo);
-    let is_fncc = spec.cc == CcKind::Fncc;
-    let mut sim = SimBuilder::with_algo(topo, algo)
-        .fabric(|f| {
-            f.seed = spec.seed;
-            if is_fncc {
-                f.int_refresh = spec.int_refresh;
-            }
-        })
-        .flows(flows)
-        .sample(TimeDelta::from_ns(spec.sample_ns), horizon)
-        .watch_queue(sw, port, "queue")
-        .watch_util(sw, port, "util")
-        .watch_flow(FlowId(0), "flow0")
-        .watch_flow(FlowId(1), "flow1")
-        .build();
-    sim.run_until(horizon);
-
-    let telem = sim.telemetry();
-    let queue_kb = to_kb_series(telem.queue_series(sw, port).unwrap(), "queue_kb");
-    let util = telem.util_series(sw, port).unwrap().clone();
-    let flow_rates_gbps: Vec<TimeSeries> = (0..2)
-        .map(|i| {
-            to_gbps_series(
-                telem.flow_rate_series(FlowId(i)).unwrap(),
-                &format!("flow{i}"),
-            )
-        })
-        .collect();
-    let lhcs_triggers = (0..2u32)
-        .map(|i| sim.host(HostId(i)).lhcs_triggers(FlowId(i)).unwrap_or(0))
-        .sum();
-
+    let report = PacketBackend.run(&spec.scenario_at(loc));
     HopCongestionResult {
         cc: spec.cc,
         location: loc,
         lhcs: spec.cc == CcKind::Fncc && !spec.disable_lhcs,
-        peak_queue_kb: queue_kb.max(),
-        mean_queue_kb: queue_kb.mean_in(join, horizon),
-        mean_util: util.mean_in(join, horizon),
-        queue_kb,
-        util,
-        flow_rates_gbps,
-        lhcs_triggers,
+        queue_kb: report.series("queue_kb").cloned().unwrap_or_default(),
+        util: report.series("util").cloned().unwrap_or_default(),
+        flow_rates_gbps: renamed_series(&report, "flow", 2, |i| format!("flow{i}")),
+        peak_queue_kb: report.scalar("peak_queue_kb").unwrap_or(0.0),
+        mean_queue_kb: report.scalar("mean_queue_kb").unwrap_or(0.0),
+        mean_util: report.scalar("mean_util").unwrap_or(0.0),
+        lhcs_triggers: report.scalar("lhcs_triggers").unwrap_or(0.0) as u64,
     }
 }
 
@@ -392,82 +306,47 @@ pub struct FairnessResult {
     pub all_finished: bool,
 }
 
+/// The declarative form of the §5.3 staircase.
+pub fn staircase_scenario(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) -> Scenario {
+    let interval_us = interval.as_ps() / 1_000_000;
+    let horizon_us = interval_us * (2 * n as u64) + 200;
+    let sample_ns = (interval_us * 1000 / 200).max(1000);
+    Scenario {
+        name: format!("fairness-staircase-{}", cc.name()),
+        topology: TopologySpec::Dumbbell {
+            senders: n,
+            switches: 3,
+        },
+        link: LinkSpec::default(),
+        traffic: TrafficSpec::Staircase { interval_us },
+        cc,
+        overrides: CcOverrides::default(),
+        probes: ProbeSpec {
+            sample_ns,
+            congestion_point: false,
+            flow_rates: n,
+            cc_rates: 0,
+        },
+        stop: StopCondition::Horizon { us: horizon_us },
+        seeds: vec![seed],
+    }
+}
+
 /// §5.3: `n` senders join a shared 100 G bottleneck one `interval` apart and
 /// leave in join order (Fig. 13e; the paper uses 100 ms intervals — pass a
 /// compressed interval for cheap runs; the dynamics are interval-invariant).
 pub fn fairness_staircase(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) -> FairnessResult {
-    let line = Bandwidth::gbps(100);
-    let topo = Topology::dumbbell(n, 3, line, TimeDelta::from_ns(1500));
-    let receiver = HostId(n);
-    let flows = staggered_fairness(n, receiver, line, interval);
-    let horizon = SimTime::ZERO + interval * (2 * n as u64) + TimeDelta::from_us(200);
-    let sample = TimeDelta::from_ps((interval.as_ps() / 200).max(1_000_000));
-
-    let mut builder = SimBuilder::new(topo, cc)
-        .fabric(|f| f.seed = seed)
-        .flows(flows)
-        .sample(sample, horizon);
-    for i in 0..n {
-        builder = builder.watch_flow(FlowId(i), format!("flow{i}"));
-    }
-    let mut sim = builder.build();
-    sim.run_until(horizon);
-
-    let telem = sim.telemetry();
-    let flow_rates_gbps: Vec<TimeSeries> = (0..n)
-        .map(|i| {
-            to_gbps_series(
-                telem.flow_rate_series(FlowId(i)).unwrap(),
-                &format!("flow{i}"),
-            )
-        })
+    let report = PacketBackend.run(&staircase_scenario(cc, n, interval, seed));
+    let jain_per_period: Vec<f64> = (0..)
+        .map(|p| report.scalar(&format!("jain_p{p}")))
+        .take_while(Option::is_some)
+        .flatten()
         .collect();
-
-    // Jain index at each period midpoint over flows active in that period.
-    let mut jain_per_period = Vec::new();
-    for p in 0..(2 * n).saturating_sub(1) {
-        let mid = SimTime::ZERO + interval * p as u64 + interval / 2;
-        let active: Vec<f64> = (0..n)
-            .filter(|&i| i <= p && p < n + i)
-            .map(|i| flow_rates_gbps[i as usize].mean_in(mid - interval / 4, mid + interval / 4))
-            .collect();
-        if !active.is_empty() {
-            jain_per_period.push(fncc_des::stats::jain_index(&active));
-        }
-    }
-
     FairnessResult {
         cc,
-        flow_rates_gbps,
+        flow_rates_gbps: renamed_series(&report, "flow", n, |i| format!("flow{i}")),
         jain_per_period,
-        all_finished: telem.all_flows_finished(),
-    }
-}
-
-/// Which §5.5 trace to draw flow sizes from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Workload {
-    /// DCTCP WebSearch (Fig. 14).
-    WebSearch,
-    /// Facebook Hadoop (Fig. 15).
-    FbHadoop,
-}
-
-impl Workload {
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Workload::WebSearch => "WebSearch",
-            Workload::FbHadoop => "FB_Hadoop",
-        }
-    }
-
-    /// The reporting buckets of the corresponding figure.
-    pub fn buckets(self) -> &'static [u64] {
-        match self {
-            Workload::WebSearch => &WEB_SEARCH_BUCKETS,
-            Workload::FbHadoop => &FB_HADOOP_BUCKETS,
-        }
+        all_finished: report.scalar("all_finished") == Some(1.0),
     }
 }
 
@@ -504,32 +383,39 @@ impl WorkloadSpec {
         }
     }
 
+    /// The declarative form of the §5.5 fat-tree workload run.
+    pub fn scenario(&self) -> Scenario {
+        Scenario {
+            name: format!(
+                "fattree-{}-{}",
+                self.workload.name().to_ascii_lowercase(),
+                self.cc.name()
+            ),
+            topology: TopologySpec::FatTree { k: self.k },
+            link: LinkSpec {
+                gbps: self.line_gbps,
+                prop_ns: 1500,
+            },
+            traffic: TrafficSpec::Poisson {
+                workload: self.workload,
+                load: self.load,
+                flows: self.n_flows,
+            },
+            cc: self.cc,
+            overrides: CcOverrides::default(),
+            probes: ProbeSpec::default(),
+            stop: StopCondition::Drain { cap_ms: 200 },
+            seeds: self.seeds.clone(),
+        }
+    }
+
     /// The exact (topology, flow set) this spec produces for `seed`.
     ///
-    /// Single source of truth shared by the packet and fluid backends
-    /// ([`fattree_workload`] / `fncc_core::backend::fattree_workload_fluid`)
-    /// — identical inputs are what make cross-backend slowdown tables
+    /// Single source of truth shared by the packet and fluid backends —
+    /// identical inputs are what make cross-backend slowdown tables
     /// directly comparable.
     pub fn instance(&self, seed: u64) -> (Topology, Vec<FlowSpec>) {
-        let line = Bandwidth::gbps(self.line_gbps);
-        let cdf = match self.workload {
-            Workload::WebSearch => web_search(),
-            Workload::FbHadoop => fb_hadoop(),
-        };
-        let topo = Topology::fat_tree(self.k, line, TimeDelta::from_ns(1500));
-        let flows = poisson_flows(
-            &PoissonConfig {
-                n_hosts: topo.n_hosts,
-                line,
-                load: self.load,
-                n_flows: self.n_flows,
-                first_id: 0,
-                start: SimTime::ZERO,
-                seed,
-            },
-            &cdf,
-        );
-        (topo, flows)
+        self.scenario().instance(seed)
     }
 }
 
@@ -548,42 +434,24 @@ pub struct WorkloadResult {
     pub events: u64,
 }
 
+impl WorkloadResult {
+    /// Reshape the unified report into the workload result.
+    pub fn from_report(spec: &WorkloadSpec, report: &RunReport) -> WorkloadResult {
+        WorkloadResult {
+            cc: spec.cc,
+            workload: spec.workload,
+            rows: report.slowdowns.clone(),
+            unfinished: report.unfinished.clone(),
+            events: report.events,
+        }
+    }
+}
+
 /// §5.5: Poisson arrivals from the chosen trace on a k-ary fat-tree with
 /// symmetric ECMP; reports FCT-slowdown statistics per flow-size bucket.
 pub fn fattree_workload(spec: &WorkloadSpec) -> WorkloadResult {
-    let mut runs = Vec::with_capacity(spec.seeds.len());
-    let mut unfinished = Vec::with_capacity(spec.seeds.len());
-    let mut events = 0u64;
-    for &seed in &spec.seeds {
-        let (topo, flows) = spec.instance(seed);
-        let last_start = flows.last().unwrap().start;
-        let cap = last_start + TimeDelta::from_ms(200);
-        let mut sim = SimBuilder::new(topo, spec.cc)
-            .fabric(|f| f.seed = seed)
-            .flows(flows)
-            .build();
-        sim.run_to_completion(TimeDelta::from_ms(1), cap);
-        let telem = sim.telemetry();
-        let not_done = telem.flow_records().filter(|r| r.finish.is_none()).count();
-        unfinished.push(not_done);
-        let payload = sim.fabric().cfg.mtu_payload();
-        let header = sim.fabric().cfg.data_header;
-        runs.push(fct_slowdowns(
-            &sim.topo,
-            telem,
-            spec.workload.buckets(),
-            payload,
-            header,
-        ));
-        events += sim.events_processed();
-    }
-    WorkloadResult {
-        cc: spec.cc,
-        workload: spec.workload,
-        rows: average_slowdowns(&runs),
-        unfinished,
-        events,
-    }
+    let report = PacketBackend.run(&spec.scenario());
+    WorkloadResult::from_report(spec, &report)
 }
 
 #[cfg(test)]
@@ -690,5 +558,25 @@ mod tests {
                 assert!(b.p99 >= b.p50);
             }
         }
+    }
+
+    #[test]
+    fn microbench_scenario_is_faithful() {
+        let spec = quick(CcKind::Fncc);
+        let sc = spec.scenario();
+        let (topo, flows) = sc.instance(1);
+        assert_eq!(topo.n_hosts, 3);
+        assert_eq!(flows.len(), 2);
+        // 100 Gb/s × 500 µs × 1.5 / 8 = 9.375 MB elephants.
+        assert_eq!(flows[0].size, 9_375_000);
+        // Live-read override maps to 0 and back to None.
+        let mut live = quick(CcKind::Fncc);
+        live.int_refresh = None;
+        assert_eq!(live.scenario().overrides.int_refresh_us, 0);
+        assert_eq!(live.scenario().overrides.int_refresh(), None);
+        // A sub-µs refresh must not truncate to the live-reads encoding.
+        let mut fine = quick(CcKind::Fncc);
+        fine.int_refresh = Some(TimeDelta::from_ns(500));
+        assert_eq!(fine.scenario().overrides.int_refresh_us, 1);
     }
 }

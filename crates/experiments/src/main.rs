@@ -1,15 +1,21 @@
-//! `fncc-repro` — regenerate the FNCC paper's tables and figures.
+//! `fncc-repro` — regenerate the FNCC paper's tables and figures, or run
+//! any declarative scenario file on any backend.
 //!
 //! ```text
 //! fncc-repro [EXPERIMENT…] [--out DIR] [--quick|--full] [--threads N]
 //!            [--seeds N] [--flows N] [--backend packet|fluid]
+//! fncc-repro run SCENARIO.json… [--backend packet|fluid] [--out DIR]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
-//!              fig15 ablate storm extra-cc all   (default: all)
+//!              fig15 ablate storm load-sweep extra-cc check all
+//!              (default: all; `all` runs each once — `storm` is already
+//!              part of `ablate`)
 //!
 //! `--backend fluid` swaps the packet DES for the flow-level fast path in
-//! the workload experiments (fig14, fig15, load-sweep) — same flow sets,
-//! orders of magnitude faster, slowdowns within the cross-validated band.
+//! the workload experiments (fig14, fig15, load-sweep) and in `run` —
+//! same flow sets, orders of magnitude faster, slowdowns within the
+//! cross-validated band. `run` executes a `Scenario` JSON file through the
+//! unified Backend path and writes a `*.report.json` artifact.
 //! ```
 
 use fncc_experiments::{ablation, figs, scorecard, workload_figs, RunOpts, Scale};
@@ -20,6 +26,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fncc-repro [EXPERIMENT...] [--out DIR] [--quick|--full] \
          [--threads N] [--seeds N] [--flows N] [--backend packet|fluid]\n\
+         \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid] [--out DIR]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
          fig14 fig15 ablate storm load-sweep extra-cc check all"
     );
@@ -58,7 +65,7 @@ fn main() {
             "--backend" => {
                 opts.backend = args
                     .next()
-                    .and_then(|s| fncc_core::SimBackend::parse(&s))
+                    .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
             "-h" | "--help" => usage(),
@@ -71,10 +78,52 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    for exp in &experiments {
-        run_one(exp, &opts);
+    if experiments[0] == "run" {
+        if experiments.len() < 2 {
+            eprintln!("'run' needs at least one scenario file");
+            usage();
+        }
+        for path in &experiments[1..] {
+            run_scenario_file(path, &opts);
+        }
+    } else {
+        for exp in &experiments {
+            run_one(exp, &opts);
+        }
     }
     println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Execute one scenario JSON file on the selected backend and persist the
+/// unified report artifact next to the CSVs.
+fn run_scenario_file(path: &str, opts: &RunOpts) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match fncc_core::Scenario::from_json(&text) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = Instant::now();
+    let report = fncc_core::run_scenario(&scenario, opts.backend);
+    report.print_summary();
+    let artifact = opts.out.join(report.artifact_file_name());
+    match report.write_json(&artifact) {
+        Ok(()) => println!("[json] {}", artifact.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", artifact.display()),
+    }
+    println!(
+        "[run {}] done in {:.1}s",
+        scenario.name,
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn run_one(exp: &str, opts: &RunOpts) {
@@ -119,8 +168,9 @@ fn run_one(exp: &str, opts: &RunOpts) {
                 "fig13e",
                 "fig14",
                 "fig15",
+                // `ablate` already includes the pause-storm injection, so
+                // `storm` is not repeated here.
                 "ablate",
-                "storm",
                 "load-sweep",
                 "extra-cc",
                 "check",

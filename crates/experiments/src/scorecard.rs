@@ -232,6 +232,39 @@ pub fn check(opts: &RunOpts) -> usize {
         ]);
     }
     crate::report::emit_table(&opts.out, "scorecard", "Reproduction scorecard", &t);
+
+    // The machine-readable verdict, in the same dependency-free JSON the
+    // RunReport artifacts use — CI and dashboards consume one format.
+    use fncc_core::json::{obj, Json};
+    let artifact = obj([
+        ("schema", Json::Str("fncc.scorecard/v1".into())),
+        ("passed", Json::Num((checks.len() - failed) as f64)),
+        ("failed", Json::Num(failed as f64)),
+        (
+            "checks",
+            Json::Arr(
+                checks
+                    .iter()
+                    .map(|c| {
+                        obj([
+                            ("id", Json::Str(c.id.into())),
+                            ("claim", Json::Str(c.claim.into())),
+                            ("measured", Json::Str(c.measured.clone())),
+                            ("pass", Json::Bool(c.pass)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = opts.out.join("scorecard.json");
+    let write = std::fs::create_dir_all(&opts.out)
+        .and_then(|()| std::fs::write(&path, artifact.to_string_pretty()));
+    match write {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
     println!(
         "\n{}/{} claims reproduced",
         checks.len() - failed,

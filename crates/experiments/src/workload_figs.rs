@@ -1,11 +1,13 @@
-//! Figures 14 and 15 — large-scale fat-tree workload runs.
+//! Figures 14 and 15 — large-scale fat-tree workload runs, executed
+//! through the unified `Scenario` → `Backend` → `RunReport` path (so
+//! `--backend fluid` swaps engines without touching this code).
 
 use crate::report::{emit_table, f2};
 use crate::RunOpts;
 use fncc_cc::CcKind;
-use fncc_core::backend::fattree_workload_on;
-use fncc_core::scenarios::{Workload, WorkloadResult, WorkloadSpec};
+use fncc_core::scenarios::{Workload, WorkloadSpec};
 use fncc_core::sweep::run_parallel;
+use fncc_core::{run_scenario, RunReport};
 use fncc_des::output::Table;
 
 fn spec(cc: CcKind, workload: Workload, opts: &RunOpts) -> WorkloadSpec {
@@ -24,11 +26,11 @@ fn run(workload: Workload, fig: &str, opts: &RunOpts) {
     let jobs: Vec<_> = ccs
         .iter()
         .map(|&cc| {
-            let s = spec(cc, workload, opts);
-            move || fattree_workload_on(&s, backend)
+            let sc = spec(cc, workload, opts).scenario();
+            move || run_scenario(&sc, backend)
         })
         .collect();
-    let results: Vec<WorkloadResult> = run_parallel(jobs, opts.threads);
+    let results: Vec<RunReport> = run_parallel(jobs, opts.threads);
 
     for (stat, pick) in [("average", 0usize), ("median", 1), ("95th", 2), ("99th", 3)] {
         let mut t = Table::new([
@@ -41,8 +43,8 @@ fn run(workload: Workload, fig: &str, opts: &RunOpts) {
         ]);
         let buckets = workload.buckets();
         for (b, &upper) in buckets.iter().enumerate() {
-            let val = |r: &WorkloadResult| -> f64 {
-                let row = &r.rows[b];
+            let val = |r: &RunReport| -> f64 {
+                let row = &r.slowdowns[b];
                 match pick {
                     0 => row.avg,
                     1 => row.p50,
@@ -51,7 +53,7 @@ fn run(workload: Workload, fig: &str, opts: &RunOpts) {
                 }
             };
             let (d, h, f) = (val(&results[0]), val(&results[1]), val(&results[2]));
-            if results.iter().all(|r| r.rows[b].count == 0) {
+            if results.iter().all(|r| r.slowdowns[b].count == 0) {
                 continue;
             }
             let pct = |base: f64| {
@@ -82,15 +84,28 @@ fn run(workload: Workload, fig: &str, opts: &RunOpts) {
         );
     }
 
-    let mut meta = Table::new(["cc", "flows_per_seed", "seeds", "unfinished", "events"]);
+    let mut meta = Table::new([
+        "cc",
+        "backend",
+        "flows_per_seed",
+        "seeds",
+        "unfinished",
+        "events",
+    ]);
     for r in &results {
         meta.row([
-            r.cc.name().to_string(),
+            r.cc.clone(),
+            r.backend.clone(),
             opts.workload_flows().to_string(),
-            r.unfinished.len().to_string(),
+            r.seeds.len().to_string(),
             format!("{:?}", r.unfinished),
             r.events.to_string(),
         ]);
+        // Persist the unified artifact alongside the CSVs.
+        let path = opts.out.join(r.artifact_file_name());
+        if let Err(e) = r.write_json(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
     }
     emit_table(
         &opts.out,
@@ -123,20 +138,16 @@ pub fn load_sweep(opts: &RunOpts) {
                 let mut s = spec(cc, Workload::FbHadoop, opts);
                 s.load = load;
                 s.k = 4; // pocket fabric keeps the sweep cheap
-                move || fattree_workload_on(&s, backend)
+                let sc = s.scenario();
+                move || run_scenario(&sc, backend)
             })
             .collect();
         for r in run_parallel(jobs, opts.threads) {
-            let (mut sum, mut n, mut p99max) = (0.0, 0usize, 0.0f64);
-            for b in &r.rows {
-                sum += b.avg * b.count as f64;
-                n += b.count;
-                p99max = p99max.max(b.p99);
-            }
+            let p99max = r.slowdowns.iter().map(|b| b.p99).fold(0.0f64, f64::max);
             t.row([
                 format!("{:.0}%", load * 100.0),
-                r.cc.name().to_string(),
-                f2(sum / n.max(1) as f64),
+                r.cc.clone(),
+                f2(r.mean_slowdown().unwrap_or(f64::NAN)),
                 f2(p99max),
                 format!("{:?}", r.unfinished),
             ]);

@@ -44,6 +44,8 @@ pub enum TopologyKind {
     Line,
     /// Three-level fat-tree with parameter k.
     FatTree(u32),
+    /// Two-level leaf–spine (leaves, spines).
+    LeafSpine(u32, u32),
     /// Single switch.
     Star,
     /// Anything else.
@@ -571,6 +573,119 @@ impl Topology {
         t
     }
 
+    /// Two-level leaf–spine: `leaves` leaf switches with `hosts_per_leaf`
+    /// hosts each, every leaf wired to every one of `spines` spine switches.
+    /// All links run at `bw`, so the fabric oversubscription ratio is
+    /// `hosts_per_leaf / spines` — pick `hosts_per_leaf > spines` for an
+    /// oversubscribed fabric (e.g. 8 hosts over 2 spines = 4:1).
+    ///
+    /// Routing is symmetric ECMP exactly as in the fat-tree's lower levels:
+    /// the leaf's up-choice uses hash digit 0 over uplinks in canonical
+    /// (spine-index) order, so a flow's ACKs retrace its data path and
+    /// FNCC's return-path INT stays valid.
+    pub fn leaf_spine(
+        leaves: u32,
+        spines: u32,
+        hosts_per_leaf: u32,
+        bw: Bandwidth,
+        prop: TimeDelta,
+    ) -> Topology {
+        assert!(leaves >= 2 && spines >= 1 && hosts_per_leaf >= 1);
+        assert!(
+            hosts_per_leaf + spines <= u8::MAX as u32 + 1,
+            "leaf port count exceeds u8 port indices"
+        );
+        assert!(leaves <= u8::MAX as u32 + 1, "spine port count exceeds u8");
+        let n_hosts = leaves * hosts_per_leaf;
+        let leaf_id = |l: u32| SwitchId(l);
+        let spine_id = |s: u32| SwitchId(leaves + s);
+        let leaf_of = |h: HostId| h.0 / hosts_per_leaf;
+        let slot_of = |h: HostId| h.0 % hosts_per_leaf;
+
+        let mut host_ports = vec![
+            PortSpec {
+                peer: NodeRef::Host(HostId(0)),
+                peer_port: 0,
+                bw,
+                prop
+            };
+            n_hosts as usize
+        ];
+        let mut switches: Vec<SwitchSpec> = Vec::with_capacity((leaves + spines) as usize);
+
+        // Leaf switches: host ports first, then one uplink per spine.
+        for l in 0..leaves {
+            let mut ports = Vec::with_capacity((hosts_per_leaf + spines) as usize);
+            for i in 0..hosts_per_leaf {
+                let h = HostId(l * hosts_per_leaf + i);
+                ports.push(PortSpec {
+                    peer: NodeRef::Host(h),
+                    peer_port: 0,
+                    bw,
+                    prop,
+                });
+                host_ports[h.ix()] = PortSpec {
+                    peer: NodeRef::Switch(leaf_id(l)),
+                    peer_port: i as u8,
+                    bw,
+                    prop,
+                };
+            }
+            for s in 0..spines {
+                ports.push(PortSpec {
+                    peer: NodeRef::Switch(spine_id(s)),
+                    peer_port: l as u8,
+                    bw,
+                    prop,
+                });
+            }
+            let mut entries = Vec::with_capacity(n_hosts as usize);
+            for hid in 0..n_hosts {
+                let h = HostId(hid);
+                entries.push(if leaf_of(h) == l {
+                    RouteEntry::Single(slot_of(h) as u8)
+                } else {
+                    RouteEntry::Ecmp {
+                        ports: (hosts_per_leaf as u8..(hosts_per_leaf + spines) as u8).collect(),
+                        level: 0,
+                    }
+                });
+            }
+            switches.push(SwitchSpec {
+                ports,
+                route: RoutingTable::PerDst(entries),
+            });
+        }
+        // Spine switches: port l goes to leaf l.
+        for s in 0..spines {
+            let mut ports = Vec::with_capacity(leaves as usize);
+            for l in 0..leaves {
+                ports.push(PortSpec {
+                    peer: NodeRef::Switch(leaf_id(l)),
+                    peer_port: (hosts_per_leaf + s) as u8,
+                    bw,
+                    prop,
+                });
+            }
+            let entries = (0..n_hosts)
+                .map(|hid| RouteEntry::Single(leaf_of(HostId(hid)) as u8))
+                .collect();
+            switches.push(SwitchSpec {
+                ports,
+                route: RoutingTable::PerDst(entries),
+            });
+        }
+
+        let t = Topology {
+            kind: TopologyKind::LeafSpine(leaves, spines),
+            n_hosts,
+            host_ports,
+            switches,
+        };
+        t.validate();
+        t
+    }
+
     /// Dragonfly (§3.1 Observation 2): `groups` groups of `routers_per_group`
     /// routers, full mesh inside each group, one global link per group pair
     /// assigned round-robin to routers, `hosts_per_router` hosts each.
@@ -1044,6 +1159,51 @@ mod tests {
     }
 
     #[test]
+    fn leaf_spine_shape_and_paths() {
+        // 4 leaves × 8 hosts over 2 spines: 4:1 oversubscription.
+        let t = Topology::leaf_spine(4, 2, 8, BW, PROP);
+        assert_eq!(t.n_hosts, 32);
+        assert_eq!(t.n_switches(), 6);
+        for l in 0..4 {
+            assert_eq!(t.switches[l].ports.len(), 10);
+        }
+        for s in 4..6 {
+            assert_eq!(t.switches[s].ports.len(), 4);
+        }
+        // Intra-leaf: one switch; inter-leaf: leaf–spine–leaf.
+        assert_eq!(
+            t.path_switches(HostId(0), HostId(1), FlowId(0)),
+            vec![SwitchId(0)]
+        );
+        let p = t.path_switches(HostId(0), HostId(31), FlowId(5));
+        assert_eq!(p.len(), 3, "leaf-spine-leaf, got {p:?}");
+        assert_eq!(p[0], SwitchId(0));
+        assert_eq!(p[2], SwitchId(3));
+        assert!(p[1].0 >= 4 && p[1].0 < 6, "middle hop not a spine: {p:?}");
+    }
+
+    #[test]
+    fn leaf_spine_paths_are_symmetric_and_spread() {
+        let t = Topology::leaf_spine(6, 4, 6, BW, PROP);
+        let mut spines_seen = std::collections::HashSet::new();
+        for f in 0..60u32 {
+            let src = HostId((f * 7) % 36);
+            let dst = HostId((f * 13 + 11) % 36);
+            if src == dst {
+                continue;
+            }
+            let fwd = t.path_switches(src, dst, FlowId(f));
+            let mut rev = t.path_switches(dst, src, FlowId(f));
+            rev.reverse();
+            assert_eq!(fwd, rev, "asymmetric leaf-spine path, flow {f}");
+            if fwd.len() == 3 {
+                spines_seen.insert(fwd[1]);
+            }
+        }
+        assert!(spines_seen.len() >= 3, "ECMP stuck on {spines_seen:?}");
+    }
+
+    #[test]
     fn base_rtt_dumbbell_matches_hand_computation() {
         let prop = TimeDelta::from_ns(1500);
         let t = Topology::dumbbell(2, 3, BW, prop);
@@ -1109,6 +1269,7 @@ mod tests {
         Topology::line(3, &[0, 1], BW, PROP).validate();
         Topology::star(8, BW, PROP).validate();
         Topology::fat_tree(4, BW, PROP).validate();
+        Topology::leaf_spine(3, 2, 4, BW, PROP).validate();
         Topology::jellyfish(8, 3, 2, BW, PROP, 1, 4).validate();
     }
 

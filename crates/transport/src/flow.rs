@@ -6,7 +6,7 @@ use fncc_net::ids::{FlowId, HostId};
 
 /// A flow (one RDMA QP): `size` application bytes from `src` to `dst`,
 /// eligible to send from `start`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlowSpec {
     /// Globally unique flow id.
     pub id: FlowId,

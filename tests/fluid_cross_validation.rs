@@ -1,63 +1,54 @@
 //! Cross-validation: the fluid backend's FCT slowdowns must stay within a
 //! 15% band of the packet DES backend on shared small-scale scenarios.
 //!
-//! Both backends receive *identical* topologies and flow sets (same seeds
-//! drive the same generators), so disagreement is purely modeling error:
+//! Both backends execute the *same* declarative [`Scenario`] through the
+//! unified `Backend` trait — identical topologies and flow sets (same seeds
+//! drive the same generators) — so disagreement is purely modeling error:
 //! what the fluid backend gives up by replacing per-packet dynamics with
 //! max-min rate shares plus the RateModel's steady-state knobs.
 
 use fncc::cc::CcKind;
-use fncc::core::backend::{fattree_workload_on, SimBackend};
-use fncc::core::scenarios::{Workload, WorkloadResult, WorkloadSpec};
-use fncc::core::sim::SimBuilder;
-use fncc::des::{SimTime, TimeDelta};
-use fncc::net::ids::{FlowId, HostId};
-use fncc::net::topology::Topology;
-use fncc::net::units::Bandwidth;
-use fncc::transport::FlowSpec;
-use fncc_fluid::{FluidSim, RateModel};
+use fncc::core::prelude::*;
 
 const BAND: f64 = 0.15;
 
-fn weighted_mean_slowdown(r: &WorkloadResult) -> f64 {
-    let (mut sum, mut n) = (0.0, 0usize);
-    for b in &r.rows {
-        sum += b.avg * b.count as f64;
-        n += b.count;
-    }
-    sum / n.max(1) as f64
-}
-
-fn xval_workload(cc: CcKind, workload: Workload) {
-    let spec = WorkloadSpec {
-        cc,
-        workload,
-        load: 0.5,
-        n_flows: 120,
-        seeds: vec![1, 2],
-        k: 4,
-        line_gbps: 100,
-    };
-    let packet = fattree_workload_on(&spec, SimBackend::Packet);
-    let fluid = fattree_workload_on(&spec, SimBackend::Fluid);
+/// Run one scenario on both backends and return their mean slowdowns.
+fn both_backends(sc: &Scenario) -> (f64, f64) {
+    let packet = run_scenario(sc, SimBackend::Packet);
+    let fluid = run_scenario(sc, SimBackend::Fluid);
     assert!(
         packet.unfinished.iter().all(|&u| u == 0),
-        "{cc:?} packet unfinished"
+        "{}: packet unfinished",
+        sc.name
     );
     assert!(
         fluid.unfinished.iter().all(|&u| u == 0),
-        "{cc:?} fluid unfinished"
+        "{}: fluid unfinished",
+        sc.name
     );
-    let (p, f) = (
-        weighted_mean_slowdown(&packet),
-        weighted_mean_slowdown(&fluid),
-    );
+    (
+        packet.mean_slowdown().expect("packet slowdowns"),
+        fluid.mean_slowdown().expect("fluid slowdowns"),
+    )
+}
+
+fn assert_within_band(name: &str, p: f64, f: f64) {
     let rel = (f - p) / p;
     assert!(
         rel.abs() < BAND,
-        "{cc:?}/{workload:?}: fluid {f:.3} vs packet {p:.3} — off by {:+.1}%",
+        "{name}: fluid {f:.3} vs packet {p:.3} — off by {:+.1}%",
         rel * 100.0
     );
+}
+
+fn xval_workload(cc: CcKind, workload: Workload) {
+    let mut spec = WorkloadSpec::new(cc, workload);
+    spec.load = 0.5;
+    spec.n_flows = 120;
+    spec.seeds = vec![1, 2];
+    spec.k = 4;
+    let (p, f) = both_backends(&spec.scenario());
+    assert_within_band(&format!("{cc:?}/{workload:?}"), p, f);
 }
 
 #[test]
@@ -90,63 +81,33 @@ fn dcqcn_websearch_within_band() {
     xval_workload(CcKind::Dcqcn, Workload::WebSearch);
 }
 
-/// The §5.1 microbenchmark shape, cross-backend: two elephants sharing the
-/// dumbbell bottleneck. The packet DES drains them at the CC's fair share;
-/// the fluid model must land within the band on both flows' FCTs.
+/// The §5.1 microbenchmark shape, cross-backend: two 2 MB elephants share
+/// the dumbbell bottleneck from t = 0 (expressed as a one-wave incast of
+/// the dumbbell's two senders). The packet DES drains them at the CC's
+/// fair share; the fluid model must land within the band.
 #[test]
 fn dumbbell_elephants_within_band() {
-    let line = Bandwidth::gbps(100);
-    let size = 2_000_000u64; // 2 MB each — long enough to reach steady state
-    let flows = vec![
-        FlowSpec {
-            id: FlowId(0),
-            src: HostId(0),
-            dst: HostId(2),
-            size,
-            start: SimTime::ZERO,
-        },
-        FlowSpec {
-            id: FlowId(1),
-            src: HostId(1),
-            dst: HostId(2),
-            size,
-            start: SimTime::ZERO,
-        },
-    ];
-
-    let topo = Topology::dumbbell(2, 3, line, TimeDelta::from_ns(1500));
-    let mut sim = SimBuilder::new(topo.clone(), CcKind::Fncc)
-        .flows(flows.clone())
-        .build();
-    assert!(sim.run_to_completion(TimeDelta::from_us(50), SimTime::from_ms(20)));
-    let packet_fct: Vec<f64> = (0..2)
-        .map(|i| {
-            sim.telemetry()
-                .flow_record(FlowId(i))
-                .and_then(|r| r.fct())
-                .expect("flow finished")
-                .as_secs_f64()
-        })
-        .collect();
-
-    let fluid = FluidSim::new(topo, RateModel::paper_default(CcKind::Fncc))
-        .flows(flows)
-        .run();
-    for i in 0..2u32 {
-        let f = fluid
-            .telemetry
-            .flow_record(FlowId(i))
-            .and_then(|r| r.fct())
-            .expect("fluid flow finished")
-            .as_secs_f64();
-        let p = packet_fct[i as usize];
-        let rel = (f - p) / p;
-        assert!(
-            rel.abs() < BAND,
-            "flow {i}: fluid {f:.6}s vs packet {p:.6}s — off by {:+.1}%",
-            rel * 100.0
-        );
-    }
+    let sc = Scenario {
+        probes: ProbeSpec::default(),
+        stop: StopCondition::Drain { cap_ms: 20 },
+        ..Scenario::new(
+            "xval-dumbbell-elephants",
+            TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            TrafficSpec::Incast {
+                receiver: 2,
+                fan_in: 2,
+                size: 2_000_000,
+                waves: 1,
+                gap_us: 0,
+            },
+            CcKind::Fncc,
+        )
+    };
+    let (p, f) = both_backends(&sc);
+    assert_within_band("dumbbell elephants", p, f);
 }
 
 /// The fairness sanity behind the fluid model: equal elephants through one
@@ -154,53 +115,80 @@ fn dumbbell_elephants_within_band() {
 /// converged fair share within the band.
 #[test]
 fn incast_fair_share_within_band() {
-    let line = Bandwidth::gbps(100);
-    let n = 4u32;
-    let size = 1_000_000u64;
-    let flows: Vec<FlowSpec> = (0..n)
-        .map(|i| FlowSpec {
-            id: FlowId(i),
-            src: HostId(i),
-            dst: HostId(n),
-            size,
-            start: SimTime::ZERO,
-        })
-        .collect();
+    let sc = Scenario {
+        stop: StopCondition::Drain { cap_ms: 20 },
+        ..Scenario::new(
+            "xval-incast-fair-share",
+            TopologySpec::Dumbbell {
+                senders: 4,
+                switches: 3,
+            },
+            TrafficSpec::Incast {
+                receiver: 4,
+                fan_in: 4,
+                size: 1_000_000,
+                waves: 1,
+                gap_us: 0,
+            },
+            CcKind::Fncc,
+        )
+    };
+    let (p, f) = both_backends(&sc);
+    assert_within_band("incast fair share", p, f);
+}
 
-    let topo = Topology::dumbbell(n, 3, line, TimeDelta::from_ns(1500));
-    let mut sim = SimBuilder::new(topo.clone(), CcKind::Fncc)
-        .flows(flows.clone())
-        .build();
-    assert!(sim.run_to_completion(TimeDelta::from_us(50), SimTime::from_ms(20)));
-    let packet_mean: f64 = (0..n)
-        .map(|i| {
-            sim.telemetry()
-                .flow_record(FlowId(i))
-                .and_then(|r| r.fct())
-                .unwrap()
-                .as_secs_f64()
-        })
-        .sum::<f64>()
-        / n as f64;
-
-    let fluid = FluidSim::new(topo, RateModel::paper_default(CcKind::Fncc))
-        .flows(flows)
-        .run();
-    let fluid_mean: f64 = (0..n)
-        .map(|i| {
-            fluid
-                .telemetry
-                .flow_record(FlowId(i))
-                .and_then(|r| r.fct())
-                .unwrap()
-                .as_secs_f64()
-        })
-        .sum::<f64>()
-        / n as f64;
-    let rel = (fluid_mean - packet_mean) / packet_mean;
+/// The new scenarios the unified API added ride outside the calibrated
+/// band — extreme fan-in and an oversubscribed fabric are exactly where
+/// per-packet dynamics (PFC, LHCS, ECMP collisions) matter most — but the
+/// two engines must stay the same order of magnitude and agree on flow
+/// accounting, or a backend has silently diverged from the shared
+/// scenario description.
+#[test]
+fn new_scenarios_agree_loosely_across_backends() {
+    let incast = Scenario {
+        stop: StopCondition::Drain { cap_ms: 50 },
+        seeds: vec![1],
+        ..Scenario::new(
+            "xval-incast-fattree",
+            TopologySpec::FatTree { k: 4 },
+            TrafficSpec::Incast {
+                receiver: 0,
+                fan_in: 12,
+                size: 200_000,
+                waves: 3,
+                gap_us: 100,
+            },
+            CcKind::Fncc,
+        )
+    };
+    let (p, f) = both_backends(&incast);
+    let ratio = f / p;
     assert!(
-        rel.abs() < BAND,
-        "mean FCT: fluid {fluid_mean:.6}s vs packet {packet_mean:.6}s — off by {:+.1}%",
-        rel * 100.0
+        (0.5..2.0).contains(&ratio),
+        "incast fat-tree: fluid {f:.2} vs packet {p:.2}"
+    );
+
+    let leafspine = Scenario {
+        seeds: vec![1],
+        ..Scenario::new(
+            "xval-leafspine",
+            TopologySpec::LeafSpine {
+                leaves: 4,
+                spines: 2,
+                hosts_per_leaf: 8,
+            },
+            TrafficSpec::Poisson {
+                workload: Workload::FbHadoop,
+                load: 0.4,
+                flows: 120,
+            },
+            CcKind::Fncc,
+        )
+    };
+    let (p, f) = both_backends(&leafspine);
+    let ratio = f / p;
+    assert!(
+        (0.5..1.5).contains(&ratio),
+        "leaf-spine: fluid {f:.2} vs packet {p:.2}"
     );
 }

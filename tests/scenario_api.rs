@@ -1,0 +1,164 @@
+//! Integration tests for the unified Scenario → Backend → RunReport API:
+//! JSON round-trips, the artifact schema snapshot, and the shipped scenario
+//! files running on both engines.
+
+use fncc::core::json::Json;
+use fncc::core::prelude::*;
+use fncc::core::RUN_REPORT_SCHEMA;
+
+fn scenario_file(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Build → serialize → parse → identical value → identical run.
+#[test]
+fn scenario_json_roundtrip_runs_identically() {
+    let built = Scenario {
+        seeds: vec![3],
+        stop: StopCondition::Drain { cap_ms: 50 },
+        ..Scenario::new(
+            "roundtrip",
+            TopologySpec::LeafSpine {
+                leaves: 3,
+                spines: 2,
+                hosts_per_leaf: 4,
+            },
+            TrafficSpec::Poisson {
+                workload: Workload::WebSearch,
+                load: 0.3,
+                flows: 60,
+            },
+            CcKind::Hpcc,
+        )
+    };
+    let parsed = Scenario::from_json(&built.to_json()).expect("parse own output");
+    assert_eq!(parsed, built);
+
+    // Identical descriptions produce identical flow sets…
+    let (ta, fa) = built.instance(3);
+    let (tb, fb) = parsed.instance(3);
+    assert_eq!(ta.n_hosts, tb.n_hosts);
+    assert_eq!(fa, fb);
+
+    // …and identical fluid runs (cheap enough to assert end to end).
+    let ra = run_scenario(&built, SimBackend::Fluid);
+    let rb = run_scenario(&parsed, SimBackend::Fluid);
+    assert_eq!(ra.events, rb.events);
+    assert_eq!(ra.mean_slowdown(), rb.mean_slowdown());
+}
+
+/// Snapshot of the RunReport JSON artifact layout. If this fails, the
+/// format changed: bump `RUN_REPORT_SCHEMA` and update every consumer.
+#[test]
+fn run_report_schema_snapshot() {
+    let sc = Scenario {
+        probes: ProbeSpec::micro(2000, 1),
+        stop: StopCondition::Drain { cap_ms: 20 },
+        ..Scenario::new(
+            "schema-probe",
+            TopologySpec::Star { hosts: 3 },
+            TrafficSpec::Incast {
+                receiver: 2,
+                fan_in: 2,
+                size: 100_000,
+                waves: 1,
+                gap_us: 0,
+            },
+            CcKind::Fncc,
+        )
+    };
+    let report = run_scenario(&sc, SimBackend::Packet);
+    let v = Json::parse(&report.to_json()).expect("artifact parses");
+
+    assert_eq!(
+        v.get("schema").and_then(|x| x.as_str()),
+        Some("fncc.run_report/v1")
+    );
+    assert_eq!(
+        v.get("schema").and_then(|x| x.as_str()),
+        Some(RUN_REPORT_SCHEMA)
+    );
+    // Top-level field set and order are pinned.
+    let keys: Vec<String> = match &v {
+        Json::Obj(fields) => fields.iter().map(|(k, _)| k.clone()).collect(),
+        _ => panic!("artifact root must be an object"),
+    };
+    assert_eq!(
+        keys,
+        [
+            "schema",
+            "scenario",
+            "backend",
+            "cc",
+            "seeds",
+            "events",
+            "unfinished",
+            "scalars",
+            "slowdowns",
+            "series"
+        ]
+    );
+    // Slowdown rows and series carry their pinned inner fields.
+    let row = &v.get("slowdowns").unwrap().as_arr().unwrap()[0];
+    for field in ["bucket_upper", "label", "count", "avg", "p50", "p95", "p99"] {
+        assert!(row.get(field).is_some(), "slowdown row missing '{field}'");
+    }
+    let series = &v.get("series").unwrap().as_arr().unwrap()[0];
+    for field in ["name", "t_us", "v"] {
+        assert!(series.get(field).is_some(), "series missing '{field}'");
+    }
+}
+
+/// The shipped scenario files parse and run on BOTH backends — the two
+/// scenarios the pre-unification API could not express.
+#[test]
+fn shipped_scenario_files_run_on_both_backends() {
+    for file in ["incast_fattree.json", "leafspine_oversub.json"] {
+        let mut sc = Scenario::from_json(&scenario_file(file)).expect(file);
+        // Trim to one seed to keep the packet runs test-sized.
+        sc.seeds.truncate(1);
+        for backend in [SimBackend::Packet, SimBackend::Fluid] {
+            let report = run_scenario(&sc, backend);
+            assert_eq!(report.backend, backend.name());
+            assert!(
+                report.unfinished.iter().all(|&u| u == 0),
+                "{file} on {backend}: unfinished flows"
+            );
+            let total: usize = report.slowdowns.iter().map(|r| r.count).sum();
+            assert!(total > 0, "{file} on {backend}: no bucketed flows");
+            let mean = report.mean_slowdown().unwrap();
+            assert!(mean >= 1.0, "{file} on {backend}: mean slowdown {mean}");
+        }
+    }
+}
+
+/// Elephants through the scenario path expose the microbenchmark scalars
+/// on a horizon-stopped run.
+#[test]
+fn elephant_scenario_reports_micro_scalars() {
+    let sc = Scenario {
+        probes: ProbeSpec::micro(2000, 2),
+        stop: StopCondition::Horizon { us: 500 },
+        ..Scenario::new(
+            "elephant-probe",
+            TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            TrafficSpec::Elephants { join_at_us: 150 },
+            CcKind::Fncc,
+        )
+    };
+    let report = run_scenario(&sc, SimBackend::Packet);
+    assert!(report.scalar("peak_queue_kb").unwrap() > 0.0);
+    assert!(report.scalar("mean_util").unwrap() > 0.5);
+    assert!(report.scalar("reaction_us").is_some(), "no reaction scalar");
+    assert!(report.series("queue_kb").is_some());
+    assert!(report.series("cc1").is_some());
+    // Horizon runs never drain elephants: no slowdown rows.
+    assert!(report.slowdowns.is_empty());
+    assert_eq!(report.unfinished, vec![2]);
+}
