@@ -20,6 +20,7 @@ use fncc_cc::{CcAlgo, CcKind, FnccConfig};
 use fncc_des::stats::TimeSeries;
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_fluid::{FluidSim, Framing, RateModel};
+use fncc_net::config::FabricConfig;
 use fncc_net::ids::{FlowId, NodeRef};
 use std::str::FromStr;
 
@@ -113,7 +114,12 @@ impl Backend for PacketBackend {
         for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
             let (topo, flows) = sc.instance(seed);
             let line = sc.link.bandwidth();
-            let base_rtt = topo.base_rtt(1518, 70);
+            // Window normalisation must use the frame sizes the fabric will
+            // actually run with, not hardcoded 1518/70 — otherwise an MTU
+            // override would leave the CC's RTT constant inconsistent with
+            // the simulated wire.
+            let frames = FabricConfig::paper_default();
+            let base_rtt = topo.base_rtt(frames.mtu, frames.ack_base);
             let algo = if sc.cc == CcKind::Fncc && sc.overrides.disable_lhcs {
                 CcAlgo::Fncc(FnccConfig::without_lhcs(line, base_rtt))
             } else {
@@ -372,7 +378,9 @@ impl Backend for FluidBackend {
     fn run(&self, sc: &Scenario) -> RunReport {
         let mut report = RunReport::new(&sc.name, self.name(), sc.cc.name());
         report.seeds = sc.seeds.clone();
-        let framing = Framing::default();
+        // Same provenance as the packet engine's frame parameters, so the
+        // two backends share one queue-delay RTT by construction.
+        let framing = Framing::from(&FabricConfig::paper_default());
         let buckets = sc.traffic.buckets();
         let mut runs = Vec::with_capacity(sc.seeds.len());
         let mut peak_active = 0usize;
@@ -382,7 +390,8 @@ impl Backend for FluidBackend {
             let result = FluidSim::new(topo.clone(), RateModel::paper_default(sc.cc))
                 .framing(framing)
                 .flows(flows)
-                .run();
+                .run()
+                .unwrap_or_else(|e| panic!("fluid backend on '{}': {e}", sc.name));
             report.unfinished.push(
                 result
                     .telemetry

@@ -42,10 +42,15 @@ impl Json {
         }
     }
 
-    /// The value as u64 (non-negative integral numbers only).
+    /// The value as u64: non-negative integral numbers, or the decimal
+    /// string form [`num_u64`] emits for values JSON's f64 number model
+    /// cannot hold exactly.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            Json::Str(s) if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) => {
+                s.parse().ok()
+            }
             _ => None,
         }
     }
@@ -164,15 +169,17 @@ impl Json {
     }
 }
 
-/// A u64 as a JSON number. Values above 2^53 are not exactly representable
-/// in JSON's f64 number model and would silently corrupt a round-trip, so
-/// they are rejected loudly instead.
+/// A u64 as a lossless JSON value. Values up to 2^53 are exact f64s and
+/// emit as plain numbers; larger ones (total wire bytes at fleet scale)
+/// would silently corrupt a round-trip through the f64 number model, so
+/// they emit as decimal strings instead — [`Json::as_u64`] reads both
+/// forms back, and no value aborts the run.
 pub fn num_u64(x: u64) -> Json {
-    assert!(
-        x <= 1 << 53,
-        "{x} exceeds 2^53 and cannot round-trip through JSON"
-    );
-    Json::Num(x as f64)
+    if x <= 1 << 53 {
+        Json::Num(x as f64)
+    } else {
+        Json::Str(x.to_string())
+    }
 }
 
 /// Convenience: build an object from pairs.
@@ -420,14 +427,26 @@ mod tests {
         assert_eq!(Json::Num(3.0).as_u64(), Some(3));
         assert_eq!(Json::Num(-3.0).as_u64(), None);
         assert_eq!(Json::Num(3.5).as_u64(), None);
-        assert_eq!(Json::Str("3".into()).as_u64(), None);
+        assert_eq!(Json::Str("3".into()).as_u64(), Some(3));
+        assert_eq!(Json::Str("".into()).as_u64(), None);
+        assert_eq!(Json::Str("-3".into()).as_u64(), None);
+        assert_eq!(Json::Str("3.5".into()).as_u64(), None);
+        assert_eq!(Json::Str("not a number".into()).as_u64(), None);
     }
 
     #[test]
-    fn num_u64_guards_exactness() {
+    fn num_u64_is_lossless_at_any_magnitude() {
+        // Exact f64 range: plain numbers.
         assert_eq!(num_u64(1 << 53).as_u64(), Some(1 << 53));
         assert_eq!(num_u64(0).to_string_compact(), "0");
-        assert!(std::panic::catch_unwind(|| num_u64((1 << 53) + 1)).is_err());
+        // Beyond 2^53 (fleet-scale wire-byte totals): decimal strings,
+        // round-tripping exactly instead of aborting the run.
+        let big = (1u64 << 53) + 1;
+        assert_eq!(num_u64(big), Json::Str(big.to_string()));
+        assert_eq!(num_u64(big).as_u64(), Some(big));
+        assert_eq!(num_u64(u64::MAX).as_u64(), Some(u64::MAX));
+        let reparsed = Json::parse(&num_u64(u64::MAX).to_string_compact()).unwrap();
+        assert_eq!(reparsed.as_u64(), Some(u64::MAX));
     }
 
     #[test]

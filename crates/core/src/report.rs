@@ -7,7 +7,7 @@
 //! artifact (schema `fncc.run_report/v1`, pinned by the snapshot test in
 //! `tests/scenario_api.rs`).
 
-use crate::json::{obj, Json};
+use crate::json::{num_u64, obj, Json};
 use crate::metrics::SlowdownStats;
 use fncc_des::stats::TimeSeries;
 use std::io;
@@ -142,9 +142,9 @@ impl RunReport {
             ("cc", Json::Str(self.cc.clone())),
             (
                 "seeds",
-                Json::Arr(self.seeds.iter().map(|&s| Json::Num(s as f64)).collect()),
+                Json::Arr(self.seeds.iter().map(|&s| num_u64(s)).collect()),
             ),
-            ("events", Json::Num(self.events as f64)),
+            ("events", num_u64(self.events)),
             (
                 "unfinished",
                 Json::Arr(

@@ -33,7 +33,8 @@
 //!                                          TimeDelta::from_us(100), 1);
 //! let result = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
 //!     .flows(flows)
-//!     .run();
+//!     .run()
+//!     .expect("no zero-capacity links");
 //! assert!(result.telemetry.all_flows_finished());
 //! println!("mean slowdown: {:.2}", result.mean_slowdown(&topo, Default::default()));
 //! ```
@@ -45,7 +46,9 @@ pub mod scenarios;
 pub mod sim;
 
 pub use link::LinkMap;
-pub use maxmin::{find_non_pareto_flow, water_fill, worst_oversubscription, Demand, WaterFiller};
+pub use maxmin::{
+    find_non_pareto_flow, water_fill, worst_oversubscription, Demand, Rebalance, WaterFiller,
+};
 pub use model::RateModel;
 pub use scenarios::Trace;
-pub use sim::{FluidResult, FluidSim, Framing};
+pub use sim::{FluidError, FluidResult, FluidSim, Framing};

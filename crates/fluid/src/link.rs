@@ -87,10 +87,27 @@ impl LinkMap {
     /// The directed links on the request path of `(src → dst, flow)`, in
     /// path order (host uplink first, switch→host egress last).
     pub fn path_links(&self, topo: &Topology, src: HostId, dst: HostId, flow: FlowId) -> Vec<u32> {
-        topo.trace_path(src, dst, flow)
-            .into_iter()
-            .map(|(n, p)| self.id_of(n, p))
-            .collect()
+        let mut out = Vec::new();
+        self.path_links_into(topo, src, dst, flow, &mut out);
+        out
+    }
+
+    /// [`Self::path_links`] into a caller-owned buffer (cleared first), so
+    /// per-arrival hot paths reuse one allocation.
+    pub fn path_links_into(
+        &self,
+        topo: &Topology,
+        src: HostId,
+        dst: HostId,
+        flow: FlowId,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        out.extend(
+            topo.trace_path(src, dst, flow)
+                .into_iter()
+                .map(|(n, p)| self.id_of(n, p)),
+        );
     }
 }
 

@@ -22,7 +22,7 @@
 //! exactly 1.0 against [`Topology::ideal_fct`].
 
 use crate::link::LinkMap;
-use crate::maxmin::{Demand, WaterFiller};
+use crate::maxmin::{Rebalance, WaterFiller};
 use crate::model::RateModel;
 use fncc_des::time::SimTime;
 use fncc_net::config::FabricConfig;
@@ -39,6 +39,8 @@ pub struct Framing {
     pub mtu_payload: u32,
     /// Per-frame header overhead in bytes.
     pub header: u32,
+    /// ACK frame size (the return leg of the base-RTT computation).
+    pub ack_bytes: u32,
 }
 
 impl Default for Framing {
@@ -52,11 +54,19 @@ impl From<&FabricConfig> for Framing {
         Framing {
             mtu_payload: cfg.mtu_payload(),
             header: cfg.data_header,
+            ack_bytes: cfg.ack_base,
         }
     }
 }
 
 impl Framing {
+    /// Full frame size on the wire (payload + headers) — what the
+    /// queue-delay model's base RTT must be computed from.
+    #[inline]
+    pub fn mtu(&self) -> u32 {
+        self.mtu_payload + self.header
+    }
+
     /// Bytes on the wire for `size` application bytes.
     #[inline]
     pub fn wire_bytes(&self, size: u64) -> u64 {
@@ -65,22 +75,43 @@ impl Framing {
     }
 }
 
+/// A fluid run failed in a way that would otherwise corrupt the clock:
+/// a zero-capacity link (or a flow allocated a zero rate over one) can
+/// never drain, which would silently drive the event loop to `t = ∞`/NaN.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluidError {
+    /// The flow that could not make progress, when one is identifiable.
+    pub flow: Option<fncc_net::ids::FlowId>,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+impl std::fmt::Display for FluidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fluid simulation stalled: {}", self.message)
+    }
+}
+
+impl std::error::Error for FluidError {}
+
 /// RTTs of continuous bottleneck saturation before a scheme's standing
 /// queue is fully built (the `queue_rtts` penalty ramps linearly up to
 /// this). Matches the packet backend's observed queue ramp on the elephant
 /// microbenchmark (~tens of µs at a ~13 µs RTT).
 const QUEUE_BUILD_RTTS: f64 = 4.0;
 
-/// One live flow in the fluid state.
-struct ActiveFlow {
+/// One live flow's drain state, indexed by its allocator slot. Rates are
+/// piecewise constant between rebalances, so the loop only materializes a
+/// flow's remaining bits when its rate changes or it retires; everything
+/// else is pure projection from `(last_sync, remaining, rate)`.
+#[derive(Clone, Default)]
+struct SlotState {
     /// Index into the sorted spec array.
     spec_ix: u32,
-    /// Wire bits still to drain.
+    /// Wire bits left at `last_sync`.
     remaining_bits: f64,
     /// Total wire bits (for the mean-rate contention estimate).
     wire_bits: f64,
-    /// Directed links on the path.
-    path: Vec<u32>,
     /// Pipeline floor (first-frame store-and-forward latency), seconds.
     floor: f64,
     /// η-scaled path line rate — the rate an uncontended flow of this
@@ -88,6 +119,10 @@ struct ActiveFlow {
     fair_line: f64,
     /// Drain start (arrival) time, seconds.
     t_start: f64,
+    /// Instant the drain state was last materialized, seconds.
+    last_sync: f64,
+    /// Allocated rate in effect since `last_sync` (bits/s).
+    rate: f64,
 }
 
 /// Result of a fluid run.
@@ -101,6 +136,15 @@ pub struct FluidResult {
     pub peak_active: usize,
     /// Simulated instant the last flow completed.
     pub horizon: SimTime,
+    /// Re-allocations that fell back to a from-scratch solve.
+    pub full_solves: u64,
+    /// Re-allocations served by the warm-started incremental path.
+    pub incremental_solves: u64,
+    /// Total per-flow rate writes across all re-allocations — the work
+    /// the warm start actually did (`rate_updates / reallocations` is the
+    /// mean residual size; a from-scratch loop would write
+    /// `Σ active-set sizes`).
+    pub rate_updates: u64,
 }
 
 impl FluidResult {
@@ -175,16 +219,40 @@ impl FluidSim {
     }
 
     /// Run every flow to completion and return the records.
-    pub fn run(mut self) -> FluidResult {
+    ///
+    /// Errors when an active flow is allocated a zero rate (a
+    /// zero-capacity link in a hand-written scenario): such a flow can
+    /// never finish and would otherwise silently drive the clock to
+    /// infinity.
+    pub fn run(mut self) -> Result<FluidResult, FluidError> {
         // Effective capacities: the scheme sustains η of each link.
         let eta = self.model.utilization;
         let capacity: Vec<f64> = self.links.capacities().iter().map(|&c| c * eta).collect();
 
-        // Scheme standing-queue delay in seconds (0 when there are no flows).
+        // A zero-capacity link can never drain a flow: reject it up front
+        // with a real error rather than letting the event loop (or the
+        // topology's serialization-time arithmetic) run off the rails.
+        if !self.flows.is_empty() {
+            if let Some(l) = capacity.iter().position(|&c| c <= 0.0) {
+                return Err(FluidError {
+                    flow: None,
+                    message: format!(
+                        "link {l} has zero capacity; no flow crossing it can ever \
+                         finish (zero-bandwidth link in a hand-written scenario?)"
+                    ),
+                });
+            }
+        }
+
+        // Scheme standing-queue delay in seconds (0 when there are no
+        // flows), from the *configured* framing — an MTU override changes
+        // the base RTT the queue-delay model is denominated in.
         let base_rtt = if self.flows.is_empty() {
             0.0
         } else {
-            self.topo.base_rtt(1518, 70).as_secs_f64()
+            self.topo
+                .base_rtt(self.framing.mtu(), self.framing.ack_bytes)
+                .as_secs_f64()
         };
         let queue_delay = self.model.queue_rtts * base_rtt;
 
@@ -204,29 +272,29 @@ impl FluidSim {
         }
 
         let mut filler = WaterFiller::new(self.links.len());
-        let mut rates: Vec<f64> = Vec::new();
-        let mut active: Vec<ActiveFlow> = Vec::new();
+        filler.begin_incremental(&capacity);
+        // Drain state per allocator slot, plus the list of live slots.
+        let mut slots: Vec<SlotState> = Vec::new();
+        let mut active: Vec<u32> = Vec::new();
+        let mut path_buf: Vec<u32> = Vec::new();
         let mut next_arrival = 0usize;
         let mut t = 0.0f64; // seconds
         let mut reallocations = 0u64;
+        let mut rate_updates = 0u64;
         let mut peak_active = 0usize;
         let mut horizon = SimTime::ZERO;
-        // Completion indices scratch (collected per event).
-        let mut finished: Vec<usize> = Vec::new();
         // Standing-queue state: since when each link has been continuously
-        // saturated (NaN = not saturated), and the allocation epoch each
-        // link was last part of (stale links reset their history).
+        // saturated (NaN = not saturated). Only links the rebalance touched
+        // can change state; a link that goes idle re-enters through the
+        // allocator's activation hook with a clean history, which also
+        // covers whole-network idle gaps.
         let mut sat_since: Vec<f64> = vec![f64::NAN; self.links.len()];
-        let mut seen_epoch: Vec<u64> = vec![0; self.links.len()];
-        let mut epoch = 0u64;
 
         while next_arrival < specs.len() || !active.is_empty() {
-            let mut idle_jump = false;
             if active.is_empty() {
                 // Jump the clock to the next arrival. The network was idle
                 // over the gap, so any standing-queue history is stale.
                 t = specs[next_arrival].start.as_secs_f64();
-                idle_jump = true;
             }
             // Admit every flow whose start time has been reached.
             while next_arrival < specs.len() {
@@ -235,7 +303,8 @@ impl FluidSim {
                 if start > t + 1e-15 {
                     break;
                 }
-                let path = self.links.path_links(&self.topo, s.src, s.dst, s.id);
+                self.links
+                    .path_links_into(&self.topo, s.src, s.dst, s.id, &mut path_buf);
                 let wire_bits = self.framing.wire_bytes(s.size) as f64 * 8.0;
                 // Pipeline floor: ideal FCT minus pure streaming time at the
                 // path bottleneck (what the fluid drain models).
@@ -250,97 +319,135 @@ impl FluidSim {
                         self.framing.header,
                     )
                     .as_secs_f64();
-                let bottleneck = path
+                let bottleneck = path_buf
                     .iter()
                     .map(|&l| self.links.capacity(l))
                     .fold(f64::INFINITY, f64::min);
                 let floor = (ideal - wire_bits / bottleneck).max(0.0);
-                active.push(ActiveFlow {
+                let slot = filler.add_flow(&path_buf) as usize;
+                if slot >= slots.len() {
+                    slots.resize(slot + 1, SlotState::default());
+                }
+                slots[slot] = SlotState {
                     spec_ix: next_arrival as u32,
                     remaining_bits: wire_bits,
                     wire_bits,
-                    path,
                     floor,
                     fair_line: bottleneck * eta,
                     t_start: start,
-                });
+                    last_sync: t,
+                    rate: 0.0,
+                };
+                active.push(slot as u32);
                 next_arrival += 1;
             }
             peak_active = peak_active.max(active.len());
 
-            // Re-solve the allocation for the current active set.
-            let demands: Vec<Demand<'_>> = active
-                .iter()
-                .map(|f| Demand {
-                    cap: f64::INFINITY,
-                    path: &f.path,
-                })
-                .collect();
-            filler.allocate(&capacity, &demands, &mut rates);
-            reallocations += 1;
+            // Warm-started re-solve for the changed active set; only flows
+            // whose rate moved get their drain state materialized.
+            if filler.rebalance() != Rebalance::Noop {
+                reallocations += 1;
+                rate_updates += filler.changed().len() as u64;
+            }
+            for &slot in filler.changed() {
+                let st = &mut slots[slot as usize];
+                if st.rate > 0.0 {
+                    st.remaining_bits -= st.rate * (t - st.last_sync);
+                }
+                st.last_sync = t;
+                st.rate = filler.rate(slot);
+                if st.rate <= 0.0 {
+                    let spec = &specs[st.spec_ix as usize];
+                    let choke = filler
+                        .path(slot)
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            self.links
+                                .capacity(a)
+                                .partial_cmp(&self.links.capacity(b))
+                                .expect("NaN link capacity")
+                        })
+                        .map(|l| (l, self.links.capacity(l)));
+                    return Err(FluidError {
+                        flow: Some(spec.id),
+                        message: format!(
+                            "flow {:?} ({:?} → {:?}) was allocated a zero rate and can \
+                             never finish; narrowest path link {:?} (zero-capacity link \
+                             in the scenario?)",
+                            spec.id, spec.src, spec.dst, choke
+                        ),
+                    });
+                }
+            }
 
             // Track how long each link has been continuously saturated —
             // the proxy for whether a standing queue had time to build.
-            // An idle-network clock jump is a discontinuity: bumping the
-            // epoch twice makes every link read as freshly (re)activated,
-            // so queues drained during the gap don't haunt the next burst.
-            epoch += if idle_jump { 2 } else { 1 };
-            for &l in filler.last_active_links() {
-                let was_active = seen_epoch[l as usize] == epoch - 1;
-                seen_epoch[l as usize] = epoch;
-                let saturated = filler.residual(l) <= 0.01 * capacity[l as usize];
-                if !saturated || !was_active {
-                    sat_since[l as usize] = if saturated { t } else { f64::NAN };
+            // Links (re)entering service start with no queue history;
+            // beyond that, only touched links can change saturation state.
+            for &l in filler.activated_links() {
+                sat_since[l as usize] = f64::NAN;
+            }
+            for &l in filler.touched_links() {
+                let saturated = filler.link_residual(l) <= 0.01 * capacity[l as usize];
+                if !saturated {
+                    sat_since[l as usize] = f64::NAN;
                 } else if sat_since[l as usize].is_nan() {
                     sat_since[l as usize] = t;
                 }
             }
 
-            // Earliest completion under these rates.
-            let mut dt_fin = f64::INFINITY;
-            for (f, &r) in active.iter().zip(&rates) {
-                if r > 0.0 {
-                    dt_fin = dt_fin.min(f.remaining_bits / r);
-                }
-            }
-            debug_assert!(dt_fin.is_finite(), "active flow with zero rate");
-
+            // Next event: earliest projected completion vs next arrival.
             let t_arr = if next_arrival < specs.len() {
                 specs[next_arrival].start.as_secs_f64()
             } else {
                 f64::INFINITY
             };
-            let t_next = (t + dt_fin).min(t_arr);
-            let dt = t_next - t;
-
-            // Drain.
-            for (f, &r) in active.iter_mut().zip(&rates) {
-                f.remaining_bits -= r * dt;
+            let mut t_fin = f64::INFINITY;
+            for &slot in &active {
+                let st = &slots[slot as usize];
+                t_fin = t_fin.min(st.last_sync + st.remaining_bits.max(0.0) / st.rate);
             }
-            t = t_next;
+            if t_fin.is_infinite() && t_arr.is_infinite() {
+                // Unreachable given the zero-rate guard above; defensive.
+                let spec = &specs[slots[active[0] as usize].spec_ix as usize];
+                return Err(FluidError {
+                    flow: Some(spec.id),
+                    message: format!(
+                        "no active flow can finish and no arrivals remain \
+                         (first stuck flow: {:?})",
+                        spec.id
+                    ),
+                });
+            }
+            t = t_fin.min(t_arr);
+            if t < t_fin {
+                continue; // arrival-only event: nothing can retire yet
+            }
 
             // Retire everything that completed at this instant (tolerance:
             // half a bit — below any meaningful transfer granularity).
-            finished.clear();
-            for (i, f) in active.iter().enumerate() {
-                if f.remaining_bits <= 0.5 {
-                    finished.push(i);
+            let mut i = active.len();
+            while i > 0 {
+                i -= 1;
+                let slot = active[i];
+                let st = &slots[slot as usize];
+                let fin = st.last_sync + st.remaining_bits.max(0.0) / st.rate;
+                if fin > t + 0.5 / st.rate {
+                    continue;
                 }
-            }
-            for &i in finished.iter().rev() {
-                let f = active.swap_remove(i);
-                let spec = &specs[f.spec_ix as usize];
-                let drain = (t - f.t_start).max(0.0);
+                let spec = &specs[st.spec_ix as usize];
+                let drain = (t - st.t_start).max(0.0);
                 // Contention: how far the flow's lifetime-average rate fell
                 // below the scheme's uncontended drain rate on this path.
                 // Scales the standing-queue delay so idle-path flows (the
                 // common case for mice) pay nothing.
                 let mean_rate = if drain > 0.0 {
-                    f.wire_bits / drain
+                    st.wire_bits / drain
                 } else {
-                    f.fair_line
+                    st.fair_line
                 };
-                let contention = (1.0 - mean_rate / f.fair_line).clamp(0.0, 1.0);
+                let contention = (1.0 - mean_rate / st.fair_line).clamp(0.0, 1.0);
                 // Queue build-up: the deepest standing queue on the path,
                 // as the fraction of QUEUE_BUILD_RTTS the bottleneck has
                 // been continuously saturated. Transient sharing (mice
@@ -348,7 +455,7 @@ impl FluidSim {
                 // holding a link saturated for many RTTs builds the
                 // scheme's full standing queue.
                 let mut sat_dur = 0.0f64;
-                for &l in &f.path {
+                for &l in filler.path(slot) {
                     let since = sat_since[l as usize];
                     if !since.is_nan() {
                         sat_dur = sat_dur.max(t - since);
@@ -359,22 +466,28 @@ impl FluidSim {
                 } else {
                     0.0
                 };
-                let fct_secs = drain + f.floor + queue_delay * contention * buildup;
+                let fct_secs = drain + st.floor + queue_delay * contention * buildup;
                 let finish = spec.start
                     + fncc_des::time::TimeDelta::from_secs_f64(fct_secs.max(f64::MIN_POSITIVE));
                 telemetry.flow_finished(spec.id, finish);
                 if finish > horizon {
                     horizon = finish;
                 }
+                filler.remove_flow(slot);
+                active.swap_remove(i);
             }
         }
 
-        FluidResult {
+        let (full_solves, incremental_solves) = filler.solve_stats();
+        Ok(FluidResult {
             telemetry,
             reallocations,
             peak_active,
             horizon,
-        }
+            full_solves,
+            incremental_solves,
+            rate_updates,
+        })
     }
 }
 
@@ -404,7 +517,8 @@ mod tests {
         let topo = Topology::dumbbell(2, 3, BW, PROP);
         let r = FluidSim::new(topo.clone(), RateModel::ideal())
             .flows([flow(0, 0, 2, 1_000_000, 0)])
-            .run();
+            .run()
+            .unwrap();
         let s = r.mean_slowdown(&topo, Framing::default());
         assert!((s - 1.0).abs() < 0.02, "slowdown {s}");
         assert!(r.telemetry.all_flows_finished());
@@ -416,7 +530,8 @@ mod tests {
         let size = 10_000_000u64;
         let r = FluidSim::new(topo.clone(), RateModel::ideal())
             .flows([flow(0, 0, 2, size, 0), flow(1, 1, 2, size, 0)])
-            .run();
+            .run()
+            .unwrap();
         // Both share the 100G bottleneck: each drains at 50G.
         let framing = Framing::default();
         let expect = framing.wire_bytes(size) as f64 * 8.0 / 50e9;
@@ -435,7 +550,8 @@ mod tests {
         let size = 10_000_000u64; // 800 µs alone at 100G
         let r = FluidSim::new(topo.clone(), RateModel::ideal())
             .flows([flow(0, 0, 2, size, 0), flow(1, 1, 2, size, 400)])
-            .run();
+            .run()
+            .unwrap();
         let rec0 = r.telemetry.flow_record(FlowId(0)).unwrap().clone();
         let rec1 = r.telemetry.flow_record(FlowId(1)).unwrap().clone();
         let (f0, f1) = (
@@ -469,6 +585,7 @@ mod tests {
             )
             .flows(flows.clone())
             .run()
+            .unwrap()
             .mean_slowdown(&topo, Framing::default())
         };
         let fncc = run(CcKind::Fncc);
@@ -479,7 +596,7 @@ mod tests {
     #[test]
     fn empty_flow_set_is_fine() {
         let topo = Topology::star(4, BW, PROP);
-        let r = FluidSim::new(topo, RateModel::ideal()).run();
+        let r = FluidSim::new(topo, RateModel::ideal()).run().unwrap();
         assert_eq!(r.reallocations, 0);
         assert_eq!(r.peak_active, 0);
         assert_eq!(r.horizon, SimTime::ZERO);
@@ -490,7 +607,10 @@ mod tests {
         let n = 16u32;
         let topo = Topology::star(n + 1, BW, PROP);
         let flows: Vec<FlowSpec> = (0..n).map(|i| flow(i, i, n, 1_000_000, 0)).collect();
-        let r = FluidSim::new(topo, RateModel::ideal()).flows(flows).run();
+        let r = FluidSim::new(topo, RateModel::ideal())
+            .flows(flows)
+            .run()
+            .unwrap();
         assert!(r.telemetry.all_flows_finished());
         // Equal shares of the receiver link: everyone completes together,
         // in two allocation rounds (start + batch completion).
@@ -504,5 +624,101 @@ mod tests {
             .iter()
             .fold((f64::MAX, f64::MIN), |(lo, hi), &x| (lo.min(x), hi.max(x)));
         assert!((max - min) / max < 1e-6, "spread {min}..{max}");
+    }
+
+    /// Regression (warm start): a heavy churn run must serve most events
+    /// from the incremental path and produce identical telemetry semantics
+    /// (all flows finish, slowdowns ≥ 1).
+    #[test]
+    fn poisson_churn_uses_the_incremental_path() {
+        let topo = Topology::fat_tree(4, BW, PROP);
+        let flows = crate::scenarios::poisson_trace(
+            topo.n_hosts,
+            BW,
+            0.5,
+            400,
+            crate::scenarios::Trace::WebSearch,
+            7,
+        );
+        let r = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
+            .flows(flows)
+            .run()
+            .unwrap();
+        assert!(r.telemetry.all_flows_finished());
+        assert_eq!(r.full_solves + r.incremental_solves, r.reallocations);
+        assert!(
+            r.incremental_solves > r.full_solves * 3,
+            "incremental {} vs full {}",
+            r.incremental_solves,
+            r.full_solves
+        );
+        let s = r.mean_slowdown(&topo, Framing::default());
+        assert!(s >= 1.0 && s.is_finite(), "slowdown {s}");
+    }
+
+    /// Regression (zero-rate guard): a zero-capacity link used to trip
+    /// only a debug_assert and spin the clock to infinity in release; now
+    /// it surfaces a descriptive error before the clock can run away.
+    #[test]
+    fn zero_capacity_link_surfaces_an_error() {
+        let mut topo = Topology::star(4, BW, PROP);
+        topo.host_ports[0].bw = Bandwidth::gbps(0);
+        let err = match FluidSim::new(topo, RateModel::ideal())
+            .flows([flow(0, 0, 1, 1_000_000, 0)])
+            .run()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("zero-capacity run must error"),
+        };
+        assert!(err.message.contains("zero capacity"), "{}", err.message);
+        let shown = format!("{err}");
+        assert!(shown.contains("stalled"), "{shown}");
+    }
+
+    /// Regression (framing satellite): the queue-delay model's base RTT
+    /// must follow the configured framing, not a hardcoded 1518/70. With
+    /// jumbo frames the standing-queue penalty of a contended mouse grows
+    /// with the (larger) framing-derived RTT.
+    #[test]
+    fn queue_delay_follows_framing_override() {
+        let run = |framing: Framing| {
+            let topo = Topology::dumbbell(2, 3, BW, PROP);
+            // An elephant saturates the bottleneck; a late mouse of the
+            // same wire length under both framings pays the standing
+            // queue. Sizes chosen so wire_bytes are identical.
+            let elephant = 50_000_000u64;
+            let mouse_payload = 10 * framing.mtu_payload as u64;
+            let r = FluidSim::new(topo, RateModel::paper_default(CcKind::Dcqcn))
+                .framing(framing)
+                .flows([
+                    flow(0, 0, 2, elephant, 0),
+                    flow(1, 1, 2, mouse_payload, 300),
+                ])
+                .run()
+                .unwrap();
+            let rec = r.telemetry.flow_record(FlowId(1)).unwrap().clone();
+            rec.fct().unwrap().as_secs_f64()
+        };
+        let standard = Framing::default();
+        let jumbo = Framing {
+            mtu_payload: 9000,
+            header: standard.header,
+            ack_bytes: standard.ack_bytes,
+        };
+        let fct_std = run(standard);
+        let fct_jumbo = run(jumbo);
+        // Same wire bits drain at the same shared rate, so the FCT gap is
+        // the queue-delay term; the jumbo base RTT is ~6× larger.
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let rtt_std = topo
+            .base_rtt(standard.mtu(), standard.ack_bytes)
+            .as_secs_f64();
+        let rtt_jumbo = topo.base_rtt(jumbo.mtu(), jumbo.ack_bytes).as_secs_f64();
+        assert!(rtt_jumbo > 1.1 * rtt_std, "{rtt_jumbo} vs {rtt_std}");
+        assert!(
+            fct_jumbo > fct_std,
+            "jumbo framing must lengthen the standing-queue delay: \
+             {fct_jumbo} vs {fct_std}"
+        );
     }
 }

@@ -20,7 +20,8 @@ fn run(name: &str, topo: &Topology, flows: Vec<FlowSpec>) {
     let t0 = Instant::now();
     let result = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
         .flows(flows)
-        .run();
+        .run()
+        .expect("scenario has no zero-capacity links");
     let wall = t0.elapsed().as_secs_f64();
     assert!(
         result.telemetry.all_flows_finished(),
@@ -28,11 +29,13 @@ fn run(name: &str, topo: &Topology, flows: Vec<FlowSpec>) {
     );
     println!(
         "{name:<28} {n:>8} flows  {wall:>6.2}s wall  {:>8.0} flows/s  peak {:>6} active  \
-         sim horizon {:.1} ms  mean slowdown {:.2}",
+         sim horizon {:.1} ms  mean slowdown {:.2}  ({} warm / {} full solves)",
         n as f64 / wall,
         result.peak_active,
         result.horizon.as_secs_f64() * 1e3,
         result.mean_slowdown(topo, Framing::default()),
+        result.incremental_solves,
+        result.full_solves,
     );
 }
 
@@ -45,7 +48,8 @@ fn main() {
         topo.n_switches()
     );
 
-    // 1. The acceptance-scale run: 100k flows of random-permutation waves.
+    // 1. 100k flows of random-permutation waves (wave events invalidate
+    //    most of the solution, so this exercises the full-solve fallback).
     run(
         "permutation x782 waves",
         &topo,
@@ -66,7 +70,9 @@ fn main() {
         ),
     );
 
-    // 3. Heavy-tailed Poisson arrivals (the §5.5 workload, fluid scale).
+    // 3. Heavy-tailed Poisson arrivals (the §5.5 workload, fluid scale) —
+    //    the warm-start acceptance run: single-flow churn events where the
+    //    incremental allocator re-freezes only the affected residual.
     run(
         "web-search poisson 50%",
         &topo,
@@ -74,7 +80,7 @@ fn main() {
             topo.n_hosts,
             line,
             0.5,
-            20_000,
+            100_000,
             scenarios::Trace::WebSearch,
             1,
         ),

@@ -148,3 +148,51 @@ proptest! {
         prop_assert!(parts.as_ps() - sum.as_ps() <= 2);
     }
 }
+
+proptest! {
+    /// The fluid allocator's warm-started incremental path is pinned to
+    /// the from-scratch `allocate` oracle over random arrival/departure
+    /// sequences: every alive flow's rate matches within 1e-9 relative
+    /// after every rebalance, and the incremental solution is feasible
+    /// and Pareto-optimal in its own right. (The fncc-fluid unit suite
+    /// carries a deeper deterministic version; this one fuzzes shapes.)
+    #[test]
+    fn incremental_waterfill_matches_oracle(
+        caps in proptest::collection::vec(1.0f64..200.0, 4..24),
+        script in proptest::collection::vec((0u8..5, proptest::collection::vec(0u16..24, 1..5)), 1..60),
+    ) {
+        use fncc_fluid::{water_fill, worst_oversubscription, find_non_pareto_flow, Demand, WaterFiller};
+        let nl = caps.len();
+        let mut wf = WaterFiller::new(nl);
+        wf.begin_incremental(&caps);
+        let mut alive: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (op, raw_path) in script {
+            if op < 2 && !alive.is_empty() {
+                // 40% removals, index derived from the path payload.
+                let ix = raw_path[0] as usize % alive.len();
+                let (slot, _) = alive.swap_remove(ix);
+                wf.remove_flow(slot);
+            } else {
+                let mut p: Vec<u32> = raw_path.iter().map(|&l| l as u32 % nl as u32).collect();
+                p.sort_unstable();
+                p.dedup();
+                let slot = wf.add_flow(&p);
+                alive.push((slot, p));
+            }
+            wf.rebalance();
+            let demands: Vec<Demand<'_>> = alive
+                .iter()
+                .map(|(_, p)| Demand { cap: f64::INFINITY, path: p })
+                .collect();
+            let oracle = water_fill(&caps, &demands);
+            for ((slot, _), &want) in alive.iter().zip(&oracle) {
+                let got = wf.rate(*slot);
+                let rel = (got - want).abs() / want.max(f64::MIN_POSITIVE);
+                prop_assert!(rel <= 1e-9, "slot {} rate {} vs oracle {} (rel {:e})", slot, got, want, rel);
+            }
+            let rates: Vec<f64> = alive.iter().map(|(s, _)| wf.rate(*s)).collect();
+            prop_assert!(worst_oversubscription(&caps, &demands, &rates) < 1e-6);
+            prop_assert_eq!(find_non_pareto_flow(&caps, &demands, &rates, 1e-6), None);
+        }
+    }
+}

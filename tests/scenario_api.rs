@@ -112,6 +112,24 @@ fn run_report_schema_snapshot() {
     }
 }
 
+/// The CI hot-path smoke scenario (fluid-scale: 20k heavy-tailed Poisson
+/// flows, far beyond packet-backend test budgets) must at least parse and
+/// describe what CI expects to run.
+#[test]
+fn fluid_smoke_scenario_file_parses() {
+    let sc = Scenario::from_json(&scenario_file("websearch_fluid_smoke.json")).unwrap();
+    assert_eq!(sc.topology, TopologySpec::FatTree { k: 8 });
+    match sc.traffic {
+        TrafficSpec::Poisson {
+            workload, flows, ..
+        } => {
+            assert_eq!(workload, Workload::WebSearch);
+            assert!(flows >= 10_000, "smoke must exercise the warm-start path");
+        }
+        other => panic!("unexpected traffic spec {other:?}"),
+    }
+}
+
 /// The shipped scenario files parse and run on BOTH backends — the two
 /// scenarios the pre-unification API could not express.
 #[test]
