@@ -1,0 +1,91 @@
+//! DES scale sweep: packet-backend events/sec across topology size and
+//! flow count, plus a wheel-vs-heap scheduler comparison on a queue shape
+//! that separates them (many far-future events pending).
+//!
+//! `fncc-repro bench-des` is the recording harness (it writes
+//! `BENCH_des.json`); this criterion bench is for interactive A/B work on
+//! the same points at reduced sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fncc_cc::CcKind;
+use fncc_core::{
+    run_scenario, Scenario, SimBackend, StopCondition, TopologySpec, TrafficSpec, Workload,
+};
+use fncc_des::engine::{Engine, Model, QueueKind, Scheduler};
+use fncc_des::{SimTime, TimeDelta};
+
+fn point(k: u32, flows: u32) -> Scenario {
+    let mut sc = Scenario::new(
+        format!("des-scale-k{k}-{flows}f"),
+        TopologySpec::FatTree { k },
+        TrafficSpec::Poisson {
+            workload: Workload::WebSearch,
+            load: 0.5,
+            flows,
+        },
+        CcKind::Fncc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 100 };
+    sc.seeds = vec![1];
+    sc
+}
+
+fn bench_des_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_scale");
+    g.sample_size(10);
+    for (k, flows) in [(4u32, 200u32), (4, 1000), (8, 200), (8, 1000)] {
+        let sc = point(k, flows);
+        // Pre-measure the event count so criterion reports events/sec.
+        let events = run_scenario(&sc, SimBackend::Packet).events;
+        g.throughput(Throughput::Elements(events));
+        g.bench_function(format!("k{k}_flows{flows}"), |b| {
+            b.iter(|| run_scenario(&sc, SimBackend::Packet).events)
+        });
+    }
+    g.finish();
+}
+
+/// Self-rescheduling chains over a backlog of far-future events: the shape
+/// where the heap pays O(log n) against a large array and the wheel does
+/// not. This isolates the scheduler from the network model.
+struct Churn {
+    remaining: u64,
+}
+
+impl Model for Churn {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            s.after(TimeDelta::from_ns(10), ev);
+        }
+    }
+}
+
+fn bench_scheduler_kinds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_scale_sched");
+    const N: u64 = 100_000;
+    const BACKLOG: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    for (name, kind) in [("wheel", QueueKind::Wheel), ("heap", QueueKind::Heap)] {
+        g.bench_function(format!("churn_100k_backlog_100k_{name}"), |b| {
+            b.iter(|| {
+                let mut eng = Engine::with_queue(Churn { remaining: N }, kind);
+                // A standing backlog of far-future events (pending flow
+                // starts, timeouts…) that the churn never reaches.
+                for i in 0..BACKLOG {
+                    eng.schedule(SimTime::from_ms(10 + i), 0);
+                }
+                for i in 0..16 {
+                    eng.schedule(SimTime::from_ns(i), i as u32);
+                }
+                eng.run_until(SimTime::from_ms(9));
+                eng.events_processed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_des_scale, bench_scheduler_kinds);
+criterion_main!(benches);

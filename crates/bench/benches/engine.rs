@@ -7,6 +7,7 @@ use fncc_des::{SimTime, TimeDelta};
 use fncc_net::config::FabricConfig;
 use fncc_net::ids::{FlowId, HostId, SwitchId};
 use fncc_net::packet::Packet;
+use fncc_net::pool::PacketPool;
 use fncc_net::switch::Switch;
 use fncc_net::telemetry::Telemetry;
 use fncc_net::topology::Topology;
@@ -56,6 +57,7 @@ fn bench_switch(c: &mut Criterion) {
         b.iter(|| {
             let mut sw = Switch::new(SwitchId(0), &topo.switches[0], &cfg);
             let mut telem = Telemetry::new();
+            let mut pool = PacketPool::new();
             let mut out = Vec::new();
             for i in 0..N {
                 out.clear();
@@ -68,10 +70,25 @@ fn bench_switch(c: &mut Criterion) {
                     1518,
                     SimTime::from_ns(i),
                 );
-                sw.on_arrive(SimTime::from_ns(i), 0, pkt, &cfg, &mut telem, &mut out);
+                sw.on_arrive(
+                    SimTime::from_ns(i),
+                    0,
+                    pkt,
+                    &cfg,
+                    &mut telem,
+                    &mut pool,
+                    &mut out,
+                );
                 if !sw.ports[2].idle() {
                     out.clear();
-                    sw.on_tx_done(SimTime::from_ns(i), 2, &cfg, &mut telem, &mut out);
+                    sw.on_tx_done(
+                        SimTime::from_ns(i),
+                        2,
+                        &cfg,
+                        &mut telem,
+                        &mut pool,
+                        &mut out,
+                    );
                 }
             }
             black_box(sw.ports[2].tx_bytes)

@@ -110,6 +110,9 @@ impl Backend for PacketBackend {
         report.seeds = sc.seeds.clone();
         let buckets = sc.traffic.buckets();
         let mut runs: Vec<Vec<crate::metrics::SlowdownStats>> = Vec::new();
+        let mut peak_queue_len = 0usize;
+        let mut clamped = 0u64;
+        let wall_start = std::time::Instant::now();
 
         for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
             let (topo, flows) = sc.instance(seed);
@@ -180,6 +183,8 @@ impl Backend for PacketBackend {
                 .unfinished
                 .push(telem.flow_records().filter(|r| r.finish.is_none()).count());
             report.events += sim.events_processed();
+            peak_queue_len = peak_queue_len.max(sim.peak_queue_len());
+            clamped += sim.clamped_schedules();
             if matches!(sc.stop, StopCondition::Drain { .. }) {
                 let payload = sim.fabric().cfg.mtu_payload();
                 let header = sim.fabric().cfg.data_header;
@@ -197,6 +202,16 @@ impl Backend for PacketBackend {
                 report.put_scalar("mean_slowdown", m);
             }
         }
+        // Engine-health scalars: every scenario run doubles as a perf probe.
+        // `events_per_sec` is wall-clock derived and therefore the one
+        // non-deterministic report field (the determinism suite strips it).
+        let wall = wall_start.elapsed().as_secs_f64();
+        report.put_scalar("events_processed", report.events as f64);
+        if wall > 0.0 {
+            report.put_scalar("events_per_sec", report.events as f64 / wall);
+        }
+        report.put_scalar("peak_queue_len", peak_queue_len as f64);
+        report.put_scalar("clamped_schedules", clamped as f64);
         report
     }
 }

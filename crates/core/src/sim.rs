@@ -244,6 +244,17 @@ impl Sim {
         self.eng.events_processed()
     }
 
+    /// High-water mark of the engine's event-queue length.
+    pub fn peak_queue_len(&self) -> usize {
+        self.eng.peak_queue_len()
+    }
+
+    /// Times a schedule into the past was clamped to `now` (0 in a healthy
+    /// model; nonzero flags a latent timing bug — see `Scheduler::at`).
+    pub fn clamped_schedules(&self) -> u64 {
+        self.eng.clamped_schedules()
+    }
+
     /// Measurement results.
     pub fn telemetry(&self) -> &Telemetry {
         &self.eng.model.telemetry

@@ -24,8 +24,9 @@ pub mod output;
 pub mod rng;
 pub mod stats;
 pub mod time;
+mod wheel;
 
-pub use engine::{Engine, Model, RunOutcome, Scheduler};
+pub use engine::{Engine, Model, QueueKind, RunOutcome, Scheduler};
 pub use rng::{splitmix64, DetRng};
 pub use time::{SimTime, TimeDelta};
 

@@ -1,0 +1,378 @@
+//! A hierarchical timing wheel: the engine's O(1) event queue.
+//!
+//! The classic `BinaryHeap` event queue costs O(log n) comparisons per
+//! push/pop with poor locality once the queue holds tens of thousands of
+//! entries — at packet-DES scale the queue, not the model, dominates the
+//! run time. This wheel exploits the structure of network-simulation
+//! schedules: almost every event is scheduled within a few link
+//! serialization times or one propagation delay of `now`, so bucketing by
+//! time quantum makes push and pop O(1) amortized.
+//!
+//! Layout: [`LEVELS`] wheels of [`SLOTS`] slots each. A level-0 slot spans
+//! 2^[`SLOT_SHIFT`] ps (≈ 8.2 ns — below one MTU serialization time at
+//! 100 Gb/s, so same-slot collisions stay small); each higher level is
+//! [`SLOTS`]× coarser. An event lands in the finest level whose *aligned
+//! group* contains both the event and the cursor (the no-wrap placement
+//! rule: placement never wraps around a wheel, so a linear bitmap scan of
+//! the current group is exhaustive). Events beyond the top level's aligned
+//! window live in an overflow heap and migrate into the wheel as the clock
+//! approaches them. Events at or before the cursor's slot sit in a small
+//! `ready` heap which restores exact `(time, seq)` order — so the wheel's
+//! dispatch order is bit-identical to the reference `BinaryHeap` scheduler
+//! (the engine's equivalence fuzz pins this).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// log2 of the level-0 slot width in picoseconds.
+const SLOT_SHIFT: u32 = 13;
+/// log2 of the number of slots per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; the top level's aligned window spans
+/// 2^(SLOT_SHIFT + LEVELS·SLOT_BITS) ps ≈ 35 s of simulated time.
+const LEVELS: usize = 4;
+/// Occupancy bitmap words per level.
+const WORDS: usize = SLOTS / 64;
+
+/// A queued event: absolute time, global insertion sequence, payload.
+/// Ordered so that a max-`BinaryHeap` pops the smallest `(time, seq)`.
+pub(crate) struct Entry<E> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct Level<E> {
+    slots: Vec<Vec<Entry<E>>>,
+    /// One bit per slot: does the slot hold any events?
+    occupied: [u64; WORDS],
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, ix: usize) {
+        self.occupied[ix >> 6] |= 1u64 << (ix & 63);
+    }
+
+    #[inline]
+    fn clear(&mut self, ix: usize) {
+        self.occupied[ix >> 6] &= !(1u64 << (ix & 63));
+    }
+
+    /// Smallest occupied slot index strictly greater than `after`, if any.
+    fn next_occupied_after(&self, after: usize) -> Option<usize> {
+        let mut w = after >> 6;
+        // Mask off bits ≤ `after` within its word.
+        let mut word = self.occupied[w] & (u64::MAX << (after & 63)) & !(1u64 << (after & 63));
+        loop {
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= WORDS {
+                return None;
+            }
+            word = self.occupied[w];
+        }
+    }
+}
+
+/// The hierarchical timing wheel event queue.
+pub(crate) struct TimingWheel<E> {
+    /// Events in the already-reached slot range, in exact heap order.
+    ready: BinaryHeap<Entry<E>>,
+    levels: Vec<Level<E>>,
+    /// Global level-0 slot index of the clock cursor (`time >> SLOT_SHIFT`).
+    cur_slot: u64,
+    /// Far-future events beyond the top level's aligned window.
+    overflow: BinaryHeap<Entry<E>>,
+    len: usize,
+}
+
+impl<E> TimingWheel<E> {
+    pub fn new() -> Self {
+        TimingWheel {
+            ready: BinaryHeap::with_capacity(64),
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            cur_slot: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Queue an event. `time` must be ≥ the time of the last popped event
+    /// (the engine clamps); times at or before the cursor's slot are legal
+    /// (the cursor may have advanced ahead of dispatch during a peek) and
+    /// land in the ready heap, which restores exact order.
+    pub fn push(&mut self, time: SimTime, seq: u64, ev: E) {
+        self.len += 1;
+        self.place(Entry { time, seq, ev });
+    }
+
+    /// Insert an entry without touching `len` (shared by push/cascade).
+    fn place(&mut self, entry: Entry<E>) {
+        let s = entry.time.as_ps() >> SLOT_SHIFT;
+        if s <= self.cur_slot {
+            self.ready.push(entry);
+            return;
+        }
+        for l in 0..LEVELS {
+            // No-wrap rule: level l may hold the event only if the event
+            // and the cursor share the aligned level-(l+1) group.
+            let parent_shift = SLOT_BITS * (l as u32 + 1);
+            if (s >> parent_shift) == (self.cur_slot >> parent_shift) {
+                let shift = SLOT_BITS * l as u32;
+                let ix = ((s >> shift) & (SLOTS as u64 - 1)) as usize;
+                self.levels[l].slots[ix].push(entry);
+                self.levels[l].mark(ix);
+                return;
+            }
+        }
+        self.overflow.push(entry);
+    }
+
+    /// Time of the earliest queued event, advancing the cursor to it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.refill();
+        self.ready.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest `(time, seq)` event.
+    pub fn pop(&mut self) -> Option<Entry<E>> {
+        self.refill();
+        let e = self.ready.pop();
+        if e.is_some() {
+            self.len -= 1;
+        }
+        e
+    }
+
+    /// Ensure the ready heap holds the globally earliest event (if any):
+    /// advance the cursor (bitmap-guided, so empty ranges are skipped in
+    /// O(words)), cascading coarser levels down as their slots are reached
+    /// and migrating overflow events once they fit in the wheel.
+    fn refill(&mut self) {
+        while self.ready.is_empty() {
+            // Next occupied level-0 slot within the cursor's group.
+            let c0 = (self.cur_slot & (SLOTS as u64 - 1)) as usize;
+            if let Some(i) = self.levels[0].next_occupied_after(c0) {
+                self.cur_slot = (self.cur_slot & !(SLOTS as u64 - 1)) + i as u64;
+                let mut slot = std::mem::take(&mut self.levels[0].slots[i]);
+                self.levels[0].clear(i);
+                for e in slot.drain(..) {
+                    self.ready.push(e);
+                }
+                // Hand the capacity-retaining Vec back to the slot.
+                self.levels[0].slots[i] = slot;
+                continue;
+            }
+            // Level 0 exhausted: cascade the next occupied coarser slot.
+            let mut cascaded = false;
+            for l in 1..LEVELS {
+                let shift = SLOT_BITS * l as u32;
+                let cl = ((self.cur_slot >> shift) & (SLOTS as u64 - 1)) as usize;
+                let Some(j) = self.levels[l].next_occupied_after(cl) else {
+                    continue;
+                };
+                // Jump the cursor to the start of that slot's range; every
+                // event inside re-places at a finer level (or `ready` for
+                // the exact slot-start time).
+                let parent_shift = SLOT_BITS * (l as u32 + 1);
+                let base = (self.cur_slot >> parent_shift) << parent_shift;
+                self.cur_slot = base | ((j as u64) << shift);
+                let mut slot = std::mem::take(&mut self.levels[l].slots[j]);
+                self.levels[l].clear(j);
+                for e in slot.drain(..) {
+                    self.place(e);
+                }
+                self.levels[l].slots[j] = slot;
+                cascaded = true;
+                break;
+            }
+            if cascaded {
+                self.migrate_overflow();
+                continue;
+            }
+            // Wheel empty: jump to the overflow's earliest event, if any.
+            match self.overflow.pop() {
+                Some(e) => {
+                    self.cur_slot = e.time.as_ps() >> SLOT_SHIFT;
+                    self.ready.push(e);
+                    self.migrate_overflow();
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Move overflow events that now share the top level's aligned window
+    /// with the cursor into the wheel.
+    fn migrate_overflow(&mut self) {
+        let window_shift = SLOT_BITS * LEVELS as u32;
+        while let Some(e) = self.overflow.peek() {
+            let s = e.time.as_ps() >> SLOT_SHIFT;
+            if (s >> window_shift) != (self.cur_slot >> window_shift) {
+                return;
+            }
+            let e = self.overflow.pop().expect("peeked");
+            self.place(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_order(w: &mut TimingWheel<u32>) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop() {
+            out.push((e.time.as_ps(), e.ev));
+        }
+        out
+    }
+
+    #[test]
+    fn orders_across_levels_and_overflow() {
+        let mut w = TimingWheel::new();
+        // Times spanning ready, levels 0..3 and overflow.
+        let times = [
+            0u64,
+            1,
+            5_000,                  // same slot group
+            3_000_000,              // level 1 (past 2^21 ps)
+            900_000_000,            // level 2
+            200_000_000_000,        // level 3
+            90_000_000_000_000_000, // overflow (past 2^45 ps)
+            7,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(SimTime::from_ps(t), i as u64, i as u32);
+        }
+        assert_eq!(w.len(), times.len());
+        let got = drain_order(&mut w);
+        let mut want: Vec<(u64, u32)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u32))
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn ties_pop_in_sequence_order() {
+        let mut w = TimingWheel::new();
+        for i in 0..100u32 {
+            w.push(SimTime::from_ps(42), i as u64, i);
+        }
+        let got = drain_order(&mut w);
+        assert_eq!(got, (0..100).map(|i| (42, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_boundary_crossings_are_not_skipped() {
+        // Events a few slots apart but on opposite sides of a level-0 group
+        // boundary (group = 256 slots of 2^13 ps): the no-wrap rule must
+        // route the later one through level 1 and still dispatch in order.
+        let mut w = TimingWheel::new();
+        let group = (SLOTS as u64) << SLOT_SHIFT;
+        w.push(SimTime::from_ps(group - 10), 0, 0);
+        w.push(SimTime::from_ps(group + 10), 1, 1);
+        w.push(SimTime::from_ps(group * 256 + 5), 2, 2); // level-1 group boundary
+        let got = drain_order(&mut w);
+        assert_eq!(
+            got,
+            vec![(group - 10, 0), (group + 10, 1), (group * 256 + 5, 2)]
+        );
+    }
+
+    #[test]
+    fn push_behind_cursor_lands_in_ready() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_us(100), 0, 0);
+        // Peek advances the cursor to the 100 µs slot…
+        assert_eq!(w.peek_time(), Some(SimTime::from_us(100)));
+        // …then an earlier event arrives (legal: a horizon-parked engine
+        // schedules between `now` and the next event).
+        w.push(SimTime::from_us(50), 1, 1);
+        let got = drain_order(&mut w);
+        assert_eq!(got, vec![(50_000_000, 1), (100_000_000, 0)]);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_global_order() {
+        let mut w = TimingWheel::new();
+        let mut seq = 0u64;
+        let mut push = |w: &mut TimingWheel<u32>, t: u64, tag: u32| {
+            w.push(SimTime::from_ns(t), seq, tag);
+            seq += 1;
+        };
+        push(&mut w, 10, 0);
+        push(&mut w, 5_000_000, 1); // far future
+        let e = w.pop().unwrap();
+        assert_eq!(e.ev, 0);
+        // Schedule relative to the popped time.
+        push(&mut w, 20, 2);
+        push(&mut w, 4_000, 3);
+        assert_eq!(w.pop().unwrap().ev, 2);
+        assert_eq!(w.pop().unwrap().ev, 3);
+        assert_eq!(w.pop().unwrap().ev, 1);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_migrates_as_the_clock_approaches() {
+        let mut w = TimingWheel::new();
+        let window = 1u64 << (SLOT_SHIFT + SLOT_BITS * LEVELS as u32);
+        w.push(SimTime::from_ps(window + 100), 0, 0);
+        w.push(SimTime::from_ps(window + 200), 1, 1);
+        w.push(SimTime::from_ps(3), 2, 2);
+        assert_eq!(w.pop().unwrap().ev, 2);
+        assert_eq!(w.pop().unwrap().ev, 0);
+        assert_eq!(w.pop().unwrap().ev, 1);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn empty_wheel_behaves() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.peek_time(), None);
+        assert!(w.pop().is_none());
+    }
+}

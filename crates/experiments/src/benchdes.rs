@@ -1,0 +1,146 @@
+//! `fncc-repro bench-des` — the packet-DES throughput harness.
+//!
+//! Runs the fat-tree workload benchmark points on the packet backend and
+//! writes `BENCH_des.json` (events/sec, wall time, peak event-queue
+//! length, heap allocations from the counting allocator), so the engine's
+//! perf trajectory is recorded run over run. `--quick` shrinks to the CI
+//! smoke point; `--full` adds the binary-heap reference scheduler for a
+//! wheel-vs-heap comparison on identical work.
+
+use crate::{RunOpts, Scale};
+use fncc_cc::CcKind;
+use fncc_core::json::{num_u64, obj, Json};
+use fncc_core::{run_scenario, Scenario, SimBackend, TopologySpec, TrafficSpec, Workload};
+use std::time::Instant;
+
+/// Artifact schema identifier.
+pub const BENCH_DES_SCHEMA: &str = "fncc.bench_des/v1";
+
+/// One measured benchmark point.
+struct Point {
+    name: String,
+    scheduler: &'static str,
+    flows: u32,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    peak_queue_len: f64,
+    clamped_schedules: f64,
+    allocations: u64,
+}
+
+fn workload_point(k: u32, flows: u32, cap_ms: u64) -> Scenario {
+    let mut sc = Scenario::new(
+        format!("bench-des-k{k}-{flows}f"),
+        TopologySpec::FatTree { k },
+        TrafficSpec::Poisson {
+            workload: Workload::WebSearch,
+            load: 0.5,
+            flows,
+        },
+        CcKind::Fncc,
+    );
+    sc.stop = fncc_core::StopCondition::Drain { cap_ms };
+    sc.seeds = vec![1];
+    sc
+}
+
+fn measure(sc: &Scenario, scheduler: &'static str) -> Point {
+    std::env::set_var("FNCC_DES_SCHED", scheduler);
+    let allocs_before = crate::alloc_count();
+    let t0 = Instant::now();
+    let report = run_scenario(sc, SimBackend::Packet);
+    let wall = t0.elapsed().as_secs_f64();
+    let allocations = crate::alloc_count() - allocs_before;
+    std::env::remove_var("FNCC_DES_SCHED");
+    let flows = match sc.traffic {
+        TrafficSpec::Poisson { flows, .. } => flows,
+        _ => 0,
+    };
+    Point {
+        name: sc.name.clone(),
+        scheduler,
+        flows,
+        events: report.events,
+        wall_s: wall,
+        events_per_sec: report.events as f64 / wall.max(1e-9),
+        peak_queue_len: report.scalar("peak_queue_len").unwrap_or(0.0),
+        clamped_schedules: report.scalar("clamped_schedules").unwrap_or(0.0),
+        allocations,
+    }
+}
+
+/// Run the benchmark points and write `BENCH_des.json` under `opts.out`.
+pub fn bench_des(opts: &RunOpts) {
+    let points: Vec<Scenario> = match opts.scale {
+        // CI smoke: one reduced point, seconds-long.
+        Scale::Quick => vec![workload_point(4, 400, 200)],
+        // The headline point: the fat-tree workload at 10⁴ flows.
+        Scale::Default => vec![
+            workload_point(8, 2_000, 200),
+            workload_point(8, 10_000, 200),
+        ],
+        Scale::Full => vec![
+            workload_point(8, 2_000, 200),
+            workload_point(8, 10_000, 200),
+            workload_point(8, 30_000, 200),
+        ],
+    };
+    let schedulers: &[&'static str] = match opts.scale {
+        // Full mode measures the reference heap on identical work too.
+        Scale::Full => &["wheel", "heap"],
+        _ => &["wheel"],
+    };
+
+    let mut measured = Vec::new();
+    for sc in &points {
+        for sched in schedulers {
+            let p = measure(sc, sched);
+            println!(
+                "[bench-des] {} [{}]: {} events in {:.1}s = {:.2}M events/s \
+                 (peak queue {}, {} allocs)",
+                p.name,
+                p.scheduler,
+                p.events,
+                p.wall_s,
+                p.events_per_sec / 1e6,
+                p.peak_queue_len,
+                p.allocations,
+            );
+            measured.push(p);
+        }
+    }
+
+    let artifact = obj([
+        ("schema", Json::Str(BENCH_DES_SCHEMA.into())),
+        (
+            "points",
+            Json::Arr(
+                measured
+                    .iter()
+                    .map(|p| {
+                        obj([
+                            ("name", Json::Str(p.name.clone())),
+                            ("scheduler", Json::Str(p.scheduler.into())),
+                            ("flows", Json::Num(p.flows as f64)),
+                            ("events", num_u64(p.events)),
+                            ("wall_s", Json::Num(p.wall_s)),
+                            ("events_per_sec", Json::Num(p.events_per_sec)),
+                            ("peak_queue_len", Json::Num(p.peak_queue_len)),
+                            ("clamped_schedules", Json::Num(p.clamped_schedules)),
+                            ("allocations", num_u64(p.allocations)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = opts.out.join("BENCH_des.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, artifact.to_string_pretty()) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}

@@ -7,13 +7,47 @@
 //! dispatches to them; see `DESIGN.md` for the experiment index.
 
 pub mod ablation;
+pub mod benchdes;
 pub mod figs;
 pub mod report;
 pub mod scorecard;
 pub mod workload_figs;
 
 use fncc_core::SimBackend;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counting wrapper around the system allocator: one relaxed increment
+/// per allocation, so `bench-des` can report allocation counts. The
+/// overhead is unmeasurable next to the allocation itself. Registered as
+/// `#[global_allocator]` by the `fncc-repro` binary only — library
+/// consumers (e.g. the criterion benches) keep the plain system
+/// allocator, and `alloc_count` simply stays at 0 there.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to `System` verbatim; only adds a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocations (including reallocs) since process start (0 unless
+/// [`CountingAlloc`] is installed as the global allocator).
+pub fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Global run options shared by all experiments.
 #[derive(Clone, Debug)]

@@ -7,7 +7,7 @@
 //! fncc-repro run SCENARIO.json… [--backend packet|fluid] [--out DIR]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
-//!              fig15 ablate storm load-sweep extra-cc check all
+//!              fig15 ablate storm load-sweep extra-cc bench-des check all
 //!              (default: all; `all` runs each once — `storm` is already
 //!              part of `ablate`)
 //!
@@ -18,9 +18,14 @@
 //! unified Backend path and writes a `*.report.json` artifact.
 //! ```
 
-use fncc_experiments::{ablation, figs, scorecard, workload_figs, RunOpts, Scale};
+use fncc_experiments::{ablation, benchdes, figs, scorecard, workload_figs, RunOpts, Scale};
 use std::path::PathBuf;
 use std::time::Instant;
+
+// Count allocations binary-wide so `bench-des` can report them; library
+// consumers of fncc-experiments are not affected.
+#[global_allocator]
+static GLOBAL: fncc_experiments::CountingAlloc = fncc_experiments::CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
@@ -28,7 +33,7 @@ fn usage() -> ! {
          [--threads N] [--seeds N] [--flows N] [--backend packet|fluid]\n\
          \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid] [--out DIR]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
-         fig14 fig15 ablate storm load-sweep extra-cc check all"
+         fig14 fig15 ablate storm load-sweep extra-cc bench-des check all"
     );
     std::process::exit(2)
 }
@@ -147,6 +152,7 @@ fn run_one(exp: &str, opts: &RunOpts) {
             ablation::pause_storm(opts);
         }
         "storm" => ablation::pause_storm(opts),
+        "bench-des" => benchdes::bench_des(opts),
         "load-sweep" => workload_figs::load_sweep(opts),
         "check" => {
             let failed = scorecard::check(opts);

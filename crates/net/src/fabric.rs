@@ -8,6 +8,7 @@
 use crate::config::FabricConfig;
 use crate::ids::{FlowId, HostId, NodeRef, SwitchId};
 use crate::packet::{Packet, PacketKind};
+use crate::pool::PacketPool;
 use crate::port::Port;
 use crate::switch::{Switch, SwitchOutput};
 use crate::telemetry::Telemetry;
@@ -69,6 +70,7 @@ pub struct HostCtx<'a, T> {
     /// Telemetry sink (flow records, counters).
     pub telemetry: &'a mut Telemetry,
     port: &'a mut Port,
+    pool: &'a mut PacketPool,
     sched: &'a mut Scheduler<Ev<T>>,
 }
 
@@ -107,6 +109,18 @@ impl<'a, T> HostCtx<'a, T> {
     #[inline]
     pub fn nic_paused(&self) -> bool {
         self.port.paused
+    }
+
+    /// The shared packet pool: allocate outgoing frames here.
+    #[inline]
+    pub fn pool(&mut self) -> &mut PacketPool {
+        self.pool
+    }
+
+    /// Return a fully consumed frame to the pool.
+    #[inline]
+    pub fn recycle(&mut self, pkt: Box<Packet>) {
+        self.pool.put(pkt);
     }
 
     /// Hand a frame to the NIC for transmission.
@@ -164,6 +178,8 @@ pub struct Fabric<H: HostLogic> {
     pub hosts: Vec<H>,
     /// Measurement sink.
     pub telemetry: Telemetry,
+    /// Shared packet free-list (recycles every consumed frame).
+    pub pool: PacketPool,
     /// Scratch buffer for switch outputs (reused across events).
     scratch: Vec<SwitchOutput>,
 }
@@ -185,6 +201,7 @@ impl<H: HostLogic> Fabric<H> {
             host_ports,
             hosts,
             telemetry: Telemetry::new(),
+            pool: PacketPool::new(),
             scratch: Vec::with_capacity(8),
         }
     }
@@ -234,6 +251,7 @@ impl<H: HostLogic> Fabric<H> {
             cfg: &self.cfg,
             telemetry: &mut self.telemetry,
             port: &mut self.host_ports[hix],
+            pool: &mut self.pool,
             sched,
         };
         f(&mut self.hosts[hix], &mut ctx);
@@ -254,6 +272,7 @@ impl<H: HostLogic> Fabric<H> {
                 if p.paused_since.is_none() {
                     p.paused_since = Some(now);
                 }
+                self.pool.put(pkt);
             }
             PacketKind::PfcResume => {
                 let p = &mut self.host_ports[host.ix()];
@@ -261,6 +280,7 @@ impl<H: HostLogic> Fabric<H> {
                 if let Some(t0) = p.paused_since.take() {
                     self.telemetry.note_pause_episode(now.since(t0));
                 }
+                self.pool.put(pkt);
                 let p = &mut self.host_ports[host.ix()];
                 start_port_tx(NodeRef::Host(host), p, now, &self.cfg, sched);
             }
@@ -285,10 +305,9 @@ impl<H: HostLogic> Fabric<H> {
     ) -> Vec<SwitchOutput> {
         for out in outputs.drain(..) {
             match out {
-                SwitchOutput::StartTx { port } => {
-                    let t = self.switches[sw_ix].tx_time_of_in_flight(port, &self.cfg);
+                SwitchOutput::StartTx { port, tx_after } => {
                     sched.after(
-                        t,
+                        tx_after,
                         Ev::TxDone {
                             node: NodeRef::Switch(SwitchId(sw_ix as u32)),
                             port,
@@ -296,12 +315,12 @@ impl<H: HostLogic> Fabric<H> {
                     );
                 }
                 SwitchOutput::Deliver {
-                    port,
                     peer,
                     peer_port,
+                    prop,
                     pkt,
+                    ..
                 } => {
-                    let prop = self.switches[sw_ix].ports[port as usize].prop;
                     sched.after(
                         prop,
                         Ev::Arrive {
@@ -347,7 +366,7 @@ fn start_port_tx<T>(
         return;
     }
     let Some(pkt) = port.dequeue() else { return };
-    let t = port.bw.tx_time(pkt.size as u64 + cfg.wire_overhead as u64);
+    let t = port.tx_time(pkt.size as u64 + cfg.wire_overhead as u64);
     // The fabric only uses start_port_tx for hosts; find the port index: a
     // host has exactly one port, index 0.
     port.in_flight = Some(pkt);
@@ -369,9 +388,18 @@ impl<H: HostLogic> Model for Fabric<H> {
                             switches,
                             cfg,
                             telemetry,
+                            pool,
                             ..
                         } = self;
-                        switches[s.ix()].on_arrive(now, port, pkt, cfg, telemetry, &mut outputs);
+                        switches[s.ix()].on_arrive(
+                            now,
+                            port,
+                            pkt,
+                            cfg,
+                            telemetry,
+                            pool,
+                            &mut outputs,
+                        );
                     }
                     self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
                 }
@@ -385,9 +413,10 @@ impl<H: HostLogic> Model for Fabric<H> {
                             switches,
                             cfg,
                             telemetry,
+                            pool,
                             ..
                         } = self;
-                        switches[s.ix()].on_tx_done(now, port, cfg, telemetry, &mut outputs);
+                        switches[s.ix()].on_tx_done(now, port, cfg, telemetry, pool, &mut outputs);
                     }
                     self.scratch = self.flush_switch_outputs(s.ix(), now, sched, outputs);
                 }

@@ -22,6 +22,7 @@ pub mod config;
 pub mod fabric;
 pub mod ids;
 pub mod packet;
+pub mod pool;
 pub mod port;
 pub mod routing;
 pub mod switch;
@@ -34,6 +35,7 @@ pub use config::{EcnConfig, FabricConfig, FaultSpec, IntInsertion, PfcConfig, Ro
 pub use fabric::{Ev, Fabric, HostCtx, HostLogic};
 pub use ids::{FlowId, HostId, NodeRef, SwitchId};
 pub use packet::{IntRecord, IntStack, Packet, PacketKind, MAX_HOPS};
+pub use pool::PacketPool;
 pub use telemetry::{FlowRecord, Telemetry};
 pub use topology::{Topology, TopologyKind};
 pub use units::{Bandwidth, ByteSize};

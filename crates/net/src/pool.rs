@@ -1,0 +1,260 @@
+//! Packet recycling: a free-list pool of `Box<Packet>`.
+//!
+//! Packets are created and destroyed millions of times per run — one
+//! malloc/free pair per frame was a measurable slice of the hot path, and
+//! worse, fresh boxes scatter across the heap while recycled ones stay
+//! cache-hot. The pool hands out boxes from a free list and takes them
+//! back at every point a frame leaves the simulation (delivery to a host,
+//! PFC consumption, buffer drop).
+//!
+//! The constructors mirror [`Packet::data`]/[`Packet::ack`]/[`Packet::cnp`]/
+//! [`Packet::pfc`] exactly: every field of a recycled box is reset to what
+//! the corresponding constructor writes, except that the INT stack is
+//! cleared by length only — records beyond `len` are unobservable through
+//! the [`crate::packet::IntStack`] API, so stale entries are never read.
+
+use crate::ids::{FlowId, HostId};
+use crate::packet::{Packet, PacketKind};
+use fncc_des::time::SimTime;
+
+/// A free-list of packet boxes with allocation accounting.
+#[derive(Default)]
+pub struct PacketPool {
+    // The boxes themselves are the currency here — frames circulate as
+    // `Box<Packet>` through queues and events, so the free list must hold
+    // boxes (moving `Packet` by value would copy ~400 B per put/take).
+    #[allow(clippy::vec_box)]
+    free: Vec<Box<Packet>>,
+    fresh: u64,
+    recycled: u64,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Boxes created fresh (pool misses) so far.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Boxes served from the free list so far.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Boxes currently parked in the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Return a box to the free list.
+    #[inline]
+    pub fn put(&mut self, pkt: Box<Packet>) {
+        self.free.push(pkt);
+    }
+
+    /// A box with unspecified contents; the caller must set every field.
+    #[inline]
+    fn take(&mut self) -> Box<Packet> {
+        match self.free.pop() {
+            Some(p) => {
+                self.recycled += 1;
+                p
+            }
+            None => {
+                self.fresh += 1;
+                Packet::data(FlowId(0), HostId(0), HostId(0), 0, 0, 0, SimTime::ZERO)
+            }
+        }
+    }
+
+    /// Reset every non-INT field to the constructors' shared defaults.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn reset(
+        pkt: &mut Packet,
+        kind: PacketKind,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        seq: u64,
+        size: u32,
+        payload: u32,
+        now: SimTime,
+    ) {
+        pkt.kind = kind;
+        pkt.flow = flow;
+        pkt.src = src;
+        pkt.dst = dst;
+        pkt.seq = seq;
+        pkt.size = size;
+        pkt.payload = payload;
+        pkt.sent_at = now;
+        pkt.ecn = false;
+        pkt.int.clear();
+        pkt.concurrent_flows = 0;
+        pkt.path_xor = 0;
+        pkt.rocc_rate = f64::INFINITY;
+        pkt.in_port = 0;
+        pkt.accounted = 0;
+        pkt.last_of_flow = false;
+    }
+
+    /// Pooled equivalent of [`Packet::data`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        &mut self,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        seq: u64,
+        payload: u32,
+        wire_size: u32,
+        now: SimTime,
+    ) -> Box<Packet> {
+        let mut p = self.take();
+        Self::reset(
+            &mut p,
+            PacketKind::Data,
+            flow,
+            src,
+            dst,
+            seq,
+            wire_size,
+            payload,
+            now,
+        );
+        p
+    }
+
+    /// Pooled equivalent of [`Packet::ack`].
+    pub fn ack(
+        &mut self,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        ack_seq: u64,
+        base_size: u32,
+        now: SimTime,
+    ) -> Box<Packet> {
+        let mut p = self.take();
+        Self::reset(
+            &mut p,
+            PacketKind::Ack,
+            flow,
+            src,
+            dst,
+            ack_seq,
+            base_size,
+            0,
+            now,
+        );
+        p
+    }
+
+    /// Pooled equivalent of [`Packet::cnp`].
+    pub fn cnp(
+        &mut self,
+        flow: FlowId,
+        src: HostId,
+        dst: HostId,
+        size: u32,
+        now: SimTime,
+    ) -> Box<Packet> {
+        let mut p = self.take();
+        Self::reset(&mut p, PacketKind::Cnp, flow, src, dst, 0, size, 0, now);
+        p
+    }
+
+    /// Pooled equivalent of [`Packet::pfc`].
+    pub fn pfc(&mut self, kind: PacketKind, size: u32, now: SimTime) -> Box<Packet> {
+        debug_assert!(kind.is_control());
+        let mut p = self.take();
+        Self::reset(
+            &mut p,
+            kind,
+            FlowId(u32::MAX),
+            HostId(u32::MAX),
+            HostId(u32::MAX),
+            0,
+            size,
+            0,
+            now,
+        );
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::IntRecord;
+    use crate::units::Bandwidth;
+
+    #[test]
+    fn pooled_constructors_match_fresh_ones() {
+        let mut pool = PacketPool::new();
+        let now = SimTime::from_us(3);
+        let a = pool.data(FlowId(1), HostId(2), HostId(3), 40, 100, 162, now);
+        let b = Packet::data(FlowId(1), HostId(2), HostId(3), 40, 100, 162, now);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let a = pool.ack(FlowId(1), HostId(3), HostId(2), 140, 70, now);
+        let b = Packet::ack(FlowId(1), HostId(3), HostId(2), 140, 70, now);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let a = pool.cnp(FlowId(1), HostId(3), HostId(2), 64, now);
+        let b = Packet::cnp(FlowId(1), HostId(3), HostId(2), 64, now);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let a = pool.pfc(PacketKind::PfcPause, 64, now);
+        let b = Packet::pfc(PacketKind::PfcPause, 64, now);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn recycled_box_is_fully_reset() {
+        let mut pool = PacketPool::new();
+        let mut p = pool.data(
+            FlowId(7),
+            HostId(0),
+            HostId(1),
+            0,
+            1456,
+            1518,
+            SimTime::ZERO,
+        );
+        // Dirty every mutable bit of state a switch or host can touch.
+        p.push_int(IntRecord {
+            bandwidth: Bandwidth::gbps(100),
+            ts: SimTime::from_us(9),
+            tx_bytes: 77,
+            qlen: 12,
+        });
+        p.ecn = true;
+        p.concurrent_flows = 9;
+        p.path_xor = 0xabc;
+        p.rocc_rate = 5e9;
+        p.in_port = 3;
+        p.accounted = 1526;
+        p.last_of_flow = true;
+        pool.put(p);
+        assert_eq!(pool.free_len(), 1);
+        let q = pool.data(FlowId(1), HostId(2), HostId(3), 40, 100, 162, SimTime::ZERO);
+        let fresh = Packet::data(FlowId(1), HostId(2), HostId(3), 40, 100, 162, SimTime::ZERO);
+        assert_eq!(format!("{:?}", q.int.as_slice()), "[]");
+        assert_eq!(q.int.wire_bytes(), 0);
+        // Everything observable matches a fresh construction.
+        assert_eq!(q.kind, fresh.kind);
+        assert_eq!(q.seq, fresh.seq);
+        assert_eq!(q.size, fresh.size);
+        assert_eq!(q.payload, fresh.payload);
+        assert!(!q.ecn && !q.last_of_flow);
+        assert_eq!(q.concurrent_flows, 0);
+        assert_eq!(q.path_xor, 0);
+        assert!(q.rocc_rate.is_infinite());
+        assert_eq!((q.in_port, q.accounted), (0, 0));
+        assert_eq!(pool.recycled(), 1);
+        assert_eq!(pool.fresh_allocs(), 1);
+    }
+}

@@ -6,7 +6,7 @@
 //! delivered as events.
 
 use crate::ids::NodeRef;
-use crate::packet::Packet;
+use crate::packet::{IntRecord, Packet};
 use crate::topology::PortSpec;
 use crate::units::Bandwidth;
 use fncc_des::time::TimeDelta;
@@ -43,6 +43,23 @@ pub struct Port {
     pub resume_tx: u64,
     /// PFC XOFF frames received on this port.
     pub pause_rx: u64,
+    /// Memo of the last serialization-time computation (`bytes` → span):
+    /// frame sizes repeat heavily, and the 128-bit division in
+    /// [`Bandwidth::tx_time`] is hot-path noticeable.
+    tx_memo: (u64, TimeDelta),
+    /// PFC accounting: bytes buffered from frames that *entered* on this
+    /// port index (ingress side; lives here so one port touch covers both
+    /// directions of the hot path).
+    pub ingress_bytes: u64,
+    /// True while we hold the upstream on this ingress port paused.
+    pub upstream_paused: bool,
+    /// This port's `All_INT_Table` entry (Fig. 8): last periodic snapshot.
+    /// Unused in live mode.
+    pub int_rec: IntRecord,
+    /// RoCC advertised fair rate (bits/s).
+    pub rocc_rate: f64,
+    /// RoCC controller: previous queue sample.
+    pub rocc_prev_q: f64,
 }
 
 impl Port {
@@ -63,7 +80,28 @@ impl Port {
             pause_tx: 0,
             resume_tx: 0,
             pause_rx: 0,
+            tx_memo: (u64::MAX, TimeDelta::ZERO),
+            ingress_bytes: 0,
+            upstream_paused: false,
+            int_rec: IntRecord {
+                bandwidth: spec.bw,
+                ts: fncc_des::SimTime::ZERO,
+                tx_bytes: 0,
+                qlen: 0,
+            },
+            rocc_rate: spec.bw.as_f64(),
+            rocc_prev_q: 0.0,
         }
+    }
+
+    /// Serialization time of `bytes` at this port's rate, memoized on the
+    /// last distinct size (identical result to [`Bandwidth::tx_time`]).
+    #[inline]
+    pub fn tx_time(&mut self, bytes: u64) -> TimeDelta {
+        if self.tx_memo.0 != bytes {
+            self.tx_memo = (bytes, self.bw.tx_time(bytes));
+        }
+        self.tx_memo.1
     }
 
     /// Queue a data-class frame (data, ACK or CNP).

@@ -79,6 +79,85 @@ impl RoutingTable {
     }
 }
 
+/// A [`RoutingTable`] compiled for the hot path.
+///
+/// `PerDst` tables resolve to one load pair per lookup: per destination a
+/// packed `(level, table)` word, then a 256-entry digit→port byte table
+/// shared between destinations with the same choice set (`Single` entries
+/// compile to a constant table). This replaces two pointer chases and a
+/// hardware division per forwarded frame with two dependent loads.
+/// `Trees` tables keep the original lookup (full-hash modulo over the tree
+/// count does not digit-compile); they are off the workload hot path.
+#[derive(Clone, Debug)]
+pub enum CompiledRoutes {
+    /// Digit-compiled per-destination tables.
+    PerDst {
+        /// Per destination: `level << 16 | table index`, or `u32::MAX` for
+        /// unreachable.
+        dst: Vec<u32>,
+        /// Digit→port tables, 256 bytes each, deduplicated.
+        tables: Vec<[u8; 256]>,
+    },
+    /// Uncompiled fallback (spanning-tree routing).
+    Raw(RoutingTable),
+}
+
+impl CompiledRoutes {
+    /// Compile a routing table. Lookup results are bit-identical to
+    /// [`RoutingTable::egress`] for every `(dst, h)`.
+    pub fn compile(rt: &RoutingTable) -> CompiledRoutes {
+        let RoutingTable::PerDst(entries) = rt else {
+            return CompiledRoutes::Raw(rt.clone());
+        };
+        let mut tables: Vec<[u8; 256]> = Vec::new();
+        let mut dst = Vec::with_capacity(entries.len());
+        let intern = |t: [u8; 256], tables: &mut Vec<[u8; 256]>| -> u32 {
+            match tables.iter().position(|x| x == &t) {
+                Some(ix) => ix as u32,
+                None => {
+                    tables.push(t);
+                    tables.len() as u32 - 1
+                }
+            }
+        };
+        for e in entries {
+            dst.push(match e {
+                RouteEntry::Unreachable => u32::MAX,
+                RouteEntry::Single(p) => intern([*p; 256], &mut tables),
+                RouteEntry::Ecmp { ports, level } => {
+                    let mut t = [0u8; 256];
+                    for (digit, slot) in t.iter_mut().enumerate() {
+                        *slot = ports[digit % ports.len()];
+                    }
+                    ((*level as u32) << 16) | intern(t, &mut tables)
+                }
+            });
+        }
+        assert!(
+            tables.len() <= 0xFFFF,
+            "too many distinct ECMP tables to digit-compile ({})",
+            tables.len()
+        );
+        CompiledRoutes::PerDst { dst, tables }
+    }
+
+    /// Select the egress port towards `dst` for a frame with path hash `h`.
+    /// Panics on unreachable destinations, like [`RoutingTable::egress`].
+    #[inline]
+    pub fn egress(&self, dst: HostId, h: u64) -> u8 {
+        match self {
+            CompiledRoutes::PerDst { dst: d, tables } => {
+                let packed = d[dst.ix()];
+                assert_ne!(packed, u32::MAX, "no route to {dst:?}");
+                let level = packed >> 16;
+                let digit = (h >> (LEVEL_DIGIT_BITS * level)) & 0xFF;
+                tables[(packed & 0xFFFF) as usize][digit as usize]
+            }
+            CompiledRoutes::Raw(rt) => rt.egress(dst, h),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +236,51 @@ mod tests {
     fn unreachable_panics() {
         let rt = RoutingTable::PerDst(vec![RouteEntry::Unreachable]);
         rt.egress(HostId(0), 0);
+    }
+
+    #[test]
+    fn compiled_routes_match_interpreted_lookup() {
+        let rt = RoutingTable::PerDst(vec![
+            RouteEntry::Single(3),
+            RouteEntry::Ecmp {
+                ports: vec![10, 11, 12],
+                level: 1,
+            },
+            RouteEntry::Ecmp {
+                ports: vec![4, 5, 6, 7],
+                level: 0,
+            },
+            RouteEntry::Single(3), // dedups with entry 0
+        ]);
+        let c = CompiledRoutes::compile(&rt);
+        for dst in 0..4u32 {
+            for f in 0..500u32 {
+                let h = flow_hash(HostId(dst), HostId(100), FlowId(f));
+                assert_eq!(c.egress(HostId(dst), h), rt.egress(HostId(dst), h));
+            }
+        }
+        if let CompiledRoutes::PerDst { tables, .. } = &c {
+            assert_eq!(tables.len(), 3, "identical entries share one table");
+        } else {
+            panic!("PerDst must digit-compile");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn compiled_unreachable_panics() {
+        let c = CompiledRoutes::compile(&RoutingTable::PerDst(vec![RouteEntry::Unreachable]));
+        c.egress(HostId(0), 0);
+    }
+
+    #[test]
+    fn compiled_trees_fall_back_to_raw() {
+        let rt = RoutingTable::Trees(vec![vec![1], vec![2], vec![3]]);
+        let c = CompiledRoutes::compile(&rt);
+        for f in 0..100u32 {
+            let h = flow_hash(HostId(0), HostId(0), FlowId(f));
+            assert_eq!(c.egress(HostId(0), h), rt.egress(HostId(0), h));
+        }
     }
 
     #[test]

@@ -5,8 +5,9 @@
 use crate::config::{FabricConfig, IntInsertion};
 use crate::ids::{HostId, NodeRef, SwitchId};
 use crate::packet::{IntRecord, Packet, PacketKind};
+use crate::pool::PacketPool;
 use crate::port::Port;
-use crate::routing::{flow_hash, RoutingTable};
+use crate::routing::{flow_hash, CompiledRoutes, RoutingTable};
 use crate::telemetry::Telemetry;
 use crate::topology::SwitchSpec;
 use crate::units::PFC_FRAME_BYTES;
@@ -18,13 +19,17 @@ use fncc_des::time::SimTime;
 /// and therefore easy to unit-test).
 #[derive(Debug)]
 pub enum SwitchOutput {
-    /// Start serializing on `port`; `TxDone` is due after the frame's
-    /// serialization time (the frame is in `ports[port].in_flight`).
+    /// Start serializing on `port`; `TxDone` is due after `tx_after` (the
+    /// frame is in `ports[port].in_flight`). The serialization time rides
+    /// along so the consumer never has to reload switch state.
     StartTx {
         /// Egress port index.
         port: u8,
+        /// The frame's serialization time at this port's rate.
+        tx_after: fncc_des::TimeDelta,
     },
-    /// Deliver `pkt` to `peer` after `ports[port]`'s propagation delay.
+    /// Deliver `pkt` to `peer` after `prop` (the egress port's propagation
+    /// delay, copied here for the same reason).
     Deliver {
         /// Egress port the frame left through.
         port: u8,
@@ -32,6 +37,8 @@ pub enum SwitchOutput {
         peer: NodeRef,
         /// Receiving port index.
         peer_port: u8,
+        /// One-way propagation delay of the link.
+        prop: fncc_des::TimeDelta,
         /// The frame.
         pkt: Box<Packet>,
     },
@@ -43,21 +50,15 @@ pub struct Switch {
     pub id: SwitchId,
     /// Egress ports.
     pub ports: Vec<Port>,
-    /// Forwarding table.
-    pub route: RoutingTable,
-    /// PFC accounting: buffered bytes per ingress port.
-    pub ingress_bytes: Vec<u64>,
-    /// True while we hold the upstream on that ingress port paused.
-    pub upstream_paused: Vec<bool>,
-    /// Total buffered bytes (shared-buffer occupancy).
+    /// Forwarding table as constructed (kept for inspection via
+    /// [`Switch::route`]; forwarding uses the compiled copy below, so the
+    /// field is private to keep the two from diverging).
+    route: RoutingTable,
+    /// Digit-compiled forwarding table (hot-path lookups; same results).
+    croute: CompiledRoutes,
+    /// Total buffered bytes (shared-buffer occupancy). Per-port PFC
+    /// accounting, the `All_INT_Table` and RoCC state live on [`Port`].
     pub buffered: u64,
-    /// `All_INT_Table` (Fig. 8): last periodic snapshot per port. Unused in
-    /// live mode.
-    pub int_table: Vec<IntRecord>,
-    /// RoCC advertised fair rate per port (bits/s).
-    pub rocc_rate: Vec<f64>,
-    /// RoCC controller: previous queue sample per port.
-    rocc_prev_q: Vec<f64>,
     /// ECN marking randomness.
     ecn_rng: DetRng,
 }
@@ -65,30 +66,20 @@ pub struct Switch {
 impl Switch {
     /// Instantiate from a topology description.
     pub fn new(id: SwitchId, spec: &SwitchSpec, cfg: &FabricConfig) -> Switch {
-        let n = spec.ports.len();
         let ports: Vec<Port> = spec.ports.iter().map(Port::from_spec).collect();
-        let int_table = ports
-            .iter()
-            .map(|p| IntRecord {
-                bandwidth: p.bw,
-                ts: SimTime::ZERO,
-                tx_bytes: 0,
-                qlen: 0,
-            })
-            .collect();
-        let rocc_rate = ports.iter().map(|p| p.bw.as_f64()).collect();
         Switch {
             id,
             ports,
+            croute: CompiledRoutes::compile(&spec.route),
             route: spec.route.clone(),
-            ingress_bytes: vec![0; n],
-            upstream_paused: vec![false; n],
             buffered: 0,
-            int_table,
-            rocc_rate,
-            rocc_prev_q: vec![0.0; n],
             ecn_rng: DetRng::new(cfg.seed, 0x0057_17C4 ^ id.0 as u64),
         }
+    }
+
+    /// The forwarding table this switch was built with.
+    pub fn route(&self) -> &RoutingTable {
+        &self.route
     }
 
     /// Snapshot a port's live INT record.
@@ -105,27 +96,31 @@ impl Switch {
 
     /// Periodic `All_INT_Table` refresh (Fig. 8 "Management" module).
     pub fn refresh_int_table(&mut self, now: SimTime) {
-        for p in 0..self.ports.len() {
-            self.int_table[p] = self.live_int(p as u8, now);
+        for p in &mut self.ports {
+            p.int_rec = IntRecord {
+                bandwidth: p.bw,
+                ts: now,
+                tx_bytes: p.tx_bytes,
+                qlen: p.queue_bytes,
+            };
         }
     }
 
     /// One RoCC PI-controller step over every port.
     pub fn rocc_step(&mut self, cfg: &FabricConfig) {
         let Some(rc) = &cfg.rocc else { return };
-        for p in 0..self.ports.len() {
-            let q = self.ports[p].queue_bytes as f64;
-            let r = self.rocc_rate[p]
-                - rc.gain_p * (q - rc.qref)
-                - rc.gain_d * (q - self.rocc_prev_q[p]);
-            self.rocc_rate[p] = r.clamp(rc.min_rate, self.ports[p].bw.as_f64());
-            self.rocc_prev_q[p] = q;
+        for p in &mut self.ports {
+            let q = p.queue_bytes as f64;
+            let r = p.rocc_rate - rc.gain_p * (q - rc.qref) - rc.gain_d * (q - p.rocc_prev_q);
+            p.rocc_rate = r.clamp(rc.min_rate, p.bw.as_f64());
+            p.rocc_prev_q = q;
         }
     }
 
     /// Handle an arriving frame on `in_port`. Control frames flip the pause
     /// state; everything else is routed and queued. Emits follow-up actions
-    /// into `out`.
+    /// into `out`; consumed frames (PFC, drops) return to `pool`.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_arrive(
         &mut self,
         now: SimTime,
@@ -133,6 +128,7 @@ impl Switch {
         mut pkt: Box<Packet>,
         cfg: &FabricConfig,
         telem: &mut Telemetry,
+        pool: &mut PacketPool,
         out: &mut Vec<SwitchOutput>,
     ) {
         match pkt.kind {
@@ -143,6 +139,7 @@ impl Switch {
                 if p.paused_since.is_none() {
                     p.paused_since = Some(now);
                 }
+                pool.put(pkt);
                 return;
             }
             PacketKind::PfcResume => {
@@ -151,6 +148,7 @@ impl Switch {
                 if let Some(t0) = p.paused_since.take() {
                     telem.note_pause_episode(now.since(t0));
                 }
+                pool.put(pkt);
                 self.maybe_start_tx(in_port, now, cfg, out);
                 return;
             }
@@ -160,6 +158,7 @@ impl Switch {
         // Shared-buffer admission.
         if self.buffered + pkt.size as u64 > cfg.buffer_bytes {
             telem.counters.drops += 1;
+            pool.put(pkt);
             return;
         }
 
@@ -169,12 +168,12 @@ impl Switch {
         // because INT insertion grows the frame before departure.
         pkt.in_port = in_port;
         pkt.accounted = pkt.size;
-        self.ingress_bytes[in_port as usize] += pkt.size as u64;
+        self.ports[in_port as usize].ingress_bytes += pkt.size as u64;
         self.buffered += pkt.size as u64;
 
         // Ingress pipeline: routing.
         let h = flow_hash(pkt.src, pkt.dst, pkt.flow);
-        let out_port = self.route.egress(pkt.dst, h);
+        let out_port = self.croute.egress(pkt.dst, h);
         debug_assert_ne!(out_port, in_port, "routing loop at {:?}", self.id);
 
         // RED/ECN marking on data frames (DCQCN), against the egress queue
@@ -192,13 +191,13 @@ impl Switch {
 
         // PFC: pause the upstream once this ingress crosses the threshold.
         if cfg.pfc.enabled
-            && !self.upstream_paused[in_port as usize]
-            && self.ingress_bytes[in_port as usize] > cfg.pfc.threshold
+            && !self.ports[in_port as usize].upstream_paused
+            && self.ports[in_port as usize].ingress_bytes > cfg.pfc.threshold
         {
-            self.upstream_paused[in_port as usize] = true;
+            self.ports[in_port as usize].upstream_paused = true;
             self.ports[in_port as usize].pause_tx += 1;
             telem.counters.pfc_pause_tx += 1;
-            let frame = Packet::pfc(PacketKind::PfcPause, PFC_FRAME_BYTES, now);
+            let frame = pool.pfc(PacketKind::PfcPause, PFC_FRAME_BYTES, now);
             self.ports[in_port as usize].enqueue_ctrl(frame);
             self.maybe_start_tx(in_port, now, cfg, out);
         }
@@ -215,6 +214,7 @@ impl Switch {
         port: u8,
         cfg: &FabricConfig,
         telem: &mut Telemetry,
+        pool: &mut PacketPool,
         out: &mut Vec<SwitchOutput>,
     ) {
         let pkt = self.ports[port as usize]
@@ -225,17 +225,17 @@ impl Switch {
         if !pkt.kind.is_control() {
             self.ports[port as usize].tx_bytes += pkt.size as u64;
             let ip = pkt.in_port as usize;
-            self.ingress_bytes[ip] -= pkt.accounted as u64;
+            self.ports[ip].ingress_bytes -= pkt.accounted as u64;
             self.buffered -= pkt.accounted as u64;
             // PFC hysteresis: un-pause the upstream once drained enough.
             if cfg.pfc.enabled
-                && self.upstream_paused[ip]
-                && self.ingress_bytes[ip] + cfg.pfc.resume_offset <= cfg.pfc.threshold
+                && self.ports[ip].upstream_paused
+                && self.ports[ip].ingress_bytes + cfg.pfc.resume_offset <= cfg.pfc.threshold
             {
-                self.upstream_paused[ip] = false;
+                self.ports[ip].upstream_paused = false;
                 self.ports[ip].resume_tx += 1;
                 telem.counters.pfc_resume_tx += 1;
-                let frame = Packet::pfc(PacketKind::PfcResume, PFC_FRAME_BYTES, now);
+                let frame = pool.pfc(PacketKind::PfcResume, PFC_FRAME_BYTES, now);
                 self.ports[ip].enqueue_ctrl(frame);
                 self.maybe_start_tx(ip as u8, now, cfg, out);
             }
@@ -246,6 +246,7 @@ impl Switch {
             port,
             peer: p.peer,
             peer_port: p.peer_port,
+            prop: p.prop,
             pkt,
         });
         self.maybe_start_tx(port, now, cfg, out);
@@ -268,8 +269,10 @@ impl Switch {
             return;
         };
         self.output_engine(&mut pkt, port, now, cfg);
-        self.ports[port as usize].in_flight = Some(pkt);
-        out.push(SwitchOutput::StartTx { port });
+        let p = &mut self.ports[port as usize];
+        let tx_after = p.tx_time(pkt.size as u64 + cfg.wire_overhead as u64);
+        p.in_flight = Some(pkt);
+        out.push(SwitchOutput::StartTx { port, tx_after });
     }
 
     /// The output engine: INT insertion per the configured mode, RoCC rate
@@ -295,7 +298,7 @@ impl Switch {
             _ => {}
         }
         if cfg.rocc.is_some() && pkt.kind == PacketKind::Data {
-            pkt.rocc_rate = pkt.rocc_rate.min(self.rocc_rate[out_port as usize]);
+            pkt.rocc_rate = pkt.rocc_rate.min(self.ports[out_port as usize].rocc_rate);
         }
     }
 
@@ -303,23 +306,24 @@ impl Switch {
     #[inline]
     fn read_int(&self, port: u8, now: SimTime, cfg: &FabricConfig) -> IntRecord {
         if cfg.int_refresh.is_some() {
-            self.int_table[port as usize]
+            self.ports[port as usize].int_rec
         } else {
             self.live_int(port, now)
         }
     }
 
     /// Serialization time of the frame currently in flight on `port`.
-    pub fn tx_time_of_in_flight(&self, port: u8, cfg: &FabricConfig) -> fncc_des::TimeDelta {
-        let p = &self.ports[port as usize];
-        let pkt = p.in_flight.as_ref().expect("no frame in flight");
-        p.bw.tx_time(pkt.size as u64 + cfg.wire_overhead as u64)
+    pub fn tx_time_of_in_flight(&mut self, port: u8, cfg: &FabricConfig) -> fncc_des::TimeDelta {
+        let p = &mut self.ports[port as usize];
+        let bytes = p.in_flight.as_ref().expect("no frame in flight").size as u64
+            + cfg.wire_overhead as u64;
+        p.tx_time(bytes)
     }
 }
 
 /// Convenience for tests and analysis: the egress port a switch would pick.
 pub fn egress_for(sw: &Switch, src: HostId, dst: HostId, flow: crate::ids::FlowId) -> u8 {
-    sw.route.egress(dst, flow_hash(src, dst, flow))
+    sw.croute.egress(dst, flow_hash(src, dst, flow))
 }
 
 #[cfg(test)]
@@ -360,13 +364,14 @@ mod tests {
     ) -> Vec<Packet> {
         // Repeatedly complete transmissions on `port` until it goes idle,
         // collecting delivered frames.
+        let mut pool = PacketPool::new();
         let mut delivered = Vec::new();
         loop {
             if sw.ports[port as usize].idle() {
                 break;
             }
             let mut out = Vec::new();
-            sw.on_tx_done(SimTime::from_us(1), port, cfg, telem, &mut out);
+            sw.on_tx_done(SimTime::from_us(1), port, cfg, telem, &mut pool, &mut out);
             for o in out {
                 if let SwitchOutput::Deliver { pkt, .. } = o {
                     delivered.push(*pkt);
@@ -381,6 +386,7 @@ mod tests {
         let mut sw = sw0();
         let cfg = test_cfg();
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         sw.on_arrive(
             SimTime::ZERO,
@@ -388,14 +394,15 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert!(matches!(
             out.as_slice(),
-            [SwitchOutput::StartTx { port: 2 }]
+            [SwitchOutput::StartTx { port: 2, .. }]
         ));
         assert!(sw.ports[2].in_flight.is_some());
-        assert_eq!(sw.ingress_bytes[0], 1000);
+        assert_eq!(sw.ports[0].ingress_bytes, 1000);
         assert_eq!(sw.buffered, 1000);
     }
 
@@ -404,6 +411,7 @@ mod tests {
         let mut sw = sw0();
         let cfg = test_cfg();
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         sw.on_arrive(
             SimTime::ZERO,
@@ -411,10 +419,18 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         out.clear();
-        sw.on_tx_done(SimTime::from_us(1), 2, &cfg, &mut telem, &mut out);
+        sw.on_tx_done(
+            SimTime::from_us(1),
+            2,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
         match &out[0] {
             SwitchOutput::Deliver { peer, pkt, .. } => {
                 assert!(matches!(peer, NodeRef::Switch(SwitchId(1))));
@@ -422,7 +438,7 @@ mod tests {
             }
             other => panic!("expected Deliver, got {other:?}"),
         }
-        assert_eq!(sw.ingress_bytes[0], 0);
+        assert_eq!(sw.ports[0].ingress_bytes, 0);
         assert_eq!(sw.buffered, 0);
         assert_eq!(sw.ports[2].tx_bytes, 1000);
     }
@@ -433,6 +449,7 @@ mod tests {
         let mut cfg = test_cfg();
         cfg.int = IntInsertion::OnData;
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         sw.on_arrive(
             SimTime::from_us(3),
@@ -440,6 +457,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         let pkt = sw.ports[2].in_flight.as_ref().unwrap();
@@ -456,6 +474,7 @@ mod tests {
         let mut cfg = test_cfg();
         cfg.int = IntInsertion::OnAck;
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
 
         // Build request-path state: two data frames head out port 2; one is
         // in flight, one queued (queue_bytes = 1000).
@@ -466,6 +485,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         sw.on_arrive(
@@ -474,6 +494,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert_eq!(sw.ports[2].queue_bytes, 1000);
@@ -482,7 +503,15 @@ mod tests {
         // host 0: it must pick up port 2's INT (the request-path queue).
         let ack = Packet::ack(FlowId(0), HostId(2), HostId(0), 1000, 70, SimTime::ZERO);
         out.clear();
-        sw.on_arrive(SimTime::from_us(5), 2, ack, &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::from_us(5),
+            2,
+            ack,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
         let pkt = sw.ports[0].in_flight.as_ref().unwrap();
         assert_eq!(pkt.kind, PacketKind::Ack);
         assert_eq!(pkt.int.len(), 1);
@@ -504,6 +533,7 @@ mod tests {
         cfg.int = IntInsertion::OnAck;
         cfg.int_refresh = Some(TimeDelta::from_us(10));
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
 
         // Refresh at t=0 with empty queues, then build a queue.
         sw.refresh_int_table(SimTime::ZERO);
@@ -514,6 +544,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         sw.on_arrive(
@@ -522,12 +553,21 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
 
         let ack = Packet::ack(FlowId(0), HostId(2), HostId(0), 0, 70, SimTime::ZERO);
         out.clear();
-        sw.on_arrive(SimTime::from_us(5), 2, ack, &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::from_us(5),
+            2,
+            ack,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
         let pkt = sw.ports[0].in_flight.as_ref().unwrap();
         assert_eq!(pkt.int.as_slice()[0].qlen, 0, "stale table value");
 
@@ -537,7 +577,15 @@ mod tests {
         out.clear();
         // port 0 is busy with ack1; drain it first.
         drain_tx(&mut sw, 0, &cfg, &mut telem);
-        sw.on_arrive(SimTime::from_us(11), 2, ack2, &cfg, &mut telem, &mut out);
+        sw.on_arrive(
+            SimTime::from_us(11),
+            2,
+            ack2,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
         let pkt2 = sw.ports[0].in_flight.as_ref().unwrap();
         assert_eq!(pkt2.int.as_slice()[0].qlen, 1000);
     }
@@ -548,6 +596,7 @@ mod tests {
         let mut cfg = test_cfg();
         cfg.pfc.threshold = 2500; // tiny threshold for the test
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         // Three 1000B frames from host 0: after the third, ingress 0 holds
         // 3000 > 2500 (the first is in flight but still accounted).
@@ -558,10 +607,11 @@ mod tests {
                 data(0, 0, 2, 1000),
                 &cfg,
                 &mut telem,
+                &mut pool,
                 &mut out,
             );
         }
-        assert!(sw.upstream_paused[0]);
+        assert!(sw.ports[0].upstream_paused);
         assert_eq!(sw.ports[0].pause_tx, 1);
         assert_eq!(telem.counters.pfc_pause_tx, 1);
         // The pause frame is in flight on port 0 (control priority).
@@ -576,6 +626,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert_eq!(sw.ports[0].pause_tx, 1);
@@ -588,6 +639,7 @@ mod tests {
         cfg.pfc.threshold = 1500;
         cfg.pfc.resume_offset = 500;
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         for _ in 0..2 {
             sw.on_arrive(
@@ -596,14 +648,15 @@ mod tests {
                 data(0, 0, 2, 1000),
                 &cfg,
                 &mut telem,
+                &mut pool,
                 &mut out,
             );
         }
-        assert!(sw.upstream_paused[0]);
+        assert!(sw.ports[0].upstream_paused);
         // Drain the uplink: after both data frames leave, ingress drops to 0
         // → resume emitted.
         drain_tx(&mut sw, 2, &cfg, &mut telem);
-        assert!(!sw.upstream_paused[0]);
+        assert!(!sw.ports[0].upstream_paused);
         assert_eq!(sw.ports[0].resume_tx, 1);
         assert_eq!(telem.counters.pfc_resume_tx, 1);
     }
@@ -613,6 +666,7 @@ mod tests {
         let mut sw = sw0();
         let cfg = test_cfg();
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         // Pause arrives on the uplink (port 2).
         sw.on_arrive(
@@ -621,6 +675,7 @@ mod tests {
             Packet::pfc(PacketKind::PfcPause, 64, SimTime::ZERO),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert!(sw.ports[2].paused);
@@ -632,6 +687,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert!(sw.ports[2].idle());
@@ -644,6 +700,7 @@ mod tests {
             Packet::pfc(PacketKind::PfcResume, 64, SimTime::ZERO),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert!(!sw.ports[2].paused);
@@ -657,6 +714,7 @@ mod tests {
         cfg.pfc = crate::config::PfcConfig::disabled();
         cfg.buffer_bytes = 2048;
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         sw.on_arrive(
             SimTime::ZERO,
@@ -664,6 +722,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         sw.on_arrive(
@@ -672,6 +731,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         sw.on_arrive(
@@ -680,6 +740,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert_eq!(telem.counters.drops, 1);
@@ -697,6 +758,7 @@ mod tests {
             pmax: 1.0,
         };
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         // First frame: queue empty at enqueue, then it dequeues immediately.
         sw.on_arrive(
@@ -705,6 +767,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         // Second frame sees 0 queued (first is in flight, not queued)… build
@@ -715,6 +778,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         sw.on_arrive(
@@ -723,6 +787,7 @@ mod tests {
             data(0, 0, 2, 1000),
             &cfg,
             &mut telem,
+            &mut pool,
             &mut out,
         );
         assert!(telem.counters.ecn_marks >= 1);
@@ -736,9 +801,10 @@ mod tests {
             Bandwidth::gbps(100),
         ));
         let line = 100e9;
-        assert_eq!(sw.rocc_rate[2], line);
+        assert_eq!(sw.ports[2].rocc_rate, line);
         // Simulate a standing queue above qref.
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let mut out = Vec::new();
         for _ in 0..200 {
             sw.on_arrive(
@@ -747,17 +813,28 @@ mod tests {
                 data(0, 0, 2, 1400),
                 &cfg,
                 &mut telem,
+                &mut pool,
                 &mut out,
             );
         }
         for _ in 0..10 {
             sw.rocc_step(&cfg);
         }
-        assert!(sw.rocc_rate[2] < line, "rate should fall under congestion");
+        assert!(
+            sw.ports[2].rocc_rate < line,
+            "rate should fall under congestion"
+        );
         // Completing the in-flight frame starts the next one, which picks up
         // the lowered stamp at its output-engine pass.
         out.clear();
-        sw.on_tx_done(SimTime::from_us(1), 2, &cfg, &mut telem, &mut out);
+        sw.on_tx_done(
+            SimTime::from_us(1),
+            2,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
         let pkt = sw.ports[2].in_flight.as_ref().unwrap();
         assert!(pkt.rocc_rate < line);
     }
@@ -769,15 +846,15 @@ mod tests {
         cfg.rocc = Some(crate::config::RoccSwitchConfig::default_for(
             Bandwidth::gbps(100),
         ));
-        sw.rocc_rate[2] = 10e9;
+        sw.ports[2].rocc_rate = 10e9;
         // Queue empty → integral term pushes the rate back up.
         for _ in 0..10_000 {
             sw.rocc_step(&cfg);
         }
         assert!(
-            sw.rocc_rate[2] > 99e9,
+            sw.ports[2].rocc_rate > 99e9,
             "rate {} should recover",
-            sw.rocc_rate[2]
+            sw.ports[2].rocc_rate
         );
     }
 
@@ -786,6 +863,7 @@ mod tests {
         let mut cfg = test_cfg();
         cfg.int = IntInsertion::OnAck;
         let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
         let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_us(1));
         // Pass one ACK through sw1 then sw0 (reverse path order).
         let mut xor_acc = 0u16;
@@ -800,6 +878,7 @@ mod tests {
                 ack,
                 &cfg,
                 &mut telem,
+                &mut pool,
                 &mut out,
             );
             ack = sw.ports[0].in_flight.take().expect("ack in flight");

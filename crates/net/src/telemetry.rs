@@ -85,6 +85,10 @@ pub struct Telemetry {
     flow_tx_bytes: Vec<u64>,
     /// Flow lifetime records, indexed by flow id.
     flows: Vec<Option<FlowRecord>>,
+    /// Number of `Some` entries in `flows` (O(1) `flow_count`).
+    flows_started: usize,
+    /// Number of finished flows (O(1) `all_flows_finished`).
+    flows_finished: usize,
     /// Sampling period; `TimeDelta::ZERO` disables sampling.
     pub sample_interval: TimeDelta,
     /// No further sample events are scheduled after this instant.
@@ -109,6 +113,8 @@ impl Telemetry {
             counters: Counters::default(),
             flow_tx_bytes: Vec::new(),
             flows: Vec::new(),
+            flows_started: 0,
+            flows_finished: 0,
             sample_interval: TimeDelta::ZERO,
             sample_until: SimTime::MAX,
             queues: Vec::new(),
@@ -184,6 +190,12 @@ impl Telemetry {
         if self.flows.len() <= ix {
             self.flows.resize(ix + 1, None);
         }
+        if self.flows[ix].is_none() {
+            self.flows_started += 1;
+        } else if self.flows[ix].as_ref().is_some_and(|r| r.finish.is_some()) {
+            // Re-registration of a finished record re-opens it.
+            self.flows_finished -= 1;
+        }
         self.flows[ix] = Some(rec);
     }
 
@@ -191,6 +203,9 @@ impl Telemetry {
     pub fn flow_finished(&mut self, flow: FlowId, at: SimTime) {
         let rec = self.flows[flow.ix()].as_mut().expect("finish before start");
         debug_assert!(rec.finish.is_none(), "double finish for {flow:?}");
+        if rec.finish.is_none() {
+            self.flows_finished += 1;
+        }
         rec.finish = Some(at);
     }
 
@@ -310,12 +325,12 @@ impl Telemetry {
 
     /// Number of registered flows.
     pub fn flow_count(&self) -> usize {
-        self.flows.iter().filter(|f| f.is_some()).count()
+        self.flows_started
     }
 
     /// True if every registered flow has finished.
     pub fn all_flows_finished(&self) -> bool {
-        self.flow_records().all(|r| r.finish.is_some())
+        self.flows_finished == self.flows_started
     }
 
     /// Harvest the queue-depth series for a watched queue.

@@ -63,6 +63,75 @@ impl SendFlow {
     }
 }
 
+/// A dense flow-keyed table: O(1) lookup through a flow-id-indexed slot
+/// vector into compact entry storage.
+///
+/// Flow ids are dense across a run (0..n_flows), so a host's per-flow state
+/// lookups — several per packet on the hot path — don't need hashing. The
+/// slot vector costs 4 bytes per *global* flow id per host, the entries only
+/// what this host actually carries.
+#[derive(Debug)]
+pub(crate) struct FlowTable<T> {
+    /// `flow id → entry index + 1`; 0 = absent.
+    slots: Vec<u32>,
+    entries: Vec<(FlowId, T)>,
+}
+
+impl<T> FlowTable<T> {
+    pub fn new() -> Self {
+        FlowTable {
+            slots: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, id: FlowId) -> Option<&T> {
+        let ix = *self.slots.get(id.ix())?;
+        if ix == 0 {
+            return None;
+        }
+        Some(&self.entries[ix as usize - 1].1)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: FlowId) -> Option<&mut T> {
+        let ix = *self.slots.get(id.ix())?;
+        if ix == 0 {
+            return None;
+        }
+        Some(&mut self.entries[ix as usize - 1].1)
+    }
+
+    /// Insert or replace.
+    pub fn insert(&mut self, id: FlowId, value: T) {
+        if self.slots.len() <= id.ix() {
+            self.slots.resize(id.ix() + 1, 0);
+        }
+        let slot = self.slots[id.ix()];
+        if slot != 0 {
+            self.entries[slot as usize - 1].1 = value;
+        } else {
+            self.entries.push((id, value));
+            self.slots[id.ix()] = self.entries.len() as u32;
+        }
+    }
+
+    /// Remove and return, compacting entry storage (O(1) swap-remove).
+    pub fn remove(&mut self, id: FlowId) -> Option<T> {
+        let slot = *self.slots.get(id.ix())?;
+        if slot == 0 {
+            return None;
+        }
+        self.slots[id.ix()] = 0;
+        let (_, value) = self.entries.swap_remove(slot as usize - 1);
+        if let Some(&(moved, _)) = self.entries.get(slot as usize - 1) {
+            self.slots[moved.ix()] = slot;
+        }
+        Some(value)
+    }
+}
+
 /// Receiver-side live state of one flow.
 #[derive(Debug)]
 pub(crate) struct RecvFlow {
@@ -125,5 +194,31 @@ mod tests {
         assert_eq!(rf.expected, 0);
         assert!(!rf.finished);
         assert!(rf.last_cnp.is_none());
+    }
+
+    #[test]
+    fn flow_table_insert_get_remove() {
+        let mut t: FlowTable<u32> = FlowTable::new();
+        assert!(t.get(FlowId(0)).is_none());
+        t.insert(FlowId(5), 50);
+        t.insert(FlowId(0), 10);
+        t.insert(FlowId(9), 90);
+        assert_eq!(t.get(FlowId(5)), Some(&50));
+        assert_eq!(t.get(FlowId(0)), Some(&10));
+        assert_eq!(t.get(FlowId(7)), None);
+        assert_eq!(t.get(FlowId(100)), None);
+        *t.get_mut(FlowId(5)).unwrap() = 55;
+        assert_eq!(t.get(FlowId(5)), Some(&55));
+        // Replacement does not duplicate.
+        t.insert(FlowId(5), 56);
+        assert_eq!(t.get(FlowId(5)), Some(&56));
+        // swap_remove keeps the moved entry reachable.
+        assert_eq!(t.remove(FlowId(0)), Some(10));
+        assert_eq!(t.get(FlowId(0)), None);
+        assert_eq!(t.get(FlowId(5)), Some(&56));
+        assert_eq!(t.get(FlowId(9)), Some(&90));
+        assert_eq!(t.remove(FlowId(0)), None);
+        assert_eq!(t.remove(FlowId(9)), Some(90));
+        assert_eq!(t.get(FlowId(5)), Some(&56));
     }
 }

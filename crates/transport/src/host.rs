@@ -2,7 +2,7 @@
 //! generation, flow lifecycle.
 
 use crate::config::TransportConfig;
-use crate::flow::{FlowSpec, RecvFlow, SendFlow};
+use crate::flow::{FlowSpec, FlowTable, RecvFlow, SendFlow};
 use fncc_cc::{AckView, CcFlow};
 use fncc_des::time::TimeDelta;
 use fncc_net::fabric::{HostCtx, HostLogic};
@@ -10,7 +10,6 @@ use fncc_net::ids::FlowId;
 use fncc_net::packet::{Packet, PacketKind};
 use fncc_net::telemetry::FlowRecord;
 use fncc_net::units::CNP_BYTES;
-use std::collections::HashMap;
 
 /// Host timer payloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,11 +26,11 @@ pub enum HostTimer {
 pub struct DcHost {
     cfg: TransportConfig,
     /// Registered flows awaiting their start timer.
-    pending: HashMap<FlowId, FlowSpec>,
+    pending: FlowTable<FlowSpec>,
     /// Live sender-side flows.
-    send: HashMap<FlowId, SendFlow>,
+    send: FlowTable<SendFlow>,
     /// Live receiver-side flows.
-    recv: HashMap<FlowId, RecvFlow>,
+    recv: FlowTable<RecvFlow>,
     /// Incoming flows currently in progress — the `N` of FNCC ACKs.
     active_incoming: u32,
 }
@@ -41,9 +40,9 @@ impl DcHost {
     pub fn new(cfg: TransportConfig) -> Self {
         DcHost {
             cfg,
-            pending: HashMap::new(),
-            send: HashMap::new(),
-            recv: HashMap::new(),
+            pending: FlowTable::new(),
+            send: FlowTable::new(),
+            recv: FlowTable::new(),
             active_incoming: 0,
         }
     }
@@ -62,22 +61,22 @@ impl DcHost {
 
     /// Sender-side window of a flow, if live and window-based.
     pub fn flow_window(&self, id: FlowId) -> Option<f64> {
-        self.send.get(&id).and_then(|sf| sf.cc.window_bytes())
+        self.send.get(id).and_then(|sf| sf.cc.window_bytes())
     }
 
     /// Sender-side pacing rate of a flow, if live.
     pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
-        self.send.get(&id).map(|sf| sf.cc.pacing_rate_bps())
+        self.send.get(id).map(|sf| sf.cc.pacing_rate_bps())
     }
 
     /// True once every byte of the flow has been acknowledged.
     pub fn flow_done(&self, id: FlowId) -> bool {
-        self.send.get(&id).map(|sf| sf.done).unwrap_or(false)
+        self.send.get(id).map(|sf| sf.done).unwrap_or(false)
     }
 
     /// LHCS trigger count of an FNCC flow (ablation diagnostics).
     pub fn lhcs_triggers(&self, id: FlowId) -> Option<u64> {
-        match &self.send.get(&id)?.cc {
+        match &self.send.get(id)?.cc {
             CcFlow::Fncc(f) => Some(f.lhcs_triggers),
             _ => None,
         }
@@ -86,7 +85,7 @@ impl DcHost {
     fn start_flow(&mut self, ctx: &mut HostCtx<'_, HostTimer>, id: FlowId) {
         let spec = self
             .pending
-            .remove(&id)
+            .remove(id)
             .expect("FlowStart for unregistered flow");
         debug_assert_eq!(spec.src, ctx.host());
         ctx.telemetry.flow_started(FlowRecord {
@@ -108,7 +107,7 @@ impl DcHost {
     /// The send loop: emit frames while the window and pacing allow.
     fn pump(&mut self, ctx: &mut HostCtx<'_, HostTimer>, id: FlowId) {
         let cfg = &self.cfg;
-        let Some(sf) = self.send.get_mut(&id) else {
+        let Some(sf) = self.send.get_mut(id) else {
             return;
         };
         if sf.done {
@@ -147,7 +146,7 @@ impl DcHost {
 
             let payload = payload_max.min(sf.remaining()) as u32;
             let wire = payload + ctx.cfg.data_header;
-            let mut pkt = Packet::data(
+            let mut pkt = ctx.pool().data(
                 id,
                 sf.spec.src,
                 sf.spec.dst,
@@ -170,13 +169,13 @@ impl DcHost {
 
     fn on_data(&mut self, ctx: &mut HostCtx<'_, HostTimer>, pkt: Box<Packet>) {
         let id = pkt.flow;
-        if let std::collections::hash_map::Entry::Vacant(e) = self.recv.entry(id) {
-            e.insert(RecvFlow::new());
+        if self.recv.get(id).is_none() {
+            self.recv.insert(id, RecvFlow::new());
             self.active_incoming += 1;
         }
         let cfg_ack_every = self.cfg.ack_every;
         let cnp_interval = self.cfg.cnp_interval;
-        let rf = self.recv.get_mut(&id).expect("just inserted");
+        let rf = self.recv.get_mut(id).expect("just inserted");
         debug_assert_eq!(pkt.seq, rf.expected, "out-of-order delivery for {id:?}");
         rf.expected = pkt.seq + pkt.payload as u64;
         rf.frames_since_ack += 1;
@@ -199,58 +198,64 @@ impl DcHost {
 
         // rf borrow ends here; act on the NIC.
         if want_cnp {
-            let cnp = Packet::cnp(id, ctx.host(), pkt.src, CNP_BYTES, ctx.now());
+            let (host, now) = (ctx.host(), ctx.now());
+            let cnp = ctx.pool().cnp(id, host, pkt.src, CNP_BYTES, now);
             ctx.send(cnp);
         }
         if is_last {
             ctx.telemetry.flow_finished(id, ctx.now());
         }
         if want_ack {
-            let mut ack = Packet::ack(
-                id,
-                ctx.host(),
-                pkt.src,
-                ack_seq,
-                ctx.cfg.ack_base,
-                ctx.now(),
-            );
-            // Echo the data timestamp so the sender can sample the RTT.
-            ack.sent_at = pkt.sent_at;
-            // HPCC receiver (Fig. 4a): copy the request-path INT collected by
-            // the data packet into the ACK. A no-op for FNCC/DCQCN/RoCC whose
-            // data frames carry no INT.
-            ack.int = pkt.int;
-            ack.size += pkt.int.wire_bytes();
+            // Turn the delivered data frame into its own ACK in place: the
+            // box (and its INT stack — the HPCC receiver copy of Fig. 4a,
+            // empty for FNCC/DCQCN/RoCC whose data carries no INT) is
+            // reused without touching the allocator. Every field ends up
+            // exactly as `Packet::ack` plus the receiver's echo assignments
+            // produced: `sent_at` keeps the data timestamp (RTT sampling)
+            // and `rocc_rate` the switch-advertised fair rate.
+            let mut ack = pkt;
+            ack.kind = PacketKind::Ack;
+            ack.dst = ack.src; // back to the data sender
+            ack.src = ctx.host();
+            ack.seq = ack_seq;
+            ack.size = ctx.cfg.ack_base + ack.int.wire_bytes();
+            ack.payload = 0;
+            ack.ecn = false;
             // §3.2.3: the receiver writes the concurrent-flow count N
-            // (16 bits) into every ACK.
+            // (16 bits) into every ACK (the finishing flow still counts).
             ack.concurrent_flows = self.active_incoming.min(u16::MAX as u32) as u16;
-            // RoCC: echo the switch-advertised fair rate.
-            ack.rocc_rate = pkt.rocc_rate;
+            ack.path_xor = 0;
+            ack.in_port = 0;
+            ack.accounted = 0;
+            ack.last_of_flow = false;
             ctx.send(ack);
+        } else {
+            ctx.recycle(pkt);
         }
         if is_last {
             self.active_incoming -= 1;
         }
     }
 
-    fn on_ack(&mut self, ctx: &mut HostCtx<'_, HostTimer>, pkt: Box<Packet>) {
+    fn on_ack(&mut self, ctx: &mut HostCtx<'_, HostTimer>, mut pkt: Box<Packet>) {
         let id = pkt.flow;
         let reversed = self.cfg.algo.kind().int_in_ack_reversed();
-        let Some(sf) = self.send.get_mut(&id) else {
+        let Some(sf) = self.send.get_mut(id) else {
+            ctx.recycle(pkt);
             return;
         };
         let newly = pkt.seq.saturating_sub(sf.acked);
         if pkt.seq > sf.acked {
             sf.acked = pkt.seq;
         }
-        let mut int = pkt.int;
         if reversed {
-            // FNCC ACKs collected INT in return-path order.
-            int.reverse();
+            // FNCC ACKs collected INT in return-path order; normalise in
+            // place (the box is consumed below, no copy needed).
+            pkt.int.reverse();
         }
         // Fig. 12 instrumentation: how stale is each hop's telemetry on
         // arrival at the sender?
-        for (hop, rec) in int.as_slice().iter().enumerate() {
+        for (hop, rec) in pkt.int.as_slice().iter().enumerate() {
             ctx.telemetry
                 .note_int_age(hop, ctx.now().since(rec.ts).as_secs_f64());
         }
@@ -259,17 +264,20 @@ impl DcHost {
             seq: pkt.seq,
             snd_nxt: sf.next_seq,
             newly_acked: newly,
-            int: int.as_slice(),
+            int: pkt.int.as_slice(),
             concurrent_flows: pkt.concurrent_flows,
             rocc_rate: pkt.rocc_rate,
             rtt: ctx.now().since(pkt.sent_at),
         };
         sf.cc.on_ack(&view);
-        if sf.acked >= sf.spec.size {
+        let done = sf.acked >= sf.spec.size;
+        if done {
             sf.done = true;
-            return;
         }
-        self.pump(ctx, id);
+        ctx.recycle(pkt);
+        if !done {
+            self.pump(ctx, id);
+        }
     }
 }
 
@@ -281,9 +289,10 @@ impl HostLogic for DcHost {
             PacketKind::Data => self.on_data(ctx, pkt),
             PacketKind::Ack => self.on_ack(ctx, pkt),
             PacketKind::Cnp => {
-                if let Some(sf) = self.send.get_mut(&pkt.flow) {
+                if let Some(sf) = self.send.get_mut(pkt.flow) {
                     sf.cc.on_cnp(ctx.now());
                 }
+                ctx.recycle(pkt);
             }
             PacketKind::PfcPause | PacketKind::PfcResume => {
                 unreachable!("PFC handled by the fabric")
@@ -292,7 +301,7 @@ impl HostLogic for DcHost {
     }
 
     fn cc_rate_bps(&self, flow: FlowId) -> Option<f64> {
-        let sf = self.send.get(&flow)?;
+        let sf = self.send.get(flow)?;
         if sf.done {
             return None;
         }
@@ -303,13 +312,13 @@ impl HostLogic for DcHost {
         match timer {
             HostTimer::FlowStart(id) => self.start_flow(ctx, id),
             HostTimer::Pace(id) => {
-                if let Some(sf) = self.send.get_mut(&id) {
+                if let Some(sf) = self.send.get_mut(id) {
                     sf.pace_pending = false;
                 }
                 self.pump(ctx, id);
             }
             HostTimer::CcTick(id) => {
-                let Some(sf) = self.send.get_mut(&id) else {
+                let Some(sf) = self.send.get_mut(id) else {
                     return;
                 };
                 if sf.done {

@@ -1,0 +1,72 @@
+//! Packet-DES determinism: the same `Scenario` + seed must produce a
+//! byte-identical `RunReport` artifact run over run, and across event-queue
+//! implementations (timing wheel vs the binary-heap reference oracle).
+//!
+//! The single wall-clock-derived scalar (`events_per_sec`) is stripped
+//! before comparison — it is the one intentionally non-deterministic
+//! report field.
+
+use fncc::core::{run_scenario, Scenario, SimBackend, StopCondition, TopologySpec, TrafficSpec};
+use fncc_cc::CcKind;
+use std::sync::Mutex;
+
+/// Both tests in this binary read (and one mutates) the process-wide
+/// `FNCC_DES_SCHED` variable; concurrent setenv/getenv is undefined
+/// behavior on glibc, so every test takes this lock for its full body.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn scenario() -> Scenario {
+    let mut sc = Scenario::new(
+        "determinism-probe",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Incast {
+            receiver: 0,
+            fan_in: 6,
+            size: 150_000,
+            waves: 2,
+            gap_us: 50,
+        },
+        CcKind::Fncc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 50 };
+    sc.seeds = vec![7, 8];
+    sc
+}
+
+/// Serialize a report with the wall-clock scalar removed.
+fn stable_json(sc: &Scenario) -> String {
+    let mut report = run_scenario(sc, SimBackend::Packet);
+    report.scalars.retain(|(k, _)| k != "events_per_sec");
+    report.to_json()
+}
+
+#[test]
+fn identical_runs_and_schedulers_yield_identical_reports() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sc = scenario();
+    std::env::remove_var("FNCC_DES_SCHED");
+    let wheel_a = stable_json(&sc);
+    let wheel_b = stable_json(&sc);
+    assert_eq!(wheel_a, wheel_b, "same scenario+seed, same scheduler");
+
+    std::env::set_var("FNCC_DES_SCHED", "heap");
+    let heap = stable_json(&sc);
+    std::env::remove_var("FNCC_DES_SCHED");
+    assert_eq!(wheel_a, heap, "wheel vs heap reference scheduler");
+}
+
+#[test]
+fn engine_health_scalars_are_reported() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut sc = scenario();
+    sc.seeds = vec![7];
+    let report = run_scenario(&sc, SimBackend::Packet);
+    assert_eq!(
+        report.scalar("events_processed"),
+        Some(report.events as f64)
+    );
+    assert!(report.scalar("events_per_sec").unwrap_or(0.0) > 0.0);
+    assert!(report.scalar("peak_queue_len").unwrap_or(0.0) > 0.0);
+    // A healthy model never schedules into the past.
+    assert_eq!(report.scalar("clamped_schedules"), Some(0.0));
+}

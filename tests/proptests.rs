@@ -147,6 +147,49 @@ proptest! {
         prop_assert!(parts >= sum);
         prop_assert!(parts.as_ps() - sum.as_ps() <= 2);
     }
+
+    /// Timing-wheel vs binary-heap dispatch equivalence: over random
+    /// schedules spanning every wheel level and the overflow heap — with
+    /// dynamically scheduled follow-ups — both event queues dispatch the
+    /// identical (time, tag) sequence. This pins the wheel's tie-break
+    /// semantics to the reference oracle.
+    #[test]
+    fn timing_wheel_matches_heap_dispatch_order(
+        // Times up to ~100 s in ps: far past the wheel's 35 s top window,
+        // so the overflow heap participates too.
+        times in proptest::collection::vec(0u64..100_000_000_000_000, 1..250),
+        chain_delays in proptest::collection::vec(1u64..10_000_000_000, 0..8),
+    ) {
+        struct Chainer {
+            seen: Vec<(u64, u32)>,
+            delays: Vec<u64>,
+        }
+        impl Model for Chainer {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+                self.seen.push((now.as_ps(), ev));
+                // Tag-derived follow-ups keep both runs' schedules identical.
+                if (ev as usize) < self.delays.len() {
+                    s.after(TimeDelta::from_ps(self.delays[ev as usize]), ev + 1000);
+                    s.immediate(ev + 2000);
+                }
+            }
+        }
+        let run = |kind: fncc::des::engine::QueueKind| {
+            let mut eng = Engine::with_queue(
+                Chainer { seen: Vec::new(), delays: chain_delays.clone() },
+                kind,
+            );
+            for (i, &t) in times.iter().enumerate() {
+                eng.schedule(SimTime::from_ps(t), i as u32);
+            }
+            eng.run_until_idle();
+            eng.model.seen
+        };
+        let wheel = run(fncc::des::engine::QueueKind::Wheel);
+        let heap = run(fncc::des::engine::QueueKind::Heap);
+        prop_assert_eq!(wheel, heap);
+    }
 }
 
 proptest! {
