@@ -53,6 +53,32 @@ pub enum CcKind {
 }
 
 impl CcKind {
+    /// Every scheme the repo implements, in canonical order. Anything that
+    /// must cover *all* schemes — fluid-model calibration, cross-backend
+    /// validation, exhaustiveness tests — iterates this slice instead of a
+    /// hand-maintained list, so a future scheme cannot silently miss them.
+    pub const ALL: [CcKind; 6] = [
+        CcKind::Fncc,
+        CcKind::Hpcc,
+        CcKind::Dcqcn,
+        CcKind::Rocc,
+        CcKind::Timely,
+        CcKind::Swift,
+    ];
+
+    /// This scheme's position in [`CcKind::ALL`] — a stable dense index for
+    /// per-scheme tables (e.g. the fluid calibration set).
+    pub fn index(self) -> usize {
+        match self {
+            CcKind::Fncc => 0,
+            CcKind::Hpcc => 1,
+            CcKind::Dcqcn => 2,
+            CcKind::Rocc => 3,
+            CcKind::Timely => 4,
+            CcKind::Swift => 5,
+        }
+    }
+
     /// Display name matching the paper's figure legends.
     pub fn name(self) -> &'static str {
         match self {
@@ -224,6 +250,23 @@ mod tests {
             CcAlgo::Timely(TimelyConfig::paper_default(line, rtt)),
             CcAlgo::Swift(SwiftConfig::paper_default(line, rtt)),
         ]
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_index_matches_position() {
+        // One entry per variant, no duplicates, and `index` is the position.
+        for (i, &kind) in CcKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{kind:?}");
+        }
+        let mut names: Vec<&str> = CcKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CcKind::ALL.len(), "duplicate entry in ALL");
+        // Exhaustiveness: the test algo list below covers exactly ALL.
+        let covered: Vec<CcKind> = algos().iter().map(|a| a.kind()).collect();
+        for kind in CcKind::ALL {
+            assert!(covered.contains(&kind), "{kind:?} missing a CcAlgo");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::sim::{make_algo, Sim, SimBuilder};
 use fncc_cc::{CcAlgo, CcKind, FnccConfig};
 use fncc_des::stats::TimeSeries;
 use fncc_des::time::{SimTime, TimeDelta};
-use fncc_fluid::{FluidSim, Framing, RateModel};
+use fncc_fluid::{CalibrationSet, FluidSim, Framing, RateModel};
 use fncc_net::config::FabricConfig;
 use fncc_net::ids::{FlowId, NodeRef};
 use std::str::FromStr;
@@ -60,7 +60,7 @@ impl SimBackend {
     pub fn resolve(self) -> Box<dyn Backend> {
         match self {
             SimBackend::Packet => Box::new(PacketBackend),
-            SimBackend::Fluid => Box::new(FluidBackend),
+            SimBackend::Fluid => Box::new(FluidBackend::default()),
         }
     }
 }
@@ -370,7 +370,9 @@ fn extract_scalars(
                 if telem.all_flows_finished() { 1.0 } else { 0.0 },
             );
         }
-        TrafficSpec::Incast { .. } | TrafficSpec::Poisson { .. } => {}
+        TrafficSpec::Incast { .. }
+        | TrafficSpec::Poisson { .. }
+        | TrafficSpec::MiceBehindElephants { .. } => {}
     }
 }
 
@@ -379,7 +381,42 @@ fn extract_scalars(
 // ----------------------------------------------------------------------
 
 /// The flow-level fluid fast path.
-pub struct FluidBackend;
+///
+/// By default every scheme runs under [`RateModel::paper_default`]. A
+/// measured [`CalibrationSet`] (from `fncc-repro calibrate`) can replace
+/// the defaults at two levels: per scenario through
+/// [`crate::scenario::CcOverrides::calibration`] (most specific, wins), or
+/// backend-wide through [`FluidBackend::with_calibration`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FluidBackend {
+    /// Backend-level measured models (`None` = paper defaults). A
+    /// scenario-level `overrides.calibration` takes precedence.
+    pub calibration: Option<CalibrationSet>,
+}
+
+impl FluidBackend {
+    /// A fluid backend that runs every scenario under `cal` unless the
+    /// scenario carries its own calibration override.
+    pub fn with_calibration(cal: CalibrationSet) -> Self {
+        FluidBackend {
+            calibration: Some(cal),
+        }
+    }
+
+    /// The rate model a scenario runs under: scenario-level calibration,
+    /// then backend-level, then the paper defaults.
+    fn rate_model(&self, sc: &Scenario) -> RateModel {
+        match sc
+            .overrides
+            .calibration
+            .as_ref()
+            .or(self.calibration.as_ref())
+        {
+            Some(cal) => RateModel::from_calibration(sc.cc, cal),
+            None => RateModel::paper_default(sc.cc),
+        }
+    }
+}
 
 impl Backend for FluidBackend {
     fn name(&self) -> &'static str {
@@ -402,7 +439,7 @@ impl Backend for FluidBackend {
         let mut horizon = SimTime::ZERO;
         for &seed in &sc.seeds {
             let (topo, flows) = sc.instance(seed);
-            let result = FluidSim::new(topo.clone(), RateModel::paper_default(sc.cc))
+            let result = FluidSim::new(topo.clone(), self.rate_model(sc))
                 .framing(framing)
                 .flows(flows)
                 .run()

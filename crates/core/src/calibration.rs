@@ -1,0 +1,198 @@
+//! The `fncc.calibration/v1` artifact: measured fluid [`RateModel`]
+//! parameters, as produced by `fncc-repro calibrate`.
+//!
+//! `fncc_fluid` owns the in-memory [`CalibrationSet`] (pure data, no IO);
+//! this module owns its JSON form — one entry per [`CcKind`], keyed by the
+//! scheme's display name, in [`CcKind::ALL`] order so artifacts diff
+//! cleanly. The schema is pinned by the snapshot test in
+//! `tests/calibration.rs`; the checked-in repo-root `CALIBRATION.json` is
+//! what [`fncc_fluid::RateModel::paper_default`] is regenerated from (see
+//! `DESIGN.md` §RateModel calibration).
+
+use crate::json::{obj, Json};
+use crate::scenario::parse_cc;
+use fncc_cc::CcKind;
+use fncc_fluid::{Calibration, CalibrationSet};
+use std::io;
+use std::path::Path;
+
+#[allow(unused_imports)] // doc link
+use fncc_fluid::RateModel;
+
+/// Artifact schema identifier; bump when the JSON layout changes.
+pub const CALIBRATION_SCHEMA: &str = "fncc.calibration/v1";
+
+/// A calibration set plus its measurement provenance — what the artifact
+/// file stores beyond the raw parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationArtifact {
+    /// The fitted per-scheme parameters.
+    pub set: CalibrationSet,
+    /// Scale the calibration bank ran at (`"quick"` / `"default"` /
+    /// `"full"`). A fresh `fncc-repro calibrate` at the same scale is
+    /// deterministic, so it must reproduce the checked-in artifact exactly.
+    pub scale: String,
+}
+
+/// The `schemes` object: one `{utilization, queue_rtts}` entry per scheme,
+/// keyed by display name, in [`CcKind::ALL`] order. Shared by the artifact
+/// writer and the scenario-file `overrides.calibration` field.
+pub fn set_to_json(set: &CalibrationSet) -> Json {
+    Json::Obj(
+        set.iter()
+            .map(|(kind, e)| {
+                (
+                    kind.name().to_string(),
+                    obj([
+                        ("utilization", Json::Num(e.utilization)),
+                        ("queue_rtts", Json::Num(e.queue_rtts)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Parse a `schemes` object. Every scheme in [`CcKind::ALL`] must be
+/// present with valid parameters; unknown scheme names are an error (a
+/// typo would otherwise silently fall back to defaults).
+pub fn set_from_json(v: &Json) -> Result<CalibrationSet, String> {
+    let fields = match v {
+        Json::Obj(fields) => fields,
+        _ => return Err("calibration 'schemes' must be an object".into()),
+    };
+    let mut set = CalibrationSet::paper();
+    let mut seen = [false; CcKind::ALL.len()];
+    for (name, entry) in fields {
+        let kind =
+            parse_cc(name).ok_or_else(|| format!("unknown scheme '{name}' in calibration"))?;
+        let num = |key: &str| -> Result<f64, String> {
+            entry
+                .get(key)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("calibration for {name}: missing or non-number '{key}'"))
+        };
+        let cal = Calibration {
+            utilization: num("utilization")?,
+            queue_rtts: num("queue_rtts")?,
+        };
+        set.set(kind, cal)?;
+        seen[kind.index()] = true;
+    }
+    for kind in CcKind::ALL {
+        if !seen[kind.index()] {
+            return Err(format!("calibration is missing scheme '{}'", kind.name()));
+        }
+    }
+    Ok(set)
+}
+
+impl CalibrationArtifact {
+    /// Serialize as the versioned JSON artifact.
+    pub fn to_json(&self) -> String {
+        obj([
+            ("schema", Json::Str(CALIBRATION_SCHEMA.into())),
+            ("scale", Json::Str(self.scale.clone())),
+            ("schemes", set_to_json(&self.set)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse the versioned JSON artifact, rejecting unknown schema versions
+    /// and invalid parameters.
+    pub fn from_json(text: &str) -> Result<CalibrationArtifact, String> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(|x| x.as_str())
+            .ok_or("missing 'schema'")?;
+        if schema != CALIBRATION_SCHEMA {
+            return Err(format!(
+                "unsupported calibration schema '{schema}' (expected '{CALIBRATION_SCHEMA}')"
+            ));
+        }
+        let scale = v
+            .get("scale")
+            .and_then(|x| x.as_str())
+            .unwrap_or("default")
+            .to_string();
+        let set = set_from_json(v.get("schemes").ok_or("missing 'schemes'")?)?;
+        Ok(CalibrationArtifact { set, scale })
+    }
+
+    /// Read and parse an artifact file.
+    pub fn load(path: impl AsRef<Path>) -> Result<CalibrationArtifact, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        CalibrationArtifact::from_json(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    }
+
+    /// Write the JSON artifact to `path`, creating parent directories.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_artifact() -> CalibrationArtifact {
+        CalibrationArtifact {
+            set: CalibrationSet::paper(),
+            scale: "default".into(),
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_is_identity() {
+        let a = paper_artifact();
+        let parsed = CalibrationArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn schemes_appear_in_all_order() {
+        let json = paper_artifact().to_json();
+        let v = Json::parse(&json).unwrap();
+        match v.get("schemes").unwrap() {
+            Json::Obj(fields) => {
+                let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                let expect: Vec<&str> = CcKind::ALL.iter().map(|k| k.name()).collect();
+                assert_eq!(names, expect);
+            }
+            _ => panic!("'schemes' must be an object"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_unknown_and_invalid_schemes() {
+        // Missing scheme.
+        let mut fields = match set_to_json(&CalibrationSet::paper()) {
+            Json::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        fields.retain(|(k, _)| k != "Swift");
+        let err = set_from_json(&Json::Obj(fields.clone())).unwrap_err();
+        assert!(err.contains("Swift"), "{err}");
+        // Unknown scheme name.
+        fields.push(("QUIC".into(), obj([])));
+        assert!(set_from_json(&Json::Obj(fields)).is_err());
+        // Invalid parameter value.
+        let bad = paper_artifact()
+            .to_json()
+            .replace("\"utilization\": 0.95", "\"utilization\": 1.5");
+        assert!(CalibrationArtifact::from_json(&bad).is_err());
+        // Wrong schema version.
+        let wrong = paper_artifact()
+            .to_json()
+            .replace("fncc.calibration/v1", "fncc.calibration/v0");
+        assert!(CalibrationArtifact::from_json(&wrong).is_err());
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod analysis;
 pub mod backend;
+pub mod calibration;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -52,6 +53,7 @@ pub use analysis::{hardware_trends, notification_gain_model, HopGain, SwitchGen}
 pub use backend::{
     fattree_workload_on, run_scenario, Backend, FluidBackend, PacketBackend, SimBackend,
 };
+pub use calibration::{CalibrationArtifact, CALIBRATION_SCHEMA};
 pub use metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
 pub use report::{RunReport, RUN_REPORT_SCHEMA};
 pub use scenario::{
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use crate::backend::{
         fattree_workload_on, run_scenario, Backend, FluidBackend, PacketBackend, SimBackend,
     };
+    pub use crate::calibration::{CalibrationArtifact, CALIBRATION_SCHEMA};
     pub use crate::metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
     pub use crate::report::RunReport;
     pub use crate::scenario::{
@@ -86,6 +89,7 @@ pub mod prelude {
     pub use fncc_des::output::{series_to_csv, Table};
     pub use fncc_des::stats::{jain_index, TimeSeries};
     pub use fncc_des::time::{SimTime, TimeDelta};
+    pub use fncc_fluid::{Calibration, CalibrationSet, RateModel};
     pub use fncc_net::ids::{FlowId, HostId, SwitchId};
     pub use fncc_net::topology::Topology;
     pub use fncc_net::units::{Bandwidth, ByteSize};

@@ -233,6 +233,25 @@ pub enum TrafficSpec {
         /// Flows per seed.
         flows: u32,
     },
+    /// Calibration-bank pattern (`DESIGN.md` §RateModel calibration):
+    /// `elephants` long flows saturate the path to the last host from
+    /// t = 0 while `mice` short flows arrive behind them once the standing
+    /// queue is built — the mice-bucket FCT inflation is what the fluid
+    /// model's `queue_rtts` is fitted against.
+    MiceBehindElephants {
+        /// Elephant count (hosts `0..elephants` each send one).
+        elephants: u32,
+        /// Elephant size in bytes (finite, so drain runs complete).
+        elephant_size: u64,
+        /// Mouse count, cycling over the remaining sender hosts.
+        mice: u32,
+        /// Mouse size in bytes.
+        mouse_size: u64,
+        /// First mouse start in µs (elephant queue build-up time).
+        warmup_us: u64,
+        /// Mouse spacing in µs.
+        gap_us: u64,
+    },
 }
 
 impl TrafficSpec {
@@ -302,6 +321,40 @@ impl TrafficSpec {
                     &cdf,
                 )
             }
+            TrafficSpec::MiceBehindElephants {
+                elephants,
+                elephant_size,
+                mice,
+                mouse_size,
+                warmup_us,
+                gap_us,
+            } => {
+                let n_senders = topo.n_hosts - 1;
+                assert!(
+                    *elephants < n_senders,
+                    "mice_behind_elephants needs at least one non-elephant sender \
+                     ({elephants} elephants, {n_senders} senders)"
+                );
+                let receiver = HostId(n_senders);
+                let mouse_hosts = n_senders - elephants;
+                let mut flows: Vec<FlowSpec> = (0..*elephants)
+                    .map(|i| FlowSpec {
+                        id: fncc_net::ids::FlowId(i),
+                        src: HostId(i),
+                        dst: receiver,
+                        size: *elephant_size,
+                        start: SimTime::ZERO,
+                    })
+                    .collect();
+                flows.extend((0..*mice).map(|j| FlowSpec {
+                    id: fncc_net::ids::FlowId(elephants + j),
+                    src: HostId(elephants + (j % mouse_hosts)),
+                    dst: receiver,
+                    size: *mouse_size,
+                    start: SimTime::from_us(warmup_us + j as u64 * gap_us),
+                }));
+                flows
+            }
         }
     }
 
@@ -321,19 +374,28 @@ impl TrafficSpec {
             TrafficSpec::Staircase { .. } => "staircase",
             TrafficSpec::Incast { .. } => "incast",
             TrafficSpec::Poisson { .. } => "poisson",
+            TrafficSpec::MiceBehindElephants { .. } => "mice_behind_elephants",
         }
     }
 }
 
-/// Per-scheme parameter overrides (all FNCC-only today; ignored elsewhere).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Per-scheme parameter overrides.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CcOverrides {
-    /// Disable LHCS (the Fig. 13 "FNCC without LHCS" ablation).
+    /// Disable LHCS (the Fig. 13 "FNCC without LHCS" ablation). FNCC-only;
+    /// ignored elsewhere.
     pub disable_lhcs: bool,
     /// FNCC's `All_INT_Table` refresh period in µs; 0 = live reads. The
     /// default 1 µs snapshot is what Fig. 8's management module does and
     /// also de-noises the sender's rate estimates — see `DESIGN.md`.
+    /// FNCC-only; ignored elsewhere.
     pub int_refresh_us: u64,
+    /// Measured fluid-model parameters for the fluid backend (`None` =
+    /// the baked-in [`fncc_fluid::RateModel::paper_default`]). Carried
+    /// inline in the scenario file (`overrides.calibration`) so a scenario
+    /// stays a self-contained description; produce a set with
+    /// `fncc-repro calibrate`. The packet backend ignores it.
+    pub calibration: Option<fncc_fluid::CalibrationSet>,
 }
 
 impl Default for CcOverrides {
@@ -341,6 +403,7 @@ impl Default for CcOverrides {
         CcOverrides {
             disable_lhcs: false,
             int_refresh_us: 1,
+            calibration: None,
         }
     }
 }
@@ -580,6 +643,22 @@ impl Scenario {
                 ("load", Json::Num(*load)),
                 ("flows", Json::Num(*flows as f64)),
             ]),
+            TrafficSpec::MiceBehindElephants {
+                elephants,
+                elephant_size,
+                mice,
+                mouse_size,
+                warmup_us,
+                gap_us,
+            } => obj([
+                ("kind", Json::Str("mice_behind_elephants".into())),
+                ("elephants", Json::Num(*elephants as f64)),
+                ("elephant_size", num_u64(*elephant_size)),
+                ("mice", Json::Num(*mice as f64)),
+                ("mouse_size", num_u64(*mouse_size)),
+                ("warmup_us", num_u64(*warmup_us)),
+                ("gap_us", num_u64(*gap_us)),
+            ]),
         };
         let stop = match self.stop {
             StopCondition::Horizon { us } => {
@@ -602,13 +681,25 @@ impl Scenario {
             ),
             ("traffic", traffic),
             ("cc", Json::Str(self.cc.name().into())),
-            (
-                "overrides",
-                obj([
-                    ("disable_lhcs", Json::Bool(self.overrides.disable_lhcs)),
-                    ("int_refresh_us", num_u64(self.overrides.int_refresh_us)),
-                ]),
-            ),
+            ("overrides", {
+                let mut fields = vec![
+                    (
+                        "disable_lhcs".to_string(),
+                        Json::Bool(self.overrides.disable_lhcs),
+                    ),
+                    (
+                        "int_refresh_us".to_string(),
+                        num_u64(self.overrides.int_refresh_us),
+                    ),
+                ];
+                if let Some(cal) = &self.overrides.calibration {
+                    fields.push((
+                        "calibration".to_string(),
+                        crate::calibration::set_to_json(cal),
+                    ));
+                }
+                Json::Obj(fields)
+            }),
             (
                 "probes",
                 obj([
@@ -716,6 +807,14 @@ impl Scenario {
                     .ok_or("missing 'load'")?,
                 flows: u32_field(tr, "flows")?,
             },
+            "mice_behind_elephants" => TrafficSpec::MiceBehindElephants {
+                elephants: u32_field(tr, "elephants")?,
+                elephant_size: u64_field(tr, "elephant_size")?,
+                mice: u32_field(tr, "mice")?,
+                mouse_size: u64_field(tr, "mouse_size")?,
+                warmup_us: u64_field(tr, "warmup_us")?,
+                gap_us: u64_field(tr, "gap_us")?,
+            },
             other => return Err(format!("unknown traffic kind '{other}'")),
         };
 
@@ -732,6 +831,10 @@ impl Scenario {
                     .get("int_refresh_us")
                     .and_then(|x| x.as_u64())
                     .unwrap_or(CcOverrides::default().int_refresh_us),
+                calibration: match o.get("calibration") {
+                    None => None,
+                    Some(c) => Some(crate::calibration::set_from_json(c)?),
+                },
             },
         };
 
@@ -813,6 +916,77 @@ mod tests {
     #[test]
     fn json_roundtrip_is_identity() {
         let sc = sample();
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn mice_behind_elephants_roundtrips_and_generates_flows() {
+        let sc = Scenario {
+            topology: TopologySpec::Dumbbell {
+                senders: 4,
+                switches: 3,
+            },
+            traffic: TrafficSpec::MiceBehindElephants {
+                elephants: 2,
+                elephant_size: 4_000_000,
+                mice: 16,
+                mouse_size: 10_000,
+                warmup_us: 60,
+                gap_us: 25,
+            },
+            ..sample()
+        };
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed, sc);
+
+        let (topo, flows) = sc.instance(1);
+        assert_eq!(flows.len(), 18);
+        let receiver = HostId(topo.n_hosts - 1);
+        // Elephants: hosts 0/1, full size, t = 0.
+        for f in &flows[..2] {
+            assert_eq!(f.size, 4_000_000);
+            assert_eq!(f.start, SimTime::ZERO);
+            assert_eq!(f.dst, receiver);
+        }
+        // Mice: cycle over the remaining sender hosts, spaced by gap.
+        for (j, f) in flows[2..].iter().enumerate() {
+            assert_eq!(f.size, 10_000);
+            assert_eq!(f.src, HostId(2 + (j as u32 % 2)));
+            assert_eq!(f.dst, receiver);
+            assert_eq!(f.start, SimTime::from_us(60 + j as u64 * 25));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mice_behind_elephants_needs_a_mouse_host() {
+        let sc = Scenario {
+            topology: TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            traffic: TrafficSpec::MiceBehindElephants {
+                elephants: 2,
+                elephant_size: 1_000_000,
+                mice: 4,
+                mouse_size: 10_000,
+                warmup_us: 0,
+                gap_us: 10,
+            },
+            ..sample()
+        };
+        let _ = sc.instance(1);
+    }
+
+    #[test]
+    fn calibration_override_roundtrips_and_defaults_to_none() {
+        let mut sc = sample();
+        assert_eq!(sc.overrides.calibration, None);
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed.overrides.calibration, None);
+
+        sc.overrides.calibration = Some(fncc_fluid::CalibrationSet::paper());
         let parsed = Scenario::from_json(&sc.to_json()).unwrap();
         assert_eq!(parsed, sc);
     }

@@ -78,6 +78,7 @@ impl MicrobenchSpec {
                 .int_refresh
                 .map(|d| d.as_ps().div_ceil(1_000_000))
                 .unwrap_or(0),
+            calibration: None,
         }
     }
 

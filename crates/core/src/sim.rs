@@ -371,14 +371,7 @@ mod tests {
     fn make_algo_covers_all_kinds() {
         let line = Bandwidth::gbps(100);
         let rtt = TimeDelta::from_us(12);
-        for kind in [
-            CcKind::Hpcc,
-            CcKind::Fncc,
-            CcKind::Dcqcn,
-            CcKind::Rocc,
-            CcKind::Timely,
-            CcKind::Swift,
-        ] {
+        for kind in CcKind::ALL {
             assert_eq!(make_algo(kind, line, rtt).kind(), kind);
         }
     }

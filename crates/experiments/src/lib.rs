@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod benchdes;
+pub mod calibrate;
 pub mod figs;
 pub mod report;
 pub mod scorecard;

@@ -7,18 +7,24 @@
 //! fncc-repro run SCENARIO.json… [--backend packet|fluid] [--out DIR]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
-//!              fig15 ablate storm load-sweep extra-cc bench-des check all
-//!              (default: all; `all` runs each once — `storm` is already
-//!              part of `ablate`)
+//!              fig15 ablate storm load-sweep extra-cc bench-des calibrate
+//!              check all
+//!              (default: all; `all` runs each paper experiment once —
+//!              `storm` is already part of `ablate`, and the maintenance
+//!              verbs `bench-des`/`calibrate` only run when named)
 //!
 //! `--backend fluid` swaps the packet DES for the flow-level fast path in
 //! the workload experiments (fig14, fig15, load-sweep) and in `run` —
 //! same flow sets, orders of magnitude faster, slowdowns within the
 //! cross-validated band. `run` executes a `Scenario` JSON file through the
-//! unified Backend path and writes a `*.report.json` artifact.
+//! unified Backend path and writes a `*.report.json` artifact. `calibrate`
+//! measures every scheme's fluid RateModel parameters against the packet
+//! DES and writes a `fncc.calibration/v1` artifact (`CALIBRATION.json`).
 //! ```
 
-use fncc_experiments::{ablation, benchdes, figs, scorecard, workload_figs, RunOpts, Scale};
+use fncc_experiments::{
+    ablation, benchdes, calibrate, figs, scorecard, workload_figs, RunOpts, Scale,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -33,7 +39,8 @@ fn usage() -> ! {
          [--threads N] [--seeds N] [--flows N] [--backend packet|fluid]\n\
          \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid] [--out DIR]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
-         fig14 fig15 ablate storm load-sweep extra-cc bench-des check all"
+         fig14 fig15 ablate storm load-sweep extra-cc bench-des calibrate \
+         check all"
     );
     std::process::exit(2)
 }
@@ -153,6 +160,9 @@ fn run_one(exp: &str, opts: &RunOpts) {
         }
         "storm" => ablation::pause_storm(opts),
         "bench-des" => benchdes::bench_des(opts),
+        "calibrate" => {
+            calibrate::calibrate(opts);
+        }
         "load-sweep" => workload_figs::load_sweep(opts),
         "check" => {
             let failed = scorecard::check(opts);

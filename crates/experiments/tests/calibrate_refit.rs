@@ -1,0 +1,74 @@
+//! End-to-end exercise of the calibration subsystem's re-fit path: a
+//! deliberately mis-calibrated scheme must trip the conformance gate and
+//! come back with parameters that conform on the held-out cells, while a
+//! conformant scheme must pass the gate untouched (the convergence
+//! property that keeps the checked-in artifact stable).
+//!
+//! Runs at `--quick` scale (4 held-out seeds × 60 flows per workload) to
+//! stay test-sized; everything is deterministic.
+
+use fncc_cc::CcKind;
+use fncc_experiments::calibrate::{holdout_errors, measure_scheme_from};
+use fncc_experiments::Scale;
+use fncc_fluid::{Calibration, CalibrationSet};
+
+#[test]
+fn conformant_scheme_keeps_shipped_parameters() {
+    let shipped = CalibrationSet::paper().get(CcKind::Fncc);
+    let m = measure_scheme_from(CcKind::Fncc, Scale::Quick, shipped);
+    assert!(
+        m.conformant,
+        "shipped FNCC parameters must conform on the held-out cells \
+         (hadoop {:+.1}%, websearch {:+.1}%)",
+        m.holdout_err_hadoop * 100.0,
+        m.holdout_err_websearch * 100.0
+    );
+    assert!(m.refit.is_none());
+    assert_eq!(m.accepted, shipped, "conformant scheme must not churn");
+    // Bank provenance numbers are sane.
+    assert!(m.bank_utilization > 0.5 && m.bank_utilization <= 1.0);
+    assert!(m.bank_queue_rtts >= 0.0 && m.bank_queue_rtts.is_finite());
+    assert!(m.bank_elephant_slowdown >= 1.0);
+    assert!(m.bank_mice_slowdown >= 1.0);
+}
+
+#[test]
+fn broken_calibration_is_refit_to_conformance() {
+    // A queue model five RTTs too deep: the fluid backend overshoots the
+    // DES far beyond any gate width.
+    let broken = Calibration {
+        utilization: 0.95,
+        queue_rtts: 8.0,
+    };
+    let before = holdout_errors(CcKind::Fncc, Scale::Quick, broken);
+    assert!(
+        before.iter().any(|e| e.abs() > 0.25),
+        "test premise: broken parameters must be visibly out of band, got {before:?}"
+    );
+
+    let m = measure_scheme_from(CcKind::Fncc, Scale::Quick, broken);
+    assert!(!m.conformant, "gate failed to flag broken parameters");
+    let refit = m.refit.expect("non-conformant scheme must be re-fit");
+    assert_eq!(m.accepted, refit);
+    // The re-fit must restore conformance on the same held-out cells.
+    let after = holdout_errors(CcKind::Fncc, Scale::Quick, refit);
+    assert!(
+        after.iter().all(|e| e.abs() < 0.25),
+        "re-fit did not restore conformance: {after:?} (refit {refit:?})"
+    );
+    // And it must land near the known-good shipped values, not on some
+    // other compensating optimum.
+    let shipped = CalibrationSet::paper().get(CcKind::Fncc);
+    assert!(
+        (refit.utilization - shipped.utilization).abs() <= 0.1,
+        "refit utilization {} vs shipped {}",
+        refit.utilization,
+        shipped.utilization
+    );
+    assert!(
+        (refit.queue_rtts - shipped.queue_rtts).abs() <= 1.0,
+        "refit queue_rtts {} vs shipped {}",
+        refit.queue_rtts,
+        shipped.queue_rtts
+    );
+}

@@ -49,6 +49,6 @@ pub use link::LinkMap;
 pub use maxmin::{
     find_non_pareto_flow, water_fill, worst_oversubscription, Demand, Rebalance, WaterFiller,
 };
-pub use model::RateModel;
+pub use model::{Calibration, CalibrationSet, RateModel};
 pub use scenarios::Trace;
 pub use sim::{FluidError, FluidResult, FluidSim, Framing};

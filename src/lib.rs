@@ -17,6 +17,7 @@
 //! | [`cc`] | congestion-control state machines |
 //! | [`transport`] | RDMA-like host model (QPs, pacing, ACK/CNP generation) |
 //! | [`workloads`] | WebSearch / FB_Hadoop CDFs, Poisson arrivals, patterns |
+//! | [`fluid`] | flow-level water-filling fast path, DES-calibrated `RateModel`s |
 //! | [`core`] | simulation builder, paper scenarios, metrics, analysis |
 //!
 //! ## Quickstart
@@ -37,6 +38,7 @@
 pub use fncc_cc as cc;
 pub use fncc_core as core;
 pub use fncc_des as des;
+pub use fncc_fluid as fluid;
 pub use fncc_net as net;
 pub use fncc_transport as transport;
 pub use fncc_workloads as workloads;

@@ -34,6 +34,12 @@ fn both_backends(sc: &Scenario) -> (f64, f64) {
 
 fn assert_within_band(name: &str, p: f64, f: f64) {
     let rel = (f - p) / p;
+    // Per-cell error, visible with `cargo test -- --nocapture` and in CI
+    // logs: the conformance matrix's reporting obligation.
+    println!(
+        "[xval] {name:<24} packet {p:7.3}  fluid {f:7.3}  error {:+6.1}%",
+        rel * 100.0
+    );
     assert!(
         rel.abs() < BAND,
         "{name}: fluid {f:.3} vs packet {p:.3} — off by {:+.1}%",
@@ -41,14 +47,43 @@ fn assert_within_band(name: &str, p: f64, f: f64) {
     );
 }
 
+/// Matrix cell scale. CI's quick job shrinks the three newly calibrated
+/// schemes' cells with `FNCC_XVAL_FLOWS`/`FNCC_XVAL_SEEDS`; unset (the
+/// default everywhere else) runs the full 120-flow × 2-seed cells.
+fn env_scale(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 fn xval_workload(cc: CcKind, workload: Workload) {
     let mut spec = WorkloadSpec::new(cc, workload);
     spec.load = 0.5;
-    spec.n_flows = 120;
-    spec.seeds = vec![1, 2];
+    spec.n_flows = env_scale("FNCC_XVAL_FLOWS", 120) as u32;
+    spec.seeds = (1..=env_scale("FNCC_XVAL_SEEDS", 2)).collect();
     spec.k = 4;
     let (p, f) = both_backends(&spec.scenario());
     assert_within_band(&format!("{cc:?}/{workload:?}"), p, f);
+}
+
+// ----------------------------------------------------------------------
+// The conformance matrix: every scheme the repo implements × both §5.5
+// workloads, all within the band. One test per cell so a failure names
+// its cell and the rest of the matrix still reports.
+// ----------------------------------------------------------------------
+
+#[test]
+fn matrix_covers_every_scheme() {
+    // The cell tests below are hand-expanded (one #[test] per cell, so
+    // failures are addressable); this guard makes the expansion total. If
+    // it fails, a scheme was added to `CcKind::ALL` without matrix cells.
+    assert_eq!(
+        CcKind::ALL.len(),
+        6,
+        "new scheme in CcKind::ALL: add its hadoop/websearch matrix cells \
+         and a calibration entry"
+    );
 }
 
 #[test]
@@ -67,6 +102,21 @@ fn dcqcn_hadoop_within_band() {
 }
 
 #[test]
+fn rocc_hadoop_within_band() {
+    xval_workload(CcKind::Rocc, Workload::FbHadoop);
+}
+
+#[test]
+fn timely_hadoop_within_band() {
+    xval_workload(CcKind::Timely, Workload::FbHadoop);
+}
+
+#[test]
+fn swift_hadoop_within_band() {
+    xval_workload(CcKind::Swift, Workload::FbHadoop);
+}
+
+#[test]
 fn fncc_websearch_within_band() {
     xval_workload(CcKind::Fncc, Workload::WebSearch);
 }
@@ -81,17 +131,31 @@ fn dcqcn_websearch_within_band() {
     xval_workload(CcKind::Dcqcn, Workload::WebSearch);
 }
 
+#[test]
+fn rocc_websearch_within_band() {
+    xval_workload(CcKind::Rocc, Workload::WebSearch);
+}
+
+#[test]
+fn timely_websearch_within_band() {
+    xval_workload(CcKind::Timely, Workload::WebSearch);
+}
+
+#[test]
+fn swift_websearch_within_band() {
+    xval_workload(CcKind::Swift, Workload::WebSearch);
+}
+
 /// The §5.1 microbenchmark shape, cross-backend: two 2 MB elephants share
 /// the dumbbell bottleneck from t = 0 (expressed as a one-wave incast of
 /// the dumbbell's two senders). The packet DES drains them at the CC's
 /// fair share; the fluid model must land within the band.
-#[test]
-fn dumbbell_elephants_within_band() {
-    let sc = Scenario {
+fn dumbbell_elephants(cc: CcKind) -> Scenario {
+    Scenario {
         probes: ProbeSpec::default(),
         stop: StopCondition::Drain { cap_ms: 20 },
         ..Scenario::new(
-            "xval-dumbbell-elephants",
+            format!("xval-dumbbell-elephants-{}", cc.name()),
             TopologySpec::Dumbbell {
                 senders: 2,
                 switches: 3,
@@ -103,22 +167,51 @@ fn dumbbell_elephants_within_band() {
                 waves: 1,
                 gap_us: 0,
             },
-            CcKind::Fncc,
+            cc,
         )
-    };
-    let (p, f) = both_backends(&sc);
+    }
+}
+
+#[test]
+fn dumbbell_elephants_within_band() {
+    let (p, f) = both_backends(&dumbbell_elephants(CcKind::Fncc));
     assert_within_band("dumbbell elephants", p, f);
+}
+
+/// Dumbbell spot check for the three schemes the calibration subsystem
+/// newly covers (the workload matrix is their primary validation; this
+/// pins the microbenchmark shape too).
+///
+/// Timely is held to a documented looser bound: under a *sustained*
+/// multi-MB drain its gradient control settles into a deep oscillation
+/// (~0.6 sustained utilization in the DES — a regime no §5.5 workload
+/// flow lives long enough to reach), so the single-η fluid reduction
+/// systematically under-predicts its pure-elephant FCTs. The fluid side
+/// must still agree on ordering and magnitude; tightening this requires a
+/// duration-dependent utilization model (see ROADMAP).
+#[test]
+fn new_schemes_dumbbell_spot_checks() {
+    for cc in [CcKind::Rocc, CcKind::Swift] {
+        let (p, f) = both_backends(&dumbbell_elephants(cc));
+        assert_within_band(&format!("{cc:?} dumbbell"), p, f);
+    }
+    let (p, f) = both_backends(&dumbbell_elephants(CcKind::Timely));
+    let ratio = f / p;
+    println!("[xval] Timely dumbbell (loose)   packet {p:7.3}  fluid {f:7.3}  ratio {ratio:.2}");
+    assert!(
+        (0.5..1.2).contains(&ratio),
+        "Timely dumbbell: fluid {f:.2} vs packet {p:.2}"
+    );
 }
 
 /// The fairness sanity behind the fluid model: equal elephants through one
 /// bottleneck get equal fluid rates, matching the packet backend's
 /// converged fair share within the band.
-#[test]
-fn incast_fair_share_within_band() {
-    let sc = Scenario {
+fn incast_fair_share(cc: CcKind) -> Scenario {
+    Scenario {
         stop: StopCondition::Drain { cap_ms: 20 },
         ..Scenario::new(
-            "xval-incast-fair-share",
+            format!("xval-incast-fair-share-{}", cc.name()),
             TopologySpec::Dumbbell {
                 senders: 4,
                 switches: 3,
@@ -130,11 +223,33 @@ fn incast_fair_share_within_band() {
                 waves: 1,
                 gap_us: 0,
             },
-            CcKind::Fncc,
+            cc,
         )
-    };
-    let (p, f) = both_backends(&sc);
+    }
+}
+
+#[test]
+fn incast_fair_share_within_band() {
+    let (p, f) = both_backends(&incast_fair_share(CcKind::Fncc));
     assert_within_band("incast fair share", p, f);
+}
+
+/// Incast spot check for the three newly calibrated schemes. Timely gets
+/// the same documented looser bound as its dumbbell spot check (sustained
+/// saturation is outside the single-η model's envelope).
+#[test]
+fn new_schemes_incast_spot_checks() {
+    for cc in [CcKind::Rocc, CcKind::Swift] {
+        let (p, f) = both_backends(&incast_fair_share(cc));
+        assert_within_band(&format!("{cc:?} incast"), p, f);
+    }
+    let (p, f) = both_backends(&incast_fair_share(CcKind::Timely));
+    let ratio = f / p;
+    println!("[xval] Timely incast (loose)     packet {p:7.3}  fluid {f:7.3}  ratio {ratio:.2}");
+    assert!(
+        (0.4..1.2).contains(&ratio),
+        "Timely incast: fluid {f:.2} vs packet {p:.2}"
+    );
 }
 
 /// The new scenarios the unified API added ride outside the calibrated

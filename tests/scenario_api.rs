@@ -130,6 +130,43 @@ fn fluid_smoke_scenario_file_parses() {
     }
 }
 
+/// The shipped calibration-bank scenario (the geometry `fncc-repro
+/// calibrate` sweeps per scheme) parses to the expected mice-behind-
+/// elephants shape and runs on both backends.
+#[test]
+fn calibration_bank_scenario_file_runs_on_both_backends() {
+    let sc = Scenario::from_json(&scenario_file("calibration_bank.json")).unwrap();
+    // The full geometry is pinned (a unit test in fncc-experiments also
+    // checks it against the calibrate module's Bank definition).
+    assert_eq!(
+        sc.traffic,
+        TrafficSpec::MiceBehindElephants {
+            elephants: 2,
+            elephant_size: 4_000_000,
+            mice: 16,
+            mouse_size: 10_000,
+            warmup_us: 60,
+            gap_us: 25,
+        }
+    );
+    for backend in [SimBackend::Packet, SimBackend::Fluid] {
+        let report = run_scenario(&sc, backend);
+        assert!(
+            report.unfinished.iter().all(|&u| u == 0),
+            "calibration bank on {backend}: unfinished flows"
+        );
+        // Both buckets the calibration fit reads must be populated.
+        for upper in [10_000u64, 1_000_000_000] {
+            let row = report
+                .slowdowns
+                .iter()
+                .find(|r| r.bucket_upper == upper)
+                .unwrap();
+            assert!(row.count > 0, "{backend}: empty {upper} bucket");
+        }
+    }
+}
+
 /// The shipped scenario files parse and run on BOTH backends — the two
 /// scenarios the pre-unification API could not express.
 #[test]
