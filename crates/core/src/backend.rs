@@ -22,14 +22,62 @@ use fncc_des::time::{SimTime, TimeDelta};
 use fncc_fluid::{CalibrationSet, FluidSim, Framing, RateModel};
 use fncc_net::config::FabricConfig;
 use fncc_net::ids::{FlowId, NodeRef};
+use fncc_obs::{Profiler, TraceMeta, TraceSink};
+use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
 /// An engine that can execute any [`Scenario`].
 pub trait Backend {
     /// Backend display name (`"packet"` / `"fluid"`).
     fn name(&self) -> &'static str;
-    /// Execute the scenario and produce the unified report artifact.
-    fn run(&self, scenario: &Scenario) -> RunReport;
+
+    /// Execute the scenario and produce the unified report artifact. When
+    /// the scenario arms tracing, the flight-recorder artifact lands next
+    /// to the working directory under [`RunReport::trace_file_name`].
+    fn run(&self, scenario: &Scenario) -> RunReport {
+        self.run_traced(scenario, None)
+    }
+
+    /// Like [`run`](Backend::run), but with an explicit destination for the
+    /// `fncc.trace/v1` artifact (`None` = the default file name). Tracing is
+    /// still armed by the scenario's `probes.trace` knob and captures the
+    /// first seed's run; the report itself is byte-identical either way.
+    fn run_traced(&self, scenario: &Scenario, trace_out: Option<&Path>) -> RunReport;
+}
+
+/// Drain `sink` to `path` as a `fncc.trace/v1` JSONL artifact. Trace output
+/// is best-effort diagnostics: failures warn on stderr, never fail the run.
+fn write_trace_artifact(sink: &TraceSink, meta: &TraceMeta, path: &Path) {
+    let res = std::fs::File::create(path).and_then(|f| {
+        let mut w = std::io::BufWriter::new(f);
+        sink.write_jsonl(&mut w, meta)
+    });
+    match res {
+        Ok(()) => eprintln!(
+            "trace: {} events ({} dropped) -> {}",
+            sink.len(),
+            sink.dropped(),
+            path.display()
+        ),
+        Err(e) => eprintln!(
+            "warning: trace artifact {} not written: {e}",
+            path.display()
+        ),
+    }
+}
+
+/// Export accumulated profiling spans as `span_<phase>_{ns,calls}` scalars.
+/// Wall-clock readings are non-deterministic, so this is a no-op unless the
+/// profiler was actually enabled (`FNCC_PROFILE`) — deterministic reports
+/// stay byte-identical.
+fn export_spans(report: &mut RunReport, prof: &Profiler) {
+    if !prof.is_enabled() {
+        return;
+    }
+    for (name, calls, total_ns) in prof.spans() {
+        report.put_scalar(format!("span_{name}_ns"), total_ns as f64);
+        report.put_scalar(format!("span_{name}_calls"), calls as f64);
+    }
 }
 
 /// Which simulation engine runs a scenario.
@@ -88,6 +136,15 @@ pub fn run_scenario(scenario: &Scenario, backend: SimBackend) -> RunReport {
     backend.resolve().run(scenario)
 }
 
+/// Run `scenario` on the chosen engine with an explicit trace destination.
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    backend: SimBackend,
+    trace_out: Option<&Path>,
+) -> RunReport {
+    backend.resolve().run_traced(scenario, trace_out)
+}
+
 // ----------------------------------------------------------------------
 // Packet backend
 // ----------------------------------------------------------------------
@@ -105,13 +162,15 @@ impl Backend for PacketBackend {
     /// rows (drain runs) are averaged across seeds, events and unfinished
     /// counts summed, time series and traffic-specific scalars taken from
     /// the first seed.
-    fn run(&self, sc: &Scenario) -> RunReport {
+    fn run_traced(&self, sc: &Scenario, trace_out: Option<&Path>) -> RunReport {
         let mut report = RunReport::new(&sc.name, self.name(), sc.cc.name());
         report.seeds = sc.seeds.clone();
+        let tracing = sc.probes.trace;
         let buckets = sc.traffic.buckets();
         let mut runs: Vec<Vec<crate::metrics::SlowdownStats>> = Vec::new();
         let mut peak_queue_len = 0usize;
         let mut clamped = 0u64;
+        let mut prof = Profiler::disabled();
         let wall_start = std::time::Instant::now();
 
         for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
@@ -167,6 +226,10 @@ impl Backend for PacketBackend {
             for (i, f) in flows.iter().take(n_watched_cc).enumerate() {
                 builder = builder.watch_cc_rate(FlowId(i as u32), f.src, format!("cc{i}"));
             }
+            // The flight recorder captures the first seed only: one seed's
+            // event stream answers the timeline/hotspot questions, and the
+            // ring would otherwise just overwrite seed 0 with seed N−1.
+            builder = builder.trace(tracing && seed_ix == 0);
 
             let mut sim = builder.build();
             match sc.stop {
@@ -190,12 +253,42 @@ impl Backend for PacketBackend {
                 let header = sim.fabric().cfg.data_header;
                 runs.push(fct_slowdowns(&sim.topo, telem, &buckets, payload, header));
             }
+            prof.absorb(sim.profiler());
+            prof.absorb(&telem.profiler);
             if seed_ix == 0 {
                 extract_series(&mut report, &sim, cp, n_watched_flows, n_watched_cc);
                 extract_scalars(&mut report, sc, &sim, cp, &flows);
+                for (name, v) in telem.metrics.scalar_pairs() {
+                    report.put_scalar(name, v);
+                }
+                let (fresh, rec) = (
+                    sim.fabric().pool.fresh_allocs(),
+                    sim.fabric().pool.recycled(),
+                );
+                if fresh + rec > 0 {
+                    report.put_scalar("pool_hit_rate", rec as f64 / (fresh + rec) as f64);
+                }
+                if let Some(cascades) = sim.wheel_cascades() {
+                    for (lvl, n) in cascades.iter().enumerate() {
+                        report.put_scalar(format!("wheel_cascades_l{lvl}"), *n as f64);
+                    }
+                }
+                if tracing {
+                    let path = trace_out
+                        .map(Path::to_path_buf)
+                        .unwrap_or_else(|| PathBuf::from(report.trace_file_name()));
+                    let meta = TraceMeta {
+                        scenario: sc.name.clone(),
+                        backend: self.name().to_string(),
+                        seed,
+                    };
+                    write_trace_artifact(&sim.telemetry().trace, &meta, &path);
+                }
             }
         }
 
+        let ph_report = prof.phase("report_build");
+        let span = prof.begin();
         if !runs.is_empty() {
             report.slowdowns = average_slowdowns(&runs);
             if let Some(m) = report.mean_slowdown() {
@@ -212,6 +305,8 @@ impl Backend for PacketBackend {
         }
         report.put_scalar("peak_queue_len", peak_queue_len as f64);
         report.put_scalar("clamped_schedules", clamped as f64);
+        prof.end(ph_report, span);
+        export_spans(&mut report, &prof);
         report
     }
 }
@@ -427,9 +522,10 @@ impl Backend for FluidBackend {
     /// the scheme's [`RateModel`]. The fluid engine always drains all flows
     /// (a [`StopCondition::Horizon`] is ignored beyond elephant sizing) and
     /// produces no time series — slowdown rows and scalar metrics only.
-    fn run(&self, sc: &Scenario) -> RunReport {
+    fn run_traced(&self, sc: &Scenario, trace_out: Option<&Path>) -> RunReport {
         let mut report = RunReport::new(&sc.name, self.name(), sc.cc.name());
         report.seeds = sc.seeds.clone();
+        let tracing = sc.probes.trace;
         // Same provenance as the packet engine's frame parameters, so the
         // two backends share one queue-delay RTT by construction.
         let framing = Framing::from(&FabricConfig::paper_default());
@@ -437,11 +533,16 @@ impl Backend for FluidBackend {
         let mut runs = Vec::with_capacity(sc.seeds.len());
         let mut peak_active = 0usize;
         let mut horizon = SimTime::ZERO;
-        for &seed in &sc.seeds {
+        let mut full_solves = 0u64;
+        let mut incremental_solves = 0u64;
+        let mut rate_updates = 0u64;
+        let mut prof = Profiler::disabled();
+        for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
             let (topo, flows) = sc.instance(seed);
             let result = FluidSim::new(topo.clone(), self.rate_model(sc))
                 .framing(framing)
                 .flows(flows)
+                .trace(tracing && seed_ix == 0)
                 .run()
                 .unwrap_or_else(|e| panic!("fluid backend on '{}': {e}", sc.name));
             report.unfinished.push(
@@ -461,13 +562,43 @@ impl Backend for FluidBackend {
             report.events += result.reallocations;
             peak_active = peak_active.max(result.peak_active);
             horizon = horizon.max(result.horizon);
+            full_solves += result.full_solves;
+            incremental_solves += result.incremental_solves;
+            rate_updates += result.rate_updates;
+            prof.absorb(&result.profiler);
+            if seed_ix == 0 {
+                for (name, v) in result.telemetry.metrics.scalar_pairs() {
+                    report.put_scalar(name, v);
+                }
+                if tracing {
+                    let path = trace_out
+                        .map(Path::to_path_buf)
+                        .unwrap_or_else(|| PathBuf::from(report.trace_file_name()));
+                    let meta = TraceMeta {
+                        scenario: sc.name.clone(),
+                        backend: self.name().to_string(),
+                        seed,
+                    };
+                    write_trace_artifact(&result.telemetry.trace, &meta, &path);
+                }
+            }
         }
+        let ph_report = prof.phase("report_build");
+        let span = prof.begin();
         report.slowdowns = average_slowdowns(&runs);
         if let Some(m) = report.mean_slowdown() {
             report.put_scalar("mean_slowdown", m);
         }
         report.put_scalar("peak_active", peak_active as f64);
         report.put_scalar("horizon_us", horizon.as_us_f64());
+        // Water-filler work accounting, summed across seeds (the warm-start
+        // effectiveness story in one glance: incremental share and the mean
+        // residual `rate_updates / reallocations`).
+        report.put_scalar("full_solves", full_solves as f64);
+        report.put_scalar("incremental_solves", incremental_solves as f64);
+        report.put_scalar("rate_updates", rate_updates as f64);
+        prof.end(ph_report, span);
+        export_spans(&mut report, &prof);
         report
     }
 }

@@ -51,7 +51,8 @@ pub mod sweep;
 
 pub use analysis::{hardware_trends, notification_gain_model, HopGain, SwitchGen};
 pub use backend::{
-    fattree_workload_on, run_scenario, Backend, FluidBackend, PacketBackend, SimBackend,
+    fattree_workload_on, run_scenario, run_scenario_traced, Backend, FluidBackend, PacketBackend,
+    SimBackend,
 };
 pub use calibration::{CalibrationArtifact, CALIBRATION_SCHEMA};
 pub use metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
@@ -66,11 +67,16 @@ pub use scenarios::{
 };
 pub use sim::{make_algo, Sim, SimBuilder};
 
+/// Flight-recorder observability: trace sink, metrics registry, profiling
+/// spans (re-export of the dependency-free `fncc-obs` crate).
+pub use fncc_obs as obs;
+
 /// One-stop imports for examples and experiment binaries.
 pub mod prelude {
     pub use crate::analysis::{hardware_trends, notification_gain_model};
     pub use crate::backend::{
-        fattree_workload_on, run_scenario, Backend, FluidBackend, PacketBackend, SimBackend,
+        fattree_workload_on, run_scenario, run_scenario_traced, Backend, FluidBackend,
+        PacketBackend, SimBackend,
     };
     pub use crate::calibration::{CalibrationArtifact, CALIBRATION_SCHEMA};
     pub use crate::metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
@@ -93,5 +99,6 @@ pub mod prelude {
     pub use fncc_net::ids::{FlowId, HostId, SwitchId};
     pub use fncc_net::topology::Topology;
     pub use fncc_net::units::{Bandwidth, ByteSize};
+    pub use fncc_obs::{MetricsRegistry, Profiler, TraceEvent, TraceMeta, TraceSink, TRACE_SCHEMA};
     pub use fncc_transport::FlowSpec;
 }

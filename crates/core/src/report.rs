@@ -169,11 +169,10 @@ impl RunReport {
         .to_string_pretty()
     }
 
-    /// The artifact file name for this report, `<name>.<backend>.report.json`
-    /// with the scenario name sanitized to a flat file-system-safe token —
+    /// The scenario name sanitized to a flat file-system-safe token —
     /// scenario names come from user-supplied files and must not be able to
     /// steer writes outside the output directory.
-    pub fn artifact_file_name(&self) -> String {
+    fn sanitized_stem(&self) -> String {
         let safe: String = self
             .scenario
             .chars()
@@ -186,12 +185,35 @@ impl RunReport {
             })
             .collect();
         let safe = safe.trim_matches('.').trim_matches('-');
-        let stem = if safe.is_empty() { "scenario" } else { safe };
-        format!("{stem}.{}.report.json", self.backend)
+        if safe.is_empty() {
+            "scenario".to_string()
+        } else {
+            safe.to_string()
+        }
+    }
+
+    /// The artifact file name for this report, `<name>.<backend>.report.json`.
+    pub fn artifact_file_name(&self) -> String {
+        format!("{}.{}.report.json", self.sanitized_stem(), self.backend)
+    }
+
+    /// The companion trace artifact name, `<name>.<backend>.trace.jsonl`.
+    pub fn trace_file_name(&self) -> String {
+        format!("{}.{}.trace.jsonl", self.sanitized_stem(), self.backend)
     }
 
     /// Write the JSON artifact to `path`, creating parent directories.
+    ///
+    /// Fails with [`io::ErrorKind::InvalidData`] if any series carries
+    /// out-of-order samples: the artifact's `t_us` arrays are documented
+    /// as monotone, and a disordered axis would silently corrupt every
+    /// downstream cursor merge (plots, CSV export, `inspect`).
     pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        for s in &self.series {
+            if let Err(e) = s.validate_ordering() {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        }
         let path = path.as_ref();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
@@ -304,6 +326,21 @@ mod tests {
         assert_eq!(r.artifact_file_name(), "scenario.packet.report.json");
         r.scenario = "plain-name_1.2".into();
         assert_eq!(r.artifact_file_name(), "plain-name_1.2.packet.report.json");
+        assert_eq!(r.trace_file_name(), "plain-name_1.2.packet.trace.jsonl");
+    }
+
+    #[test]
+    fn write_json_rejects_disordered_series() {
+        let mut r = sample();
+        let mut bad = TimeSeries::new("bad");
+        bad.push_unchecked(SimTime::from_us(5), 1.0);
+        bad.push_unchecked(SimTime::from_us(2), 2.0);
+        r.series.push(bad);
+        let path = std::env::temp_dir().join("fncc_core_disordered.report.json");
+        let err = r.write_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("out-of-order"), "{err}");
+        assert!(!path.exists(), "artifact must not be written");
     }
 
     #[test]

@@ -431,6 +431,9 @@ pub struct ProbeSpec {
     pub flow_rates: u32,
     /// Watch CC pacing rate of the first `cc_rates` flows.
     pub cc_rates: u32,
+    /// Arm the flight-recorder trace sink (events land in a separate
+    /// `fncc.trace/v1` artifact; the run report is byte-identical either way).
+    pub trace: bool,
 }
 
 impl ProbeSpec {
@@ -442,6 +445,7 @@ impl ProbeSpec {
             congestion_point: true,
             flow_rates: n,
             cc_rates: n,
+            trace: false,
         }
     }
 }
@@ -707,6 +711,7 @@ impl Scenario {
                     ("congestion_point", Json::Bool(self.probes.congestion_point)),
                     ("flow_rates", Json::Num(self.probes.flow_rates as f64)),
                     ("cc_rates", Json::Num(self.probes.cc_rates as f64)),
+                    ("trace", Json::Bool(self.probes.trace)),
                 ]),
             ),
             ("stop", stop),
@@ -848,6 +853,7 @@ impl Scenario {
                     .unwrap_or(false),
                 flow_rates: p.get("flow_rates").and_then(|x| x.as_u64()).unwrap_or(0) as u32,
                 cc_rates: p.get("cc_rates").and_then(|x| x.as_u64()).unwrap_or(0) as u32,
+                trace: p.get("trace").and_then(|x| x.as_bool()).unwrap_or(false),
             },
         };
 

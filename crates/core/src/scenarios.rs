@@ -123,6 +123,7 @@ impl MicrobenchSpec {
                 congestion_point: true,
                 flow_rates: 2,
                 cc_rates: 0,
+                trace: false,
             },
             ..self.scenario()
         }
@@ -327,6 +328,7 @@ pub fn staircase_scenario(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) ->
             congestion_point: false,
             flow_rates: n,
             cc_rates: 0,
+            trace: false,
         },
         stop: StopCondition::Horizon { us: horizon_us },
         seeds: vec![seed],

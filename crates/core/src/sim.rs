@@ -11,6 +11,7 @@ use fncc_net::ids::{FlowId, HostId, SwitchId};
 use fncc_net::telemetry::Telemetry;
 use fncc_net::topology::Topology;
 use fncc_net::units::Bandwidth;
+use fncc_obs::{Profiler, TraceSink};
 use fncc_transport::{DcHost, FlowSpec, HostTimer, TransportConfig};
 
 /// Build a CC configuration with paper defaults for `kind` on a network
@@ -57,6 +58,7 @@ pub struct SimBuilder {
     watch_utils: Vec<(SwitchId, u8, String)>,
     watch_flows: Vec<(FlowId, String)>,
     watch_cc_rates: Vec<(FlowId, HostId, String)>,
+    trace: bool,
 }
 
 impl SimBuilder {
@@ -79,6 +81,7 @@ impl SimBuilder {
             watch_utils: Vec::new(),
             watch_flows: Vec::new(),
             watch_cc_rates: Vec::new(),
+            trace: false,
         }
     }
 
@@ -98,6 +101,7 @@ impl SimBuilder {
             watch_utils: Vec::new(),
             watch_flows: Vec::new(),
             watch_cc_rates: Vec::new(),
+            trace: false,
         }
     }
 
@@ -149,6 +153,14 @@ impl SimBuilder {
         self
     }
 
+    /// Arm the flight-recorder trace sink. Events accumulate in a ring
+    /// buffer and are drained to a `fncc.trace/v1` artifact by the caller;
+    /// the run's measurements are unaffected.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Finalize into a runnable [`Sim`].
     pub fn build(self) -> Sim {
         let kind = self.cc.kind();
@@ -173,6 +185,9 @@ impl SimBuilder {
         }
         if let Some((every, until)) = self.sampling {
             fabric.telemetry.enable_sampling(every, until);
+        }
+        if self.trace {
+            fabric.telemetry.trace = TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY);
         }
 
         for f in &self.flows {
@@ -263,6 +278,18 @@ impl Sim {
     /// The live fabric (ports, switches, pause counters).
     pub fn fabric(&self) -> &Fabric<DcHost> {
         &self.eng.model
+    }
+
+    /// The engine's self-profiler (scheduler-pop and dispatch spans;
+    /// enabled only when `FNCC_PROFILE` is set).
+    pub fn profiler(&self) -> &Profiler {
+        self.eng.profiler()
+    }
+
+    /// Per-level cascade counts of the timing-wheel scheduler, if that
+    /// scheduler is in use.
+    pub fn wheel_cascades(&self) -> Option<&[u64]> {
+        self.eng.wheel_cascades()
     }
 
     /// A host's transport state.

@@ -15,7 +15,9 @@
 
 use crate::time::{SimTime, TimeDelta};
 use crate::wheel::{Entry, TimingWheel};
+use fncc_obs::{PhaseId, Profiler};
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// A simulation model: owns all mutable world state and reacts to events.
 pub trait Model {
@@ -145,6 +147,14 @@ impl<E> EventQueue<E> {
             EventQueue::Heap(h) => h.len(),
         }
     }
+
+    /// Per-level cascade counts (wheel only).
+    fn cascade_counts(&self) -> Option<&[u64]> {
+        match self {
+            EventQueue::Wheel(w) => Some(w.cascade_counts()),
+            EventQueue::Heap(_) => None,
+        }
+    }
 }
 
 /// Why a [`Engine::run_until`] call returned.
@@ -158,6 +168,17 @@ pub enum RunOutcome {
     BudgetExhausted,
 }
 
+/// Heartbeat state for the `--progress`/`FNCC_PROGRESS` stderr line.
+struct Progress {
+    started: Instant,
+    last_print: Instant,
+    /// True once a heartbeat line was written (so the run can close it).
+    printed: bool,
+}
+
+/// How often (in events) the progress-enabled loop checks the wall clock.
+const PROGRESS_EVERY: u64 = 1 << 18;
+
 /// The discrete-event engine driving a [`Model`].
 pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
@@ -168,6 +189,13 @@ pub struct Engine<M: Model> {
     event_budget: u64,
     clamped_schedules: u64,
     peak_queue_len: usize,
+    /// Self-profiling spans over the hot loop (scheduler pop, dispatch).
+    /// Off unless `FNCC_PROFILE` is set; see [`fncc_obs::Profiler`].
+    profiler: Profiler,
+    ph_pop: PhaseId,
+    ph_dispatch: PhaseId,
+    /// Heartbeat line for long runs; `Some` iff `FNCC_PROGRESS` is set.
+    progress: Option<Progress>,
     /// The model being simulated; public so callers can inspect/mutate state
     /// between phases (e.g. inject flows, read metrics).
     pub model: M,
@@ -182,6 +210,17 @@ impl<M: Model> Engine<M> {
 
     /// Create an engine with an explicit event-queue implementation.
     pub fn with_queue(model: M, kind: QueueKind) -> Self {
+        let mut profiler = Profiler::from_env();
+        let ph_pop = profiler.phase("sched_pop");
+        let ph_dispatch = profiler.phase("dispatch");
+        let progress = match std::env::var("FNCC_PROGRESS") {
+            Ok(v) if !v.is_empty() && v != "0" => Some(Progress {
+                started: Instant::now(),
+                last_print: Instant::now(),
+                printed: false,
+            }),
+            _ => None,
+        };
         Engine {
             queue: EventQueue::new(kind),
             sched: Scheduler {
@@ -195,6 +234,10 @@ impl<M: Model> Engine<M> {
             event_budget: u64::MAX,
             clamped_schedules: 0,
             peak_queue_len: 0,
+            profiler,
+            ph_pop,
+            ph_dispatch,
+            progress,
             model,
         }
     }
@@ -255,13 +298,17 @@ impl<M: Model> Engine<M> {
     /// Dispatch the single earliest event. Returns `false` if the queue is
     /// empty. Time advances to the event's timestamp.
     pub fn step(&mut self) -> bool {
+        let t0 = self.profiler.begin();
         let Some(entry) = self.queue.pop() else {
             return false;
         };
+        self.profiler.end(self.ph_pop, t0);
         debug_assert!(entry.time >= self.time, "event queue went backwards");
         self.time = entry.time;
         self.sched.now = entry.time;
+        let t1 = self.profiler.begin();
         self.model.handle(entry.time, entry.ev, &mut self.sched);
+        self.profiler.end(self.ph_dispatch, t1);
         self.events_processed += 1;
         for (t, ev) in self.sched.pending.drain(..) {
             self.queue.push(t, self.seq, ev);
@@ -277,26 +324,76 @@ impl<M: Model> Engine<M> {
     /// drains, or the event budget runs out. Events *at* the horizon are
     /// processed.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
-        loop {
+        let outcome = loop {
             match self.queue.peek_time() {
-                None => return RunOutcome::Idle,
+                None => break RunOutcome::Idle,
                 Some(t) if t > horizon => {
                     // Leave future events queued; clock parks at the horizon.
                     self.time = self.time.max(horizon);
-                    return RunOutcome::HorizonReached;
+                    break RunOutcome::HorizonReached;
                 }
                 Some(_) => {}
             }
             if self.events_processed >= self.event_budget {
-                return RunOutcome::BudgetExhausted;
+                break RunOutcome::BudgetExhausted;
             }
             self.step();
+            if self.progress.is_some() && self.events_processed.is_multiple_of(PROGRESS_EVERY) {
+                self.heartbeat(horizon);
+            }
+        };
+        if let Some(p) = &mut self.progress {
+            if p.printed {
+                // Move off the carriage-returned heartbeat line.
+                eprintln!();
+                p.printed = false;
+            }
         }
+        outcome
     }
 
     /// Run until the queue drains or the budget runs out.
     pub fn run_until_idle(&mut self) -> RunOutcome {
         self.run_until(SimTime::MAX)
+    }
+
+    /// Emit the `FNCC_PROGRESS` heartbeat (at most once per second): events
+    /// processed, wall event rate, simulated time, and — when the horizon is
+    /// finite — the ETA extrapolated from sim-time progress so far.
+    fn heartbeat(&mut self, horizon: SimTime) {
+        let Some(p) = &mut self.progress else {
+            return;
+        };
+        if p.last_print.elapsed().as_secs_f64() < 1.0 {
+            return;
+        }
+        p.last_print = Instant::now();
+        p.printed = true;
+        let wall = p.started.elapsed().as_secs_f64();
+        let rate = self.events_processed as f64 / wall.max(1e-9);
+        let sim_us = self.time.as_ps() as f64 / 1e6;
+        let eta = if horizon < SimTime::MAX && self.time.as_ps() > 0 {
+            let frac = self.time.as_ps() as f64 / horizon.as_ps() as f64;
+            format!("{:.0}s", wall * (1.0 - frac).max(0.0) / frac.max(1e-9))
+        } else {
+            "?".to_string()
+        };
+        eprint!(
+            "\r[fncc] {:>12} events  {:>10.0} ev/s  sim {:>10.1} us  eta {:<8}",
+            self.events_processed, rate, sim_us, eta
+        );
+    }
+
+    /// The hot-loop profiler (spans are all-zero unless `FNCC_PROFILE` was
+    /// set when the engine was built).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Per-level cascade counts of the timing wheel (`None` on the heap
+    /// oracle): index = source level, value = slots broken into finer ones.
+    pub fn wheel_cascades(&self) -> Option<&[u64]> {
+        self.queue.cascade_counts()
     }
 }
 

@@ -109,7 +109,14 @@ impl Table {
 /// Write several time series sharing a time axis into one CSV
 /// (`time_us,name1,name2,…`); series are sampled on their own ticks, missing
 /// cells are left empty.
-pub fn series_to_csv(series: &[&TimeSeries]) -> String {
+///
+/// The cursor merge below assumes each series is time-ordered; a disordered
+/// series would silently drop samples, so ordering is validated here and a
+/// descriptive error returned instead of corrupt CSV.
+pub fn series_to_csv(series: &[&TimeSeries]) -> Result<String, String> {
+    for s in series {
+        s.validate_ordering()?;
+    }
     // Collect the union of timestamps.
     let mut times: Vec<u64> = series
         .iter()
@@ -140,7 +147,7 @@ pub fn series_to_csv(series: &[&TimeSeries]) -> String {
         }
         out.push('\n');
     }
-    out
+    Ok(out)
 }
 
 /// Write a string to `path`, creating parent directories.
@@ -196,12 +203,21 @@ mod tests {
         a.push(SimTime::from_us(3), 3.0);
         let mut b = TimeSeries::new("b");
         b.push(SimTime::from_us(2), 2.0);
-        let csv = series_to_csv(&[&a, &b]);
+        let csv = series_to_csv(&[&a, &b]).unwrap();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "time_us,a,b");
         assert_eq!(lines[1], "1.000,1,");
         assert_eq!(lines[2], "2.000,,2");
         assert_eq!(lines[3], "3.000,3,");
+    }
+
+    #[test]
+    fn series_csv_rejects_disordered_series() {
+        let mut a = TimeSeries::new("bad");
+        a.push_unchecked(SimTime::from_us(3), 1.0);
+        a.push_unchecked(SimTime::from_us(1), 2.0);
+        let err = series_to_csv(&[&a]).unwrap_err();
+        assert!(err.contains("out-of-order"), "{err}");
     }
 
     #[test]

@@ -28,6 +28,16 @@ impl TimeSeries {
         self.values.push(v);
     }
 
+    /// Append a sample without the debug ordering assertion. For ingest
+    /// paths replaying externally-produced data (artifact files), where
+    /// ordering is checked once at serialization/use time via
+    /// [`validate_ordering`](TimeSeries::validate_ordering) instead of per
+    /// push.
+    pub fn push_unchecked(&mut self, t: SimTime, v: f64) {
+        self.times.push(t);
+        self.values.push(v);
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.times.len()
@@ -95,6 +105,31 @@ impl TimeSeries {
     /// First time at which the value satisfies `pred`, if any.
     pub fn first_time_where(&self, mut pred: impl FnMut(f64) -> bool) -> Option<SimTime> {
         self.iter().find(|&(_, v)| pred(v)).map(|(t, _)| t)
+    }
+
+    /// First out-of-order sample, as `(index, previous_time, time)`, if any.
+    ///
+    /// [`push`](TimeSeries::push) asserts monotonicity only in debug
+    /// builds; release-mode serializers call this (via
+    /// [`validate_ordering`](TimeSeries::validate_ordering)) so a disordered
+    /// series surfaces as a descriptive error instead of corrupt CSV/JSON.
+    pub fn first_disorder(&self) -> Option<(usize, SimTime, SimTime)> {
+        self.times
+            .windows(2)
+            .position(|w| w[1] < w[0])
+            .map(|i| (i + 1, self.times[i], self.times[i + 1]))
+    }
+
+    /// Err with a descriptive message if samples are not in nondecreasing
+    /// time order.
+    pub fn validate_ordering(&self) -> Result<(), String> {
+        match self.first_disorder() {
+            None => Ok(()),
+            Some((ix, prev, t)) => Err(format!(
+                "series {:?}: out-of-order sample at index {ix} ({t} after {prev})",
+                self.name
+            )),
+        }
     }
 }
 
@@ -303,6 +338,33 @@ mod tests {
             (2.0 + 3.0 + 4.0) / 3.0
         );
         assert_eq!(s.max_in(SimTime::from_us(0), SimTime::from_us(4)), 3.0);
+    }
+
+    #[test]
+    fn disorder_is_detected_at_validation_time() {
+        let mut s = TimeSeries::new("q");
+        s.push_unchecked(SimTime::from_us(1), 1.0);
+        s.push_unchecked(SimTime::from_us(3), 2.0);
+        s.push_unchecked(SimTime::from_us(2), 3.0);
+        let (ix, prev, t) = s.first_disorder().expect("disorder present");
+        assert_eq!(ix, 2);
+        assert_eq!(prev, SimTime::from_us(3));
+        assert_eq!(t, SimTime::from_us(2));
+        let err = s.validate_ordering().unwrap_err();
+        assert!(err.contains("\"q\"") && err.contains("index 2"), "{err}");
+    }
+
+    #[test]
+    fn ordered_series_validate_clean() {
+        let mut s = TimeSeries::new("ok");
+        for i in 0..5u64 {
+            s.push(SimTime::from_us(i), i as f64);
+        }
+        // Equal timestamps are legal (same-instant samples).
+        s.push(SimTime::from_us(4), 9.0);
+        assert!(s.first_disorder().is_none());
+        assert!(s.validate_ordering().is_ok());
+        assert!(TimeSeries::new("empty").validate_ordering().is_ok());
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub(crate) struct TimingWheel<E> {
     /// Far-future events beyond the top level's aligned window.
     overflow: BinaryHeap<Entry<E>>,
     len: usize,
+    /// Cascades performed per source level (level 1.. — index 0 unused):
+    /// how often `refill` had to break a coarse slot into finer ones. Fed
+    /// to the `wheel_cascade_depth` metric histogram.
+    cascades: [u64; LEVELS],
 }
 
 impl<E> TimingWheel<E> {
@@ -125,12 +129,18 @@ impl<E> TimingWheel<E> {
             cur_slot: 0,
             overflow: BinaryHeap::new(),
             len: 0,
+            cascades: [0; LEVELS],
         }
     }
 
     #[inline]
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Cascade counts indexed by source level (index 0 is always 0).
+    pub fn cascade_counts(&self) -> &[u64] {
+        &self.cascades
     }
 
     /// Queue an event. `time` must be ≥ the time of the last popped event
@@ -219,6 +229,7 @@ impl<E> TimingWheel<E> {
                     self.place(e);
                 }
                 self.levels[l].slots[j] = slot;
+                self.cascades[l] += 1;
                 cascaded = true;
                 break;
             }

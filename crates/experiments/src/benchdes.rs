@@ -10,7 +10,9 @@
 use crate::{RunOpts, Scale};
 use fncc_cc::CcKind;
 use fncc_core::json::{num_u64, obj, Json};
-use fncc_core::{run_scenario, Scenario, SimBackend, TopologySpec, TrafficSpec, Workload};
+use fncc_core::{
+    run_scenario, run_scenario_traced, Scenario, SimBackend, TopologySpec, TrafficSpec, Workload,
+};
 use std::time::Instant;
 
 /// Artifact schema identifier.
@@ -111,6 +113,30 @@ pub fn bench_des(opts: &RunOpts) {
         }
     }
 
+    // Flight-recorder cost check: re-run the first point with the trace
+    // sink armed and record the throughput delta against the untraced
+    // measurement of the same point, so the recorder's price is tracked
+    // run over run next to the engine's own trajectory.
+    let mut traced_sc = points[0].clone();
+    traced_sc.probes.trace = true;
+    let trace_path = opts.out.join("bench-des.trace.jsonl");
+    if let Some(dir) = trace_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::env::set_var("FNCC_DES_SCHED", "wheel");
+    let t0 = Instant::now();
+    let traced_report = run_scenario_traced(&traced_sc, SimBackend::Packet, Some(&trace_path));
+    let traced_wall = t0.elapsed().as_secs_f64();
+    std::env::remove_var("FNCC_DES_SCHED");
+    let traced_eps = traced_report.events as f64 / traced_wall.max(1e-9);
+    let base_eps = measured[0].events_per_sec;
+    let overhead_pct = (base_eps - traced_eps) / base_eps.max(1e-9) * 100.0;
+    println!(
+        "[bench-des] {} [wheel+trace]: {:.2}M events/s ({overhead_pct:+.1}% vs untraced)",
+        traced_sc.name,
+        traced_eps / 1e6,
+    );
+
     let artifact = obj([
         ("schema", Json::Str(BENCH_DES_SCHEMA.into())),
         (
@@ -133,6 +159,14 @@ pub fn bench_des(opts: &RunOpts) {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "trace",
+            obj([
+                ("point", Json::Str(traced_sc.name.clone())),
+                ("events_per_sec_traced", Json::Num(traced_eps)),
+                ("overhead_pct", Json::Num(overhead_pct)),
+            ]),
         ),
     ]);
     let path = opts.out.join("BENCH_des.json");

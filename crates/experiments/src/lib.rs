@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod benchdes;
 pub mod calibrate;
 pub mod figs;
+pub mod inspect;
 pub mod report;
 pub mod scorecard;
 pub mod workload_figs;
@@ -68,6 +69,10 @@ pub struct RunOpts {
     /// packet DES for the flow-level fast path — same flow sets, so tables
     /// stay comparable).
     pub backend: SimBackend,
+    /// Arm the flight recorder on `run` scenarios (`--trace`): the first
+    /// seed's event stream lands in a `*.trace.jsonl` artifact next to the
+    /// report.
+    pub trace: bool,
 }
 
 /// Experiment scale.
@@ -90,6 +95,7 @@ impl Default for RunOpts {
             seeds: None,
             flows: None,
             backend: SimBackend::Packet,
+            trace: false,
         }
     }
 }

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! fncc-repro [EXPERIMENT…] [--out DIR] [--quick|--full] [--threads N]
-//!            [--seeds N] [--flows N] [--backend packet|fluid]
+//!            [--seeds N] [--flows N] [--backend packet|fluid] [--progress]
 //! fncc-repro run SCENARIO.json… [--backend packet|fluid] [--out DIR]
+//!            [--trace] [--progress]
+//! fncc-repro inspect ARTIFACT… [--flow N] [--top K]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
 //!              fig15 ablate storm load-sweep extra-cc bench-des calibrate
@@ -20,10 +22,16 @@
 //! unified Backend path and writes a `*.report.json` artifact. `calibrate`
 //! measures every scheme's fluid RateModel parameters against the packet
 //! DES and writes a `fncc.calibration/v1` artifact (`CALIBRATION.json`).
+//!
+//! `--trace` arms the flight recorder on `run`: the first seed's typed
+//! event stream is drained to a `*.trace.jsonl` (`fncc.trace/v1`) artifact
+//! next to the report, which `inspect` can interrogate (per-flow timelines,
+//! queue hotspots, PFC bursts). `--progress` (or `FNCC_PROGRESS=1`) prints
+//! a once-per-second heartbeat to stderr on long packet-DES runs.
 //! ```
 
 use fncc_experiments::{
-    ablation, benchdes, calibrate, figs, scorecard, workload_figs, RunOpts, Scale,
+    ablation, benchdes, calibrate, figs, inspect, scorecard, workload_figs, RunOpts, Scale,
 };
 use std::path::PathBuf;
 use std::time::Instant;
@@ -36,8 +44,10 @@ static GLOBAL: fncc_experiments::CountingAlloc = fncc_experiments::CountingAlloc
 fn usage() -> ! {
     eprintln!(
         "usage: fncc-repro [EXPERIMENT...] [--out DIR] [--quick|--full] \
-         [--threads N] [--seeds N] [--flows N] [--backend packet|fluid]\n\
-         \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid] [--out DIR]\n\
+         [--threads N] [--seeds N] [--flows N] [--backend packet|fluid] [--progress]\n\
+         \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid] [--out DIR] \
+         [--trace] [--progress]\n\
+         \x20      fncc-repro inspect ARTIFACT... [--flow N] [--top K]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
          fig14 fig15 ablate storm load-sweep extra-cc bench-des calibrate \
          check all"
@@ -48,6 +58,7 @@ fn usage() -> ! {
 fn main() {
     let mut opts = RunOpts::default();
     let mut experiments: Vec<String> = Vec::new();
+    let mut inspect_opts = inspect::InspectOpts::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -80,6 +91,25 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--trace" => opts.trace = true,
+            // The heartbeat is read by the DES engine deep below the
+            // backend API; an env var reaches it without threading a flag
+            // through every layer (and doubles as the non-CLI switch).
+            "--progress" => std::env::set_var("FNCC_PROGRESS", "1"),
+            "--flow" => {
+                inspect_opts.flow = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--top" => {
+                inspect_opts.top = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "-h" | "--help" => usage(),
             exp if !exp.starts_with('-') => experiments.push(exp.to_string()),
             _ => usage(),
@@ -98,6 +128,18 @@ fn main() {
         for path in &experiments[1..] {
             run_scenario_file(path, &opts);
         }
+    } else if experiments[0] == "inspect" {
+        if experiments.len() < 2 {
+            eprintln!("'inspect' needs at least one artifact file");
+            usage();
+        }
+        for path in &experiments[1..] {
+            if let Err(e) = inspect::inspect(path, inspect_opts) {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     } else {
         for exp in &experiments {
             run_one(exp, &opts);
@@ -116,15 +158,23 @@ fn run_scenario_file(path: &str, opts: &RunOpts) {
             std::process::exit(2);
         }
     };
-    let scenario = match fncc_core::Scenario::from_json(&text) {
+    let mut scenario = match fncc_core::Scenario::from_json(&text) {
         Ok(sc) => sc,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");
             std::process::exit(2);
         }
     };
+    scenario.probes.trace |= opts.trace;
     let t0 = Instant::now();
-    let report = fncc_core::run_scenario(&scenario, opts.backend);
+    let trace_path = scenario.probes.trace.then(|| {
+        let _ = std::fs::create_dir_all(&opts.out);
+        opts.out.join(
+            fncc_core::RunReport::new(&scenario.name, opts.backend.name(), scenario.cc.name())
+                .trace_file_name(),
+        )
+    });
+    let report = fncc_core::run_scenario_traced(&scenario, opts.backend, trace_path.as_deref());
     report.print_summary();
     let artifact = opts.out.join(report.artifact_file_name());
     match report.write_json(&artifact) {

@@ -18,7 +18,13 @@ pub fn emit_table(dir: &Path, name: &str, title: &str, table: &Table) {
 
 /// Store a set of time series as one CSV under `dir/name.csv`.
 pub fn emit_series(dir: &Path, name: &str, series: &[&TimeSeries]) {
-    let csv = series_to_csv(series);
+    let csv = match series_to_csv(series) {
+        Ok(csv) => csv,
+        Err(e) => {
+            eprintln!("warning: refusing to write {name}.csv: {e}");
+            return;
+        }
+    };
     let path = dir.join(format!("{name}.csv"));
     if let Err(e) = write_text(&path, &csv) {
         eprintln!("warning: could not write {}: {e}", path.display());

@@ -28,6 +28,7 @@ use fncc_des::time::SimTime;
 use fncc_net::config::FabricConfig;
 use fncc_net::telemetry::{FlowRecord, Telemetry};
 use fncc_net::topology::Topology;
+use fncc_obs::{Profiler, TraceEvent, TraceSink};
 use fncc_transport::FlowSpec;
 
 /// Fabric framing parameters the fluid model needs. The default derives
@@ -145,6 +146,9 @@ pub struct FluidResult {
     /// mean residual size; a from-scratch loop would write
     /// `Σ active-set sizes`).
     pub rate_updates: u64,
+    /// Wall-clock spans over the solver (populated only when `FNCC_PROFILE`
+    /// is set; empty otherwise so reports stay deterministic).
+    pub profiler: Profiler,
 }
 
 impl FluidResult {
@@ -181,6 +185,7 @@ pub struct FluidSim {
     model: RateModel,
     framing: Framing,
     flows: Vec<FlowSpec>,
+    trace: bool,
 }
 
 impl FluidSim {
@@ -193,12 +198,20 @@ impl FluidSim {
             model,
             framing: Framing::default(),
             flows: Vec::new(),
+            trace: false,
         }
     }
 
     /// Override framing parameters (defaults match the packet backend).
     pub fn framing(mut self, framing: Framing) -> Self {
         self.framing = framing;
+        self
+    }
+
+    /// Arm the flight-recorder trace sink: solver begin/end, flow add/remove
+    /// events land in the result telemetry's [`TraceSink`].
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -260,6 +273,14 @@ impl FluidSim {
         let specs = std::mem::take(&mut self.flows);
 
         let mut telemetry = Telemetry::new();
+        if self.trace {
+            telemetry.trace = TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY);
+        }
+        let h_resolve = telemetry.metrics.histogram("resolve_set_size");
+        let mut profiler = Profiler::from_env();
+        let ph_solve = profiler.phase("fluid_solve");
+        // Trace timestamps: the fluid clock runs in f64 seconds.
+        let to_ps = |secs: f64| (secs * 1e12).round() as u64;
         for f in &specs {
             telemetry.flow_started(FlowRecord {
                 flow: f.id,
@@ -339,15 +360,41 @@ impl FluidSim {
                     rate: 0.0,
                 };
                 active.push(slot as u32);
+                if telemetry.trace.enabled() {
+                    telemetry.trace.record(TraceEvent::FluidFlowAdd {
+                        t_ps: to_ps(t),
+                        flow: s.id.0,
+                    });
+                }
                 next_arrival += 1;
             }
             peak_active = peak_active.max(active.len());
 
             // Warm-started re-solve for the changed active set; only flows
             // whose rate moved get their drain state materialized.
-            if filler.rebalance() != Rebalance::Noop {
+            if telemetry.trace.enabled() {
+                telemetry.trace.record(TraceEvent::SolveBegin {
+                    t_ps: to_ps(t),
+                    active: active.len() as u32,
+                });
+            }
+            let full_before = filler.solve_stats().0;
+            let span = profiler.begin();
+            let outcome = filler.rebalance();
+            profiler.end(ph_solve, span);
+            if outcome != Rebalance::Noop {
                 reallocations += 1;
                 rate_updates += filler.changed().len() as u64;
+                telemetry
+                    .metrics
+                    .observe(h_resolve, filler.changed().len() as u64);
+            }
+            if telemetry.trace.enabled() {
+                telemetry.trace.record(TraceEvent::SolveEnd {
+                    t_ps: to_ps(t),
+                    full: filler.solve_stats().0 > full_before,
+                    changed: filler.changed().len() as u32,
+                });
             }
             for &slot in filler.changed() {
                 let st = &mut slots[slot as usize];
@@ -473,6 +520,12 @@ impl FluidSim {
                 if finish > horizon {
                     horizon = finish;
                 }
+                if telemetry.trace.enabled() {
+                    telemetry.trace.record(TraceEvent::FluidFlowRemove {
+                        t_ps: to_ps(t),
+                        flow: spec.id.0,
+                    });
+                }
                 filler.remove_flow(slot);
                 active.swap_remove(i);
             }
@@ -487,6 +540,7 @@ impl FluidSim {
             full_solves,
             incremental_solves,
             rate_updates,
+            profiler,
         })
     }
 }

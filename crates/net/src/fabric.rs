@@ -16,6 +16,7 @@ use crate::topology::Topology;
 use crate::units::Bandwidth;
 use fncc_des::engine::{Model, Scheduler};
 use fncc_des::time::{SimTime, TimeDelta};
+use fncc_obs::TraceEvent;
 
 /// The fabric's event alphabet, generic over the host-timer payload.
 #[derive(Debug)]
@@ -272,6 +273,15 @@ impl<H: HostLogic> Fabric<H> {
                 if p.paused_since.is_none() {
                     p.paused_since = Some(now);
                 }
+                if self.telemetry.trace.enabled() {
+                    self.telemetry.trace.record(TraceEvent::PfcPause {
+                        t_ps: now.as_ps(),
+                        node: host.0,
+                        port: 0,
+                        tx: false,
+                        at_host: true,
+                    });
+                }
                 self.pool.put(pkt);
             }
             PacketKind::PfcResume => {
@@ -279,6 +289,15 @@ impl<H: HostLogic> Fabric<H> {
                 p.paused = false;
                 if let Some(t0) = p.paused_since.take() {
                     self.telemetry.note_pause_episode(now.since(t0));
+                }
+                if self.telemetry.trace.enabled() {
+                    self.telemetry.trace.record(TraceEvent::PfcResume {
+                        t_ps: now.as_ps(),
+                        node: host.0,
+                        port: 0,
+                        tx: false,
+                        at_host: true,
+                    });
                 }
                 self.pool.put(pkt);
                 let p = &mut self.host_ports[host.ix()];

@@ -13,6 +13,7 @@ use crate::topology::SwitchSpec;
 use crate::units::PFC_FRAME_BYTES;
 use fncc_des::rng::DetRng;
 use fncc_des::time::SimTime;
+use fncc_obs::TraceEvent;
 
 /// Actions a switch asks the fabric to perform after handling an event
 /// (the fabric owns event scheduling; the switch stays scheduler-agnostic
@@ -139,6 +140,15 @@ impl Switch {
                 if p.paused_since.is_none() {
                     p.paused_since = Some(now);
                 }
+                if telem.trace.enabled() {
+                    telem.trace.record(TraceEvent::PfcPause {
+                        t_ps: now.as_ps(),
+                        node: self.id.0,
+                        port: in_port,
+                        tx: false,
+                        at_host: false,
+                    });
+                }
                 pool.put(pkt);
                 return;
             }
@@ -147,6 +157,15 @@ impl Switch {
                 p.paused = false;
                 if let Some(t0) = p.paused_since.take() {
                     telem.note_pause_episode(now.since(t0));
+                }
+                if telem.trace.enabled() {
+                    telem.trace.record(TraceEvent::PfcResume {
+                        t_ps: now.as_ps(),
+                        node: self.id.0,
+                        port: in_port,
+                        tx: false,
+                        at_host: false,
+                    });
                 }
                 pool.put(pkt);
                 self.maybe_start_tx(in_port, now, cfg, out);
@@ -158,6 +177,15 @@ impl Switch {
         // Shared-buffer admission.
         if self.buffered + pkt.size as u64 > cfg.buffer_bytes {
             telem.counters.drops += 1;
+            if telem.trace.enabled() {
+                telem.trace.record(TraceEvent::Drop {
+                    t_ps: now.as_ps(),
+                    sw: self.id.0,
+                    port: in_port,
+                    flow: pkt.flow.0,
+                    size: pkt.size,
+                });
+            }
             pool.put(pkt);
             return;
         }
@@ -184,10 +212,30 @@ impl Switch {
             if p_mark > 0.0 && self.ecn_rng.chance(p_mark) {
                 pkt.ecn = true;
                 telem.counters.ecn_marks += 1;
+                if telem.trace.enabled() {
+                    telem.trace.record(TraceEvent::EcnMark {
+                        t_ps: now.as_ps(),
+                        sw: self.id.0,
+                        port: out_port,
+                        flow: pkt.flow.0,
+                        queue_bytes: q,
+                    });
+                }
             }
         }
 
+        let (flow, size) = (pkt.flow.0, pkt.size);
         self.ports[out_port as usize].enqueue(pkt);
+        if telem.trace.enabled() {
+            telem.trace.record(TraceEvent::Enqueue {
+                t_ps: now.as_ps(),
+                sw: self.id.0,
+                port: out_port,
+                flow,
+                size,
+                queue_bytes: self.ports[out_port as usize].queue_bytes,
+            });
+        }
 
         // PFC: pause the upstream once this ingress crosses the threshold.
         if cfg.pfc.enabled
@@ -197,6 +245,15 @@ impl Switch {
             self.ports[in_port as usize].upstream_paused = true;
             self.ports[in_port as usize].pause_tx += 1;
             telem.counters.pfc_pause_tx += 1;
+            if telem.trace.enabled() {
+                telem.trace.record(TraceEvent::PfcPause {
+                    t_ps: now.as_ps(),
+                    node: self.id.0,
+                    port: in_port,
+                    tx: true,
+                    at_host: false,
+                });
+            }
             let frame = pool.pfc(PacketKind::PfcPause, PFC_FRAME_BYTES, now);
             self.ports[in_port as usize].enqueue_ctrl(frame);
             self.maybe_start_tx(in_port, now, cfg, out);
@@ -224,6 +281,18 @@ impl Switch {
 
         if !pkt.kind.is_control() {
             self.ports[port as usize].tx_bytes += pkt.size as u64;
+            // The frame was dequeued when serialization began; its departure
+            // is recorded here, once it is fully on the wire.
+            if telem.trace.enabled() {
+                telem.trace.record(TraceEvent::Dequeue {
+                    t_ps: now.as_ps(),
+                    sw: self.id.0,
+                    port,
+                    flow: pkt.flow.0,
+                    size: pkt.size,
+                    queue_bytes: self.ports[port as usize].queue_bytes,
+                });
+            }
             let ip = pkt.in_port as usize;
             self.ports[ip].ingress_bytes -= pkt.accounted as u64;
             self.buffered -= pkt.accounted as u64;
@@ -235,6 +304,15 @@ impl Switch {
                 self.ports[ip].upstream_paused = false;
                 self.ports[ip].resume_tx += 1;
                 telem.counters.pfc_resume_tx += 1;
+                if telem.trace.enabled() {
+                    telem.trace.record(TraceEvent::PfcResume {
+                        t_ps: now.as_ps(),
+                        node: self.id.0,
+                        port: ip as u8,
+                        tx: true,
+                        at_host: false,
+                    });
+                }
                 let frame = pool.pfc(PacketKind::PfcResume, PFC_FRAME_BYTES, now);
                 self.ports[ip].enqueue_ctrl(frame);
                 self.maybe_start_tx(ip as u8, now, cfg, out);

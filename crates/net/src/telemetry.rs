@@ -6,6 +6,8 @@ use crate::ids::{FlowId, HostId, SwitchId};
 use crate::units::Bandwidth;
 use fncc_des::stats::{RateMeter, TimeSeries};
 use fncc_des::time::{SimTime, TimeDelta};
+use fncc_obs::{HistId, MetricsRegistry, PhaseId, Profiler, TraceSink};
+use std::time::Instant;
 
 /// Lifetime record of one flow.
 #[derive(Clone, Debug)]
@@ -81,6 +83,20 @@ struct CcRateWatch {
 pub struct Telemetry {
     /// Global counters.
     pub counters: Counters,
+    /// Flight-recorder event sink (disabled by default; the backend arms it
+    /// when the scenario's `probes.trace` knob is set).
+    pub trace: TraceSink,
+    /// Named metrics harvested into the run report. Histograms registered
+    /// here are fed only from simulation state, so their percentiles are
+    /// deterministic and identical whether tracing is armed or not.
+    pub metrics: MetricsRegistry,
+    /// Queue-depth histogram (bytes), fed on every sampling tick.
+    h_queue_depth: HistId,
+    /// Flow-completion-time histogram (µs), fed on each flow finish.
+    h_fct_us: HistId,
+    /// Wall-clock spans (active only when `FNCC_PROFILE` is set).
+    pub profiler: Profiler,
+    ph_cc_update: PhaseId,
     /// Cumulative payload bytes handed to the NIC per flow (sender side).
     flow_tx_bytes: Vec<u64>,
     /// Flow lifetime records, indexed by flow id.
@@ -109,8 +125,19 @@ pub struct Telemetry {
 impl Telemetry {
     /// Fresh telemetry with sampling disabled.
     pub fn new() -> Self {
+        let mut metrics = MetricsRegistry::new();
+        let h_queue_depth = metrics.histogram("queue_depth_bytes");
+        let h_fct_us = metrics.histogram("fct_us");
+        let mut profiler = Profiler::from_env();
+        let ph_cc_update = profiler.phase("cc_update");
         Telemetry {
             counters: Counters::default(),
+            trace: TraceSink::disabled(),
+            metrics,
+            h_queue_depth,
+            h_fct_us,
+            profiler,
+            ph_cc_update,
             flow_tx_bytes: Vec::new(),
             flows: Vec::new(),
             flows_started: 0,
@@ -205,6 +232,8 @@ impl Telemetry {
         debug_assert!(rec.finish.is_none(), "double finish for {flow:?}");
         if rec.finish.is_none() {
             self.flows_finished += 1;
+            self.metrics
+                .observe_f64(self.h_fct_us, at.since(rec.start).as_secs_f64() * 1e6);
         }
         rec.finish = Some(at);
     }
@@ -234,7 +263,9 @@ impl Telemetry {
         mut tx_read: impl FnMut(SwitchId, u8) -> u64,
     ) {
         for w in &mut self.queues {
-            w.series.push(now, queue_read(w.sw, w.port) as f64);
+            let depth = queue_read(w.sw, w.port);
+            self.metrics.observe(self.h_queue_depth, depth);
+            w.series.push(now, depth as f64);
         }
         for w in &mut self.utils {
             let rate = w.meter.sample(now, tx_read(w.sw, w.port));
@@ -309,6 +340,19 @@ impl Telemetry {
     /// Number of hops with INT-age records.
     pub fn int_age_hops(&self) -> usize {
         self.int_age_cnt.len()
+    }
+
+    /// Open a wall-clock span over one congestion-control update; returns
+    /// `None` (no clock read) when profiling is off.
+    #[inline]
+    pub fn cc_span(&self) -> Option<Instant> {
+        self.profiler.begin()
+    }
+
+    /// Close a span opened by [`Telemetry::cc_span`].
+    #[inline]
+    pub fn cc_span_end(&mut self, started: Option<Instant>) {
+        self.profiler.end(self.ph_cc_update, started);
     }
 
     // --- harvesting --------------------------------------------------------

@@ -1,0 +1,156 @@
+//! Self-profiling spans: scoped wall-clock timers over named engine phases.
+//!
+//! Wall-clock readings are inherently non-deterministic, so the profiler is
+//! disabled by default and its output must never feed a deterministic
+//! artifact field. Enable it per-process with `FNCC_PROFILE=1` (see
+//! [`Profiler::from_env`]); a disabled profiler answers
+//! [`is_enabled`](Profiler::is_enabled) from one byte and
+//! [`begin`](Profiler::begin) returns `None` without touching the clock.
+
+use std::time::Instant;
+
+/// Environment variable that turns self-profiling on process-wide.
+pub const PROFILE_ENV: &str = "FNCC_PROFILE";
+
+/// Handle to a registered phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseId(usize);
+
+#[derive(Clone, Debug)]
+struct Phase {
+    name: &'static str,
+    calls: u64,
+    total_ns: u64,
+}
+
+/// Accumulates wall-clock time per named phase.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    enabled: bool,
+    phases: Vec<Phase>,
+}
+
+impl Profiler {
+    /// A disabled profiler (records nothing, `begin` never reads the clock).
+    pub fn disabled() -> Self {
+        Profiler::default()
+    }
+
+    /// An enabled profiler.
+    pub fn enabled() -> Self {
+        Profiler {
+            enabled: true,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Enabled iff `FNCC_PROFILE` is set to anything but `0`/empty.
+    pub fn from_env() -> Self {
+        match std::env::var(PROFILE_ENV) {
+            Ok(v) if !v.is_empty() && v != "0" => Profiler::enabled(),
+            _ => Profiler::disabled(),
+        }
+    }
+
+    /// True when spans are being recorded.
+    #[inline(always)]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or find) a phase by name. Call once at setup and keep the
+    /// handle; ids are valid for the profiler's lifetime.
+    pub fn phase(&mut self, name: &'static str) -> PhaseId {
+        if let Some(ix) = self.phases.iter().position(|p| p.name == name) {
+            return PhaseId(ix);
+        }
+        self.phases.push(Phase {
+            name,
+            calls: 0,
+            total_ns: 0,
+        });
+        PhaseId(self.phases.len() - 1)
+    }
+
+    /// Open a span: `Some(start)` when profiling, `None` (no clock read)
+    /// otherwise. Pass the result to [`end`](Profiler::end).
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Close a span opened by [`begin`](Profiler::begin).
+    #[inline]
+    pub fn end(&mut self, id: PhaseId, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let p = &mut self.phases[id.0];
+            p.calls += 1;
+            p.total_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Accumulated spans as `(name, calls, total_ns)`, registration order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.phases.iter().map(|p| (p.name, p.calls, p.total_ns))
+    }
+
+    /// Fold another profiler's accumulations into this one (phases are
+    /// matched by name; unknown phases are appended).
+    pub fn absorb(&mut self, other: &Profiler) {
+        for (name, calls, total_ns) in other.spans() {
+            let id = self.phase(name);
+            let p = &mut self.phases[id.0];
+            p.calls += calls;
+            p.total_ns += total_ns;
+        }
+        self.enabled |= other.enabled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_never_reads_the_clock() {
+        let mut p = Profiler::disabled();
+        let id = p.phase("x");
+        let t0 = p.begin();
+        assert!(t0.is_none());
+        p.end(id, t0);
+        assert_eq!(p.spans().next(), Some(("x", 0, 0)));
+    }
+
+    #[test]
+    fn enabled_profiler_accumulates() {
+        let mut p = Profiler::enabled();
+        let id = p.phase("work");
+        for _ in 0..3 {
+            let t0 = p.begin();
+            p.end(id, t0);
+        }
+        let (name, calls, _ns) = p.spans().next().unwrap();
+        assert_eq!((name, calls), ("work", 3));
+    }
+
+    #[test]
+    fn absorb_merges_by_name() {
+        let mut a = Profiler::enabled();
+        let ia = a.phase("solve");
+        let t = a.begin();
+        a.end(ia, t);
+        let mut b = Profiler::enabled();
+        let ib = b.phase("solve");
+        let t = b.begin();
+        b.end(ib, t);
+        b.phase("report");
+        a.absorb(&b);
+        let spans: Vec<_> = a.spans().collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].1, 2, "solve calls merged");
+    }
+}

@@ -1,0 +1,595 @@
+//! The structured trace sink: a fixed-capacity flight recorder of typed
+//! simulation events, drained to the `fncc.trace/v1` JSONL artifact.
+//!
+//! Call sites guard with [`TraceSink::enabled`] before building an event so
+//! a disabled sink costs one untaken branch on the hot path:
+//!
+//! ```
+//! use fncc_obs::{TraceEvent, TraceSink};
+//! let mut sink = TraceSink::with_capacity(16);
+//! if sink.enabled() {
+//!     sink.record(TraceEvent::EcnMark { t_ps: 1_000, sw: 0, port: 2, flow: 7, queue_bytes: 9000 });
+//! }
+//! assert_eq!(sink.len(), 1);
+//! ```
+
+use std::io::{self, Write};
+
+/// Schema tag of the trace artifact (its JSONL header line).
+pub const TRACE_SCHEMA: &str = "fncc.trace/v1";
+
+/// One typed simulation event. All payloads are plain `Copy` scalars so the
+/// ring buffer never allocates while recording.
+///
+/// Times are simulation picoseconds (`SimTime::as_ps`); `sw`/`host`/`flow`
+/// are the raw id values of the `fncc-net` newtypes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A data-class frame entered a switch egress FIFO.
+    Enqueue {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id.
+        sw: u32,
+        /// Egress port index.
+        port: u8,
+        /// Flow id of the frame.
+        flow: u32,
+        /// Wire size of the frame, bytes.
+        size: u32,
+        /// Queue depth *after* the enqueue, bytes.
+        queue_bytes: u64,
+    },
+    /// A frame left a switch egress FIFO and started serializing.
+    Dequeue {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id.
+        sw: u32,
+        /// Egress port index.
+        port: u8,
+        /// Flow id of the frame.
+        flow: u32,
+        /// Wire size of the frame, bytes.
+        size: u32,
+        /// Queue depth *after* the dequeue, bytes.
+        queue_bytes: u64,
+    },
+    /// A frame was ECN-marked (RED/threshold) at enqueue.
+    EcnMark {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id.
+        sw: u32,
+        /// Egress port index.
+        port: u8,
+        /// Flow id of the marked frame.
+        flow: u32,
+        /// Queue depth that triggered the mark, bytes.
+        queue_bytes: u64,
+    },
+    /// A frame was dropped at buffer exhaustion.
+    Drop {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id.
+        sw: u32,
+        /// Egress port index.
+        port: u8,
+        /// Flow id of the dropped frame.
+        flow: u32,
+        /// Wire size of the frame, bytes.
+        size: u32,
+    },
+    /// A PFC XOFF: sent upstream (`tx`) or taking effect locally (`!tx`).
+    PfcPause {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Node id: a switch id, or a host id when `at_host`.
+        node: u32,
+        /// Port index the pause applies to.
+        port: u8,
+        /// True for the sending side of the XOFF, false for the paused side.
+        tx: bool,
+        /// True when `node` is a host NIC rather than a switch.
+        at_host: bool,
+    },
+    /// A PFC XON: sent upstream (`tx`) or releasing a local pause (`!tx`).
+    PfcResume {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Node id: a switch id, or a host id when `at_host`.
+        node: u32,
+        /// Port index the resume applies to.
+        port: u8,
+        /// True for the sending side of the XON, false for the resumed side.
+        tx: bool,
+        /// True when `node` is a host NIC rather than a switch.
+        at_host: bool,
+    },
+    /// The receiver generated a CNP toward the sender (ECN echo).
+    Cnp {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow the CNP throttles.
+        flow: u32,
+        /// Receiver host id (CNP source).
+        src: u32,
+        /// Sender host id (CNP destination).
+        dst: u32,
+    },
+    /// The sender consumed one in-band telemetry record from an ACK.
+    IntRecord {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow whose ACK carried the record.
+        flow: u32,
+        /// Hop index in request-path order.
+        hop: u8,
+        /// Staleness of the record when consumed, picoseconds.
+        age_ps: u64,
+    },
+    /// Congestion control updated a sender's pacing rate / window.
+    RateUpdate {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+        /// New pacing rate, bits per second.
+        rate_bps: f64,
+        /// New window in bytes; negative when the scheme is rate-only.
+        window_bytes: f64,
+    },
+    /// A flow became eligible to send (packet DES sender side).
+    FlowStart {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+        /// Sender host id.
+        src: u32,
+        /// Receiver host id.
+        dst: u32,
+        /// Application bytes.
+        size: u64,
+    },
+    /// A flow's last payload byte was delivered.
+    FlowFinish {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+    },
+    /// The fluid water-filler started a re-solve.
+    SolveBegin {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Live flows at solve time.
+        active: u32,
+    },
+    /// The fluid water-filler finished a re-solve.
+    SolveEnd {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// True for a from-scratch solve, false for a warm-start one.
+        full: bool,
+        /// Flows whose rate actually changed (the dirty set that must be
+        /// re-integrated).
+        changed: u32,
+    },
+    /// A flow was admitted into the fluid model.
+    FluidFlowAdd {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+    },
+    /// A flow finished and was retired from the fluid model.
+    FluidFlowRemove {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event's discriminant as it appears in the artifact's `ev` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::EcnMark { .. } => "ecn_mark",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::PfcPause { .. } => "pfc_pause",
+            TraceEvent::PfcResume { .. } => "pfc_resume",
+            TraceEvent::Cnp { .. } => "cnp",
+            TraceEvent::IntRecord { .. } => "int_record",
+            TraceEvent::RateUpdate { .. } => "rate_update",
+            TraceEvent::FlowStart { .. } => "flow_start",
+            TraceEvent::FlowFinish { .. } => "flow_finish",
+            TraceEvent::SolveBegin { .. } => "solve_begin",
+            TraceEvent::SolveEnd { .. } => "solve_end",
+            TraceEvent::FluidFlowAdd { .. } => "fluid_flow_add",
+            TraceEvent::FluidFlowRemove { .. } => "fluid_flow_remove",
+        }
+    }
+
+    /// The event's simulation timestamp, picoseconds.
+    pub fn t_ps(&self) -> u64 {
+        match *self {
+            TraceEvent::Enqueue { t_ps, .. }
+            | TraceEvent::Dequeue { t_ps, .. }
+            | TraceEvent::EcnMark { t_ps, .. }
+            | TraceEvent::Drop { t_ps, .. }
+            | TraceEvent::PfcPause { t_ps, .. }
+            | TraceEvent::PfcResume { t_ps, .. }
+            | TraceEvent::Cnp { t_ps, .. }
+            | TraceEvent::IntRecord { t_ps, .. }
+            | TraceEvent::RateUpdate { t_ps, .. }
+            | TraceEvent::FlowStart { t_ps, .. }
+            | TraceEvent::FlowFinish { t_ps, .. }
+            | TraceEvent::SolveBegin { t_ps, .. }
+            | TraceEvent::SolveEnd { t_ps, .. }
+            | TraceEvent::FluidFlowAdd { t_ps, .. }
+            | TraceEvent::FluidFlowRemove { t_ps, .. } => t_ps,
+        }
+    }
+
+    /// The flow id the event concerns, if it concerns one.
+    pub fn flow(&self) -> Option<u32> {
+        match *self {
+            TraceEvent::Enqueue { flow, .. }
+            | TraceEvent::Dequeue { flow, .. }
+            | TraceEvent::EcnMark { flow, .. }
+            | TraceEvent::Drop { flow, .. }
+            | TraceEvent::Cnp { flow, .. }
+            | TraceEvent::IntRecord { flow, .. }
+            | TraceEvent::RateUpdate { flow, .. }
+            | TraceEvent::FlowStart { flow, .. }
+            | TraceEvent::FlowFinish { flow, .. }
+            | TraceEvent::FluidFlowAdd { flow, .. }
+            | TraceEvent::FluidFlowRemove { flow, .. } => Some(flow),
+            TraceEvent::PfcPause { .. }
+            | TraceEvent::PfcResume { .. }
+            | TraceEvent::SolveBegin { .. }
+            | TraceEvent::SolveEnd { .. } => None,
+        }
+    }
+
+    /// Append the event as one JSONL object line (no trailing newline).
+    ///
+    /// Every field is a scalar, so this writer needs no string escaping;
+    /// the `ev` tag comes first and `t_ps` second on every line, which the
+    /// schema snapshot test pins.
+    pub fn write_jsonl(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{{\"ev\":\"{}\",\"t_ps\":{}", self.kind(), self.t_ps());
+        match *self {
+            TraceEvent::Enqueue {
+                sw,
+                port,
+                flow,
+                size,
+                queue_bytes,
+                ..
+            }
+            | TraceEvent::Dequeue {
+                sw,
+                port,
+                flow,
+                size,
+                queue_bytes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"size\":{size},\"queue_bytes\":{queue_bytes}"
+                );
+            }
+            TraceEvent::EcnMark {
+                sw,
+                port,
+                flow,
+                queue_bytes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"queue_bytes\":{queue_bytes}"
+                );
+            }
+            TraceEvent::Drop {
+                sw,
+                port,
+                flow,
+                size,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"size\":{size}"
+                );
+            }
+            TraceEvent::PfcPause {
+                node,
+                port,
+                tx,
+                at_host,
+                ..
+            }
+            | TraceEvent::PfcResume {
+                node,
+                port,
+                tx,
+                at_host,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"node\":{node},\"port\":{port},\"tx\":{tx},\"at_host\":{at_host}"
+                );
+            }
+            TraceEvent::Cnp { flow, src, dst, .. } => {
+                let _ = write!(out, ",\"flow\":{flow},\"src\":{src},\"dst\":{dst}");
+            }
+            TraceEvent::IntRecord {
+                flow, hop, age_ps, ..
+            } => {
+                let _ = write!(out, ",\"flow\":{flow},\"hop\":{hop},\"age_ps\":{age_ps}");
+            }
+            TraceEvent::RateUpdate {
+                flow,
+                rate_bps,
+                window_bytes,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"flow\":{flow},\"rate_bps\":{rate_bps},\"window_bytes\":{window_bytes}"
+                );
+            }
+            TraceEvent::FlowStart {
+                flow,
+                src,
+                dst,
+                size,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"flow\":{flow},\"src\":{src},\"dst\":{dst},\"size\":{size}"
+                );
+            }
+            TraceEvent::FlowFinish { flow, .. }
+            | TraceEvent::FluidFlowAdd { flow, .. }
+            | TraceEvent::FluidFlowRemove { flow, .. } => {
+                let _ = write!(out, ",\"flow\":{flow}");
+            }
+            TraceEvent::SolveBegin { active, .. } => {
+                let _ = write!(out, ",\"active\":{active}");
+            }
+            TraceEvent::SolveEnd { full, changed, .. } => {
+                let _ = write!(out, ",\"full\":{full},\"changed\":{changed}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Run-level metadata written as the artifact's header line.
+#[derive(Clone, Debug, Default)]
+pub struct TraceMeta {
+    /// Scenario name.
+    pub scenario: String,
+    /// Backend name (`packet` / `fluid`).
+    pub backend: String,
+    /// RNG seed of the traced run.
+    pub seed: u64,
+}
+
+/// The flight recorder: a fixed-capacity ring of [`TraceEvent`]s.
+///
+/// When the ring fills, the oldest events are overwritten (and counted in
+/// [`TraceSink::dropped`]) — the artifact always holds the *last* window of
+/// the run, which is the window that explains a hang, a storm or a tail
+/// latency. A disabled sink holds no buffer and answers
+/// [`enabled`](TraceSink::enabled) from one byte.
+#[derive(Debug)]
+pub struct TraceSink {
+    enabled: bool,
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    /// Next overwrite position once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// Default ring capacity (events); about 64 MB of buffer at the top end.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// A disabled sink: records nothing, owns nothing.
+    pub fn disabled() -> Self {
+        TraceSink {
+            enabled: false,
+            buf: Vec::new(),
+            cap: 0,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled sink holding at most `cap` events (the most recent win).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "zero-capacity trace ring");
+        TraceSink {
+            enabled: true,
+            buf: Vec::new(),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// True when recording. Call sites guard event construction on this so
+    /// the disabled hot path pays exactly one predictable branch.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or the sink is disabled).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+
+    /// Drain the recorder to `w` as a `fncc.trace/v1` JSONL stream: one
+    /// header object, then one object per event, oldest first.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W, meta: &TraceMeta) -> io::Result<()> {
+        let mut line = String::with_capacity(256);
+        line.push_str("{\"schema\":\"");
+        line.push_str(TRACE_SCHEMA);
+        line.push_str("\",\"scenario\":");
+        write_escaped(&mut line, &meta.scenario);
+        line.push_str(",\"backend\":");
+        write_escaped(&mut line, &meta.backend);
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            ",\"seed\":{},\"events\":{},\"dropped\":{}}}",
+            meta.seed,
+            self.buf.len(),
+            self.dropped
+        );
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+        for ev in self.events() {
+            line.clear();
+            ev.write_jsonl(&mut line);
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON string escaping for the header's free-form fields (the
+/// event lines themselves carry only scalars).
+fn write_escaped(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::FlowFinish { t_ps: t, flow: 1 }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut s = TraceSink::disabled();
+        assert!(!s.enabled());
+        s.record(ev(1));
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_window() {
+        let mut s = TraceSink::with_capacity(3);
+        for t in 0..5 {
+            s.record(ev(t));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let times: Vec<u64> = s.events().map(|e| e.t_ps()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_lines_start_with_ev_and_t_ps() {
+        let mut line = String::new();
+        TraceEvent::EcnMark {
+            t_ps: 42,
+            sw: 1,
+            port: 2,
+            flow: 3,
+            queue_bytes: 4,
+        }
+        .write_jsonl(&mut line);
+        assert_eq!(
+            line,
+            "{\"ev\":\"ecn_mark\",\"t_ps\":42,\"sw\":1,\"port\":2,\"flow\":3,\"queue_bytes\":4}"
+        );
+    }
+
+    #[test]
+    fn header_escapes_scenario_names() {
+        let s = TraceSink::with_capacity(1);
+        let mut out = Vec::new();
+        s.write_jsonl(
+            &mut out,
+            &TraceMeta {
+                scenario: "a\"b".into(),
+                backend: "packet".into(),
+                seed: 7,
+            },
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("{\"schema\":\"fncc.trace/v1\""));
+        assert!(text.contains("\"scenario\":\"a\\\"b\""));
+    }
+}

@@ -10,6 +10,7 @@ use fncc_net::ids::FlowId;
 use fncc_net::packet::{Packet, PacketKind};
 use fncc_net::telemetry::FlowRecord;
 use fncc_net::units::CNP_BYTES;
+use fncc_obs::TraceEvent;
 
 /// Host timer payloads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +98,23 @@ impl DcHost {
             finish: None,
         });
         let cc = self.cfg.algo.new_flow();
+        if ctx.telemetry.trace.enabled() {
+            ctx.telemetry.trace.record(TraceEvent::FlowStart {
+                t_ps: ctx.now().as_ps(),
+                flow: id.0,
+                src: spec.src.0,
+                dst: spec.dst.0,
+                size: spec.size,
+            });
+            // Seed the timeline with the flow's starting rate/window so the
+            // first RateUpdate delta is interpretable.
+            ctx.telemetry.trace.record(TraceEvent::RateUpdate {
+                t_ps: ctx.now().as_ps(),
+                flow: id.0,
+                rate_bps: cc.pacing_rate_bps(),
+                window_bytes: cc.window_bytes().unwrap_or(-1.0),
+            });
+        }
         if let Some(d) = cc.initial_tick() {
             ctx.schedule(d, HostTimer::CcTick(id));
         }
@@ -199,11 +217,25 @@ impl DcHost {
         // rf borrow ends here; act on the NIC.
         if want_cnp {
             let (host, now) = (ctx.host(), ctx.now());
+            if ctx.telemetry.trace.enabled() {
+                ctx.telemetry.trace.record(TraceEvent::Cnp {
+                    t_ps: now.as_ps(),
+                    flow: id.0,
+                    src: host.0,
+                    dst: pkt.src.0,
+                });
+            }
             let cnp = ctx.pool().cnp(id, host, pkt.src, CNP_BYTES, now);
             ctx.send(cnp);
         }
         if is_last {
             ctx.telemetry.flow_finished(id, ctx.now());
+            if ctx.telemetry.trace.enabled() {
+                ctx.telemetry.trace.record(TraceEvent::FlowFinish {
+                    t_ps: ctx.now().as_ps(),
+                    flow: id.0,
+                });
+            }
         }
         if want_ack {
             // Turn the delivered data frame into its own ACK in place: the
@@ -258,6 +290,14 @@ impl DcHost {
         for (hop, rec) in pkt.int.as_slice().iter().enumerate() {
             ctx.telemetry
                 .note_int_age(hop, ctx.now().since(rec.ts).as_secs_f64());
+            if ctx.telemetry.trace.enabled() {
+                ctx.telemetry.trace.record(TraceEvent::IntRecord {
+                    t_ps: ctx.now().as_ps(),
+                    flow: id.0,
+                    hop: hop as u8,
+                    age_ps: ctx.now().since(rec.ts).as_ps(),
+                });
+            }
         }
         let view = AckView {
             now: ctx.now(),
@@ -269,7 +309,17 @@ impl DcHost {
             rocc_rate: pkt.rocc_rate,
             rtt: ctx.now().since(pkt.sent_at),
         };
+        let span = ctx.telemetry.cc_span();
         sf.cc.on_ack(&view);
+        ctx.telemetry.cc_span_end(span);
+        if ctx.telemetry.trace.enabled() {
+            ctx.telemetry.trace.record(TraceEvent::RateUpdate {
+                t_ps: ctx.now().as_ps(),
+                flow: id.0,
+                rate_bps: sf.cc.pacing_rate_bps(),
+                window_bytes: sf.cc.window_bytes().unwrap_or(-1.0),
+            });
+        }
         let done = sf.acked >= sf.spec.size;
         if done {
             sf.done = true;
@@ -290,7 +340,17 @@ impl HostLogic for DcHost {
             PacketKind::Ack => self.on_ack(ctx, pkt),
             PacketKind::Cnp => {
                 if let Some(sf) = self.send.get_mut(pkt.flow) {
+                    let span = ctx.telemetry.cc_span();
                     sf.cc.on_cnp(ctx.now());
+                    ctx.telemetry.cc_span_end(span);
+                    if ctx.telemetry.trace.enabled() {
+                        ctx.telemetry.trace.record(TraceEvent::RateUpdate {
+                            t_ps: ctx.now().as_ps(),
+                            flow: pkt.flow.0,
+                            rate_bps: sf.cc.pacing_rate_bps(),
+                            window_bytes: sf.cc.window_bytes().unwrap_or(-1.0),
+                        });
+                    }
                 }
                 ctx.recycle(pkt);
             }

@@ -40,6 +40,18 @@ fn stable_json(sc: &Scenario) -> String {
     report.to_json()
 }
 
+/// Additionally drop scheduler-internal diagnostics: `wheel_cascades_l*`
+/// exists only when the timing wheel is the event queue, so the
+/// cross-scheduler invariant pins the *measurements*, not the scheduler's
+/// own introspection counters.
+fn scheduler_neutral_json(sc: &Scenario) -> String {
+    let mut report = run_scenario(sc, SimBackend::Packet);
+    report
+        .scalars
+        .retain(|(k, _)| k != "events_per_sec" && !k.starts_with("wheel_cascades_"));
+    report.to_json()
+}
+
 #[test]
 fn identical_runs_and_schedulers_yield_identical_reports() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
@@ -49,10 +61,11 @@ fn identical_runs_and_schedulers_yield_identical_reports() {
     let wheel_b = stable_json(&sc);
     assert_eq!(wheel_a, wheel_b, "same scenario+seed, same scheduler");
 
+    let wheel_neutral = scheduler_neutral_json(&sc);
     std::env::set_var("FNCC_DES_SCHED", "heap");
-    let heap = stable_json(&sc);
+    let heap = scheduler_neutral_json(&sc);
     std::env::remove_var("FNCC_DES_SCHED");
-    assert_eq!(wheel_a, heap, "wheel vs heap reference scheduler");
+    assert_eq!(wheel_neutral, heap, "wheel vs heap reference scheduler");
 }
 
 #[test]
