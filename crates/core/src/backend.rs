@@ -8,8 +8,12 @@
 //! magnitude faster, validated against the packet engine by the
 //! cross-validation suite. Both implement [`Backend`] over the same
 //! scenario description, so any experiment can swap engines with one flag.
-//! [`SimBackend`] is the thin CLI-facing parser that resolves to a
-//! `Box<dyn Backend>`. See `DESIGN.md` for when to use which.
+//! [`HybridBackend`] couples the two: a scenario-declared foreground
+//! partition runs at packet fidelity inside the DES while the remaining
+//! (bulk) flows drain through the fluid model, with bidirectional
+//! capacity exchange at fluid-event boundaries. [`SimBackend`] is the
+//! thin CLI-facing parser that resolves to a `Box<dyn Backend>`. See
+//! `DESIGN.md` for when to use which.
 
 use crate::metrics::{average_slowdowns, fct_slowdowns, reaction_time, time_to_fair};
 use crate::report::RunReport;
@@ -20,6 +24,7 @@ use fncc_cc::{CcAlgo, CcKind, FnccConfig};
 use fncc_des::stats::TimeSeries;
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_fluid::{CalibrationSet, FluidSim, Framing, RateModel};
+use fncc_hybrid::{HybridConfig, HybridSim};
 use fncc_net::config::FabricConfig;
 use fncc_net::ids::{FlowId, NodeRef};
 use fncc_obs::{Profiler, TraceMeta, TraceSink};
@@ -88,6 +93,9 @@ pub enum SimBackend {
     Packet,
     /// Flow-level fluid model (fast path for large scales).
     Fluid,
+    /// Fluid↔packet co-simulation: foreground flows at packet fidelity,
+    /// background in the fluid model (needs a scenario `foreground` block).
+    Hybrid,
 }
 
 impl SimBackend {
@@ -101,6 +109,7 @@ impl SimBackend {
         match self {
             SimBackend::Packet => "packet",
             SimBackend::Fluid => "fluid",
+            SimBackend::Hybrid => "hybrid",
         }
     }
 
@@ -109,6 +118,7 @@ impl SimBackend {
         match self {
             SimBackend::Packet => Box::new(PacketBackend),
             SimBackend::Fluid => Box::new(FluidBackend::default()),
+            SimBackend::Hybrid => Box::new(HybridBackend::default()),
         }
     }
 }
@@ -120,7 +130,8 @@ impl FromStr for SimBackend {
         match s.to_ascii_lowercase().as_str() {
             "packet" | "des" => Ok(SimBackend::Packet),
             "fluid" | "flow" => Ok(SimBackend::Fluid),
-            other => Err(format!("unknown backend '{other}' (packet|fluid)")),
+            "hybrid" | "cosim" => Ok(SimBackend::Hybrid),
+            other => Err(format!("unknown backend '{other}' (packet|fluid|hybrid)")),
         }
     }
 }
@@ -604,6 +615,212 @@ impl Backend for FluidBackend {
 }
 
 // ----------------------------------------------------------------------
+// Hybrid backend
+// ----------------------------------------------------------------------
+
+/// The fluid↔packet co-simulation engine.
+///
+/// The scenario's [`crate::scenario::ForegroundSpec`] decides which flows
+/// run inside the packet DES (incast victims, mice, probed flows); the
+/// rest — typically the fleet-scale elephant background — drain through
+/// the incremental water-filling fluid model. The two halves exchange
+/// state at every fluid event boundary: the background's standing queue
+/// lands on the DES ports as a shadow backlog that foreground congestion
+/// control senses through its native signals (optionally as hard
+/// residual drain-rate caps instead), and measured foreground throughput
+/// feeds back as per-link demand reservations. Calibration resolution
+/// matches [`FluidBackend`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HybridBackend {
+    /// Backend-level measured models (`None` = paper defaults). A
+    /// scenario-level `overrides.calibration` takes precedence.
+    pub calibration: Option<CalibrationSet>,
+}
+
+impl HybridBackend {
+    /// A hybrid backend whose fluid half runs under `cal` unless the
+    /// scenario carries its own calibration override.
+    pub fn with_calibration(cal: CalibrationSet) -> Self {
+        HybridBackend {
+            calibration: Some(cal),
+        }
+    }
+
+    /// Same precedence as [`FluidBackend::rate_model`]: scenario-level
+    /// calibration, then backend-level, then the paper defaults.
+    fn rate_model(&self, sc: &Scenario) -> RateModel {
+        match sc
+            .overrides
+            .calibration
+            .as_ref()
+            .or(self.calibration.as_ref())
+        {
+            Some(cal) => RateModel::from_calibration(sc.cc, cal),
+            None => RateModel::paper_default(sc.cc),
+        }
+    }
+}
+
+impl Backend for HybridBackend {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    /// Partition each seed's flows by the scenario's foreground spec, run
+    /// the coupled engines, and merge both halves' flow records into one
+    /// slowdown table (the rows are directly comparable with a pure-DES
+    /// run of the same scenario). Coupling statistics land as scalars.
+    fn run_traced(&self, sc: &Scenario, trace_out: Option<&Path>) -> RunReport {
+        let fg_spec = sc.foreground.as_ref().unwrap_or_else(|| {
+            panic!(
+                "hybrid backend on '{}': scenario has no 'foreground' block — \
+                 declare which flows run at packet fidelity (see DESIGN.md \
+                 §Hybrid co-simulation)",
+                sc.name
+            )
+        });
+        let mut report = RunReport::new(&sc.name, self.name(), sc.cc.name());
+        report.seeds = sc.seeds.clone();
+        let tracing = sc.probes.trace;
+        let framing = Framing::from(&FabricConfig::paper_default());
+        let buckets = sc.traffic.buckets();
+        let mut runs = Vec::with_capacity(sc.seeds.len());
+        let mut syncs = 0u64;
+        let mut reservations = 0u64;
+        let mut residual_pushes = 0u64;
+        let mut backlog_pushes = 0u64;
+        let mut single_bottleneck = 0u64;
+        let mut peak_bg_active = 0usize;
+        let mut full_solves = 0u64;
+        let mut incremental_solves = 0u64;
+        let mut rate_updates = 0u64;
+        let mut n_fg_flows = 0usize;
+        let mut n_bg_flows = 0usize;
+        let mut prof = Profiler::disabled();
+        let wall_start = std::time::Instant::now();
+
+        for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
+            let (topo, flows) = sc.instance(seed);
+            let (fg_flows, bg_flows) = fg_spec.partition(&flows);
+            if seed_ix == 0 {
+                n_fg_flows = fg_flows.len();
+                n_bg_flows = bg_flows.len();
+            }
+            let horizon = match sc.stop {
+                StopCondition::Horizon { us } => SimTime::from_us(us),
+                StopCondition::Drain { cap_ms } => {
+                    flows.iter().map(|f| f.start).max().unwrap_or(SimTime::ZERO)
+                        + TimeDelta::from_ms(cap_ms)
+                }
+            };
+            let cfg = HybridConfig {
+                trace: tracing && seed_ix == 0,
+                ..HybridConfig::default()
+            };
+            let mut sim = HybridSim::new(
+                topo.clone(),
+                sc.cc,
+                fg_flows,
+                bg_flows,
+                self.rate_model(sc),
+                cfg,
+            )
+            .unwrap_or_else(|e| panic!("hybrid backend on '{}': {e}", sc.name));
+            let outcome = match sc.stop {
+                StopCondition::Horizon { .. } => sim.run_until(horizon).map(|_| true),
+                StopCondition::Drain { .. } => {
+                    sim.run_to_completion(TimeDelta::from_ms(1), horizon)
+                }
+            };
+            outcome.unwrap_or_else(|e| panic!("hybrid backend on '{}': {e}", sc.name));
+
+            let result = sim.into_result();
+            // One merged record table: slowdown buckets must span both
+            // halves or hybrid rows would not be comparable to pure-DES.
+            let mut merged = fncc_net::telemetry::Telemetry::new();
+            for rec in result
+                .fg
+                .flow_records()
+                .chain(result.bg.telemetry.flow_records())
+            {
+                let mut open = rec.clone();
+                open.finish = None;
+                merged.flow_started(open);
+                if let Some(at) = rec.finish {
+                    merged.flow_finished(rec.flow, at);
+                }
+            }
+            report
+                .unfinished
+                .push(merged.flow_records().filter(|r| r.finish.is_none()).count());
+            runs.push(fct_slowdowns(
+                &topo,
+                &merged,
+                &buckets,
+                framing.mtu_payload,
+                framing.header,
+            ));
+            report.events += result.fg_events + result.bg.reallocations;
+            syncs += result.syncs;
+            reservations += result.reservations;
+            residual_pushes += result.residual_pushes;
+            backlog_pushes += result.backlog_pushes;
+            single_bottleneck += result.single_bottleneck_solves;
+            peak_bg_active = peak_bg_active.max(result.peak_bg_active);
+            full_solves += result.bg.full_solves;
+            incremental_solves += result.bg.incremental_solves;
+            rate_updates += result.bg.rate_updates;
+            prof.absorb(&result.fg.profiler);
+            prof.absorb(&result.bg.profiler);
+            if seed_ix == 0 {
+                for (name, v) in result.fg.metrics.scalar_pairs() {
+                    report.put_scalar(name, v);
+                }
+                if tracing {
+                    let path = trace_out
+                        .map(Path::to_path_buf)
+                        .unwrap_or_else(|| PathBuf::from(report.trace_file_name()));
+                    let meta = TraceMeta {
+                        scenario: sc.name.clone(),
+                        backend: self.name().to_string(),
+                        seed,
+                    };
+                    write_trace_artifact(&result.fg.trace, &meta, &path);
+                }
+            }
+        }
+
+        let ph_report = prof.phase("report_build");
+        let span = prof.begin();
+        report.slowdowns = average_slowdowns(&runs);
+        if let Some(m) = report.mean_slowdown() {
+            report.put_scalar("mean_slowdown", m);
+        }
+        report.put_scalar("foreground_flows", n_fg_flows as f64);
+        report.put_scalar("background_flows", n_bg_flows as f64);
+        report.put_scalar("hybrid_syncs", syncs as f64);
+        report.put_scalar("hybrid_reservations", reservations as f64);
+        report.put_scalar("hybrid_residual_pushes", residual_pushes as f64);
+        report.put_scalar("hybrid_backlog_pushes", backlog_pushes as f64);
+        report.put_scalar("single_bottleneck_solves", single_bottleneck as f64);
+        report.put_scalar("peak_bg_active", peak_bg_active as f64);
+        report.put_scalar("full_solves", full_solves as f64);
+        report.put_scalar("incremental_solves", incremental_solves as f64);
+        report.put_scalar("rate_updates", rate_updates as f64);
+        // Same caveat as the packet engine: `events_per_sec` is the one
+        // wall-clock-derived, non-deterministic scalar.
+        let wall = wall_start.elapsed().as_secs_f64();
+        report.put_scalar("events_processed", report.events as f64);
+        if wall > 0.0 {
+            report.put_scalar("events_per_sec", report.events as f64 / wall);
+        }
+        prof.end(ph_report, span);
+        export_spans(&mut report, &prof);
+        report
+    }
+}
+
+// ----------------------------------------------------------------------
 // Workload compatibility wrappers
 // ----------------------------------------------------------------------
 
@@ -632,6 +849,8 @@ mod tests {
         assert_eq!(SimBackend::parse("des"), Some(SimBackend::Packet));
         assert_eq!(SimBackend::parse("fluid"), Some(SimBackend::Fluid));
         assert_eq!(SimBackend::parse("flow"), Some(SimBackend::Fluid));
+        assert_eq!(SimBackend::parse("hybrid"), Some(SimBackend::Hybrid));
+        assert_eq!(SimBackend::parse("cosim"), Some(SimBackend::Hybrid));
         assert_eq!(SimBackend::parse("quantum"), None);
         assert_eq!(SimBackend::default(), SimBackend::Packet);
         assert_eq!(format!("{}", SimBackend::Fluid), "fluid");
@@ -645,6 +864,8 @@ mod tests {
         assert!("".parse::<SimBackend>().is_err());
         assert_eq!(SimBackend::Packet.resolve().name(), "packet");
         assert_eq!(SimBackend::Fluid.resolve().name(), "fluid");
+        assert_eq!("Hybrid".parse(), Ok(SimBackend::Hybrid));
+        assert_eq!(SimBackend::Hybrid.resolve().name(), "hybrid");
     }
 
     #[test]
@@ -668,6 +889,41 @@ mod tests {
                 assert!(b.p99 >= b.p50);
             }
         }
+    }
+
+    #[test]
+    fn hybrid_backend_runs_a_partitioned_scenario() {
+        use crate::scenario::{ForegroundSpec, PartitionRule, TopologySpec};
+        let mut sc = Scenario::new(
+            "hybrid-smoke",
+            TopologySpec::Dumbbell {
+                senders: 4,
+                switches: 3,
+            },
+            TrafficSpec::MiceBehindElephants {
+                elephants: 2,
+                elephant_size: 2_000_000,
+                mice: 6,
+                mouse_size: 20_000,
+                warmup_us: 30,
+                gap_us: 10,
+            },
+            CcKind::Fncc,
+        );
+        sc.foreground = Some(ForegroundSpec {
+            rules: vec![PartitionRule::SizeBelow { bytes: 1_000_000 }],
+        });
+        sc.validate().unwrap();
+        let r = run_scenario(&sc, SimBackend::Hybrid);
+        assert_eq!(r.backend, "hybrid");
+        assert_eq!(r.unfinished, vec![0]);
+        // Slowdown rows cover the union of both halves (2 + 6 flows).
+        let total: usize = r.slowdowns.iter().map(|b| b.count).sum();
+        assert_eq!(total, 8);
+        assert_eq!(r.scalar("foreground_flows"), Some(6.0));
+        assert_eq!(r.scalar("background_flows"), Some(2.0));
+        assert!(r.scalar("hybrid_syncs").unwrap_or(0.0) > 0.0);
+        assert!(r.scalar("hybrid_backlog_pushes").unwrap_or(0.0) > 0.0);
     }
 
     #[test]

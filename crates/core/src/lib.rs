@@ -51,15 +51,15 @@ pub mod sweep;
 
 pub use analysis::{hardware_trends, notification_gain_model, HopGain, SwitchGen};
 pub use backend::{
-    fattree_workload_on, run_scenario, run_scenario_traced, Backend, FluidBackend, PacketBackend,
-    SimBackend,
+    fattree_workload_on, run_scenario, run_scenario_traced, Backend, FluidBackend, HybridBackend,
+    PacketBackend, SimBackend,
 };
 pub use calibration::{CalibrationArtifact, CALIBRATION_SCHEMA};
 pub use metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
 pub use report::{RunReport, RUN_REPORT_SCHEMA};
 pub use scenario::{
-    parse_cc, CcOverrides, LinkSpec, ProbeSpec, Scenario, StopCondition, TopologySpec, TrafficSpec,
-    Workload,
+    parse_cc, CcOverrides, ForegroundSpec, LinkSpec, PartitionRule, ProbeSpec, Scenario,
+    StopCondition, TopologySpec, TrafficSpec, Workload,
 };
 pub use scenarios::{
     elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
@@ -76,14 +76,14 @@ pub mod prelude {
     pub use crate::analysis::{hardware_trends, notification_gain_model};
     pub use crate::backend::{
         fattree_workload_on, run_scenario, run_scenario_traced, Backend, FluidBackend,
-        PacketBackend, SimBackend,
+        HybridBackend, PacketBackend, SimBackend,
     };
     pub use crate::calibration::{CalibrationArtifact, CALIBRATION_SCHEMA};
     pub use crate::metrics::{fct_slowdowns, reaction_time, time_to_fair, SlowdownStats};
     pub use crate::report::RunReport;
     pub use crate::scenario::{
-        CcOverrides, LinkSpec, ProbeSpec, Scenario, StopCondition, TopologySpec, TrafficSpec,
-        Workload,
+        CcOverrides, ForegroundSpec, LinkSpec, PartitionRule, ProbeSpec, Scenario, StopCondition,
+        TopologySpec, TrafficSpec, Workload,
     };
     pub use crate::scenarios::{
         elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,

@@ -450,6 +450,84 @@ impl ProbeSpec {
     }
 }
 
+/// One predicate of the hybrid backend's foreground partition. A flow
+/// matching *any* rule of a [`ForegroundSpec`] runs at packet fidelity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionRule {
+    /// Flows strictly smaller than `bytes` (latency-sensitive mice).
+    SizeBelow {
+        /// Exclusive size threshold in bytes.
+        bytes: u64,
+    },
+    /// Flows destined to any of these hosts (incast victim receivers).
+    ToHosts {
+        /// Destination host ids.
+        hosts: Vec<u32>,
+    },
+    /// Explicitly enumerated flow ids (probed flows).
+    FlowIds {
+        /// Flow ids.
+        ids: Vec<u32>,
+    },
+    /// The first `n` flows by id (the conventional probe set).
+    FirstFlows {
+        /// Number of leading flow ids.
+        n: u32,
+    },
+}
+
+impl PartitionRule {
+    /// Whether `f` matches this rule.
+    pub fn matches(&self, f: &FlowSpec) -> bool {
+        match self {
+            PartitionRule::SizeBelow { bytes } => f.size < *bytes,
+            PartitionRule::ToHosts { hosts } => hosts.contains(&f.dst.0),
+            PartitionRule::FlowIds { ids } => ids.contains(&f.id.0),
+            PartitionRule::FirstFlows { n } => f.id.0 < *n,
+        }
+    }
+
+    /// Short description for error messages.
+    fn describe(&self) -> String {
+        match self {
+            PartitionRule::SizeBelow { bytes } => format!("size_below {bytes}"),
+            PartitionRule::ToHosts { hosts } => format!("to_hosts {hosts:?}"),
+            PartitionRule::FlowIds { ids } => format!("flow_ids {ids:?}"),
+            PartitionRule::FirstFlows { n } => format!("first_flows {n}"),
+        }
+    }
+}
+
+/// The hybrid backend's flow partition: which of the scenario's flows run
+/// at packet fidelity (the rest drain in the fluid background model).
+/// Validated at parse time — see [`Scenario::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForegroundSpec {
+    /// Union of predicates; a flow matching any rule is foreground.
+    pub rules: Vec<PartitionRule>,
+}
+
+impl ForegroundSpec {
+    /// Whether `f` runs at packet fidelity under this spec.
+    pub fn is_foreground(&self, f: &FlowSpec) -> bool {
+        self.rules.iter().any(|r| r.matches(f))
+    }
+
+    /// Split `flows` into `(foreground, background)` preserving order.
+    pub fn partition(&self, flows: &[FlowSpec]) -> (Vec<FlowSpec>, Vec<FlowSpec>) {
+        let mut fg = Vec::new();
+        let mut bg = Vec::new();
+        for f in flows {
+            if self.is_foreground(f) {
+                fg.push(f.clone());
+            } else {
+                bg.push(f.clone());
+            }
+        }
+        (fg, bg)
+    }
+}
+
 /// When a run ends.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopCondition {
@@ -493,6 +571,9 @@ pub struct Scenario {
     pub overrides: CcOverrides,
     /// Measurement probes (packet backend only).
     pub probes: ProbeSpec,
+    /// Foreground partition for the hybrid backend (`None` = scenario is
+    /// not hybrid-runnable).
+    pub foreground: Option<ForegroundSpec>,
     /// Stop condition.
     pub stop: StopCondition,
     /// Seeds; multi-seed runs average slowdown rows across seeds.
@@ -516,6 +597,7 @@ impl Scenario {
             cc,
             overrides: CcOverrides::default(),
             probes: ProbeSpec::default(),
+            foreground: None,
             stop: StopCondition::Drain { cap_ms: 200 },
             seeds: vec![1],
         }
@@ -673,19 +755,19 @@ impl Scenario {
                 ("cap_ms", num_u64(cap_ms)),
             ]),
         };
-        obj([
-            ("name", Json::Str(self.name.clone())),
-            ("topology", topology),
+        let mut top: Vec<(String, Json)> = vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("topology".into(), topology),
             (
-                "link",
+                "link".into(),
                 obj([
                     ("gbps", num_u64(self.link.gbps)),
                     ("prop_ns", num_u64(self.link.prop_ns)),
                 ]),
             ),
-            ("traffic", traffic),
-            ("cc", Json::Str(self.cc.name().into())),
-            ("overrides", {
+            ("traffic".into(), traffic),
+            ("cc".into(), Json::Str(self.cc.name().into())),
+            ("overrides".into(), {
                 let mut fields = vec![
                     (
                         "disable_lhcs".to_string(),
@@ -705,7 +787,7 @@ impl Scenario {
                 Json::Obj(fields)
             }),
             (
-                "probes",
+                "probes".into(),
                 obj([
                     ("sample_ns", num_u64(self.probes.sample_ns)),
                     ("congestion_point", Json::Bool(self.probes.congestion_point)),
@@ -714,13 +796,44 @@ impl Scenario {
                     ("trace", Json::Bool(self.probes.trace)),
                 ]),
             ),
-            ("stop", stop),
-            (
-                "seeds",
-                Json::Arr(self.seeds.iter().map(|&s| num_u64(s)).collect()),
-            ),
-        ])
-        .to_string_pretty()
+        ];
+        if let Some(fg) = &self.foreground {
+            let rules: Vec<Json> = fg
+                .rules
+                .iter()
+                .map(|r| match r {
+                    PartitionRule::SizeBelow { bytes } => obj([
+                        ("kind", Json::Str("size_below".into())),
+                        ("bytes", num_u64(*bytes)),
+                    ]),
+                    PartitionRule::ToHosts { hosts } => obj([
+                        ("kind", Json::Str("to_hosts".into())),
+                        (
+                            "hosts",
+                            Json::Arr(hosts.iter().map(|&h| Json::Num(h as f64)).collect()),
+                        ),
+                    ]),
+                    PartitionRule::FlowIds { ids } => obj([
+                        ("kind", Json::Str("flow_ids".into())),
+                        (
+                            "ids",
+                            Json::Arr(ids.iter().map(|&i| Json::Num(i as f64)).collect()),
+                        ),
+                    ]),
+                    PartitionRule::FirstFlows { n } => obj([
+                        ("kind", Json::Str("first_flows".into())),
+                        ("n", Json::Num(*n as f64)),
+                    ]),
+                })
+                .collect();
+            top.push(("foreground".into(), obj([("rules", Json::Arr(rules))])));
+        }
+        top.push(("stop".into(), stop));
+        top.push((
+            "seeds".into(),
+            Json::Arr(self.seeds.iter().map(|&s| num_u64(s)).collect()),
+        ));
+        Json::Obj(top).to_string_pretty()
     }
 
     /// Parse the scenario-file JSON format. `link`, `overrides`, `probes`,
@@ -880,7 +993,57 @@ impl Scenario {
                 .collect::<Result<Vec<u64>, String>>()?,
         };
 
-        Ok(Scenario {
+        let foreground = match v.get("foreground") {
+            None => None,
+            Some(f) => {
+                let rules = f
+                    .get("rules")
+                    .and_then(|r| r.as_arr())
+                    .ok_or("'foreground' must have a 'rules' array")?;
+                let mut parsed = Vec::with_capacity(rules.len());
+                for r in rules {
+                    let rule = match str_field(r, "kind")?.as_str() {
+                        "size_below" => PartitionRule::SizeBelow {
+                            bytes: u64_field(r, "bytes")?,
+                        },
+                        "to_hosts" => PartitionRule::ToHosts {
+                            hosts: r
+                                .get("hosts")
+                                .and_then(|a| a.as_arr())
+                                .ok_or("missing 'hosts' array in to_hosts rule")?
+                                .iter()
+                                .map(|x| {
+                                    x.as_u64()
+                                        .and_then(|v| u32::try_from(v).ok())
+                                        .ok_or_else(|| "non-integer host id".to_string())
+                                })
+                                .collect::<Result<Vec<u32>, String>>()?,
+                        },
+                        "flow_ids" => PartitionRule::FlowIds {
+                            ids: r
+                                .get("ids")
+                                .and_then(|a| a.as_arr())
+                                .ok_or("missing 'ids' array in flow_ids rule")?
+                                .iter()
+                                .map(|x| {
+                                    x.as_u64()
+                                        .and_then(|v| u32::try_from(v).ok())
+                                        .ok_or_else(|| "non-integer flow id".to_string())
+                                })
+                                .collect::<Result<Vec<u32>, String>>()?,
+                        },
+                        "first_flows" => PartitionRule::FirstFlows {
+                            n: u32_field(r, "n")?,
+                        },
+                        other => return Err(format!("unknown partition rule kind '{other}'")),
+                    };
+                    parsed.push(rule);
+                }
+                Some(ForegroundSpec { rules: parsed })
+            }
+        };
+
+        let sc = Scenario {
             name,
             topology,
             link,
@@ -888,9 +1051,83 @@ impl Scenario {
             cc,
             overrides,
             probes,
+            foreground,
             stop,
             seeds,
-        })
+        };
+        sc.validate()?;
+        Ok(sc)
+    }
+
+    /// Validate the foreground partition against the scenario's actual
+    /// flow population (first seed). Called by [`Scenario::from_json`] so a
+    /// bad partition fails loudly at parse time instead of silently running
+    /// an empty DES half. Scenarios without a `foreground` block are always
+    /// valid.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(fg) = &self.foreground else {
+            return Ok(());
+        };
+        if fg.rules.is_empty() {
+            return Err(
+                "'foreground.rules' is empty: the hybrid backend needs at least one \
+                 partition rule (size_below | to_hosts | flow_ids | first_flows)"
+                    .into(),
+            );
+        }
+        let n_hosts = self.topology.n_hosts();
+        for rule in &fg.rules {
+            match rule {
+                PartitionRule::SizeBelow { bytes } => {
+                    if *bytes == 0 {
+                        return Err("size_below rule with bytes=0 can never match \
+                                    (the threshold is exclusive)"
+                            .into());
+                    }
+                }
+                PartitionRule::ToHosts { hosts } => {
+                    if hosts.is_empty() {
+                        return Err("to_hosts rule with an empty host list".into());
+                    }
+                    if let Some(&bad) = hosts.iter().find(|&&h| h >= n_hosts) {
+                        return Err(format!(
+                            "to_hosts rule names host {bad} but the topology has \
+                             only {n_hosts} hosts"
+                        ));
+                    }
+                }
+                PartitionRule::FlowIds { ids } => {
+                    if ids.is_empty() {
+                        return Err("flow_ids rule with an empty id list".into());
+                    }
+                }
+                PartitionRule::FirstFlows { n } => {
+                    if *n == 0 {
+                        return Err("first_flows rule with n=0 matches nothing".into());
+                    }
+                }
+            }
+        }
+        let (_, flows) = self.instance(*self.seeds.first().unwrap_or(&1));
+        for rule in &fg.rules {
+            if !flows.iter().any(|f| rule.matches(f)) {
+                return Err(format!(
+                    "partition rule `{}` matches none of the scenario's {} flows; \
+                     the rule is dead — fix it or drop it",
+                    rule.describe(),
+                    flows.len()
+                ));
+            }
+        }
+        let n_fg = flows.iter().filter(|f| fg.is_foreground(f)).count();
+        if n_fg == flows.len() {
+            return Err(format!(
+                "foreground partition matches all {} flows, leaving no background \
+                 for the fluid half — run the packet backend instead",
+                flows.len()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -914,6 +1151,7 @@ mod tests {
             cc: CcKind::Fncc,
             overrides: CcOverrides::default(),
             probes: ProbeSpec::micro(1000, 2),
+            foreground: None,
             stop: StopCondition::Drain { cap_ms: 50 },
             seeds: vec![1, 2],
         }
@@ -1115,5 +1353,122 @@ mod tests {
                 "traffic":{"kind":"elephants","join_at_us":1},"cc":"quic"}"#
         )
         .is_err());
+    }
+
+    fn hybrid_sample() -> Scenario {
+        // mice_behind_elephants: 2 elephants (100 MB) + 8 mice (20 kB), so a
+        // size_below cut at 1 MB yields a non-trivial partition.
+        Scenario {
+            traffic: TrafficSpec::MiceBehindElephants {
+                elephants: 2,
+                elephant_size: 100_000_000,
+                mice: 8,
+                mouse_size: 20_000,
+                warmup_us: 50,
+                gap_us: 10,
+            },
+            foreground: Some(ForegroundSpec {
+                rules: vec![PartitionRule::SizeBelow { bytes: 1_000_000 }],
+            }),
+            ..sample()
+        }
+    }
+
+    #[test]
+    fn foreground_spec_roundtrips_through_json() {
+        let sc = hybrid_sample();
+        let parsed = Scenario::from_json(&sc.to_json()).unwrap();
+        assert_eq!(parsed.foreground, sc.foreground);
+        assert_eq!(parsed, sc);
+        // The remaining rule kinds survive serialization too. Poisson traffic
+        // spreads destinations over all hosts, so a to_hosts rule naming a
+        // quarter of them is neither empty nor all-consuming.
+        let sc2 = Scenario {
+            traffic: TrafficSpec::Poisson {
+                workload: Workload::WebSearch,
+                load: 0.3,
+                flows: 64,
+            },
+            foreground: Some(ForegroundSpec {
+                rules: vec![
+                    PartitionRule::ToHosts {
+                        hosts: vec![0, 1, 2, 3],
+                    },
+                    PartitionRule::FlowIds { ids: vec![0, 3] },
+                    PartitionRule::FirstFlows { n: 2 },
+                ],
+            }),
+            ..sample()
+        };
+        let parsed2 = Scenario::from_json(&sc2.to_json()).unwrap();
+        assert_eq!(parsed2.foreground, sc2.foreground);
+    }
+
+    #[test]
+    fn partition_splits_flows_by_rule_union() {
+        let sc = hybrid_sample();
+        let (_, flows) = sc.instance(1);
+        let fg_spec = sc.foreground.as_ref().unwrap();
+        let (fg, bg) = fg_spec.partition(&flows);
+        assert_eq!(fg.len() + bg.len(), flows.len());
+        assert!(!fg.is_empty() && !bg.is_empty());
+        // All mice foreground; the elephants stay background.
+        assert!(fg.iter().all(|f| f.size < 1_000_000));
+        assert!(bg.iter().all(|f| f.size >= 1_000_000));
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_partitions() {
+        // Empty rule list.
+        let err = Scenario {
+            foreground: Some(ForegroundSpec { rules: vec![] }),
+            ..hybrid_sample()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+
+        // Rule that matches zero flows (everything is >= 1 byte).
+        let err = Scenario {
+            foreground: Some(ForegroundSpec {
+                rules: vec![PartitionRule::SizeBelow { bytes: 1 }],
+            }),
+            ..hybrid_sample()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("size_below"), "{err}");
+
+        // Host id beyond the topology.
+        let err = Scenario {
+            foreground: Some(ForegroundSpec {
+                rules: vec![PartitionRule::ToHosts { hosts: vec![999] }],
+            }),
+            ..hybrid_sample()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("999"), "{err}");
+
+        // Partition that swallows every flow leaves no fluid background.
+        let err = Scenario {
+            foreground: Some(ForegroundSpec {
+                rules: vec![PartitionRule::SizeBelow { bytes: u64::MAX }],
+            }),
+            ..hybrid_sample()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("background"), "{err}");
+
+        // from_json runs the same validation.
+        let sc = Scenario {
+            foreground: Some(ForegroundSpec { rules: vec![] }),
+            ..hybrid_sample()
+        };
+        assert!(Scenario::from_json(&sc.to_json()).is_err());
+
+        // Scenarios without a foreground block are always valid.
+        assert!(sample().validate().is_ok());
     }
 }

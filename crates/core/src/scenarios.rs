@@ -100,6 +100,7 @@ impl MicrobenchSpec {
             cc: self.cc,
             overrides: self.overrides(),
             probes: ProbeSpec::micro(self.sample_ns, self.n_senders),
+            foreground: None,
             stop: StopCondition::Horizon {
                 us: self.horizon_us,
             },
@@ -330,6 +331,7 @@ pub fn staircase_scenario(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) ->
             cc_rates: 0,
             trace: false,
         },
+        foreground: None,
         stop: StopCondition::Horizon { us: horizon_us },
         seeds: vec![seed],
     }
@@ -407,6 +409,7 @@ impl WorkloadSpec {
             cc: self.cc,
             overrides: CcOverrides::default(),
             probes: ProbeSpec::default(),
+            foreground: None,
             stop: StopCondition::Drain { cap_ms: 200 },
             seeds: self.seeds.clone(),
         }

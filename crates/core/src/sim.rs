@@ -1,50 +1,20 @@
 //! The simulation builder: topology + CC scheme + flows → runnable [`Sim`].
 
-use fncc_cc::{
-    CcAlgo, CcKind, DcqcnConfig, FnccConfig, HpccConfig, RoccConfig, SwiftConfig, TimelyConfig,
-};
+use fncc_cc::{CcAlgo, CcKind};
 use fncc_des::engine::{Engine, RunOutcome};
 use fncc_des::time::{SimTime, TimeDelta};
-use fncc_net::config::{EcnConfig, FabricConfig, IntInsertion, RoccSwitchConfig};
+use fncc_net::config::FabricConfig;
 use fncc_net::fabric::{Ev, Fabric};
 use fncc_net::ids::{FlowId, HostId, SwitchId};
 use fncc_net::telemetry::Telemetry;
 use fncc_net::topology::Topology;
-use fncc_net::units::Bandwidth;
 use fncc_obs::{Profiler, TraceSink};
 use fncc_transport::{DcHost, FlowSpec, HostTimer, TransportConfig};
 
-/// Build a CC configuration with paper defaults for `kind` on a network
-/// with the given line rate and base RTT.
-pub fn make_algo(kind: CcKind, line: Bandwidth, base_rtt: TimeDelta) -> CcAlgo {
-    match kind {
-        CcKind::Hpcc => CcAlgo::Hpcc(HpccConfig::paper_default(line, base_rtt)),
-        CcKind::Fncc => CcAlgo::Fncc(FnccConfig::paper_default(line, base_rtt)),
-        CcKind::Dcqcn => CcAlgo::Dcqcn(DcqcnConfig::paper_default(line)),
-        CcKind::Rocc => CcAlgo::Rocc(RoccConfig::new(line)),
-        CcKind::Timely => CcAlgo::Timely(TimelyConfig::paper_default(line, base_rtt)),
-        CcKind::Swift => CcAlgo::Swift(SwiftConfig::paper_default(line, base_rtt)),
-    }
-}
-
-/// Wire the switch-side features a CC scheme needs into a fabric config.
-fn apply_cc_features(cfg: &mut FabricConfig, kind: CcKind, line: Bandwidth) {
-    match kind {
-        CcKind::Hpcc => cfg.int = IntInsertion::OnData,
-        CcKind::Fncc => {
-            cfg.int = IntInsertion::OnAck;
-            // Fig. 8's periodic All_INT_Table is load-bearing: live reads
-            // phase-quantise txBytes deltas against ACK pass times, biasing
-            // the sender's U estimate high. A 1 µs snapshot period gives
-            // exact per-period byte counts (see DESIGN.md / the
-            // `ablation_int_refresh` experiment).
-            cfg.int_refresh = Some(TimeDelta::from_us(1));
-        }
-        CcKind::Dcqcn => cfg.ecn = EcnConfig::dcqcn_scaled(line),
-        CcKind::Rocc => cfg.rocc = Some(RoccSwitchConfig::default_for(line)),
-        CcKind::Timely | CcKind::Swift => {}
-    }
-}
+// Scheme wiring moved down into `fncc-transport` so the hybrid backend can
+// build packet hosts without this crate; re-exported here for
+// compatibility.
+pub use fncc_transport::{apply_cc_features, make_algo};
 
 /// Builder for a complete simulation.
 pub struct SimBuilder {
@@ -318,6 +288,8 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fncc_net::config::IntInsertion;
+    use fncc_net::units::Bandwidth;
 
     fn dumbbell() -> Topology {
         Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500))

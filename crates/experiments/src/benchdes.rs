@@ -1,17 +1,25 @@
-//! `fncc-repro bench-des` — the packet-DES throughput harness.
+//! `fncc-repro bench-des` / `bench-hybrid` — engine throughput harnesses.
 //!
-//! Runs the fat-tree workload benchmark points on the packet backend and
-//! writes `BENCH_des.json` (events/sec, wall time, peak event-queue
-//! length, heap allocations from the counting allocator), so the engine's
-//! perf trajectory is recorded run over run. `--quick` shrinks to the CI
-//! smoke point; `--full` adds the binary-heap reference scheduler for a
-//! wheel-vs-heap comparison on identical work.
+//! `bench-des` runs the fat-tree workload benchmark points on the packet
+//! backend and writes `BENCH_des.json` (events/sec, wall time, peak
+//! event-queue length, heap allocations from the counting allocator), so
+//! the engine's perf trajectory is recorded run over run. `--quick`
+//! shrinks to the CI smoke point; `--full` adds the binary-heap reference
+//! scheduler for a wheel-vs-heap comparison on identical work.
+//!
+//! `bench-hybrid` sweeps the co-simulation backend over growing
+//! *background* flow populations (a fixed packet-fidelity foreground of
+//! the first flows, the rest in the fluid model) and writes
+//! `BENCH_hybrid.json` — the scaling story behind the hybrid engine's
+//! headline: fleet-scale background at a wall-clock the pure DES only
+//! reaches with orders of magnitude fewer flows.
 
 use crate::{RunOpts, Scale};
 use fncc_cc::CcKind;
 use fncc_core::json::{num_u64, obj, Json};
 use fncc_core::{
-    run_scenario, run_scenario_traced, Scenario, SimBackend, TopologySpec, TrafficSpec, Workload,
+    run_scenario, run_scenario_traced, ForegroundSpec, PartitionRule, Scenario, SimBackend,
+    TopologySpec, TrafficSpec, Workload,
 };
 use std::time::Instant;
 
@@ -170,6 +178,112 @@ pub fn bench_des(opts: &RunOpts) {
         ),
     ]);
     let path = opts.out.join("BENCH_des.json");
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, artifact.to_string_pretty()) {
+        Ok(()) => println!("[json] {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Artifact schema identifier for the hybrid scaling sweep.
+pub const BENCH_HYBRID_SCHEMA: &str = "fncc.bench_hybrid/v1";
+
+/// Foreground size of every hybrid benchmark point: the first flows by id
+/// run at packet fidelity, everything behind them is fluid background.
+const HYBRID_FG_FLOWS: u32 = 64;
+
+fn hybrid_point(k: u32, flows: u32, cap_ms: u64) -> Scenario {
+    let mut sc = workload_point(k, flows, cap_ms);
+    sc.name = format!("bench-hybrid-k{k}-{flows}f");
+    sc.foreground = Some(ForegroundSpec {
+        rules: vec![PartitionRule::FirstFlows { n: HYBRID_FG_FLOWS }],
+    });
+    sc
+}
+
+/// Run the hybrid co-simulation scaling sweep and write
+/// `BENCH_hybrid.json` under `opts.out`.
+pub fn bench_hybrid(opts: &RunOpts) {
+    let points: Vec<Scenario> = match opts.scale {
+        // CI smoke: small fabric, 10⁴ background flows, seconds-long.
+        Scale::Quick => vec![hybrid_point(4, 10_000, 200)],
+        // The acceptance point: 10⁶ background flows on the paper fabric.
+        Scale::Default => vec![
+            hybrid_point(8, 100_000, 200),
+            hybrid_point(8, 1_000_000, 200),
+        ],
+        Scale::Full => vec![
+            hybrid_point(8, 10_000, 200),
+            hybrid_point(8, 100_000, 200),
+            hybrid_point(8, 1_000_000, 200),
+        ],
+    };
+
+    let mut rows = Vec::new();
+    for sc in &points {
+        let allocs_before = crate::alloc_count();
+        let t0 = Instant::now();
+        let report = run_scenario(sc, SimBackend::Hybrid);
+        let wall = t0.elapsed().as_secs_f64();
+        let allocations = crate::alloc_count() - allocs_before;
+        let flows = match sc.traffic {
+            TrafficSpec::Poisson { flows, .. } => flows,
+            _ => 0,
+        };
+        let syncs = report.scalar("hybrid_syncs").unwrap_or(0.0);
+        println!(
+            "[bench-hybrid] {}: {} flows ({} fg) in {:.1}s — {} events, \
+             {syncs} syncs, {:.0} flows/s",
+            report.scenario,
+            flows,
+            HYBRID_FG_FLOWS,
+            wall,
+            report.events,
+            flows as f64 / wall.max(1e-9),
+        );
+        rows.push(obj([
+            ("name", Json::Str(sc.name.clone())),
+            ("flows", Json::Num(flows as f64)),
+            ("foreground_flows", Json::Num(HYBRID_FG_FLOWS as f64)),
+            ("events", num_u64(report.events)),
+            ("wall_s", Json::Num(wall)),
+            ("flows_per_sec", Json::Num(flows as f64 / wall.max(1e-9))),
+            ("hybrid_syncs", Json::Num(syncs)),
+            (
+                "hybrid_reservations",
+                Json::Num(report.scalar("hybrid_reservations").unwrap_or(0.0)),
+            ),
+            (
+                "hybrid_residual_pushes",
+                Json::Num(report.scalar("hybrid_residual_pushes").unwrap_or(0.0)),
+            ),
+            (
+                "hybrid_backlog_pushes",
+                Json::Num(report.scalar("hybrid_backlog_pushes").unwrap_or(0.0)),
+            ),
+            (
+                "single_bottleneck_solves",
+                Json::Num(report.scalar("single_bottleneck_solves").unwrap_or(0.0)),
+            ),
+            (
+                "peak_bg_active",
+                Json::Num(report.scalar("peak_bg_active").unwrap_or(0.0)),
+            ),
+            (
+                "mean_slowdown",
+                Json::Num(report.scalar("mean_slowdown").unwrap_or(0.0)),
+            ),
+            ("allocations", num_u64(allocations)),
+        ]));
+    }
+
+    let artifact = obj([
+        ("schema", Json::Str(BENCH_HYBRID_SCHEMA.into())),
+        ("points", Json::Arr(rows)),
+    ]);
+    let path = opts.out.join("BENCH_hybrid.json");
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -6,8 +6,10 @@
 //!   series inventory and the slowdown rows.
 //! * `*.trace.jsonl` (`fncc.trace/v1`) — answers the flight-recorder
 //!   questions: per-flow event timelines (`--flow N`), the top-k hottest
-//!   egress queues (`--top K`), and PFC pause bursts with their
-//!   back-propagation chains.
+//!   egress queues (`--top K`), PFC pause bursts with their
+//!   back-propagation chains, and — on hybrid-backend traces — the
+//!   fluid↔packet coupling summary (sync cadence, reservation and
+//!   residual-capacity pushes per link).
 
 use fncc_core::json::Json;
 use std::collections::BTreeMap;
@@ -146,6 +148,7 @@ fn inspect_trace(text: &str, opts: InspectOpts) -> Result<(), String> {
 
     queue_hotspots(&events, opts.top.unwrap_or(5));
     pfc_chains(&events);
+    hybrid_coupling(&events);
     if let Some(flow) = opts.flow {
         flow_timeline(&events, flow);
     }
@@ -259,6 +262,94 @@ fn pfc_chains(events: &[Ev]) {
     }
 }
 
+/// Summarize the hybrid backend's coupling stream: synchronization
+/// cadence and the per-link reservation / residual-capacity pushes.
+/// Prints nothing on non-hybrid traces.
+fn hybrid_coupling(events: &[Ev]) {
+    let syncs: Vec<&Ev> = events.iter().filter(|e| e.kind == "hybrid_sync").collect();
+    if syncs.is_empty() {
+        return;
+    }
+    let t0 = syncs.first().unwrap().t_us();
+    let t1 = syncs.last().unwrap().t_us();
+    let mean_gap_us = if syncs.len() > 1 {
+        (t1 - t0) / (syncs.len() - 1) as f64
+    } else {
+        0.0
+    };
+    println!(
+        "hybrid   {} syncs over {:.1}-{:.1} us (mean gap {:.2} us)",
+        syncs.len(),
+        t0,
+        t1,
+        mean_gap_us
+    );
+    struct Link {
+        reserves: u64,
+        last_load_bps: f64,
+        residuals: u64,
+        min_residual_bps: f64,
+        backlogs: u64,
+        max_backlog_bytes: u64,
+    }
+    let mut links: BTreeMap<u64, Link> = BTreeMap::new();
+    for e in events {
+        let Some(l) = e.u("link") else { continue };
+        let link = links.entry(l).or_insert(Link {
+            reserves: 0,
+            last_load_bps: 0.0,
+            residuals: 0,
+            min_residual_bps: f64::INFINITY,
+            backlogs: 0,
+            max_backlog_bytes: 0,
+        });
+        match e.kind.as_str() {
+            "hybrid_reserve" => {
+                link.reserves += 1;
+                link.last_load_bps = e.json.get("load_bps").and_then(Json::as_f64).unwrap_or(0.0);
+            }
+            "hybrid_residual" => {
+                link.residuals += 1;
+                let r = e
+                    .json
+                    .get("residual_bps")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0);
+                if r < link.min_residual_bps {
+                    link.min_residual_bps = r;
+                }
+            }
+            "hybrid_backlog" => {
+                link.backlogs += 1;
+                let b = e.u("backlog_bytes").unwrap_or(0);
+                link.max_backlog_bytes = link.max_backlog_bytes.max(b);
+            }
+            _ => {}
+        }
+    }
+    for (l, link) in &links {
+        if link.reserves == 0 && link.residuals == 0 && link.backlogs == 0 {
+            continue;
+        }
+        let min_res = if link.min_residual_bps.is_finite() {
+            format!("{:.2}G", link.min_residual_bps / 1e9)
+        } else {
+            "-".into()
+        };
+        println!(
+            "  link {l}: {} reservations (last fg load {:.2}G), \
+             {} residual pushes (min {}), \
+             {} backlog pushes (max {} B)",
+            link.reserves,
+            link.last_load_bps / 1e9,
+            link.residuals,
+            min_res,
+            link.backlogs,
+            link.max_backlog_bytes,
+        );
+    }
+}
+
 /// Print every event that names `flow`, in time order.
 fn flow_timeline(events: &[Ev], flow: u32) {
     let picked: Vec<&Ev> = events
@@ -308,6 +399,37 @@ mod tests {
         );
         s.push_str("{\"ev\":\"flow_finish\",\"t_ps\":9000,\"flow\":3}\n");
         s
+    }
+
+    fn hybrid_trace() -> String {
+        let mut s = sample_trace();
+        s.push_str(
+            "{\"ev\":\"hybrid_reserve\",\"t_ps\":3000,\"link\":7,\
+             \"load_bps\":2.5e10}\n",
+        );
+        s.push_str(
+            "{\"ev\":\"hybrid_residual\",\"t_ps\":3000,\"link\":7,\
+             \"residual_bps\":7.5e10}\n",
+        );
+        s.push_str(
+            "{\"ev\":\"hybrid_backlog\",\"t_ps\":3000,\"link\":7,\
+             \"backlog_bytes\":93810}\n",
+        );
+        s.push_str(
+            "{\"ev\":\"hybrid_sync\",\"t_ps\":3000,\"reservations\":1,\
+             \"residuals\":1}\n",
+        );
+        s.push_str(
+            "{\"ev\":\"hybrid_sync\",\"t_ps\":8000,\"reservations\":0,\
+             \"residuals\":0}\n",
+        );
+        s
+    }
+
+    #[test]
+    fn hybrid_trace_inspection_summarizes_coupling() {
+        let text = hybrid_trace();
+        assert!(inspect_trace(&text, InspectOpts::default()).is_ok());
     }
 
     #[test]

@@ -3,14 +3,14 @@
 //!
 //! ```text
 //! fncc-repro [EXPERIMENT…] [--out DIR] [--quick|--full] [--threads N]
-//!            [--seeds N] [--flows N] [--backend packet|fluid] [--progress]
-//! fncc-repro run SCENARIO.json… [--backend packet|fluid] [--out DIR]
+//!            [--seeds N] [--flows N] [--backend packet|fluid|hybrid] [--progress]
+//! fncc-repro run SCENARIO.json… [--backend packet|fluid|hybrid] [--out DIR]
 //!            [--trace] [--progress]
 //! fncc-repro inspect ARTIFACT… [--flow N] [--top K]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
-//!              fig15 ablate storm load-sweep extra-cc bench-des calibrate
-//!              check all
+//!              fig15 ablate storm load-sweep extra-cc bench-des
+//!              bench-hybrid calibrate check all
 //!              (default: all; `all` runs each paper experiment once —
 //!              `storm` is already part of `ablate`, and the maintenance
 //!              verbs `bench-des`/`calibrate` only run when named)
@@ -18,7 +18,9 @@
 //! `--backend fluid` swaps the packet DES for the flow-level fast path in
 //! the workload experiments (fig14, fig15, load-sweep) and in `run` —
 //! same flow sets, orders of magnitude faster, slowdowns within the
-//! cross-validated band. `run` executes a `Scenario` JSON file through the
+//! cross-validated band. `--backend hybrid` co-simulates: the scenario's
+//! `foreground` partition runs at packet fidelity while the background
+//! drains in the fluid model (fleet-scale load, packet-level victims). `run` executes a `Scenario` JSON file through the
 //! unified Backend path and writes a `*.report.json` artifact. `calibrate`
 //! measures every scheme's fluid RateModel parameters against the packet
 //! DES and writes a `fncc.calibration/v1` artifact (`CALIBRATION.json`).
@@ -44,13 +46,14 @@ static GLOBAL: fncc_experiments::CountingAlloc = fncc_experiments::CountingAlloc
 fn usage() -> ! {
     eprintln!(
         "usage: fncc-repro [EXPERIMENT...] [--out DIR] [--quick|--full] \
-         [--threads N] [--seeds N] [--flows N] [--backend packet|fluid] [--progress]\n\
-         \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid] [--out DIR] \
+         [--threads N] [--seeds N] [--flows N] [--backend packet|fluid|hybrid] \
+         [--progress]\n\
+         \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid|hybrid] [--out DIR] \
          [--trace] [--progress]\n\
          \x20      fncc-repro inspect ARTIFACT... [--flow N] [--top K]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
-         fig14 fig15 ablate storm load-sweep extra-cc bench-des calibrate \
-         check all"
+         fig14 fig15 ablate storm load-sweep extra-cc bench-des bench-hybrid \
+         calibrate check all"
     );
     std::process::exit(2)
 }
@@ -166,6 +169,14 @@ fn run_scenario_file(path: &str, opts: &RunOpts) {
         }
     };
     scenario.probes.trace |= opts.trace;
+    // `--flows N` scales a Poisson scenario down (or up) without editing
+    // the file: CI smoke-runs the fleet-scale scenarios on every backend
+    // at a size the packet engine can chew through in minutes.
+    if let Some(n) = opts.flows {
+        if let fncc_core::TrafficSpec::Poisson { ref mut flows, .. } = scenario.traffic {
+            *flows = n;
+        }
+    }
     let t0 = Instant::now();
     let trace_path = scenario.probes.trace.then(|| {
         let _ = std::fs::create_dir_all(&opts.out);
@@ -210,6 +221,7 @@ fn run_one(exp: &str, opts: &RunOpts) {
         }
         "storm" => ablation::pause_storm(opts),
         "bench-des" => benchdes::bench_des(opts),
+        "bench-hybrid" => benchdes::bench_hybrid(opts),
         "calibrate" => {
             calibrate::calibrate(opts);
         }

@@ -1,0 +1,773 @@
+//! The background half of the hybrid fluid↔packet co-simulation: a
+//! *stepping* fluid engine the hybrid driver can interleave with a packet
+//! DES.
+//!
+//! [`crate::FluidSim`] owns its clock and runs to completion;
+//! [`BackgroundFluid`] exposes the same physics (max-min shares under a
+//! [`RateModel`], identical retire-time FCT composition) as an
+//! event-at-a-time engine:
+//!
+//! * [`BackgroundFluid::next_event`] reports the next fluid event boundary
+//!   (arrival or projected completion) so the driver can co-advance the
+//!   DES exactly that far;
+//! * [`BackgroundFluid::advance_to`] drains background flows up to a
+//!   wall-of-simulation instant, never past it;
+//! * [`BackgroundFluid::reserve`] feeds measured *foreground* (packet)
+//!   throughput back as a per-link demand reservation — the water-filler
+//!   sees a shrunken capacity via its dirty-link delta API, and a
+//!   reservation touching a single contended link takes the closed-form
+//!   single-bottleneck fast path;
+//! * [`BackgroundFluid::background_load`] reports the aggregate background
+//!   rate on a link, from which the driver derives the *residual* capacity
+//!   it pushes onto the DES ports.
+
+use crate::link::LinkMap;
+use crate::maxmin::{Rebalance, WaterFiller};
+use crate::model::RateModel;
+use crate::sim::{SlotState, CONTENDED_FRAC, QUEUE_BUILD_RTTS};
+use crate::{FluidError, FluidResult, Framing};
+use fncc_des::time::SimTime;
+use fncc_net::telemetry::{FlowRecord, Telemetry};
+use fncc_net::topology::Topology;
+use fncc_obs::{HistId, PhaseId, Profiler, TraceEvent, TraceSink};
+use fncc_transport::FlowSpec;
+
+/// Floor on a reserved link's background capacity, as a fraction of its
+/// unreserved (η-scaled) capacity. Keeps a fully-reserved link from
+/// starving background flows into the zero-rate error path; the sliver
+/// models the fair share a saturating foreground burst cannot actually
+/// deny a competing long flow.
+const RESERVE_FLOOR: f64 = 0.02;
+
+/// Stepping fluid engine for the background-flow partition of a hybrid
+/// run. Construct with every background flow up front; the driver then
+/// alternates [`Self::advance_to`] with DES chunks, exchanging
+/// reservations and residuals at event boundaries.
+pub struct BackgroundFluid {
+    topo: Topology,
+    links: LinkMap,
+    model: RateModel,
+    framing: Framing,
+    /// All background flows, sorted by start time.
+    specs: Vec<FlowSpec>,
+    next_arrival: usize,
+    filler: WaterFiller,
+    slots: Vec<SlotState>,
+    active: Vec<u32>,
+    path_buf: Vec<u32>,
+    /// Fluid clock, seconds.
+    t: f64,
+    base_rtt: f64,
+    queue_delay: f64,
+    eta: f64,
+    /// η-scaled link capacities with no foreground reservation.
+    capacity_base: Vec<f64>,
+    /// Current foreground demand reservation per link, bits/s.
+    reservation: Vec<f64>,
+    /// Capacity currently presented to the water-filler per link
+    /// (`capacity_base` minus the η-scaled reservation, floored).
+    eff_capacity: Vec<f64>,
+    /// Since when each link has been continuously saturated (NaN = not).
+    sat_since: Vec<f64>,
+    /// Links whose allocation changed since the last [`Self::take_touched`].
+    touched: Vec<u32>,
+    touched_flag: Vec<bool>,
+    /// A reservation changed capacities since the last rebalance.
+    needs_resolve: bool,
+    telemetry: Telemetry,
+    profiler: Profiler,
+    ph_solve: PhaseId,
+    h_resolve: HistId,
+    reallocations: u64,
+    rate_updates: u64,
+    peak_active: usize,
+    horizon: SimTime,
+}
+
+impl BackgroundFluid {
+    /// A stepping fluid engine over `topo` under `model`, pre-loaded with
+    /// the full background flow set. Rejects zero-capacity links up front
+    /// (same contract as [`crate::FluidSim::run`]).
+    pub fn new(
+        topo: Topology,
+        model: RateModel,
+        framing: Framing,
+        mut flows: Vec<FlowSpec>,
+        trace: bool,
+    ) -> Result<Self, FluidError> {
+        let links = LinkMap::new(&topo);
+        let eta = model.utilization;
+        let capacity_base: Vec<f64> = links.capacities().iter().map(|&c| c * eta).collect();
+        if !flows.is_empty() {
+            if let Some(l) = capacity_base.iter().position(|&c| c <= 0.0) {
+                return Err(FluidError {
+                    flow: None,
+                    message: format!(
+                        "link {l} has zero capacity; no background flow crossing it \
+                         can ever finish (zero-bandwidth link in a hand-written \
+                         scenario?)"
+                    ),
+                });
+            }
+        }
+        let base_rtt = if flows.is_empty() {
+            0.0
+        } else {
+            topo.base_rtt(framing.mtu(), framing.ack_bytes)
+                .as_secs_f64()
+        };
+        let queue_delay = model.queue_rtts * base_rtt;
+        flows.sort_by_key(|f| f.start);
+
+        let mut telemetry = Telemetry::new();
+        if trace {
+            telemetry.trace = TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY);
+        }
+        let h_resolve = telemetry.metrics.histogram("bg_resolve_set_size");
+        for f in &flows {
+            telemetry.flow_started(FlowRecord {
+                flow: f.id,
+                src: f.src,
+                dst: f.dst,
+                size: f.size,
+                start: f.start,
+                finish: None,
+            });
+        }
+        let mut filler = WaterFiller::new(links.len());
+        filler.begin_incremental(&capacity_base);
+        let mut profiler = Profiler::from_env();
+        let ph_solve = profiler.phase("bg_fluid_solve");
+        let n = links.len();
+        Ok(BackgroundFluid {
+            topo,
+            links,
+            model,
+            framing,
+            specs: flows,
+            next_arrival: 0,
+            filler,
+            slots: Vec::new(),
+            active: Vec::new(),
+            path_buf: Vec::new(),
+            t: 0.0,
+            base_rtt,
+            queue_delay,
+            eta,
+            eff_capacity: capacity_base.clone(),
+            capacity_base,
+            reservation: vec![0.0; n],
+            sat_since: vec![f64::NAN; n],
+            touched: Vec::new(),
+            touched_flag: vec![false; n],
+            needs_resolve: false,
+            telemetry,
+            profiler,
+            ph_solve,
+            h_resolve,
+            reallocations: 0,
+            rate_updates: 0,
+            peak_active: 0,
+            horizon: SimTime::ZERO,
+        })
+    }
+
+    /// Current fluid clock, seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// Number of background flows still draining or yet to arrive.
+    #[inline]
+    pub fn remaining_flows(&self) -> usize {
+        self.active.len() + (self.specs.len() - self.next_arrival)
+    }
+
+    /// Peak number of concurrently active background flows so far.
+    #[inline]
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
+    }
+
+    /// The dense link index shared with the driver (for translating link
+    /// ids to `(node, port)` residual pushes).
+    #[inline]
+    pub fn link_map(&self) -> &LinkMap {
+        &self.links
+    }
+
+    /// The next fluid event boundary (arrival or earliest projected
+    /// completion), or `None` when every background flow has finished.
+    /// Resolves any pending reservation first so projections use current
+    /// shares.
+    pub fn next_event(&mut self) -> Option<f64> {
+        if self.needs_resolve {
+            // A stale-rate projection would hand the driver a wrong
+            // boundary; re-solve eagerly (errors surface in advance_to).
+            let _ = self.resolve();
+        }
+        let t_arr = self
+            .specs
+            .get(self.next_arrival)
+            .map(|s| s.start.as_secs_f64());
+        let mut t_fin = f64::INFINITY;
+        for &slot in &self.active {
+            let st = &self.slots[slot as usize];
+            if st.rate > 0.0 {
+                t_fin = t_fin.min(st.last_sync + st.remaining_bits.max(0.0) / st.rate);
+            }
+        }
+        match t_arr {
+            Some(a) => Some(a.min(t_fin)),
+            None if t_fin.is_finite() => Some(t_fin),
+            None => None,
+        }
+    }
+
+    /// Advance the background fluid to `t_target` (seconds), admitting and
+    /// retiring every flow whose event falls at or before it. The clock
+    /// lands exactly on `t_target`.
+    pub fn advance_to(&mut self, t_target: f64) -> Result<(), FluidError> {
+        if self.needs_resolve {
+            self.resolve()?;
+        }
+        loop {
+            let t_arr = self
+                .specs
+                .get(self.next_arrival)
+                .map_or(f64::INFINITY, |s| s.start.as_secs_f64());
+            let mut t_fin = f64::INFINITY;
+            for &slot in &self.active {
+                let st = &self.slots[slot as usize];
+                t_fin = t_fin.min(st.last_sync + st.remaining_bits.max(0.0) / st.rate);
+            }
+            let t_next = t_arr.min(t_fin);
+            if t_next > t_target {
+                break;
+            }
+            self.t = t_next;
+            if t_arr <= t_next {
+                self.admit_due();
+                self.resolve()?;
+            }
+            if self.retire_due() {
+                self.resolve()?;
+            }
+        }
+        if t_target > self.t {
+            self.t = t_target;
+        }
+        Ok(())
+    }
+
+    /// Feed measured foreground throughput on link `l` back as a demand
+    /// reservation (bits/s of raw link bandwidth). The background sees
+    /// `η · (raw − load)`, floored at a sliver of the unreserved capacity;
+    /// the capacity delta rides the water-filler's dirty-link API and is
+    /// applied at the next resolve.
+    pub fn reserve(&mut self, l: u32, load_bits_per_sec: f64) {
+        let li = l as usize;
+        let load = load_bits_per_sec.max(0.0);
+        self.reservation[li] = load;
+        let eff =
+            (self.capacity_base[li] - self.eta * load).max(RESERVE_FLOOR * self.capacity_base[li]);
+        if eff != self.eff_capacity[li] {
+            self.eff_capacity[li] = eff;
+            self.filler.set_capacity(l, eff);
+            self.needs_resolve = true;
+        }
+    }
+
+    /// Aggregate background rate currently allocated across link `l`,
+    /// bits/s (0 for idle links). The driver's residual push to the DES is
+    /// `raw − background_load`.
+    pub fn background_load(&self, l: u32) -> f64 {
+        if !self.filler.is_active(l) {
+            return 0.0;
+        }
+        let li = l as usize;
+        (self.eff_capacity[li] - self.filler.link_residual(l)).max(0.0)
+    }
+
+    /// Drain the set of links whose background allocation changed since
+    /// the last call into `out` (cleared first).
+    pub fn take_touched(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        for &l in &self.touched {
+            self.touched_flag[l as usize] = false;
+        }
+        out.append(&mut self.touched);
+    }
+
+    /// Closed-form single-bottleneck re-solves taken so far (the incast
+    /// fast path; see [`WaterFiller::single_bottleneck_solves`]).
+    #[inline]
+    pub fn single_bottleneck_solves(&self) -> u64 {
+        self.filler.single_bottleneck_solves()
+    }
+
+    /// Background flows currently draining across link `l`. The hybrid
+    /// driver uses this to derive the foreground's max-min fair
+    /// entitlement on a shared link.
+    #[inline]
+    pub fn active_flows_on(&self, l: u32) -> u32 {
+        self.filler.link_flow_count(l)
+    }
+
+    /// [`Self::background_load`] with each flow's claim phased in from
+    /// `floor` (fraction of its converged share) to 1 linearly over `ramp`
+    /// seconds of flow age. A packet transport ramps through slow-start
+    /// and standing-queue delay before reaching its converged share; the
+    /// steady-state fluid model jumps there instantly. The hybrid driver
+    /// reads this ramped view so the residual capacity it pushes onto
+    /// foreground DES links reflects what a packet background would
+    /// actually be taking.
+    pub fn ramped_load_on(&self, l: u32, now: f64, ramp: f64, floor: f64) -> f64 {
+        if !self.filler.is_active(l) {
+            return 0.0;
+        }
+        if ramp <= 0.0 {
+            return self.background_load(l);
+        }
+        self.filler
+            .link_flows(l)
+            .map(|slot| {
+                let st = &self.slots[slot as usize];
+                let age = (now - st.t_start).max(0.0);
+                let w = (floor + age / ramp).min(1.0);
+                self.filler.rate(slot) * w
+            })
+            .sum()
+    }
+
+    /// Age-ramped weight of the background flows whose standing queue
+    /// physically forms *at* link `l`: the flows for which `l` is the
+    /// first saturated link along their path. Traffic queues where it
+    /// first meets a full link; every link downstream of that bottleneck
+    /// receives already-shaped arrivals and holds no extra queue, so a
+    /// hybrid driver must size a link's shadow queue from these flows
+    /// only — summing over every contended link would count one queue
+    /// several times along a shared path.
+    pub fn ramped_queue_weight_on(&self, l: u32, now: f64, ramp: f64, floor: f64) -> f64 {
+        if !self.filler.is_active(l) {
+            return 0.0;
+        }
+        let sat = |k: u32| self.filler.link_residual(k) <= 0.01 * self.eff_capacity[k as usize];
+        if !sat(l) {
+            return 0.0;
+        }
+        self.filler
+            .link_flows(l)
+            .map(|slot| {
+                let first = self.filler.path(slot).iter().copied().find(|&k| sat(k));
+                if first != Some(l) {
+                    return 0.0;
+                }
+                if ramp <= 0.0 {
+                    return 1.0;
+                }
+                let age = (now - self.slots[slot as usize].t_start).max(0.0);
+                (floor + age / ramp).min(1.0)
+            })
+            .sum()
+    }
+
+    /// Age-weighted flow count on link `l` under the same ramp as
+    /// [`Self::ramped_load_on`] — the background's effective head count
+    /// when splitting a shared link's fair entitlement with the
+    /// foreground.
+    pub fn ramped_weight_on(&self, l: u32, now: f64, ramp: f64, floor: f64) -> f64 {
+        if !self.filler.is_active(l) {
+            return 0.0;
+        }
+        if ramp <= 0.0 {
+            return self.filler.link_flow_count(l) as f64;
+        }
+        self.filler
+            .link_flows(l)
+            .map(|slot| {
+                let age = (now - self.slots[slot as usize].t_start).max(0.0);
+                (floor + age / ramp).min(1.0)
+            })
+            .sum()
+    }
+
+    /// Finish the run: package telemetry and solver statistics. Flows
+    /// still draining stay unfinished in the records (the hybrid driver
+    /// stops at a scenario horizon, like the DES).
+    pub fn into_result(self) -> FluidResult {
+        let (full_solves, incremental_solves) = self.filler.solve_stats();
+        FluidResult {
+            telemetry: self.telemetry,
+            reallocations: self.reallocations,
+            peak_active: self.peak_active,
+            horizon: self.horizon,
+            full_solves,
+            incremental_solves,
+            rate_updates: self.rate_updates,
+            profiler: self.profiler,
+        }
+    }
+
+    /// Admit every not-yet-started flow with `start ≤ now`.
+    fn admit_due(&mut self) {
+        let to_ps = |secs: f64| (secs * 1e12).round() as u64;
+        while self.next_arrival < self.specs.len() {
+            let s = &self.specs[self.next_arrival];
+            let start = s.start.as_secs_f64();
+            if start > self.t + 1e-15 {
+                break;
+            }
+            self.links
+                .path_links_into(&self.topo, s.src, s.dst, s.id, &mut self.path_buf);
+            let wire_bits = self.framing.wire_bytes(s.size) as f64 * 8.0;
+            let ideal = self
+                .topo
+                .ideal_fct(
+                    s.src,
+                    s.dst,
+                    s.id,
+                    s.size,
+                    self.framing.mtu_payload,
+                    self.framing.header,
+                )
+                .as_secs_f64();
+            let bottleneck = self
+                .path_buf
+                .iter()
+                .map(|&l| self.links.capacity(l))
+                .fold(f64::INFINITY, f64::min);
+            let floor = (ideal - wire_bits / bottleneck).max(0.0);
+            let slot = self.filler.add_flow(&self.path_buf) as usize;
+            if slot >= self.slots.len() {
+                self.slots.resize(slot + 1, SlotState::default());
+            }
+            self.slots[slot] = SlotState {
+                spec_ix: self.next_arrival as u32,
+                remaining_bits: wire_bits,
+                wire_bits,
+                floor,
+                fair_line: bottleneck * self.eta,
+                t_start: start,
+                last_sync: self.t,
+                rate: 0.0,
+                max_cont: 0.0,
+            };
+            self.active.push(slot as u32);
+            if self.telemetry.trace.enabled() {
+                self.telemetry.trace.record(TraceEvent::FluidFlowAdd {
+                    t_ps: to_ps(self.t),
+                    flow: s.id.0,
+                });
+            }
+            self.next_arrival += 1;
+        }
+        self.peak_active = self.peak_active.max(self.active.len());
+    }
+
+    /// Warm-started re-solve; sync the drain state of every slot whose
+    /// rate moved and update saturation + touched-link tracking.
+    fn resolve(&mut self) -> Result<(), FluidError> {
+        self.needs_resolve = false;
+        let to_ps = |secs: f64| (secs * 1e12).round() as u64;
+        if self.telemetry.trace.enabled() {
+            self.telemetry.trace.record(TraceEvent::SolveBegin {
+                t_ps: to_ps(self.t),
+                active: self.active.len() as u32,
+            });
+        }
+        let full_before = self.filler.solve_stats().0;
+        let span = self.profiler.begin();
+        let outcome = self.filler.rebalance();
+        self.profiler.end(self.ph_solve, span);
+        if outcome != Rebalance::Noop {
+            self.reallocations += 1;
+            self.rate_updates += self.filler.changed().len() as u64;
+            self.telemetry
+                .metrics
+                .observe(self.h_resolve, self.filler.changed().len() as u64);
+        }
+        if self.telemetry.trace.enabled() {
+            self.telemetry.trace.record(TraceEvent::SolveEnd {
+                t_ps: to_ps(self.t),
+                full: self.filler.solve_stats().0 > full_before,
+                changed: self.filler.changed().len() as u32,
+            });
+        }
+        for &slot in self.filler.changed() {
+            let st = &mut self.slots[slot as usize];
+            if st.rate > 0.0 {
+                st.remaining_bits -= st.rate * (self.t - st.last_sync);
+            }
+            if st.rate > 0.0 && st.rate < st.fair_line * CONTENDED_FRAC {
+                st.max_cont = st.max_cont.max(self.t - st.last_sync);
+            }
+            st.last_sync = self.t;
+            st.rate = self.filler.rate(slot);
+            if st.rate <= 0.0 {
+                let spec = &self.specs[st.spec_ix as usize];
+                return Err(FluidError {
+                    flow: Some(spec.id),
+                    message: format!(
+                        "background flow {:?} ({:?} → {:?}) was allocated a zero rate \
+                         and can never finish (zero-capacity link, or a foreground \
+                         reservation starved its path?)",
+                        spec.id, spec.src, spec.dst
+                    ),
+                });
+            }
+        }
+        for &l in self.filler.activated_links() {
+            self.sat_since[l as usize] = f64::NAN;
+            if !self.touched_flag[l as usize] {
+                self.touched_flag[l as usize] = true;
+                self.touched.push(l);
+            }
+        }
+        for &l in self.filler.touched_links() {
+            let li = l as usize;
+            let saturated = self.filler.link_residual(l) <= 0.01 * self.eff_capacity[li];
+            if !saturated {
+                self.sat_since[li] = f64::NAN;
+            } else if self.sat_since[li].is_nan() {
+                self.sat_since[li] = self.t;
+            }
+            if !self.touched_flag[li] {
+                self.touched_flag[li] = true;
+                self.touched.push(l);
+            }
+        }
+        Ok(())
+    }
+
+    /// Retire every active flow projected to finish at or before `now`
+    /// (FCT composition identical to [`crate::FluidSim`], including the
+    /// duration→η stretch and standing-queue term). Returns whether
+    /// anything retired (the caller re-solves to redistribute shares).
+    fn retire_due(&mut self) -> bool {
+        let to_ps = |secs: f64| (secs * 1e12).round() as u64;
+        let t = self.t;
+        let mut any = false;
+        let mut i = self.active.len();
+        while i > 0 {
+            i -= 1;
+            let slot = self.active[i];
+            let st = &self.slots[slot as usize];
+            let fin = st.last_sync + st.remaining_bits.max(0.0) / st.rate;
+            if fin > t + 0.5 / st.rate {
+                continue;
+            }
+            let spec = &self.specs[st.spec_ix as usize];
+            let mut drain = (t - st.t_start).max(0.0);
+            let mean_rate = if drain > 0.0 {
+                st.wire_bits / drain
+            } else {
+                st.fair_line
+            };
+            let contention = (1.0 - mean_rate / st.fair_line).clamp(0.0, 1.0);
+            let mut sustained = st.max_cont;
+            if st.rate > 0.0 && st.rate < st.fair_line * CONTENDED_FRAC {
+                sustained = sustained.max(t - st.last_sync);
+            }
+            let birth = if drain > 0.0 {
+                ((sustained / drain - 0.8) / 0.2).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let eta_hook = self
+                .model
+                .effective_eta(sustained, self.base_rtt, contention);
+            let eta_eff = self.eta + (eta_hook - self.eta) * birth;
+            if eta_eff < self.eta {
+                drain *= self.eta / eta_eff;
+            }
+            let mut sat_dur = 0.0f64;
+            for &l in self.filler.path(slot) {
+                let since = self.sat_since[l as usize];
+                if !since.is_nan() {
+                    sat_dur = sat_dur.max(t - since);
+                }
+            }
+            let buildup = if self.base_rtt > 0.0 {
+                (sat_dur / (QUEUE_BUILD_RTTS * self.base_rtt)).min(1.0)
+            } else {
+                0.0
+            };
+            let fct_secs = drain + st.floor + self.queue_delay * contention * buildup;
+            let finish = spec.start
+                + fncc_des::time::TimeDelta::from_secs_f64(fct_secs.max(f64::MIN_POSITIVE));
+            self.telemetry.flow_finished(spec.id, finish);
+            if finish > self.horizon {
+                self.horizon = finish;
+            }
+            if self.telemetry.trace.enabled() {
+                self.telemetry.trace.record(TraceEvent::FluidFlowRemove {
+                    t_ps: to_ps(t),
+                    flow: spec.id.0,
+                });
+            }
+            self.filler.remove_flow(slot);
+            self.active.swap_remove(i);
+            any = true;
+        }
+        any
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FluidSim;
+    use fncc_cc::CcKind;
+    use fncc_des::time::TimeDelta;
+    use fncc_net::ids::{FlowId, HostId};
+    use fncc_net::units::Bandwidth;
+
+    const BW: Bandwidth = Bandwidth::gbps(100);
+    const PROP: TimeDelta = TimeDelta::from_ns(1500);
+
+    fn flow(id: u32, src: u32, dst: u32, size: u64, start_us: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src: HostId(src),
+            dst: HostId(dst),
+            size,
+            start: SimTime::ZERO + TimeDelta::from_us(start_us),
+        }
+    }
+
+    /// With no reservations, stepping through in arbitrary chunk sizes
+    /// reproduces FluidSim's FCTs exactly.
+    #[test]
+    fn matches_fluid_sim_without_reservations() {
+        let topo = Topology::dumbbell(4, 3, BW, PROP);
+        let flows: Vec<FlowSpec> = (0..8)
+            .map(|i| {
+                flow(
+                    i,
+                    i % 4,
+                    (i + 1) % 4,
+                    1_000_000 + 37_000 * i as u64,
+                    23 * i as u64,
+                )
+            })
+            .collect();
+        let reference = FluidSim::new(topo.clone(), RateModel::paper_default(CcKind::Fncc))
+            .flows(flows.clone())
+            .run()
+            .unwrap();
+
+        let mut bg = BackgroundFluid::new(
+            topo,
+            RateModel::paper_default(CcKind::Fncc),
+            Framing::default(),
+            flows,
+            false,
+        )
+        .unwrap();
+        // Step in ragged 7 µs chunks well past the horizon.
+        for k in 1..=400u32 {
+            bg.advance_to(k as f64 * 7e-6).unwrap();
+        }
+        assert_eq!(bg.remaining_flows(), 0);
+        let got = bg.into_result();
+        let want: Vec<_> = reference
+            .telemetry
+            .flow_records()
+            .map(|r| (r.flow, r.finish))
+            .collect();
+        let have: Vec<_> = got
+            .telemetry
+            .flow_records()
+            .map(|r| (r.flow, r.finish))
+            .collect();
+        assert_eq!(want, have);
+    }
+
+    /// next_event reports arrivals and completions; advance_to never
+    /// crosses the target.
+    #[test]
+    fn next_event_brackets_advance() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let flows = vec![flow(0, 0, 1, 500_000, 5), flow(1, 1, 0, 500_000, 50)];
+        let mut bg =
+            BackgroundFluid::new(topo, RateModel::ideal(), Framing::default(), flows, false)
+                .unwrap();
+        let first = bg.next_event().unwrap();
+        assert!((first - 5e-6).abs() < 1e-12, "first event is the arrival");
+        bg.advance_to(4e-6).unwrap();
+        assert_eq!(bg.remaining_flows(), 2);
+        assert!((bg.now() - 4e-6).abs() < 1e-15);
+        while let Some(ev) = bg.next_event() {
+            bg.advance_to(ev).unwrap();
+        }
+        assert_eq!(bg.remaining_flows(), 0);
+    }
+
+    /// A reservation shrinks the background share (longer drain) and
+    /// feeds the single-bottleneck fast path when one contended link is
+    /// dirtied; releasing it restores the full rate.
+    #[test]
+    fn reservation_slows_background_and_takes_fast_path() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        // One elephant across the dumbbell, draining alone.
+        let flows = vec![flow(0, 0, 1, 12_500_000, 0)]; // 100 Mbit
+        let mut bg =
+            BackgroundFluid::new(topo, RateModel::ideal(), Framing::default(), flows, false)
+                .unwrap();
+        bg.advance_to(100e-6).unwrap();
+        let uplink = 0u32; // host 0's uplink
+        let unreserved = bg.background_load(uplink);
+        assert!(unreserved > 0.9 * BW.as_f64(), "elephant fills the link");
+
+        // Foreground claims 60% of the uplink's raw bandwidth.
+        bg.reserve(uplink, 0.6 * BW.as_f64());
+        bg.advance_to(150e-6).unwrap();
+        let reserved = bg.background_load(uplink);
+        assert!(
+            reserved < 0.45 * BW.as_f64(),
+            "background squeezed to the residual, got {reserved:.3e}"
+        );
+        assert!(
+            bg.single_bottleneck_solves() >= 1,
+            "reservation rode the fast path"
+        );
+
+        let mut touched = Vec::new();
+        bg.take_touched(&mut touched);
+        assert!(
+            touched.contains(&uplink),
+            "reserved link reported as touched"
+        );
+        bg.take_touched(&mut touched);
+        assert!(touched.is_empty(), "take_touched drains");
+
+        // Release: the elephant speeds back up and eventually finishes.
+        bg.reserve(uplink, 0.0);
+        while let Some(ev) = bg.next_event() {
+            bg.advance_to(ev).unwrap();
+        }
+        assert_eq!(bg.remaining_flows(), 0);
+        let res = bg.into_result();
+        let rec = res.telemetry.flow_records().next().unwrap();
+        assert!(rec.finish.is_some());
+    }
+
+    /// Reserving the entire link floors the background at a sliver
+    /// instead of erroring out with a zero rate.
+    #[test]
+    fn full_reservation_floors_not_starves() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let flows = vec![flow(0, 0, 1, 1_000_000, 0)];
+        let mut bg =
+            BackgroundFluid::new(topo, RateModel::ideal(), Framing::default(), flows, false)
+                .unwrap();
+        bg.advance_to(1e-6).unwrap();
+        bg.reserve(0, 2.0 * BW.as_f64()); // over-reserve
+        bg.advance_to(2e-6).unwrap();
+        let load = bg.background_load(0);
+        assert!(load > 0.0, "background keeps a sliver");
+        assert!(load <= RESERVE_FLOOR * BW.as_f64() * 1.01);
+    }
+}

@@ -39,16 +39,18 @@
 //! println!("mean slowdown: {:.2}", result.mean_slowdown(&topo, Default::default()));
 //! ```
 
+pub mod coupler;
 pub mod link;
 pub mod maxmin;
 pub mod model;
 pub mod scenarios;
 pub mod sim;
 
+pub use coupler::BackgroundFluid;
 pub use link::LinkMap;
 pub use maxmin::{
     find_non_pareto_flow, water_fill, worst_oversubscription, Demand, Rebalance, WaterFiller,
 };
-pub use model::{Calibration, CalibrationSet, RateModel};
+pub use model::{Calibration, CalibrationSet, DurationEta, RateModel};
 pub use scenarios::Trace;
 pub use sim::{FluidError, FluidResult, FluidSim, Framing};

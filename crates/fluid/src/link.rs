@@ -9,7 +9,7 @@
 //! * link `n_hosts + port_base[s] + p` is switch `s`'s egress port `p`
 //!   (which covers both switch→switch links and the final switch→host hop).
 
-use fncc_net::ids::{FlowId, HostId, NodeRef};
+use fncc_net::ids::{FlowId, HostId, NodeRef, SwitchId};
 use fncc_net::topology::Topology;
 
 /// Dense directed-link index over a topology.
@@ -84,6 +84,23 @@ impl LinkMap {
         }
     }
 
+    /// Reverse of [`Self::id_of`]: the `(node, egress port)` whose link is
+    /// `id`. Host uplinks report port 0 (hosts have one port). Used by the
+    /// hybrid backend to push fluid residual capacities onto the packet
+    /// fabric's ports.
+    pub fn node_of(&self, id: u32) -> (NodeRef, u8) {
+        if id < self.n_hosts {
+            return (NodeRef::Host(HostId(id)), 0);
+        }
+        let rel = id - self.n_hosts;
+        // Last switch whose base is ≤ rel (ties skip port-less switches).
+        let s = self.port_base.partition_point(|&b| b <= rel) - 1;
+        (
+            NodeRef::Switch(SwitchId(s as u32)),
+            (rel - self.port_base[s]) as u8,
+        )
+    }
+
     /// The directed links on the request path of `(src → dst, flow)`, in
     /// path order (host uplink first, switch→host egress last).
     pub fn path_links(&self, topo: &Topology, src: HostId, dst: HostId, flow: FlowId) -> Vec<u32> {
@@ -138,6 +155,26 @@ mod tests {
         }
         assert_eq!(seen.len(), lm.len());
         assert!(seen.iter().all(|&id| (id as usize) < lm.len()));
+    }
+
+    #[test]
+    fn node_of_inverts_id_of() {
+        for topo in [
+            Topology::dumbbell(2, 3, BW, PROP),
+            Topology::fat_tree(4, BW, PROP),
+        ] {
+            let lm = LinkMap::new(&topo);
+            for h in 0..topo.n_hosts {
+                let node = NodeRef::Host(HostId(h));
+                assert_eq!(lm.node_of(lm.id_of(node, 0)), (node, 0));
+            }
+            for (s, sw) in topo.switches.iter().enumerate() {
+                for p in 0..sw.ports.len() as u8 {
+                    let node = NodeRef::Switch(SwitchId(s as u32));
+                    assert_eq!(lm.node_of(lm.id_of(node, p)), (node, p));
+                }
+            }
+        }
     }
 
     #[test]

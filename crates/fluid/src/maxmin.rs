@@ -73,6 +73,10 @@ pub enum Rebalance {
     /// The delta invalidated too much (or no converged solution existed);
     /// solved from scratch over the persistent structure.
     Full,
+    /// Closed form: the event dirtied a single binding link whose members
+    /// are bound by it alone, so the new level is `(capacity − Σ frozen)
+    /// / k` with no progressive filling at all.
+    SingleBottleneck,
 }
 
 /// Reusable progressive-filling allocator over a fixed link universe.
@@ -173,6 +177,7 @@ pub struct WaterFiller {
     inv: Vec<f64>,
     n_full_solves: u64,
     n_incremental_solves: u64,
+    n_single_bottleneck_solves: u64,
 }
 
 impl WaterFiller {
@@ -231,6 +236,7 @@ impl WaterFiller {
             inv: Vec::new(),
             n_full_solves: 0,
             n_incremental_solves: 0,
+            n_single_bottleneck_solves: 0,
         }
     }
 
@@ -547,6 +553,7 @@ impl WaterFiller {
         self.rebalance_id = 0;
         self.n_full_solves = 0;
         self.n_incremental_solves = 0;
+        self.n_single_bottleneck_solves = 0;
         if self.inv.is_empty() {
             self.inv = (0..4096)
                 .map(|u| {
@@ -574,6 +581,33 @@ impl WaterFiller {
         if !self.dirty_flag[l as usize] {
             self.dirty_flag[l as usize] = true;
             self.dirty.push(l);
+        }
+    }
+
+    /// Adjust link `l`'s capacity mid-session (bits/s), e.g. to push a
+    /// demand reservation: the hybrid backend sets the fluid capacity to
+    /// line rate minus the foreground's measured load. If the link carries
+    /// flows it is marked dirty and the next [`Self::rebalance`]
+    /// redistributes; an idle link just remembers the new capacity for its
+    /// next activation. Incremental mode only.
+    pub fn set_capacity(&mut self, l: u32, cap: f64) {
+        assert!(
+            !self.inc_capacity.is_empty() || self.n_links == 0,
+            "call begin_incremental first"
+        );
+        let li = l as usize;
+        let old = self.inc_capacity[li];
+        if old == cap {
+            return;
+        }
+        self.inc_capacity[li] = cap;
+        if !self.link_list[li].is_empty() {
+            self.open_deltas();
+            // Keep the converged-residual invariant `remaining = capacity
+            // − Σ rates`; a deep cut can drive it negative until the
+            // rebalance squeezes the flows back under the new capacity.
+            self.link_remaining[li] += cap - old;
+            self.mark_dirty(l);
         }
     }
 
@@ -723,10 +757,38 @@ impl WaterFiller {
         self.n_alive
     }
 
+    /// Alive flows currently crossing link `l` (incremental mode).
+    #[inline]
+    pub fn link_flow_count(&self, l: u32) -> u32 {
+        self.link_list[l as usize].len() as u32
+    }
+
+    /// Slots of the alive flows currently crossing link `l` (incremental
+    /// mode). The hybrid coupler walks these to age-weight each flow's
+    /// claim on a shared foreground link.
+    #[inline]
+    pub fn link_flows(&self, l: u32) -> impl Iterator<Item = u32> + '_ {
+        self.link_list[l as usize].iter().map(|&(slot, _)| slot)
+    }
+
+    /// True when link `l` currently carries at least one flow (incremental
+    /// mode); [`Self::link_residual`] is only meaningful for active links.
+    #[inline]
+    pub fn is_active(&self, l: u32) -> bool {
+        self.inc_active_pos[l as usize] != u32::MAX
+    }
+
     /// `(full, incremental)` solve counts since `begin_incremental`.
     #[inline]
     pub fn solve_stats(&self) -> (u64, u64) {
         (self.n_full_solves, self.n_incremental_solves)
+    }
+
+    /// Closed-form single-bottleneck solve count since `begin_incremental`
+    /// (events absorbed without running progressive filling at all).
+    #[inline]
+    pub fn single_bottleneck_solves(&self) -> u64 {
+        self.n_single_bottleneck_solves
     }
 
     /// Links whose converged residual/level changed in the last
@@ -1050,6 +1112,107 @@ impl WaterFiller {
         }
     }
 
+    /// Attempt the closed-form re-level of single dirty link `l`. Valid
+    /// when `l` was already a binding bottleneck and every member at its
+    /// level is bound by `l` alone (all other path links non-binding): the
+    /// new level is `(capacity − Σ frozen-below rates) / k`, provided it
+    /// stays above every frozen-below rate (freeze order unchanged) and a
+    /// rate *increase* still fits inside each side link's headroom (they
+    /// stay non-binding). Commits rates, residuals and the touched-links
+    /// record itself and returns `true`; returns `false` untouched when
+    /// any condition fails, falling back to the general solve.
+    fn try_single_bottleneck(&mut self, l: u32) -> bool {
+        let li = l as usize;
+        let level = self.link_level[li];
+        if self.link_list[li].is_empty() || !level.is_finite() {
+            return false;
+        }
+        let at = level * (1.0 - TIE_REL);
+        // Pass 1: split members into the k at-level flows the link binds
+        // and the flows frozen below by their own bottlenecks.
+        let mut k = 0u32;
+        let mut frozen_sum = 0.0f64;
+        let mut max_frozen = 0.0f64;
+        for &(s, _) in &self.link_list[li] {
+            let r = self.slot_rate[s as usize];
+            if r >= at {
+                k += 1;
+            } else {
+                frozen_sum += r;
+                max_frozen = max_frozen.max(r);
+            }
+        }
+        if k == 0 {
+            return false;
+        }
+        let new_level = (self.inc_capacity[li] - frozen_sum).max(0.0) / k as f64;
+        if new_level <= max_frozen * (1.0 + TIE_REL) {
+            return false; // the freeze order would change
+        }
+        // Pass 2: validate the at-level members' side links and accumulate
+        // the per-link rate delta (`res_rem`/`link_mark` double as the
+        // event-scoped accumulator; any fallback path re-derives them).
+        self.res_epoch += 1;
+        let epoch = self.res_epoch;
+        self.res_links.clear();
+        for ix in 0..self.link_list[li].len() {
+            let (s, _) = self.link_list[li][ix];
+            let si = s as usize;
+            let r = self.slot_rate[si];
+            if r < at {
+                continue;
+            }
+            for hi in 0..self.slot_path[si].len() {
+                let l2 = self.slot_path[si][hi];
+                if l2 == l {
+                    continue;
+                }
+                let l2i = l2 as usize;
+                if self.link_level[l2i].is_finite() {
+                    return false; // a second binding link: cascade risk
+                }
+                if self.link_mark[l2i] != epoch {
+                    self.link_mark[l2i] = epoch;
+                    self.res_rem[l2i] = 0.0;
+                    self.res_links.push(l2);
+                }
+                self.res_rem[l2i] += new_level - r;
+            }
+        }
+        if new_level > level {
+            for i in 0..self.res_links.len() {
+                let l2i = self.res_links[i] as usize;
+                if self.res_rem[l2i] * (1.0 + TIE_REL) >= self.link_remaining[l2i] {
+                    return false; // a side link would newly saturate
+                }
+            }
+        }
+        // Commit: re-rate the k members, move their deltas off the side
+        // links' headroom, and re-derive `l`'s own residual exactly.
+        for ix in 0..self.link_list[li].len() {
+            let (s, _) = self.link_list[li][ix];
+            let si = s as usize;
+            let r = self.slot_rate[si];
+            if r < at {
+                continue;
+            }
+            let delta = new_level - r;
+            self.slot_rate[si] = new_level;
+            self.changed.push(s);
+            for hi in 0..self.slot_path[si].len() {
+                let l2 = self.slot_path[si][hi];
+                if l2 != l {
+                    self.link_remaining[l2 as usize] -= delta;
+                }
+            }
+        }
+        self.link_level[li] = new_level;
+        self.link_remaining[li] =
+            (self.inc_capacity[li] - frozen_sum - new_level * k as f64).max(0.0);
+        self.res_links.push(l);
+        true
+    }
+
     /// Expansion rounds before giving up on the warm start entirely.
     const MAX_VERIFY_ROUNDS: usize = 8;
 
@@ -1072,6 +1235,20 @@ impl WaterFiller {
         }
         self.rebalance_id += 1;
         let rid = self.rebalance_id;
+
+        // Closed-form fast path: an event that dirtied exactly one link
+        // (an incast receiver's demand reservation, a single-hop flow
+        // departure) whose members are bound by that link alone re-levels
+        // in O(members) with no progressive filling.
+        if self.inc_ready && self.pending_adds.is_empty() && self.dirty.len() == 1 {
+            let l = self.dirty[0];
+            if self.try_single_bottleneck(l) {
+                self.n_single_bottleneck_solves += 1;
+                self.dirty_flag[l as usize] = false;
+                self.dirty.clear();
+                return Rebalance::SingleBottleneck;
+            }
+        }
 
         let dirty_entries: usize = self
             .dirty
@@ -1558,9 +1735,105 @@ mod tests {
             assert!((wf.rate(x) - 3.0).abs() < 1e-9);
         }
         wf.remove_flow(s[0]);
-        wf.rebalance();
+        // A departure dirtying a single binding link is exactly the
+        // closed-form case: no progressive filling runs at all.
+        assert_eq!(wf.rebalance(), Rebalance::SingleBottleneck);
         assert!((wf.rate(s[1]) - 4.5).abs() < 1e-9, "{}", wf.rate(s[1]));
         assert!((wf.rate(s[2]) - 4.5).abs() < 1e-9);
+        assert_eq!(wf.single_bottleneck_solves(), 1);
+    }
+
+    #[test]
+    fn set_capacity_reservation_takes_single_bottleneck_path() {
+        // Incast: 8 sources through one receiver link (id 8). A foreground
+        // demand reservation shrinks the receiver link; the re-level is
+        // the closed form, both down and back up.
+        let n = 8usize;
+        let caps: Vec<f64> = vec![100.0; n + 1];
+        let mut wf = WaterFiller::new(n + 1);
+        wf.begin_incremental(&caps);
+        let mut alive: Vec<(u32, Vec<u32>)> = Vec::new();
+        for i in 0..n {
+            let p = vec![i as u32, n as u32];
+            let s = wf.add_flow(&p);
+            alive.push((s, p));
+        }
+        wf.rebalance();
+        assert_matches_oracle(&wf, &caps, &alive, "initial");
+        let mut caps2 = caps.clone();
+        caps2[n] = 40.0;
+        wf.set_capacity(n as u32, 40.0);
+        assert_eq!(wf.rebalance(), Rebalance::SingleBottleneck);
+        assert_matches_oracle(&wf, &caps2, &alive, "reserve");
+        assert_eq!(wf.changed().len(), n);
+        assert!(wf.touched_links().contains(&(n as u32)));
+        // Releasing part of the reservation re-levels upward the same way
+        // (the per-source side links keep ample headroom).
+        caps2[n] = 80.0;
+        wf.set_capacity(n as u32, 80.0);
+        assert_eq!(wf.rebalance(), Rebalance::SingleBottleneck);
+        assert_matches_oracle(&wf, &caps2, &alive, "release");
+        assert_eq!(wf.single_bottleneck_solves(), 2);
+        for (s, _) in &alive {
+            assert!((wf.rate(*s) - 10.0).abs() < 1e-9);
+        }
+        // No-op capacity write: nothing dirtied, nothing solved.
+        wf.set_capacity(n as u32, 80.0);
+        assert_eq!(wf.rebalance(), Rebalance::Noop);
+    }
+
+    #[test]
+    fn set_capacity_falls_back_when_freeze_order_changes() {
+        // Sources 0 (5 Gb/s), 1, 2 through receiver link 3: flow 0 is
+        // frozen below the receiver level by its own narrow source link.
+        let caps = [5.0, 100.0, 100.0, 30.0];
+        let mut wf = WaterFiller::new(4);
+        wf.begin_incremental(&caps);
+        let mut alive: Vec<(u32, Vec<u32>)> = Vec::new();
+        for i in 0..3u32 {
+            let p = vec![i, 3];
+            let s = wf.add_flow(&p);
+            alive.push((s, p));
+        }
+        wf.rebalance();
+        assert!((wf.rate(alive[0].0) - 5.0).abs() < 1e-9);
+        assert!((wf.rate(alive[1].0) - 12.5).abs() < 1e-9);
+        // A cut that keeps the new level above the frozen flow's rate
+        // preserves the freeze order: closed form applies.
+        let mut caps2 = caps.to_vec();
+        caps2[3] = 21.0;
+        wf.set_capacity(3, 21.0);
+        assert_eq!(wf.rebalance(), Rebalance::SingleBottleneck);
+        assert_matches_oracle(&wf, &caps2, &alive, "valid cut");
+        assert!((wf.rate(alive[1].0) - 8.0).abs() < 1e-9);
+        // A cut below the frozen rate reorders the freeze: general solve.
+        caps2[3] = 12.0;
+        wf.set_capacity(3, 12.0);
+        assert_ne!(wf.rebalance(), Rebalance::SingleBottleneck);
+        assert_matches_oracle(&wf, &caps2, &alive, "deep cut");
+        assert!((wf.rate(alive[0].0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_raise_beyond_side_headroom_falls_back() {
+        // Flow a crosses links {0, 2}, flow b crosses {0, 1}; link 1 binds
+        // b, link 2 binds a, link 0 binds nobody. Raising link 2 far above
+        // link 0's headroom would make link 0 binding — not expressible in
+        // the closed form, so the general solve must run.
+        let caps = [100.0, 4.0, 10.0];
+        let mut wf = WaterFiller::new(3);
+        wf.begin_incremental(&caps);
+        let a = wf.add_flow(&[0, 2]);
+        let b = wf.add_flow(&[0, 1]);
+        wf.rebalance();
+        assert!((wf.rate(a) - 10.0).abs() < 1e-9);
+        assert!((wf.rate(b) - 4.0).abs() < 1e-9);
+        wf.set_capacity(2, 200.0);
+        assert_ne!(wf.rebalance(), Rebalance::SingleBottleneck);
+        let caps2 = [100.0, 4.0, 200.0];
+        let alive = vec![(a, vec![0u32, 2]), (b, vec![0u32, 1])];
+        assert_matches_oracle(&wf, &caps2, &alive, "raise");
+        assert!((wf.rate(a) - 96.0).abs() < 1e-9);
     }
 
     #[test]
@@ -1620,12 +1893,12 @@ mod tests {
             seed ^= seed << 17;
             seed
         };
-        let (mut n_inc, mut n_full) = (0u64, 0u64);
+        let (mut n_inc, mut n_full, mut n_sb) = (0u64, 0u64, 0u64);
         for trial in 0..12 {
             let nl = 8 + (next() % 24) as usize;
             // A mix of equal capacities (tie-heavy, like uniform fabrics)
             // and random ones (many distinct bottleneck levels).
-            let caps: Vec<f64> = (0..nl)
+            let mut caps: Vec<f64> = (0..nl)
                 .map(|_| {
                     if trial % 2 == 0 {
                         100.0
@@ -1638,21 +1911,29 @@ mod tests {
             wf.begin_incremental(&caps);
             let mut alive: Vec<(u32, Vec<u32>)> = Vec::new();
             for event in 0..120 {
-                // Batched events now and then; removals at ~40%.
-                let batch = 1 + (next() % 3) as usize;
-                for _ in 0..batch {
-                    if !alive.is_empty() && next() % 5 < 2 {
-                        let ix = (next() % alive.len() as u64) as usize;
-                        let (slot, _) = alive.swap_remove(ix);
-                        wf.remove_flow(slot);
-                    } else {
-                        let len = 1 + (next() % 4) as usize;
-                        let mut p: Vec<u32> =
-                            (0..len).map(|_| (next() % nl as u64) as u32).collect();
-                        p.sort_unstable();
-                        p.dedup();
-                        let s = wf.add_flow(&p);
-                        alive.push((s, p));
+                if next() % 8 == 0 {
+                    // Capacity perturbation (a reservation push): a lone
+                    // single-link delta, the fast path's natural shape.
+                    let l = (next() % nl as u64) as usize;
+                    caps[l] = (1 + next() % 100) as f64;
+                    wf.set_capacity(l as u32, caps[l]);
+                } else {
+                    // Batched events now and then; removals at ~40%.
+                    let batch = 1 + (next() % 3) as usize;
+                    for _ in 0..batch {
+                        if !alive.is_empty() && next() % 5 < 2 {
+                            let ix = (next() % alive.len() as u64) as usize;
+                            let (slot, _) = alive.swap_remove(ix);
+                            wf.remove_flow(slot);
+                        } else {
+                            let len = 1 + (next() % 4) as usize;
+                            let mut p: Vec<u32> =
+                                (0..len).map(|_| (next() % nl as u64) as u32).collect();
+                            p.sort_unstable();
+                            p.dedup();
+                            let s = wf.add_flow(&p);
+                            alive.push((s, p));
+                        }
                     }
                 }
                 wf.rebalance();
@@ -1661,10 +1942,12 @@ mod tests {
             let (f, i) = wf.solve_stats();
             n_full += f;
             n_inc += i;
+            n_sb += wf.single_bottleneck_solves();
         }
-        // The sequences must exercise both paths, or the test is vacuous.
+        // The sequences must exercise every path, or the test is vacuous.
         assert!(n_inc > 100, "incremental path barely exercised: {n_inc}");
         assert!(n_full > 10, "full fallback never exercised: {n_full}");
+        assert!(n_sb > 0, "single-bottleneck path never exercised: {n_sb}");
     }
 
     #[test]

@@ -27,6 +27,26 @@
 
 use fncc_cc::CcKind;
 
+/// Duration-dependent utilization decay for schemes whose control law
+/// degrades under *contended sustained* saturation (Timely: competing
+/// RTT-gradient controllers synchronize into a deep oscillation once a
+/// shared bottleneck stays saturated for many RTTs, sustaining far less
+/// than the short-horizon utilization; a solo drain settles fine). Short
+/// flows never reach the regime and keep the headline `utilization`; long
+/// drains decay linearly toward `eta_sustained` between `onset_rtts` and
+/// `ramp_rtts` of drain duration, scaled by how contended the drain was
+/// (`eta_sustained` is the fully-contended asymptote).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DurationEta {
+    /// Utilization a drain converges to once fully in the oscillating
+    /// regime, in `(0, 1]` (below the headline `utilization`).
+    pub eta_sustained: f64,
+    /// Drain duration (in base RTTs) below which the decay has no effect.
+    pub onset_rtts: f64,
+    /// Drain duration (in base RTTs) at which the decay is complete.
+    pub ramp_rtts: f64,
+}
+
 /// Steady-state fluid model of one congestion-control scheme.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RateModel {
@@ -36,6 +56,12 @@ pub struct RateModel {
     pub utilization: f64,
     /// Standing-queue delay on a fully-contended path, in base RTTs.
     pub queue_rtts: f64,
+    /// Duration→effective-η hook for schemes that cannot hold their
+    /// short-horizon utilization under sustained saturation (`None` for
+    /// every scheme but Timely). A per-scheme structural property, not a
+    /// calibrated knob: [`RateModel::from_calibration`] applies the same
+    /// table as [`RateModel::paper_default`].
+    pub duration_eta: Option<DurationEta>,
 }
 
 /// Measured steady-state parameters of one scheme — the two [`RateModel`]
@@ -159,6 +185,22 @@ impl RateModel {
             kind,
             utilization,
             queue_rtts,
+            duration_eta: Self::duration_eta_default(kind),
+        }
+    }
+
+    /// The structural duration→η decay per scheme (see [`DurationEta`]).
+    /// Only Timely needs one: the packet DES shows its gradient control
+    /// sustaining ~0.6 of the bottleneck on multi-MB drains while every
+    /// other scheme holds its headline utilization.
+    fn duration_eta_default(kind: CcKind) -> Option<DurationEta> {
+        match kind {
+            CcKind::Timely => Some(DurationEta {
+                eta_sustained: 0.41,
+                onset_rtts: 4.0,
+                ramp_rtts: 16.0,
+            }),
+            _ => None,
         }
     }
 
@@ -171,6 +213,7 @@ impl RateModel {
             kind,
             utilization: e.utilization,
             queue_rtts: e.queue_rtts,
+            duration_eta: Self::duration_eta_default(kind),
         }
     }
 
@@ -181,7 +224,28 @@ impl RateModel {
             kind: CcKind::Fncc,
             utilization: 1.0,
             queue_rtts: 0.0,
+            duration_eta: None,
         }
+    }
+
+    /// Effective utilization of a drain that lasted `duration` seconds at
+    /// contention level `contention ∈ [0, 1]` (the fraction by which the
+    /// flow's mean rate fell below the scheme's uncontended drain rate):
+    /// the headline `utilization` for short or uncontended flows, decaying
+    /// linearly toward the scheme's fully-contended sustained value
+    /// between `onset_rtts` and `ramp_rtts` of drain duration (identity
+    /// for schemes without a [`DurationEta`]).
+    pub fn effective_eta(&self, duration: f64, base_rtt: f64, contention: f64) -> f64 {
+        let Some(d) = self.duration_eta else {
+            return self.utilization;
+        };
+        if base_rtt <= 0.0 || d.ramp_rtts <= d.onset_rtts {
+            return self.utilization;
+        }
+        let rtts = duration / base_rtt;
+        let w = ((rtts - d.onset_rtts) / (d.ramp_rtts - d.onset_rtts)).clamp(0.0, 1.0)
+            * contention.clamp(0.0, 1.0);
+        self.utilization + (d.eta_sustained - self.utilization) * w
     }
 
     /// Override the utilization (clamped to `(0, 1]`).
@@ -277,6 +341,39 @@ mod tests {
         let cal = CalibrationSet::paper();
         let kinds: Vec<CcKind> = cal.iter().map(|(k, _)| k).collect();
         assert_eq!(kinds, CcKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn duration_eta_decays_only_for_timely() {
+        let base_rtt = 13e-6;
+        for kind in CcKind::ALL {
+            let m = RateModel::paper_default(kind);
+            assert_eq!(
+                m.effective_eta(0.0, base_rtt, 1.0),
+                m.utilization,
+                "{kind:?}"
+            );
+            let sustained = m.effective_eta(1.0, base_rtt, 1.0);
+            if kind == CcKind::Timely {
+                let d = m.duration_eta.unwrap();
+                assert!((sustained - d.eta_sustained).abs() < 1e-12);
+                // Midway through the ramp sits strictly between the bounds.
+                let mid =
+                    m.effective_eta(base_rtt * (d.onset_rtts + d.ramp_rtts) / 2.0, base_rtt, 1.0);
+                assert!(sustained < mid && mid < m.utilization);
+                // An uncontended drain never decays, however long it runs.
+                assert_eq!(m.effective_eta(1.0, base_rtt, 0.0), m.utilization);
+                // Half contention decays halfway to the sustained value.
+                let half = m.effective_eta(1.0, base_rtt, 0.5);
+                assert!((half - (m.utilization + d.eta_sustained) / 2.0).abs() < 1e-12);
+            } else {
+                assert_eq!(m.duration_eta, None, "{kind:?}");
+                assert_eq!(sustained, m.utilization, "{kind:?}");
+            }
+        }
+        // Degenerate base RTT: the hook is inert, not a division by zero.
+        let t = RateModel::paper_default(CcKind::Timely);
+        assert_eq!(t.effective_eta(1.0, 0.0, 1.0), t.utilization);
     }
 
     #[test]

@@ -99,32 +99,44 @@ impl std::error::Error for FluidError {}
 /// queue is fully built (the `queue_rtts` penalty ramps linearly up to
 /// this). Matches the packet backend's observed queue ramp on the elephant
 /// microbenchmark (~tens of µs at a ~13 µs RTT).
-const QUEUE_BUILD_RTTS: f64 = 4.0;
+pub(crate) const QUEUE_BUILD_RTTS: f64 = 4.0;
 
 /// One live flow's drain state, indexed by its allocator slot. Rates are
 /// piecewise constant between rebalances, so the loop only materializes a
 /// flow's remaining bits when its rate changes or it retires; everything
 /// else is pure projection from `(last_sync, remaining, rate)`.
 #[derive(Clone, Default)]
-struct SlotState {
+pub(crate) struct SlotState {
     /// Index into the sorted spec array.
-    spec_ix: u32,
+    pub(crate) spec_ix: u32,
     /// Wire bits left at `last_sync`.
-    remaining_bits: f64,
+    pub(crate) remaining_bits: f64,
     /// Total wire bits (for the mean-rate contention estimate).
-    wire_bits: f64,
+    pub(crate) wire_bits: f64,
     /// Pipeline floor (first-frame store-and-forward latency), seconds.
-    floor: f64,
+    pub(crate) floor: f64,
     /// η-scaled path line rate — the rate an uncontended flow of this
     /// scheme would drain at (bits/s).
-    fair_line: f64,
+    pub(crate) fair_line: f64,
     /// Drain start (arrival) time, seconds.
-    t_start: f64,
+    pub(crate) t_start: f64,
     /// Instant the drain state was last materialized, seconds.
-    last_sync: f64,
+    pub(crate) last_sync: f64,
     /// Allocated rate in effect since `last_sync` (bits/s).
-    rate: f64,
+    pub(crate) rate: f64,
+    /// Longest closed segment (seconds) over which the flow held one
+    /// *constant* contended rate (below `CONTENDED_FRAC · fair_line`).
+    /// Feeds the duration→η hook: the oscillation regime needs a stable
+    /// equilibrium against a persistent competitor set, and every
+    /// re-allocation (a competitor arriving or leaving) resets the
+    /// controller's ringing — so the hook keys on the longest contended
+    /// constant-rate stretch, not total drain time.
+    pub(crate) max_cont: f64,
 }
+
+/// A slot counts as contended (for duration→η episode tracking) while its
+/// allocated rate sits below this fraction of its uncontended drain rate.
+pub(crate) const CONTENDED_FRAC: f64 = 0.95;
 
 /// Result of a fluid run.
 pub struct FluidResult {
@@ -358,6 +370,7 @@ impl FluidSim {
                     t_start: start,
                     last_sync: t,
                     rate: 0.0,
+                    max_cont: 0.0,
                 };
                 active.push(slot as u32);
                 if telemetry.trace.enabled() {
@@ -400,6 +413,11 @@ impl FluidSim {
                 let st = &mut slots[slot as usize];
                 if st.rate > 0.0 {
                     st.remaining_bits -= st.rate * (t - st.last_sync);
+                }
+                // Close out the segment [last_sync, t) for contended-
+                // episode tracking: the old rate held constant over it.
+                if st.rate > 0.0 && st.rate < st.fair_line * CONTENDED_FRAC {
+                    st.max_cont = st.max_cont.max(t - st.last_sync);
                 }
                 st.last_sync = t;
                 st.rate = filler.rate(slot);
@@ -484,7 +502,7 @@ impl FluidSim {
                     continue;
                 }
                 let spec = &specs[st.spec_ix as usize];
-                let drain = (t - st.t_start).max(0.0);
+                let mut drain = (t - st.t_start).max(0.0);
                 // Contention: how far the flow's lifetime-average rate fell
                 // below the scheme's uncontended drain rate on this path.
                 // Scales the standing-queue delay so idle-path flows (the
@@ -495,6 +513,36 @@ impl FluidSim {
                     st.fair_line
                 };
                 let contention = (1.0 - mean_rate / st.fair_line).clamp(0.0, 1.0);
+                // Contended-sustained-drain utilization decay (the
+                // duration→η hook, Timely only): a drain that shared its
+                // bottleneck with a *persistent* competitor set for many
+                // RTTs really sustained `effective_eta` of it, not the
+                // short-horizon η the shares were computed with. Keyed on
+                // the longest contended constant-rate stretch — every
+                // re-allocation (workload churn) resets the oscillation
+                // and earns no decay. Stretch the recorded drain at retire
+                // time — a per-flow FCT correction, like the queue-delay
+                // term, so other flows' shares and the event clock are
+                // untouched.
+                let mut sustained = st.max_cont;
+                if st.rate > 0.0 && st.rate < st.fair_line * CONTENDED_FRAC {
+                    sustained = sustained.max(t - st.last_sync);
+                }
+                // Gate on the episode covering (nearly) the whole drain:
+                // only flows contended from birth to death — synchronized
+                // incast-style drains — ring; a flow that spent part of
+                // its life uncontended keeps re-anchoring to the
+                // short-horizon utilization (ramp from 80% coverage).
+                let birth = if drain > 0.0 {
+                    ((sustained / drain - 0.8) / 0.2).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let eta_hook = self.model.effective_eta(sustained, base_rtt, contention);
+                let eta_eff = eta + (eta_hook - eta) * birth;
+                if eta_eff < eta {
+                    drain *= eta / eta_eff;
+                }
                 // Queue build-up: the deepest standing queue on the path,
                 // as the fraction of QUEUE_BUILD_RTTS the bottleneck has
                 // been continuously saturated. Transient sharing (mice

@@ -1,0 +1,1007 @@
+#![warn(missing_docs)]
+//! `fncc-hybrid` — the fluid↔packet co-simulation engine.
+//!
+//! A hybrid run partitions a scenario's flows into two halves that share
+//! one network:
+//!
+//! * **Background** flows (the fleet-scale bulk: elephants, steady
+//!   transfers) drain in a [`BackgroundFluid`] — incremental max-min
+//!   water-filling under a calibrated [`RateModel`], costing one solver
+//!   delta per arrival/finish instead of millions of packet events.
+//! * **Foreground** flows (incast victims, latency-sensitive mice,
+//!   anything being measured at packet fidelity) run in the full packet
+//!   DES: the same [`DcHost`] transport, CC schemes, PFC, and switch
+//!   model as the pure packet backend.
+//!
+//! The two halves are coupled bidirectionally at *synchronization
+//! boundaries* — fluid event times (arrival/finish) capped by a maximum
+//! sync interval:
+//!
+//! * fluid → packet: the background's standing queue on each contended
+//!   link — its ramped share of the scheme's calibrated `queue_rtts`,
+//!   attributed to the first saturated link of each flow's path — is
+//!   pushed onto the DES port as a **shadow backlog**
+//!   ([`fncc_net::fabric::Fabric::set_port_backlog`]). Foreground
+//!   congestion control then senses the fluid half through its native
+//!   signals (INT `qLen`, ECN marks, RoCC rate advertisements, inflated
+//!   RTT) and frames queue behind it in FIFO order, exactly as behind a
+//!   packet competitor. An alternative hard mode
+//!   ([`HybridConfig::residual_cap`]) instead caps the port's drain rate
+//!   at the **residual** capacity the background leaves
+//!   ([`fncc_net::fabric::Fabric::set_port_drain`]);
+//! * packet → fluid: measured foreground throughput per link (from port
+//!   byte counters, with hysteresis) is fed back as a **demand
+//!   reservation** ([`BackgroundFluid::reserve`]), shrinking the
+//!   capacity the water-filler shares out. A reservation dirtying a
+//!   single contended link takes the closed-form single-bottleneck
+//!   re-solve — the incast fast path.
+//!
+//! Newborn flows on both halves phase their fair-share entitlement in
+//! over [`HybridConfig::ramp_rtts`]: a flow that just started holds its
+//! initial window, not its converged max-min share, and the coupling
+//! must not hand it one. The same ramp (from a floor of zero) governs
+//! how fast a newborn's standing-queue contribution builds.
+//!
+//! The result is packet-level fidelity where it matters at a cost that
+//! scales with foreground traffic plus background *events*, not
+//! background *packets*.
+
+use fncc_cc::CcKind;
+use fncc_des::engine::Engine;
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_fluid::{BackgroundFluid, FluidError, FluidResult, Framing, RateModel};
+use fncc_net::config::FabricConfig;
+use fncc_net::fabric::{Ev, Fabric};
+use fncc_net::ids::{HostId, NodeRef};
+use fncc_net::telemetry::Telemetry;
+use fncc_net::topology::Topology;
+use fncc_net::units::Bandwidth;
+use fncc_obs::{CounterId, TraceEvent, TraceSink};
+use fncc_transport::{apply_cc_features, make_algo, DcHost, FlowSpec, HostTimer, TransportConfig};
+
+/// Knobs for the coupling loop. The defaults match the paper-default
+/// packet fabric; scenarios normally only toggle `trace`.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Maximum interval between fluid↔packet synchronizations. Fluid
+    /// events (arrivals/finishes) always force a boundary; this cap
+    /// bounds how stale a reservation or residual can get between them.
+    pub max_sync: TimeDelta,
+    /// Relative hysteresis on foreground-throughput reservations: a
+    /// link's reservation is only re-pushed when the measured load moved
+    /// by more than this fraction of the link's raw bandwidth. Damps
+    /// solver churn from packet-scale rate jitter.
+    pub hysteresis: f64,
+    /// Cumulative-ACK granularity for the foreground transport (§3.2.3's
+    /// `m`).
+    pub ack_every: u32,
+    /// Fair-share ramp length in base-RTTs. A packet flow does not claim
+    /// its converged max-min share at birth — it climbs through window
+    /// growth and an already-built standing queue. Both halves' flows
+    /// therefore phase their *entitlement weight* in linearly over this
+    /// many RTTs when the coupling splits a shared link; `0` disables the
+    /// ramp (instant fair share).
+    pub ramp_rtts: f64,
+    /// Entitlement weight a flow holds at birth (fraction of its mature
+    /// weight); the linear ramp runs from this floor up to 1.
+    pub ramp_floor: f64,
+    /// Scale on the background's *shadow queue*: the standing queue the
+    /// background would hold on a contended link
+    /// (`queue_rtts · base_rtt · capacity`, from the calibrated
+    /// [`RateModel`]), weighted by the background's ramped share of the
+    /// link, is pushed onto the DES port as a phantom backlog
+    /// ([`fncc_net::fabric::Fabric::set_port_backlog`]). Foreground
+    /// congestion control then reacts to the fluid half's queue exactly
+    /// as it would to a packet competitor's: through INT `qLen`, ECN
+    /// marks, RoCC rate advertisements and inflated RTT. `0` disables
+    /// the shadow queue.
+    pub shadow_queue: f64,
+    /// Subtracted from the scheme's `queue_rtts` before sizing the shadow
+    /// queue (clamped at zero). Useful with `residual_cap`: the shallow
+    /// part of a standing queue is already implied by the drain-rate
+    /// cap, so only the excess depth needs shadowing.
+    pub shadow_offset_rtts: f64,
+    /// Push residual-capacity caps onto DES ports (the hard bandwidth
+    /// side of the fluid→packet coupling). Off by default: with the
+    /// shadow queue active, a hard cap double-counts the background's
+    /// pressure — the foreground is throttled once by the inflated
+    /// congestion signals and again by the shrunken port. The cap is the
+    /// right tool when the shadow queue is disabled (`shadow_queue: 0`)
+    /// or when the foreground must never exceed its fluid share even
+    /// transiently (strict bandwidth-conservation studies).
+    pub residual_cap: bool,
+    /// Arm the flight-recorder trace on both halves (hybrid coupling
+    /// events land in the foreground sink).
+    pub trace: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            max_sync: TimeDelta::from_us(100),
+            hysteresis: 0.02,
+            ack_every: 1,
+            ramp_rtts: 4.0,
+            ramp_floor: 0.25,
+            shadow_queue: 1.0,
+            shadow_offset_rtts: 0.0,
+            residual_cap: false,
+            trace: false,
+        }
+    }
+}
+
+/// Outcome of a completed hybrid run: the packet half's telemetry, the
+/// fluid half's result, and the coupling statistics.
+pub struct HybridResult {
+    /// Foreground (packet DES) telemetry: flow records, counters,
+    /// metrics, trace ring.
+    pub fg: Telemetry,
+    /// Background (fluid) result: flow records, solver statistics,
+    /// profiler.
+    pub bg: FluidResult,
+    /// Fluid↔packet synchronization boundaries taken.
+    pub syncs: u64,
+    /// Foreground-demand reservations pushed into the water-filler.
+    pub reservations: u64,
+    /// Residual-capacity pushes onto DES ports.
+    pub residual_pushes: u64,
+    /// Shadow-queue backlog pushes onto DES ports.
+    pub backlog_pushes: u64,
+    /// Closed-form single-bottleneck re-solves (incast fast path).
+    pub single_bottleneck_solves: u64,
+    /// Packet events dispatched by the foreground DES.
+    pub fg_events: u64,
+    /// Peak concurrently-active background flows.
+    pub peak_bg_active: usize,
+}
+
+/// One foreground link's coupling state, indexed alongside `fg_links`.
+#[derive(Debug, Clone, Copy)]
+struct FgLink {
+    /// Dense directed-link id (shared with the fluid [`BackgroundFluid`]).
+    link: u32,
+    /// The DES port this link drains through.
+    node: NodeRef,
+    port: u8,
+    /// Raw (unscaled) link bandwidth, bits/s.
+    raw_bps: f64,
+    /// Port byte counter at the last sync.
+    last_tx: u64,
+    /// Last reservation pushed into the fluid half, bits/s.
+    last_reserved: f64,
+    /// Last shadow-queue backlog pushed onto the DES port, bytes.
+    last_backlog: u64,
+    /// Foreground flows currently alive across this link.
+    n_fg: u32,
+    /// A foreground flow was admitted on this link at the current
+    /// boundary (no throughput measurement exists for it yet).
+    fresh: bool,
+}
+
+/// The co-simulation engine: a packet DES carrying the foreground flows
+/// and a stepping fluid model carrying the background, advanced in
+/// lockstep with bidirectional capacity exchange.
+pub struct HybridSim {
+    eng: Engine<Fabric<DcHost>>,
+    bg: BackgroundFluid,
+    cfg: HybridConfig,
+    /// The network description, kept for analysis (ideal FCT, paths).
+    pub topo: Topology,
+    /// The CC scheme both halves are calibrated to.
+    pub kind: CcKind,
+    /// Coupling state for every link a foreground flow traverses.
+    fg_links: Vec<FgLink>,
+    /// Dense link id → index into `fg_links` (`u32::MAX` = not foreground).
+    fg_index: Vec<u32>,
+    /// Foreground flow specs (for lifecycle tracking at boundaries).
+    fg_specs: Vec<FlowSpec>,
+    /// Per-spec list of `fg_links` indices on that flow's data path.
+    fg_flow_links: Vec<Vec<u32>>,
+    /// Scratch: per-`fg_links` age-ramped foreground entitlement weight,
+    /// rebuilt at every boundary.
+    fg_w: Vec<f64>,
+    /// Entitlement ramp length in seconds (`ramp_rtts · base_rtt`).
+    ramp: f64,
+    /// The background's full-contention standing-queue delay in seconds
+    /// (`queue_rtts · base_rtt · shadow_queue`, from the calibrated rate
+    /// model).
+    queue_debt: f64,
+    /// Spec indices sorted by start time; `next_fg_admit` walks it.
+    fg_order: Vec<u32>,
+    next_fg_admit: usize,
+    /// Spec indices of foreground flows admitted but not yet finished.
+    fg_active: Vec<u32>,
+    touched_buf: Vec<u32>,
+    last_sync: SimTime,
+    syncs: u64,
+    reservations: u64,
+    residual_pushes: u64,
+    backlog_pushes: u64,
+    c_syncs: CounterId,
+    c_reservations: CounterId,
+    c_residuals: CounterId,
+    c_backlogs: CounterId,
+}
+
+impl HybridSim {
+    /// Build a hybrid simulation: `foreground` flows go to the packet
+    /// DES, `background` flows to the fluid model (rates under `model`,
+    /// which should be calibrated for `kind`). Fails like the fluid
+    /// backend on zero-capacity links.
+    pub fn new(
+        topo: Topology,
+        kind: CcKind,
+        foreground: Vec<FlowSpec>,
+        background: Vec<FlowSpec>,
+        model: RateModel,
+        cfg: HybridConfig,
+    ) -> Result<Self, FluidError> {
+        let mut fabric_cfg = FabricConfig::paper_default();
+        let line = topo.host_ports[0].bw;
+        let base_rtt = topo.base_rtt(fabric_cfg.mtu, fabric_cfg.ack_base);
+        apply_cc_features(&mut fabric_cfg, kind, line);
+        let cc = make_algo(kind, line, base_rtt);
+        let framing = Framing::from(&fabric_cfg);
+
+        let queue_debt = (model.queue_rtts - cfg.shadow_offset_rtts).max(0.0)
+            * base_rtt.as_secs_f64()
+            * cfg.shadow_queue
+            * newcomer_queue_scale(kind);
+        let bg = BackgroundFluid::new(topo.clone(), model, framing, background, cfg.trace)?;
+
+        let tcfg = TransportConfig::new(cc).with_ack_every(cfg.ack_every);
+        let hosts: Vec<DcHost> = (0..topo.n_hosts)
+            .map(|_| DcHost::new(tcfg.clone()))
+            .collect();
+        let mut fabric = Fabric::new(&topo, fabric_cfg, hosts);
+        if cfg.trace {
+            fabric.telemetry.trace = TraceSink::with_capacity(TraceSink::DEFAULT_CAPACITY);
+        }
+        let c_syncs = fabric.telemetry.metrics.counter("hybrid_syncs");
+        let c_reservations = fabric.telemetry.metrics.counter("hybrid_reservations");
+        let c_residuals = fabric.telemetry.metrics.counter("hybrid_residual_pushes");
+        let c_backlogs = fabric.telemetry.metrics.counter("hybrid_backlog_pushes");
+
+        // The foreground link set: every directed link some foreground
+        // flow's data path crosses. Only these links exchange
+        // reservations and residuals — background-only links never touch
+        // the DES, and foreground-only links never dirty the solver.
+        let links = bg.link_map();
+        let mut fg_index = vec![u32::MAX; links.len()];
+        let mut fg_links = Vec::new();
+        let mut fg_flow_links = Vec::with_capacity(foreground.len());
+        let mut buf = Vec::new();
+        for f in &foreground {
+            links.path_links_into(&topo, f.src, f.dst, f.id, &mut buf);
+            let mut ixs = Vec::with_capacity(buf.len());
+            for &l in &buf {
+                if fg_index[l as usize] == u32::MAX {
+                    fg_index[l as usize] = fg_links.len() as u32;
+                    let (node, port) = links.node_of(l);
+                    fg_links.push(FgLink {
+                        link: l,
+                        node,
+                        port,
+                        raw_bps: links.capacities()[l as usize],
+                        last_tx: 0,
+                        last_reserved: 0.0,
+                        last_backlog: 0,
+                        n_fg: 0,
+                        fresh: false,
+                    });
+                }
+                ixs.push(fg_index[l as usize]);
+            }
+            fg_flow_links.push(ixs);
+        }
+        let mut fg_order: Vec<u32> = (0..foreground.len() as u32).collect();
+        fg_order.sort_by_key(|&i| foreground[i as usize].start);
+
+        for f in &foreground {
+            fabric.hosts[f.src.ix()].add_flow(f.clone());
+        }
+        let mut eng = Engine::new(fabric);
+        for (t, ev) in eng.model.startup_events() {
+            eng.schedule(t, ev);
+        }
+        for f in &foreground {
+            eng.schedule(
+                f.start,
+                Ev::HostTimer {
+                    host: f.src,
+                    timer: HostTimer::FlowStart(f.id),
+                },
+            );
+        }
+
+        let fg_w = vec![0.0; fg_links.len()];
+        let ramp = cfg.ramp_rtts * base_rtt.as_secs_f64();
+        Ok(HybridSim {
+            eng,
+            bg,
+            cfg,
+            topo,
+            kind,
+            fg_links,
+            fg_index,
+            fg_specs: foreground,
+            fg_flow_links,
+            fg_w,
+            ramp,
+            queue_debt,
+            fg_order,
+            next_fg_admit: 0,
+            fg_active: Vec::new(),
+            touched_buf: Vec::new(),
+            last_sync: SimTime::ZERO,
+            syncs: 0,
+            reservations: 0,
+            residual_pushes: 0,
+            backlog_pushes: 0,
+            c_syncs,
+            c_reservations,
+            c_residuals,
+            c_backlogs,
+        })
+    }
+
+    /// Current simulation time (both halves agree at sync boundaries).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.last_sync.max(self.eng.now())
+    }
+
+    /// Packet events dispatched so far by the foreground DES.
+    #[inline]
+    pub fn fg_events(&self) -> u64 {
+        self.eng.events_processed()
+    }
+
+    /// Background flows still draining or yet to arrive.
+    #[inline]
+    pub fn remaining_background(&self) -> usize {
+        self.bg.remaining_flows()
+    }
+
+    /// Whether every foreground flow has finished.
+    pub fn foreground_done(&self) -> bool {
+        let t = &self.eng.model.telemetry;
+        t.flow_count() > 0 && t.all_flows_finished()
+    }
+
+    /// The foreground fabric's telemetry (flow records accumulate here
+    /// during the run).
+    #[inline]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.eng.model.telemetry
+    }
+
+    /// The live foreground fabric (ports, switches, pause counters).
+    #[inline]
+    pub fn fabric(&self) -> &Fabric<DcHost> {
+        &self.eng.model
+    }
+
+    /// Links on some foreground path (the coupling surface).
+    #[inline]
+    pub fn fg_link_count(&self) -> usize {
+        self.fg_links.len()
+    }
+
+    /// Co-advance both halves to `horizon`. Synchronization boundaries
+    /// fall on every fluid event (background arrival or finish) and on
+    /// every foreground flow start, capped at [`HybridConfig::max_sync`];
+    /// the final boundary lands exactly on `horizon`. Errors out only if
+    /// the fluid half starves (zero-rate background flow), leaving the
+    /// clock at the last good boundary.
+    pub fn run_until(&mut self, horizon: SimTime) -> Result<(), FluidError> {
+        if self.syncs == 0 {
+            // Initial boundary: admit time-zero arrivals on both halves
+            // and seed reservations/residuals before any packet moves.
+            self.sync_at(self.last_sync)?;
+        }
+        let mut cursor = self.last_sync;
+        while cursor < horizon {
+            let mut t_next = (cursor + self.cfg.max_sync).min(horizon);
+            if let Some(fe) = self.bg.next_event() {
+                let fe = SimTime::ZERO + TimeDelta::from_secs_f64(fe);
+                if fe > cursor && fe < t_next {
+                    t_next = fe;
+                }
+            }
+            if let Some(&s) = self.fg_order.get(self.next_fg_admit) {
+                let start = self.fg_specs[s as usize].start;
+                if start > cursor && start < t_next {
+                    t_next = start;
+                }
+            }
+            if t_next <= cursor {
+                // Degenerate rounding (a fluid event landed exactly on the
+                // boundary): force minimal progress.
+                t_next = (cursor + TimeDelta::from_ns(1)).min(horizon);
+                if t_next <= cursor {
+                    break;
+                }
+            }
+            self.eng.run_until(t_next);
+            self.sync_at(t_next)?;
+            cursor = t_next;
+        }
+        Ok(())
+    }
+
+    /// Run in `chunk`-capped steps until every flow in *both* halves has
+    /// finished or `cap` is reached; returns true if everything finished.
+    pub fn run_to_completion(
+        &mut self,
+        chunk: TimeDelta,
+        cap: SimTime,
+    ) -> Result<bool, FluidError> {
+        let mut t = self.last_sync;
+        loop {
+            let done = self.foreground_done() && self.bg.remaining_flows() == 0;
+            if done {
+                return Ok(true);
+            }
+            if t >= cap {
+                return Ok(self.foreground_done() && self.bg.remaining_flows() == 0);
+            }
+            t = (t + chunk).min(cap);
+            self.run_until(t)?;
+        }
+    }
+
+    /// One synchronization boundary at time `t`:
+    ///
+    /// 1. advance the fluid half to `t` (background arrivals/finishes);
+    /// 2. update foreground membership (admit starts ≤ `t`, retire
+    ///    finished flows) and push per-link demand reservations — the
+    ///    measured foreground throughput since the last boundary, capped
+    ///    at the foreground's max-min entitlement
+    ///    `raw · w_fg / (w_fg + w_bg)` where both weights are the
+    ///    age-ramped flow counts ([`HybridConfig::ramp_rtts`]): a flow's
+    ///    claim phases in from `ramp_floor` to 1 over the ramp, so
+    ///    newcomers on either side displace incumbents gradually — the
+    ///    way window growth and standing queues make them in the packet
+    ///    fabric — instead of snapping to the converged fair share
+    ///    (freshly admitted foreground flows have no measurement yet and
+    ///    reserve their full — ramped — entitlement);
+    /// 3. re-solve and push the residual capacity of every touched
+    ///    foreground link onto its DES port.
+    fn sync_at(&mut self, t: SimTime) -> Result<(), FluidError> {
+        let t_ps = t.as_ps();
+        self.bg.advance_to(t.as_secs_f64())?;
+
+        // Foreground membership: admit starts ≤ t, retire finished flows.
+        for fl in &mut self.fg_links {
+            fl.fresh = false;
+        }
+        while let Some(&s) = self.fg_order.get(self.next_fg_admit) {
+            if self.fg_specs[s as usize].start > t {
+                break;
+            }
+            for &i in &self.fg_flow_links[s as usize] {
+                self.fg_links[i as usize].n_fg += 1;
+                self.fg_links[i as usize].fresh = true;
+            }
+            self.fg_active.push(s);
+            self.next_fg_admit += 1;
+        }
+        let mut k = self.fg_active.len();
+        while k > 0 {
+            k -= 1;
+            let s = self.fg_active[k] as usize;
+            let done = self
+                .eng
+                .model
+                .telemetry
+                .flow_record(self.fg_specs[s].id)
+                .is_some_and(|r| r.finish.is_some());
+            if done {
+                for &i in &self.fg_flow_links[s] {
+                    self.fg_links[i as usize].n_fg -= 1;
+                }
+                self.fg_active.swap_remove(k);
+            }
+        }
+
+        // Age-ramped foreground entitlement weights for this boundary.
+        let now_s = t.as_secs_f64();
+        for w in &mut self.fg_w {
+            *w = 0.0;
+        }
+        for &s in &self.fg_active {
+            let age = (t - self.fg_specs[s as usize].start).as_secs_f64();
+            let w = if self.ramp > 0.0 {
+                (self.cfg.ramp_floor + age / self.ramp).min(1.0)
+            } else {
+                1.0
+            };
+            for &i in &self.fg_flow_links[s as usize] {
+                self.fg_w[i as usize] += w;
+            }
+        }
+
+        let dt = (t - self.last_sync).as_secs_f64();
+        let mut n_res = 0u32;
+        let mut n_back = 0u32;
+        for i in 0..self.fg_links.len() {
+            let fl = self.fg_links[i];
+            let mut measured = fl.last_reserved;
+            if dt > 0.0 {
+                let tx = match fl.node {
+                    NodeRef::Host(h) => self.eng.model.host_ports[h.ix()].tx_bytes,
+                    NodeRef::Switch(s) => {
+                        self.eng.model.switches[s.ix()].ports[fl.port as usize].tx_bytes
+                    }
+                };
+                measured = (tx - fl.last_tx) as f64 * 8.0 / dt;
+                self.fg_links[i].last_tx = tx;
+            }
+            let w_bg = self
+                .bg
+                .ramped_weight_on(fl.link, now_s, self.ramp, self.cfg.ramp_floor);
+            let w_fg = self.fg_w[i];
+            let target = if fl.n_fg == 0 {
+                0.0
+            } else {
+                let cap = if w_fg + w_bg > 0.0 {
+                    fl.raw_bps * w_fg / (w_fg + w_bg)
+                } else {
+                    fl.raw_bps
+                };
+                if fl.fresh {
+                    cap
+                } else if self.cfg.residual_cap {
+                    measured.min(cap)
+                } else {
+                    // Signals-only coupling: the foreground takes what its
+                    // CC earns against the shadow queue; reserve exactly
+                    // that so the fluid half yields the same bandwidth a
+                    // packet background would.
+                    measured
+                }
+            };
+            // The background's shadow queue on this link: its ramped
+            // share of the scheme's calibrated standing queue, surfaced
+            // to the DES as a phantom backlog so foreground CC sees the
+            // fluid half's congestion through its native signals. Sized
+            // from the flows whose queue physically forms here (first
+            // saturated link on their path), not every flow crossing.
+            if self.queue_debt > 0.0 {
+                // Queue weight ramps from zero, not from the entitlement
+                // floor: a newborn flow claims bandwidth immediately (its
+                // initial window is in flight) but its standing-queue
+                // contribution starts empty and builds over the ramp.
+                let qw_bg = self
+                    .bg
+                    .ramped_queue_weight_on(fl.link, now_s, self.ramp, 0.0);
+                let bg_frac = if qw_bg > 0.0 {
+                    qw_bg / (qw_bg + w_fg)
+                } else {
+                    0.0
+                };
+                let full = self.queue_debt * fl.raw_bps / 8.0;
+                let backlog = (full * bg_frac) as u64;
+                if (backlog as f64 - fl.last_backlog as f64).abs() > self.cfg.hysteresis * full {
+                    self.eng.model.set_port_backlog(fl.node, fl.port, backlog);
+                    self.fg_links[i].last_backlog = backlog;
+                    n_back += 1;
+                    if self.eng.model.telemetry.trace.enabled() {
+                        self.eng
+                            .model
+                            .telemetry
+                            .trace
+                            .record(TraceEvent::HybridBacklog {
+                                t_ps,
+                                link: fl.link,
+                                backlog_bytes: backlog,
+                            });
+                    }
+                }
+            }
+            if (target - fl.last_reserved).abs() > self.cfg.hysteresis * fl.raw_bps {
+                self.bg.reserve(fl.link, target);
+                self.fg_links[i].last_reserved = target;
+                n_res += 1;
+                if self.eng.model.telemetry.trace.enabled() {
+                    self.eng
+                        .model
+                        .telemetry
+                        .trace
+                        .record(TraceEvent::HybridReserve {
+                            t_ps,
+                            link: fl.link,
+                            load_bps: target,
+                        });
+                }
+            }
+        }
+        // Re-solve under the new reservations (no time passes).
+        self.bg.advance_to(t.as_secs_f64())?;
+
+        self.bg.take_touched(&mut self.touched_buf);
+        let mut n_resid = 0u32;
+        for k in 0..self.touched_buf.len() {
+            let l = self.touched_buf[k];
+            let i = self.fg_index[l as usize];
+            if i == u32::MAX {
+                continue;
+            }
+            if !self.cfg.residual_cap {
+                continue;
+            }
+            let fl = self.fg_links[i as usize];
+            let residual = (fl.raw_bps - self.bg.background_load(l)).max(0.0);
+            self.eng.model.set_port_drain(
+                fl.node,
+                fl.port,
+                Bandwidth::bps((residual.round() as u64).max(1)),
+            );
+            n_resid += 1;
+            if self.eng.model.telemetry.trace.enabled() {
+                self.eng
+                    .model
+                    .telemetry
+                    .trace
+                    .record(TraceEvent::HybridResidual {
+                        t_ps,
+                        link: l,
+                        residual_bps: residual,
+                    });
+            }
+        }
+
+        self.syncs += 1;
+        self.reservations += n_res as u64;
+        self.residual_pushes += n_resid as u64;
+        self.backlog_pushes += n_back as u64;
+        let m = &mut self.eng.model.telemetry.metrics;
+        m.inc(self.c_syncs, 1);
+        m.inc(self.c_reservations, n_res as u64);
+        m.inc(self.c_residuals, n_resid as u64);
+        m.inc(self.c_backlogs, n_back as u64);
+        if self.eng.model.telemetry.trace.enabled() {
+            self.eng
+                .model
+                .telemetry
+                .trace
+                .record(TraceEvent::HybridSync {
+                    t_ps,
+                    reservations: n_res,
+                    residuals: n_resid,
+                });
+        }
+        self.last_sync = t;
+        Ok(())
+    }
+
+    /// Finish the run: split out both halves' telemetry and the coupling
+    /// statistics.
+    pub fn into_result(mut self) -> HybridResult {
+        let fg_events = self.eng.events_processed();
+        let single_bottleneck_solves = self.bg.single_bottleneck_solves();
+        let peak_bg_active = self.bg.peak_active();
+        let fg = std::mem::replace(&mut self.eng.model.telemetry, Telemetry::new());
+        let bg = self.bg.into_result();
+        HybridResult {
+            fg,
+            bg,
+            syncs: self.syncs,
+            reservations: self.reservations,
+            residual_pushes: self.residual_pushes,
+            backlog_pushes: self.backlog_pushes,
+            single_bottleneck_solves,
+            fg_events,
+            peak_bg_active,
+        }
+    }
+}
+
+/// How much of the background's calibrated standing queue
+/// ([`RateModel::queue_rtts`]) a *foreground* flow actually pays when it
+/// joins the link. `queue_rtts` measures the steady-state depth; what a
+/// newcomer experiences depends on how the scheme yields:
+///
+/// * window-law schemes with an explicit target (HPCC) cut their windows
+///   within one RTT of the INT `qLen` rising, so a newcomer sees the
+///   queue drain ahead of it and pays well under the standing depth;
+/// * FNCC's return-path INT and Swift's delay target yield fast enough
+///   that the standing depth is what you pay — scale 1;
+/// * Timely's RTT-gradient convergence is slower than its standing depth
+///   suggests: a newcomer also eats the incumbents' overshoot while the
+///   gradient settles;
+/// * RoCC's advertised fair rate recovers over many controller periods,
+///   so a newcomer pays the full depth *plus* the rate-recovery lag.
+///
+/// These factors are measured against the packet DES on the conformance
+/// cells (`tests/hybrid_conformance.rs`), the same way the rate-model
+/// constants are calibrated.
+fn newcomer_queue_scale(kind: CcKind) -> f64 {
+    match kind {
+        CcKind::Fncc => 1.0,
+        CcKind::Hpcc => 0.35,
+        CcKind::Dcqcn => 1.0,
+        CcKind::Rocc => 2.8,
+        CcKind::Timely => 1.4,
+        CcKind::Swift => 1.0,
+    }
+}
+
+/// Partition helper used by scenario front-ends: `true` if `flow` should
+/// run at packet fidelity given a foreground size threshold and an
+/// explicit victim-host set. Kept here so every caller (backend,
+/// benches, tests) classifies identically.
+pub fn is_foreground(flow: &FlowSpec, size_below: Option<u64>, to_hosts: &[HostId]) -> bool {
+    if let Some(cut) = size_below {
+        if flow.size < cut {
+            return true;
+        }
+    }
+    to_hosts.contains(&flow.dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fncc_net::ids::FlowId;
+
+    const BW: Bandwidth = Bandwidth::gbps(100);
+    const PROP: TimeDelta = TimeDelta::from_ns(1500);
+
+    fn dumbbell(n: u32) -> Topology {
+        Topology::dumbbell(n, 3, BW, PROP)
+    }
+
+    fn flow(id: u32, src: u32, dst: u32, size: u64, start_us: u64) -> FlowSpec {
+        FlowSpec {
+            id: FlowId(id),
+            src: HostId(src),
+            dst: HostId(dst),
+            size,
+            start: SimTime::ZERO + TimeDelta::from_us(start_us),
+        }
+    }
+
+    /// A pure-DES reference built from the same primitives (no fncc-core
+    /// here: that crate sits above us).
+    fn pure_des(topo: Topology, kind: CcKind, flows: &[FlowSpec], horizon: SimTime) -> Telemetry {
+        let mut fabric_cfg = FabricConfig::paper_default();
+        let line = topo.host_ports[0].bw;
+        let base_rtt = topo.base_rtt(fabric_cfg.mtu, fabric_cfg.ack_base);
+        apply_cc_features(&mut fabric_cfg, kind, line);
+        let cc = make_algo(kind, line, base_rtt);
+        let tcfg = TransportConfig::new(cc);
+        let hosts: Vec<DcHost> = (0..topo.n_hosts)
+            .map(|_| DcHost::new(tcfg.clone()))
+            .collect();
+        let mut fabric = Fabric::new(&topo, fabric_cfg, hosts);
+        for f in flows {
+            fabric.hosts[f.src.ix()].add_flow(f.clone());
+        }
+        let mut eng = Engine::new(fabric);
+        for (t, ev) in eng.model.startup_events() {
+            eng.schedule(t, ev);
+        }
+        for f in flows {
+            eng.schedule(
+                f.start,
+                Ev::HostTimer {
+                    host: f.src,
+                    timer: HostTimer::FlowStart(f.id),
+                },
+            );
+        }
+        eng.run_until(horizon);
+        std::mem::replace(&mut eng.model.telemetry, Telemetry::new())
+    }
+
+    fn fcts(t: &Telemetry) -> Vec<(FlowId, Option<SimTime>)> {
+        let mut v: Vec<_> = t.flow_records().map(|r| (r.flow, r.finish)).collect();
+        v.sort_by_key(|(f, _)| f.0);
+        v
+    }
+
+    /// With an empty background, the hybrid engine IS the packet DES:
+    /// no residual ever lands on a port, so FCTs match exactly.
+    #[test]
+    fn empty_background_matches_pure_des() {
+        let fg = vec![flow(0, 0, 2, 500_000, 0), flow(1, 1, 2, 500_000, 10)];
+        let horizon = SimTime::from_ms(2);
+        let want = fcts(&pure_des(dumbbell(3), CcKind::Fncc, &fg, horizon));
+        let mut h = HybridSim::new(
+            dumbbell(3),
+            CcKind::Fncc,
+            fg,
+            Vec::new(),
+            RateModel::paper_default(CcKind::Fncc),
+            HybridConfig::default(),
+        )
+        .unwrap();
+        h.run_until(horizon).unwrap();
+        assert!(h.foreground_done());
+        let r = h.into_result();
+        assert_eq!(fcts(&r.fg), want);
+        assert_eq!(r.residual_pushes, 0, "no background → no residual pushes");
+        assert_eq!(r.backlog_pushes, 0, "no background → no shadow queue");
+        assert!(r.syncs > 0);
+    }
+
+    /// A background elephant sharing a *saturating* foreground flow's
+    /// path squeezes it under the hard residual-capacity mode (the mode
+    /// built for foregrounds that contend for throughput rather than
+    /// latency): the fg FCT stretches vs. an empty-background run and
+    /// the reverse coupling reserves fg demand.
+    #[test]
+    fn background_elephant_squeezes_foreground() {
+        let fg = vec![flow(0, 0, 2, 2_000_000, 0)];
+        let bg = vec![flow(1_000, 1, 2, 12_500_000, 0)]; // 100 Mbit elephant, same bottleneck
+        let horizon = SimTime::from_ms(10);
+        let cfg = HybridConfig {
+            residual_cap: true,
+            ..HybridConfig::default()
+        };
+
+        let mut alone = HybridSim::new(
+            dumbbell(3),
+            CcKind::Fncc,
+            fg.clone(),
+            Vec::new(),
+            RateModel::paper_default(CcKind::Fncc),
+            cfg,
+        )
+        .unwrap();
+        alone.run_until(horizon).unwrap();
+        let fct_alone = fcts(&alone.into_result().fg)[0].1.unwrap();
+
+        let mut h = HybridSim::new(
+            dumbbell(3),
+            CcKind::Fncc,
+            fg,
+            bg,
+            RateModel::paper_default(CcKind::Fncc),
+            cfg,
+        )
+        .unwrap();
+        h.run_until(horizon).unwrap();
+        let r = h.into_result();
+        let fct_shared = fcts(&r.fg)[0].1.unwrap();
+        assert!(r.residual_pushes > 0, "elephant must cap the shared port");
+        assert!(r.reservations > 0, "fg demand must reach the water-filler");
+        // Fair sharing with one competitor roughly halves the fg drain
+        // rate; require a clearly-fair stretch but not a starved one.
+        let lo = SimTime::ZERO + TimeDelta::from_secs_f64(fct_alone.as_secs_f64() * 1.3);
+        let hi = SimTime::ZERO + TimeDelta::from_secs_f64(fct_alone.as_secs_f64() * 3.0);
+        let shared_t = SimTime::ZERO + TimeDelta::from_secs_f64(fct_shared.as_secs_f64());
+        assert!(
+            shared_t > lo && shared_t < hi,
+            "fg FCT should roughly double behind one fair-sharing elephant \
+             ({fct_alone:?} alone vs {fct_shared:?} shared)"
+        );
+        // And the elephant itself must have been slowed by the fg demand:
+        // alone it drains 100 Mbit in ~1 ms; squeezed it takes longer.
+        let bg_rec = r.bg.telemetry.flow_records().next().unwrap();
+        let bg_fct = bg_rec.fct().expect("elephant finishes inside horizon");
+        assert!(
+            bg_fct > TimeDelta::from_us(1100),
+            "fg demand must slow the elephant (got {bg_fct:?})"
+        );
+    }
+
+    /// The coupling emits trace events and metrics when armed.
+    #[test]
+    fn trace_records_hybrid_events() {
+        let fg = vec![flow(0, 0, 2, 200_000, 0)];
+        let bg = vec![flow(100, 1, 2, 12_500_000, 0)];
+        let mut h = HybridSim::new(
+            dumbbell(3),
+            CcKind::Fncc,
+            fg,
+            bg,
+            RateModel::paper_default(CcKind::Fncc),
+            HybridConfig {
+                trace: true,
+                ..HybridConfig::default()
+            },
+        )
+        .unwrap();
+        h.run_until(SimTime::from_ms(2)).unwrap();
+        let r = h.into_result();
+        let kinds: Vec<&str> = r.fg.trace.events().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"hybrid_sync"));
+        assert!(kinds.contains(&"hybrid_reserve"));
+        assert!(kinds.contains(&"hybrid_backlog"));
+        let m: Vec<(String, u64)> =
+            r.fg.metrics
+                .counters()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect();
+        let get = |name: &str| m.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+        assert_eq!(get("hybrid_syncs"), r.syncs);
+        assert_eq!(get("hybrid_reservations"), r.reservations);
+        assert_eq!(get("hybrid_residual_pushes"), r.residual_pushes);
+        assert_eq!(get("hybrid_backlog_pushes"), r.backlog_pushes);
+    }
+
+    /// The hard residual-capacity mode still works when selected: with
+    /// the shadow queue off, the fluid load lands as drain-rate caps.
+    #[test]
+    fn residual_cap_mode_pushes_port_caps() {
+        let fg = vec![flow(0, 0, 2, 200_000, 0)];
+        let bg = vec![flow(100, 1, 2, 12_500_000, 0)];
+        let mut h = HybridSim::new(
+            dumbbell(3),
+            CcKind::Fncc,
+            fg,
+            bg,
+            RateModel::paper_default(CcKind::Fncc),
+            HybridConfig {
+                trace: true,
+                residual_cap: true,
+                shadow_queue: 0.0,
+                ..HybridConfig::default()
+            },
+        )
+        .unwrap();
+        h.run_until(SimTime::from_ms(2)).unwrap();
+        let r = h.into_result();
+        assert!(r.residual_pushes > 0, "elephant must cap the shared port");
+        assert_eq!(r.backlog_pushes, 0, "shadow queue disabled");
+        let kinds: Vec<&str> = r.fg.trace.events().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"hybrid_residual"));
+    }
+
+    /// Two identical runs produce byte-identical foreground FCTs and
+    /// coupling counters (determinism is a hard guarantee).
+    #[test]
+    fn hybrid_runs_are_deterministic() {
+        let run = || {
+            let fg = vec![flow(0, 0, 3, 400_000, 0), flow(1, 1, 3, 300_000, 7)];
+            let bg = vec![flow(10, 2, 3, 50_000_000, 0), flow(11, 3, 0, 25_000_000, 3)];
+            let mut h = HybridSim::new(
+                dumbbell(4),
+                CcKind::Hpcc,
+                fg,
+                bg,
+                RateModel::paper_default(CcKind::Hpcc),
+                HybridConfig::default(),
+            )
+            .unwrap();
+            h.run_until(SimTime::from_ms(6)).unwrap();
+            let r = h.into_result();
+            (fcts(&r.fg), r.syncs, r.reservations, r.backlog_pushes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// run_to_completion drains both halves.
+    #[test]
+    fn run_to_completion_drains_both_halves() {
+        let fg = vec![flow(0, 0, 2, 100_000, 0)];
+        let bg = vec![flow(1, 1, 2, 1_000_000, 0)];
+        let mut h = HybridSim::new(
+            dumbbell(3),
+            CcKind::Swift,
+            fg,
+            bg,
+            RateModel::paper_default(CcKind::Swift),
+            HybridConfig::default(),
+        )
+        .unwrap();
+        let done = h
+            .run_to_completion(TimeDelta::from_us(200), SimTime::from_ms(20))
+            .unwrap();
+        assert!(done);
+        assert_eq!(h.remaining_background(), 0);
+    }
+
+    #[test]
+    fn is_foreground_classifies_by_size_and_victim() {
+        let f = flow(0, 0, 2, 10_000, 0);
+        assert!(is_foreground(&f, Some(100_000), &[]));
+        assert!(!is_foreground(&f, Some(10_000), &[]), "cut is exclusive");
+        assert!(is_foreground(&f, None, &[HostId(2)]));
+        assert!(!is_foreground(&f, None, &[HostId(1)]));
+    }
+}

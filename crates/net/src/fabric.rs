@@ -237,6 +237,35 @@ impl<H: HostLogic> Fabric<H> {
         }
     }
 
+    /// Set the phantom egress backlog of the port at `(node, port)`: the
+    /// standing queue of co-simulated fluid traffic on this link. The
+    /// backlog inflates the port's congestion signals (INT `qLen`, ECN
+    /// marking depth, RoCC queue sample) and delays delivered frames by
+    /// its line-rate serialization time; see [`Port::set_backlog`].
+    pub fn set_port_backlog(&mut self, node: NodeRef, port: u8, bytes: u64) {
+        match node {
+            NodeRef::Switch(s) => self.switches[s.ix()].ports[port as usize].set_backlog(bytes),
+            NodeRef::Host(h) => {
+                debug_assert_eq!(port, 0, "hosts have a single port");
+                self.host_ports[h.ix()].set_backlog(bytes);
+            }
+        }
+    }
+
+    /// Cap the effective drain rate of the egress port at `(node, port)`:
+    /// the hybrid backend's residual-capacity push (raw link bandwidth
+    /// minus the fluid background load on that link). Applies from the
+    /// next serialized frame; see [`Port::set_drain_bw`] for clamping.
+    pub fn set_port_drain(&mut self, node: NodeRef, port: u8, rate: Bandwidth) {
+        match node {
+            NodeRef::Switch(s) => self.switches[s.ix()].ports[port as usize].set_drain_bw(rate),
+            NodeRef::Host(h) => {
+                debug_assert_eq!(port, 0, "hosts have a single egress port");
+                self.host_ports[h.ix()].set_drain_bw(rate);
+            }
+        }
+    }
+
     /// Convenience: run `f` with a [`HostCtx`] for `host`.
     fn with_host_ctx(
         &mut self,
@@ -443,7 +472,7 @@ impl<H: HostLogic> Model for Fabric<H> {
                     let p = &mut self.host_ports[h.ix()];
                     let pkt = p.in_flight.take().expect("host TxDone with no frame");
                     p.tx_bytes += pkt.size as u64;
-                    let (peer, peer_port, prop) = (p.peer, p.peer_port, p.prop);
+                    let (peer, peer_port, prop) = (p.peer, p.peer_port, p.wire_delay(now));
                     sched.after(
                         prop,
                         Ev::Arrive {

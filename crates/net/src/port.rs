@@ -21,6 +21,11 @@ pub struct Port {
     pub peer_port: u8,
     /// Link rate.
     pub bw: Bandwidth,
+    /// Effective drain rate: `bw` minus any externally-imposed share of the
+    /// link (hybrid backend: the fluid background load on this link leaves
+    /// only the residual for packet traffic). Defaults to `bw`; see
+    /// [`Self::set_drain_bw`].
+    drain_bw: Bandwidth,
     /// One-way propagation delay.
     pub prop: TimeDelta,
     /// Data-class egress FIFO.
@@ -47,6 +52,18 @@ pub struct Port {
     /// frame sizes repeat heavily, and the 128-bit division in
     /// [`Bandwidth::tx_time`] is hot-path noticeable.
     tx_memo: (u64, TimeDelta),
+    /// Phantom egress backlog, in bytes: traffic that exists only in a
+    /// co-simulated fluid model but whose standing queue this port must
+    /// still *signal* (INT `qLen`, ECN marking depth, RoCC queue sample)
+    /// and *impose* (frames delivered late by its serialization time).
+    /// Never occupies shared buffer and never enters PFC accounting —
+    /// the fluid half owns those bytes, the packet half only sees their
+    /// shadow. Set via [`crate::fabric::Fabric::set_port_backlog`].
+    virtual_backlog: u64,
+    /// Arrival time of the frame most recently put on the wire: a
+    /// shrinking `virtual_backlog` must not let a later frame overtake an
+    /// earlier one (a FIFO queue reorders nothing).
+    last_arrival: fncc_des::SimTime,
     /// PFC accounting: bytes buffered from frames that *entered* on this
     /// port index (ingress side; lives here so one port touch covers both
     /// directions of the hot path).
@@ -69,6 +86,7 @@ impl Port {
             peer: spec.peer,
             peer_port: spec.peer_port,
             bw: spec.bw,
+            drain_bw: spec.bw,
             prop: spec.prop,
             queue: VecDeque::new(),
             ctrl: VecDeque::new(),
@@ -81,6 +99,8 @@ impl Port {
             resume_tx: 0,
             pause_rx: 0,
             tx_memo: (u64::MAX, TimeDelta::ZERO),
+            virtual_backlog: 0,
+            last_arrival: fncc_des::SimTime::ZERO,
             ingress_bytes: 0,
             upstream_paused: false,
             int_rec: IntRecord {
@@ -94,14 +114,74 @@ impl Port {
         }
     }
 
-    /// Serialization time of `bytes` at this port's rate, memoized on the
-    /// last distinct size (identical result to [`Bandwidth::tx_time`]).
+    /// Serialization time of `bytes` at this port's *drain* rate, memoized
+    /// on the last distinct size (identical result to
+    /// [`Bandwidth::tx_time`] at [`Self::drain_bw`]).
     #[inline]
     pub fn tx_time(&mut self, bytes: u64) -> TimeDelta {
         if self.tx_memo.0 != bytes {
-            self.tx_memo = (bytes, self.bw.tx_time(bytes));
+            self.tx_memo = (bytes, self.drain_bw.tx_time(bytes));
         }
         self.tx_memo.1
+    }
+
+    /// Current effective drain rate (`bw` unless capped by
+    /// [`Self::set_drain_bw`]).
+    #[inline]
+    pub fn drain_bw(&self) -> Bandwidth {
+        self.drain_bw
+    }
+
+    /// Cap the port's effective drain rate at `rate` (residual-capacity
+    /// push from the hybrid backend's fluid half). Clamped to
+    /// `[bw/100, bw]` so serialization time stays finite; takes effect
+    /// from the *next* frame — the one in flight keeps its scheduled
+    /// TxDone (deterministic regardless of when the push lands within a
+    /// frame). Invalidates the serialization-time memo.
+    pub fn set_drain_bw(&mut self, rate: Bandwidth) {
+        let floor = Bandwidth::bps((self.bw.as_bps() / 100).max(1));
+        let capped = rate.clamp(floor, self.bw);
+        if capped != self.drain_bw {
+            self.drain_bw = capped;
+            self.tx_memo = (u64::MAX, TimeDelta::ZERO);
+        }
+    }
+
+    /// Current phantom egress backlog (bytes); see [`Self::set_backlog`].
+    #[inline]
+    pub fn backlog(&self) -> u64 {
+        self.virtual_backlog
+    }
+
+    /// Set the phantom egress backlog (hybrid backend: the fluid
+    /// background's standing queue on this link). Takes effect on the
+    /// next signal read / frame delivery.
+    #[inline]
+    pub fn set_backlog(&mut self, bytes: u64) {
+        self.virtual_backlog = bytes;
+    }
+
+    /// Queue depth as congestion signals must see it: real queued bytes
+    /// plus the phantom backlog.
+    #[inline]
+    pub fn signal_qlen(&self) -> u64 {
+        self.queue_bytes + self.virtual_backlog
+    }
+
+    /// One-way delivery delay for a frame put on the wire at `now`:
+    /// propagation plus the FIFO wait behind the phantom backlog (its
+    /// serialization time at line rate), clamped so arrivals stay in
+    /// transmission order even when the backlog shrinks between frames.
+    #[inline]
+    pub fn wire_delay(&mut self, now: fncc_des::SimTime) -> TimeDelta {
+        let mut d = self.prop;
+        if self.virtual_backlog > 0 {
+            d += self.bw.tx_time(self.virtual_backlog);
+        }
+        let at = now + d;
+        let at = at.max(self.last_arrival);
+        self.last_arrival = at;
+        at.since(now)
     }
 
     /// Queue a data-class frame (data, ACK or CNP).
@@ -217,6 +297,25 @@ mod tests {
         // …until resumed.
         p.paused = false;
         assert_eq!(p.dequeue().unwrap().kind, PacketKind::Data);
+    }
+
+    #[test]
+    fn drain_bw_caps_tx_time_and_clamps() {
+        let mut p = Port::from_spec(&spec());
+        let full = p.tx_time(1500);
+        p.set_drain_bw(Bandwidth::gbps(50));
+        assert_eq!(p.drain_bw(), Bandwidth::gbps(50));
+        let capped = p.tx_time(1500);
+        assert_eq!(capped, Bandwidth::gbps(50).tx_time(1500));
+        assert!(capped > full);
+        // Restoring the full rate restores the memoized answer.
+        p.set_drain_bw(Bandwidth::gbps(100));
+        assert_eq!(p.tx_time(1500), full);
+        // Above-line-rate and zero pushes clamp to [bw/100, bw].
+        p.set_drain_bw(Bandwidth::gbps(400));
+        assert_eq!(p.drain_bw(), Bandwidth::gbps(100));
+        p.set_drain_bw(Bandwidth::bps(0));
+        assert_eq!(p.drain_bw(), Bandwidth::gbps(1));
     }
 
     #[test]

@@ -88,10 +88,10 @@ impl Switch {
     fn live_int(&self, port: u8, now: SimTime) -> IntRecord {
         let p = &self.ports[port as usize];
         IntRecord {
-            bandwidth: p.bw,
+            bandwidth: p.drain_bw(),
             ts: now,
             tx_bytes: p.tx_bytes,
-            qlen: p.queue_bytes,
+            qlen: p.signal_qlen(),
         }
     }
 
@@ -99,10 +99,10 @@ impl Switch {
     pub fn refresh_int_table(&mut self, now: SimTime) {
         for p in &mut self.ports {
             p.int_rec = IntRecord {
-                bandwidth: p.bw,
+                bandwidth: p.drain_bw(),
                 ts: now,
                 tx_bytes: p.tx_bytes,
-                qlen: p.queue_bytes,
+                qlen: p.signal_qlen(),
             };
         }
     }
@@ -111,9 +111,9 @@ impl Switch {
     pub fn rocc_step(&mut self, cfg: &FabricConfig) {
         let Some(rc) = &cfg.rocc else { return };
         for p in &mut self.ports {
-            let q = p.queue_bytes as f64;
+            let q = p.signal_qlen() as f64;
             let r = p.rocc_rate - rc.gain_p * (q - rc.qref) - rc.gain_d * (q - p.rocc_prev_q);
-            p.rocc_rate = r.clamp(rc.min_rate, p.bw.as_f64());
+            p.rocc_rate = r.clamp(rc.min_rate, p.drain_bw().as_f64());
             p.rocc_prev_q = q;
         }
     }
@@ -207,7 +207,7 @@ impl Switch {
         // RED/ECN marking on data frames (DCQCN), against the egress queue
         // depth seen at enqueue.
         if cfg.ecn.enabled && pkt.kind == PacketKind::Data {
-            let q = self.ports[out_port as usize].queue_bytes;
+            let q = self.ports[out_port as usize].signal_qlen();
             let p_mark = cfg.ecn.mark_probability(q);
             if p_mark > 0.0 && self.ecn_rng.chance(p_mark) {
                 pkt.ecn = true;
@@ -319,12 +319,12 @@ impl Switch {
             }
         }
 
-        let p = &self.ports[port as usize];
+        let p = &mut self.ports[port as usize];
         out.push(SwitchOutput::Deliver {
             port,
             peer: p.peer,
             peer_port: p.peer_port,
-            prop: p.prop,
+            prop: p.wire_delay(now),
             pkt,
         });
         self.maybe_start_tx(port, now, cfg, out);

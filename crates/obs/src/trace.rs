@@ -191,6 +191,45 @@ pub enum TraceEvent {
         /// Flow id.
         flow: u32,
     },
+    /// Hybrid coupling: one fluid↔packet synchronization boundary.
+    HybridSync {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Foreground-demand reservations pushed into the fluid half.
+        reservations: u32,
+        /// Residual-capacity pushes onto DES ports.
+        residuals: u32,
+    },
+    /// Hybrid coupling: measured foreground throughput on a link was fed
+    /// into the fluid water-filler as a demand reservation.
+    HybridReserve {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Dense directed-link id (fluid link index).
+        link: u32,
+        /// Reserved foreground load, bits per second.
+        load_bps: f64,
+    },
+    /// Hybrid coupling: the fluid background load on a link was pushed
+    /// onto the DES port as a residual drain-rate cap.
+    HybridResidual {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Dense directed-link id (fluid link index).
+        link: u32,
+        /// Residual capacity left for packet traffic, bits per second.
+        residual_bps: f64,
+    },
+    /// Hybrid coupling: the fluid background's standing queue on a link
+    /// was pushed onto the DES port as a phantom (shadow) backlog.
+    HybridBacklog {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Dense directed-link id (fluid link index).
+        link: u32,
+        /// Shadow backlog imposed on packet traffic, bytes.
+        backlog_bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -212,6 +251,10 @@ impl TraceEvent {
             TraceEvent::SolveEnd { .. } => "solve_end",
             TraceEvent::FluidFlowAdd { .. } => "fluid_flow_add",
             TraceEvent::FluidFlowRemove { .. } => "fluid_flow_remove",
+            TraceEvent::HybridSync { .. } => "hybrid_sync",
+            TraceEvent::HybridReserve { .. } => "hybrid_reserve",
+            TraceEvent::HybridResidual { .. } => "hybrid_residual",
+            TraceEvent::HybridBacklog { .. } => "hybrid_backlog",
         }
     }
 
@@ -232,7 +275,11 @@ impl TraceEvent {
             | TraceEvent::SolveBegin { t_ps, .. }
             | TraceEvent::SolveEnd { t_ps, .. }
             | TraceEvent::FluidFlowAdd { t_ps, .. }
-            | TraceEvent::FluidFlowRemove { t_ps, .. } => t_ps,
+            | TraceEvent::FluidFlowRemove { t_ps, .. }
+            | TraceEvent::HybridSync { t_ps, .. }
+            | TraceEvent::HybridReserve { t_ps, .. }
+            | TraceEvent::HybridResidual { t_ps, .. }
+            | TraceEvent::HybridBacklog { t_ps, .. } => t_ps,
         }
     }
 
@@ -253,7 +300,11 @@ impl TraceEvent {
             TraceEvent::PfcPause { .. }
             | TraceEvent::PfcResume { .. }
             | TraceEvent::SolveBegin { .. }
-            | TraceEvent::SolveEnd { .. } => None,
+            | TraceEvent::SolveEnd { .. }
+            | TraceEvent::HybridSync { .. }
+            | TraceEvent::HybridReserve { .. }
+            | TraceEvent::HybridResidual { .. }
+            | TraceEvent::HybridBacklog { .. } => None,
         }
     }
 
@@ -371,6 +422,31 @@ impl TraceEvent {
             }
             TraceEvent::SolveEnd { full, changed, .. } => {
                 let _ = write!(out, ",\"full\":{full},\"changed\":{changed}");
+            }
+            TraceEvent::HybridSync {
+                reservations,
+                residuals,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"reservations\":{reservations},\"residuals\":{residuals}"
+                );
+            }
+            TraceEvent::HybridReserve { link, load_bps, .. } => {
+                let _ = write!(out, ",\"link\":{link},\"load_bps\":{load_bps}");
+            }
+            TraceEvent::HybridResidual {
+                link, residual_bps, ..
+            } => {
+                let _ = write!(out, ",\"link\":{link},\"residual_bps\":{residual_bps}");
+            }
+            TraceEvent::HybridBacklog {
+                link,
+                backlog_bytes,
+                ..
+            } => {
+                let _ = write!(out, ",\"link\":{link},\"backlog_bytes\":{backlog_bytes}");
             }
         }
         out.push('}');

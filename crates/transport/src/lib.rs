@@ -19,7 +19,9 @@
 pub mod config;
 pub mod flow;
 pub mod host;
+pub mod scheme;
 
 pub use config::TransportConfig;
 pub use flow::FlowSpec;
 pub use host::{DcHost, HostTimer};
+pub use scheme::{apply_cc_features, make_algo};

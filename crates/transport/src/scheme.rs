@@ -1,0 +1,77 @@
+//! Scheme wiring: paper-default CC configurations and the switch-side
+//! features each scheme needs.
+//!
+//! Lives in the transport crate so every backend (packet, fluid
+//! calibration harnesses, hybrid) builds schemes identically without
+//! depending on the scenario layer.
+
+use fncc_cc::{
+    CcAlgo, CcKind, DcqcnConfig, FnccConfig, HpccConfig, RoccConfig, SwiftConfig, TimelyConfig,
+};
+use fncc_des::time::TimeDelta;
+use fncc_net::config::{EcnConfig, FabricConfig, IntInsertion, RoccSwitchConfig};
+use fncc_net::units::Bandwidth;
+
+/// Build a CC configuration with paper defaults for `kind` on a network
+/// with the given line rate and base RTT.
+pub fn make_algo(kind: CcKind, line: Bandwidth, base_rtt: TimeDelta) -> CcAlgo {
+    match kind {
+        CcKind::Hpcc => CcAlgo::Hpcc(HpccConfig::paper_default(line, base_rtt)),
+        CcKind::Fncc => CcAlgo::Fncc(FnccConfig::paper_default(line, base_rtt)),
+        CcKind::Dcqcn => CcAlgo::Dcqcn(DcqcnConfig::paper_default(line)),
+        CcKind::Rocc => CcAlgo::Rocc(RoccConfig::new(line)),
+        CcKind::Timely => CcAlgo::Timely(TimelyConfig::paper_default(line, base_rtt)),
+        CcKind::Swift => CcAlgo::Swift(SwiftConfig::paper_default(line, base_rtt)),
+    }
+}
+
+/// Wire the switch-side features a CC scheme needs into a fabric config.
+pub fn apply_cc_features(cfg: &mut FabricConfig, kind: CcKind, line: Bandwidth) {
+    match kind {
+        CcKind::Hpcc => cfg.int = IntInsertion::OnData,
+        CcKind::Fncc => {
+            cfg.int = IntInsertion::OnAck;
+            // Fig. 8's periodic All_INT_Table is load-bearing: live reads
+            // phase-quantise txBytes deltas against ACK pass times, biasing
+            // the sender's U estimate high. A 1 µs snapshot period gives
+            // exact per-period byte counts (see DESIGN.md / the
+            // `ablation_int_refresh` experiment).
+            cfg.int_refresh = Some(TimeDelta::from_us(1));
+        }
+        CcKind::Dcqcn => cfg.ecn = EcnConfig::dcqcn_scaled(line),
+        CcKind::Rocc => cfg.rocc = Some(RoccSwitchConfig::default_for(line)),
+        CcKind::Timely | CcKind::Swift => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_algo_covers_all_kinds() {
+        let line = Bandwidth::gbps(100);
+        let rtt = TimeDelta::from_us(12);
+        for kind in CcKind::ALL {
+            assert_eq!(make_algo(kind, line, rtt).kind(), kind);
+        }
+    }
+
+    #[test]
+    fn apply_cc_features_wires_switch_side() {
+        let line = Bandwidth::gbps(100);
+        let mut cfg = FabricConfig::paper_default();
+        apply_cc_features(&mut cfg, CcKind::Hpcc, line);
+        assert_eq!(cfg.int, IntInsertion::OnData);
+        let mut cfg = FabricConfig::paper_default();
+        apply_cc_features(&mut cfg, CcKind::Fncc, line);
+        assert_eq!(cfg.int, IntInsertion::OnAck);
+        assert!(cfg.int_refresh.is_some());
+        let mut cfg = FabricConfig::paper_default();
+        apply_cc_features(&mut cfg, CcKind::Dcqcn, line);
+        assert!(cfg.ecn.enabled);
+        let mut cfg = FabricConfig::paper_default();
+        apply_cc_features(&mut cfg, CcKind::Rocc, line);
+        assert!(cfg.rocc.is_some());
+    }
+}

@@ -182,26 +182,19 @@ fn dumbbell_elephants_within_band() {
 /// newly covers (the workload matrix is their primary validation; this
 /// pins the microbenchmark shape too).
 ///
-/// Timely is held to a documented looser bound: under a *sustained*
-/// multi-MB drain its gradient control settles into a deep oscillation
-/// (~0.6 sustained utilization in the DES — a regime no §5.5 workload
-/// flow lives long enough to reach), so the single-η fluid reduction
-/// systematically under-predicts its pure-elephant FCTs. The fluid side
-/// must still agree on ordering and magnitude; tightening this requires a
-/// duration-dependent utilization model (see ROADMAP).
+/// Timely used to carry a documented looser bound here: under a
+/// *sustained* multi-MB drain its gradient control settles into a deep
+/// oscillation (~0.6 sustained utilization in the DES — a regime no §5.5
+/// workload flow lives long enough to reach), which a single-η reduction
+/// cannot express. The `RateModel` duration→effective-η hook
+/// ([`fncc_fluid::DurationEta`]) now models exactly that decay, so Timely
+/// is held to the same 15% band as every other scheme.
 #[test]
 fn new_schemes_dumbbell_spot_checks() {
-    for cc in [CcKind::Rocc, CcKind::Swift] {
+    for cc in [CcKind::Rocc, CcKind::Swift, CcKind::Timely] {
         let (p, f) = both_backends(&dumbbell_elephants(cc));
         assert_within_band(&format!("{cc:?} dumbbell"), p, f);
     }
-    let (p, f) = both_backends(&dumbbell_elephants(CcKind::Timely));
-    let ratio = f / p;
-    println!("[xval] Timely dumbbell (loose)   packet {p:7.3}  fluid {f:7.3}  ratio {ratio:.2}");
-    assert!(
-        (0.5..1.2).contains(&ratio),
-        "Timely dumbbell: fluid {f:.2} vs packet {p:.2}"
-    );
 }
 
 /// The fairness sanity behind the fluid model: equal elephants through one
@@ -234,22 +227,15 @@ fn incast_fair_share_within_band() {
     assert_within_band("incast fair share", p, f);
 }
 
-/// Incast spot check for the three newly calibrated schemes. Timely gets
-/// the same documented looser bound as its dumbbell spot check (sustained
-/// saturation is outside the single-η model's envelope).
+/// Incast spot check for the three newly calibrated schemes. Timely's
+/// sustained-saturation decay is covered by the duration→effective-η hook
+/// (see the dumbbell spot check), so all three sit in the standard band.
 #[test]
 fn new_schemes_incast_spot_checks() {
-    for cc in [CcKind::Rocc, CcKind::Swift] {
+    for cc in [CcKind::Rocc, CcKind::Swift, CcKind::Timely] {
         let (p, f) = both_backends(&incast_fair_share(cc));
         assert_within_band(&format!("{cc:?} incast"), p, f);
     }
-    let (p, f) = both_backends(&incast_fair_share(CcKind::Timely));
-    let ratio = f / p;
-    println!("[xval] Timely incast (loose)     packet {p:7.3}  fluid {f:7.3}  ratio {ratio:.2}");
-    assert!(
-        (0.4..1.2).contains(&ratio),
-        "Timely incast: fluid {f:.2} vs packet {p:.2}"
-    );
 }
 
 /// The new scenarios the unified API added ride outside the calibrated
