@@ -10,10 +10,13 @@
 //!   (`R_T += R_AI`), then *hyper* increase (`R_T += R_HAI`); α decays by
 //!   `(1−g)` every timer period without a CNP.
 //!
-//! Rate-based: no window. Parameter defaults follow the paper/Mellanox
-//! values, with `R_AI` scaled linearly with line rate (40 Mb/s at 40 G →
-//! 100 Mb/s at 100 G) as deployments do.
+//! Rate-based: no window. `R_C` is the datapath's published pacing rate;
+//! the policy keeps the target rate and stage machinery. Parameter defaults
+//! follow the paper/Mellanox values, with `R_AI` scaled linearly with line
+//! rate (40 Mb/s at 40 G → 100 Mb/s at 100 G) as deployments do.
 
+use crate::datapath::{CcPolicy, Datapath, Measurements, Registration, Transmit};
+use crate::CcKind;
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_net::units::Bandwidth;
 
@@ -58,12 +61,10 @@ impl DcqcnConfig {
     }
 }
 
-/// Per-flow DCQCN sender state.
+/// DCQCN's law state (the current rate `R_C` lives in the datapath).
 #[derive(Clone, Debug)]
-pub struct DcqcnFlow {
+pub struct DcqcnPolicy {
     cfg: DcqcnConfig,
-    /// Current rate R_C (bits/s).
-    rc: f64,
     /// Target rate R_T (bits/s).
     rt: f64,
     /// Congestion estimate α.
@@ -77,13 +78,16 @@ pub struct DcqcnFlow {
     pub last_decrease: Option<SimTime>,
 }
 
-impl DcqcnFlow {
-    /// Fresh flow at line rate (RoCE NICs start unthrottled).
+/// Per-flow DCQCN state: the policy mounted on the shared datapath.
+pub type DcqcnFlow = Datapath<DcqcnPolicy>;
+
+impl DcqcnPolicy {
+    /// Law state for a fresh flow (rate starts at line — RoCE NICs start
+    /// unthrottled).
     pub fn new(cfg: DcqcnConfig) -> Self {
         let line = cfg.line.as_f64();
-        DcqcnFlow {
+        DcqcnPolicy {
             cfg,
-            rc: line,
             rt: line,
             alpha: 1.0,
             timer_stage: 0,
@@ -92,12 +96,6 @@ impl DcqcnFlow {
             cnp_in_period: false,
             last_decrease: None,
         }
-    }
-
-    /// Current sending rate in bits/s.
-    #[inline]
-    pub fn rate_bps(&self) -> f64 {
-        self.rc
     }
 
     /// Congestion estimate α (diagnostics).
@@ -119,9 +117,10 @@ impl DcqcnFlow {
     }
 
     /// React to a congestion-notification packet.
-    pub fn on_cnp(&mut self, now: SimTime) {
-        self.rt = self.rc;
-        self.rc = (self.rc * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate);
+    fn on_cnp(&mut self, xmit: &mut Transmit, now: SimTime) {
+        let rc = xmit.rate_bps();
+        self.rt = rc;
+        xmit.set_rate((rc * (1.0 - self.alpha / 2.0)).max(self.cfg.min_rate));
         self.alpha = (1.0 - self.cfg.g) * self.alpha + self.cfg.g;
         self.timer_stage = 0;
         self.byte_stage = 0;
@@ -130,32 +129,8 @@ impl DcqcnFlow {
         self.last_decrease = Some(now);
     }
 
-    /// Account transmitted bytes (byte-counter stage driver).
-    pub fn on_sent(&mut self, bytes: u64) {
-        self.bytes_acc += bytes;
-        while self.bytes_acc >= self.cfg.byte_counter {
-            self.bytes_acc -= self.cfg.byte_counter;
-            self.byte_stage += 1;
-            self.increase();
-        }
-    }
-
-    /// Periodic timer: α decay plus a timer-stage increase event. Returns
-    /// the next tick delay.
-    pub fn tick(&mut self, _now: SimTime) -> TimeDelta {
-        if self.cnp_in_period {
-            // The CNP already reset the stages; α was bumped there.
-            self.cnp_in_period = false;
-        } else {
-            self.alpha *= 1.0 - self.cfg.g;
-            self.timer_stage += 1;
-            self.increase();
-        }
-        self.cfg.timer
-    }
-
     /// One rate-increase event (fast recovery / additive / hyper).
-    fn increase(&mut self) {
+    fn increase(&mut self, xmit: &mut Transmit) {
         let f = self.cfg.f;
         if self.timer_stage >= f && self.byte_stage >= f {
             self.rt += self.cfg.rhai;
@@ -164,7 +139,56 @@ impl DcqcnFlow {
         }
         // Fast recovery (both stages < F) leaves R_T untouched.
         self.rt = self.rt.min(self.cfg.line.as_f64());
-        self.rc = ((self.rt + self.rc) / 2.0).clamp(self.cfg.min_rate, self.cfg.line.as_f64());
+        let rc = xmit.rate_bps();
+        xmit.set_rate(((self.rt + rc) / 2.0).clamp(self.cfg.min_rate, self.cfg.line.as_f64()));
+    }
+}
+
+impl CcPolicy for DcqcnPolicy {
+    const KIND: CcKind = CcKind::Dcqcn;
+
+    /// DCQCN needs RED/ECN marking at switches (the receiver turns marks
+    /// into CNPs).
+    const REGISTRATION: Registration = Registration {
+        ecn: true,
+        ..Registration::NONE
+    };
+
+    fn initial(&self) -> Transmit {
+        Transmit::rate_based(self.cfg.line.as_f64(), self.cfg.line)
+    }
+
+    fn on_signal(&mut self, xmit: &mut Transmit, m: &Measurements<'_>) {
+        if let Measurements::Cnp { now } = m {
+            self.on_cnp(xmit, *now);
+        }
+    }
+
+    /// Account transmitted bytes (byte-counter stage driver).
+    fn on_sent(&mut self, xmit: &mut Transmit, bytes: u64) {
+        self.bytes_acc += bytes;
+        while self.bytes_acc >= self.cfg.byte_counter {
+            self.bytes_acc -= self.cfg.byte_counter;
+            self.byte_stage += 1;
+            self.increase(xmit);
+        }
+    }
+
+    /// Periodic timer: α decay plus a timer-stage increase event.
+    fn tick(&mut self, xmit: &mut Transmit, _now: SimTime) -> Option<TimeDelta> {
+        if self.cnp_in_period {
+            // The CNP already reset the stages; α was bumped there.
+            self.cnp_in_period = false;
+        } else {
+            self.alpha *= 1.0 - self.cfg.g;
+            self.timer_stage += 1;
+            self.increase(xmit);
+        }
+        Some(self.cfg.timer)
+    }
+
+    fn initial_tick(&self) -> Option<TimeDelta> {
+        Some(self.cfg.timer)
     }
 }
 
@@ -173,13 +197,19 @@ mod tests {
     use super::*;
 
     fn flow() -> DcqcnFlow {
-        DcqcnFlow::new(DcqcnConfig::paper_default(Bandwidth::gbps(100)))
+        Datapath::new(DcqcnPolicy::new(DcqcnConfig::paper_default(
+            Bandwidth::gbps(100),
+        )))
+    }
+
+    fn tick(f: &mut DcqcnFlow, now: SimTime) -> TimeDelta {
+        f.tick(now).expect("DCQCN is timer-driven")
     }
 
     #[test]
     fn starts_at_line_rate() {
         let f = flow();
-        assert_eq!(f.rate_bps(), 100e9);
+        assert_eq!(f.pacing_rate_bps(), 100e9);
         assert_eq!(f.alpha(), 1.0);
     }
 
@@ -188,7 +218,7 @@ mod tests {
         let mut f = flow();
         f.on_cnp(SimTime::from_us(1));
         // α = 1 → cut by α/2 = 50%; the α update (1−g)·1 + g keeps α at 1.
-        assert!((f.rate_bps() - 50e9).abs() < 1e6);
+        assert!((f.pacing_rate_bps() - 50e9).abs() < 1e6);
         assert!((f.alpha() - 1.0).abs() < 1e-12);
         assert_eq!(f.last_decrease, Some(SimTime::from_us(1)));
     }
@@ -198,9 +228,9 @@ mod tests {
         let mut f = flow();
         f.on_cnp(SimTime::ZERO);
         let mut now = SimTime::ZERO;
-        now += f.tick(now); // clear flag
+        now += tick(&mut f, now); // clear flag
         for _ in 0..10 {
-            now += f.tick(now); // α decays
+            now += tick(&mut f, now); // α decays
         }
         let decayed = f.alpha();
         assert!(decayed < 0.6);
@@ -214,8 +244,12 @@ mod tests {
         for k in 0..10 {
             f.on_cnp(SimTime::from_us(k * 50));
         }
-        assert!(f.rate_bps() < 10e9, "rate {} after 10 CNPs", f.rate_bps());
-        assert!(f.rate_bps() >= 1e6, "respects min rate");
+        assert!(
+            f.pacing_rate_bps() < 10e9,
+            "rate {} after 10 CNPs",
+            f.pacing_rate_bps()
+        );
+        assert!(f.pacing_rate_bps() >= 1e6, "respects min rate");
     }
 
     #[test]
@@ -224,13 +258,13 @@ mod tests {
         f.on_cnp(SimTime::ZERO); // rc = 50G, rt = 100G
         let mut now = SimTime::ZERO;
         // First tick after the CNP only clears the flag.
-        now += f.tick(now);
+        now += tick(&mut f, now);
         for _ in 0..4 {
-            now += f.tick(now);
+            now += tick(&mut f, now);
         }
         // Fast recovery: rc → (rt+rc)/2 each event: 75, 87.5, 93.75, 96.9.
-        assert!(f.rate_bps() > 90e9, "rate {}", f.rate_bps());
-        assert!(f.rate_bps() < 100e9);
+        assert!(f.pacing_rate_bps() > 90e9, "rate {}", f.pacing_rate_bps());
+        assert!(f.pacing_rate_bps() < 100e9);
     }
 
     #[test]
@@ -238,13 +272,13 @@ mod tests {
         let mut f = flow();
         f.on_cnp(SimTime::ZERO);
         let mut now = SimTime::ZERO;
-        now += f.tick(now); // clears flag
+        now += tick(&mut f, now); // clears flag
         for _ in 0..20 {
-            now += f.tick(now);
+            now += tick(&mut f, now);
         }
         // After F=5 timer stages the target starts creeping up by RAI and the
         // rate converges to line rate.
-        assert!((f.rate_bps() - 100e9).abs() < 1e9);
+        assert!((f.pacing_rate_bps() - 100e9).abs() < 1e9);
     }
 
     #[test]
@@ -253,9 +287,9 @@ mod tests {
         f.on_cnp(SimTime::ZERO);
         let a0 = f.alpha();
         let mut now = SimTime::ZERO;
-        now += f.tick(now);
+        now += tick(&mut f, now);
         for _ in 0..20 {
-            now += f.tick(now);
+            now += tick(&mut f, now);
         }
         assert!(f.alpha() < a0 * 0.5, "alpha {} did not decay", f.alpha());
     }
@@ -264,9 +298,12 @@ mod tests {
     fn byte_counter_drives_stages() {
         let mut f = flow();
         f.on_cnp(SimTime::ZERO); // rc 50G
-        let before = f.rate_bps();
+        let before = f.pacing_rate_bps();
         f.on_sent(10 * 1024 * 1024); // one byte-counter period
-        assert!(f.rate_bps() > before, "byte stage must trigger an increase");
+        assert!(
+            f.pacing_rate_bps() > before,
+            "byte stage must trigger an increase"
+        );
     }
 
     #[test]
@@ -274,9 +311,9 @@ mod tests {
         let mut f = flow();
         let mut now = SimTime::ZERO;
         for _ in 0..100 {
-            now += f.tick(now);
+            now += tick(&mut f, now);
             f.on_sent(20 * 1024 * 1024);
-            assert!(f.rate_bps() <= 100e9);
+            assert!(f.pacing_rate_bps() <= 100e9);
         }
     }
 

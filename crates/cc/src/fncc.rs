@@ -15,7 +15,9 @@
 //! below 1 (0.9) to drain the congested queue.
 
 use crate::ack::AckView;
-use crate::hpcc::{HpccConfig, HpccFlow};
+use crate::datapath::{CcPolicy, Datapath, IntNeed, Measurements, Registration, Transmit};
+use crate::hpcc::{HpccConfig, HpccPolicy};
+use crate::CcKind;
 use fncc_des::time::TimeDelta;
 use fncc_net::units::Bandwidth;
 
@@ -76,41 +78,32 @@ impl FnccConfig {
     }
 }
 
-/// Per-flow FNCC state.
+/// FNCC's law state: HPCC's law plus the LHCS trigger.
 #[derive(Clone, Debug)]
-pub struct FnccFlow {
-    inner: HpccFlow,
+pub struct FnccPolicy {
+    inner: HpccPolicy,
     lhcs: LhcsConfig,
     /// How many times LHCS fired (diagnostics / tests).
     pub lhcs_triggers: u64,
 }
 
-impl FnccFlow {
-    /// Fresh flow.
+/// Per-flow FNCC state: the policy mounted on the shared datapath.
+pub type FnccFlow = Datapath<FnccPolicy>;
+
+impl FnccPolicy {
+    /// Law state for a fresh flow.
     pub fn new(cfg: FnccConfig) -> Self {
-        FnccFlow {
-            inner: HpccFlow::new(cfg.hpcc),
+        FnccPolicy {
+            inner: HpccPolicy::new(cfg.hpcc),
             lhcs: cfg.lhcs,
             lhcs_triggers: 0,
         }
-    }
-
-    /// Current window in bytes.
-    #[inline]
-    pub fn window(&self) -> f64 {
-        self.inner.window()
     }
 
     /// Reference window (diagnostics).
     #[inline]
     pub fn wc(&self) -> f64 {
         self.inner.wc()
-    }
-
-    /// Pacing rate in bits/s.
-    #[inline]
-    pub fn rate_bps(&self) -> f64 {
-        self.inner.rate_bps()
     }
 
     /// Smoothed utilisation estimate.
@@ -120,10 +113,10 @@ impl FnccFlow {
     }
 
     /// Process an ACK whose INT has been normalised to request-path order.
-    pub fn on_ack(&mut self, ack: &AckView<'_>) {
+    fn on_ack(&mut self, xmit: &mut Transmit, ack: &AckView<'_>) {
         let lhcs = self.lhcs.clone();
         let triggers = &mut self.lhcs_triggers;
-        self.inner.on_ack_with(ack, |hpcc, ack| {
+        self.inner.on_ack_with(xmit, ack, |hpcc, ack| {
             if !lhcs.enabled {
                 return;
             }
@@ -153,6 +146,33 @@ impl FnccFlow {
     }
 }
 
+impl CcPolicy for FnccPolicy {
+    const KIND: CcKind = CcKind::Fncc;
+
+    /// FNCC needs return-path INT on ACKs, snapshotted every 1 µs: Fig. 8's
+    /// periodic All_INT_Table is load-bearing — live reads phase-quantise
+    /// txBytes deltas against ACK pass times, biasing the sender's U
+    /// estimate high (see DESIGN.md / the `ablation_int_refresh`
+    /// experiment). Return-path INT arrives in reverse hop order.
+    const REGISTRATION: Registration = Registration {
+        int: IntNeed::OnAck {
+            refresh_us: Some(1),
+        },
+        int_reversed: true,
+        ..Registration::NONE
+    };
+
+    fn initial(&self) -> Transmit {
+        self.inner.initial()
+    }
+
+    fn on_signal(&mut self, xmit: &mut Transmit, m: &Measurements<'_>) {
+        if let Measurements::Ack(ack) = m {
+            self.on_ack(xmit, ack);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,9 +182,17 @@ mod tests {
         FnccConfig::paper_default(Bandwidth::gbps(100), TimeDelta::from_us(12))
     }
 
+    fn flow() -> FnccFlow {
+        Datapath::new(FnccPolicy::new(cfg()))
+    }
+
+    fn window(f: &FnccFlow) -> f64 {
+        f.window_bytes().expect("FNCC is window-based")
+    }
+
     #[test]
     fn lhcs_jumps_to_fair_share() {
-        let mut f = FnccFlow::new(cfg());
+        let mut f = flow();
         let mut tx = 0u64;
         for k in 0..10u64 {
             tx += 12_500;
@@ -186,7 +214,7 @@ mod tests {
 
     #[test]
     fn lhcs_ignores_middle_hop_congestion() {
-        let mut f = FnccFlow::new(cfg());
+        let mut f = flow();
         let mut tx = 0u64;
         for k in 0..10u64 {
             tx += 12_500;
@@ -199,12 +227,12 @@ mod tests {
         }
         assert_eq!(f.lhcs_triggers, 0);
         // But the normal HPCC law still reacts to the congestion.
-        assert!(f.window() < 0.5 * 150_000.0);
+        assert!(window(&f) < 0.5 * 150_000.0);
     }
 
     #[test]
     fn lhcs_requires_umax_above_alpha() {
-        let mut f = FnccFlow::new(cfg());
+        let mut f = flow();
         let mut tx = 0u64;
         for k in 0..10u64 {
             // Lightly loaded last hop: txRate = 40% line, tiny queue →
@@ -221,10 +249,10 @@ mod tests {
 
     #[test]
     fn disabled_lhcs_never_fires() {
-        let mut f = FnccFlow::new(FnccConfig::without_lhcs(
+        let mut f = Datapath::new(FnccPolicy::new(FnccConfig::without_lhcs(
             Bandwidth::gbps(100),
             TimeDelta::from_us(12),
-        ));
+        )));
         let mut tx = 0u64;
         for k in 0..10u64 {
             tx += 12_500;
@@ -236,12 +264,12 @@ mod tests {
         }
         assert_eq!(f.lhcs_triggers, 0);
         // Still congestion-controlled the HPCC way.
-        assert!(f.window() < 150_000.0);
+        assert!(window(&f) < 150_000.0);
     }
 
     #[test]
     fn zero_n_is_treated_as_one() {
-        let mut f = FnccFlow::new(cfg());
+        let mut f = flow();
         let mut tx = 0u64;
         for k in 0..10u64 {
             tx += 12_500;
@@ -257,7 +285,7 @@ mod tests {
     #[test]
     fn converged_fair_rate_scales_with_n() {
         let run = |n: u16| {
-            let mut f = FnccFlow::new(cfg());
+            let mut f = flow();
             let mut tx = 0u64;
             for k in 0..10u64 {
                 tx += 12_500;

@@ -12,8 +12,14 @@
 //! filters the maximum through an EWMA (`U`), and sets
 //! `W = Wc / (U/η) + W_AI` (multiplicative) or `W = Wc + W_AI` (additive
 //! probing for at most `maxStage` stages).
+//!
+//! The policy holds only the law state (`Wc`, stages, EWMA, previous INT);
+//! the published window lives in the shared [`Transmit`] and pacing follows
+//! `W·8/T` there.
 
 use crate::ack::AckView;
+use crate::datapath::{CcPolicy, Datapath, IntNeed, Measurements, Registration, Transmit};
+use crate::CcKind;
 use fncc_des::time::TimeDelta;
 use fncc_net::packet::{IntRecord, MAX_HOPS};
 use fncc_net::units::Bandwidth;
@@ -59,11 +65,10 @@ impl HpccConfig {
     }
 }
 
-/// Per-flow HPCC state. Also the base of [`crate::fncc::FnccFlow`].
+/// HPCC's law state. Also the base of [`crate::fncc::FnccPolicy`].
 #[derive(Clone, Debug)]
-pub struct HpccFlow {
+pub struct HpccPolicy {
     cfg: HpccConfig,
-    w: f64,
     wc: f64,
     inc_stage: u32,
     last_update_seq: u64,
@@ -79,6 +84,9 @@ pub struct HpccFlow {
     pub n_hops: usize,
 }
 
+/// Per-flow HPCC state: the policy mounted on the shared datapath.
+pub type HpccFlow = Datapath<HpccPolicy>;
+
 const EMPTY: IntRecord = IntRecord {
     bandwidth: Bandwidth::bps(1),
     ts: fncc_des::SimTime::ZERO,
@@ -86,13 +94,13 @@ const EMPTY: IntRecord = IntRecord {
     qlen: 0,
 };
 
-impl HpccFlow {
-    /// Fresh flow starting at one BDP (line rate).
+impl HpccPolicy {
+    /// Law state for a fresh flow (window starts at one BDP, set by
+    /// [`CcPolicy::initial`]).
     pub fn new(cfg: HpccConfig) -> Self {
         let bdp = cfg.bdp();
-        HpccFlow {
+        HpccPolicy {
             cfg,
-            w: bdp,
             wc: bdp,
             inc_stage: 0,
             last_update_seq: 0,
@@ -105,12 +113,6 @@ impl HpccFlow {
         }
     }
 
-    /// Current window in bytes.
-    #[inline]
-    pub fn window(&self) -> f64 {
-        self.w
-    }
-
     /// Reference window `Wc` in bytes (exposed for LHCS and tests).
     #[inline]
     pub fn wc(&self) -> f64 {
@@ -121,12 +123,6 @@ impl HpccFlow {
     #[inline]
     pub fn set_wc(&mut self, wc: f64) {
         self.wc = wc.max(self.cfg.min_window);
-    }
-
-    /// Pacing rate `R = W/T` in bits/s, capped at line rate.
-    #[inline]
-    pub fn rate_bps(&self) -> f64 {
-        (self.w * 8.0 / self.cfg.t.as_secs_f64()).min(self.cfg.line.as_f64())
     }
 
     /// Smoothed utilisation estimate `U` (diagnostics).
@@ -145,6 +141,7 @@ impl HpccFlow {
     /// `UpdateWc` runs there).
     pub fn on_ack_with(
         &mut self,
+        xmit: &mut Transmit,
         ack: &AckView<'_>,
         pre_window: impl FnOnce(&mut Self, &AckView<'_>),
     ) {
@@ -155,12 +152,7 @@ impl HpccFlow {
         if update_wc {
             self.last_update_seq = ack.snd_nxt;
         }
-        self.w = w;
-    }
-
-    /// Algorithm 3 `NewACK` (plain HPCC).
-    pub fn on_ack(&mut self, ack: &AckView<'_>) {
-        self.on_ack_with(ack, |_, _| {});
+        xmit.set_window(w);
     }
 
     /// Algorithm 3 `MeasureInFlight`: returns the updated EWMA `U` and fills
@@ -244,6 +236,26 @@ impl HpccFlow {
     }
 }
 
+impl CcPolicy for HpccPolicy {
+    const KIND: CcKind = CcKind::Hpcc;
+
+    /// HPCC needs request-path INT on data frames.
+    const REGISTRATION: Registration = Registration {
+        int: IntNeed::OnData,
+        ..Registration::NONE
+    };
+
+    fn initial(&self) -> Transmit {
+        Transmit::windowed(self.cfg.bdp(), self.cfg.t, self.cfg.line)
+    }
+
+    fn on_signal(&mut self, xmit: &mut Transmit, m: &Measurements<'_>) {
+        if let Measurements::Ack(ack) = m {
+            self.on_ack_with(xmit, ack, |_, _| {});
+        }
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
@@ -283,19 +295,27 @@ mod tests {
         HpccConfig::paper_default(Bandwidth::gbps(100), TimeDelta::from_us(12))
     }
 
+    fn flow() -> HpccFlow {
+        Datapath::new(HpccPolicy::new(cfg()))
+    }
+
+    fn window(f: &HpccFlow) -> f64 {
+        f.window_bytes().expect("HPCC is window-based")
+    }
+
     /// 100G, T=12us → BDP = 150 KB.
     #[test]
     fn initial_window_is_bdp() {
-        let f = HpccFlow::new(cfg());
-        assert!((f.window() - 150_000.0).abs() < 1.0);
-        assert!((f.rate_bps() - 100e9).abs() / 100e9 < 1e-9);
+        let f = flow();
+        assert!((window(&f) - 150_000.0).abs() < 1.0);
+        assert!((f.pacing_rate_bps() - 100e9).abs() / 100e9 < 1e-9);
     }
 
     /// Feed INT showing a saturated, deeply queued link: the window must
     /// collapse well below BDP within a few ACKs.
     #[test]
     fn congestion_shrinks_window() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         // 100G link: 12.5e9 bytes/s. Over 1us, line rate = 12500 bytes.
         let mut tx = 0u64;
         for k in 0..40 {
@@ -307,9 +327,9 @@ mod tests {
         // U ≈ qlen/BDP + txRate/B ≈ 400000/150000 + 1.0 ≈ 3.67 ≫ η.
         assert!(f.u() > 2.0, "U = {}", f.u());
         assert!(
-            f.window() < 0.5 * f.config().bdp(),
+            window(&f) < 0.5 * f.config().bdp(),
             "window {} did not shrink (BDP {})",
-            f.window(),
+            window(&f),
             f.config().bdp()
         );
     }
@@ -317,7 +337,7 @@ mod tests {
     /// An idle link (no queue, low rate) lets the window recover to BDP.
     #[test]
     fn idle_link_recovers_to_bdp() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         // First congest…
         let mut tx = 0u64;
         for k in 0..20 {
@@ -325,7 +345,7 @@ mod tests {
             let int = [rec(100, k as f64, tx, 400_000)];
             f.on_ack(&ack_at(k as f64, 1456 * (k + 1), 1456 * (k + 2), &int));
         }
-        let low = f.window();
+        let low = window(&f);
         assert!(low < 100_000.0);
         // …then drain: queue zero, txRate 10% of line.
         for k in 20..400 {
@@ -334,9 +354,9 @@ mod tests {
             f.on_ack(&ack_at(k as f64, 1456 * (k + 1), 1456 * (k + 2), &int));
         }
         assert!(
-            f.window() > 0.9 * f.config().bdp(),
+            window(&f) > 0.9 * f.config().bdp(),
             "window {} failed to recover",
-            f.window()
+            window(&f)
         );
     }
 
@@ -345,7 +365,7 @@ mod tests {
     /// directly and U ≫ η from the second ACK on.
     #[test]
     fn wc_updates_once_per_round() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         // Line-rate over T=12us is 150_000 bytes.
         let tx = |k: u64| 150_000 * k;
         let ts = |k: u64| 12.0 * k as f64;
@@ -398,14 +418,14 @@ mod tests {
     /// most max_stage rounds before a multiplicative step.
     #[test]
     fn additive_increase_stages() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         let wai = f.config().wai;
         // Half-utilised link, no queue: U ≈ 0.5.
         let mut tx = 0u64;
         let mut seq = 0u64;
         // Prime.
         f.on_ack(&ack_at(0.0, seq, seq + 1, &[rec(100, 0.0, tx, 0)]));
-        let w0 = f.window();
+        let w0 = window(&f);
         for k in 1..=3 {
             tx += 6_250;
             seq += 1456;
@@ -417,7 +437,7 @@ mod tests {
             ));
         }
         // Window grew, bounded by a few WAI increments (BDP-clamped).
-        let grown = f.window() - w0;
+        let grown = window(&f) - w0;
         assert!(grown >= 0.0 && grown <= 4.0 * wai + 1.0, "grew by {grown}");
     }
 
@@ -425,7 +445,7 @@ mod tests {
     /// above a lightly loaded first hop.
     #[test]
     fn max_link_dominates() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         let mut tx = 0u64;
         for k in 0..10 {
             let t = k as f64;
@@ -447,29 +467,29 @@ mod tests {
     /// not poison the estimate with division-by-zero artifacts.
     #[test]
     fn duplicate_timestamps_are_ignored() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         let int = [rec(100, 5.0, 1000, 10_000)];
         f.on_ack(&ack_at(5.0, 1456, 3000, &int));
         let u_before = f.u();
         // Same snapshot again.
         f.on_ack(&ack_at(6.0, 2912, 4000, &int));
         assert_eq!(f.u(), u_before);
-        assert!(f.window().is_finite());
+        assert!(window(&f).is_finite());
     }
 
     /// Empty INT (e.g. ACK raced ahead of table setup) leaves state sane.
     #[test]
     fn empty_int_is_noop_for_measurement() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         f.on_ack(&ack_at(1.0, 1456, 3000, &[]));
-        assert!(f.window().is_finite());
-        assert!(f.window() <= f.config().bdp());
+        assert!(window(&f).is_finite());
+        assert!(window(&f) <= f.config().bdp());
     }
 
     /// Window never leaves [min_window, BDP].
     #[test]
     fn window_bounds_hold_under_extreme_int() {
-        let mut f = HpccFlow::new(cfg());
+        let mut f = flow();
         let mut tx = 0u64;
         for k in 0..100 {
             let t = k as f64;
@@ -477,8 +497,8 @@ mod tests {
             let q = if k % 2 == 0 { 10_000_000 } else { 0 };
             let int = [rec(100, t, tx, q)];
             f.on_ack(&ack_at(t, 1456 * (k + 1), 1456 * (k + 2), &int));
-            assert!(f.window() >= f.config().min_window);
-            assert!(f.window() <= f.config().bdp() + 1.0);
+            assert!(window(&f) >= f.config().min_window);
+            assert!(window(&f) <= f.config().bdp() + 1.0);
         }
     }
 }

@@ -1,7 +1,11 @@
 #![warn(missing_docs)]
 //! `fncc-cc` — congestion-control state machines.
 //!
-//! One module per algorithm, all re-implemented from their papers:
+//! Every scheme is a small *policy* struct (its control law and nothing
+//! else) mounted on the shared [`Datapath`], which owns the per-flow
+//! window/rate, the window→pacing derivation, measurement delivery, and
+//! tick scheduling — see [`datapath`]. One module per algorithm, all
+//! re-implemented from their papers:
 //!
 //! * [`hpcc`] — HPCC (SIGCOMM'19), exactly Algorithm 3 of the FNCC paper:
 //!   INT-driven window law with per-ACK + per-RTT reference window.
@@ -13,25 +17,36 @@
 //!   rate echoed in ACKs.
 //! * [`timely`], [`swift`] — RTT/delay-based baselines (§6 related work),
 //!   provided as extensions for ablation studies.
+//! * [`fairq`], [`throttle`] — extension schemes bounding the design space:
+//!   receiver-count fair-share windows (arXiv:2401.04850) and bare ECN
+//!   throttling with progressive restoration (arXiv:2511.05149).
 //!
 //! Algorithms are dispatched through the [`CcFlow`] enum (static dispatch in
-//! the per-ACK hot path).
+//! the per-ACK hot path). Each policy declares the fabric features it needs
+//! in a [`Registration`]; the transport layer wires switches from that, so
+//! adding a scheme touches no per-scheme match outside this crate.
 
 pub mod ack;
+pub mod datapath;
 pub mod dcqcn;
+pub mod fairq;
 pub mod fncc;
 pub mod hpcc;
 pub mod rocc;
 pub mod swift;
+pub mod throttle;
 pub mod timely;
 
 pub use ack::AckView;
-pub use dcqcn::{DcqcnConfig, DcqcnFlow};
-pub use fncc::{FnccConfig, FnccFlow, LhcsConfig};
-pub use hpcc::{HpccConfig, HpccFlow};
-pub use rocc::{RoccConfig, RoccFlow};
-pub use swift::{SwiftConfig, SwiftFlow};
-pub use timely::{TimelyConfig, TimelyFlow};
+pub use datapath::{CcPolicy, Datapath, IntNeed, Measurements, Registration, Transmit};
+pub use dcqcn::{DcqcnConfig, DcqcnFlow, DcqcnPolicy};
+pub use fairq::{FairQConfig, FairQFlow, FairQPolicy};
+pub use fncc::{FnccConfig, FnccFlow, FnccPolicy, LhcsConfig};
+pub use hpcc::{HpccConfig, HpccFlow, HpccPolicy};
+pub use rocc::{RoccConfig, RoccFlow, RoccPolicy};
+pub use swift::{SwiftConfig, SwiftFlow, SwiftPolicy};
+pub use throttle::{ThrottleConfig, ThrottleFlow, ThrottlePolicy};
+pub use timely::{TimelyConfig, TimelyFlow, TimelyPolicy};
 
 use fncc_des::time::{SimTime, TimeDelta};
 
@@ -50,6 +65,10 @@ pub enum CcKind {
     Timely,
     /// Swift (extension).
     Swift,
+    /// FairQ (extension).
+    FairQ,
+    /// Throttle (extension).
+    Throttle,
 }
 
 impl CcKind {
@@ -57,13 +76,17 @@ impl CcKind {
     /// must cover *all* schemes — fluid-model calibration, cross-backend
     /// validation, exhaustiveness tests — iterates this slice instead of a
     /// hand-maintained list, so a future scheme cannot silently miss them.
-    pub const ALL: [CcKind; 6] = [
+    /// New schemes append (existing indices are load-bearing for per-scheme
+    /// tables and checked-in calibration artifacts).
+    pub const ALL: [CcKind; 8] = [
         CcKind::Fncc,
         CcKind::Hpcc,
         CcKind::Dcqcn,
         CcKind::Rocc,
         CcKind::Timely,
         CcKind::Swift,
+        CcKind::FairQ,
+        CcKind::Throttle,
     ];
 
     /// This scheme's position in [`CcKind::ALL`] — a stable dense index for
@@ -76,6 +99,8 @@ impl CcKind {
             CcKind::Rocc => 3,
             CcKind::Timely => 4,
             CcKind::Swift => 5,
+            CcKind::FairQ => 6,
+            CcKind::Throttle => 7,
         }
     }
 
@@ -88,6 +113,24 @@ impl CcKind {
             CcKind::Rocc => "RoCC",
             CcKind::Timely => "Timely",
             CcKind::Swift => "Swift",
+            CcKind::FairQ => "FairQ",
+            CcKind::Throttle => "Throttle",
+        }
+    }
+
+    /// The fabric features this scheme's policy declares. The transport
+    /// layer translates this into switch configuration; there is no
+    /// per-scheme feature match outside the policies themselves.
+    pub fn registration(self) -> Registration {
+        match self {
+            CcKind::Hpcc => HpccPolicy::REGISTRATION,
+            CcKind::Fncc => FnccPolicy::REGISTRATION,
+            CcKind::Dcqcn => DcqcnPolicy::REGISTRATION,
+            CcKind::Rocc => RoccPolicy::REGISTRATION,
+            CcKind::Timely => TimelyPolicy::REGISTRATION,
+            CcKind::Swift => SwiftPolicy::REGISTRATION,
+            CcKind::FairQ => FairQPolicy::REGISTRATION,
+            CcKind::Throttle => ThrottlePolicy::REGISTRATION,
         }
     }
 
@@ -95,7 +138,7 @@ impl CcKind {
     /// is reversed relative to the request path and must be normalised
     /// before running the window law.
     pub fn int_in_ack_reversed(self) -> bool {
-        matches!(self, CcKind::Fncc)
+        self.registration().int_reversed
     }
 }
 
@@ -120,6 +163,10 @@ pub enum CcAlgo {
     Timely(TimelyConfig),
     /// Swift configuration.
     Swift(SwiftConfig),
+    /// FairQ configuration.
+    FairQ(FairQConfig),
+    /// Throttle configuration.
+    Throttle(ThrottleConfig),
 }
 
 impl CcAlgo {
@@ -132,24 +179,47 @@ impl CcAlgo {
             CcAlgo::Rocc(_) => CcKind::Rocc,
             CcAlgo::Timely(_) => CcKind::Timely,
             CcAlgo::Swift(_) => CcKind::Swift,
+            CcAlgo::FairQ(_) => CcKind::FairQ,
+            CcAlgo::Throttle(_) => CcKind::Throttle,
         }
     }
 
-    /// Spawn fresh per-flow state.
+    /// Spawn fresh per-flow state: mount the scheme's policy on the shared
+    /// datapath.
     pub fn new_flow(&self) -> CcFlow {
         match self {
-            CcAlgo::Hpcc(c) => CcFlow::Hpcc(HpccFlow::new(c.clone())),
-            CcAlgo::Fncc(c) => CcFlow::Fncc(FnccFlow::new(c.clone())),
-            CcAlgo::Dcqcn(c) => CcFlow::Dcqcn(DcqcnFlow::new(c.clone())),
-            CcAlgo::Rocc(c) => CcFlow::Rocc(RoccFlow::new(c.clone())),
-            CcAlgo::Timely(c) => CcFlow::Timely(TimelyFlow::new(c.clone())),
-            CcAlgo::Swift(c) => CcFlow::Swift(SwiftFlow::new(c.clone())),
+            CcAlgo::Hpcc(c) => CcFlow::Hpcc(Datapath::new(HpccPolicy::new(c.clone()))),
+            CcAlgo::Fncc(c) => CcFlow::Fncc(Datapath::new(FnccPolicy::new(c.clone()))),
+            CcAlgo::Dcqcn(c) => CcFlow::Dcqcn(Datapath::new(DcqcnPolicy::new(c.clone()))),
+            CcAlgo::Rocc(c) => CcFlow::Rocc(Datapath::new(RoccPolicy::new(c.clone()))),
+            CcAlgo::Timely(c) => CcFlow::Timely(Datapath::new(TimelyPolicy::new(c.clone()))),
+            CcAlgo::Swift(c) => CcFlow::Swift(Datapath::new(SwiftPolicy::new(c.clone()))),
+            CcAlgo::FairQ(c) => CcFlow::FairQ(Datapath::new(FairQPolicy::new(c.clone()))),
+            CcAlgo::Throttle(c) => CcFlow::Throttle(Datapath::new(ThrottlePolicy::new(c.clone()))),
         }
     }
 }
 
-/// Per-flow congestion-control state (enum dispatch — no vtables in the
-/// per-ACK path).
+/// Apply one datapath operation uniformly across the scheme enum (static
+/// dispatch — no vtables in the per-ACK path).
+macro_rules! each_flow {
+    ($self:expr, $f:ident => $body:expr) => {
+        match $self {
+            CcFlow::Hpcc($f) => $body,
+            CcFlow::Fncc($f) => $body,
+            CcFlow::Dcqcn($f) => $body,
+            CcFlow::Rocc($f) => $body,
+            CcFlow::Timely($f) => $body,
+            CcFlow::Swift($f) => $body,
+            CcFlow::FairQ($f) => $body,
+            CcFlow::Throttle($f) => $body,
+        }
+    };
+}
+
+/// Per-flow congestion-control state: each variant is the scheme's policy
+/// mounted on the shared [`Datapath`]. The transport host talks only to the
+/// uniform datapath surface below.
 #[derive(Clone, Debug)]
 pub enum CcFlow {
     /// HPCC per-flow state.
@@ -164,73 +234,48 @@ pub enum CcFlow {
     Timely(TimelyFlow),
     /// Swift per-flow state.
     Swift(SwiftFlow),
+    /// FairQ per-flow state.
+    FairQ(FairQFlow),
+    /// Throttle per-flow state.
+    Throttle(ThrottleFlow),
 }
 
 impl CcFlow {
     /// Sending-window limit in bytes, if the scheme is window-based.
     pub fn window_bytes(&self) -> Option<f64> {
-        match self {
-            CcFlow::Hpcc(f) => Some(f.window()),
-            CcFlow::Fncc(f) => Some(f.window()),
-            CcFlow::Swift(f) => Some(f.window()),
-            CcFlow::Dcqcn(_) | CcFlow::Rocc(_) | CcFlow::Timely(_) => None,
-        }
+        each_flow!(self, f => f.window_bytes())
     }
 
     /// Pacing rate in bits/s.
     pub fn pacing_rate_bps(&self) -> f64 {
-        match self {
-            CcFlow::Hpcc(f) => f.rate_bps(),
-            CcFlow::Fncc(f) => f.rate_bps(),
-            CcFlow::Dcqcn(f) => f.rate_bps(),
-            CcFlow::Rocc(f) => f.rate_bps(),
-            CcFlow::Timely(f) => f.rate_bps(),
-            CcFlow::Swift(f) => f.rate_bps(),
-        }
+        each_flow!(self, f => f.pacing_rate_bps())
     }
 
     /// Process an acknowledgment (INT already normalised to request-path
     /// order).
     pub fn on_ack(&mut self, ack: &AckView<'_>) {
-        match self {
-            CcFlow::Hpcc(f) => f.on_ack(ack),
-            CcFlow::Fncc(f) => f.on_ack(ack),
-            CcFlow::Dcqcn(_) => {}
-            CcFlow::Rocc(f) => f.on_ack(ack),
-            CcFlow::Timely(f) => f.on_ack(ack),
-            CcFlow::Swift(f) => f.on_ack(ack),
-        }
+        each_flow!(self, f => f.on_ack(ack))
     }
 
-    /// Process a DCQCN congestion-notification packet.
+    /// Process a congestion-notification packet (ECN mark echo).
     pub fn on_cnp(&mut self, now: SimTime) {
-        if let CcFlow::Dcqcn(f) = self {
-            f.on_cnp(now);
-        }
+        each_flow!(self, f => f.on_cnp(now))
     }
 
-    /// Account transmitted payload bytes (DCQCN byte-counter stage).
+    /// Account transmitted payload bytes (byte-counter stage drivers).
     pub fn on_sent(&mut self, bytes: u64) {
-        if let CcFlow::Dcqcn(f) = self {
-            f.on_sent(bytes);
-        }
+        each_flow!(self, f => f.on_sent(bytes))
     }
 
     /// Periodic CC tick; returns the delay until the next tick if the scheme
-    /// needs one (DCQCN's alpha/rate timers).
+    /// needs one.
     pub fn tick(&mut self, now: SimTime) -> Option<TimeDelta> {
-        match self {
-            CcFlow::Dcqcn(f) => Some(f.tick(now)),
-            _ => None,
-        }
+        each_flow!(self, f => f.tick(now))
     }
 
     /// Initial tick delay, if the scheme is timer-driven.
     pub fn initial_tick(&self) -> Option<TimeDelta> {
-        match self {
-            CcFlow::Dcqcn(f) => Some(f.timer_period()),
-            _ => None,
-        }
+        each_flow!(self, f => f.initial_tick())
     }
 }
 
@@ -246,9 +291,11 @@ mod tests {
             CcAlgo::Hpcc(HpccConfig::paper_default(line, rtt)),
             CcAlgo::Fncc(FnccConfig::paper_default(line, rtt)),
             CcAlgo::Dcqcn(DcqcnConfig::paper_default(line)),
-            CcAlgo::Rocc(RoccConfig::new(line)),
+            CcAlgo::Rocc(RoccConfig::paper_default(line)),
             CcAlgo::Timely(TimelyConfig::paper_default(line, rtt)),
             CcAlgo::Swift(SwiftConfig::paper_default(line, rtt)),
+            CcAlgo::FairQ(FairQConfig::paper_default(line, rtt)),
+            CcAlgo::Throttle(ThrottleConfig::paper_default(line)),
         ]
     }
 
@@ -274,7 +321,7 @@ mod tests {
         let names: Vec<&str> = algos().iter().map(|a| a.kind().name()).collect();
         assert_eq!(
             names,
-            vec!["HPCC", "FNCC", "DCQCN", "RoCC", "Timely", "Swift"]
+            vec!["HPCC", "FNCC", "DCQCN", "RoCC", "Timely", "Swift", "FairQ", "Throttle"]
         );
     }
 
@@ -282,6 +329,32 @@ mod tests {
     fn only_fncc_reverses_ack_int() {
         for a in algos() {
             assert_eq!(a.kind().int_in_ack_reversed(), a.kind() == CcKind::Fncc);
+        }
+    }
+
+    #[test]
+    fn registrations_match_scheme_signals() {
+        for kind in CcKind::ALL {
+            let reg = kind.registration();
+            // INT consumers and only they request insertion.
+            let wants_int = !matches!(reg.int, IntNeed::None);
+            assert_eq!(
+                wants_int,
+                matches!(kind, CcKind::Hpcc | CcKind::Fncc | CcKind::FairQ),
+                "{kind:?}"
+            );
+            // ECN marking feeds exactly the CNP-driven schemes.
+            assert_eq!(
+                reg.ecn,
+                matches!(kind, CcKind::Dcqcn | CcKind::Throttle),
+                "{kind:?}"
+            );
+            // Only RoCC wants the switch fair rate.
+            assert_eq!(reg.rocc_rate, kind == CcKind::Rocc, "{kind:?}");
+            // Reversed INT implies INT on ACKs.
+            if reg.int_reversed {
+                assert!(matches!(reg.int, IntNeed::OnAck { .. }), "{kind:?}");
+            }
         }
     }
 
@@ -299,16 +372,20 @@ mod tests {
         for a in algos() {
             let f = a.new_flow();
             let has_window = f.window_bytes().is_some();
-            let expect = matches!(a.kind(), CcKind::Hpcc | CcKind::Fncc | CcKind::Swift);
+            let expect = matches!(
+                a.kind(),
+                CcKind::Hpcc | CcKind::Fncc | CcKind::Swift | CcKind::FairQ
+            );
             assert_eq!(has_window, expect, "{:?}", a.kind());
         }
     }
 
     #[test]
-    fn only_dcqcn_is_timer_driven() {
+    fn timer_driven_schemes_declare_ticks() {
         for a in algos() {
             let f = a.new_flow();
-            assert_eq!(f.initial_tick().is_some(), a.kind() == CcKind::Dcqcn);
+            let expect = matches!(a.kind(), CcKind::Dcqcn | CcKind::Throttle);
+            assert_eq!(f.initial_tick().is_some(), expect, "{:?}", a.kind());
         }
     }
 }

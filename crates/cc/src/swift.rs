@@ -3,12 +3,14 @@
 //! Window-based: the sender compares each RTT sample with a target delay;
 //! below target it grows the congestion window additively (per acked byte),
 //! above target it applies a multiplicative decrease proportional to the
-//! overshoot, at most once per RTT. Pacing follows `cwnd / target`.
+//! overshoot, at most once per RTT. Pacing follows `cwnd / target` — the
+//! shared datapath pacing law with the target delay as the pace interval.
 //!
 //! This is the simplified fabric-delay form (no per-hop scaling of the
 //! target), adequate for the ablation role it plays here.
 
-use crate::ack::AckView;
+use crate::datapath::{CcPolicy, Datapath, Measurements, Registration, Transmit};
+use crate::CcKind;
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_net::units::Bandwidth;
 
@@ -51,61 +53,73 @@ impl SwiftConfig {
     }
 }
 
-/// Per-flow Swift state.
+/// Swift's law state (the congestion window lives in the datapath).
 #[derive(Clone, Debug)]
-pub struct SwiftFlow {
+pub struct SwiftPolicy {
     cfg: SwiftConfig,
-    cwnd: f64,
     last_decrease: SimTime,
 }
 
-impl SwiftFlow {
-    /// Fresh flow at one BDP.
+/// Per-flow Swift state: the policy mounted on the shared datapath.
+pub type SwiftFlow = Datapath<SwiftPolicy>;
+
+impl SwiftPolicy {
+    /// Law state for a fresh flow.
     pub fn new(cfg: SwiftConfig) -> Self {
-        let cwnd = cfg.bdp();
-        SwiftFlow {
+        SwiftPolicy {
             cfg,
-            cwnd,
             last_decrease: SimTime::ZERO,
         }
     }
+}
 
-    /// Congestion window in bytes.
-    #[inline]
-    pub fn window(&self) -> f64 {
-        self.cwnd
-    }
+impl CcPolicy for SwiftPolicy {
+    const KIND: CcKind = CcKind::Swift;
 
-    /// Pacing rate: `cwnd / target`, capped at line rate.
-    #[inline]
-    pub fn rate_bps(&self) -> f64 {
-        (self.cwnd * 8.0 / self.cfg.target.as_secs_f64()).min(self.cfg.line.as_f64())
+    /// Pure end-to-end delay law — nothing needed from the fabric.
+    const REGISTRATION: Registration = Registration::NONE;
+
+    fn initial(&self) -> Transmit {
+        Transmit::windowed(self.cfg.bdp(), self.cfg.target, self.cfg.line)
     }
 
     /// Process one delay sample.
-    pub fn on_ack(&mut self, ack: &AckView<'_>) {
+    fn on_signal(&mut self, xmit: &mut Transmit, m: &Measurements<'_>) {
+        let Measurements::Ack(ack) = m else {
+            return;
+        };
         let delay = ack.rtt.as_secs_f64();
         let target = self.cfg.target.as_secs_f64();
+        let mut cwnd = xmit.window().expect("Swift is window-based");
         if delay <= target {
             // Additive increase, spread across the window's worth of ACKs.
             let acked = ack.newly_acked.max(1) as f64;
-            self.cwnd += self.cfg.ai_bytes * acked / self.cwnd.max(1.0);
+            cwnd += self.cfg.ai_bytes * acked / cwnd.max(1.0);
         } else if ack.now.since(self.last_decrease) >= ack.rtt {
             let overshoot = (delay - target) / delay;
             let factor = (1.0 - self.cfg.beta * overshoot).max(1.0 - self.cfg.max_mdf);
-            self.cwnd *= factor;
+            cwnd *= factor;
             self.last_decrease = ack.now;
         }
-        self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.bdp() * 2.0);
+        xmit.set_window(cwnd.clamp(self.cfg.min_cwnd, self.cfg.bdp() * 2.0));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ack::AckView;
 
     fn cfg() -> SwiftConfig {
         SwiftConfig::paper_default(Bandwidth::gbps(100), TimeDelta::from_us(12))
+    }
+
+    fn flow() -> SwiftFlow {
+        Datapath::new(SwiftPolicy::new(cfg()))
+    }
+
+    fn window(f: &SwiftFlow) -> f64 {
+        f.window_bytes().expect("Swift is window-based")
     }
 
     fn ack(now_us: u64, rtt_us: f64) -> AckView<'static> {
@@ -123,53 +137,53 @@ mod tests {
 
     #[test]
     fn starts_at_bdp() {
-        let f = SwiftFlow::new(cfg());
-        assert!((f.window() - 150_000.0).abs() < 1.0);
+        let f = flow();
+        assert!((window(&f) - 150_000.0).abs() < 1.0);
     }
 
     #[test]
     fn over_target_delay_shrinks_window_once_per_rtt() {
-        let mut f = SwiftFlow::new(cfg());
-        let w0 = f.window();
+        let mut f = flow();
+        let w0 = window(&f);
         // now=100us, rtt=60us: 100 − 0 ≥ 60 → decrease allowed.
         f.on_ack(&ack(100, 60.0));
-        let w1 = f.window();
+        let w1 = window(&f);
         assert!(w1 < w0);
         // 1us later (< one RTT), another bad sample must NOT shrink again.
         f.on_ack(&ack(101, 60.0));
-        assert_eq!(f.window(), w1);
+        assert_eq!(window(&f), w1);
         // After an RTT has passed, it may.
         f.on_ack(&ack(200, 60.0));
-        assert!(f.window() < w1);
+        assert!(window(&f) < w1);
     }
 
     #[test]
     fn under_target_grows() {
-        let mut f = SwiftFlow::new(cfg());
+        let mut f = flow();
         for k in 0..50 {
             f.on_ack(&ack(100 + k, 60.0));
         }
-        let low = f.window();
+        let low = window(&f);
         for k in 0..2000 {
             f.on_ack(&ack(1000 + k, 12.0));
         }
-        assert!(f.window() > low);
+        assert!(window(&f) > low);
     }
 
     #[test]
     fn decrease_bounded_by_max_mdf() {
-        let mut f = SwiftFlow::new(cfg());
-        let w0 = f.window();
+        let mut f = flow();
+        let w0 = window(&f);
         f.on_ack(&ack(50, 100_000.0)); // absurd delay
-        assert!(f.window() >= w0 * 0.5 - 1.0, "shrank more than max_mdf");
+        assert!(window(&f) >= w0 * 0.5 - 1.0, "shrank more than max_mdf");
     }
 
     #[test]
     fn window_respects_min() {
-        let mut f = SwiftFlow::new(cfg());
+        let mut f = flow();
         for k in 0..200 {
             f.on_ack(&ack(100 + 100 * k, 10_000.0));
         }
-        assert!(f.window() >= 1518.0);
+        assert!(window(&f) >= 1518.0);
     }
 }

@@ -11,7 +11,8 @@
 //! (the original paper's absolute 50/500 µs values assume much larger
 //! networks).
 
-use crate::ack::AckView;
+use crate::datapath::{CcPolicy, Datapath, Measurements, Registration, Transmit};
+use crate::CcKind;
 use fncc_des::time::TimeDelta;
 use fncc_net::units::Bandwidth;
 
@@ -49,35 +50,43 @@ impl TimelyConfig {
     }
 }
 
-/// Per-flow Timely state.
+/// Timely's law state (the current rate lives in the datapath).
 #[derive(Clone, Debug)]
-pub struct TimelyFlow {
+pub struct TimelyPolicy {
     cfg: TimelyConfig,
-    rate: f64,
     prev_rtt: Option<TimeDelta>,
     rtt_diff: f64, // seconds
 }
 
-impl TimelyFlow {
-    /// Fresh flow at line rate.
+/// Per-flow Timely state: the policy mounted on the shared datapath.
+pub type TimelyFlow = Datapath<TimelyPolicy>;
+
+impl TimelyPolicy {
+    /// Law state for a fresh flow.
     pub fn new(cfg: TimelyConfig) -> Self {
-        let line = cfg.line.as_f64();
-        TimelyFlow {
+        TimelyPolicy {
             cfg,
-            rate: line,
             prev_rtt: None,
             rtt_diff: 0.0,
         }
     }
+}
 
-    /// Current sending rate (bits/s).
-    #[inline]
-    pub fn rate_bps(&self) -> f64 {
-        self.rate
+impl CcPolicy for TimelyPolicy {
+    const KIND: CcKind = CcKind::Timely;
+
+    /// Pure end-to-end delay law — nothing needed from the fabric.
+    const REGISTRATION: Registration = Registration::NONE;
+
+    fn initial(&self) -> Transmit {
+        Transmit::rate_based(self.cfg.line.as_f64(), self.cfg.line)
     }
 
     /// Process one RTT sample from an ACK.
-    pub fn on_ack(&mut self, ack: &AckView<'_>) {
+    fn on_signal(&mut self, xmit: &mut Transmit, m: &Measurements<'_>) {
+        let Measurements::Ack(ack) = m else {
+            return;
+        };
         let rtt = ack.rtt;
         let Some(prev) = self.prev_rtt.replace(rtt) else {
             return;
@@ -87,30 +96,34 @@ impl TimelyFlow {
         self.rtt_diff = (1.0 - a) * self.rtt_diff + a * new_diff;
         let gradient = self.rtt_diff / self.cfg.min_rtt.as_secs_f64();
 
+        let mut rate = xmit.rate_bps();
         if rtt < self.cfg.t_low {
-            self.rate += self.cfg.delta;
+            rate += self.cfg.delta;
         } else if rtt > self.cfg.t_high {
             let shrink =
                 1.0 - self.cfg.beta * (1.0 - self.cfg.t_high.as_secs_f64() / rtt.as_secs_f64());
-            self.rate *= shrink;
+            rate *= shrink;
         } else if gradient <= 0.0 {
-            self.rate += self.cfg.delta;
+            rate += self.cfg.delta;
         } else {
-            self.rate *= 1.0 - self.cfg.beta * gradient.min(1.0);
+            rate *= 1.0 - self.cfg.beta * gradient.min(1.0);
         }
-        self.rate = self
-            .rate
-            .clamp(self.cfg.line.as_f64() / 1000.0, self.cfg.line.as_f64());
+        xmit.set_rate(rate.clamp(self.cfg.line.as_f64() / 1000.0, self.cfg.line.as_f64()));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ack::AckView;
     use fncc_des::time::SimTime;
 
     fn cfg() -> TimelyConfig {
         TimelyConfig::paper_default(Bandwidth::gbps(100), TimeDelta::from_us(12))
+    }
+
+    fn flow() -> TimelyFlow {
+        Datapath::new(TimelyPolicy::new(cfg()))
     }
 
     fn ack_rtt(us: f64) -> AckView<'static> {
@@ -128,51 +141,51 @@ mod tests {
 
     #[test]
     fn rising_rtt_cuts_rate() {
-        let mut f = TimelyFlow::new(cfg());
+        let mut f = flow();
         for k in 0..30 {
             f.on_ack(&ack_rtt(13.0 + k as f64)); // steadily rising queue
         }
-        assert!(f.rate_bps() < 50e9, "rate {}", f.rate_bps());
+        assert!(f.pacing_rate_bps() < 50e9, "rate {}", f.pacing_rate_bps());
     }
 
     #[test]
     fn low_rtt_grows_rate() {
-        let mut f = TimelyFlow::new(cfg());
+        let mut f = flow();
         // Crash the rate, then feed base-RTT samples.
         for k in 0..30 {
             f.on_ack(&ack_rtt(13.0 + k as f64));
         }
-        let low = f.rate_bps();
+        let low = f.pacing_rate_bps();
         for _ in 0..200 {
             f.on_ack(&ack_rtt(12.0));
         }
         assert!(
-            f.rate_bps() > low,
+            f.pacing_rate_bps() > low,
             "no recovery: {} -> {}",
             low,
-            f.rate_bps()
+            f.pacing_rate_bps()
         );
     }
 
     #[test]
     fn very_high_rtt_triggers_md_even_with_flat_gradient() {
-        let mut f = TimelyFlow::new(cfg());
+        let mut f = flow();
         for _ in 0..20 {
             f.on_ack(&ack_rtt(100.0)); // flat but way above t_high
         }
-        assert!(f.rate_bps() < 30e9, "rate {}", f.rate_bps());
+        assert!(f.pacing_rate_bps() < 30e9, "rate {}", f.pacing_rate_bps());
     }
 
     #[test]
     fn rate_stays_within_bounds() {
-        let mut f = TimelyFlow::new(cfg());
+        let mut f = flow();
         for _ in 0..500 {
             f.on_ack(&ack_rtt(12.0));
-            assert!(f.rate_bps() <= 100e9);
+            assert!(f.pacing_rate_bps() <= 100e9);
         }
         for k in 0..500 {
             f.on_ack(&ack_rtt(12.0 + (k % 97) as f64));
-            assert!(f.rate_bps() >= 100e9 / 1000.0);
+            assert!(f.pacing_rate_bps() >= 100e9 / 1000.0);
         }
     }
 }

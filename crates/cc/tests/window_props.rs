@@ -1,10 +1,17 @@
 //! Property tests: congestion-control state machines stay within their
 //! invariant envelopes for *arbitrary* feedback sequences.
+//!
+//! Two layers: per-scheme law invariants (window/rate clamps specific to
+//! each algorithm) and generic datapath invariants that every entry of
+//! `CcKind::ALL` must satisfy under arbitrary interleavings of ACKs, CNPs,
+//! ticks, and transmissions — a new scheme is covered the moment it is
+//! listed in `ALL`.
 
 use fncc_cc::ack::AckView;
 use fncc_cc::{
-    DcqcnConfig, DcqcnFlow, FnccConfig, FnccFlow, HpccConfig, HpccFlow, SwiftConfig, SwiftFlow,
-    TimelyConfig, TimelyFlow,
+    CcAlgo, CcKind, Datapath, DcqcnConfig, DcqcnPolicy, FairQConfig, FairQPolicy, FnccConfig,
+    FnccPolicy, HpccConfig, HpccPolicy, RoccConfig, SwiftConfig, SwiftPolicy, ThrottleConfig,
+    TimelyConfig, TimelyPolicy, Transmit,
 };
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_net::packet::IntRecord;
@@ -13,6 +20,7 @@ use proptest::prelude::*;
 
 const LINE: Bandwidth = Bandwidth::gbps(100);
 const RTT: TimeDelta = TimeDelta::from_us(12);
+const MTU: f64 = 1518.0;
 
 fn view<'a>(k: u64, int: &'a [IntRecord], n: u16, rtt_us: f64) -> AckView<'a> {
     AckView {
@@ -27,19 +35,107 @@ fn view<'a>(k: u64, int: &'a [IntRecord], n: u16, rtt_us: f64) -> AckView<'a> {
     }
 }
 
+fn algo_for(kind: CcKind) -> CcAlgo {
+    match kind {
+        CcKind::Hpcc => CcAlgo::Hpcc(HpccConfig::paper_default(LINE, RTT)),
+        CcKind::Fncc => CcAlgo::Fncc(FnccConfig::paper_default(LINE, RTT)),
+        CcKind::Dcqcn => CcAlgo::Dcqcn(DcqcnConfig::paper_default(LINE)),
+        CcKind::Rocc => CcAlgo::Rocc(RoccConfig::paper_default(LINE)),
+        CcKind::Timely => CcAlgo::Timely(TimelyConfig::paper_default(LINE, RTT)),
+        CcKind::Swift => CcAlgo::Swift(SwiftConfig::paper_default(LINE, RTT)),
+        CcKind::FairQ => CcAlgo::FairQ(FairQConfig::paper_default(LINE, RTT)),
+        CcKind::Throttle => CcAlgo::Throttle(ThrottleConfig::paper_default(LINE)),
+    }
+}
+
 /// Arbitrary INT for one hop: any queue depth up to 10 MB, any tx counter
 /// progress, strictly advancing timestamps.
 fn arb_int_sequence() -> impl Strategy<Value = Vec<(u64, u64)>> {
     proptest::collection::vec((0u64..10_000_000, 0u64..2_000_000), 1..80)
 }
 
+/// One arbitrary datapath stimulus: ((op selector, qlen, Δtx), (N, RTT µs,
+/// RoCC rate share)) — nested because the proptest tuple impls stop at 5.
+type Op = ((u8, u64, u64), (u16, f64, f64));
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (
+            (0u8..4, 0u64..10_000_000, 0u64..2_000_000),
+            (0u16..512, 1.0f64..500.0, 0.0f64..1.5),
+        ),
+        1..150,
+    )
+}
+
 proptest! {
+    /// Generic datapath invariants, one property over every scheme in
+    /// `CcKind::ALL`: for arbitrary interleavings of ACK / CNP / tick /
+    /// sent events the published pacing rate stays positive and at most
+    /// line rate, and window-based schemes never publish a window below
+    /// one MTU.
+    #[test]
+    fn datapath_envelope_holds_for_all_kinds(ops in arb_ops()) {
+        for kind in CcKind::ALL {
+            let mut f = algo_for(kind).new_flow();
+            let mut now = SimTime::ZERO;
+            let mut tx = 0u64;
+            for (k, ((op, qlen, dtx), (n, rtt_us, rshare))) in ops.iter().enumerate() {
+                now += TimeDelta::from_us(1);
+                match op {
+                    0 => {
+                        tx += dtx;
+                        let int = [IntRecord {
+                            bandwidth: LINE,
+                            ts: SimTime::from_us(k as u64 + 1),
+                            tx_bytes: tx,
+                            qlen: *qlen,
+                        }];
+                        let mut v = view(k as u64 + 1, &int, *n, *rtt_us);
+                        v.rocc_rate = LINE.as_f64() * rshare;
+                        f.on_ack(&v);
+                    }
+                    1 => f.on_cnp(now),
+                    2 => {
+                        if let Some(d) = f.tick(now) {
+                            now += d;
+                        }
+                    }
+                    _ => f.on_sent(1_000_000),
+                }
+                let r = f.pacing_rate_bps();
+                prop_assert!(r.is_finite() && r > 0.0, "{kind:?}: rate {r}");
+                prop_assert!(r <= LINE.as_f64() * 1.001, "{kind:?}: rate {r} above line");
+                if let Some(w) = f.window_bytes() {
+                    prop_assert!(w.is_finite() && w >= MTU - 1e-9,
+                        "{kind:?}: window {w} below one MTU");
+                }
+            }
+        }
+    }
+
+    /// The shared pacing law: for any window sequence, the derived rate is
+    /// monotone in the window and never exceeds line rate.
+    #[test]
+    fn pacing_is_monotone_in_window(ws in proptest::collection::vec(1.0f64..1e7, 2..100)) {
+        let mut t = Transmit::windowed(ws[0], RTT, LINE);
+        let mut sorted = ws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev_rate = 0.0;
+        for w in sorted {
+            t.set_window(w);
+            prop_assert!(t.rate_bps() >= prev_rate, "pacing dropped as W grew");
+            prop_assert!(t.rate_bps() <= LINE.as_f64() + 1e-6);
+            prev_rate = t.rate_bps();
+        }
+    }
+
     /// HPCC's window stays in [min_window, BDP] for any telemetry.
     #[test]
     fn hpcc_window_bounded(seq in arb_int_sequence()) {
         let cfg = HpccConfig::paper_default(LINE, RTT);
         let (min_w, bdp) = (cfg.min_window, cfg.bdp());
-        let mut f = HpccFlow::new(cfg);
+        let mut f = Datapath::new(HpccPolicy::new(cfg));
         let mut tx = 0u64;
         for (k, (qlen, dtx)) in seq.into_iter().enumerate() {
             tx += dtx;
@@ -50,10 +146,11 @@ proptest! {
                 qlen,
             }];
             f.on_ack(&view(k as u64 + 1, &int, 0, 13.0));
-            prop_assert!(f.window().is_finite());
-            prop_assert!(f.window() >= min_w - 1e-9, "window {} below min", f.window());
-            prop_assert!(f.window() <= bdp + 1.0, "window {} above BDP", f.window());
-            prop_assert!(f.rate_bps() <= LINE.as_f64() * 1.001);
+            let w = f.window_bytes().unwrap();
+            prop_assert!(w.is_finite());
+            prop_assert!(w >= min_w - 1e-9, "window {w} below min");
+            prop_assert!(w <= bdp + 1.0, "window {w} above BDP");
+            prop_assert!(f.pacing_rate_bps() <= LINE.as_f64() * 1.001);
         }
     }
 
@@ -62,7 +159,7 @@ proptest! {
     #[test]
     fn fncc_window_bounded_any_n(seq in arb_int_sequence(), n in 0u16..512) {
         let cfg = FnccConfig::paper_default(LINE, RTT);
-        let mut f = FnccFlow::new(cfg);
+        let mut f = Datapath::new(FnccPolicy::new(cfg));
         let mut tx = 0u64;
         for (k, (qlen, dtx)) in seq.into_iter().enumerate() {
             tx += dtx;
@@ -73,8 +170,30 @@ proptest! {
                 qlen,
             }];
             f.on_ack(&view(k as u64 + 1, &int, n, 13.0));
-            prop_assert!(f.window().is_finite() && f.window() > 0.0);
+            let w = f.window_bytes().unwrap();
+            prop_assert!(w.is_finite() && w > 0.0);
             prop_assert!(f.wc().is_finite() && f.wc() > 0.0);
+        }
+    }
+
+    /// FairQ's window stays in [min_window, BDP] for any telemetry and N.
+    #[test]
+    fn fairq_window_bounded_any_n(seq in arb_int_sequence(), n in 0u16..512) {
+        let cfg = FairQConfig::paper_default(LINE, RTT);
+        let (min_w, bdp) = (cfg.min_window, cfg.bdp());
+        let mut f = Datapath::new(FairQPolicy::new(cfg));
+        let mut tx = 0u64;
+        for (k, (qlen, dtx)) in seq.into_iter().enumerate() {
+            tx += dtx;
+            let int = [IntRecord {
+                bandwidth: LINE,
+                ts: SimTime::from_us(k as u64 + 1),
+                tx_bytes: tx,
+                qlen,
+            }];
+            f.on_ack(&view(k as u64 + 1, &int, n, 13.0));
+            let w = f.window_bytes().unwrap();
+            prop_assert!(w >= min_w - 1e-9 && w <= bdp + 1.0, "window {w}");
         }
     }
 
@@ -84,16 +203,16 @@ proptest! {
     fn dcqcn_rate_bounded(ops in proptest::collection::vec(0u8..3, 1..300)) {
         let cfg = DcqcnConfig::paper_default(LINE);
         let (lo, hi) = (cfg.min_rate, LINE.as_f64());
-        let mut f = DcqcnFlow::new(cfg);
+        let mut f = Datapath::new(DcqcnPolicy::new(cfg));
         let mut now = SimTime::ZERO;
         for op in ops {
             match op {
                 0 => f.on_cnp(now),
-                1 => now = now + f.tick(now),
+                1 => now = now + f.tick(now).unwrap(),
                 _ => f.on_sent(1_000_000),
             }
-            prop_assert!(f.rate_bps() >= lo - 1e-6 && f.rate_bps() <= hi + 1e-6,
-                "rate {} out of [{lo}, {hi}]", f.rate_bps());
+            prop_assert!(f.pacing_rate_bps() >= lo - 1e-6 && f.pacing_rate_bps() <= hi + 1e-6,
+                "rate {} out of [{lo}, {hi}]", f.pacing_rate_bps());
             prop_assert!(f.alpha() >= 0.0 && f.alpha() <= 1.0 + 1e-12);
         }
     }
@@ -101,11 +220,11 @@ proptest! {
     /// Timely's rate stays within its clamp for any RTT sequence.
     #[test]
     fn timely_rate_bounded(rtts in proptest::collection::vec(1.0f64..500.0, 1..200)) {
-        let mut f = TimelyFlow::new(TimelyConfig::paper_default(LINE, RTT));
+        let mut f = Datapath::new(TimelyPolicy::new(TimelyConfig::paper_default(LINE, RTT)));
         for (k, rtt) in rtts.into_iter().enumerate() {
             f.on_ack(&view(k as u64, &[], 0, rtt));
-            prop_assert!(f.rate_bps() >= LINE.as_f64() / 1000.0 - 1.0);
-            prop_assert!(f.rate_bps() <= LINE.as_f64() + 1.0);
+            prop_assert!(f.pacing_rate_bps() >= LINE.as_f64() / 1000.0 - 1.0);
+            prop_assert!(f.pacing_rate_bps() <= LINE.as_f64() + 1.0);
         }
     }
 
@@ -114,11 +233,12 @@ proptest! {
     fn swift_window_bounded(rtts in proptest::collection::vec(1.0f64..500.0, 1..200)) {
         let cfg = SwiftConfig::paper_default(LINE, RTT);
         let (lo, hi) = (cfg.min_cwnd, cfg.bdp() * 2.0);
-        let mut f = SwiftFlow::new(cfg);
+        let mut f = Datapath::new(SwiftPolicy::new(cfg));
         for (k, rtt) in rtts.into_iter().enumerate() {
             f.on_ack(&view(k as u64 * 20, &[], 0, rtt));
-            prop_assert!(f.window() >= lo - 1e-9 && f.window() <= hi + 1e-9,
-                "cwnd {} out of [{lo}, {hi}]", f.window());
+            let w = f.window_bytes().unwrap();
+            prop_assert!(w >= lo - 1e-9 && w <= hi + 1e-9,
+                "cwnd {w} out of [{lo}, {hi}]");
         }
     }
 
@@ -128,7 +248,7 @@ proptest! {
     #[test]
     fn hpcc_monotone_in_queue_depth(q_small in 0u64..100_000, extra in 1u64..400_000) {
         let run = |q: u64| {
-            let mut f = HpccFlow::new(HpccConfig::paper_default(LINE, RTT));
+            let mut f = Datapath::new(HpccPolicy::new(HpccConfig::paper_default(LINE, RTT)));
             let mut tx = 0u64;
             for k in 0..30u64 {
                 tx += 150_000; // line rate over one T
@@ -140,7 +260,7 @@ proptest! {
                 }];
                 f.on_ack(&view(12 * (k + 1), &int, 0, 13.0));
             }
-            f.window()
+            f.window_bytes().unwrap()
         };
         let w_small = run(q_small);
         let w_big = run(q_small + extra);

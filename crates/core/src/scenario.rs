@@ -56,17 +56,12 @@ impl Workload {
     }
 }
 
-/// Parse a CC scheme name (case-insensitive).
+/// Parse a CC scheme name (case-insensitive). Matches against
+/// `CcKind::ALL`, so new schemes parse the moment they are listed there.
 pub fn parse_cc(s: &str) -> Option<CcKind> {
-    match s.to_ascii_lowercase().as_str() {
-        "fncc" => Some(CcKind::Fncc),
-        "hpcc" => Some(CcKind::Hpcc),
-        "dcqcn" => Some(CcKind::Dcqcn),
-        "rocc" => Some(CcKind::Rocc),
-        "timely" => Some(CcKind::Timely),
-        "swift" => Some(CcKind::Swift),
-        _ => None,
-    }
+    CcKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
 }
 
 /// Uniform link parameters of a scenario's network.

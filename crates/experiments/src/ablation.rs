@@ -4,7 +4,7 @@
 
 use crate::report::{emit_table, f2, f3, opt_us};
 use crate::RunOpts;
-use fncc_cc::{CcAlgo, CcKind, FnccConfig, LhcsConfig};
+use fncc_cc::{CcAlgo, CcKind, LhcsConfig};
 use fncc_core::prelude::*;
 use fncc_core::scenarios::MicrobenchSpec;
 use fncc_core::sim::SimBuilder;
@@ -28,14 +28,16 @@ pub fn lhcs_sweep(opts: &RunOpts) {
         for &alpha in &[1.01, 1.05, 1.2] {
             let topo = Topology::line(3, &[0, 2], line, TimeDelta::from_ns(1500));
             let base_rtt = topo.base_rtt(1518, 70);
-            let algo = CcAlgo::Fncc(FnccConfig {
-                hpcc: fncc_cc::HpccConfig::paper_default(line, base_rtt),
-                lhcs: LhcsConfig {
+            // Paper-default construction via the one shared factory; only
+            // the swept LHCS knobs are overridden on top.
+            let mut algo = fncc_core::sim::make_algo(CcKind::Fncc, line, base_rtt);
+            if let CcAlgo::Fncc(ref mut cfg) = algo {
+                cfg.lhcs = LhcsConfig {
                     enabled: true,
                     alpha,
                     beta,
-                },
-            });
+                };
+            }
             let horizon = SimTime::from_us(800);
             let elephant = (line.as_f64() / 8.0 * horizon.as_secs_f64() * 1.5) as u64;
             let flows = vec![

@@ -44,6 +44,9 @@ use std::time::Instant;
 static GLOBAL: fncc_experiments::CountingAlloc = fncc_experiments::CountingAlloc;
 
 fn usage() -> ! {
+    // Enumerated from `CcKind::ALL` so a newly registered scheme shows up
+    // here (and in scenario-file `cc` parsing) without touching this file.
+    let schemes: Vec<&str> = fncc_cc::CcKind::ALL.iter().map(|k| k.name()).collect();
     eprintln!(
         "usage: fncc-repro [EXPERIMENT...] [--out DIR] [--quick|--full] \
          [--threads N] [--seeds N] [--flows N] [--backend packet|fluid|hybrid] \
@@ -53,7 +56,9 @@ fn usage() -> ! {
          \x20      fncc-repro inspect ARTIFACT... [--flow N] [--top K]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
          fig14 fig15 ablate storm load-sweep extra-cc bench-des bench-hybrid \
-         calibrate check all"
+         calibrate check all\n\
+         schemes (scenario `cc` field, case-insensitive): {}",
+        schemes.join(" ")
     );
     std::process::exit(2)
 }

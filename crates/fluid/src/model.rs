@@ -96,9 +96,11 @@ impl Calibration {
     }
 }
 
-/// A complete six-scheme calibration: one [`Calibration`] per [`CcKind`],
-/// stored densely in [`CcKind::ALL`] order. `Copy` on purpose — a set is
-/// 12 floats, so scenario overrides and backends can carry one by value.
+/// A complete calibration: one [`Calibration`] per scheme in
+/// [`CcKind::ALL`], stored densely in that order. `Copy` on purpose — a
+/// set is two floats per scheme, so scenario overrides and backends can
+/// carry one by value. The array is sized by `CcKind::ALL.len()`, so a
+/// newly listed scheme extends every set automatically.
 ///
 /// Construction goes through [`CalibrationSet::new`]/[`CalibrationSet::set`],
 /// which enforce the per-scheme invariants, so a loaded set is always safe
@@ -176,10 +178,12 @@ impl RateModel {
         let (utilization, queue_rtts) = match kind {
             CcKind::Fncc => (0.95, 0.4),
             CcKind::Hpcc => (0.95, 0.6),
+            CcKind::FairQ => (0.95, 0.8),
             CcKind::Swift => (0.97, 1.2),
             CcKind::Timely => (0.97, 1.6),
             CcKind::Rocc => (1.0, 2.4),
             CcKind::Dcqcn => (1.0, 3.2),
+            CcKind::Throttle => (1.0, 3.6),
         };
         RateModel {
             kind,

@@ -713,7 +713,12 @@ impl HybridSim {
 ///   suggests: a newcomer also eats the incumbents' overshoot while the
 ///   gradient settles;
 /// * RoCC's advertised fair rate recovers over many controller periods,
-///   so a newcomer pays the full depth *plus* the rate-recovery lag.
+///   so a newcomer pays the full depth *plus* the rate-recovery lag;
+/// * FairQ divides the fair window by the receiver-echoed flow count the
+///   moment a newcomer raises `N`, so incumbents shed load within a
+///   round and the newcomer pays less than the standing depth;
+/// * Throttle only reacts to CNPs and restores on a fixed timer, so a
+///   newcomer eats the standing queue plus the restore-lag overshoot.
 ///
 /// These factors are measured against the packet DES on the conformance
 /// cells (`tests/hybrid_conformance.rs`), the same way the rate-model
@@ -726,6 +731,8 @@ fn newcomer_queue_scale(kind: CcKind) -> f64 {
         CcKind::Rocc => 2.8,
         CcKind::Timely => 1.4,
         CcKind::Swift => 1.0,
+        CcKind::FairQ => 0.35,
+        CcKind::Throttle => 1.8,
     }
 }
 

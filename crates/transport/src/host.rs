@@ -399,7 +399,7 @@ mod tests {
     use fncc_cc::{CcAlgo, DcqcnConfig, FnccConfig, HpccConfig, RoccConfig};
     use fncc_des::engine::Engine;
     use fncc_des::time::SimTime;
-    use fncc_net::config::{EcnConfig, FabricConfig, IntInsertion, RoccSwitchConfig};
+    use fncc_net::config::{FabricConfig, IntInsertion};
     use fncc_net::fabric::{Ev, Fabric};
     use fncc_net::ids::HostId;
     use fncc_net::topology::Topology;
@@ -417,13 +417,7 @@ mod tests {
     ) -> Engine<Fabric<DcHost>> {
         let topo = Topology::dumbbell(n_senders, 3, BW, PROP);
         let mut cfg = FabricConfig::paper_default();
-        match algo.kind() {
-            fncc_cc::CcKind::Hpcc => cfg.int = IntInsertion::OnData,
-            fncc_cc::CcKind::Fncc => cfg.int = IntInsertion::OnAck,
-            fncc_cc::CcKind::Dcqcn => cfg.ecn = EcnConfig::dcqcn_scaled(BW),
-            fncc_cc::CcKind::Rocc => cfg.rocc = Some(RoccSwitchConfig::default_for(BW)),
-            _ => {}
-        }
+        crate::scheme::apply_cc_features(&mut cfg, algo.kind(), BW);
         fabric_tweak(&mut cfg);
         let tcfg = TransportConfig::new(algo);
         let hosts: Vec<DcHost> = (0..topo.n_hosts)
@@ -607,7 +601,7 @@ mod tests {
 
     #[test]
     fn rocc_sender_adopts_switch_rate() {
-        let algo = CcAlgo::Rocc(RoccConfig::new(BW));
+        let algo = CcAlgo::Rocc(RoccConfig::paper_default(BW));
         let mut eng = build(
             2,
             algo,

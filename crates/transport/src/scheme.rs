@@ -3,10 +3,13 @@
 //!
 //! Lives in the transport crate so every backend (packet, fluid
 //! calibration harnesses, hybrid) builds schemes identically without
-//! depending on the scenario layer.
+//! depending on the scenario layer. Switch-side wiring is driven entirely
+//! by each policy's [`Registration`] — adding a scheme never touches this
+//! file beyond its `make_algo` constructor arm.
 
 use fncc_cc::{
-    CcAlgo, CcKind, DcqcnConfig, FnccConfig, HpccConfig, RoccConfig, SwiftConfig, TimelyConfig,
+    CcAlgo, CcKind, DcqcnConfig, FairQConfig, FnccConfig, HpccConfig, IntNeed, RoccConfig,
+    SwiftConfig, ThrottleConfig, TimelyConfig,
 };
 use fncc_des::time::TimeDelta;
 use fncc_net::config::{EcnConfig, FabricConfig, IntInsertion, RoccSwitchConfig};
@@ -19,28 +22,38 @@ pub fn make_algo(kind: CcKind, line: Bandwidth, base_rtt: TimeDelta) -> CcAlgo {
         CcKind::Hpcc => CcAlgo::Hpcc(HpccConfig::paper_default(line, base_rtt)),
         CcKind::Fncc => CcAlgo::Fncc(FnccConfig::paper_default(line, base_rtt)),
         CcKind::Dcqcn => CcAlgo::Dcqcn(DcqcnConfig::paper_default(line)),
-        CcKind::Rocc => CcAlgo::Rocc(RoccConfig::new(line)),
+        CcKind::Rocc => CcAlgo::Rocc(RoccConfig::paper_default(line)),
         CcKind::Timely => CcAlgo::Timely(TimelyConfig::paper_default(line, base_rtt)),
         CcKind::Swift => CcAlgo::Swift(SwiftConfig::paper_default(line, base_rtt)),
+        CcKind::FairQ => CcAlgo::FairQ(FairQConfig::paper_default(line, base_rtt)),
+        CcKind::Throttle => CcAlgo::Throttle(ThrottleConfig::paper_default(line)),
     }
 }
 
-/// Wire the switch-side features a CC scheme needs into a fabric config.
+/// Wire the switch-side features a CC scheme needs into a fabric config,
+/// translating the policy's [`fncc_cc::Registration`] generically:
+///
+/// * `IntNeed::OnData` → switches stamp INT on data frames;
+/// * `IntNeed::OnAck { refresh_us }` → INT on ACKs, with the periodic
+///   All_INT_Table snapshot interval the policy requested (`None` = live
+///   counter reads);
+/// * `ecn` → RED/ECN marking with the DCQCN thresholds scaled to line rate;
+/// * `rocc_rate` → the per-port PI fair-rate controller.
 pub fn apply_cc_features(cfg: &mut FabricConfig, kind: CcKind, line: Bandwidth) {
-    match kind {
-        CcKind::Hpcc => cfg.int = IntInsertion::OnData,
-        CcKind::Fncc => {
+    let reg = kind.registration();
+    match reg.int {
+        IntNeed::None => {}
+        IntNeed::OnData => cfg.int = IntInsertion::OnData,
+        IntNeed::OnAck { refresh_us } => {
             cfg.int = IntInsertion::OnAck;
-            // Fig. 8's periodic All_INT_Table is load-bearing: live reads
-            // phase-quantise txBytes deltas against ACK pass times, biasing
-            // the sender's U estimate high. A 1 µs snapshot period gives
-            // exact per-period byte counts (see DESIGN.md / the
-            // `ablation_int_refresh` experiment).
-            cfg.int_refresh = Some(TimeDelta::from_us(1));
+            cfg.int_refresh = refresh_us.map(TimeDelta::from_us);
         }
-        CcKind::Dcqcn => cfg.ecn = EcnConfig::dcqcn_scaled(line),
-        CcKind::Rocc => cfg.rocc = Some(RoccSwitchConfig::default_for(line)),
-        CcKind::Timely | CcKind::Swift => {}
+    }
+    if reg.ecn {
+        cfg.ecn = EcnConfig::dcqcn_scaled(line);
+    }
+    if reg.rocc_rate {
+        cfg.rocc = Some(RoccSwitchConfig::default_for(line));
     }
 }
 
@@ -66,12 +79,30 @@ mod tests {
         let mut cfg = FabricConfig::paper_default();
         apply_cc_features(&mut cfg, CcKind::Fncc, line);
         assert_eq!(cfg.int, IntInsertion::OnAck);
-        assert!(cfg.int_refresh.is_some());
+        assert_eq!(cfg.int_refresh, Some(TimeDelta::from_us(1)));
         let mut cfg = FabricConfig::paper_default();
         apply_cc_features(&mut cfg, CcKind::Dcqcn, line);
         assert!(cfg.ecn.enabled);
         let mut cfg = FabricConfig::paper_default();
         apply_cc_features(&mut cfg, CcKind::Rocc, line);
         assert!(cfg.rocc.is_some());
+    }
+
+    #[test]
+    fn features_follow_registrations_for_every_kind() {
+        let line = Bandwidth::gbps(100);
+        let base = FabricConfig::paper_default();
+        for kind in CcKind::ALL {
+            let mut cfg = FabricConfig::paper_default();
+            apply_cc_features(&mut cfg, kind, line);
+            let reg = kind.registration();
+            match reg.int {
+                IntNeed::None => assert_eq!(cfg.int, base.int, "{kind:?}"),
+                IntNeed::OnData => assert_eq!(cfg.int, IntInsertion::OnData, "{kind:?}"),
+                IntNeed::OnAck { .. } => assert_eq!(cfg.int, IntInsertion::OnAck, "{kind:?}"),
+            }
+            assert_eq!(cfg.ecn.enabled, reg.ecn || base.ecn.enabled, "{kind:?}");
+            assert_eq!(cfg.rocc.is_some(), reg.rocc_rate, "{kind:?}");
+        }
     }
 }

@@ -205,7 +205,10 @@ proptest! {
     /// (Rust's shortest-representation float formatting is exact).
     #[test]
     fn calibration_json_roundtrip_is_lossless(
-        entries in proptest::collection::vec(calibration_strategy(), 6..7)
+        entries in proptest::collection::vec(
+            calibration_strategy(),
+            CcKind::ALL.len()..CcKind::ALL.len() + 1,
+        )
     ) {
         let mut set = CalibrationSet::paper();
         for (kind, e) in CcKind::ALL.into_iter().zip(entries) {
@@ -223,7 +226,10 @@ proptest! {
     /// `from_calibration` carries them into `RateModel`.
     #[test]
     fn calibration_set_upholds_invariants(
-        entries in proptest::collection::vec(calibration_strategy(), 6..7)
+        entries in proptest::collection::vec(
+            calibration_strategy(),
+            CcKind::ALL.len()..CcKind::ALL.len() + 1,
+        )
     ) {
         let mut set = CalibrationSet::paper();
         for (kind, e) in CcKind::ALL.into_iter().zip(entries) {

@@ -1,0 +1,152 @@
+//! Datapath-refactor equivalence: every scheme's `RunReport` is pinned to a
+//! golden hash recorded from the pre-refactor per-scheme `CcFlow`
+//! implementations. The generic `Datapath`/`CcPolicy` layer must reproduce
+//! each control law float-op for float-op, so the packet, fluid, and hybrid
+//! backends all have to produce byte-identical artifacts for the six
+//! original schemes — any drift in operation order shows up here as a hash
+//! mismatch before it can show up as a silent behaviour change.
+//!
+//! Wall-clock-derived scalars (`events_per_sec`, `span_*`) and
+//! scheduler-internal diagnostics (`wheel_cascades_*`) are stripped before
+//! hashing, exactly as in `des_determinism.rs`.
+//!
+//! The two PR-8 schemes (FairQ, Throttle) have no pre-refactor
+//! implementation to pin against; they are covered by the determinism half
+//! (same scenario+seed twice ⇒ identical bytes) and by the
+//! cross-validation/conformance suites.
+
+use fncc::core::{
+    run_scenario, Scenario, SimBackend, StopCondition, TopologySpec, TrafficSpec, Workload,
+};
+use fncc_cc::CcKind;
+
+/// 64-bit FNV-1a over the stable report JSON — dependency-free and stable
+/// across platforms for identical input bytes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Serialize a report with wall-clock and scheduler-introspection scalars
+/// removed.
+fn stable_json(sc: &Scenario, backend: SimBackend) -> String {
+    let mut report = run_scenario(sc, backend);
+    report.scalars.retain(|(k, _)| {
+        k != "events_per_sec" && !k.starts_with("wheel_cascades_") && !k.starts_with("span_")
+    });
+    report.to_json()
+}
+
+/// Small fat-tree incast — exercises INT collection, ECN/CNP, PFC, and the
+/// per-ACK hot path of every scheme at packet fidelity.
+fn packet_scenario(cc: CcKind) -> Scenario {
+    let mut sc = Scenario::new(
+        "dp-equiv-packet",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Incast {
+            receiver: 0,
+            fan_in: 6,
+            size: 150_000,
+            waves: 2,
+            gap_us: 50,
+        },
+        cc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 50 };
+    sc.seeds = vec![7, 8];
+    sc
+}
+
+/// Small web-search Poisson cell on the fluid backend — exercises the
+/// per-scheme `RateModel` constants (utilization, queue penalty, duration-η).
+fn fluid_scenario(cc: CcKind) -> Scenario {
+    let mut sc = Scenario::new(
+        "dp-equiv-fluid",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Poisson {
+            workload: Workload::WebSearch,
+            load: 0.5,
+            flows: 200,
+        },
+        cc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 200 };
+    sc.seeds = vec![3];
+    sc
+}
+
+/// Golden packet-backend hashes, recorded from the pre-refactor engine
+/// (PR 7 head, commit d225292) on `packet_scenario`.
+const PACKET_GOLDEN: [(CcKind, u64); 6] = [
+    (CcKind::Fncc, 0x6c771e4bc71b3401),
+    (CcKind::Hpcc, 0x3160578e127a8458),
+    (CcKind::Dcqcn, 0x80a12becc6cea02a),
+    (CcKind::Rocc, 0xcc17a593a2e575ae),
+    (CcKind::Timely, 0x27cc0f0095c1923a),
+    (CcKind::Swift, 0x545c6a492ae31447),
+];
+
+/// Golden fluid-backend hashes, recorded from the pre-refactor engine on
+/// `fluid_scenario`.
+const FLUID_GOLDEN: [(CcKind, u64); 6] = [
+    (CcKind::Fncc, 0x191b5d6f8c472ca1),
+    (CcKind::Hpcc, 0x557b9d41ebee2e8a),
+    (CcKind::Dcqcn, 0x65c40edbdb9c8a63),
+    (CcKind::Rocc, 0xbbaa1ca8956422e0),
+    (CcKind::Timely, 0x7f5e41af3a278b47),
+    (CcKind::Swift, 0xef1a15604e0456bd),
+];
+
+#[test]
+fn packet_reports_match_pre_refactor_golden() {
+    for (cc, want) in PACKET_GOLDEN {
+        let got = fnv1a(stable_json(&packet_scenario(cc), SimBackend::Packet).as_bytes());
+        assert_eq!(
+            got,
+            want,
+            "{}: packet RunReport drifted from the pre-refactor golden \
+             (got 0x{got:016x}, want 0x{want:016x})",
+            cc.name()
+        );
+    }
+}
+
+#[test]
+fn fluid_reports_match_pre_refactor_golden() {
+    for (cc, want) in FLUID_GOLDEN {
+        let got = fnv1a(stable_json(&fluid_scenario(cc), SimBackend::Fluid).as_bytes());
+        assert_eq!(
+            got,
+            want,
+            "{}: fluid RunReport drifted from the pre-refactor golden \
+             (got 0x{got:016x}, want 0x{want:016x})",
+            cc.name()
+        );
+    }
+}
+
+/// Every scheme — including kinds added after the refactor — must be
+/// run-to-run deterministic on both backends.
+#[test]
+fn all_schemes_are_run_to_run_deterministic() {
+    for &cc in CcKind::ALL.iter() {
+        let sc = packet_scenario(cc);
+        assert_eq!(
+            stable_json(&sc, SimBackend::Packet),
+            stable_json(&sc, SimBackend::Packet),
+            "{}: packet backend not deterministic",
+            cc.name()
+        );
+        let sc = fluid_scenario(cc);
+        assert_eq!(
+            stable_json(&sc, SimBackend::Fluid),
+            stable_json(&sc, SimBackend::Fluid),
+            "{}: fluid backend not deterministic",
+            cc.name()
+        );
+    }
+}

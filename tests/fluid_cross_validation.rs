@@ -80,7 +80,7 @@ fn matrix_covers_every_scheme() {
     // it fails, a scheme was added to `CcKind::ALL` without matrix cells.
     assert_eq!(
         CcKind::ALL.len(),
-        6,
+        8,
         "new scheme in CcKind::ALL: add its hadoop/websearch matrix cells \
          and a calibration entry"
     );
@@ -117,6 +117,16 @@ fn swift_hadoop_within_band() {
 }
 
 #[test]
+fn fairq_hadoop_within_band() {
+    xval_workload(CcKind::FairQ, Workload::FbHadoop);
+}
+
+#[test]
+fn throttle_hadoop_within_band() {
+    xval_workload(CcKind::Throttle, Workload::FbHadoop);
+}
+
+#[test]
 fn fncc_websearch_within_band() {
     xval_workload(CcKind::Fncc, Workload::WebSearch);
 }
@@ -144,6 +154,16 @@ fn timely_websearch_within_band() {
 #[test]
 fn swift_websearch_within_band() {
     xval_workload(CcKind::Swift, Workload::WebSearch);
+}
+
+#[test]
+fn fairq_websearch_within_band() {
+    xval_workload(CcKind::FairQ, Workload::WebSearch);
+}
+
+#[test]
+fn throttle_websearch_within_band() {
+    xval_workload(CcKind::Throttle, Workload::WebSearch);
 }
 
 /// The §5.1 microbenchmark shape, cross-backend: two 2 MB elephants share
