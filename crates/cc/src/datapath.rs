@@ -192,6 +192,20 @@ pub trait CcPolicy: Clone + core::fmt::Debug {
         None
     }
 
+    /// A retransmission timeout fired: the network lost (at least) a full
+    /// window's worth of feedback, the strongest congestion/failure signal
+    /// a sender can see. The default collapses the transmit state to its
+    /// floor — one MTU of window, or 1% of line rate — which every scheme's
+    /// law then grows back from via its normal signals. Schemes with a
+    /// different loss response override this.
+    fn on_timeout(&mut self, xmit: &mut Transmit, _now: SimTime) {
+        if xmit.window().is_some() {
+            xmit.set_window(1518.0);
+        } else {
+            xmit.set_rate(xmit.line_bps() / 100.0);
+        }
+    }
+
     /// Initial tick delay, if the scheme is timer-driven.
     fn initial_tick(&self) -> Option<TimeDelta> {
         None
@@ -248,6 +262,13 @@ impl<P: CcPolicy> Datapath<P> {
     #[inline]
     pub fn on_sent(&mut self, bytes: u64) {
         self.policy.on_sent(&mut self.xmit, bytes);
+    }
+
+    /// Deliver a retransmission timeout (go-back-N recovery rewound the
+    /// flow; see [`CcPolicy::on_timeout`]).
+    #[inline]
+    pub fn on_timeout(&mut self, now: SimTime) {
+        self.policy.on_timeout(&mut self.xmit, now);
     }
 
     /// Periodic CC tick; returns the delay until the next tick if the

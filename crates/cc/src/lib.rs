@@ -267,6 +267,12 @@ impl CcFlow {
         each_flow!(self, f => f.on_sent(bytes))
     }
 
+    /// A retransmission timeout fired for this flow: collapse the transmit
+    /// state to the scheme's floor (see [`datapath::CcPolicy::on_timeout`]).
+    pub fn on_timeout(&mut self, now: SimTime) {
+        each_flow!(self, f => f.on_timeout(now))
+    }
+
     /// Periodic CC tick; returns the delay until the next tick if the scheme
     /// needs one.
     pub fn tick(&mut self, now: SimTime) -> Option<TimeDelta> {
@@ -377,6 +383,21 @@ mod tests {
                 CcKind::Hpcc | CcKind::Fncc | CcKind::Swift | CcKind::FairQ
             );
             assert_eq!(has_window, expect, "{:?}", a.kind());
+        }
+    }
+
+    #[test]
+    fn timeout_collapses_every_scheme_to_its_floor() {
+        for a in algos() {
+            let mut f = a.new_flow();
+            f.on_timeout(fncc_des::time::SimTime::from_us(100));
+            match f.window_bytes() {
+                Some(w) => assert!(w <= 1518.0, "{:?} window {w}", a.kind()),
+                None => {
+                    let r = f.pacing_rate_bps();
+                    assert!(r <= 100e9 / 100.0 + 1.0, "{:?} rate {r}", a.kind());
+                }
+            }
         }
     }
 

@@ -17,17 +17,18 @@
 
 use crate::metrics::{average_slowdowns, fct_slowdowns, reaction_time, time_to_fair};
 use crate::report::RunReport;
-use crate::scenario::{Scenario, StopCondition, TrafficSpec};
+use crate::scenario::{FaultSpec, Scenario, StopCondition, TrafficSpec};
 use crate::scenarios::{WorkloadResult, WorkloadSpec};
 use crate::sim::{make_algo, Sim, SimBuilder};
 use fncc_cc::{CcAlgo, CcKind, FnccConfig};
 use fncc_des::stats::TimeSeries;
 use fncc_des::time::{SimTime, TimeDelta};
-use fncc_fluid::{CalibrationSet, FluidSim, Framing, RateModel};
+use fncc_fluid::{CalibrationSet, CapacityChange, CapacityEvent, FluidSim, Framing, RateModel};
 use fncc_hybrid::{HybridConfig, HybridSim};
 use fncc_net::config::FabricConfig;
-use fncc_net::ids::{FlowId, NodeRef};
+use fncc_net::ids::{FlowId, NodeRef, SwitchId};
 use fncc_obs::{Profiler, TraceMeta, TraceSink};
+use fncc_transport::RecoveryConfig;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
@@ -181,6 +182,10 @@ impl Backend for PacketBackend {
         let mut runs: Vec<Vec<crate::metrics::SlowdownStats>> = Vec::new();
         let mut peak_queue_len = 0usize;
         let mut clamped = 0u64;
+        let mut fault_drops = 0u64;
+        let mut retx = 0u64;
+        let mut rtos = 0u64;
+        let mut rerouted = 0u64;
         let mut prof = Profiler::disabled();
         let wall_start = std::time::Instant::now();
 
@@ -219,7 +224,12 @@ impl Backend for PacketBackend {
                     if is_fncc {
                         f.int_refresh = int_refresh;
                     }
+                    sc.apply_faults(f);
                 })
+                // Loss recovery only when the scenario injects faults:
+                // lossless runs stay free of retransmission-timer events,
+                // so their event counts and goldens are byte-identical.
+                .recovery(sc.has_faults().then(RecoveryConfig::paper_default))
                 .flows(flows.clone());
             if sc.probes.sample_ns > 0 {
                 builder = builder.sample(TimeDelta::from_ns(sc.probes.sample_ns), horizon);
@@ -259,6 +269,10 @@ impl Backend for PacketBackend {
             report.events += sim.events_processed();
             peak_queue_len = peak_queue_len.max(sim.peak_queue_len());
             clamped += sim.clamped_schedules();
+            fault_drops += telem.counters.fault_drops;
+            retx += telem.counters.retx;
+            rtos += telem.counters.rtos;
+            rerouted += telem.counters.rerouted_flows;
             if matches!(sc.stop, StopCondition::Drain { .. }) {
                 let payload = sim.fabric().cfg.mtu_payload();
                 let header = sim.fabric().cfg.data_header;
@@ -316,9 +330,29 @@ impl Backend for PacketBackend {
         }
         report.put_scalar("peak_queue_len", peak_queue_len as f64);
         report.put_scalar("clamped_schedules", clamped as f64);
+        // Fault-run scalars, summed across seeds. Gated so fault-free
+        // reports stay byte-identical with pre-fault-injection builds.
+        if sc.has_faults() {
+            report.put_scalar("fault_drops", fault_drops as f64);
+            report.put_scalar("retx_count", retx as f64);
+            report.put_scalar("rto_count", rtos as f64);
+            report.put_scalar("rerouted_flows", rerouted as f64);
+        }
+        put_incomplete_flows(&mut report, sc);
         prof.end(ph_report, span);
         export_spans(&mut report, &prof);
         report
+    }
+}
+
+/// Surface the summed unfinished-flow count as an `incomplete_flows`
+/// scalar. Emitted whenever the scenario injects faults (so fault runs
+/// always carry it, even at 0) or whenever flows actually failed to
+/// finish — and skipped otherwise, keeping clean reports byte-identical.
+fn put_incomplete_flows(report: &mut RunReport, sc: &Scenario) {
+    let total: usize = report.unfinished.iter().sum();
+    if sc.has_faults() || total > 0 {
+        report.put_scalar("incomplete_flows", total as f64);
     }
 }
 
@@ -524,6 +558,98 @@ impl FluidBackend {
     }
 }
 
+/// Lower the scenario's fault specs to the fluid engine's capacity events.
+///
+/// Link down/up map directly (the fluid engine reroutes or stalls crossing
+/// flows, mirroring the packet fabric). A degrade window becomes a
+/// reciprocal `Scale` pair — `rate_factor` at the start, its inverse at the
+/// end — so overlapping windows compose multiplicatively; `delay_factor`
+/// has no fluid analogue (the fluid model carries no per-hop latency
+/// inflation) and is ignored. Random loss is modeled as its goodput
+/// haircut: a loss probability `p` costs the go-back-N sender roughly a
+/// `1 − p` throughput factor over the window. A stuck port is a near-dead
+/// link for its duration (`1e-6` of capacity — not zero, so the fluid
+/// zero-rate guard still catches genuinely broken scenarios).
+fn fluid_capacity_events(sc: &Scenario) -> Vec<CapacityEvent> {
+    let ev = |at_us: u64, switch: u32, port: u8, change: CapacityChange| CapacityEvent {
+        at: SimTime::from_us(at_us),
+        switch: SwitchId(switch),
+        port,
+        change,
+    };
+    let mut out = Vec::new();
+    for f in &sc.faults {
+        match *f {
+            FaultSpec::LinkDown {
+                switch,
+                port,
+                at_us,
+            } => {
+                out.push(ev(at_us, switch, port, CapacityChange::Down));
+            }
+            FaultSpec::LinkUp {
+                switch,
+                port,
+                at_us,
+            } => {
+                out.push(ev(at_us, switch, port, CapacityChange::Up));
+            }
+            FaultSpec::LinkDegrade {
+                switch,
+                port,
+                from_us,
+                to_us,
+                rate_factor,
+                ..
+            } => {
+                out.push(ev(
+                    from_us,
+                    switch,
+                    port,
+                    CapacityChange::Scale(rate_factor),
+                ));
+                out.push(ev(
+                    to_us,
+                    switch,
+                    port,
+                    CapacityChange::Scale(1.0 / rate_factor),
+                ));
+            }
+            FaultSpec::RandomLoss {
+                switch,
+                port,
+                from_us,
+                to_us,
+                probability,
+            } => {
+                let p = probability.min(0.999_999);
+                out.push(ev(from_us, switch, port, CapacityChange::Scale(1.0 - p)));
+                out.push(ev(
+                    to_us,
+                    switch,
+                    port,
+                    CapacityChange::Scale(1.0 / (1.0 - p)),
+                ));
+            }
+            FaultSpec::StuckPort {
+                switch,
+                port,
+                at_us,
+                duration_us,
+            } => {
+                out.push(ev(at_us, switch, port, CapacityChange::Scale(1e-6)));
+                out.push(ev(
+                    at_us + duration_us,
+                    switch,
+                    port,
+                    CapacityChange::Scale(1e6),
+                ));
+            }
+        }
+    }
+    out
+}
+
 impl Backend for FluidBackend {
     fn name(&self) -> &'static str {
         "fluid"
@@ -548,14 +674,18 @@ impl Backend for FluidBackend {
         let mut incremental_solves = 0u64;
         let mut rate_updates = 0u64;
         let mut prof = Profiler::disabled();
+        let fault_events = fluid_capacity_events(sc);
+        let mut rerouted = 0u64;
         for (seed_ix, &seed) in sc.seeds.iter().enumerate() {
             let (topo, flows) = sc.instance(seed);
             let result = FluidSim::new(topo.clone(), self.rate_model(sc))
                 .framing(framing)
                 .flows(flows)
+                .capacity_events(fault_events.iter().copied())
                 .trace(tracing && seed_ix == 0)
                 .run()
                 .unwrap_or_else(|e| panic!("fluid backend on '{}': {e}", sc.name));
+            rerouted += result.telemetry.counters.rerouted_flows;
             report.unfinished.push(
                 result
                     .telemetry
@@ -608,6 +738,10 @@ impl Backend for FluidBackend {
         report.put_scalar("full_solves", full_solves as f64);
         report.put_scalar("incremental_solves", incremental_solves as f64);
         report.put_scalar("rate_updates", rate_updates as f64);
+        if sc.has_faults() {
+            report.put_scalar("rerouted_flows", rerouted as f64);
+        }
+        put_incomplete_flows(&mut report, sc);
         prof.end(ph_report, span);
         export_spans(&mut report, &prof);
         report
@@ -696,6 +830,10 @@ impl Backend for HybridBackend {
         let mut rate_updates = 0u64;
         let mut n_fg_flows = 0usize;
         let mut n_bg_flows = 0usize;
+        let mut fault_drops = 0u64;
+        let mut retx = 0u64;
+        let mut rtos = 0u64;
+        let mut rerouted = 0u64;
         let mut prof = Profiler::disabled();
         let wall_start = std::time::Instant::now();
 
@@ -717,13 +855,26 @@ impl Backend for HybridBackend {
                 trace: tracing && seed_ix == 0,
                 ..HybridConfig::default()
             };
-            let mut sim = HybridSim::new(
+            // Faults land on both halves: the scenario's specs lower into
+            // the foreground fabric config (go-back-N recovery armed on
+            // the packet transport) and into fluid capacity events for the
+            // background. Fault-free scenarios take the exact unfaulted
+            // constructor path, keeping their reports byte-identical.
+            let mut sim = HybridSim::new_faulted(
                 topo.clone(),
                 sc.cc,
                 fg_flows,
                 bg_flows,
                 self.rate_model(sc),
                 cfg,
+                |f| {
+                    if sc.has_faults() {
+                        f.seed = seed;
+                        sc.apply_faults(f);
+                    }
+                },
+                sc.has_faults().then(RecoveryConfig::paper_default),
+                fluid_capacity_events(sc),
             )
             .unwrap_or_else(|e| panic!("hybrid backend on '{}': {e}", sc.name));
             let outcome = match sc.stop {
@@ -767,6 +918,11 @@ impl Backend for HybridBackend {
             backlog_pushes += result.backlog_pushes;
             single_bottleneck += result.single_bottleneck_solves;
             peak_bg_active = peak_bg_active.max(result.peak_bg_active);
+            fault_drops += result.fg.counters.fault_drops;
+            retx += result.fg.counters.retx;
+            rtos += result.fg.counters.rtos;
+            rerouted +=
+                result.fg.counters.rerouted_flows + result.bg.telemetry.counters.rerouted_flows;
             full_solves += result.bg.full_solves;
             incremental_solves += result.bg.incremental_solves;
             rate_updates += result.bg.rate_updates;
@@ -804,6 +960,12 @@ impl Backend for HybridBackend {
         report.put_scalar("hybrid_backlog_pushes", backlog_pushes as f64);
         report.put_scalar("single_bottleneck_solves", single_bottleneck as f64);
         report.put_scalar("peak_bg_active", peak_bg_active as f64);
+        if sc.has_faults() {
+            report.put_scalar("fault_drops", fault_drops as f64);
+            report.put_scalar("retx_count", retx as f64);
+            report.put_scalar("rto_count", rtos as f64);
+            report.put_scalar("rerouted_flows", rerouted as f64);
+        }
         report.put_scalar("full_solves", full_solves as f64);
         report.put_scalar("incremental_solves", incremental_solves as f64);
         report.put_scalar("rate_updates", rate_updates as f64);
@@ -814,6 +976,7 @@ impl Backend for HybridBackend {
         if wall > 0.0 {
             report.put_scalar("events_per_sec", report.events as f64 / wall);
         }
+        put_incomplete_flows(&mut report, sc);
         prof.end(ph_report, span);
         export_spans(&mut report, &prof);
         report
@@ -924,6 +1087,158 @@ mod tests {
         assert_eq!(r.scalar("background_flows"), Some(2.0));
         assert!(r.scalar("hybrid_syncs").unwrap_or(0.0) > 0.0);
         assert!(r.scalar("hybrid_backlog_pushes").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn packet_backend_recovers_from_random_loss() {
+        use crate::scenario::{FaultSpec, StopCondition, TopologySpec};
+        let mut sc = Scenario::new(
+            "loss-smoke",
+            TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            TrafficSpec::Incast {
+                receiver: 2,
+                fan_in: 2,
+                size: 200_000,
+                waves: 1,
+                gap_us: 0,
+            },
+            CcKind::Fncc,
+        );
+        sc.stop = StopCondition::Drain { cap_ms: 50 };
+        sc.faults = vec![FaultSpec::RandomLoss {
+            switch: 0,
+            port: 2,
+            from_us: 0,
+            to_us: 5_000,
+            probability: 0.02,
+        }];
+        sc.validate().unwrap();
+        let r = run_scenario(&sc, SimBackend::Packet);
+        // Go-back-N recovers every flow despite the injected loss, and the
+        // fault scalars land in the report.
+        assert_eq!(r.scalar("incomplete_flows"), Some(0.0));
+        assert_eq!(r.unfinished, vec![0]);
+        assert!(r.scalar("fault_drops").unwrap_or(0.0) > 0.0);
+        assert!(r.scalar("retx_count").unwrap_or(0.0) > 0.0);
+        assert!(r.scalar("rto_count").unwrap_or(0.0) > 0.0);
+        assert_eq!(r.scalar("rerouted_flows"), Some(0.0)); // no ECMP detour on a dumbbell
+    }
+
+    #[test]
+    fn fluid_backend_reroutes_on_linkflap() {
+        use crate::scenario::{FaultSpec, TopologySpec};
+        let mut sc = Scenario::new(
+            "fluid-flap-smoke",
+            TopologySpec::FatTree { k: 4 },
+            TrafficSpec::Incast {
+                receiver: 15,
+                fan_in: 4,
+                size: 2_000_000,
+                waves: 1,
+                gap_us: 0,
+            },
+            CcKind::Fncc,
+        );
+        sc.faults = vec![
+            FaultSpec::LinkDown {
+                switch: 0,
+                port: 2,
+                at_us: 100,
+            },
+            FaultSpec::LinkUp {
+                switch: 0,
+                port: 2,
+                at_us: 400,
+            },
+        ];
+        sc.validate().unwrap();
+        let r = run_scenario(&sc, SimBackend::Fluid);
+        assert_eq!(r.scalar("incomplete_flows"), Some(0.0));
+        assert_eq!(r.unfinished, vec![0]);
+        assert!(
+            r.scalar("rerouted_flows").unwrap_or(0.0) >= 1.0,
+            "a ToR-uplink flap must detour at least one incast sender"
+        );
+    }
+
+    #[test]
+    fn hybrid_backend_completes_under_linkflap() {
+        use crate::scenario::{FaultSpec, ForegroundSpec, PartitionRule, TopologySpec};
+        let mut sc = Scenario::new(
+            "hybrid-flap-smoke",
+            TopologySpec::Dumbbell {
+                senders: 4,
+                switches: 3,
+            },
+            TrafficSpec::MiceBehindElephants {
+                elephants: 2,
+                elephant_size: 2_000_000,
+                mice: 6,
+                mouse_size: 20_000,
+                warmup_us: 30,
+                gap_us: 10,
+            },
+            CcKind::Fncc,
+        );
+        sc.foreground = Some(ForegroundSpec {
+            rules: vec![PartitionRule::SizeBelow { bytes: 1_000_000 }],
+        });
+        sc.stop = StopCondition::Drain { cap_ms: 50 };
+        // Flap the dumbbell bottleneck: the packet half recovers by RTO
+        // retransmission, the fluid half parks its elephants until link-up.
+        sc.faults = vec![
+            FaultSpec::LinkDown {
+                switch: 0,
+                port: 4,
+                at_us: 50,
+            },
+            FaultSpec::LinkUp {
+                switch: 0,
+                port: 4,
+                at_us: 250,
+            },
+        ];
+        sc.validate().unwrap();
+        let r = run_scenario(&sc, SimBackend::Hybrid);
+        assert_eq!(r.scalar("incomplete_flows"), Some(0.0));
+        assert_eq!(r.unfinished, vec![0]);
+        assert!(r.scalar("fault_drops").unwrap_or(0.0) > 0.0);
+        assert!(r.scalar("rto_count").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn fault_free_reports_carry_no_fault_scalars() {
+        use crate::scenario::{StopCondition, TopologySpec};
+        let mut sc = Scenario::new(
+            "clean-smoke",
+            TopologySpec::Dumbbell {
+                senders: 2,
+                switches: 3,
+            },
+            TrafficSpec::Incast {
+                receiver: 2,
+                fan_in: 2,
+                size: 100_000,
+                waves: 1,
+                gap_us: 0,
+            },
+            CcKind::Fncc,
+        );
+        sc.stop = StopCondition::Drain { cap_ms: 50 };
+        let r = run_scenario(&sc, SimBackend::Packet);
+        assert_eq!(r.unfinished, vec![0]);
+        for key in [
+            "incomplete_flows",
+            "fault_drops",
+            "retx_count",
+            "rto_count",
+            "rerouted_flows",
+        ] {
+            assert_eq!(r.scalar(key), None, "unexpected scalar {key}");
+        }
     }
 
     #[test]

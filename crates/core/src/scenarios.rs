@@ -101,6 +101,7 @@ impl MicrobenchSpec {
             overrides: self.overrides(),
             probes: ProbeSpec::micro(self.sample_ns, self.n_senders),
             foreground: None,
+            faults: Vec::new(),
             stop: StopCondition::Horizon {
                 us: self.horizon_us,
             },
@@ -332,6 +333,7 @@ pub fn staircase_scenario(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) ->
             trace: false,
         },
         foreground: None,
+        faults: Vec::new(),
         stop: StopCondition::Horizon { us: horizon_us },
         seeds: vec![seed],
     }
@@ -410,6 +412,7 @@ impl WorkloadSpec {
             overrides: CcOverrides::default(),
             probes: ProbeSpec::default(),
             foreground: None,
+            faults: Vec::new(),
             stop: StopCondition::Drain { cap_ms: 200 },
             seeds: self.seeds.clone(),
         }

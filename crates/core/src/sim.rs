@@ -9,7 +9,7 @@ use fncc_net::ids::{FlowId, HostId, SwitchId};
 use fncc_net::telemetry::Telemetry;
 use fncc_net::topology::Topology;
 use fncc_obs::{Profiler, TraceSink};
-use fncc_transport::{DcHost, FlowSpec, HostTimer, TransportConfig};
+use fncc_transport::{DcHost, FlowSpec, HostTimer, RecoveryConfig, TransportConfig};
 
 // Scheme wiring moved down into `fncc-transport` so the hybrid backend can
 // build packet hosts without this crate; re-exported here for
@@ -29,6 +29,7 @@ pub struct SimBuilder {
     watch_flows: Vec<(FlowId, String)>,
     watch_cc_rates: Vec<(FlowId, HostId, String)>,
     trace: bool,
+    recovery: Option<RecoveryConfig>,
 }
 
 impl SimBuilder {
@@ -52,6 +53,7 @@ impl SimBuilder {
             watch_flows: Vec::new(),
             watch_cc_rates: Vec::new(),
             trace: false,
+            recovery: None,
         }
     }
 
@@ -72,6 +74,7 @@ impl SimBuilder {
             watch_flows: Vec::new(),
             watch_cc_rates: Vec::new(),
             trace: false,
+            recovery: None,
         }
     }
 
@@ -131,10 +134,19 @@ impl SimBuilder {
         self
     }
 
+    /// Enable go-back-N loss recovery on every host. Backends switch this
+    /// on only for fault-injecting scenarios, keeping lossless runs free of
+    /// retransmission-timer events (and their goldens byte-identical).
+    pub fn recovery(mut self, rec: Option<RecoveryConfig>) -> Self {
+        self.recovery = rec;
+        self
+    }
+
     /// Finalize into a runnable [`Sim`].
     pub fn build(self) -> Sim {
         let kind = self.cc.kind();
-        let tcfg = TransportConfig::new(self.cc).with_ack_every(self.ack_every);
+        let mut tcfg = TransportConfig::new(self.cc).with_ack_every(self.ack_every);
+        tcfg.recovery = self.recovery;
         let hosts: Vec<DcHost> = (0..self.topo.n_hosts)
             .map(|_| DcHost::new(tcfg.clone()))
             .collect();

@@ -192,8 +192,7 @@ pub fn ack_coalescing_sweep(opts: &RunOpts) {
 /// storm hazard). The watchdog records episode lengths; the fabric must
 /// recover losslessly once the fault clears.
 pub fn pause_storm(opts: &RunOpts) {
-    use fncc_net::config::FaultSpec;
-    use fncc_net::ids::NodeRef;
+    use fncc_core::scenario::{FaultSpec, Scenario};
 
     let mut t = Table::new([
         "fault_us",
@@ -218,17 +217,20 @@ pub fn pause_storm(opts: &RunOpts) {
                     start: SimTime::ZERO,
                 })
                 .collect();
+            // The stuck-port fault goes through the scenario-level spec and
+            // the same lowering every backend uses — no bespoke wiring.
+            let faults: Vec<FaultSpec> = if fault_us > 0 {
+                vec![FaultSpec::StuckPort {
+                    switch: 1,
+                    port: 1,
+                    at_us: 20,
+                    duration_us: fault_us,
+                }]
+            } else {
+                Vec::new()
+            };
             let mut sim = SimBuilder::new(topo, cc)
-                .fabric(|f| {
-                    if fault_us > 0 {
-                        f.faults.push(FaultSpec {
-                            node: NodeRef::Switch(SwitchId(1)),
-                            port: 1,
-                            at: SimTime::from_us(20),
-                            duration: TimeDelta::from_us(fault_us),
-                        });
-                    }
-                })
+                .fabric(|f| Scenario::lower_faults(&faults, f))
                 .flows(flows)
                 .build();
             let done = sim.run_to_completion(TimeDelta::from_us(100), SimTime::from_ms(20));

@@ -214,6 +214,43 @@ pub fn check(opts: &RunOpts) -> usize {
         pass: overall[2] < overall[0] && overall[2] < overall[1] * 1.1,
     });
 
+    // Lossless-completion gate: on a fault-free scenario every flow must
+    // finish inside the drain cap. A nonzero `incomplete_flows` here means a
+    // buffer-exhaustion drop silently stalled a flow until the stop condition
+    // truncated the run — exactly the failure mode the `fncc-repro check`
+    // verdict must surface loudly rather than average away.
+    {
+        let mut sc = Scenario::new(
+            "lossless-completion-probe",
+            TopologySpec::FatTree { k: 4 },
+            TrafficSpec::Incast {
+                receiver: 0,
+                fan_in: 6,
+                size: 150_000,
+                waves: 2,
+                gap_us: 50,
+            },
+            CcKind::Fncc,
+        );
+        sc.stop = StopCondition::Drain { cap_ms: 50 };
+        sc.seeds = vec![1];
+        let incomplete = |b: SimBackend| {
+            run_scenario(&sc, b)
+                .scalar("incomplete_flows")
+                .unwrap_or(0.0)
+        };
+        let (des, fluid) = (
+            incomplete(SimBackend::Packet),
+            incomplete(SimBackend::Fluid),
+        );
+        checks.push(Check {
+            id: "C11 (lossless)",
+            claim: "fault-free scenarios complete every flow (no silent stalls)",
+            measured: format!("incomplete flows: packet {des:.0}, fluid {fluid:.0}"),
+            pass: des == 0.0 && fluid == 0.0,
+        });
+    }
+
     let mut t = Table::new(["check", "claim", "measured", "verdict"]);
     let mut failed = 0;
     for c in &checks {

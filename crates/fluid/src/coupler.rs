@@ -24,9 +24,10 @@
 use crate::link::LinkMap;
 use crate::maxmin::{Rebalance, WaterFiller};
 use crate::model::RateModel;
-use crate::sim::{SlotState, CONTENDED_FRAC, QUEUE_BUILD_RTTS};
-use crate::{FluidError, FluidResult, Framing};
+use crate::sim::{path_avoiding, repath_flows, SlotState, CONTENDED_FRAC, QUEUE_BUILD_RTTS};
+use crate::{CapacityChange, CapacityEvent, FluidError, FluidResult, Framing};
 use fncc_des::time::SimTime;
+use fncc_net::ids::NodeRef;
 use fncc_net::telemetry::{FlowRecord, Telemetry};
 use fncc_net::topology::Topology;
 use fncc_obs::{HistId, PhaseId, Profiler, TraceEvent, TraceSink};
@@ -69,6 +70,17 @@ pub struct BackgroundFluid {
     eff_capacity: Vec<f64>,
     /// Since when each link has been continuously saturated (NaN = not).
     sat_since: Vec<f64>,
+    /// Scheduled capacity events (scenario faults), sorted by time.
+    fevents: Vec<CapacityEvent>,
+    next_fault: usize,
+    /// Per-link capacity factor from `Scale` fault events (composes
+    /// multiplicatively with foreground reservations).
+    factor: Vec<f64>,
+    /// Per-switch-port dead flags from `Down`/`Up` fault events.
+    dead: Vec<Vec<bool>>,
+    n_dead: usize,
+    /// Flows parked because the dead set severs their destination.
+    stalled: Vec<SlotState>,
     /// Links whose allocation changed since the last [`Self::take_touched`].
     touched: Vec<u32>,
     touched_flag: Vec<bool>,
@@ -139,6 +151,11 @@ impl BackgroundFluid {
         let mut profiler = Profiler::from_env();
         let ph_solve = profiler.phase("bg_fluid_solve");
         let n = links.len();
+        let dead = topo
+            .switches
+            .iter()
+            .map(|sw| vec![false; sw.ports.len()])
+            .collect();
         Ok(BackgroundFluid {
             topo,
             links,
@@ -158,6 +175,12 @@ impl BackgroundFluid {
             capacity_base,
             reservation: vec![0.0; n],
             sat_since: vec![f64::NAN; n],
+            fevents: Vec::new(),
+            next_fault: 0,
+            factor: vec![1.0; n],
+            dead,
+            n_dead: 0,
+            stalled: Vec::new(),
             touched: Vec::new(),
             touched_flag: vec![false; n],
             needs_resolve: false,
@@ -172,16 +195,27 @@ impl BackgroundFluid {
         })
     }
 
+    /// Schedule link-fault capacity events (sorted internally by time).
+    /// Same semantics as [`crate::FluidSim::capacity_events`]: `Down`/`Up`
+    /// fail and restore the physical link with rerouting, `Scale`
+    /// multiplies one egress direction's capacity and composes with
+    /// foreground reservations.
+    pub fn capacity_events(&mut self, events: impl IntoIterator<Item = CapacityEvent>) {
+        self.fevents.extend(events);
+        self.fevents.sort_by_key(|e| e.at);
+    }
+
     /// Current fluid clock, seconds.
     #[inline]
     pub fn now(&self) -> f64 {
         self.t
     }
 
-    /// Number of background flows still draining or yet to arrive.
+    /// Number of background flows still draining, parked behind a link
+    /// failure, or yet to arrive.
     #[inline]
     pub fn remaining_flows(&self) -> usize {
-        self.active.len() + (self.specs.len() - self.next_arrival)
+        self.active.len() + self.stalled.len() + (self.specs.len() - self.next_arrival)
     }
 
     /// Peak number of concurrently active background flows so far.
@@ -211,6 +245,10 @@ impl BackgroundFluid {
             .specs
             .get(self.next_arrival)
             .map(|s| s.start.as_secs_f64());
+        let t_flt = self
+            .fevents
+            .get(self.next_fault)
+            .map(|e| e.at.as_secs_f64());
         let mut t_fin = f64::INFINITY;
         for &slot in &self.active {
             let st = &self.slots[slot as usize];
@@ -218,11 +256,11 @@ impl BackgroundFluid {
                 t_fin = t_fin.min(st.last_sync + st.remaining_bits.max(0.0) / st.rate);
             }
         }
-        match t_arr {
-            Some(a) => Some(a.min(t_fin)),
-            None if t_fin.is_finite() => Some(t_fin),
-            None => None,
-        }
+        let t_next = t_arr
+            .unwrap_or(f64::INFINITY)
+            .min(t_flt.unwrap_or(f64::INFINITY))
+            .min(t_fin);
+        t_next.is_finite().then_some(t_next)
     }
 
     /// Advance the background fluid to `t_target` (seconds), admitting and
@@ -237,16 +275,24 @@ impl BackgroundFluid {
                 .specs
                 .get(self.next_arrival)
                 .map_or(f64::INFINITY, |s| s.start.as_secs_f64());
+            let t_flt = self
+                .fevents
+                .get(self.next_fault)
+                .map_or(f64::INFINITY, |e| e.at.as_secs_f64());
             let mut t_fin = f64::INFINITY;
             for &slot in &self.active {
                 let st = &self.slots[slot as usize];
                 t_fin = t_fin.min(st.last_sync + st.remaining_bits.max(0.0) / st.rate);
             }
-            let t_next = t_arr.min(t_fin);
+            let t_next = t_arr.min(t_fin).min(t_flt);
             if t_next > t_target {
                 break;
             }
             self.t = t_next;
+            if t_flt <= t_next {
+                self.apply_faults_due();
+                self.resolve()?;
+            }
             if t_arr <= t_next {
                 self.admit_due();
                 self.resolve()?;
@@ -267,14 +313,100 @@ impl BackgroundFluid {
     /// the capacity delta rides the water-filler's dirty-link API and is
     /// applied at the next resolve.
     pub fn reserve(&mut self, l: u32, load_bits_per_sec: f64) {
+        self.reservation[l as usize] = load_bits_per_sec.max(0.0);
+        self.update_eff(l);
+    }
+
+    /// Recompute the capacity presented to the water-filler for link `l`:
+    /// fault-scaled base minus the η-scaled foreground reservation,
+    /// floored at a sliver of the (scaled) unreserved capacity.
+    fn update_eff(&mut self, l: u32) {
         let li = l as usize;
-        let load = load_bits_per_sec.max(0.0);
-        self.reservation[li] = load;
-        let eff =
-            (self.capacity_base[li] - self.eta * load).max(RESERVE_FLOOR * self.capacity_base[li]);
+        let base = self.capacity_base[li] * self.factor[li];
+        let eff = (base - self.eta * self.reservation[li])
+            .max(RESERVE_FLOOR * base)
+            .max(self.capacity_base[li] * 1e-9);
         if eff != self.eff_capacity[li] {
             self.eff_capacity[li] = eff;
             self.filler.set_capacity(l, eff);
+            self.needs_resolve = true;
+        }
+    }
+
+    /// Apply every fault event at or before the current clock: `Scale`
+    /// adjusts the link's capacity factor; `Down`/`Up` flip the dead flags
+    /// on both directions of the physical link and re-walk every flow's
+    /// route (moving, stalling, or reviving them — same machinery as
+    /// [`crate::FluidSim`]).
+    fn apply_faults_due(&mut self) {
+        let to_ps = |secs: f64| (secs * 1e12).round() as u64;
+        let mut links_flipped = false;
+        while let Some(&ev) = self.fevents.get(self.next_fault) {
+            if ev.at.as_secs_f64() > self.t + 1e-15 {
+                break;
+            }
+            self.next_fault += 1;
+            match ev.change {
+                CapacityChange::Scale(f) => {
+                    let l = self.links.id_of(NodeRef::Switch(ev.switch), ev.port);
+                    self.factor[l as usize] *= f;
+                    self.update_eff(l);
+                }
+                CapacityChange::Down | CapacityChange::Up => {
+                    let down = matches!(ev.change, CapacityChange::Down);
+                    let port = ev.port as usize;
+                    let sw = &self.topo.switches[ev.switch.ix()];
+                    if self.dead[ev.switch.ix()][port] != down {
+                        self.dead[ev.switch.ix()][port] = down;
+                        self.n_dead = if down {
+                            self.n_dead + 1
+                        } else {
+                            self.n_dead - 1
+                        };
+                    }
+                    if let NodeRef::Switch(s2) = sw.ports[port].peer {
+                        let p2 = sw.ports[port].peer_port as usize;
+                        if self.dead[s2.ix()][p2] != down {
+                            self.dead[s2.ix()][p2] = down;
+                            self.n_dead = if down {
+                                self.n_dead + 1
+                            } else {
+                                self.n_dead - 1
+                            };
+                        }
+                    }
+                    if self.telemetry.trace.enabled() {
+                        self.telemetry.trace.record(if down {
+                            TraceEvent::LinkDown {
+                                t_ps: to_ps(self.t),
+                                sw: ev.switch.0,
+                                port: ev.port,
+                            }
+                        } else {
+                            TraceEvent::LinkUp {
+                                t_ps: to_ps(self.t),
+                                sw: ev.switch.0,
+                                port: ev.port,
+                            }
+                        });
+                    }
+                    links_flipped = true;
+                }
+            }
+        }
+        if links_flipped {
+            repath_flows(
+                &self.topo,
+                &self.links,
+                &self.dead,
+                &self.specs,
+                &mut self.filler,
+                &mut self.slots,
+                &mut self.active,
+                &mut self.stalled,
+                &mut self.telemetry,
+                self.t,
+            );
             self.needs_resolve = true;
         }
     }
@@ -439,11 +571,7 @@ impl BackgroundFluid {
                 .map(|&l| self.links.capacity(l))
                 .fold(f64::INFINITY, f64::min);
             let floor = (ideal - wire_bits / bottleneck).max(0.0);
-            let slot = self.filler.add_flow(&self.path_buf) as usize;
-            if slot >= self.slots.len() {
-                self.slots.resize(slot + 1, SlotState::default());
-            }
-            self.slots[slot] = SlotState {
+            let st = SlotState {
                 spec_ix: self.next_arrival as u32,
                 remaining_bits: wire_bits,
                 wire_bits,
@@ -454,7 +582,6 @@ impl BackgroundFluid {
                 rate: 0.0,
                 max_cont: 0.0,
             };
-            self.active.push(slot as u32);
             if self.telemetry.trace.enabled() {
                 self.telemetry.trace.record(TraceEvent::FluidFlowAdd {
                     t_ps: to_ps(self.t),
@@ -462,6 +589,38 @@ impl BackgroundFluid {
                 });
             }
             self.next_arrival += 1;
+            // Under an active link failure the pristine path may be dead:
+            // reroute over the surviving ECMP members or park the flow
+            // until a link-up reconnects its destination. n_dead == 0
+            // keeps fault-free runs on the exact pre-fault code path.
+            if self.n_dead > 0 {
+                let mut route_buf = Vec::new();
+                let s = &self.specs[st.spec_ix as usize];
+                if path_avoiding(
+                    &self.topo,
+                    &self.links,
+                    &self.dead,
+                    s.src,
+                    s.dst,
+                    s.id,
+                    &mut route_buf,
+                )
+                .is_none()
+                {
+                    self.stalled.push(st);
+                    continue;
+                }
+                if route_buf != self.path_buf {
+                    self.telemetry.note_rerouted(s.id);
+                }
+                self.path_buf = route_buf;
+            }
+            let slot = self.filler.add_flow(&self.path_buf) as usize;
+            if slot >= self.slots.len() {
+                self.slots.resize(slot + 1, SlotState::default());
+            }
+            self.slots[slot] = st;
+            self.active.push(slot as u32);
         }
         self.peak_active = self.peak_active.max(self.active.len());
     }

@@ -53,4 +53,4 @@ pub use maxmin::{
 };
 pub use model::{Calibration, CalibrationSet, DurationEta, RateModel};
 pub use scenarios::Trace;
-pub use sim::{FluidError, FluidResult, FluidSim, Framing};
+pub use sim::{CapacityChange, CapacityEvent, FluidError, FluidResult, FluidSim, Framing};

@@ -26,10 +26,45 @@ use crate::maxmin::{Rebalance, WaterFiller};
 use crate::model::RateModel;
 use fncc_des::time::SimTime;
 use fncc_net::config::FabricConfig;
+use fncc_net::ids::{HostId, NodeRef, SwitchId};
+use fncc_net::routing::{egress_avoiding, flow_hash};
 use fncc_net::telemetry::{FlowRecord, Telemetry};
 use fncc_net::topology::Topology;
 use fncc_obs::{Profiler, TraceEvent, TraceSink};
 use fncc_transport::FlowSpec;
+
+/// A scheduled change to one switch egress link — the fluid lowering of a
+/// scenario fault. `Down`/`Up` fail and restore the physical link (both
+/// directions; crossing flows reroute over the surviving ECMP paths exactly
+/// as the packet engine's recompiled tables would steer them); `Scale`
+/// multiplies the named egress direction's capacity (a degraded link, or
+/// random loss modeled as its goodput haircut).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CapacityEvent {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Switch owning the egress.
+    pub switch: SwitchId,
+    /// Egress port index.
+    pub port: u8,
+    /// What happens.
+    pub change: CapacityChange,
+}
+
+/// The kind of capacity change a [`CapacityEvent`] applies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CapacityChange {
+    /// Link fails: both directions die, crossing flows reroute (or stall
+    /// until [`CapacityChange::Up`] when the failure severs their
+    /// destination).
+    Down,
+    /// Link restored: routing reverts to the pristine tables, rerouted
+    /// flows move back.
+    Up,
+    /// Multiply the egress capacity by this factor (a fault window's end is
+    /// lowered as the reciprocal, so overlapping faults compose).
+    Scale(f64),
+}
 
 /// Fabric framing parameters the fluid model needs. The default derives
 /// from [`FabricConfig::paper_default`], so the two backends can never
@@ -138,6 +173,135 @@ pub(crate) struct SlotState {
 /// allocated rate sits below this fraction of its uncontended drain rate.
 pub(crate) const CONTENDED_FRAC: f64 = 0.95;
 
+/// The request path of `(src → dst, flow)` avoiding dead switch egress
+/// ports, as dense link ids into `out`. Each hop resolves through
+/// [`egress_avoiding`], so the surviving-ECMP choice is bit-identical to
+/// the packet engine's recompiled tables. `None` when the dead set severs
+/// the destination (`out` is then unspecified).
+pub(crate) fn path_avoiding(
+    topo: &Topology,
+    links: &LinkMap,
+    dead: &[Vec<bool>],
+    src: HostId,
+    dst: HostId,
+    flow: fncc_net::ids::FlowId,
+    out: &mut Vec<u32>,
+) -> Option<()> {
+    out.clear();
+    let h = flow_hash(src, dst, flow);
+    out.push(links.id_of(NodeRef::Host(src), 0));
+    let mut cur = topo.host_ports[src.ix()].peer;
+    let mut hops = 0;
+    loop {
+        hops += 1;
+        assert!(hops < 64, "routing loop tracing {src:?}->{dst:?}");
+        match cur {
+            NodeRef::Host(hh) => {
+                debug_assert_eq!(hh, dst, "path reached wrong host");
+                return Some(());
+            }
+            NodeRef::Switch(s) => {
+                let sw = &topo.switches[s.ix()];
+                let d = &dead[s.ix()];
+                let port = egress_avoiding(&sw.route, dst, h, |p| {
+                    d.get(p as usize).copied().unwrap_or(false)
+                })?;
+                out.push(links.id_of(cur, port));
+                cur = sw.ports[port as usize].peer;
+            }
+        }
+    }
+}
+
+/// Re-walk every live flow's route under the current dead set at a link
+/// Down/Up boundary: flows whose surviving path changed move (their drain
+/// state materialized at `t`, rate reassigned by the next rebalance),
+/// severed flows park in `stalled` with their remaining bits frozen, and
+/// stalled flows whose destination became reachable again rejoin.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn repath_flows(
+    topo: &Topology,
+    links: &LinkMap,
+    dead: &[Vec<bool>],
+    specs: &[FlowSpec],
+    filler: &mut WaterFiller,
+    slots: &mut Vec<SlotState>,
+    active: &mut Vec<u32>,
+    stalled: &mut Vec<SlotState>,
+    telemetry: &mut Telemetry,
+    t: f64,
+) {
+    let mut path_buf: Vec<u32> = Vec::new();
+    let mut i = active.len();
+    while i > 0 {
+        i -= 1;
+        let slot = active[i] as usize;
+        let spec = &specs[slots[slot].spec_ix as usize];
+        let reachable = path_avoiding(
+            topo,
+            links,
+            dead,
+            spec.src,
+            spec.dst,
+            spec.id,
+            &mut path_buf,
+        )
+        .is_some();
+        if reachable && path_buf.as_slice() == filler.path(slot as u32) {
+            continue;
+        }
+        // Materialize the drain state before the rate changes hands.
+        let mut st = slots[slot].clone();
+        if st.rate > 0.0 {
+            st.remaining_bits -= st.rate * (t - st.last_sync);
+            if st.rate < st.fair_line * CONTENDED_FRAC {
+                st.max_cont = st.max_cont.max(t - st.last_sync);
+            }
+        }
+        st.last_sync = t;
+        st.rate = 0.0;
+        filler.remove_flow(slot as u32);
+        if reachable {
+            telemetry.note_rerouted(spec.id);
+            let new_slot = filler.add_flow(&path_buf) as usize;
+            if new_slot >= slots.len() {
+                slots.resize(new_slot + 1, SlotState::default());
+            }
+            slots[new_slot] = st;
+            active[i] = new_slot as u32;
+        } else {
+            active.swap_remove(i);
+            stalled.push(st);
+        }
+    }
+    let mut i = stalled.len();
+    while i > 0 {
+        i -= 1;
+        let spec = &specs[stalled[i].spec_ix as usize];
+        if path_avoiding(
+            topo,
+            links,
+            dead,
+            spec.src,
+            spec.dst,
+            spec.id,
+            &mut path_buf,
+        )
+        .is_some()
+        {
+            let mut st = stalled.swap_remove(i);
+            st.last_sync = t;
+            st.rate = 0.0;
+            let slot = filler.add_flow(&path_buf) as usize;
+            if slot >= slots.len() {
+                slots.resize(slot + 1, SlotState::default());
+            }
+            slots[slot] = st;
+            active.push(slot as u32);
+        }
+    }
+}
+
 /// Result of a fluid run.
 pub struct FluidResult {
     /// Per-flow lifetime records (compatible with the packet backend's
@@ -197,6 +361,7 @@ pub struct FluidSim {
     model: RateModel,
     framing: Framing,
     flows: Vec<FlowSpec>,
+    faults: Vec<CapacityEvent>,
     trace: bool,
 }
 
@@ -210,8 +375,16 @@ impl FluidSim {
             model,
             framing: Framing::default(),
             flows: Vec::new(),
+            faults: Vec::new(),
             trace: false,
         }
+    }
+
+    /// Schedule link-fault capacity events (sorted internally by time).
+    pub fn capacity_events(mut self, events: impl IntoIterator<Item = CapacityEvent>) -> Self {
+        self.faults.extend(events);
+        self.faults.sort_by_key(|e| e.at);
+        self
     }
 
     /// Override framing parameters (defaults match the packet backend).
@@ -283,6 +456,7 @@ impl FluidSim {
 
         self.flows.sort_by_key(|f| f.start);
         let specs = std::mem::take(&mut self.flows);
+        let fevents = std::mem::take(&mut self.faults);
 
         let mut telemetry = Telemetry::new();
         if self.trace {
@@ -310,7 +484,21 @@ impl FluidSim {
         let mut slots: Vec<SlotState> = Vec::new();
         let mut active: Vec<u32> = Vec::new();
         let mut path_buf: Vec<u32> = Vec::new();
+        let mut route_buf: Vec<u32> = Vec::new();
         let mut next_arrival = 0usize;
+        // Fault state: per-link capacity factor (Scale events compose
+        // multiplicatively), per-switch-port dead flags (Down/Up), flows
+        // parked because the dead set severs their destination.
+        let mut next_fault = 0usize;
+        let mut factor: Vec<f64> = vec![1.0; self.links.len()];
+        let mut dead: Vec<Vec<bool>> = self
+            .topo
+            .switches
+            .iter()
+            .map(|sw| vec![false; sw.ports.len()])
+            .collect();
+        let mut n_dead = 0usize;
+        let mut stalled: Vec<SlotState> = Vec::new();
         let mut t = 0.0f64; // seconds
         let mut reallocations = 0u64;
         let mut rate_updates = 0u64;
@@ -323,11 +511,98 @@ impl FluidSim {
         // covers whole-network idle gaps.
         let mut sat_since: Vec<f64> = vec![f64::NAN; self.links.len()];
 
-        while next_arrival < specs.len() || !active.is_empty() {
+        while next_arrival < specs.len()
+            || !active.is_empty()
+            || (!stalled.is_empty() && next_fault < fevents.len())
+        {
             if active.is_empty() {
-                // Jump the clock to the next arrival. The network was idle
-                // over the gap, so any standing-queue history is stale.
-                t = specs[next_arrival].start.as_secs_f64();
+                // Jump the clock to the next arrival or fault. The network
+                // was idle over the gap, so any standing-queue history is
+                // stale. (Stalled flows drain nothing; only a link-up —
+                // a fault event — can revive them.)
+                let t_arr = if next_arrival < specs.len() {
+                    specs[next_arrival].start.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                };
+                let t_flt = if next_fault < fevents.len() {
+                    fevents[next_fault].at.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                };
+                let jump = t_arr.min(t_flt);
+                if jump.is_infinite() {
+                    break; // only stalled flows remain, nothing can revive them
+                }
+                t = t.max(jump);
+            }
+            // Apply every fault event whose time has been reached, then
+            // re-walk routes once if any link changed state.
+            let mut links_flipped = false;
+            while next_fault < fevents.len() && fevents[next_fault].at.as_secs_f64() <= t + 1e-15 {
+                let ev = fevents[next_fault];
+                next_fault += 1;
+                match ev.change {
+                    CapacityChange::Scale(f) => {
+                        let l = self.links.id_of(NodeRef::Switch(ev.switch), ev.port);
+                        factor[l as usize] *= f;
+                        // Floor well above zero so the zero-rate guard
+                        // stays meaningful: a degraded link is slow, not
+                        // dead (Down models dead).
+                        let eff = (capacity[l as usize] * factor[l as usize])
+                            .max(capacity[l as usize] * 1e-9);
+                        filler.set_capacity(l, eff);
+                    }
+                    CapacityChange::Down | CapacityChange::Up => {
+                        let down = matches!(ev.change, CapacityChange::Down);
+                        let port = ev.port as usize;
+                        let sw = &self.topo.switches[ev.switch.ix()];
+                        // A physical link dies whole: fail the reverse
+                        // direction through the peer port too, exactly as
+                        // the packet fabric does.
+                        if dead[ev.switch.ix()][port] != down {
+                            dead[ev.switch.ix()][port] = down;
+                            n_dead = if down { n_dead + 1 } else { n_dead - 1 };
+                        }
+                        if let NodeRef::Switch(s2) = sw.ports[port].peer {
+                            let p2 = sw.ports[port].peer_port as usize;
+                            if dead[s2.ix()][p2] != down {
+                                dead[s2.ix()][p2] = down;
+                                n_dead = if down { n_dead + 1 } else { n_dead - 1 };
+                            }
+                        }
+                        if telemetry.trace.enabled() {
+                            telemetry.trace.record(if down {
+                                TraceEvent::LinkDown {
+                                    t_ps: to_ps(t),
+                                    sw: ev.switch.0,
+                                    port: ev.port,
+                                }
+                            } else {
+                                TraceEvent::LinkUp {
+                                    t_ps: to_ps(t),
+                                    sw: ev.switch.0,
+                                    port: ev.port,
+                                }
+                            });
+                        }
+                        links_flipped = true;
+                    }
+                }
+            }
+            if links_flipped {
+                repath_flows(
+                    &self.topo,
+                    &self.links,
+                    &dead,
+                    &specs,
+                    &mut filler,
+                    &mut slots,
+                    &mut active,
+                    &mut stalled,
+                    &mut telemetry,
+                    t,
+                );
             }
             // Admit every flow whose start time has been reached.
             while next_arrival < specs.len() {
@@ -357,11 +632,7 @@ impl FluidSim {
                     .map(|&l| self.links.capacity(l))
                     .fold(f64::INFINITY, f64::min);
                 let floor = (ideal - wire_bits / bottleneck).max(0.0);
-                let slot = filler.add_flow(&path_buf) as usize;
-                if slot >= slots.len() {
-                    slots.resize(slot + 1, SlotState::default());
-                }
-                slots[slot] = SlotState {
+                let st = SlotState {
                     spec_ix: next_arrival as u32,
                     remaining_bits: wire_bits,
                     wire_bits,
@@ -372,7 +643,6 @@ impl FluidSim {
                     rate: 0.0,
                     max_cont: 0.0,
                 };
-                active.push(slot as u32);
                 if telemetry.trace.enabled() {
                     telemetry.trace.record(TraceEvent::FluidFlowAdd {
                         t_ps: to_ps(t),
@@ -380,6 +650,38 @@ impl FluidSim {
                     });
                 }
                 next_arrival += 1;
+                // Under an active fault the pristine path may cross a dead
+                // link: reroute over the surviving ECMP members, or park
+                // the flow until a link-up reconnects its destination.
+                // The n_dead == 0 fast path keeps fault-free runs on the
+                // exact pre-fault code path (byte-identical results).
+                let route = if n_dead == 0 {
+                    &path_buf
+                } else if path_avoiding(
+                    &self.topo,
+                    &self.links,
+                    &dead,
+                    s.src,
+                    s.dst,
+                    s.id,
+                    &mut route_buf,
+                )
+                .is_some()
+                {
+                    if route_buf != path_buf {
+                        telemetry.note_rerouted(s.id);
+                    }
+                    &route_buf
+                } else {
+                    stalled.push(st);
+                    continue;
+                };
+                let slot = filler.add_flow(route) as usize;
+                if slot >= slots.len() {
+                    slots.resize(slot + 1, SlotState::default());
+                }
+                slots[slot] = st;
+                active.push(slot as u32);
             }
             peak_active = peak_active.max(active.len());
 
@@ -454,7 +756,8 @@ impl FluidSim {
                 sat_since[l as usize] = f64::NAN;
             }
             for &l in filler.touched_links() {
-                let saturated = filler.link_residual(l) <= 0.01 * capacity[l as usize];
+                let saturated =
+                    filler.link_residual(l) <= 0.01 * capacity[l as usize] * factor[l as usize];
                 if !saturated {
                     sat_since[l as usize] = f64::NAN;
                 } else if sat_since[l as usize].is_nan() {
@@ -462,9 +765,15 @@ impl FluidSim {
                 }
             }
 
-            // Next event: earliest projected completion vs next arrival.
+            // Next event: earliest projected completion vs next arrival vs
+            // next scheduled fault.
             let t_arr = if next_arrival < specs.len() {
                 specs[next_arrival].start.as_secs_f64()
+            } else {
+                f64::INFINITY
+            };
+            let t_flt = if next_fault < fevents.len() {
+                fevents[next_fault].at.as_secs_f64()
             } else {
                 f64::INFINITY
             };
@@ -473,7 +782,10 @@ impl FluidSim {
                 let st = &slots[slot as usize];
                 t_fin = t_fin.min(st.last_sync + st.remaining_bits.max(0.0) / st.rate);
             }
-            if t_fin.is_infinite() && t_arr.is_infinite() {
+            if t_fin.is_infinite() && t_arr.is_infinite() && t_flt.is_infinite() {
+                if active.is_empty() {
+                    break; // only stalled flows remain, nothing can revive them
+                }
                 // Unreachable given the zero-rate guard above; defensive.
                 let spec = &specs[slots[active[0] as usize].spec_ix as usize];
                 return Err(FluidError {
@@ -485,9 +797,9 @@ impl FluidSim {
                     ),
                 });
             }
-            t = t_fin.min(t_arr);
+            t = t_fin.min(t_arr).min(t_flt);
             if t < t_fin {
-                continue; // arrival-only event: nothing can retire yet
+                continue; // arrival- or fault-only event: nothing can retire yet
             }
 
             // Retire everything that completed at this instant (tolerance:
@@ -775,6 +1087,148 @@ mod tests {
         assert!(err.message.contains("zero capacity"), "{}", err.message);
         let shown = format!("{err}");
         assert!(shown.contains("stalled"), "{shown}");
+    }
+
+    fn ev(at_us: u64, sw: u32, port: u8, change: CapacityChange) -> CapacityEvent {
+        CapacityEvent {
+            at: SimTime::from_us(at_us),
+            switch: SwitchId(sw),
+            port,
+            change,
+        }
+    }
+
+    /// A ToR uplink dies mid-transfer on a fat-tree: flows crossing it move
+    /// to the surviving ECMP uplink and still finish; the telemetry counts
+    /// them as rerouted.
+    #[test]
+    fn link_down_reroutes_over_surviving_ecmp() {
+        let topo = Topology::fat_tree(4, BW, PROP);
+        let size = 10_000_000u64; // ~800 µs alone at 100G
+        let flows: Vec<FlowSpec> = (0..2).map(|i| flow(i, i, 14 + i, size, 0)).collect();
+        let r = FluidSim::new(topo, RateModel::ideal())
+            .flows(flows)
+            .capacity_events([
+                ev(100, 0, 2, CapacityChange::Down),
+                ev(400, 0, 2, CapacityChange::Up),
+            ])
+            .run()
+            .unwrap();
+        assert!(r.telemetry.all_flows_finished());
+        assert!(
+            r.telemetry.counters.rerouted_flows >= 1,
+            "rerouted {}",
+            r.telemetry.counters.rerouted_flows
+        );
+    }
+
+    /// A degraded bottleneck (Scale window) lengthens the FCT of a flow
+    /// crossing it, and restoring the factor at the window end returns the
+    /// link to full speed.
+    #[test]
+    fn degrade_window_slows_completion() {
+        let run = |events: Vec<CapacityEvent>| {
+            let topo = Topology::dumbbell(2, 3, BW, PROP);
+            let r = FluidSim::new(topo, RateModel::ideal())
+                .flows([flow(0, 0, 2, 10_000_000, 0)])
+                .capacity_events(events)
+                .run()
+                .unwrap();
+            let rec = r.telemetry.flow_record(FlowId(0)).unwrap().clone();
+            rec.fct().unwrap().as_secs_f64()
+        };
+        let clean = run(vec![]);
+        let degraded = run(vec![
+            ev(100, 0, 2, CapacityChange::Scale(0.25)),
+            ev(400, 0, 2, CapacityChange::Scale(4.0)),
+        ]);
+        // 300 µs at quarter speed costs ~225 µs of extra drain.
+        assert!(
+            degraded > clean + 150e-6,
+            "degraded {degraded} vs clean {clean}"
+        );
+    }
+
+    /// On a dumbbell the bottleneck has no ECMP alternative: a link-down
+    /// strands the flow (remaining bits frozen) until the link-up revives
+    /// it, and the outage shows up in the FCT.
+    #[test]
+    fn severed_flow_stalls_until_link_up() {
+        let run = |events: Vec<CapacityEvent>| {
+            let topo = Topology::dumbbell(2, 3, BW, PROP);
+            FluidSim::new(topo, RateModel::ideal())
+                .flows([flow(0, 0, 2, 10_000_000, 0)])
+                .capacity_events(events)
+                .run()
+                .unwrap()
+        };
+        let clean = run(vec![]);
+        let fct_clean = clean
+            .telemetry
+            .flow_record(FlowId(0))
+            .unwrap()
+            .fct()
+            .unwrap()
+            .as_secs_f64();
+        let flapped = run(vec![
+            ev(100, 0, 2, CapacityChange::Down),
+            ev(500, 0, 2, CapacityChange::Up),
+        ]);
+        assert!(flapped.telemetry.all_flows_finished());
+        let fct = flapped
+            .telemetry
+            .flow_record(FlowId(0))
+            .unwrap()
+            .fct()
+            .unwrap()
+            .as_secs_f64();
+        // The 400 µs outage is dead time: FCT grows by roughly that much.
+        assert!(
+            (fct - fct_clean - 400e-6).abs() < 50e-6,
+            "fct {fct} vs clean {fct_clean}"
+        );
+        // A stall is not a reroute — the flow resumed on its only path.
+        assert_eq!(flapped.telemetry.counters.rerouted_flows, 0);
+    }
+
+    /// A permanent sever leaves the flow unfinished rather than hanging the
+    /// event loop or inventing a completion.
+    #[test]
+    fn permanent_sever_leaves_flow_unfinished() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let r = FluidSim::new(topo, RateModel::ideal())
+            .flows([flow(0, 0, 2, 10_000_000, 0)])
+            .capacity_events([ev(100, 0, 2, CapacityChange::Down)])
+            .run()
+            .unwrap();
+        assert!(!r.telemetry.all_flows_finished());
+        assert!(r.telemetry.flow_record(FlowId(0)).unwrap().fct().is_none());
+    }
+
+    /// An arrival during an outage that severs its destination parks until
+    /// the link returns, then drains normally.
+    #[test]
+    fn arrival_during_outage_waits_for_link_up() {
+        let topo = Topology::dumbbell(2, 3, BW, PROP);
+        let r = FluidSim::new(topo, RateModel::ideal())
+            .flows([flow(0, 0, 2, 1_000_000, 200)])
+            .capacity_events([
+                ev(100, 0, 2, CapacityChange::Down),
+                ev(600, 0, 2, CapacityChange::Up),
+            ])
+            .run()
+            .unwrap();
+        assert!(r.telemetry.all_flows_finished());
+        let fct = r
+            .telemetry
+            .flow_record(FlowId(0))
+            .unwrap()
+            .fct()
+            .unwrap()
+            .as_secs_f64();
+        // Born at 200 µs into a dead network, revived at 600 µs: the FCT
+        // carries at least the 400 µs wait.
+        assert!(fct > 400e-6, "fct {fct}");
     }
 
     /// Regression (framing satellite): the queue-delay model's base RTT

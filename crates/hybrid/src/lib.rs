@@ -49,7 +49,7 @@
 use fncc_cc::CcKind;
 use fncc_des::engine::Engine;
 use fncc_des::time::{SimTime, TimeDelta};
-use fncc_fluid::{BackgroundFluid, FluidError, FluidResult, Framing, RateModel};
+use fncc_fluid::{BackgroundFluid, CapacityEvent, FluidError, FluidResult, Framing, RateModel};
 use fncc_net::config::FabricConfig;
 use fncc_net::fabric::{Ev, Fabric};
 use fncc_net::ids::{HostId, NodeRef};
@@ -57,7 +57,9 @@ use fncc_net::telemetry::Telemetry;
 use fncc_net::topology::Topology;
 use fncc_net::units::Bandwidth;
 use fncc_obs::{CounterId, TraceEvent, TraceSink};
-use fncc_transport::{apply_cc_features, make_algo, DcHost, FlowSpec, HostTimer, TransportConfig};
+use fncc_transport::{
+    apply_cc_features, make_algo, DcHost, FlowSpec, HostTimer, RecoveryConfig, TransportConfig,
+};
 
 /// Knobs for the coupling loop. The defaults match the paper-default
 /// packet fabric; scenarios normally only toggle `trace`.
@@ -237,10 +239,42 @@ impl HybridSim {
         model: RateModel,
         cfg: HybridConfig,
     ) -> Result<Self, FluidError> {
+        Self::new_faulted(
+            topo,
+            kind,
+            foreground,
+            background,
+            model,
+            cfg,
+            |_| {},
+            None,
+            Vec::new(),
+        )
+    }
+
+    /// [`Self::new`] with scenario faults applied to both halves:
+    /// `mutate_fabric` injects link faults into the foreground DES config
+    /// (the caller lowers its scenario-level fault specs there), `recovery`
+    /// arms go-back-N loss recovery on the foreground transport, and
+    /// `bg_faults` are the same faults lowered to fluid capacity events
+    /// for the background half.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_faulted(
+        topo: Topology,
+        kind: CcKind,
+        foreground: Vec<FlowSpec>,
+        background: Vec<FlowSpec>,
+        model: RateModel,
+        cfg: HybridConfig,
+        mutate_fabric: impl FnOnce(&mut FabricConfig),
+        recovery: Option<RecoveryConfig>,
+        bg_faults: Vec<CapacityEvent>,
+    ) -> Result<Self, FluidError> {
         let mut fabric_cfg = FabricConfig::paper_default();
         let line = topo.host_ports[0].bw;
         let base_rtt = topo.base_rtt(fabric_cfg.mtu, fabric_cfg.ack_base);
         apply_cc_features(&mut fabric_cfg, kind, line);
+        mutate_fabric(&mut fabric_cfg);
         let cc = make_algo(kind, line, base_rtt);
         let framing = Framing::from(&fabric_cfg);
 
@@ -248,9 +282,11 @@ impl HybridSim {
             * base_rtt.as_secs_f64()
             * cfg.shadow_queue
             * newcomer_queue_scale(kind);
-        let bg = BackgroundFluid::new(topo.clone(), model, framing, background, cfg.trace)?;
+        let mut bg = BackgroundFluid::new(topo.clone(), model, framing, background, cfg.trace)?;
+        bg.capacity_events(bg_faults);
 
-        let tcfg = TransportConfig::new(cc).with_ack_every(cfg.ack_every);
+        let mut tcfg = TransportConfig::new(cc).with_ack_every(cfg.ack_every);
+        tcfg.recovery = recovery;
         let hosts: Vec<DcHost> = (0..topo.n_hosts)
             .map(|_| DcHost::new(tcfg.clone()))
             .collect();

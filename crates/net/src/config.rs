@@ -147,6 +147,79 @@ pub struct FaultSpec {
     pub duration: TimeDelta,
 }
 
+/// What a [`LinkFaultSpec`] does to its switch egress link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LinkFault {
+    /// The link dies at `at`: queued and in-flight frames are destroyed,
+    /// both directions are marked dead, and routing recompiles around it.
+    Down {
+        /// Failure time.
+        at: SimTime,
+    },
+    /// A previously-downed link is restored at `at` and rejoins routing.
+    Up {
+        /// Restoration time.
+        at: SimTime,
+    },
+    /// Over `[from, to)` the egress drain rate is scaled by `rate_factor`
+    /// and the propagation delay by `delay_factor` (a flapping optic or a
+    /// FEC-degraded long-haul link).
+    Degrade {
+        /// Degradation start.
+        from: SimTime,
+        /// Degradation end (original parameters restored).
+        to: SimTime,
+        /// Multiplier on the drain rate, (0, 1]. The port clamps the
+        /// effective rate at `bw/100`, so factors below 0.01 saturate.
+        rate_factor: f64,
+        /// Multiplier on the propagation delay, >= 1.
+        delay_factor: f64,
+    },
+    /// Over `[from, to)` every data-class frame routed into the egress
+    /// port is dropped with probability `prob`, drawn from a per-switch
+    /// RNG derived from the fabric seed (deterministic per seed).
+    RandomLoss {
+        /// Loss-window start.
+        from: SimTime,
+        /// Loss-window end.
+        to: SimTime,
+        /// Per-frame drop probability, (0, 1].
+        prob: f64,
+    },
+}
+
+/// One injected link-level fault on a switch egress port. Unlike the
+/// stuck-pause [`FaultSpec`] (which only freezes the scheduler), link
+/// faults destroy frames and interact with routing — see
+/// [`crate::switch::Switch`] for the teardown/recompute semantics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaultSpec {
+    /// Switch owning the faulted egress port.
+    pub switch: crate::ids::SwitchId,
+    /// Egress port index at that switch.
+    pub port: u8,
+    /// What happens to the link.
+    pub fault: LinkFault,
+}
+
+impl LinkFaultSpec {
+    /// When the fault's first transition fires.
+    pub fn start(&self) -> SimTime {
+        match self.fault {
+            LinkFault::Down { at } | LinkFault::Up { at } => at,
+            LinkFault::Degrade { from, .. } | LinkFault::RandomLoss { from, .. } => from,
+        }
+    }
+
+    /// When the fault's second transition fires, for interval faults.
+    pub fn end(&self) -> Option<SimTime> {
+        match self.fault {
+            LinkFault::Down { .. } | LinkFault::Up { .. } => None,
+            LinkFault::Degrade { to, .. } | LinkFault::RandomLoss { to, .. } => Some(to),
+        }
+    }
+}
+
 /// All switch/link level configuration for one simulation.
 #[derive(Clone, Debug)]
 pub struct FabricConfig {
@@ -174,6 +247,8 @@ pub struct FabricConfig {
     pub rocc: Option<RoccSwitchConfig>,
     /// Injected faults (stuck-pause episodes).
     pub faults: Vec<FaultSpec>,
+    /// Injected link faults (down/up, degradation, random loss).
+    pub link_faults: Vec<LinkFaultSpec>,
     /// Master seed for all stochastic fabric components (ECN marking).
     pub seed: u64,
 }
@@ -194,6 +269,7 @@ impl FabricConfig {
             int_refresh: None,
             rocc: None,
             faults: Vec::new(),
+            link_faults: Vec::new(),
             seed: 1,
         }
     }

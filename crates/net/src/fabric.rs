@@ -60,6 +60,18 @@ pub enum Ev<T> {
         /// Index into `cfg.faults`.
         ix: usize,
     },
+    /// Link fault: `cfg.link_faults[ix]` begins (link dies / comes up /
+    /// degradation or loss window opens).
+    LinkFaultStart {
+        /// Index into `cfg.link_faults`.
+        ix: usize,
+    },
+    /// Link fault: `cfg.link_faults[ix]`'s interval ends (degradation or
+    /// loss window closes; down/up faults have no end event).
+    LinkFaultEnd {
+        /// Index into `cfg.link_faults`.
+        ix: usize,
+    },
 }
 
 /// Host-side services exposed to [`HostLogic`] callbacks.
@@ -183,6 +195,9 @@ pub struct Fabric<H: HostLogic> {
     pub pool: PacketPool,
     /// Scratch buffer for switch outputs (reused across events).
     scratch: Vec<SwitchOutput>,
+    /// Pre-degradation propagation delay per `cfg.link_faults` entry,
+    /// captured when a `Degrade` window opens and restored when it closes.
+    degrade_base_prop: Vec<TimeDelta>,
 }
 
 impl<H: HostLogic> Fabric<H> {
@@ -196,6 +211,7 @@ impl<H: HostLogic> Fabric<H> {
             .map(|(i, spec)| Switch::new(SwitchId(i as u32), spec, &cfg))
             .collect();
         let host_ports = topo.host_ports.iter().map(Port::from_spec).collect();
+        let degrade_base_prop = vec![TimeDelta::ZERO; cfg.link_faults.len()];
         Fabric {
             cfg,
             switches,
@@ -204,6 +220,7 @@ impl<H: HostLogic> Fabric<H> {
             telemetry: Telemetry::new(),
             pool: PacketPool::new(),
             scratch: Vec::with_capacity(8),
+            degrade_base_prop,
         }
     }
 
@@ -222,6 +239,12 @@ impl<H: HostLogic> Fabric<H> {
         }
         for (ix, f) in self.cfg.faults.iter().enumerate() {
             evs.push((f.at, Ev::FaultPause { ix }));
+        }
+        for (ix, f) in self.cfg.link_faults.iter().enumerate() {
+            evs.push((f.start(), Ev::LinkFaultStart { ix }));
+            if let Some(end) = f.end() {
+                evs.push((end, Ev::LinkFaultEnd { ix }));
+            }
         }
         evs
     }
@@ -399,6 +422,84 @@ impl<H: HostLogic> Fabric<H> {
     pub fn pause_frames_at(&self, sw: SwitchId, port: u8) -> u64 {
         self.switches[sw.ix()].ports[port as usize].pause_tx
     }
+
+    /// Tear down one direction of a link at `sw`'s egress `port` and flush
+    /// the resulting switch outputs (PFC resumes freed by the purge).
+    fn switch_link_down(
+        &mut self,
+        sw: SwitchId,
+        port: u8,
+        now: SimTime,
+        sched: &mut Scheduler<Ev<H::Timer>>,
+    ) {
+        let mut outputs = std::mem::take(&mut self.scratch);
+        {
+            let Fabric {
+                switches,
+                cfg,
+                telemetry,
+                pool,
+                ..
+            } = self;
+            switches[sw.ix()].link_down(now, port, cfg, telemetry, pool, &mut outputs);
+        }
+        self.scratch = self.flush_switch_outputs(sw.ix(), now, sched, outputs);
+    }
+
+    /// Apply one boundary of `cfg.link_faults[ix]`. `Down`/`Up` fail or
+    /// restore *both* directions of the link (the peer must be a switch —
+    /// the scenario layer validates this); `Degrade` and `RandomLoss`
+    /// affect only the named egress direction (inject two specs to fault
+    /// both directions).
+    fn link_fault_transition(
+        &mut self,
+        ix: usize,
+        now: SimTime,
+        opening: bool,
+        sched: &mut Scheduler<Ev<H::Timer>>,
+    ) {
+        use crate::config::LinkFault;
+        let spec = self.cfg.link_faults[ix];
+        let s = spec.switch;
+        let (peer, peer_port) = {
+            let p = &self.switches[s.ix()].ports[spec.port as usize];
+            (p.peer, p.peer_port)
+        };
+        match spec.fault {
+            LinkFault::Down { .. } => {
+                self.switch_link_down(s, spec.port, now, sched);
+                if let NodeRef::Switch(s2) = peer {
+                    self.switch_link_down(s2, peer_port, now, sched);
+                }
+            }
+            LinkFault::Up { .. } => {
+                self.switches[s.ix()].link_up(now, spec.port, &mut self.telemetry);
+                if let NodeRef::Switch(s2) = peer {
+                    self.switches[s2.ix()].link_up(now, peer_port, &mut self.telemetry);
+                }
+            }
+            LinkFault::Degrade {
+                rate_factor,
+                delay_factor,
+                ..
+            } => {
+                let p = &mut self.switches[s.ix()].ports[spec.port as usize];
+                if opening {
+                    self.degrade_base_prop[ix] = p.prop;
+                    let scaled = Bandwidth::bps((p.bw.as_bps() as f64 * rate_factor) as u64);
+                    p.set_drain_bw(scaled);
+                    p.prop = TimeDelta::from_ps((p.prop.as_ps() as f64 * delay_factor) as u64);
+                } else {
+                    let full = p.bw;
+                    p.set_drain_bw(full);
+                    p.prop = self.degrade_base_prop[ix];
+                }
+            }
+            LinkFault::RandomLoss { prob, .. } => {
+                self.switches[s.ix()].set_loss(spec.port, if opening { prob } else { 0.0 });
+            }
+        }
+    }
 }
 
 /// If `port` is idle and has an eligible frame, begin serializing it
@@ -543,6 +644,8 @@ impl<H: HostLogic> Model for Fabric<H> {
                     }
                 }
             }
+            Ev::LinkFaultStart { ix } => self.link_fault_transition(ix, now, true, sched),
+            Ev::LinkFaultEnd { ix } => self.link_fault_transition(ix, now, false, sched),
         }
     }
 }

@@ -211,6 +211,15 @@ impl Port {
         self.in_flight.is_none()
     }
 
+    /// Remove every queued frame (control first, then data) without
+    /// transmitting them — link-fault teardown. The frame in flight (if
+    /// any) is left alone: its `TxDone` is already scheduled, and the
+    /// switch discards it there once it sees the port is dead.
+    pub fn purge_queues(&mut self) -> Vec<Box<Packet>> {
+        self.queue_bytes = 0;
+        self.ctrl.drain(..).chain(self.queue.drain(..)).collect()
+    }
+
     /// Take the next frame to serialize, honouring control priority and the
     /// PFC pause state (pause gates the data class only). Updates
     /// `queue_bytes`.

@@ -55,6 +55,28 @@ pub enum RoutingTable {
 }
 
 impl RoutingTable {
+    /// Like [`RoutingTable::egress`], but `None` for unreachable
+    /// destinations — link faults can legitimately sever a destination at
+    /// runtime, which must drop the frame rather than panic.
+    #[inline]
+    pub fn try_egress(&self, dst: HostId, h: u64) -> Option<u8> {
+        match self {
+            RoutingTable::PerDst(entries) => match &entries[dst.ix()] {
+                RouteEntry::Unreachable => None,
+                RouteEntry::Single(p) => Some(*p),
+                RouteEntry::Ecmp { ports, level } => {
+                    let digit =
+                        (h >> (LEVEL_DIGIT_BITS * *level as u32)) & ((1 << LEVEL_DIGIT_BITS) - 1);
+                    Some(ports[(digit as usize) % ports.len()])
+                }
+            },
+            RoutingTable::Trees(trees) => {
+                let t = (h as usize) % trees.len();
+                Some(trees[t][dst.ix()])
+            }
+        }
+    }
+
     /// Select the egress port towards `dst` for a frame with path hash `h`.
     ///
     /// Panics on unreachable destinations — that is a topology-construction
@@ -76,6 +98,77 @@ impl RoutingTable {
                 trees[t][dst.ix()]
             }
         }
+    }
+}
+
+/// `rt` with every route steered around the `dead` egress ports: ECMP
+/// member lists shrink to the survivors (hash digits then re-index the
+/// smaller canonical list), single or fully-emptied routes become
+/// [`RouteEntry::Unreachable`]. `Trees` routing has no alternate paths
+/// within a tree and is returned unchanged — spanning-tree topologies do
+/// not support link faults.
+pub fn without_ports(rt: &RoutingTable, dead: &[bool]) -> RoutingTable {
+    let is_dead = |p: u8| dead.get(p as usize).copied().unwrap_or(false);
+    match rt {
+        RoutingTable::PerDst(entries) => RoutingTable::PerDst(
+            entries
+                .iter()
+                .map(|e| match e {
+                    RouteEntry::Unreachable => RouteEntry::Unreachable,
+                    RouteEntry::Single(p) if is_dead(*p) => RouteEntry::Unreachable,
+                    RouteEntry::Single(p) => RouteEntry::Single(*p),
+                    RouteEntry::Ecmp { ports, level } => {
+                        let live: Vec<u8> =
+                            ports.iter().copied().filter(|p| !is_dead(*p)).collect();
+                        match live.len() {
+                            0 => RouteEntry::Unreachable,
+                            1 => RouteEntry::Single(live[0]),
+                            _ => RouteEntry::Ecmp {
+                                ports: live,
+                                level: *level,
+                            },
+                        }
+                    }
+                })
+                .collect(),
+        ),
+        RoutingTable::Trees(_) => rt.clone(),
+    }
+}
+
+/// One egress lookup under a set of dead ports, without materializing the
+/// filtered table: exactly what [`without_ports`] + [`RoutingTable::try_egress`]
+/// would return, hop by hop. The fluid backend walks paths with this so its
+/// failure-aware rerouting picks the *same* surviving ECMP member as the
+/// packet engine's recompiled tables (the hash digit re-indexes the shrunken
+/// canonical list), keeping the two backends' post-fault paths identical.
+pub fn egress_avoiding(
+    rt: &RoutingTable,
+    dst: HostId,
+    h: u64,
+    is_dead: impl Fn(u8) -> bool,
+) -> Option<u8> {
+    match rt {
+        RoutingTable::PerDst(entries) => match &entries[dst.ix()] {
+            RouteEntry::Unreachable => None,
+            RouteEntry::Single(p) => (!is_dead(*p)).then_some(*p),
+            RouteEntry::Ecmp { ports, level } => {
+                let live = ports.iter().filter(|&&p| !is_dead(p)).count();
+                if live == 0 {
+                    return None;
+                }
+                let digit =
+                    (h >> (LEVEL_DIGIT_BITS * *level as u32)) & ((1 << LEVEL_DIGIT_BITS) - 1);
+                ports
+                    .iter()
+                    .filter(|&&p| !is_dead(p))
+                    .nth(digit as usize % live)
+                    .copied()
+            }
+        },
+        // Trees routing has no alternates within a tree; faults don't
+        // steer it (mirrors `without_ports`).
+        RoutingTable::Trees(_) => Some(rt.egress(dst, h)),
     }
 }
 
@@ -139,6 +232,24 @@ impl CompiledRoutes {
             tables.len()
         );
         CompiledRoutes::PerDst { dst, tables }
+    }
+
+    /// Like [`CompiledRoutes::egress`], but `None` for unreachable
+    /// destinations (a destination severed by link faults).
+    #[inline]
+    pub fn try_egress(&self, dst: HostId, h: u64) -> Option<u8> {
+        match self {
+            CompiledRoutes::PerDst { dst: d, tables } => {
+                let packed = d[dst.ix()];
+                if packed == u32::MAX {
+                    return None;
+                }
+                let level = packed >> 16;
+                let digit = (h >> (LEVEL_DIGIT_BITS * level)) & 0xFF;
+                Some(tables[(packed & 0xFFFF) as usize][digit as usize])
+            }
+            CompiledRoutes::Raw(rt) => rt.try_egress(dst, h),
+        }
     }
 
     /// Select the egress port towards `dst` for a frame with path hash `h`.
@@ -281,6 +392,96 @@ mod tests {
             let h = flow_hash(HostId(0), HostId(0), FlowId(f));
             assert_eq!(c.egress(HostId(0), h), rt.egress(HostId(0), h));
         }
+    }
+
+    #[test]
+    fn without_ports_shrinks_ecmp_and_severs_singles() {
+        let rt = RoutingTable::PerDst(vec![
+            RouteEntry::Single(2),
+            RouteEntry::Single(3),
+            RouteEntry::Ecmp {
+                ports: vec![2, 3],
+                level: 0,
+            },
+            RouteEntry::Ecmp {
+                ports: vec![4, 5],
+                level: 1,
+            },
+        ]);
+        let mut dead = vec![false; 6];
+        dead[2] = true;
+        let f = without_ports(&rt, &dead);
+        let RoutingTable::PerDst(e) = &f else {
+            panic!("PerDst expected")
+        };
+        assert_eq!(e[0], RouteEntry::Unreachable);
+        assert_eq!(e[1], RouteEntry::Single(3));
+        assert_eq!(e[2], RouteEntry::Single(3), "one survivor degenerates");
+        assert_eq!(
+            e[3],
+            RouteEntry::Ecmp {
+                ports: vec![4, 5],
+                level: 1
+            },
+            "untouched sets survive whole"
+        );
+        // No dead ports: identity.
+        let id = without_ports(&rt, &[false; 6]);
+        let RoutingTable::PerDst(e) = &id else {
+            panic!("PerDst expected")
+        };
+        assert_eq!(
+            e[2],
+            RouteEntry::Ecmp {
+                ports: vec![2, 3],
+                level: 0
+            }
+        );
+    }
+
+    #[test]
+    fn egress_avoiding_matches_recompiled_tables() {
+        let rt = RoutingTable::PerDst(vec![
+            RouteEntry::Single(2),
+            RouteEntry::Unreachable,
+            RouteEntry::Ecmp {
+                ports: vec![2, 3, 4, 5],
+                level: 1,
+            },
+            RouteEntry::Ecmp {
+                ports: vec![4, 5],
+                level: 0,
+            },
+        ]);
+        // Every dead-set over ports 2..=5, every dst, many hashes: the
+        // per-lookup filter must agree with the recompiled table exactly.
+        for mask in 0u8..16 {
+            let mut dead = vec![false; 6];
+            for p in 0..4 {
+                dead[p + 2] = mask & (1 << p) != 0;
+            }
+            let filtered = without_ports(&rt, &dead);
+            for dst in 0..4u32 {
+                for f in 0..100u32 {
+                    let h = flow_hash(HostId(dst), HostId(50), FlowId(f));
+                    assert_eq!(
+                        egress_avoiding(&rt, HostId(dst), h, |p| dead[p as usize]),
+                        filtered.try_egress(HostId(dst), h),
+                        "mask {mask:04b} dst {dst} flow {f}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_egress_is_none_only_when_unreachable() {
+        let rt = RoutingTable::PerDst(vec![RouteEntry::Unreachable, RouteEntry::Single(7)]);
+        let c = CompiledRoutes::compile(&rt);
+        assert_eq!(rt.try_egress(HostId(0), 0), None);
+        assert_eq!(c.try_egress(HostId(0), 0), None);
+        assert_eq!(rt.try_egress(HostId(1), 0), Some(7));
+        assert_eq!(c.try_egress(HostId(1), 0), Some(7));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::ids::{HostId, NodeRef, SwitchId};
 use crate::packet::{IntRecord, Packet, PacketKind};
 use crate::pool::PacketPool;
 use crate::port::Port;
-use crate::routing::{flow_hash, CompiledRoutes, RoutingTable};
+use crate::routing::{flow_hash, without_ports, CompiledRoutes, RoutingTable};
 use crate::telemetry::Telemetry;
 use crate::topology::SwitchSpec;
 use crate::units::PFC_FRAME_BYTES;
@@ -62,12 +62,27 @@ pub struct Switch {
     pub buffered: u64,
     /// ECN marking randomness.
     ecn_rng: DetRng,
+    /// Per-port link-down state; `n_dead` gates every fault-path branch so
+    /// a healthy run costs one integer compare per forwarded frame.
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    n_dead: usize,
+    /// Per-egress-port random-loss probability (0 = off), active only
+    /// inside a `RandomLoss` fault window.
+    loss_prob: Vec<f64>,
+    /// Number of ports with nonzero `loss_prob`.
+    n_lossy: usize,
+    /// Random-loss drawing. Seeded from the fabric seed on a stream
+    /// distinct from ECN marking; drawn from only inside loss windows, so
+    /// fault-free runs consume an identical random sequence to before.
+    loss_rng: DetRng,
 }
 
 impl Switch {
     /// Instantiate from a topology description.
     pub fn new(id: SwitchId, spec: &SwitchSpec, cfg: &FabricConfig) -> Switch {
         let ports: Vec<Port> = spec.ports.iter().map(Port::from_spec).collect();
+        let n_ports = ports.len();
         Switch {
             id,
             ports,
@@ -75,7 +90,127 @@ impl Switch {
             route: spec.route.clone(),
             buffered: 0,
             ecn_rng: DetRng::new(cfg.seed, 0x0057_17C4 ^ id.0 as u64),
+            dead: vec![false; n_ports],
+            n_dead: 0,
+            loss_prob: vec![0.0; n_ports],
+            n_lossy: 0,
+            loss_rng: DetRng::new(cfg.seed, 0x00FA_17D5 ^ id.0 as u64),
         }
+    }
+
+    /// True while egress `port`'s link is down.
+    #[inline]
+    pub fn port_dead(&self, port: u8) -> bool {
+        self.dead[port as usize]
+    }
+
+    /// Rebuild the compiled forwarding table from the pristine route minus
+    /// the currently-dead ports.
+    fn recompile_routes(&mut self) {
+        self.croute = if self.n_dead == 0 {
+            CompiledRoutes::compile(&self.route)
+        } else {
+            CompiledRoutes::compile(&without_ports(&self.route, &self.dead))
+        };
+    }
+
+    /// The link on egress `port` fails: destroy every queued frame (the
+    /// one mid-serialization is discarded at its `TxDone`), reset the
+    /// port's PFC state (the peer is unreachable, so no pause can ever be
+    /// released over this wire again), and recompile routing around the
+    /// port. Frames already propagating still arrive at the peer — the
+    /// fabric fails both directions of a link, so the peer tears its
+    /// reverse port down the same way.
+    pub fn link_down(
+        &mut self,
+        now: SimTime,
+        port: u8,
+        cfg: &FabricConfig,
+        telem: &mut Telemetry,
+        pool: &mut PacketPool,
+        out: &mut Vec<SwitchOutput>,
+    ) {
+        let pi = port as usize;
+        if self.dead[pi] {
+            return;
+        }
+        self.dead[pi] = true;
+        self.n_dead += 1;
+        if telem.trace.enabled() {
+            telem.trace.record(TraceEvent::LinkDown {
+                t_ps: now.as_ps(),
+                sw: self.id.0,
+                port,
+            });
+        }
+        for pkt in self.ports[pi].purge_queues() {
+            if !pkt.kind.is_control() {
+                let ip = pkt.in_port as usize;
+                self.ports[ip].ingress_bytes -= pkt.accounted as u64;
+                self.buffered -= pkt.accounted as u64;
+                telem.counters.fault_drops += 1;
+                if telem.trace.enabled() {
+                    telem.trace.record(TraceEvent::FaultDrop {
+                        t_ps: now.as_ps(),
+                        sw: self.id.0,
+                        port,
+                        flow: pkt.flow.0,
+                        size: pkt.size,
+                    });
+                }
+            }
+            pool.put(pkt);
+        }
+        let p = &mut self.ports[pi];
+        p.paused = false;
+        if let Some(t0) = p.paused_since.take() {
+            telem.note_pause_episode(now.since(t0));
+        }
+        p.upstream_paused = false;
+        self.recompile_routes();
+        // The purge may have drained other ingress ports below the PFC
+        // resume threshold; issue the pending resumes now rather than
+        // waiting for an unrelated departure.
+        if cfg.pfc.enabled {
+            for ip in 0..self.ports.len() {
+                if !self.dead[ip] {
+                    self.maybe_resume_upstream(ip, now, cfg, telem, pool, out);
+                }
+            }
+        }
+    }
+
+    /// A previously-downed link on egress `port` is restored: the port
+    /// rejoins routing. Queues are empty (nothing routed here while dead),
+    /// so there is nothing else to rebuild.
+    pub fn link_up(&mut self, now: SimTime, port: u8, telem: &mut Telemetry) {
+        let pi = port as usize;
+        if !self.dead[pi] {
+            return;
+        }
+        self.dead[pi] = false;
+        self.n_dead -= 1;
+        if telem.trace.enabled() {
+            telem.trace.record(TraceEvent::LinkUp {
+                t_ps: now.as_ps(),
+                sw: self.id.0,
+                port,
+            });
+        }
+        self.recompile_routes();
+    }
+
+    /// Set egress `port`'s random-loss probability (0 clears it). Only
+    /// called at `RandomLoss` fault-window boundaries.
+    pub fn set_loss(&mut self, port: u8, prob: f64) {
+        let pi = port as usize;
+        if self.loss_prob[pi] > 0.0 {
+            self.n_lossy -= 1;
+        }
+        if prob > 0.0 {
+            self.n_lossy += 1;
+        }
+        self.loss_prob[pi] = prob;
     }
 
     /// The forwarding table this switch was built with.
@@ -199,10 +334,39 @@ impl Switch {
         self.ports[in_port as usize].ingress_bytes += pkt.size as u64;
         self.buffered += pkt.size as u64;
 
-        // Ingress pipeline: routing.
+        // Ingress pipeline: routing. The healthy path is a single compiled
+        // lookup; with dead links present the lookup may fail (severed
+        // destination) and a successful one is compared against the
+        // pristine route to count rerouted flows.
         let h = flow_hash(pkt.src, pkt.dst, pkt.flow);
-        let out_port = self.croute.egress(pkt.dst, h);
+        let out_port = if self.n_dead == 0 {
+            self.croute.egress(pkt.dst, h)
+        } else {
+            match self.croute.try_egress(pkt.dst, h) {
+                Some(op) => {
+                    if !pkt.kind.is_control() && op != self.route.egress(pkt.dst, h) {
+                        telem.note_rerouted(pkt.flow);
+                    }
+                    op
+                }
+                None => {
+                    self.fault_drop(now, in_port, pkt, telem, pool);
+                    return;
+                }
+            }
+        };
         debug_assert_ne!(out_port, in_port, "routing loop at {:?}", self.id);
+
+        // Random-loss fault window: frames bound for a lossy egress drop
+        // with the configured probability, from a seed-derived stream.
+        if self.n_lossy > 0
+            && !pkt.kind.is_control()
+            && self.loss_prob[out_port as usize] > 0.0
+            && self.loss_rng.chance(self.loss_prob[out_port as usize])
+        {
+            self.fault_drop(now, out_port, pkt, telem, pool);
+            return;
+        }
 
         // RED/ECN marking on data frames (DCQCN), against the egress queue
         // depth seen at enqueue.
@@ -262,6 +426,64 @@ impl Switch {
         self.maybe_start_tx(out_port, now, cfg, out);
     }
 
+    /// Destroy an admitted frame because of a link fault (severed
+    /// destination or random loss): release the ingress accounting taken
+    /// at admission, attribute the drop to the fault, recycle the frame.
+    fn fault_drop(
+        &mut self,
+        now: SimTime,
+        port: u8,
+        pkt: Box<Packet>,
+        telem: &mut Telemetry,
+        pool: &mut PacketPool,
+    ) {
+        self.ports[pkt.in_port as usize].ingress_bytes -= pkt.size as u64;
+        self.buffered -= pkt.size as u64;
+        telem.counters.fault_drops += 1;
+        if telem.trace.enabled() {
+            telem.trace.record(TraceEvent::FaultDrop {
+                t_ps: now.as_ps(),
+                sw: self.id.0,
+                port,
+                flow: pkt.flow.0,
+                size: pkt.size,
+            });
+        }
+        pool.put(pkt);
+    }
+
+    /// PFC hysteresis: if ingress `ip` holds its upstream paused and has
+    /// drained below the resume threshold, send the XON.
+    fn maybe_resume_upstream(
+        &mut self,
+        ip: usize,
+        now: SimTime,
+        cfg: &FabricConfig,
+        telem: &mut Telemetry,
+        pool: &mut PacketPool,
+        out: &mut Vec<SwitchOutput>,
+    ) {
+        if self.ports[ip].upstream_paused
+            && self.ports[ip].ingress_bytes + cfg.pfc.resume_offset <= cfg.pfc.threshold
+        {
+            self.ports[ip].upstream_paused = false;
+            self.ports[ip].resume_tx += 1;
+            telem.counters.pfc_resume_tx += 1;
+            if telem.trace.enabled() {
+                telem.trace.record(TraceEvent::PfcResume {
+                    t_ps: now.as_ps(),
+                    node: self.id.0,
+                    port: ip as u8,
+                    tx: true,
+                    at_host: false,
+                });
+            }
+            let frame = pool.pfc(PacketKind::PfcResume, PFC_FRAME_BYTES, now);
+            self.ports[ip].enqueue_ctrl(frame);
+            self.maybe_start_tx(ip as u8, now, cfg, out);
+        }
+    }
+
     /// A frame finished serializing on `port`: deliver it to the peer,
     /// release buffer accounting, maybe un-pause the upstream, start the
     /// next frame.
@@ -297,26 +519,29 @@ impl Switch {
             self.ports[ip].ingress_bytes -= pkt.accounted as u64;
             self.buffered -= pkt.accounted as u64;
             // PFC hysteresis: un-pause the upstream once drained enough.
-            if cfg.pfc.enabled
-                && self.ports[ip].upstream_paused
-                && self.ports[ip].ingress_bytes + cfg.pfc.resume_offset <= cfg.pfc.threshold
-            {
-                self.ports[ip].upstream_paused = false;
-                self.ports[ip].resume_tx += 1;
-                telem.counters.pfc_resume_tx += 1;
+            if cfg.pfc.enabled {
+                self.maybe_resume_upstream(ip, now, cfg, telem, pool, out);
+            }
+        }
+
+        // The link died while this frame was serializing: it never reaches
+        // the peer. (Accounting above already released its buffer share.)
+        if self.n_dead > 0 && self.dead[port as usize] {
+            if !pkt.kind.is_control() {
+                telem.counters.fault_drops += 1;
                 if telem.trace.enabled() {
-                    telem.trace.record(TraceEvent::PfcResume {
+                    telem.trace.record(TraceEvent::FaultDrop {
                         t_ps: now.as_ps(),
-                        node: self.id.0,
-                        port: ip as u8,
-                        tx: true,
-                        at_host: false,
+                        sw: self.id.0,
+                        port,
+                        flow: pkt.flow.0,
+                        size: pkt.size,
                     });
                 }
-                let frame = pool.pfc(PacketKind::PfcResume, PFC_FRAME_BYTES, now);
-                self.ports[ip].enqueue_ctrl(frame);
-                self.maybe_start_tx(ip as u8, now, cfg, out);
             }
+            pool.put(pkt);
+            self.maybe_start_tx(port, now, cfg, out);
+            return;
         }
 
         let p = &mut self.ports[port as usize];
@@ -964,6 +1189,192 @@ mod tests {
             assert_eq!(ack.path_xor, xor_acc, "after sw{swid}");
         }
         assert_eq!(ack.int.len(), 2);
+    }
+
+    #[test]
+    fn link_down_purges_queue_and_discards_in_flight_at_tx_done() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
+        let mut out = Vec::new();
+        // Two frames: one in flight on the uplink, one queued behind it.
+        for _ in 0..2 {
+            sw.on_arrive(
+                SimTime::ZERO,
+                0,
+                data(0, 0, 2, 1000),
+                &cfg,
+                &mut telem,
+                &mut pool,
+                &mut out,
+            );
+        }
+        assert_eq!(sw.buffered, 2000);
+        out.clear();
+        sw.link_down(
+            SimTime::from_us(1),
+            2,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert!(sw.port_dead(2));
+        // The queued frame is destroyed immediately, accounting released.
+        assert_eq!(telem.counters.fault_drops, 1);
+        assert_eq!(sw.buffered, 1000, "in-flight frame still accounted");
+        assert_eq!(sw.ports[2].queue_bytes, 0);
+        // Its TxDone discards instead of delivering.
+        out.clear();
+        sw.on_tx_done(
+            SimTime::from_us(2),
+            2,
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert!(
+            !out.iter()
+                .any(|o| matches!(o, SwitchOutput::Deliver { .. })),
+            "dead port must not deliver"
+        );
+        assert_eq!(telem.counters.fault_drops, 2);
+        assert_eq!(sw.buffered, 0);
+        assert_eq!(sw.ports[0].ingress_bytes, 0);
+    }
+
+    #[test]
+    fn link_down_severs_destination_and_drops_arrivals() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
+        let mut out = Vec::new();
+        sw.link_down(SimTime::ZERO, 2, &cfg, &mut telem, &mut pool, &mut out);
+        // Host 2 sits behind the dead uplink: the frame is destroyed, not
+        // routed (and `egress` would have panicked on Unreachable).
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert_eq!(telem.counters.fault_drops, 1);
+        assert_eq!(sw.buffered, 0, "admission accounting rolled back");
+        assert_eq!(sw.ports[0].ingress_bytes, 0);
+        // Local delivery (host 1, port 1) still works.
+        out.clear();
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(1, 0, 1, 1000),
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert!(matches!(
+            out.as_slice(),
+            [SwitchOutput::StartTx { port: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn link_up_restores_routing() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
+        let mut out = Vec::new();
+        sw.link_down(SimTime::ZERO, 2, &cfg, &mut telem, &mut pool, &mut out);
+        sw.link_up(SimTime::from_us(1), 2, &mut telem);
+        assert!(!sw.port_dead(2));
+        sw.on_arrive(
+            SimTime::from_us(2),
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert!(matches!(
+            out.as_slice(),
+            [SwitchOutput::StartTx { port: 2, .. }]
+        ));
+        assert_eq!(telem.counters.fault_drops, 0);
+    }
+
+    #[test]
+    fn ecmp_reroutes_around_dead_uplink_and_counts_flows() {
+        // Fat-tree k=4 ToR 0: ports 0,1 = hosts, ports 2,3 = ECMP uplinks.
+        let topo = Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_us(1));
+        let cfg = test_cfg();
+        let mut sw = Switch::new(SwitchId(0), &topo.switches[0], &cfg);
+        let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
+        let mut out = Vec::new();
+        // Find a flow that pristine-routes via port 2.
+        let flow = (0..64)
+            .map(FlowId)
+            .find(|f| egress_for(&sw, HostId(0), HostId(15), *f) == 2)
+            .expect("some flow hashes onto port 2");
+        sw.link_down(SimTime::ZERO, 2, &cfg, &mut telem, &mut pool, &mut out);
+        let mut pkt = data(flow.0, 0, 15, 1000);
+        pkt.flow = flow;
+        sw.on_arrive(SimTime::ZERO, 0, pkt, &cfg, &mut telem, &mut pool, &mut out);
+        assert!(
+            matches!(out.as_slice(), [SwitchOutput::StartTx { port: 3, .. }]),
+            "survivor uplink takes over: {out:?}"
+        );
+        assert_eq!(telem.counters.rerouted_flows, 1);
+        // Second frame of the same flow does not recount.
+        let mut pkt = data(flow.0, 0, 15, 1000);
+        pkt.flow = flow;
+        sw.on_arrive(SimTime::ZERO, 0, pkt, &cfg, &mut telem, &mut pool, &mut out);
+        assert_eq!(telem.counters.rerouted_flows, 1);
+    }
+
+    #[test]
+    fn random_loss_window_drops_with_certainty_probability() {
+        let mut sw = sw0();
+        let cfg = test_cfg();
+        let mut telem = Telemetry::new();
+        let mut pool = PacketPool::new();
+        let mut out = Vec::new();
+        sw.set_loss(2, 1.0);
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert_eq!(telem.counters.fault_drops, 1);
+        assert_eq!(sw.buffered, 0);
+        // Clearing the window restores forwarding.
+        sw.set_loss(2, 0.0);
+        out.clear();
+        sw.on_arrive(
+            SimTime::ZERO,
+            0,
+            data(0, 0, 2, 1000),
+            &cfg,
+            &mut telem,
+            &mut pool,
+            &mut out,
+        );
+        assert!(matches!(
+            out.as_slice(),
+            [SwitchOutput::StartTx { port: 2, .. }]
+        ));
     }
 
     #[test]

@@ -50,6 +50,16 @@ pub struct Counters {
     pub pfc_pause_tx: u64,
     /// PFC XON frames sent network-wide.
     pub pfc_resume_tx: u64,
+    /// Frames destroyed by injected link faults (down/random-loss) — kept
+    /// apart from `drops` so drop attribution survives into reports.
+    pub fault_drops: u64,
+    /// Go-back-N retransmitted data frames (sender side).
+    pub retx: u64,
+    /// Retransmission-timeout firings that rewound a flow.
+    pub rtos: u64,
+    /// Flows whose frames took a non-pristine route at least once because
+    /// of a dead link (deduplicated network-wide).
+    pub rerouted_flows: u64,
 }
 
 struct QueueWatch {
@@ -120,6 +130,9 @@ pub struct Telemetry {
     pause_episodes: u64,
     pause_time_total: TimeDelta,
     pause_time_max: TimeDelta,
+    /// Flows already counted in `counters.rerouted_flows` (dense by flow
+    /// id; only ever grows while dead links exist).
+    rerouted: Vec<bool>,
 }
 
 impl Telemetry {
@@ -153,6 +166,7 @@ impl Telemetry {
             pause_episodes: 0,
             pause_time_total: TimeDelta::ZERO,
             pause_time_max: TimeDelta::ZERO,
+            rerouted: Vec::new(),
         }
     }
 
@@ -287,6 +301,19 @@ impl Telemetry {
     ) {
         for w in &mut self.cc_watched {
             w.series.push(now, read(w.host, w.flow).unwrap_or(0.0));
+        }
+    }
+
+    /// Count `flow` as rerouted (its frames deviated from the pristine
+    /// route because of a dead link); idempotent per flow.
+    pub fn note_rerouted(&mut self, flow: FlowId) {
+        let ix = flow.ix();
+        if self.rerouted.len() <= ix {
+            self.rerouted.resize(ix + 1, false);
+        }
+        if !self.rerouted[ix] {
+            self.rerouted[ix] = true;
+            self.counters.rerouted_flows += 1;
         }
     }
 

@@ -230,6 +230,57 @@ pub enum TraceEvent {
         /// Shadow backlog imposed on packet traffic, bytes.
         backlog_bytes: u64,
     },
+    /// A fault took a switch egress link down (both directions die).
+    LinkDown {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id owning the failed egress port.
+        sw: u32,
+        /// Failed egress port index.
+        port: u8,
+    },
+    /// A failed link came back up and rejoined the routing tables.
+    LinkUp {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id owning the restored egress port.
+        sw: u32,
+        /// Restored egress port index.
+        port: u8,
+    },
+    /// A frame was destroyed by an injected fault (dead link teardown,
+    /// arrival on a dead port, or a seeded random-loss draw) — distinct
+    /// from buffer-exhaustion `Drop`.
+    FaultDrop {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Switch id where the frame died.
+        sw: u32,
+        /// Egress port index involved.
+        port: u8,
+        /// Flow id of the lost frame.
+        flow: u32,
+        /// Wire size of the frame, bytes.
+        size: u32,
+    },
+    /// The sender retransmitted a data frame (go-back-N resend).
+    Retransmit {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+        /// First payload byte offset of the resent frame.
+        seq: u64,
+    },
+    /// A flow's retransmission timer fired and the window was rewound.
+    Rto {
+        /// Simulation time, picoseconds.
+        t_ps: u64,
+        /// Flow id.
+        flow: u32,
+        /// The *next* timeout after exponential backoff, picoseconds.
+        rto_ps: u64,
+    },
 }
 
 impl TraceEvent {
@@ -255,6 +306,11 @@ impl TraceEvent {
             TraceEvent::HybridReserve { .. } => "hybrid_reserve",
             TraceEvent::HybridResidual { .. } => "hybrid_residual",
             TraceEvent::HybridBacklog { .. } => "hybrid_backlog",
+            TraceEvent::LinkDown { .. } => "link_down",
+            TraceEvent::LinkUp { .. } => "link_up",
+            TraceEvent::FaultDrop { .. } => "fault_drop",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::Rto { .. } => "rto",
         }
     }
 
@@ -279,7 +335,12 @@ impl TraceEvent {
             | TraceEvent::HybridSync { t_ps, .. }
             | TraceEvent::HybridReserve { t_ps, .. }
             | TraceEvent::HybridResidual { t_ps, .. }
-            | TraceEvent::HybridBacklog { t_ps, .. } => t_ps,
+            | TraceEvent::HybridBacklog { t_ps, .. }
+            | TraceEvent::LinkDown { t_ps, .. }
+            | TraceEvent::LinkUp { t_ps, .. }
+            | TraceEvent::FaultDrop { t_ps, .. }
+            | TraceEvent::Retransmit { t_ps, .. }
+            | TraceEvent::Rto { t_ps, .. } => t_ps,
         }
     }
 
@@ -296,7 +357,10 @@ impl TraceEvent {
             | TraceEvent::FlowStart { flow, .. }
             | TraceEvent::FlowFinish { flow, .. }
             | TraceEvent::FluidFlowAdd { flow, .. }
-            | TraceEvent::FluidFlowRemove { flow, .. } => Some(flow),
+            | TraceEvent::FluidFlowRemove { flow, .. }
+            | TraceEvent::FaultDrop { flow, .. }
+            | TraceEvent::Retransmit { flow, .. }
+            | TraceEvent::Rto { flow, .. } => Some(flow),
             TraceEvent::PfcPause { .. }
             | TraceEvent::PfcResume { .. }
             | TraceEvent::SolveBegin { .. }
@@ -304,7 +368,9 @@ impl TraceEvent {
             | TraceEvent::HybridSync { .. }
             | TraceEvent::HybridReserve { .. }
             | TraceEvent::HybridResidual { .. }
-            | TraceEvent::HybridBacklog { .. } => None,
+            | TraceEvent::HybridBacklog { .. }
+            | TraceEvent::LinkDown { .. }
+            | TraceEvent::LinkUp { .. } => None,
         }
     }
 
@@ -447,6 +513,27 @@ impl TraceEvent {
                 ..
             } => {
                 let _ = write!(out, ",\"link\":{link},\"backlog_bytes\":{backlog_bytes}");
+            }
+            TraceEvent::LinkDown { sw, port, .. } | TraceEvent::LinkUp { sw, port, .. } => {
+                let _ = write!(out, ",\"sw\":{sw},\"port\":{port}");
+            }
+            TraceEvent::FaultDrop {
+                sw,
+                port,
+                flow,
+                size,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"size\":{size}"
+                );
+            }
+            TraceEvent::Retransmit { flow, seq, .. } => {
+                let _ = write!(out, ",\"flow\":{flow},\"seq\":{seq}");
+            }
+            TraceEvent::Rto { flow, rto_ps, .. } => {
+                let _ = write!(out, ",\"flow\":{flow},\"rto_ps\":{rto_ps}");
             }
         }
         out.push('}');

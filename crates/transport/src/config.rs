@@ -3,6 +3,35 @@
 use fncc_cc::CcAlgo;
 use fncc_des::time::TimeDelta;
 
+/// Loss-recovery (go-back-N) parameters. Present ⇒ senders arm a per-flow
+/// retransmission timer and receivers tolerate out-of-order arrivals;
+/// absent ⇒ the transport assumes a lossless fabric (the default — keeps
+/// fault-free runs free of timer events).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Base retransmission timeout (backoff starts here).
+    pub rto_min: TimeDelta,
+    /// Backoff ceiling.
+    pub rto_max: TimeDelta,
+}
+
+impl RecoveryConfig {
+    /// Defaults: 100 µs base RTO (≳ several fabric RTTs), 5 ms ceiling.
+    pub fn paper_default() -> Self {
+        RecoveryConfig {
+            rto_min: TimeDelta::from_us(100),
+            rto_max: TimeDelta::from_us(5_000),
+        }
+    }
+
+    /// The timeout after `backoff` consecutive expiries without ACK
+    /// progress: `min(rto_min · 2^backoff, rto_max)`.
+    pub fn rto(&self, backoff: u32) -> TimeDelta {
+        let ps = self.rto_min.as_ps().saturating_mul(1u64 << backoff.min(16));
+        TimeDelta::from_ps(ps.min(self.rto_max.as_ps()))
+    }
+}
+
 /// Configuration shared by all hosts of a simulation.
 #[derive(Clone, Debug)]
 pub struct TransportConfig {
@@ -17,6 +46,9 @@ pub struct TransportConfig {
     pub nic_backlog_limit: u64,
     /// Receiver-side minimum gap between CNPs of one flow (DCQCN).
     pub cnp_interval: TimeDelta,
+    /// Go-back-N loss recovery; `None` (the default) assumes a lossless
+    /// fabric and schedules no retransmission timers.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl TransportConfig {
@@ -27,6 +59,7 @@ impl TransportConfig {
             ack_every: 1,
             nic_backlog_limit: 2 * 1518,
             cnp_interval: TimeDelta::from_us(50),
+            recovery: None,
         }
     }
 
@@ -34,6 +67,12 @@ impl TransportConfig {
     pub fn with_ack_every(mut self, m: u32) -> Self {
         assert!(m >= 1);
         self.ack_every = m;
+        self
+    }
+
+    /// Same, with go-back-N loss recovery enabled.
+    pub fn with_recovery(mut self, rec: RecoveryConfig) -> Self {
+        self.recovery = Some(rec);
         self
     }
 }
@@ -52,6 +91,24 @@ mod tests {
         )));
         assert_eq!(cfg.ack_every, 1);
         assert_eq!(cfg.cnp_interval, TimeDelta::from_us(50));
+        assert!(cfg.recovery.is_none());
+    }
+
+    #[test]
+    fn rto_backoff_doubles_and_caps() {
+        let rec = RecoveryConfig::paper_default();
+        assert_eq!(rec.rto(0), TimeDelta::from_us(100));
+        assert_eq!(rec.rto(1), TimeDelta::from_us(200));
+        assert_eq!(rec.rto(3), TimeDelta::from_us(800));
+        assert_eq!(rec.rto(6), TimeDelta::from_us(5_000)); // capped
+        assert_eq!(rec.rto(60), TimeDelta::from_us(5_000)); // shift-safe
+                                                            // Monotone non-decreasing.
+        let mut prev = TimeDelta::ZERO;
+        for b in 0..40 {
+            let r = rec.rto(b);
+            assert!(r >= prev);
+            prev = r;
+        }
     }
 
     #[test]

@@ -35,6 +35,15 @@ pub(crate) struct SendFlow {
     pub pace_pending: bool,
     /// All bytes acknowledged.
     pub done: bool,
+    /// High-water mark of `next_seq`; `next_seq` below this means the flow
+    /// was rewound by an RTO and is retransmitting (go-back-N).
+    pub highest_sent: u64,
+    /// Consecutive RTO expiries without ACK progress (exponential backoff
+    /// exponent); reset by any cumulative-ACK advance.
+    pub rto_backoff: u32,
+    /// Absolute deadline of the armed retransmission timer. `Some` ⇔
+    /// exactly one `Rto` timer event is outstanding for this flow.
+    pub rto_deadline: Option<SimTime>,
 }
 
 impl SendFlow {
@@ -47,6 +56,9 @@ impl SendFlow {
             next_send: SimTime::ZERO,
             pace_pending: false,
             done: false,
+            highest_sent: 0,
+            rto_backoff: 0,
+            rto_deadline: None,
         }
     }
 

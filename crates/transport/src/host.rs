@@ -21,6 +21,9 @@ pub enum HostTimer {
     Pace(FlowId),
     /// Periodic congestion-control tick (DCQCN timers).
     CcTick(FlowId),
+    /// Retransmission timeout (go-back-N recovery; only scheduled when
+    /// [`crate::config::RecoveryConfig`] is enabled).
+    Rto(FlowId),
 }
 
 /// An end host: RDMA-like sender and receiver sharing one NIC.
@@ -125,6 +128,7 @@ impl DcHost {
     /// The send loop: emit frames while the window and pacing allow.
     fn pump(&mut self, ctx: &mut HostCtx<'_, HostTimer>, id: FlowId) {
         let cfg = &self.cfg;
+        let recovery = cfg.recovery;
         let Some(sf) = self.send.get_mut(id) else {
             return;
         };
@@ -174,15 +178,120 @@ impl DcHost {
                 now,
             );
             pkt.last_of_flow = sf.next_seq + payload as u64 == sf.spec.size;
+            if sf.next_seq < sf.highest_sent {
+                // Below the high-water mark: an RTO rewound the flow and
+                // this frame is a go-back-N retransmission.
+                ctx.telemetry.counters.retx += 1;
+                if ctx.telemetry.trace.enabled() {
+                    ctx.telemetry.trace.record(TraceEvent::Retransmit {
+                        t_ps: now.as_ps(),
+                        flow: id.0,
+                        seq: sf.next_seq,
+                    });
+                }
+            }
             sf.next_seq += payload as u64;
+            sf.highest_sent = sf.highest_sent.max(sf.next_seq);
             sf.cc.on_sent(payload as u64);
             ctx.telemetry.add_flow_tx(id, payload as u64);
             ctx.send(pkt);
+            if let Some(rec) = recovery {
+                if sf.rto_deadline.is_none() {
+                    // First unacknowledged byte of a quiet period: arm the
+                    // retransmission timer.
+                    let rto = rec.rto(sf.rto_backoff);
+                    sf.rto_deadline = Some(now + rto);
+                    ctx.schedule(rto, HostTimer::Rto(id));
+                }
+            }
 
             let rate = sf.cc.pacing_rate_bps().max(1.0);
             let gap = TimeDelta::from_secs_f64(wire as f64 * 8.0 / rate);
             sf.next_send = sf.next_send.max(now) + gap;
         }
+    }
+
+    /// The retransmission timer fired. The deadline is kept fresh on ACK
+    /// progress without rescheduling (one outstanding timer per armed flow),
+    /// so a firing may be stale — then it re-arms at the true deadline. A
+    /// genuine expiry rewinds the flow to the cumulative ACK point
+    /// (go-back-N), doubles the timeout, and tells the CC law.
+    fn on_rto(&mut self, ctx: &mut HostCtx<'_, HostTimer>, id: FlowId) {
+        let Some(rec) = self.cfg.recovery else {
+            return;
+        };
+        let Some(sf) = self.send.get_mut(id) else {
+            return;
+        };
+        let Some(deadline) = sf.rto_deadline else {
+            return;
+        };
+        if sf.done {
+            sf.rto_deadline = None;
+            return;
+        }
+        let now = ctx.now();
+        if now < deadline {
+            ctx.schedule(deadline - now, HostTimer::Rto(id));
+            return;
+        }
+        if sf.inflight() == 0 {
+            // Nothing outstanding (window-closed idle); re-armed on the
+            // next send.
+            sf.rto_deadline = None;
+            return;
+        }
+        sf.next_seq = sf.acked;
+        sf.rto_backoff += 1;
+        let rto = rec.rto(sf.rto_backoff);
+        sf.rto_deadline = Some(now + rto);
+        ctx.schedule(rto, HostTimer::Rto(id));
+        sf.cc.on_timeout(now);
+        ctx.telemetry.counters.rtos += 1;
+        if ctx.telemetry.trace.enabled() {
+            ctx.telemetry.trace.record(TraceEvent::Rto {
+                t_ps: now.as_ps(),
+                flow: id.0,
+                rto_ps: rto.as_ps(),
+            });
+            ctx.telemetry.trace.record(TraceEvent::RateUpdate {
+                t_ps: now.as_ps(),
+                flow: id.0,
+                rate_bps: sf.cc.pacing_rate_bps(),
+                window_bytes: sf.cc.window_bytes().unwrap_or(-1.0),
+            });
+        }
+        self.pump(ctx, id);
+    }
+
+    /// Turn a delivered data frame into its own ACK in place: the box (and
+    /// its INT stack — the HPCC receiver copy of Fig. 4a, empty for
+    /// FNCC/DCQCN/RoCC whose data carries no INT) is reused without touching
+    /// the allocator. Every field ends up exactly as `Packet::ack` plus the
+    /// receiver's echo assignments produced: `sent_at` keeps the data
+    /// timestamp (RTT sampling) and `rocc_rate` the switch-advertised fair
+    /// rate.
+    fn make_ack(
+        &self,
+        ctx: &HostCtx<'_, HostTimer>,
+        mut pkt: Box<Packet>,
+        ack_seq: u64,
+    ) -> Box<Packet> {
+        pkt.kind = PacketKind::Ack;
+        pkt.dst = pkt.src; // back to the data sender
+        pkt.src = ctx.host();
+        pkt.seq = ack_seq;
+        pkt.size = ctx.cfg.ack_base + pkt.int.wire_bytes();
+        pkt.payload = 0;
+        pkt.ecn = false;
+        // §3.2.3: the receiver writes the concurrent-flow count N
+        // (16 bits) into every ACK (a finishing flow still counts).
+        pkt.concurrent_flows = self.active_incoming.min(u16::MAX as u32) as u16;
+        pkt.path_xor = 0;
+        pkt.in_port = 0;
+        pkt.accounted = 0;
+        pkt.last_of_flow = false;
+        pkt
     }
 
     fn on_data(&mut self, ctx: &mut HostCtx<'_, HostTimer>, pkt: Box<Packet>) {
@@ -193,7 +302,19 @@ impl DcHost {
         }
         let cfg_ack_every = self.cfg.ack_every;
         let cnp_interval = self.cfg.cnp_interval;
+        let recovery_on = self.cfg.recovery.is_some();
         let rf = self.recv.get_mut(id).expect("just inserted");
+        if recovery_on && pkt.seq != rf.expected {
+            // Go-back-N receiver: a gap (the preceding frame was lost
+            // upstream) or a duplicate (retransmission overshoot / lost
+            // ACK). Either way the payload is discarded and the cumulative
+            // position re-ACKed immediately, bypassing `ack_every`, so the
+            // sender learns its true progress without waiting.
+            let ack_seq = rf.expected;
+            let ack = self.make_ack(ctx, pkt, ack_seq);
+            ctx.send(ack);
+            return;
+        }
         debug_assert_eq!(pkt.seq, rf.expected, "out-of-order delivery for {id:?}");
         rf.expected = pkt.seq + pkt.payload as u64;
         rf.frames_since_ack += 1;
@@ -238,28 +359,7 @@ impl DcHost {
             }
         }
         if want_ack {
-            // Turn the delivered data frame into its own ACK in place: the
-            // box (and its INT stack — the HPCC receiver copy of Fig. 4a,
-            // empty for FNCC/DCQCN/RoCC whose data carries no INT) is
-            // reused without touching the allocator. Every field ends up
-            // exactly as `Packet::ack` plus the receiver's echo assignments
-            // produced: `sent_at` keeps the data timestamp (RTT sampling)
-            // and `rocc_rate` the switch-advertised fair rate.
-            let mut ack = pkt;
-            ack.kind = PacketKind::Ack;
-            ack.dst = ack.src; // back to the data sender
-            ack.src = ctx.host();
-            ack.seq = ack_seq;
-            ack.size = ctx.cfg.ack_base + ack.int.wire_bytes();
-            ack.payload = 0;
-            ack.ecn = false;
-            // §3.2.3: the receiver writes the concurrent-flow count N
-            // (16 bits) into every ACK (the finishing flow still counts).
-            ack.concurrent_flows = self.active_incoming.min(u16::MAX as u32) as u16;
-            ack.path_xor = 0;
-            ack.in_port = 0;
-            ack.accounted = 0;
-            ack.last_of_flow = false;
+            let ack = self.make_ack(ctx, pkt, ack_seq);
             ctx.send(ack);
         } else {
             ctx.recycle(pkt);
@@ -279,6 +379,20 @@ impl DcHost {
         let newly = pkt.seq.saturating_sub(sf.acked);
         if pkt.seq > sf.acked {
             sf.acked = pkt.seq;
+        }
+        if sf.next_seq < sf.acked {
+            // A late ACK for pre-rewind frames overtook the rewound send
+            // position: go-back-N never resends acknowledged bytes.
+            sf.next_seq = sf.acked;
+        }
+        if newly > 0 {
+            // Cumulative progress: restart backoff and push the armed
+            // retransmission deadline out (the outstanding timer re-arms
+            // itself when it fires stale — no reschedule here).
+            sf.rto_backoff = 0;
+            if let (Some(rec), Some(_)) = (self.cfg.recovery, sf.rto_deadline) {
+                sf.rto_deadline = Some(ctx.now() + rec.rto(0));
+            }
         }
         if reversed {
             // FNCC ACKs collected INT in return-path order; normalise in
@@ -389,6 +503,7 @@ impl HostLogic for DcHost {
                 }
                 self.pump(ctx, id);
             }
+            HostTimer::Rto(id) => self.on_rto(ctx, id),
         }
     }
 }
@@ -396,30 +511,30 @@ impl HostLogic for DcHost {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RecoveryConfig;
     use fncc_cc::{CcAlgo, DcqcnConfig, FnccConfig, HpccConfig, RoccConfig};
     use fncc_des::engine::Engine;
     use fncc_des::time::SimTime;
-    use fncc_net::config::{FabricConfig, IntInsertion};
+    use fncc_net::config::{FabricConfig, IntInsertion, LinkFault, LinkFaultSpec};
     use fncc_net::fabric::{Ev, Fabric};
-    use fncc_net::ids::HostId;
+    use fncc_net::ids::{HostId, SwitchId};
     use fncc_net::topology::Topology;
     use fncc_net::units::Bandwidth;
 
     const BW: Bandwidth = Bandwidth::gbps(100);
     const PROP: TimeDelta = TimeDelta::from_ns(1500);
 
-    /// Build a dumbbell engine with the given CC scheme and flows.
-    fn build(
+    /// Build a dumbbell engine with the given transport config and flows.
+    fn build_t(
         n_senders: u32,
-        algo: CcAlgo,
+        tcfg: TransportConfig,
         fabric_tweak: impl FnOnce(&mut FabricConfig),
         flows: Vec<FlowSpec>,
     ) -> Engine<Fabric<DcHost>> {
         let topo = Topology::dumbbell(n_senders, 3, BW, PROP);
         let mut cfg = FabricConfig::paper_default();
-        crate::scheme::apply_cc_features(&mut cfg, algo.kind(), BW);
+        crate::scheme::apply_cc_features(&mut cfg, tcfg.algo.kind(), BW);
         fabric_tweak(&mut cfg);
-        let tcfg = TransportConfig::new(algo);
         let hosts: Vec<DcHost> = (0..topo.n_hosts)
             .map(|_| DcHost::new(tcfg.clone()))
             .collect();
@@ -441,6 +556,16 @@ mod tests {
             );
         }
         eng
+    }
+
+    /// Build a dumbbell engine with the given CC scheme and flows.
+    fn build(
+        n_senders: u32,
+        algo: CcAlgo,
+        fabric_tweak: impl FnOnce(&mut FabricConfig),
+        flows: Vec<FlowSpec>,
+    ) -> Engine<Fabric<DcHost>> {
+        build_t(n_senders, TransportConfig::new(algo), fabric_tweak, flows)
     }
 
     fn hpcc() -> CcAlgo {
@@ -668,6 +793,139 @@ mod tests {
         assert_eq!(eng.model.hosts[2].active_incoming(), 2);
         eng.run_until(SimTime::from_ms(5));
         assert_eq!(eng.model.hosts[2].active_incoming(), 0);
+    }
+
+    /// Recovery config for the fault tests.
+    fn with_recovery(algo: CcAlgo) -> TransportConfig {
+        TransportConfig::new(algo).with_recovery(RecoveryConfig::paper_default())
+    }
+
+    #[test]
+    fn go_back_n_completes_under_random_loss() {
+        // 2% loss on the dumbbell bottleneck for the whole run: the flow
+        // must still finish, via rewinds and RTOs.
+        let mut eng = build_t(
+            2,
+            with_recovery(hpcc()),
+            |cfg| {
+                cfg.link_faults.push(LinkFaultSpec {
+                    switch: SwitchId(0),
+                    port: 2,
+                    fault: LinkFault::RandomLoss {
+                        from: SimTime::ZERO,
+                        to: SimTime::from_ms(20),
+                        prob: 0.02,
+                    },
+                });
+            },
+            vec![flow(0, 0, 2, 500_000, 0)],
+        );
+        eng.run_until(SimTime::from_ms(20));
+        let t = &eng.model.telemetry;
+        assert!(t.all_flows_finished(), "flow stuck under 2% loss");
+        assert!(t.counters.fault_drops > 0, "loss window never dropped");
+        assert!(t.counters.retx > 0, "no retransmissions recorded");
+        assert!(t.counters.rtos > 0, "no RTO fired");
+    }
+
+    #[test]
+    fn link_flap_recovers_and_flow_completes() {
+        // The dumbbell's single path dies at 20 µs and comes back at
+        // 300 µs; go-back-N must carry the flow across the outage.
+        let mut eng = build_t(
+            2,
+            with_recovery(hpcc()),
+            |cfg| {
+                cfg.link_faults.push(LinkFaultSpec {
+                    switch: SwitchId(0),
+                    port: 2,
+                    fault: LinkFault::Down {
+                        at: SimTime::from_us(20),
+                    },
+                });
+                cfg.link_faults.push(LinkFaultSpec {
+                    switch: SwitchId(0),
+                    port: 2,
+                    fault: LinkFault::Up {
+                        at: SimTime::from_us(300),
+                    },
+                });
+            },
+            vec![flow(0, 0, 2, 500_000, 0)],
+        );
+        eng.run_until(SimTime::from_ms(20));
+        let t = &eng.model.telemetry;
+        assert!(t.all_flows_finished(), "flow did not survive the flap");
+        assert!(t.counters.fault_drops > 0, "nothing dropped at the outage");
+        assert!(t.counters.retx > 0);
+        assert!(t.counters.rtos > 0);
+        let fct = t.flow_record(FlowId(0)).unwrap().fct().unwrap();
+        assert!(
+            fct > TimeDelta::from_us(300),
+            "FCT {fct} cannot predate the restoration"
+        );
+    }
+
+    #[test]
+    fn severed_path_rtos_back_off_and_flow_stays_incomplete() {
+        // Permanently dead path: the sender must keep trying with
+        // exponentially growing timeouts, and the flow must not finish.
+        // With rto_min = 100 µs, genuine expiries land near 100, 300, 700,
+        // 1500, 3100 µs — 5 within a 5 ms run.
+        let mut eng = build_t(
+            2,
+            with_recovery(hpcc()),
+            |cfg| {
+                cfg.link_faults.push(LinkFaultSpec {
+                    switch: SwitchId(0),
+                    port: 2,
+                    fault: LinkFault::Down { at: SimTime::ZERO },
+                });
+            },
+            vec![flow(0, 0, 2, 500_000, 0)],
+        );
+        eng.run_until(SimTime::from_ms(5));
+        let t = &eng.model.telemetry;
+        assert!(!t.all_flows_finished(), "finished across a dead link?");
+        let rtos = t.counters.rtos;
+        assert!(
+            (4..=6).contains(&rtos),
+            "rtos {rtos} outside the exponential-backoff envelope"
+        );
+        assert!(t.counters.retx >= rtos - 1);
+        assert!(t.counters.fault_drops > 0);
+    }
+
+    #[test]
+    fn recovery_timers_do_not_perturb_lossless_runs() {
+        // With no faults, arming RTO timers must not change any flow's
+        // completion time, and no RTO or retransmission may ever fire.
+        let run = |rec: Option<RecoveryConfig>| {
+            let mut tcfg = TransportConfig::new(hpcc());
+            tcfg.recovery = rec;
+            let mut eng = build_t(
+                2,
+                tcfg,
+                |_| {},
+                vec![flow(0, 0, 2, 1_000_000, 0), flow(1, 1, 2, 1_000_000, 50)],
+            );
+            eng.run_until(SimTime::from_ms(5));
+            let t = &eng.model.telemetry;
+            (
+                t.flow_record(FlowId(0)).unwrap().finish,
+                t.flow_record(FlowId(1)).unwrap().finish,
+                t.counters.retx,
+                t.counters.rtos,
+            )
+        };
+        let with = run(Some(RecoveryConfig::paper_default()));
+        let without = run(None);
+        assert_eq!(with.0, without.0, "recovery changed flow 0's FCT");
+        assert_eq!(with.1, without.1, "recovery changed flow 1's FCT");
+        assert_eq!(with.2, 0, "spurious retransmission");
+        assert_eq!(with.3, 0, "spurious RTO");
+        assert_eq!(without.2, 0);
+        assert_eq!(without.3, 0);
     }
 
     #[test]

@@ -12,16 +12,20 @@
 //!   at one per 50 µs per flow.
 //! * **Flow lifecycle**: registration, start timers, completion recording
 //!   (last payload byte delivered → FCT in `Telemetry`).
+//! * **Loss recovery** (optional, [`config::RecoveryConfig`]): go-back-N
+//!   retransmission with a per-flow RTO timer and exponential backoff, for
+//!   scenarios that inject link faults or random loss.
 //!
-//! Delivery within a flow is in order by construction (symmetric single-path
-//! routing, FIFO queues, lossless PFC), so reassembly is cumulative.
+//! Without recovery enabled, delivery within a flow is in order by
+//! construction (symmetric single-path routing, FIFO queues, lossless PFC),
+//! so reassembly is cumulative.
 
 pub mod config;
 pub mod flow;
 pub mod host;
 pub mod scheme;
 
-pub use config::TransportConfig;
+pub use config::{RecoveryConfig, TransportConfig};
 pub use flow::FlowSpec;
 pub use host::{DcHost, HostTimer};
 pub use scheme::{apply_cc_features, make_algo};

@@ -6,6 +6,7 @@
 //! before comparison — it is the one intentionally non-deterministic
 //! report field.
 
+use fncc::core::scenario::FaultSpec;
 use fncc::core::{run_scenario, Scenario, SimBackend, StopCondition, TopologySpec, TrafficSpec};
 use fncc_cc::CcKind;
 use std::sync::Mutex;
@@ -66,6 +67,54 @@ fn identical_runs_and_schedulers_yield_identical_reports() {
     let heap = scheduler_neutral_json(&sc);
     std::env::remove_var("FNCC_DES_SCHED");
     assert_eq!(wheel_neutral, heap, "wheel vs heap reference scheduler");
+}
+
+/// The determinism probe with a link flap and a seeded random-loss window
+/// layered on: fault injection, go-back-N recovery, and the ECMP reroute
+/// path must all be as reproducible as the lossless run.
+fn faulted_scenario() -> Scenario {
+    let mut sc = scenario();
+    sc.name = "faulted-determinism-probe".into();
+    sc.faults = vec![
+        FaultSpec::LinkDown {
+            switch: 0,
+            port: 2,
+            at_us: 40,
+        },
+        FaultSpec::LinkUp {
+            switch: 0,
+            port: 2,
+            at_us: 300,
+        },
+        FaultSpec::RandomLoss {
+            switch: 1,
+            port: 2,
+            from_us: 0,
+            to_us: 2_000,
+            probability: 0.01,
+        },
+    ];
+    sc
+}
+
+#[test]
+fn fault_injection_is_deterministic_across_runs_and_schedulers() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let sc = faulted_scenario();
+    std::env::remove_var("FNCC_DES_SCHED");
+    let wheel_a = stable_json(&sc);
+    let wheel_b = stable_json(&sc);
+    assert_eq!(wheel_a, wheel_b, "faulted scenario+seed, same scheduler");
+    assert!(
+        wheel_a.contains("retx_count") && wheel_a.contains("fault_drops"),
+        "fault scalars missing from the report"
+    );
+
+    let wheel_neutral = scheduler_neutral_json(&sc);
+    std::env::set_var("FNCC_DES_SCHED", "heap");
+    let heap = scheduler_neutral_json(&sc);
+    std::env::remove_var("FNCC_DES_SCHED");
+    assert_eq!(wheel_neutral, heap, "faulted run: wheel vs heap scheduler");
 }
 
 #[test]

@@ -1,0 +1,97 @@
+//! Cross-backend fault-recovery acceptance: the shipped
+//! `scenarios/linkflap_fattree.json` must complete every flow for every CC
+//! scheme on all three backends, with the packet and fluid engines agreeing
+//! on mean slowdown within the established 15% cross-validation band — and
+//! every scheme must also ride out a seeded random-loss window on a
+//! guaranteed-crossed bottleneck (the go-back-N path is scheme-generic via
+//! `on_timeout`).
+
+use fncc::core::scenario::FaultSpec;
+use fncc::core::{run_scenario, Scenario, SimBackend, TrafficSpec};
+use fncc_cc::CcKind;
+
+fn linkflap() -> Scenario {
+    let text = std::fs::read_to_string("scenarios/linkflap_fattree.json")
+        .expect("scenarios/linkflap_fattree.json must ship with the repo");
+    Scenario::from_json(&text).expect("shipped scenario must parse")
+}
+
+#[test]
+fn linkflap_scenario_completes_for_every_scheme_on_every_backend() {
+    for kind in CcKind::ALL {
+        let mut sc = linkflap();
+        sc.cc = kind;
+        let des = run_scenario(&sc, SimBackend::Packet);
+        let fluid = run_scenario(&sc, SimBackend::Fluid);
+        let hybrid = run_scenario(&sc, SimBackend::Hybrid);
+        for (name, r) in [("packet", &des), ("fluid", &fluid), ("hybrid", &hybrid)] {
+            assert_eq!(
+                r.scalar("incomplete_flows"),
+                Some(0.0),
+                "{kind:?}/{name}: flows left incomplete under the link flap"
+            );
+        }
+        // The flap severs one of ToR0's two uplinks: at least one flow must
+        // have been moved onto the surviving ECMP member on both engines.
+        assert!(
+            des.scalar("rerouted_flows").unwrap_or(0.0) >= 1.0,
+            "{kind:?}: DES never rerouted"
+        );
+        assert!(
+            fluid.scalar("rerouted_flows").unwrap_or(0.0) >= 1.0,
+            "{kind:?}: fluid never rerouted"
+        );
+        // Same metric and band as tests/fluid_cross_validation.rs: mean
+        // slowdown, 15%. Raw FCT is workload-scale-dependent; slowdown is
+        // what the calibration was established on.
+        let s_des = des.mean_slowdown().expect("DES mean slowdown");
+        let s_fluid = fluid.mean_slowdown().expect("fluid mean slowdown");
+        let rel = (s_des - s_fluid).abs() / s_des;
+        assert!(
+            rel <= 0.15,
+            "{kind:?}: DES slowdown {s_des:.2} vs fluid {s_fluid:.2} ({:.1}% apart)",
+            100.0 * rel
+        );
+    }
+}
+
+#[test]
+fn every_scheme_completes_under_random_loss() {
+    // 0.5% seeded loss on the receiver ToR's host-facing egress. The
+    // Poisson workload of the shipped scenario spreads across all hosts, so
+    // swap in an incast aimed at host 15: every frame then crosses
+    // switch 7 port 1 and no scheme can dodge the fault.
+    for kind in CcKind::ALL {
+        let mut sc = linkflap();
+        sc.name = format!("randomloss-{}", kind.name());
+        sc.cc = kind;
+        sc.traffic = TrafficSpec::Incast {
+            receiver: 15,
+            fan_in: 4,
+            size: 2_000_000,
+            waves: 1,
+            gap_us: 0,
+        };
+        sc.faults = vec![FaultSpec::RandomLoss {
+            switch: 7,
+            port: 1,
+            from_us: 0,
+            to_us: 2_000,
+            probability: 0.005,
+        }];
+        let r = run_scenario(&sc, SimBackend::Packet);
+        assert_eq!(
+            r.scalar("incomplete_flows"),
+            Some(0.0),
+            "{kind:?}: flow never finished under 0.5% loss"
+        );
+        assert!(
+            r.scalar("fault_drops").unwrap_or(0.0) > 0.0,
+            "{kind:?}: the loss window dropped nothing"
+        );
+        assert!(
+            r.scalar("retx_count").unwrap_or(0.0) > 0.0,
+            "{kind:?}: drops occurred but nothing was retransmitted"
+        );
+    }
+}

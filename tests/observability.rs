@@ -133,6 +133,33 @@ fn one_of_each() -> Vec<TraceEvent> {
             link: 65,
             backlog_bytes: 66,
         },
+        TraceEvent::LinkDown {
+            t_ps: 67,
+            sw: 68,
+            port: 69,
+        },
+        TraceEvent::LinkUp {
+            t_ps: 70,
+            sw: 71,
+            port: 72,
+        },
+        TraceEvent::FaultDrop {
+            t_ps: 73,
+            sw: 74,
+            port: 75,
+            flow: 76,
+            size: 77,
+        },
+        TraceEvent::Retransmit {
+            t_ps: 78,
+            flow: 79,
+            seq: 80,
+        },
+        TraceEvent::Rto {
+            t_ps: 81,
+            flow: 82,
+            rto_ps: 83,
+        },
     ]
 }
 
@@ -144,7 +171,7 @@ fn trace_v1_schema_snapshot() {
     }
     let text = drain(&sink);
     let expected = "\
-{\"schema\":\"fncc.trace/v1\",\"scenario\":\"snap\",\"backend\":\"packet\",\"seed\":7,\"events\":19,\"dropped\":0}
+{\"schema\":\"fncc.trace/v1\",\"scenario\":\"snap\",\"backend\":\"packet\",\"seed\":7,\"events\":24,\"dropped\":0}
 {\"ev\":\"enqueue\",\"t_ps\":1,\"sw\":2,\"port\":3,\"flow\":4,\"size\":5,\"queue_bytes\":6}
 {\"ev\":\"dequeue\",\"t_ps\":7,\"sw\":8,\"port\":9,\"flow\":10,\"size\":11,\"queue_bytes\":12}
 {\"ev\":\"ecn_mark\",\"t_ps\":13,\"sw\":14,\"port\":15,\"flow\":16,\"queue_bytes\":17}
@@ -164,6 +191,11 @@ fn trace_v1_schema_snapshot() {
 {\"ev\":\"hybrid_reserve\",\"t_ps\":58,\"link\":59,\"load_bps\":60.5}
 {\"ev\":\"hybrid_residual\",\"t_ps\":61,\"link\":62,\"residual_bps\":63.5}
 {\"ev\":\"hybrid_backlog\",\"t_ps\":64,\"link\":65,\"backlog_bytes\":66}
+{\"ev\":\"link_down\",\"t_ps\":67,\"sw\":68,\"port\":69}
+{\"ev\":\"link_up\",\"t_ps\":70,\"sw\":71,\"port\":72}
+{\"ev\":\"fault_drop\",\"t_ps\":73,\"sw\":74,\"port\":75,\"flow\":76,\"size\":77}
+{\"ev\":\"retransmit\",\"t_ps\":78,\"flow\":79,\"seq\":80}
+{\"ev\":\"rto\",\"t_ps\":81,\"flow\":82,\"rto_ps\":83}
 ";
     assert_eq!(text, expected, "fncc.trace/v1 wire format drifted");
 }
@@ -207,7 +239,7 @@ impl Strategy for EventStrategy {
         let u32r = |rng: &mut proptest::TestRng| rng.next_u64() as u32;
         let u8r = |rng: &mut proptest::TestRng| rng.next_u64() as u8;
         let boolr = |rng: &mut proptest::TestRng| rng.next_u64() & 1 == 1;
-        match rng.below(19) {
+        match rng.below(24) {
             0 => TraceEvent::Enqueue {
                 t_ps,
                 sw: u32r(rng),
@@ -317,10 +349,37 @@ impl Strategy for EventStrategy {
                 link: u32r(rng),
                 residual_bps: rng.unit_f64() * 1e12,
             },
-            _ => TraceEvent::HybridBacklog {
+            18 => TraceEvent::HybridBacklog {
                 t_ps,
                 link: u32r(rng),
                 backlog_bytes: rng.next_u64() >> 11,
+            },
+            19 => TraceEvent::LinkDown {
+                t_ps,
+                sw: u32r(rng),
+                port: u8r(rng),
+            },
+            20 => TraceEvent::LinkUp {
+                t_ps,
+                sw: u32r(rng),
+                port: u8r(rng),
+            },
+            21 => TraceEvent::FaultDrop {
+                t_ps,
+                sw: u32r(rng),
+                port: u8r(rng),
+                flow: u32r(rng),
+                size: u32r(rng),
+            },
+            22 => TraceEvent::Retransmit {
+                t_ps,
+                flow: u32r(rng),
+                seq: rng.next_u64() >> 11,
+            },
+            _ => TraceEvent::Rto {
+                t_ps,
+                flow: u32r(rng),
+                rto_ps: rng.next_u64() >> 11,
             },
         }
     }
@@ -476,6 +535,30 @@ fn assert_matches(line: &Json, ev: &TraceEvent) {
         } => {
             assert_eq!(u("link"), link as f64);
             assert_eq!(u("backlog_bytes"), backlog_bytes as f64);
+        }
+        TraceEvent::LinkDown { sw, port, .. } | TraceEvent::LinkUp { sw, port, .. } => {
+            assert_eq!(u("sw"), sw as f64);
+            assert_eq!(u("port"), port as f64);
+        }
+        TraceEvent::FaultDrop {
+            sw,
+            port,
+            flow,
+            size,
+            ..
+        } => {
+            assert_eq!(u("sw"), sw as f64);
+            assert_eq!(u("port"), port as f64);
+            assert_eq!(u("flow"), flow as f64);
+            assert_eq!(u("size"), size as f64);
+        }
+        TraceEvent::Retransmit { flow, seq, .. } => {
+            assert_eq!(u("flow"), flow as f64);
+            assert_eq!(u("seq"), seq as f64);
+        }
+        TraceEvent::Rto { flow, rto_ps, .. } => {
+            assert_eq!(u("flow"), flow as f64);
+            assert_eq!(u("rto_ps"), rto_ps as f64);
         }
     }
 }

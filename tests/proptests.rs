@@ -193,6 +193,136 @@ proptest! {
 }
 
 proptest! {
+    /// The RTO schedule is monotone in the backoff counter and clamped to
+    /// the configured ceiling — the pure half of the go-back-N invariants.
+    #[test]
+    fn rto_backoff_monotone_and_capped(k in 0u32..24) {
+        let rec = fncc::transport::RecoveryConfig::paper_default();
+        prop_assert!(rec.rto(k) >= rec.rto(0));
+        prop_assert!(rec.rto(k + 1) >= rec.rto(k));
+        // High backoffs saturate: the cap is reached and held.
+        prop_assert_eq!(rec.rto(24), rec.rto(23));
+    }
+}
+
+proptest! {
+    /// Go-back-N under arbitrary seeded drop patterns (random per-frame
+    /// loss, optionally compounded by a link flap that drops a whole window
+    /// in flight and reorders delivery around the outage): the flow must
+    /// finish — the cumulative-ACK receiver accepts every byte exactly once
+    /// in order, so `all_flows_finished` certifies exactly-once delivery —
+    /// and back-to-back RTO expiries with no ACK progress must never shrink
+    /// the timeout (exponential backoff is monotone within a loss episode).
+    #[test]
+    fn go_back_n_survives_seeded_loss_with_monotone_backoff(
+        seed in 0u64..10_000,
+        prob in 0.0f64..0.08,
+        size in 50_000u64..400_000,
+        flap in (0u64..2).prop_map(|b| b == 1),
+    ) {
+        use fncc::cc::{CcAlgo, HpccConfig};
+        use fncc::core::obs::{TraceEvent, TraceSink};
+        use fncc::net::config::{FabricConfig, LinkFault, LinkFaultSpec};
+        use fncc::net::fabric::{Ev, Fabric};
+        use fncc::net::ids::SwitchId;
+        use fncc::transport::{
+            apply_cc_features, DcHost, FlowSpec, HostTimer, RecoveryConfig, TransportConfig,
+        };
+
+        let bw = Bandwidth::gbps(100);
+        let topo = Topology::dumbbell(2, 3, bw, TimeDelta::from_ns(1500));
+        let algo = CcAlgo::Hpcc(HpccConfig::paper_default(bw, TimeDelta::from_us(13)));
+        let tcfg = TransportConfig::new(algo).with_recovery(RecoveryConfig::paper_default());
+        let mut cfg = FabricConfig::paper_default();
+        apply_cc_features(&mut cfg, tcfg.algo.kind(), bw);
+        cfg.seed = seed;
+        cfg.link_faults.push(LinkFaultSpec {
+            switch: SwitchId(0),
+            port: 2,
+            fault: LinkFault::RandomLoss {
+                from: SimTime::ZERO,
+                to: SimTime::from_ms(50),
+                prob,
+            },
+        });
+        if flap {
+            cfg.link_faults.push(LinkFaultSpec {
+                switch: SwitchId(0),
+                port: 2,
+                fault: LinkFault::Down { at: SimTime::from_us(20) },
+            });
+            cfg.link_faults.push(LinkFaultSpec {
+                switch: SwitchId(0),
+                port: 2,
+                fault: LinkFault::Up { at: SimTime::from_us(200) },
+            });
+        }
+        let hosts: Vec<DcHost> = (0..topo.n_hosts).map(|_| DcHost::new(tcfg.clone())).collect();
+        let mut fabric = Fabric::new(&topo, cfg, hosts);
+        fabric.telemetry.trace = TraceSink::with_capacity(1 << 16);
+        let spec = FlowSpec {
+            id: FlowId(0),
+            src: HostId(0),
+            dst: HostId(2),
+            size,
+            start: SimTime::ZERO,
+        };
+        fabric.hosts[0].add_flow(spec.clone());
+        let mut eng = fncc::des::engine::Engine::new(fabric);
+        for (t, ev) in eng.model.startup_events() {
+            eng.schedule(t, ev);
+        }
+        eng.schedule(
+            spec.start,
+            Ev::HostTimer { host: spec.src, timer: HostTimer::FlowStart(spec.id) },
+        );
+        eng.run_until(SimTime::from_ms(50));
+
+        let t = &eng.model.telemetry;
+        prop_assert!(
+            t.all_flows_finished(),
+            "flow stuck (seed {seed}, prob {prob:.3}, flap {flap}): \
+             {} fault drops, {} retx, {} rtos",
+            t.counters.fault_drops, t.counters.retx, t.counters.rtos
+        );
+        if flap {
+            prop_assert!(t.counters.fault_drops > 0, "flap dropped nothing in flight");
+        }
+        // Backoff discipline: every genuine expiry logs the *next* timeout.
+        // With no ACK progress the chain doubles (r2 >= r1); ACK progress
+        // resets the counter to zero, so the only legal *shrink* between
+        // consecutive expiries is a collapse to the bottom of the schedule,
+        // rto(1) — the timeout an expiry logs right after a reset. (The
+        // exact-gap heuristic alone is unsound: a timer armed before the
+        // reset can genuinely expire at the old `t1 + r1` instant.) Every
+        // logged value must also come from the configured schedule.
+        let rec = RecoveryConfig::paper_default();
+        let schedule: Vec<u64> = (1..=25).map(|k| rec.rto(k).as_ps()).collect();
+        let rtos: Vec<(u64, u64)> = t
+            .trace
+            .events()
+            .filter_map(|e| match *e {
+                TraceEvent::Rto { t_ps, rto_ps, .. } => Some((t_ps, rto_ps)),
+                _ => None,
+            })
+            .collect();
+        for &(_, r) in &rtos {
+            prop_assert!(schedule.contains(&r), "rto {r} ps not on the schedule");
+        }
+        for w in rtos.windows(2) {
+            let ((t1, r1), (t2, r2)) = (w[0], w[1]);
+            if t2 - t1 == r1 {
+                prop_assert!(
+                    r2 >= r1 || r2 == rec.rto(1).as_ps(),
+                    "backoff shrank to a mid-schedule value within a loss \
+                     episode: {r1} -> {r2} ps"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     /// The fluid allocator's warm-started incremental path is pinned to
     /// the from-scratch `allocate` oracle over random arrival/departure
     /// sequences: every alive flow's rate matches within 1e-9 relative
