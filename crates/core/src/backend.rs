@@ -19,6 +19,7 @@ use crate::metrics::{average_slowdowns, fct_slowdowns, reaction_time, time_to_fa
 use crate::report::RunReport;
 use crate::scenario::{FaultSpec, Scenario, StopCondition, TrafficSpec};
 use crate::scenarios::{WorkloadResult, WorkloadSpec};
+use crate::sharded::{ShardStats, ShardedSim};
 use crate::sim::{make_algo, Sim, SimBuilder};
 use fncc_cc::{CcAlgo, CcKind, FnccConfig};
 use fncc_des::stats::TimeSeries;
@@ -26,11 +27,15 @@ use fncc_des::time::{SimTime, TimeDelta};
 use fncc_fluid::{CalibrationSet, CapacityChange, CapacityEvent, FluidSim, Framing, RateModel};
 use fncc_hybrid::{HybridConfig, HybridSim};
 use fncc_net::config::FabricConfig;
-use fncc_net::ids::{FlowId, NodeRef, SwitchId};
+use fncc_net::ids::{FlowId, HostId, NodeRef, SwitchId};
+use fncc_net::partition::PartitionMap;
+use fncc_net::telemetry::Telemetry;
+use fncc_net::topology::Topology;
 use fncc_obs::{Profiler, TraceMeta, TraceSink};
-use fncc_transport::RecoveryConfig;
+use fncc_transport::{DcHost, RecoveryConfig};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// An engine that can execute any [`Scenario`].
 pub trait Backend {
@@ -164,6 +169,134 @@ pub fn run_scenario_traced(
 /// The packet-level discrete-event engine.
 pub struct PacketBackend;
 
+/// One seed's execution engine inside [`PacketBackend`]: the legacy
+/// single-engine [`Sim`] (`scenario.threads == 0`) or the sharded
+/// barrier-synchronized [`ShardedSim`] (`threads ≥ 1`). Reports are
+/// byte-identical either way — the sharded path only adds its own
+/// `shards`/`epochs`/`cross_shard_frames`/`lookahead_ns` scalars.
+// One `Runner` exists per seed run and lives on one stack frame; boxing
+// the large `Sim` variant would buy nothing but an extra indirection.
+#[allow(clippy::large_enum_variant)]
+enum Runner {
+    Single(Sim),
+    Sharded(ShardedSim),
+}
+
+impl Runner {
+    fn run_until(&mut self, horizon: SimTime) {
+        match self {
+            Runner::Single(s) => {
+                s.run_until(horizon);
+            }
+            Runner::Sharded(s) => s.run_until(horizon),
+        }
+    }
+
+    fn run_to_completion(&mut self, chunk: TimeDelta, cap: SimTime) -> bool {
+        match self {
+            Runner::Single(s) => s.run_to_completion(chunk, cap),
+            Runner::Sharded(s) => s.run_to_completion(chunk, cap),
+        }
+    }
+
+    /// Fold engine and telemetry profilers into `prof`. Must run before
+    /// [`Runner::finish`] — harvesting moves the per-shard telemetry out.
+    fn absorb_profilers(&self, prof: &mut Profiler) {
+        match self {
+            Runner::Single(s) => {
+                prof.absorb(s.profiler());
+                prof.absorb(&s.telemetry().profiler);
+            }
+            Runner::Sharded(s) => s.absorb_profilers(prof),
+        }
+    }
+
+    /// Merge per-shard telemetry into one view (no-op on the single
+    /// engine) and return the sharded run's statistics, if any. Call once
+    /// after the run; [`Runner::telemetry`] is valid from then on.
+    fn finish(&mut self) -> Option<ShardStats> {
+        match self {
+            Runner::Single(_) => None,
+            Runner::Sharded(s) => {
+                let stats = s.stats();
+                s.harvest();
+                Some(stats)
+            }
+        }
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        match self {
+            Runner::Single(s) => s.telemetry(),
+            Runner::Sharded(s) => s.telemetry(),
+        }
+    }
+
+    fn topo(&self) -> &Topology {
+        match self {
+            Runner::Single(s) => &s.topo,
+            Runner::Sharded(s) => s.topo(),
+        }
+    }
+
+    fn cfg(&self) -> &FabricConfig {
+        match self {
+            Runner::Single(s) => &s.fabric().cfg,
+            Runner::Sharded(s) => s.cfg(),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            Runner::Single(s) => s.events_processed(),
+            Runner::Sharded(s) => s.events_processed(),
+        }
+    }
+
+    fn peak_queue_len(&self) -> usize {
+        match self {
+            Runner::Single(s) => s.peak_queue_len(),
+            Runner::Sharded(s) => s.peak_queue_len(),
+        }
+    }
+
+    fn clamped_schedules(&self) -> u64 {
+        match self {
+            Runner::Single(s) => s.clamped_schedules(),
+            Runner::Sharded(s) => s.clamped_schedules(),
+        }
+    }
+
+    /// Packet-pool statistics `(fresh allocations, recycled)`.
+    fn pool_stats(&self) -> (u64, u64) {
+        match self {
+            Runner::Single(s) => (s.fabric().pool.fresh_allocs(), s.fabric().pool.recycled()),
+            Runner::Sharded(s) => s.pool_stats(),
+        }
+    }
+
+    fn wheel_cascades(&self) -> Option<Vec<u64>> {
+        match self {
+            Runner::Single(s) => s.wheel_cascades().map(|c| c.to_vec()),
+            Runner::Sharded(s) => s.wheel_cascades(),
+        }
+    }
+
+    fn host(&self, h: HostId) -> &DcHost {
+        match self {
+            Runner::Single(s) => s.host(h),
+            Runner::Sharded(s) => s.host(h),
+        }
+    }
+
+    fn pause_frames_at(&self, sw: SwitchId, port: u8) -> u64 {
+        match self {
+            Runner::Single(s) => s.fabric().pause_frames_at(sw, port),
+            Runner::Sharded(s) => s.pause_frames_at(sw, port),
+        }
+    }
+}
+
 impl Backend for PacketBackend {
     fn name(&self) -> &'static str {
         "packet"
@@ -186,6 +319,7 @@ impl Backend for PacketBackend {
         let mut retx = 0u64;
         let mut rtos = 0u64;
         let mut rerouted = 0u64;
+        let mut shard_stats: Option<ShardStats> = None;
         let mut prof = Profiler::disabled();
         let wall_start = std::time::Instant::now();
 
@@ -218,82 +352,104 @@ impl Backend for PacketBackend {
                 }
             };
 
-            let mut builder = SimBuilder::with_algo(topo.clone(), algo)
-                .fabric(|f| {
-                    f.seed = seed;
-                    if is_fncc {
-                        f.int_refresh = int_refresh;
-                    }
-                    sc.apply_faults(f);
-                })
-                // Loss recovery only when the scenario injects faults:
-                // lossless runs stay free of retransmission-timer events,
-                // so their event counts and goldens are byte-identical.
-                .recovery(sc.has_faults().then(RecoveryConfig::paper_default))
-                .flows(flows.clone());
-            if sc.probes.sample_ns > 0 {
-                builder = builder.sample(TimeDelta::from_ns(sc.probes.sample_ns), horizon);
-            }
-            if let Some((sw, port)) = cp {
-                builder = builder
-                    .watch_queue(sw, port, "queue")
-                    .watch_util(sw, port, "util");
-            }
             let n_watched_flows = (sc.probes.flow_rates as usize).min(flows.len());
-            for i in 0..n_watched_flows {
-                builder = builder.watch_flow(FlowId(i as u32), format!("flow{i}"));
-            }
             let n_watched_cc = (sc.probes.cc_rates as usize).min(flows.len());
-            for (i, f) in flows.iter().take(n_watched_cc).enumerate() {
-                builder = builder.watch_cc_rate(FlowId(i as u32), f.src, format!("cc{i}"));
-            }
-            // The flight recorder captures the first seed only: one seed's
-            // event stream answers the timeline/hotspot questions, and the
-            // ring would otherwise just overwrite seed 0 with seed N−1.
-            builder = builder.trace(tracing && seed_ix == 0);
+            // One construction path for both runners: the sharded runtime
+            // calls this once per shard with its `(map, shard)` slot, the
+            // legacy engine once with `None`. Identical probes and fabric
+            // knobs everywhere is what keeps reports byte-identical.
+            let build_sim = |shard: Option<(Arc<PartitionMap>, u16)>| -> Sim {
+                let mut builder = SimBuilder::with_algo(topo.clone(), algo.clone())
+                    .fabric(|f| {
+                        f.seed = seed;
+                        if is_fncc {
+                            f.int_refresh = int_refresh;
+                        }
+                        sc.apply_faults(f);
+                    })
+                    // Loss recovery only when the scenario injects faults:
+                    // lossless runs stay free of retransmission-timer events,
+                    // so their event counts and goldens are byte-identical.
+                    .recovery(sc.has_faults().then(RecoveryConfig::paper_default))
+                    .flows(flows.clone());
+                if sc.probes.sample_ns > 0 {
+                    builder = builder.sample(TimeDelta::from_ns(sc.probes.sample_ns), horizon);
+                }
+                if let Some((sw, port)) = cp {
+                    builder = builder
+                        .watch_queue(sw, port, "queue")
+                        .watch_util(sw, port, "util");
+                }
+                for i in 0..n_watched_flows {
+                    builder = builder.watch_flow(FlowId(i as u32), format!("flow{i}"));
+                }
+                for (i, f) in flows.iter().take(n_watched_cc).enumerate() {
+                    builder = builder.watch_cc_rate(FlowId(i as u32), f.src, format!("cc{i}"));
+                }
+                // The flight recorder captures the first seed only: one
+                // seed's event stream answers the timeline/hotspot
+                // questions, and the ring would otherwise just overwrite
+                // seed 0 with seed N−1.
+                builder = builder.trace(tracing && seed_ix == 0);
+                if let Some((map, s)) = shard {
+                    builder = builder.shard(map, s);
+                }
+                builder.build()
+            };
 
-            let mut sim = builder.build();
+            let mut run = if sc.threads >= 1 {
+                Runner::Sharded(ShardedSim::new(&topo, sc.threads as usize, |m, s| {
+                    build_sim(Some((m, s)))
+                }))
+            } else {
+                Runner::Single(build_sim(None))
+            };
             match sc.stop {
                 StopCondition::Horizon { .. } => {
-                    sim.run_until(horizon);
+                    run.run_until(horizon);
                 }
                 StopCondition::Drain { .. } => {
-                    sim.run_to_completion(TimeDelta::from_ms(1), horizon);
+                    run.run_to_completion(TimeDelta::from_ms(1), horizon);
                 }
             }
+            run.absorb_profilers(&mut prof);
+            if let Some(st) = run.finish() {
+                let agg = shard_stats.get_or_insert_with(ShardStats::default);
+                agg.shards = st.shards;
+                agg.epochs += st.epochs;
+                agg.cross_shard_frames += st.cross_shard_frames;
+                agg.lookahead_ns = st.lookahead_ns;
+                agg.causality_violations += st.causality_violations;
+                agg.fallback = st.fallback;
+            }
 
-            let telem = sim.telemetry();
+            let telem = run.telemetry();
             report
                 .unfinished
                 .push(telem.flow_records().filter(|r| r.finish.is_none()).count());
-            report.events += sim.events_processed();
-            peak_queue_len = peak_queue_len.max(sim.peak_queue_len());
-            clamped += sim.clamped_schedules();
+            report.events += run.events_processed();
+            peak_queue_len = peak_queue_len.max(run.peak_queue_len());
+            clamped += run.clamped_schedules();
             fault_drops += telem.counters.fault_drops;
             retx += telem.counters.retx;
             rtos += telem.counters.rtos;
             rerouted += telem.counters.rerouted_flows;
             if matches!(sc.stop, StopCondition::Drain { .. }) {
-                let payload = sim.fabric().cfg.mtu_payload();
-                let header = sim.fabric().cfg.data_header;
-                runs.push(fct_slowdowns(&sim.topo, telem, &buckets, payload, header));
+                let payload = run.cfg().mtu_payload();
+                let header = run.cfg().data_header;
+                runs.push(fct_slowdowns(run.topo(), telem, &buckets, payload, header));
             }
-            prof.absorb(sim.profiler());
-            prof.absorb(&telem.profiler);
             if seed_ix == 0 {
-                extract_series(&mut report, &sim, cp, n_watched_flows, n_watched_cc);
-                extract_scalars(&mut report, sc, &sim, cp, &flows);
+                extract_series(&mut report, &run, cp, n_watched_flows, n_watched_cc);
+                extract_scalars(&mut report, sc, &run, cp, &flows);
                 for (name, v) in telem.metrics.scalar_pairs() {
                     report.put_scalar(name, v);
                 }
-                let (fresh, rec) = (
-                    sim.fabric().pool.fresh_allocs(),
-                    sim.fabric().pool.recycled(),
-                );
+                let (fresh, rec) = run.pool_stats();
                 if fresh + rec > 0 {
                     report.put_scalar("pool_hit_rate", rec as f64 / (fresh + rec) as f64);
                 }
-                if let Some(cascades) = sim.wheel_cascades() {
+                if let Some(cascades) = run.wheel_cascades() {
                     for (lvl, n) in cascades.iter().enumerate() {
                         report.put_scalar(format!("wheel_cascades_l{lvl}"), *n as f64);
                     }
@@ -307,7 +463,7 @@ impl Backend for PacketBackend {
                         backend: self.name().to_string(),
                         seed,
                     };
-                    write_trace_artifact(&sim.telemetry().trace, &meta, &path);
+                    write_trace_artifact(&run.telemetry().trace, &meta, &path);
                 }
             }
         }
@@ -330,6 +486,18 @@ impl Backend for PacketBackend {
         }
         report.put_scalar("peak_queue_len", peak_queue_len as f64);
         report.put_scalar("clamped_schedules", clamped as f64);
+        // Sharded-run scalars (threads ≥ 1 only, so legacy reports stay
+        // byte-identical): epochs/frames sum across seeds, the partition
+        // shape is per-topology and therefore identical in every seed.
+        if let Some(st) = shard_stats {
+            report.put_scalar("shards", st.shards as f64);
+            report.put_scalar("epochs", st.epochs as f64);
+            report.put_scalar("cross_shard_frames", st.cross_shard_frames as f64);
+            report.put_scalar("lookahead_ns", st.lookahead_ns as f64);
+            if let Some(code) = st.fallback {
+                report.put_scalar("shard_fallback", code as f64);
+            }
+        }
         // Fault-run scalars, summed across seeds. Gated so fault-free
         // reports stay byte-identical with pre-fault-injection builds.
         if sc.has_faults() {
@@ -360,12 +528,12 @@ fn put_incomplete_flows(report: &mut RunReport, sc: &Scenario) {
 /// `queue_kb` (KB), `util`, `flow{i}` / `cc{i}` (Gb/s).
 fn extract_series(
     report: &mut RunReport,
-    sim: &Sim,
+    run: &Runner,
     cp: Option<(fncc_net::ids::SwitchId, u8)>,
     n_flows: usize,
     n_cc: usize,
 ) {
-    let telem = sim.telemetry();
+    let telem = run.telemetry();
     let scaled = |src: &TimeSeries, name: &str, div: f64| {
         let mut out = TimeSeries::new(name);
         for (t, v) in src.iter() {
@@ -400,11 +568,11 @@ fn extract_series(
 fn extract_scalars(
     report: &mut RunReport,
     sc: &Scenario,
-    sim: &Sim,
+    run: &Runner,
     cp: Option<(fncc_net::ids::SwitchId, u8)>,
     flows: &[fncc_transport::FlowSpec],
 ) {
-    let telem = sim.telemetry();
+    let telem = run.telemetry();
     let horizon = sc.stop.sizing_horizon();
     let line_gbps = sc.link.bandwidth().as_gbps_f64();
 
@@ -426,12 +594,12 @@ fn extract_scalars(
     }
     if let Some((sw, _)) = cp {
         // PFC pauses emitted on the congested switch's host-facing ports.
-        let pauses: u64 = sim.topo.switches[sw.ix()]
+        let pauses: u64 = run.topo().switches[sw.ix()]
             .ports
             .iter()
             .enumerate()
             .filter(|(_, p)| matches!(p.peer, NodeRef::Host(_)))
-            .map(|(p, _)| sim.fabric().pause_frames_at(sw, p as u8))
+            .map(|(p, _)| run.pause_frames_at(sw, p as u8))
             .sum();
         report.put_scalar("pause_frames", pauses as f64);
     }
@@ -439,7 +607,7 @@ fn extract_scalars(
     match &sc.traffic {
         TrafficSpec::Elephants { join_at_us } => {
             let join = SimTime::from_us(*join_at_us);
-            let n_senders = sim.topo.n_hosts - 1;
+            let n_senders = run.topo().n_hosts - 1;
             // Reaction: the first time flow 0's *control* rate falls clearly
             // below its pre-join steady level (HPCC/FNCC idle at η·line, so
             // an absolute line-rate threshold would trip on steady jitter).
@@ -476,13 +644,13 @@ fn extract_scalars(
             }
             let triggers: u64 = flows
                 .iter()
-                .map(|f| sim.host(f.src).lhcs_triggers(f.id).unwrap_or(0))
+                .map(|f| run.host(f.src).lhcs_triggers(f.id).unwrap_or(0))
                 .sum();
             report.put_scalar("lhcs_triggers", triggers as f64);
         }
         TrafficSpec::Staircase { interval_us } => {
             let interval = TimeDelta::from_us(*interval_us);
-            let n = sim.topo.n_hosts - 1;
+            let n = run.topo().n_hosts - 1;
             // Jain index at each period midpoint over flows active then.
             let mut jain: Vec<f64> = Vec::new();
             {

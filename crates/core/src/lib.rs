@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod report;
 pub mod scenario;
 pub mod scenarios;
+pub mod sharded;
 pub mod sim;
 pub mod sweep;
 
@@ -65,6 +66,7 @@ pub use scenarios::{
     elephant_dumbbell, fairness_staircase, fattree_workload, hop_congestion, ElephantResult,
     FairnessResult, HopCongestionResult, HopLocation, MicrobenchSpec, WorkloadResult, WorkloadSpec,
 };
+pub use sharded::{ShardStats, ShardedSim};
 pub use sim::{make_algo, Sim, SimBuilder};
 
 /// Flight-recorder observability: trace sink, metrics registry, profiling

@@ -675,6 +675,13 @@ pub struct Scenario {
     pub stop: StopCondition,
     /// Seeds; multi-seed runs average slowdown rows across seeds.
     pub seeds: Vec<u64>,
+    /// Worker threads for the packet backend's sharded runtime. `0` (the
+    /// default) runs the legacy single-engine path; `n ≥ 1` partitions a
+    /// fat-tree by pod into per-shard engines driven by `min(n, shards)`
+    /// OS threads (conservative barrier synchronization — reports are
+    /// byte-identical at every thread count). Non-fat-tree topologies fall
+    /// back to one shard. Other backends ignore it.
+    pub threads: u32,
 }
 
 impl Scenario {
@@ -698,6 +705,7 @@ impl Scenario {
             faults: Vec::new(),
             stop: StopCondition::Drain { cap_ms: 200 },
             seeds: vec![1],
+            threads: 0,
         }
     }
 
@@ -1070,6 +1078,9 @@ impl Scenario {
             "seeds".into(),
             Json::Arr(self.seeds.iter().map(|&s| num_u64(s)).collect()),
         ));
+        if self.threads != 0 {
+            top.push(("threads".into(), num_u64(self.threads as u64)));
+        }
         Json::Obj(top).to_string_pretty()
     }
 
@@ -1338,6 +1349,8 @@ impl Scenario {
             }
         };
 
+        let threads = v.get("threads").and_then(|x| x.as_u64()).unwrap_or(0) as u32;
+
         let sc = Scenario {
             name,
             topology,
@@ -1350,6 +1363,7 @@ impl Scenario {
             faults,
             stop,
             seeds,
+            threads,
         };
         sc.validate()?;
         Ok(sc)
@@ -1605,6 +1619,7 @@ mod tests {
             faults: Vec::new(),
             stop: StopCondition::Drain { cap_ms: 50 },
             seeds: vec![1, 2],
+            threads: 0,
         }
     }
 
@@ -1616,6 +1631,19 @@ mod tests {
         // A fault-free scenario serializes with no 'faults' key at all, so
         // pre-fault documents and their hashes are untouched.
         assert!(!sc.to_json().contains("faults"));
+    }
+
+    #[test]
+    fn threads_knob_roundtrips_and_stays_off_schema_when_zero() {
+        // threads = 0 (legacy path) must not appear in the document, so
+        // pre-sharding scenario files and their hashes are untouched.
+        assert!(!sample().to_json().contains("threads"));
+        let sharded = Scenario {
+            threads: 4,
+            ..sample()
+        };
+        assert!(sharded.to_json().contains("\"threads\": 4"));
+        assert_eq!(Scenario::from_json(&sharded.to_json()).unwrap(), sharded);
     }
 
     #[test]

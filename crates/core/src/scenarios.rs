@@ -106,6 +106,7 @@ impl MicrobenchSpec {
                 us: self.horizon_us,
             },
             seeds: vec![self.seed],
+            threads: 0,
         }
     }
 
@@ -336,6 +337,7 @@ pub fn staircase_scenario(cc: CcKind, n: u32, interval: TimeDelta, seed: u64) ->
         faults: Vec::new(),
         stop: StopCondition::Horizon { us: horizon_us },
         seeds: vec![seed],
+        threads: 0,
     }
 }
 
@@ -415,6 +417,7 @@ impl WorkloadSpec {
             faults: Vec::new(),
             stop: StopCondition::Drain { cap_ms: 200 },
             seeds: self.seeds.clone(),
+            threads: 0,
         }
     }
 

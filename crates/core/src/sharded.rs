@@ -1,0 +1,512 @@
+//! Sharded parallel execution of the packet DES: conservative barrier
+//! synchronization over a pod partition of the fat-tree.
+//!
+//! # How it stays byte-identical to the single-threaded engine
+//!
+//! The topology is partitioned by [`PartitionMap::for_topology`] into one
+//! shard per pod (cores round-robined). Each shard is a complete
+//! [`Sim`] replica — same fabric, same ids — that only schedules and
+//! processes events for entities it owns; state of non-owned entities
+//! goes stale but is never read. A frame crossing a cut link is diverted
+//! to the engine's *outbox* carrying the exact `(time, prio, seq)` key
+//! the sending engine would have used locally (`prio` is the schedule
+//! time, `seq` is drawn from the sender's shard-tagged sequence domain).
+//! Those keys form a deterministic global total order, so it does not
+//! matter *when* a frame is injected into the receiving wheel — only
+//! that it arrives before the epoch in which it could fire.
+//!
+//! Conservative synchronization guarantees exactly that: the lookahead
+//! `L` is the minimum propagation delay over cut links, so a frame
+//! emitted during epoch `[t, t+L)` cannot fire before `t+L`. Workers run
+//! every shard to `t+L − 1 ps`, flush outboxes into per-shard mailboxes,
+//! meet at a barrier, inject, and move on. The number of shards is fixed
+//! by the topology — threads only decide which worker runs which shard —
+//! so reports are byte-identical at every thread count by construction.
+//!
+//! The run loop mirrors [`Sim::run_to_completion`]'s 1 ms chunking and
+//! its stop test (evaluated on aggregated per-shard counts), so event
+//! totals and stop times match the legacy engine exactly.
+
+use crate::sim::Sim;
+use fncc_des::engine::Outbound;
+use fncc_des::time::{SimTime, TimeDelta};
+use fncc_net::fabric::Ev;
+use fncc_net::ids::{HostId, SwitchId};
+use fncc_net::partition::PartitionMap;
+use fncc_net::telemetry::Telemetry;
+use fncc_net::topology::Topology;
+use fncc_obs::{Profiler, TraceSink};
+use fncc_transport::{DcHost, HostTimer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+/// A cross-shard frame in flight between epochs.
+type Frame = Outbound<Ev<HostTimer>>;
+
+/// Aggregate statistics of a sharded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Number of shards (1 = fallback / trivial partition).
+    pub shards: u16,
+    /// Barrier epochs executed.
+    pub epochs: u64,
+    /// Frames exchanged across shard boundaries.
+    pub cross_shard_frames: u64,
+    /// Synchronization lookahead, ns.
+    pub lookahead_ns: u64,
+    /// Cross-shard frames injected below the receiving shard's clock
+    /// (0 in a correct run; counted, not panicked, so the property tests
+    /// can assert on it).
+    pub causality_violations: u64,
+    /// Fallback-reason code when the topology could not be partitioned
+    /// (see `fncc_net::partition::FallbackReason::code`).
+    pub fallback: Option<u32>,
+}
+
+/// A sharded simulation: one [`Sim`] replica per shard plus the epoch
+/// coordinator state. Build with [`ShardedSim::new`]; drive it like a
+/// [`Sim`] (`run_until` / `run_to_completion`), then call
+/// [`ShardedSim::harvest`] once to merge per-shard telemetry.
+pub struct ShardedSim {
+    shards: Vec<Sim>,
+    map: Arc<PartitionMap>,
+    /// Worker threads actually used (≤ shard count).
+    threads: usize,
+    /// Worker index per shard (`shard % threads` unless a test overrode it).
+    assign: Vec<usize>,
+    /// Per-shard mailboxes holding frames that crossed a boundary and have
+    /// not yet been injected (persists across chunk calls).
+    inboxes: Vec<Mutex<Vec<Frame>>>,
+    epochs: u64,
+    cross_frames: Arc<AtomicU64>,
+    violations: Arc<AtomicU64>,
+    /// Receiver-side flow records pre-registered at build time (flows
+    /// whose sender lives in another shard); subtracted from the summed
+    /// started-count so the stop test sees distinct flows.
+    cross_dst_records: usize,
+    merged: Option<Telemetry>,
+}
+
+impl ShardedSim {
+    /// Build a sharded sim over `topo` using up to `threads` workers.
+    /// `make` is called once per shard with `(map, shard)` and must
+    /// return that shard's configured [`Sim`] (the caller applies
+    /// [`crate::sim::SimBuilder::shard`] with the given arguments).
+    /// Topologies without a pod structure fall back to one shard — the
+    /// run then equals the legacy engine exactly and
+    /// [`ShardedSim::stats`] carries the fallback code.
+    pub fn new(
+        topo: &Topology,
+        threads: usize,
+        make: impl FnMut(Arc<PartitionMap>, u16) -> Sim,
+    ) -> ShardedSim {
+        let map = Arc::new(PartitionMap::for_topology(topo));
+        ShardedSim::with_map(map, threads, make)
+    }
+
+    /// Like [`ShardedSim::new`] but over an explicit partition (the
+    /// property tests fuzz arbitrary owner maps through this).
+    pub fn with_map(
+        map: Arc<PartitionMap>,
+        threads: usize,
+        mut make: impl FnMut(Arc<PartitionMap>, u16) -> Sim,
+    ) -> ShardedSim {
+        assert!(threads >= 1, "sharded run needs at least one worker");
+        let n = map.n_shards as usize;
+        let shards: Vec<Sim> = (0..map.n_shards).map(|s| make(map.clone(), s)).collect();
+        let threads = threads.min(n);
+        let assign = (0..n).map(|s| s % threads).collect();
+        // At build time the only registered flow records are the
+        // receiver-side ones pre-registered for cross-shard flows (sender
+        // records appear when FlowStart timers fire), so counting now
+        // yields exactly the double-count correction the stop test needs.
+        let cross_dst_records = shards.iter().map(|s| s.telemetry().flow_count()).sum();
+        ShardedSim {
+            shards,
+            map,
+            threads,
+            assign,
+            inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            epochs: 0,
+            cross_frames: Arc::new(AtomicU64::new(0)),
+            violations: Arc::new(AtomicU64::new(0)),
+            cross_dst_records,
+            merged: None,
+        }
+    }
+
+    /// Override the shard→worker assignment (property tests shuffle this
+    /// to show results do not depend on which thread runs which shard).
+    /// `assign[s]` must be `< threads` for every shard `s`.
+    pub fn set_worker_assignment(&mut self, assign: Vec<usize>) {
+        assert_eq!(assign.len(), self.shards.len());
+        assert!(assign.iter().all(|&w| w < self.threads));
+        self.assign = assign;
+    }
+
+    /// The partition in effect.
+    pub fn partition(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Current simulation time (all shards park at the same instant).
+    pub fn now(&self) -> SimTime {
+        self.shards[0].now()
+    }
+
+    /// Aggregate events dispatched, with replica events (periodic ticks
+    /// and fault boundaries mirrored on several shards) counted once —
+    /// matches the single-engine total.
+    pub fn events_processed(&self) -> u64 {
+        let raw: u64 = self.shards.iter().map(|s| s.events_processed()).sum();
+        let replicas: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.eng.model.shard.as_ref().map_or(0, |sc| sc.replica_events))
+            .sum();
+        raw - replicas
+    }
+
+    /// Maximum per-shard event-queue high-water mark.
+    pub fn peak_queue_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.peak_queue_len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Summed clamped-schedule count (see [`Sim::clamped_schedules`]).
+    pub fn clamped_schedules(&self) -> u64 {
+        self.shards.iter().map(|s| s.clamped_schedules()).sum()
+    }
+
+    /// Run statistics for report scalars.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.map.n_shards,
+            epochs: self.epochs,
+            cross_shard_frames: self.cross_frames.load(Ordering::Relaxed),
+            lookahead_ns: self.map.lookahead.as_ps() / 1_000,
+            causality_violations: self.violations.load(Ordering::Relaxed),
+            fallback: self.map.fallback.map(|f| f.code()),
+        }
+    }
+
+    /// Summed packet-pool statistics `(fresh allocations, recycled)`.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        self.shards
+            .iter()
+            .map(|s| (s.fabric().pool.fresh_allocs(), s.fabric().pool.recycled()))
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d))
+    }
+
+    /// Per-level timing-wheel cascade counts summed over shards (`None`
+    /// when the heap scheduler is in use).
+    pub fn wheel_cascades(&self) -> Option<Vec<u64>> {
+        let mut out: Option<Vec<u64>> = None;
+        for s in &self.shards {
+            let c = s.wheel_cascades()?;
+            let acc = out.get_or_insert_with(|| vec![0; c.len()]);
+            if acc.len() < c.len() {
+                acc.resize(c.len(), 0);
+            }
+            for (i, n) in c.iter().enumerate() {
+                acc[i] += n;
+            }
+        }
+        out
+    }
+
+    /// Fold every shard's engine and telemetry profiler into `prof`.
+    pub fn absorb_profilers(&self, prof: &mut Profiler) {
+        for s in &self.shards {
+            prof.absorb(s.profiler());
+            prof.absorb(&s.telemetry().profiler);
+        }
+    }
+
+    /// A host's transport state (from its owning shard, where it ran).
+    pub fn host(&self, h: HostId) -> &DcHost {
+        let owner = self.map.owner_host(h) as usize;
+        &self.shards[owner].eng.model.hosts[h.ix()]
+    }
+
+    /// PFC pause frames sent by one switch port (owner shard's view).
+    pub fn pause_frames_at(&self, sw: SwitchId, port: u8) -> u64 {
+        let owner = self.map.owner_switch(sw) as usize;
+        self.shards[owner].fabric().pause_frames_at(sw, port)
+    }
+
+    /// The fabric configuration (identical in every shard).
+    pub fn cfg(&self) -> &fncc_net::config::FabricConfig {
+        &self.shards[0].fabric().cfg
+    }
+
+    /// The topology (identical in every shard).
+    pub fn topo(&self) -> &Topology {
+        &self.shards[0].topo
+    }
+
+    /// Advance every shard to `horizon` in barrier epochs of one
+    /// lookahead each.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        if !self.map.is_sharded() {
+            self.shards[0].run_until(horizon);
+            return;
+        }
+        self.run_epochs(horizon);
+    }
+
+    /// Mirror of [`Sim::run_to_completion`]: run in `chunk` steps until
+    /// every distinct flow that has started finished, or `cap` is
+    /// reached. The stop test aggregates per-shard counts, discounting
+    /// the receiver-side records pre-registered for cross-shard flows, so
+    /// it fires at exactly the chunk boundary the single-engine run stops
+    /// at.
+    pub fn run_to_completion(&mut self, chunk: TimeDelta, cap: SimTime) -> bool {
+        if !self.map.is_sharded() {
+            return self.shards[0].run_to_completion(chunk, cap);
+        }
+        let mut t = self.now();
+        loop {
+            let started: usize = self
+                .shards
+                .iter()
+                .map(|s| s.telemetry().flow_count())
+                .sum::<usize>()
+                - self.cross_dst_records;
+            let finished: usize = self
+                .shards
+                .iter()
+                .map(|s| s.telemetry().flows_finished_count())
+                .sum();
+            if started > 0 && finished == started {
+                return true;
+            }
+            if t >= cap {
+                return finished == started;
+            }
+            t = (t + chunk).min(cap);
+            self.run_epochs(t);
+        }
+    }
+
+    /// The conservative epoch loop: between the current time and
+    /// `horizon`, run all shards in lock-step windows of one lookahead.
+    /// Each epoch a worker (1) injects its shards' pending mailbox
+    /// frames, (2) runs to one picosecond *before* the epoch end (a frame
+    /// can arrive exactly at the boundary, so the boundary instant
+    /// belongs to the next epoch), (3) flushes outboxes into the
+    /// receivers' mailboxes, and (4) waits at the barrier. A final
+    /// inclusive pass processes the boundary instant `horizon` itself,
+    /// mirroring the single engine's `run_until(horizon)` semantics.
+    fn run_epochs(&mut self, horizon: SimTime) {
+        let t0 = self.now();
+        let la = self.map.lookahead;
+        debug_assert!(!la.is_zero(), "sharded run without positive lookahead");
+        let n_workers = self.threads;
+        let barrier = Barrier::new(n_workers);
+        let inboxes = &self.inboxes;
+        let cross = &self.cross_frames;
+        let violations = &self.violations;
+
+        // Hand each worker its shards (disjoint &mut borrows).
+        let assign = self.assign.clone();
+        let mut groups: Vec<Vec<(usize, &mut Sim)>> = (0..n_workers).map(|_| Vec::new()).collect();
+        for (ix, sim) in self.shards.iter_mut().enumerate() {
+            groups[assign[ix]].push((ix, sim));
+        }
+
+        let ps = TimeDelta::from_ps(1);
+        std::thread::scope(|scope| {
+            for mut group in groups {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let inject = |group: &mut Vec<(usize, &mut Sim)>| {
+                        for (ix, sim) in group.iter_mut() {
+                            let frames = std::mem::take(&mut *inboxes[*ix].lock().unwrap());
+                            for f in frames {
+                                if f.time < sim.eng.now() {
+                                    violations.fetch_add(1, Ordering::Relaxed);
+                                }
+                                sim.eng.inject(f.time, f.prio, f.seq, f.ev);
+                            }
+                        }
+                    };
+                    let flush = |group: &mut Vec<(usize, &mut Sim)>| {
+                        for (_, sim) in group.iter_mut() {
+                            let outbox = sim.eng.outbox_mut();
+                            if outbox.is_empty() {
+                                continue;
+                            }
+                            cross.fetch_add(outbox.len() as u64, Ordering::Relaxed);
+                            for ob in outbox.drain(..) {
+                                inboxes[ob.dst as usize].lock().unwrap().push(ob);
+                            }
+                        }
+                    };
+                    let mut t = t0;
+                    while t < horizon {
+                        let end = (t + la).min(horizon);
+                        inject(&mut group);
+                        // Without this barrier a fast worker could flush
+                        // its outbox into a peer's mailbox *before* the
+                        // peer's inject ran, delivering frames one epoch
+                        // early. Harmless for results (frames carry
+                        // absolute keys and cannot fire early) but it
+                        // makes queue-occupancy diagnostics race- and
+                        // thread-dependent; the barrier keeps every
+                        // scalar byte-identical across thread counts.
+                        barrier.wait();
+                        for (_, sim) in group.iter_mut() {
+                            sim.run_until(end - ps);
+                        }
+                        flush(&mut group);
+                        barrier.wait();
+                        t = end;
+                    }
+                    // Inclusive pass over the boundary instant.
+                    inject(&mut group);
+                    barrier.wait();
+                    for (_, sim) in group.iter_mut() {
+                        sim.run_until(horizon);
+                    }
+                    flush(&mut group);
+                    barrier.wait();
+                });
+            }
+        });
+
+        // Epoch count: the while-loop syncs plus the final inclusive pass.
+        let span = horizon.since(t0).as_ps();
+        let la_ps = la.as_ps();
+        self.epochs += span.div_ceil(la_ps) + 1;
+    }
+
+    /// Merge per-shard telemetry into one network-wide view (call once,
+    /// after the run). Counters sum, histograms absorb exactly, watch
+    /// lists concatenate in shard order, flow records merge per id with
+    /// the receiver's finished record winning, and per-shard trace sinks
+    /// interleave deterministically by `(timestamp, shard)`.
+    pub fn harvest(&mut self) -> &Telemetry {
+        if self.merged.is_none() {
+            let sinks: Vec<&TraceSink> = self.shards.iter().map(|s| &s.telemetry().trace).collect();
+            let trace = TraceSink::merged(&sinks);
+            let mut iter = self
+                .shards
+                .iter_mut()
+                .map(|s| std::mem::take(&mut s.eng.model.telemetry));
+            let mut merged = iter.next().expect("at least one shard");
+            for t in iter {
+                merged.merge_shard(t);
+            }
+            merged.trace = trace;
+            self.merged = Some(merged);
+        }
+        self.merged.as_ref().unwrap()
+    }
+
+    /// The merged telemetry (panics before [`ShardedSim::harvest`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.merged
+            .as_ref()
+            .expect("ShardedSim::harvest must run before telemetry()")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimBuilder;
+    use fncc_cc::CcKind;
+    use fncc_net::ids::FlowId;
+    use fncc_net::units::Bandwidth;
+    use fncc_transport::FlowSpec;
+
+    fn ft4() -> Topology {
+        Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500))
+    }
+
+    /// Cross-pod incast (pods 1..4 → host 0) plus one intra-pod flow.
+    fn flows() -> Vec<FlowSpec> {
+        let mut out = Vec::new();
+        for (i, src) in [4u32, 8, 12, 1].into_iter().enumerate() {
+            out.push(FlowSpec {
+                id: FlowId(i as u32),
+                src: HostId(src),
+                dst: HostId(0),
+                size: 60_000,
+                start: SimTime::from_us(i as u64),
+            });
+        }
+        out
+    }
+
+    fn build(shard: Option<(Arc<PartitionMap>, u16)>) -> Sim {
+        let mut b = SimBuilder::new(ft4(), CcKind::Fncc).flows(flows());
+        if let Some((m, s)) = shard {
+            b = b.shard(m, s);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sharded_run_matches_single_engine() {
+        let mut legacy = build(None);
+        let done = legacy.run_to_completion(TimeDelta::from_ms(1), SimTime::from_ms(50));
+        assert!(done);
+
+        for threads in [1usize, 2, 4] {
+            let mut sharded = ShardedSim::new(&ft4(), threads, |m, s| build(Some((m, s))));
+            assert_eq!(sharded.partition().n_shards, 4);
+            let done = sharded.run_to_completion(TimeDelta::from_ms(1), SimTime::from_ms(50));
+            assert!(done, "threads={threads}");
+            assert_eq!(
+                sharded.events_processed(),
+                legacy.events_processed(),
+                "event totals diverged at threads={threads}"
+            );
+            let stats = sharded.stats();
+            assert_eq!(stats.causality_violations, 0);
+            assert!(stats.cross_shard_frames > 0);
+            sharded.harvest();
+            let (lt, st) = (legacy.telemetry(), sharded.telemetry());
+            assert_eq!(lt.counters.data_delivered, st.counters.data_delivered);
+            assert_eq!(lt.counters.acks_delivered, st.counters.acks_delivered);
+            assert_eq!(lt.counters.ecn_marks, st.counters.ecn_marks);
+            for f in flows() {
+                let a = lt.flow_record(f.id).unwrap();
+                let b = st.flow_record(f.id).unwrap();
+                assert_eq!(a.start, b.start, "flow {:?} start", f.id);
+                assert_eq!(a.finish, b.finish, "flow {:?} finish", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn non_fat_tree_falls_back_to_single_shard() {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let mk = |m: Arc<PartitionMap>, s: u16| {
+            SimBuilder::new(topo.clone(), CcKind::Fncc)
+                .flows(vec![FlowSpec {
+                    id: FlowId(0),
+                    src: HostId(0),
+                    dst: HostId(2),
+                    size: 100_000,
+                    start: SimTime::ZERO,
+                }])
+                .shard(m, s)
+                .build()
+        };
+        let mut sharded = ShardedSim::new(&topo, 4, mk);
+        assert_eq!(sharded.partition().n_shards, 1);
+        let done = sharded.run_to_completion(TimeDelta::from_ms(1), SimTime::from_ms(20));
+        assert!(done);
+        let stats = sharded.stats();
+        assert_eq!(stats.shards, 1);
+        assert_eq!(stats.fallback, Some(1));
+        assert_eq!(stats.epochs, 0);
+        assert_eq!(stats.cross_shard_frames, 0);
+    }
+}

@@ -4,12 +4,14 @@ use fncc_cc::{CcAlgo, CcKind};
 use fncc_des::engine::{Engine, RunOutcome};
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_net::config::FabricConfig;
-use fncc_net::fabric::{Ev, Fabric};
+use fncc_net::fabric::{Ev, Fabric, ShardCtx};
 use fncc_net::ids::{FlowId, HostId, SwitchId};
-use fncc_net::telemetry::Telemetry;
+use fncc_net::partition::PartitionMap;
+use fncc_net::telemetry::{FlowRecord, Telemetry};
 use fncc_net::topology::Topology;
 use fncc_obs::{Profiler, TraceSink};
 use fncc_transport::{DcHost, FlowSpec, HostTimer, RecoveryConfig, TransportConfig};
+use std::sync::Arc;
 
 // Scheme wiring moved down into `fncc-transport` so the hybrid backend can
 // build packet hosts without this crate; re-exported here for
@@ -30,6 +32,7 @@ pub struct SimBuilder {
     watch_cc_rates: Vec<(FlowId, HostId, String)>,
     trace: bool,
     recovery: Option<RecoveryConfig>,
+    shard: Option<(Arc<PartitionMap>, u16)>,
 }
 
 impl SimBuilder {
@@ -54,6 +57,7 @@ impl SimBuilder {
             watch_cc_rates: Vec::new(),
             trace: false,
             recovery: None,
+            shard: None,
         }
     }
 
@@ -75,6 +79,7 @@ impl SimBuilder {
             watch_cc_rates: Vec::new(),
             trace: false,
             recovery: None,
+            shard: None,
         }
     }
 
@@ -142,6 +147,19 @@ impl SimBuilder {
         self
     }
 
+    /// Build this sim as shard `my` of a sharded run (see
+    /// `crate::sharded::ShardedSim`). The shard is a full fabric replica —
+    /// every switch and host is allocated so ids stay global — but only
+    /// events for entities `map` assigns to `my` are scheduled or
+    /// processed here: flows, flow-start timers, watches and fault events
+    /// are filtered by ownership, every schedule is tagged with its owning
+    /// shard's ordering domain, and frames leaving the shard go to the
+    /// engine outbox instead of the local queue.
+    pub fn shard(mut self, map: Arc<PartitionMap>, my: u16) -> Self {
+        self.shard = Some((map, my));
+        self
+    }
+
     /// Finalize into a runnable [`Sim`].
     pub fn build(self) -> Sim {
         let kind = self.cc.kind();
@@ -151,19 +169,58 @@ impl SimBuilder {
             .map(|_| DcHost::new(tcfg.clone()))
             .collect();
         let mut fabric = Fabric::new(&self.topo, self.fabric, hosts);
+        let shard = self.shard;
+        if let Some((map, my)) = &shard {
+            fabric.shard = Some(ShardCtx::new(map.clone(), *my));
+        }
+        // Event-ordering domains: tag every schedule with the owning shard
+        // of the node performing it, on every partitionable topology — in
+        // single-engine runs too, so ties at identical `(time, prio)` break
+        // the same way at any thread count and reports stay byte-identical.
+        // Unpartitionable topologies keep domain 0 everywhere (plain
+        // schedule order, exactly the pre-sharding behaviour).
+        fabric.domains = match &shard {
+            Some((map, _)) => map.is_sharded().then(|| map.clone()),
+            None => {
+                let map = PartitionMap::for_topology(&self.topo);
+                map.is_sharded().then(|| Arc::new(map))
+            }
+        };
+        let owns_host = |h: HostId| shard.as_ref().is_none_or(|(m, my)| m.owner_host(h) == *my);
+        let owns_switch = |s: SwitchId| {
+            shard
+                .as_ref()
+                .is_none_or(|(m, my)| m.owner_switch(s) == *my)
+        };
 
         for (sw, port, name) in self.watch_queues {
-            fabric.telemetry.watch_queue(sw, port, name);
+            if owns_switch(sw) {
+                fabric.telemetry.watch_queue(sw, port, name);
+            }
         }
         for (sw, port, name) in self.watch_utils {
-            let bw = fabric.switches[sw.ix()].ports[port as usize].bw;
-            fabric.telemetry.watch_utilization(sw, port, bw, name);
+            if owns_switch(sw) {
+                let bw = fabric.switches[sw.ix()].ports[port as usize].bw;
+                fabric.telemetry.watch_utilization(sw, port, bw, name);
+            }
         }
         for (flow, name) in self.watch_flows {
-            fabric.telemetry.watch_flow_rate(flow, name);
+            // Flow-rate watches sample sender-side tx bytes, so they live
+            // in the sender's shard (unknown flows default to shard 0).
+            let src = self.flows.iter().find(|f| f.id == flow).map(|f| f.src);
+            let owned = match (&shard, src) {
+                (None, _) => true,
+                (Some((m, my)), Some(src)) => m.owner_host(src) == *my,
+                (Some((_, my)), None) => *my == 0,
+            };
+            if owned {
+                fabric.telemetry.watch_flow_rate(flow, name);
+            }
         }
         for (flow, host, name) in self.watch_cc_rates {
-            fabric.telemetry.watch_cc_rate(flow, host, name);
+            if owns_host(host) {
+                fabric.telemetry.watch_cc_rate(flow, host, name);
+            }
         }
         if let Some((every, until)) = self.sampling {
             fabric.telemetry.enable_sampling(every, until);
@@ -173,22 +230,55 @@ impl SimBuilder {
         }
 
         for f in &self.flows {
-            fabric.hosts[f.src.ix()].add_flow(f.clone());
+            if owns_host(f.src) {
+                fabric.hosts[f.src.ix()].add_flow(f.clone());
+            }
+        }
+        // Receiver-side records for flows whose sender lives elsewhere:
+        // the receiving shard observes the finish (last payload byte) but
+        // never sees the sender's start, so the record is opened here with
+        // the spec's start time — which is exactly when the sender's
+        // FlowStart timer fires.
+        if let Some((map, my)) = &shard {
+            for f in &self.flows {
+                if map.owner_host(f.dst) == *my && map.owner_host(f.src) != *my {
+                    fabric.telemetry.flow_started(FlowRecord {
+                        flow: f.id,
+                        src: f.src,
+                        dst: f.dst,
+                        size: f.size,
+                        start: f.start,
+                        finish: None,
+                    });
+                }
+            }
         }
 
         let mut eng = Engine::new(fabric);
+        // Startup events carry their per-item ordering domain, exactly as
+        // the dispatch loop will tag their follow-ups — a shard replica
+        // schedules its (filtered) subset in the same relative order as the
+        // single engine schedules the full list, so startup ties break
+        // identically in both executions.
         for (t, ev) in eng.model.startup_events() {
-            eng.schedule(t, ev);
+            if owned_startup_event(&shard, &eng.model, &ev) {
+                let d = eng.model.event_domain(&ev);
+                eng.set_domain(d);
+                eng.schedule(t, ev);
+            }
         }
         for f in &self.flows {
-            eng.schedule(
-                f.start,
-                Ev::HostTimer {
+            if owns_host(f.src) {
+                let ev = Ev::HostTimer {
                     host: f.src,
                     timer: HostTimer::FlowStart(f.id),
-                },
-            );
+                };
+                let d = eng.model.event_domain(&ev);
+                eng.set_domain(d);
+                eng.schedule(f.start, ev);
+            }
         }
+        eng.set_domain(0);
         Sim {
             eng,
             topo: self.topo,
@@ -197,9 +287,31 @@ impl SimBuilder {
     }
 }
 
+/// Whether a startup event belongs on this shard. Periodic ticks run as
+/// replicas on every shard (keeping per-switch timers in phase without
+/// cross-shard traffic); port faults fire only on the owner of the faulted
+/// node; link-fault boundaries fire on the owner of either endpoint (each
+/// side tears down / restores its own direction).
+fn owned_startup_event(
+    shard: &Option<(Arc<PartitionMap>, u16)>,
+    fabric: &Fabric<DcHost>,
+    ev: &Ev<HostTimer>,
+) -> bool {
+    let Some((map, my)) = shard else { return true };
+    match ev {
+        Ev::FaultPause { ix } => map.owner_of(fabric.cfg.faults[*ix].node) == *my,
+        Ev::LinkFaultStart { ix } | Ev::LinkFaultEnd { ix } => {
+            let spec = &fabric.cfg.link_faults[*ix];
+            let peer = fabric.switches[spec.switch.ix()].ports[spec.port as usize].peer;
+            map.owner_switch(spec.switch) == *my || map.owner_of(peer) == *my
+        }
+        _ => true,
+    }
+}
+
 /// A runnable simulation with its topology kept for analysis.
 pub struct Sim {
-    eng: Engine<Fabric<DcHost>>,
+    pub(crate) eng: Engine<Fabric<DcHost>>,
     /// The network description (path tracing, ideal FCT).
     pub topo: Topology,
     /// The CC scheme in effect.

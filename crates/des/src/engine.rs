@@ -6,8 +6,8 @@
 //! events through the [`Scheduler`] handle passed to every callback; the
 //! engine drains those into the queue after each dispatch.
 //!
-//! Two event-queue implementations share identical `(time, seq)` dispatch
-//! semantics (see [`QueueKind`]): the default hierarchical timing wheel
+//! Two event-queue implementations share identical `(time, prio, seq)`
+//! dispatch semantics (see [`QueueKind`]): the default hierarchical timing wheel
 //! (O(1) amortized push/pop — see [`crate::wheel`]) and the classic
 //! `BinaryHeap`, kept as the reference oracle for equivalence tests and
 //! benchmarks. Select with [`Engine::with_queue`] or the `FNCC_DES_SCHED`
@@ -29,10 +29,20 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// Destination tag meaning "this engine's own queue" (the only destination
+/// outside the sharded runtime). Anything else names a shard whose mailbox
+/// the event is bound for — see [`Scheduler::remote`].
+pub const LOCAL_SHARD: u16 = u16::MAX;
+
 /// Handle through which a model schedules future events during a callback.
 pub struct Scheduler<E> {
     now: SimTime,
-    pending: Vec<(SimTime, E)>,
+    /// `(fire time, destination shard, ordering domain, event)`.
+    pending: Vec<(SimTime, u16, u16, E)>,
+    /// Ordering domain stamped onto every schedule until changed (see
+    /// [`Scheduler::set_domain`]). 0 unless a model opts into domain
+    /// tagging.
+    domain: u16,
     clamped: u64,
 }
 
@@ -41,6 +51,29 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Set the ordering domain stamped onto subsequently scheduled events.
+    ///
+    /// Same-`(time, prio)` ties dispatch in `(domain, schedule order)`
+    /// order: the domain occupies the sequence number's high bits (see
+    /// [`SEQ_SHARD_SHIFT`]), so events from a lower domain win ties
+    /// regardless of which engine scheduled them or when. A model that tags
+    /// every schedule with a domain that is (a) a pure function of the
+    /// event being handled and (b) aligned with the shard partition makes
+    /// its tie-breaking identical between the single-engine and sharded
+    /// executions — the per-domain schedule subsequence is the same in
+    /// both, even though the global interleaving is not. Models that never
+    /// call this keep every event in domain 0, i.e. plain schedule order.
+    #[inline]
+    pub fn set_domain(&mut self, d: u16) {
+        self.domain = d;
+    }
+
+    /// The ordering domain currently stamped onto schedules.
+    #[inline]
+    pub fn domain(&self) -> u16 {
+        self.domain
     }
 
     /// Schedule `ev` at absolute time `t`. Scheduling in the past is a logic
@@ -57,20 +90,34 @@ impl<E> Scheduler<E> {
         if t < self.now {
             self.clamped += 1;
         }
-        self.pending.push((t.max(self.now), ev));
+        self.pending
+            .push((t.max(self.now), LOCAL_SHARD, self.domain, ev));
     }
 
     /// Schedule `ev` after a delay of `d` from now.
     #[inline]
     pub fn after(&mut self, d: TimeDelta, ev: E) {
-        self.pending.push((self.now + d, ev));
+        self.pending
+            .push((self.now + d, LOCAL_SHARD, self.domain, ev));
     }
 
     /// Schedule `ev` immediately (same timestamp, FIFO after the current
     /// event's earlier insertions).
     #[inline]
     pub fn immediate(&mut self, ev: E) {
-        self.pending.push((self.now, ev));
+        self.pending.push((self.now, LOCAL_SHARD, self.domain, ev));
+    }
+
+    /// Schedule `ev` after `d` *in another shard's engine*. The event is
+    /// routed to the engine's [outbox](Engine::outbox_mut) instead of the
+    /// local queue, consuming a sequence number exactly as a local schedule
+    /// would — so the `(prio, seq)` it carries is the position the sending
+    /// shard's domain order assigns it. Only the sharded fabric calls this;
+    /// `dst` must not be [`LOCAL_SHARD`].
+    #[inline]
+    pub fn remote(&mut self, d: TimeDelta, dst: u16, ev: E) {
+        debug_assert_ne!(dst, LOCAL_SHARD);
+        self.pending.push((self.now + d, dst, self.domain, ev));
     }
 
     /// Number of events queued by the current callback so far.
@@ -81,7 +128,8 @@ impl<E> Scheduler<E> {
 }
 
 /// Which event-queue implementation an [`Engine`] dispatches from. Both are
-/// exactly `(time, seq)`-ordered, so runs are bit-identical across kinds.
+/// exactly `(time, prio, seq)`-ordered, so runs are bit-identical across
+/// kinds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum QueueKind {
     /// Hierarchical timing wheel (default; O(1) amortized).
@@ -116,10 +164,15 @@ impl<E> EventQueue<E> {
     }
 
     #[inline]
-    fn push(&mut self, time: SimTime, seq: u64, ev: E) {
+    fn push(&mut self, time: SimTime, prio: SimTime, seq: u64, ev: E) {
         match self {
-            EventQueue::Wheel(w) => w.push(time, seq, ev),
-            EventQueue::Heap(h) => h.push(Entry { time, seq, ev }),
+            EventQueue::Wheel(w) => w.push(time, prio, seq, ev),
+            EventQueue::Heap(h) => h.push(Entry {
+                time,
+                prio,
+                seq,
+                ev,
+            }),
         }
     }
 
@@ -179,6 +232,31 @@ struct Progress {
 /// How often (in events) the progress-enabled loop checks the wall clock.
 const PROGRESS_EVERY: u64 = 1 << 18;
 
+/// Domain width inside a sequence number: every assigned sequence is
+/// `(domain << SEQ_SHARD_SHIFT) | counter`, so same-`(time, prio)` ties
+/// dispatch domain-major and only fall back to the engine-local schedule
+/// counter within a domain (2^48 schedules per engine before the counter
+/// could bleed into the domain bits — far beyond any run). See
+/// [`Scheduler::set_domain`] for why this makes sharded and single-engine
+/// executions tie-break identically.
+pub const SEQ_SHARD_SHIFT: u32 = 48;
+
+/// An event bound for another shard, drained from a sharded engine's
+/// outbox at epoch boundaries and [injected](Engine::inject) into the
+/// destination engine with its source-shard `(prio, seq)` intact.
+pub struct Outbound<E> {
+    /// Destination shard id.
+    pub dst: u16,
+    /// Absolute time the event fires at.
+    pub time: SimTime,
+    /// Simulation time it was scheduled at in the source shard.
+    pub prio: SimTime,
+    /// The source engine's sequence number it consumed.
+    pub seq: u64,
+    /// The event payload.
+    pub ev: E,
+}
+
 /// The discrete-event engine driving a [`Model`].
 pub struct Engine<M: Model> {
     queue: EventQueue<M::Event>,
@@ -196,6 +274,8 @@ pub struct Engine<M: Model> {
     ph_dispatch: PhaseId,
     /// Heartbeat line for long runs; `Some` iff `FNCC_PROGRESS` is set.
     progress: Option<Progress>,
+    /// Events scheduled via [`Scheduler::remote`], awaiting epoch exchange.
+    outbox: Vec<Outbound<M::Event>>,
     /// The model being simulated; public so callers can inspect/mutate state
     /// between phases (e.g. inject flows, read metrics).
     pub model: M,
@@ -226,6 +306,7 @@ impl<M: Model> Engine<M> {
             sched: Scheduler {
                 now: SimTime::ZERO,
                 pending: Vec::with_capacity(16),
+                domain: 0,
                 clamped: 0,
             },
             time: SimTime::ZERO,
@@ -238,8 +319,36 @@ impl<M: Model> Engine<M> {
             ph_pop,
             ph_dispatch,
             progress,
+            outbox: Vec::new(),
             model,
         }
+    }
+
+    /// Set the ordering domain stamped onto events scheduled from outside a
+    /// model callback (see [`Scheduler::set_domain`]; [`Engine::schedule`]
+    /// uses it). Models change the in-callback domain through the
+    /// [`Scheduler`] handle they are passed.
+    pub fn set_domain(&mut self, d: u16) {
+        self.sched.domain = d;
+    }
+
+    /// The outbox of cross-shard events emitted since it was last drained.
+    /// The sharded coordinator empties it at every epoch barrier.
+    pub fn outbox_mut(&mut self) -> &mut Vec<Outbound<M::Event>> {
+        &mut self.outbox
+    }
+
+    /// Inject a cross-shard event with the `(prio, seq)` its source shard
+    /// assigned, placing it exactly where the global single-engine order
+    /// would have. `time` must not lie in this engine's past.
+    pub fn inject(&mut self, time: SimTime, prio: SimTime, seq: u64, ev: M::Event) {
+        debug_assert!(
+            time >= self.time,
+            "cross-shard event in the past: {time} < {}",
+            self.time
+        );
+        self.queue.push(time, prio, seq, ev);
+        self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
     }
 
     /// Cap the total number of events processed (safety backstop for tests).
@@ -290,8 +399,9 @@ impl<M: Model> Engine<M> {
         if t < self.time {
             self.clamped_schedules += 1;
         }
-        self.queue.push(t.max(self.time), self.seq, ev);
+        let seq = ((self.sched.domain as u64) << SEQ_SHARD_SHIFT) | self.seq;
         self.seq += 1;
+        self.queue.push(t.max(self.time), self.time, seq, ev);
         self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
     }
 
@@ -310,9 +420,20 @@ impl<M: Model> Engine<M> {
         self.model.handle(entry.time, entry.ev, &mut self.sched);
         self.profiler.end(self.ph_dispatch, t1);
         self.events_processed += 1;
-        for (t, ev) in self.sched.pending.drain(..) {
-            self.queue.push(t, self.seq, ev);
+        for (t, dst, domain, ev) in self.sched.pending.drain(..) {
+            let seq = ((domain as u64) << SEQ_SHARD_SHIFT) | self.seq;
             self.seq += 1;
+            if dst == LOCAL_SHARD {
+                self.queue.push(t, self.time, seq, ev);
+            } else {
+                self.outbox.push(Outbound {
+                    dst,
+                    time: t,
+                    prio: self.time,
+                    seq,
+                    ev,
+                });
+            }
         }
         self.clamped_schedules += self.sched.clamped;
         self.sched.clamped = 0;

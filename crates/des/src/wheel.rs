@@ -37,17 +37,27 @@ const LEVELS: usize = 4;
 /// Occupancy bitmap words per level.
 const WORDS: usize = SLOTS / 64;
 
-/// A queued event: absolute time, global insertion sequence, payload.
-/// Ordered so that a max-`BinaryHeap` pops the smallest `(time, seq)`.
+/// A queued event: absolute time, schedule-time priority, insertion
+/// sequence, payload. Ordered so that a max-`BinaryHeap` pops the smallest
+/// `(time, prio, seq)`.
+///
+/// `prio` is the simulation time at which the event was *scheduled*. For a
+/// single engine this refinement is an identity: sequence numbers are
+/// assigned in dispatch order and dispatch time is monotone, so `seq` order
+/// already implies non-decreasing schedule time. It exists for the sharded
+/// runtime, where a frame crossing shards keeps the `(prio, seq)` it was
+/// assigned in its *source* shard — reproducing the position the global
+/// single-engine order would have given it.
 pub(crate) struct Entry<E> {
     pub time: SimTime,
+    pub prio: SimTime,
     pub seq: u64,
     pub ev: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.prio == other.prio && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -57,9 +67,10 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 impl<E> Ord for Entry<E> {
-    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
+    // Reversed: BinaryHeap is a max-heap, we want the earliest
+    // (time, prio, seq) first.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.prio, other.seq).cmp(&(self.time, self.prio, self.seq))
     }
 }
 
@@ -147,9 +158,14 @@ impl<E> TimingWheel<E> {
     /// (the engine clamps); times at or before the cursor's slot are legal
     /// (the cursor may have advanced ahead of dispatch during a peek) and
     /// land in the ready heap, which restores exact order.
-    pub fn push(&mut self, time: SimTime, seq: u64, ev: E) {
+    pub fn push(&mut self, time: SimTime, prio: SimTime, seq: u64, ev: E) {
         self.len += 1;
-        self.place(Entry { time, seq, ev });
+        self.place(Entry {
+            time,
+            prio,
+            seq,
+            ev,
+        });
     }
 
     /// Insert an entry without touching `len` (shared by push/cascade).
@@ -291,7 +307,7 @@ mod tests {
             7,
         ];
         for (i, &t) in times.iter().enumerate() {
-            w.push(SimTime::from_ps(t), i as u64, i as u32);
+            w.push(SimTime::from_ps(t), SimTime::ZERO, i as u64, i as u32);
         }
         assert_eq!(w.len(), times.len());
         let got = drain_order(&mut w);
@@ -309,7 +325,7 @@ mod tests {
     fn ties_pop_in_sequence_order() {
         let mut w = TimingWheel::new();
         for i in 0..100u32 {
-            w.push(SimTime::from_ps(42), i as u64, i);
+            w.push(SimTime::from_ps(42), SimTime::ZERO, i as u64, i);
         }
         let got = drain_order(&mut w);
         assert_eq!(got, (0..100).map(|i| (42, i)).collect::<Vec<_>>());
@@ -322,9 +338,9 @@ mod tests {
         // route the later one through level 1 and still dispatch in order.
         let mut w = TimingWheel::new();
         let group = (SLOTS as u64) << SLOT_SHIFT;
-        w.push(SimTime::from_ps(group - 10), 0, 0);
-        w.push(SimTime::from_ps(group + 10), 1, 1);
-        w.push(SimTime::from_ps(group * 256 + 5), 2, 2); // level-1 group boundary
+        w.push(SimTime::from_ps(group - 10), SimTime::ZERO, 0, 0);
+        w.push(SimTime::from_ps(group + 10), SimTime::ZERO, 1, 1);
+        w.push(SimTime::from_ps(group * 256 + 5), SimTime::ZERO, 2, 2); // level-1 group boundary
         let got = drain_order(&mut w);
         assert_eq!(
             got,
@@ -335,12 +351,12 @@ mod tests {
     #[test]
     fn push_behind_cursor_lands_in_ready() {
         let mut w = TimingWheel::new();
-        w.push(SimTime::from_us(100), 0, 0);
+        w.push(SimTime::from_us(100), SimTime::ZERO, 0, 0);
         // Peek advances the cursor to the 100 µs slot…
         assert_eq!(w.peek_time(), Some(SimTime::from_us(100)));
         // …then an earlier event arrives (legal: a horizon-parked engine
         // schedules between `now` and the next event).
-        w.push(SimTime::from_us(50), 1, 1);
+        w.push(SimTime::from_us(50), SimTime::ZERO, 1, 1);
         let got = drain_order(&mut w);
         assert_eq!(got, vec![(50_000_000, 1), (100_000_000, 0)]);
     }
@@ -350,7 +366,7 @@ mod tests {
         let mut w = TimingWheel::new();
         let mut seq = 0u64;
         let mut push = |w: &mut TimingWheel<u32>, t: u64, tag: u32| {
-            w.push(SimTime::from_ns(t), seq, tag);
+            w.push(SimTime::from_ns(t), SimTime::ZERO, seq, tag);
             seq += 1;
         };
         push(&mut w, 10, 0);
@@ -370,9 +386,9 @@ mod tests {
     fn overflow_migrates_as_the_clock_approaches() {
         let mut w = TimingWheel::new();
         let window = 1u64 << (SLOT_SHIFT + SLOT_BITS * LEVELS as u32);
-        w.push(SimTime::from_ps(window + 100), 0, 0);
-        w.push(SimTime::from_ps(window + 200), 1, 1);
-        w.push(SimTime::from_ps(3), 2, 2);
+        w.push(SimTime::from_ps(window + 100), SimTime::ZERO, 0, 0);
+        w.push(SimTime::from_ps(window + 200), SimTime::ZERO, 1, 1);
+        w.push(SimTime::from_ps(3), SimTime::ZERO, 2, 2);
         assert_eq!(w.pop().unwrap().ev, 2);
         assert_eq!(w.pop().unwrap().ev, 0);
         assert_eq!(w.pop().unwrap().ev, 1);

@@ -6,6 +6,9 @@
 //! the engine's perf trajectory is recorded run over run. `--quick`
 //! shrinks to the CI smoke point; `--full` adds the binary-heap reference
 //! scheduler for a wheel-vs-heap comparison on identical work.
+//! `--threads N` appends a core-scaling series: the headline point on the
+//! sharded runtime at 1, 2, 4, … up to N workers (reports byte-identical
+//! at every width, so the series isolates pure synchronization cost).
 //!
 //! `bench-hybrid` sweeps the co-simulation backend over growing
 //! *background* flow populations (a fixed packet-fidelity foreground of
@@ -31,6 +34,8 @@ struct Point {
     name: String,
     scheduler: &'static str,
     flows: u32,
+    /// Sharded-runtime worker count (0 = legacy single-engine path).
+    threads: u32,
     events: u64,
     wall_s: f64,
     events_per_sec: f64,
@@ -71,6 +76,7 @@ fn measure(sc: &Scenario, scheduler: &'static str) -> Point {
         name: sc.name.clone(),
         scheduler,
         flows,
+        threads: sc.threads,
         events: report.events,
         wall_s: wall,
         events_per_sec: report.events as f64 / wall.max(1e-9),
@@ -121,6 +127,38 @@ pub fn bench_des(opts: &RunOpts) {
         }
     }
 
+    // Core-scaling series (`--threads N`): the headline point re-run on
+    // the sharded runtime at 1, 2, 4, … workers up to N. The threads=1
+    // sharded run doubles as the overhead baseline against the legacy
+    // measurement of the same point (identical reports, so events match).
+    if let Some(max_t) = opts.sim_threads {
+        let base = points.last().expect("bench-des has at least one point");
+        let mut ladder: Vec<u32> = [1u32, 2, 4, 8, 16]
+            .into_iter()
+            .filter(|&t| t < max_t.max(1))
+            .collect();
+        ladder.push(max_t.max(1));
+        let mut one_thread_eps = None;
+        for t in ladder {
+            let mut sc = base.clone();
+            sc.name = format!("{}-t{t}", base.name);
+            sc.threads = t;
+            let p = measure(&sc, "wheel");
+            let speedup = one_thread_eps.map(|base: f64| p.events_per_sec / base);
+            one_thread_eps.get_or_insert(p.events_per_sec);
+            println!(
+                "[bench-des] {} [wheel, {t} threads]: {} events in {:.1}s = \
+                 {:.2}M events/s{}",
+                p.name,
+                p.events,
+                p.wall_s,
+                p.events_per_sec / 1e6,
+                speedup.map_or(String::new(), |s| format!(" ({s:.2}x vs 1 thread)")),
+            );
+            measured.push(p);
+        }
+    }
+
     // Flight-recorder cost check: re-run the first point with the trace
     // sink armed and record the throughput delta against the untraced
     // measurement of the same point, so the recorder's price is tracked
@@ -157,6 +195,7 @@ pub fn bench_des(opts: &RunOpts) {
                             ("name", Json::Str(p.name.clone())),
                             ("scheduler", Json::Str(p.scheduler.into())),
                             ("flows", Json::Num(p.flows as f64)),
+                            ("threads", Json::Num(p.threads as f64)),
                             ("events", num_u64(p.events)),
                             ("wall_s", Json::Num(p.wall_s)),
                             ("events_per_sec", Json::Num(p.events_per_sec)),

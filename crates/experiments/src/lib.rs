@@ -61,6 +61,12 @@ pub struct RunOpts {
     pub scale: Scale,
     /// Worker threads for multi-run experiments.
     pub threads: usize,
+    /// Explicit `--threads` value, when given. `run` forwards it to the
+    /// packet backend's sharded DES runtime (`Scenario::threads`), and
+    /// `bench-des` adds a core-scaling series at this worker count.
+    /// `None` (no flag) keeps every scenario on the legacy single-engine
+    /// path.
+    pub sim_threads: Option<u32>,
     /// Override the number of seeds for Figs. 14/15.
     pub seeds: Option<u32>,
     /// Override the flows-per-seed for Figs. 14/15.
@@ -92,6 +98,7 @@ impl Default for RunOpts {
             out: PathBuf::from("results"),
             scale: Scale::Default,
             threads: fncc_core::sweep::default_threads(),
+            sim_threads: None,
             seeds: None,
             flows: None,
             backend: SimBackend::Packet,

@@ -5,7 +5,7 @@
 //! fncc-repro [EXPERIMENT…] [--out DIR] [--quick|--full] [--threads N]
 //!            [--seeds N] [--flows N] [--backend packet|fluid|hybrid] [--progress]
 //! fncc-repro run SCENARIO.json… [--backend packet|fluid|hybrid] [--out DIR]
-//!            [--trace] [--progress]
+//!            [--trace] [--threads N] [--progress]
 //! fncc-repro inspect ARTIFACT… [--flow N] [--top K]
 //!
 //! experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e fig14
@@ -52,7 +52,7 @@ fn usage() -> ! {
          [--threads N] [--seeds N] [--flows N] [--backend packet|fluid|hybrid] \
          [--progress]\n\
          \x20      fncc-repro run SCENARIO.json... [--backend packet|fluid|hybrid] [--out DIR] \
-         [--trace] [--progress]\n\
+         [--trace] [--threads N] [--progress]\n\
          \x20      fncc-repro inspect ARTIFACT... [--flow N] [--top K]\n\
          experiments: fig1a fig1 fig2 fig3 paths fig9 fig12 fig13 fig13e \
          fig14 fig15 ablate storm load-sweep extra-cc bench-des bench-hybrid \
@@ -74,10 +74,15 @@ fn main() {
             "--quick" => opts.scale = Scale::Quick,
             "--full" => opts.scale = Scale::Full,
             "--threads" => {
-                opts.threads = args
+                // One flag, two consumers: job-pool width for multi-run
+                // experiments, and the sharded-DES worker count for `run`
+                // and the `bench-des` scaling series.
+                let n: usize = args
                     .next()
                     .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
+                opts.threads = n;
+                opts.sim_threads = Some(n as u32);
             }
             "--seeds" => {
                 opts.seeds = Some(
@@ -174,6 +179,11 @@ fn run_scenario_file(path: &str, opts: &RunOpts) {
         }
     };
     scenario.probes.trace |= opts.trace;
+    // `--threads N` runs the packet DES sharded over N workers; reports
+    // are byte-identical to the single-engine path at any thread count.
+    if let Some(n) = opts.sim_threads {
+        scenario.threads = n;
+    }
     // `--flows N` scales a Poisson scenario down (or up) without editing
     // the file: CI smoke-runs the fleet-scale scenarios on every backend
     // at a size the packet engine can chew through in minutes.

@@ -8,6 +8,7 @@
 use crate::config::FabricConfig;
 use crate::ids::{FlowId, HostId, NodeRef, SwitchId};
 use crate::packet::{Packet, PacketKind};
+use crate::partition::PartitionMap;
 use crate::pool::PacketPool;
 use crate::port::Port;
 use crate::switch::{Switch, SwitchOutput};
@@ -17,6 +18,50 @@ use crate::units::Bandwidth;
 use fncc_des::engine::{Model, Scheduler};
 use fncc_des::time::{SimTime, TimeDelta};
 use fncc_obs::TraceEvent;
+use std::sync::Arc;
+
+/// Ordering domain stamped onto the periodic ticks (INT refresh, RoCC,
+/// sampling) when domain tagging is on. Ticks have no owning node — they
+/// run as full replicas on every shard — so they get a reserved domain
+/// above every shard id: a tick that ties a data event at the same
+/// `(time, prio)` dispatches after it, identically in the single-engine
+/// and sharded executions (the comparison never reaches the engine-local
+/// counters, which differ between the two).
+pub const TICK_DOMAIN: u16 = u16::MAX;
+
+/// Sharded-run context attached to a fabric replica: which shard this
+/// replica executes, and the partition map used to route frames that cross
+/// into another shard's event loop.
+pub struct ShardCtx {
+    /// The global partition map, shared by every shard replica.
+    pub map: Arc<PartitionMap>,
+    /// This replica's shard id.
+    pub my: u16,
+    /// Events processed here that are exact replicas of events another
+    /// shard also processes (periodic ticks mirrored on every shard are
+    /// counted by shard 0; link-fault boundaries are counted by the owner
+    /// of the faulted switch). Subtracted when aggregating
+    /// `events_processed` across shards so the total matches the
+    /// single-engine run.
+    pub replica_events: u64,
+}
+
+impl ShardCtx {
+    /// Attach shard `my` of `map`.
+    pub fn new(map: Arc<PartitionMap>, my: u16) -> Self {
+        ShardCtx {
+            map,
+            my,
+            replica_events: 0,
+        }
+    }
+
+    /// True when this replica owns `n`.
+    #[inline]
+    pub fn owns(&self, n: NodeRef) -> bool {
+        self.map.owner_of(n) == self.my
+    }
+}
 
 /// The fabric's event alphabet, generic over the host-timer payload.
 #[derive(Debug)]
@@ -198,6 +243,17 @@ pub struct Fabric<H: HostLogic> {
     /// Pre-degradation propagation delay per `cfg.link_faults` entry,
     /// captured when a `Degrade` window opens and restored when it closes.
     degrade_base_prop: Vec<TimeDelta>,
+    /// Sharded-run context; `None` for the ordinary single-engine run.
+    pub shard: Option<ShardCtx>,
+    /// Partition map used purely for event-ordering domains (see
+    /// [`Scheduler::set_domain`]): every schedule is tagged with the shard
+    /// that owns the node whose handler performs it, so same-`(time, prio)`
+    /// ties break identically in the single-engine and sharded executions.
+    /// Set for every partitionable topology — including plain single-engine
+    /// runs, which is what makes their reports byte-identical to sharded
+    /// ones — and `None` otherwise (domain 0 everywhere: plain schedule
+    /// order, the pre-sharding behaviour).
+    pub domains: Option<Arc<PartitionMap>>,
 }
 
 impl<H: HostLogic> Fabric<H> {
@@ -221,6 +277,61 @@ impl<H: HostLogic> Fabric<H> {
             pool: PacketPool::new(),
             scratch: Vec::with_capacity(8),
             degrade_base_prop,
+            shard: None,
+            domains: None,
+        }
+    }
+
+    /// The ordering domain of `n`'s schedules: its owning shard under the
+    /// domain map, or 0 when tagging is off.
+    #[inline]
+    fn node_domain(&self, n: NodeRef) -> u16 {
+        self.domains.as_ref().map_or(0, |m| m.owner_of(n))
+    }
+
+    /// The ordering domain an event's handler schedules in: the shard
+    /// owning the node that processes it, [`TICK_DOMAIN`] for the global
+    /// periodic ticks, and the faulted node's (respectively primary
+    /// switch's) owner for fault events. A pure function of the event, so
+    /// the tag is identical no matter which engine — single or shard
+    /// replica — handles it; 0 for everything when tagging is off.
+    pub fn event_domain(&self, ev: &Ev<H::Timer>) -> u16 {
+        let Some(m) = &self.domains else { return 0 };
+        match ev {
+            Ev::Arrive { node, .. } | Ev::TxDone { node, .. } => m.owner_of(*node),
+            Ev::HostTimer { host, .. } => m.owner_host(*host),
+            Ev::IntRefresh | Ev::RoccTick | Ev::Sample => TICK_DOMAIN,
+            Ev::FaultPause { ix } | Ev::FaultRelease { ix } => {
+                m.owner_of(self.cfg.faults[*ix].node)
+            }
+            Ev::LinkFaultStart { ix } | Ev::LinkFaultEnd { ix } => {
+                m.owner_switch(self.cfg.link_faults[*ix].switch)
+            }
+        }
+    }
+
+    /// Schedule a frame arrival `prop` in the future at `(peer, peer_port)`,
+    /// routing it through the engine outbox when `peer` lives in another
+    /// shard. All cross-shard traffic funnels through here: both switch
+    /// egress (`Deliver`) and host-NIC egress arrive this way, and every
+    /// other event class (timers, TxDone, periodic ticks) is local to its
+    /// owning shard by construction.
+    fn emit_arrive(
+        shard: &Option<ShardCtx>,
+        sched: &mut Scheduler<Ev<H::Timer>>,
+        prop: TimeDelta,
+        peer: NodeRef,
+        peer_port: u8,
+        pkt: Box<Packet>,
+    ) {
+        let ev = Ev::Arrive {
+            node: peer,
+            port: peer_port,
+            pkt,
+        };
+        match shard {
+            Some(sc) if !sc.owns(peer) => sched.remote(prop, sc.map.owner_of(peer), ev),
+            _ => sched.after(prop, ev),
         }
     }
 
@@ -247,6 +358,31 @@ impl<H: HostLogic> Fabric<H> {
             }
         }
         evs
+    }
+
+    /// Periodic ticks (INT refresh, RoCC, sampling) run identically on every
+    /// shard so that per-switch timers stay in phase without cross-shard
+    /// traffic; shard 0 counts them as real events, every other shard counts
+    /// a replica so the aggregated `events_processed` matches the
+    /// single-engine run.
+    fn note_tick_replica(&mut self) {
+        if let Some(sc) = &mut self.shard {
+            if sc.my != 0 {
+                sc.replica_events += 1;
+            }
+        }
+    }
+
+    /// A link-fault boundary event fires on every shard owning one of the
+    /// faulted link's endpoints; the owner of the named switch counts it as
+    /// real, the peer's owner counts a replica.
+    fn note_link_fault_replica(&mut self, ix: usize) {
+        let primary = NodeRef::Switch(self.cfg.link_faults[ix].switch);
+        if let Some(sc) = &mut self.shard {
+            if sc.map.owner_of(primary) != sc.my {
+                sc.replica_events += 1;
+            }
+        }
     }
 
     fn fault_port(&mut self, ix: usize) -> &mut Port {
@@ -392,14 +528,7 @@ impl<H: HostLogic> Fabric<H> {
                     pkt,
                     ..
                 } => {
-                    sched.after(
-                        prop,
-                        Ev::Arrive {
-                            node: peer,
-                            port: peer_port,
-                            pkt,
-                        },
-                    );
+                    Self::emit_arrive(&self.shard, sched, prop, peer, peer_port, pkt);
                 }
             }
         }
@@ -465,17 +594,36 @@ impl<H: HostLogic> Fabric<H> {
             let p = &self.switches[s.ix()].ports[spec.port as usize];
             (p.peer, p.peer_port)
         };
+        // In a sharded run the boundary event fires on every shard owning
+        // one of the link's endpoints; each shard only touches its own side.
+        let owns = |n: NodeRef| self.shard.as_ref().is_none_or(|sc| sc.owns(n));
+        let owns_primary = owns(NodeRef::Switch(s));
+        let owns_peer = owns(peer);
         match spec.fault {
             LinkFault::Down { .. } => {
-                self.switch_link_down(s, spec.port, now, sched);
+                if owns_primary {
+                    self.switch_link_down(s, spec.port, now, sched);
+                }
                 if let NodeRef::Switch(s2) = peer {
-                    self.switch_link_down(s2, peer_port, now, sched);
+                    if owns_peer {
+                        // The peer-side teardown schedules on behalf of the
+                        // peer switch, which may live in another shard: tag
+                        // its domain so the resulting events order the same
+                        // way whether one engine handles both sides or each
+                        // owner handles its own.
+                        sched.set_domain(self.node_domain(peer));
+                        self.switch_link_down(s2, peer_port, now, sched);
+                    }
                 }
             }
             LinkFault::Up { .. } => {
-                self.switches[s.ix()].link_up(now, spec.port, &mut self.telemetry);
+                if owns_primary {
+                    self.switches[s.ix()].link_up(now, spec.port, &mut self.telemetry);
+                }
                 if let NodeRef::Switch(s2) = peer {
-                    self.switches[s2.ix()].link_up(now, peer_port, &mut self.telemetry);
+                    if owns_peer {
+                        self.switches[s2.ix()].link_up(now, peer_port, &mut self.telemetry);
+                    }
                 }
             }
             LinkFault::Degrade {
@@ -483,6 +631,9 @@ impl<H: HostLogic> Fabric<H> {
                 delay_factor,
                 ..
             } => {
+                if !owns_primary {
+                    return;
+                }
                 let p = &mut self.switches[s.ix()].ports[spec.port as usize];
                 if opening {
                     self.degrade_base_prop[ix] = p.prop;
@@ -496,6 +647,9 @@ impl<H: HostLogic> Fabric<H> {
                 }
             }
             LinkFault::RandomLoss { prob, .. } => {
+                if !owns_primary {
+                    return;
+                }
                 self.switches[s.ix()].set_loss(spec.port, if opening { prob } else { 0.0 });
             }
         }
@@ -526,6 +680,7 @@ impl<H: HostLogic> Model for Fabric<H> {
     type Event = Ev<H::Timer>;
 
     fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>) {
+        sched.set_domain(self.event_domain(&ev));
         match ev {
             Ev::Arrive { node, port, pkt } => match node {
                 NodeRef::Switch(s) => {
@@ -574,14 +729,8 @@ impl<H: HostLogic> Model for Fabric<H> {
                     let pkt = p.in_flight.take().expect("host TxDone with no frame");
                     p.tx_bytes += pkt.size as u64;
                     let (peer, peer_port, prop) = (p.peer, p.peer_port, p.wire_delay(now));
-                    sched.after(
-                        prop,
-                        Ev::Arrive {
-                            node: peer,
-                            port: peer_port,
-                            pkt,
-                        },
-                    );
+                    Self::emit_arrive(&self.shard, sched, prop, peer, peer_port, pkt);
+                    let p = &mut self.host_ports[h.ix()];
                     start_port_tx(NodeRef::Host(h), p, now, &self.cfg, sched);
                 }
             },
@@ -589,6 +738,7 @@ impl<H: HostLogic> Model for Fabric<H> {
                 self.with_host_ctx(host, now, sched, |h, ctx| h.on_timer(ctx, timer));
             }
             Ev::IntRefresh => {
+                self.note_tick_replica();
                 for sw in &mut self.switches {
                     sw.refresh_int_table(now);
                 }
@@ -597,6 +747,7 @@ impl<H: HostLogic> Model for Fabric<H> {
                 }
             }
             Ev::RoccTick => {
+                self.note_tick_replica();
                 for sw in &mut self.switches {
                     sw.rocc_step(&self.cfg);
                 }
@@ -605,6 +756,7 @@ impl<H: HostLogic> Model for Fabric<H> {
                 }
             }
             Ev::Sample => {
+                self.note_tick_replica();
                 self.do_sample(now);
                 let every = self.telemetry.sample_interval;
                 if !every.is_zero() && now + every <= self.telemetry.sample_until {
@@ -644,8 +796,14 @@ impl<H: HostLogic> Model for Fabric<H> {
                     }
                 }
             }
-            Ev::LinkFaultStart { ix } => self.link_fault_transition(ix, now, true, sched),
-            Ev::LinkFaultEnd { ix } => self.link_fault_transition(ix, now, false, sched),
+            Ev::LinkFaultStart { ix } => {
+                self.note_link_fault_replica(ix);
+                self.link_fault_transition(ix, now, true, sched)
+            }
+            Ev::LinkFaultEnd { ix } => {
+                self.note_link_fault_replica(ix);
+                self.link_fault_transition(ix, now, false, sched)
+            }
         }
     }
 }

@@ -22,6 +22,7 @@ pub mod config;
 pub mod fabric;
 pub mod ids;
 pub mod packet;
+pub mod partition;
 pub mod pool;
 pub mod port;
 pub mod routing;
@@ -32,9 +33,10 @@ pub mod units;
 pub mod wire;
 
 pub use config::{EcnConfig, FabricConfig, FaultSpec, IntInsertion, PfcConfig, RoccSwitchConfig};
-pub use fabric::{Ev, Fabric, HostCtx, HostLogic};
+pub use fabric::{Ev, Fabric, HostCtx, HostLogic, ShardCtx};
 pub use ids::{FlowId, HostId, NodeRef, SwitchId};
 pub use packet::{IntRecord, IntStack, Packet, PacketKind, MAX_HOPS};
+pub use partition::{FallbackReason, PartitionMap};
 pub use pool::PacketPool;
 pub use telemetry::{FlowRecord, Telemetry};
 pub use topology::{Topology, TopologyKind};

@@ -1,0 +1,246 @@
+//! Topology partitioning for the sharded (conservative-synchronization)
+//! packet DES: which shard owns each host and switch, which links cross
+//! shards, and the lookahead bound those cut links admit.
+//!
+//! The partitioning rule is by fat-tree pod: shard `p` owns pod `p`'s
+//! hosts, ToRs and aggregation switches; core switches are round-robined
+//! across the pod shards (`core j → shard j mod k`), which balances load
+//! and keeps the shard count a power-of-two-friendly `k`. Every cut link
+//! is then an agg↔core hop, and the lookahead is the minimum one-way
+//! propagation delay over those hops: a frame emitted toward another shard
+//! is always scheduled `prop` in the future (the serialization time has
+//! already elapsed on the sender's egress port by emission time), so no
+//! cross-shard event can fire earlier than `min prop` after it was sent.
+//!
+//! Topologies without a pod structure (dumbbell, line, star, leaf–spine,
+//! custom) are not partitioned: [`PartitionMap::for_topology`] returns a
+//! single-shard map carrying a [`FallbackReason`], and the sharded runtime
+//! degrades to the ordinary single-engine execution.
+
+use crate::ids::{HostId, NodeRef, SwitchId};
+use crate::topology::{Topology, TopologyKind};
+use fncc_des::time::TimeDelta;
+
+/// Why a topology fell back to a single shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The topology has no pod structure to partition by.
+    NotFatTree,
+    /// A cut link has zero propagation delay, so no positive lookahead
+    /// exists and conservative epochs cannot make progress.
+    ZeroLookahead,
+}
+
+impl FallbackReason {
+    /// Stable numeric code for report scalars (`shard_fallback`).
+    pub fn code(self) -> u32 {
+        match self {
+            FallbackReason::NotFatTree => 1,
+            FallbackReason::ZeroLookahead => 2,
+        }
+    }
+}
+
+/// Shard ownership of every node in a topology, plus the synchronization
+/// lookahead its cut links admit.
+#[derive(Clone, Debug)]
+pub struct PartitionMap {
+    /// Number of shards (1 = unsharded fallback).
+    pub n_shards: u16,
+    /// Owning shard per host id.
+    host_owner: Vec<u16>,
+    /// Owning shard per switch id.
+    switch_owner: Vec<u16>,
+    /// Conservative lookahead: minimum propagation delay over cut links
+    /// (zero when there are no cut links, i.e. a single shard).
+    pub lookahead: TimeDelta,
+    /// Number of directed links whose endpoints live in different shards.
+    pub cut_links: usize,
+    /// Why the map is single-shard, when it is and a partition was asked for.
+    pub fallback: Option<FallbackReason>,
+}
+
+impl PartitionMap {
+    /// Partition `topo` by pod if it is a fat-tree; otherwise return the
+    /// single-shard fallback (never panics — the descriptive reason ends up
+    /// as a report scalar).
+    pub fn for_topology(topo: &Topology) -> PartitionMap {
+        let TopologyKind::FatTree(k) = topo.kind else {
+            return PartitionMap::single_shard(topo, Some(FallbackReason::NotFatTree));
+        };
+        let half = k / 2;
+        let hosts_per_pod = half * half;
+        let n_tor = k * half;
+        let n_agg = k * half;
+        let host_owner: Vec<u16> = (0..topo.n_hosts)
+            .map(|h| (h / hosts_per_pod) as u16)
+            .collect();
+        let switch_owner: Vec<u16> = (0..topo.switches.len() as u32)
+            .map(|s| {
+                if s < n_tor {
+                    (s / half) as u16
+                } else if s < n_tor + n_agg {
+                    ((s - n_tor) / half) as u16
+                } else {
+                    // Core switches, round-robined across the pod shards.
+                    ((s - n_tor - n_agg) % k) as u16
+                }
+            })
+            .collect();
+        let map = PartitionMap::from_owners(topo, k as u16, host_owner, switch_owner);
+        if map.n_shards > 1 && map.cut_links > 0 && map.lookahead.is_zero() {
+            return PartitionMap::single_shard(topo, Some(FallbackReason::ZeroLookahead));
+        }
+        map
+    }
+
+    /// The trivial map: everything in shard 0.
+    pub fn single_shard(topo: &Topology, fallback: Option<FallbackReason>) -> PartitionMap {
+        PartitionMap {
+            n_shards: 1,
+            host_owner: vec![0; topo.n_hosts as usize],
+            switch_owner: vec![0; topo.switches.len()],
+            lookahead: TimeDelta::ZERO,
+            cut_links: 0,
+            fallback,
+        }
+    }
+
+    /// Build a map from explicit per-node owners (the property tests fuzz
+    /// arbitrary partitions through this). Owners are compacted as given;
+    /// `n_shards` must cover every owner id used.
+    pub fn from_owners(
+        topo: &Topology,
+        n_shards: u16,
+        host_owner: Vec<u16>,
+        switch_owner: Vec<u16>,
+    ) -> PartitionMap {
+        assert_eq!(host_owner.len(), topo.n_hosts as usize);
+        assert_eq!(switch_owner.len(), topo.switches.len());
+        assert!(host_owner
+            .iter()
+            .chain(&switch_owner)
+            .all(|&o| o < n_shards));
+        let mut map = PartitionMap {
+            n_shards,
+            host_owner,
+            switch_owner,
+            lookahead: TimeDelta::ZERO,
+            cut_links: 0,
+            fallback: None,
+        };
+        let (cut, la) = map.measure_cut(topo);
+        map.cut_links = cut;
+        map.lookahead = la;
+        map
+    }
+
+    /// Count directed cut links and the minimum propagation delay across
+    /// them.
+    fn measure_cut(&self, topo: &Topology) -> (usize, TimeDelta) {
+        let mut cut = 0usize;
+        let mut la: Option<TimeDelta> = None;
+        let mut consider = |a: u16, b: u16, prop: TimeDelta| {
+            if a != b {
+                cut += 1;
+                la = Some(la.map_or(prop, |m| m.min(prop)));
+            }
+        };
+        for (h, port) in topo.host_ports.iter().enumerate() {
+            let owner = self.host_owner[h];
+            consider(owner, self.owner_of(port.peer), port.prop);
+        }
+        for (s, sw) in topo.switches.iter().enumerate() {
+            let owner = self.switch_owner[s];
+            for port in &sw.ports {
+                consider(owner, self.owner_of(port.peer), port.prop);
+            }
+        }
+        (cut, la.unwrap_or(TimeDelta::ZERO))
+    }
+
+    /// Owning shard of a host.
+    #[inline]
+    pub fn owner_host(&self, h: HostId) -> u16 {
+        self.host_owner[h.ix()]
+    }
+
+    /// Owning shard of a switch.
+    #[inline]
+    pub fn owner_switch(&self, s: SwitchId) -> u16 {
+        self.switch_owner[s.ix()]
+    }
+
+    /// Owning shard of any node.
+    #[inline]
+    pub fn owner_of(&self, n: NodeRef) -> u16 {
+        match n {
+            NodeRef::Host(h) => self.owner_host(h),
+            NodeRef::Switch(s) => self.owner_switch(s),
+        }
+    }
+
+    /// True when the map actually splits the topology.
+    #[inline]
+    pub fn is_sharded(&self) -> bool {
+        self.n_shards > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+
+    fn ft(k: u32) -> Topology {
+        Topology::fat_tree(k, Bandwidth::gbps(100), TimeDelta::from_ns(1500))
+    }
+
+    #[test]
+    fn fat_tree_partitions_by_pod() {
+        let topo = ft(4);
+        let map = PartitionMap::for_topology(&topo);
+        assert_eq!(map.n_shards, 4);
+        assert!(map.fallback.is_none());
+        // Hosts 0..4 are pod 0, 4..8 pod 1, …
+        for h in 0..topo.n_hosts {
+            assert_eq!(map.owner_host(HostId(h)), (h / 4) as u16);
+        }
+        // ToRs 0..8 and aggs 8..16 follow their pod; cores 16..20 round-robin.
+        assert_eq!(map.owner_switch(SwitchId(0)), 0);
+        assert_eq!(map.owner_switch(SwitchId(7)), 3);
+        assert_eq!(map.owner_switch(SwitchId(8)), 0);
+        assert_eq!(map.owner_switch(SwitchId(15)), 3);
+        assert_eq!(map.owner_switch(SwitchId(16)), 0);
+        assert_eq!(map.owner_switch(SwitchId(17)), 1);
+        // Lookahead = the uniform 1.5 µs link propagation; cut links exist.
+        assert_eq!(map.lookahead, TimeDelta::from_ns(1500));
+        assert!(map.cut_links > 0);
+    }
+
+    #[test]
+    fn non_fat_tree_falls_back_to_single_shard() {
+        for topo in [
+            Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500)),
+            Topology::star(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500)),
+            Topology::leaf_spine(4, 2, 4, Bandwidth::gbps(100), TimeDelta::from_ns(1500)),
+        ] {
+            let map = PartitionMap::for_topology(&topo);
+            assert_eq!(map.n_shards, 1);
+            assert_eq!(map.fallback, Some(FallbackReason::NotFatTree));
+            assert_eq!(map.cut_links, 0);
+        }
+    }
+
+    #[test]
+    fn explicit_owner_maps_measure_their_cut() {
+        let topo = Topology::dumbbell(2, 3, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        // Put the last host in its own shard: its NIC link is cut.
+        let mut hosts = vec![0u16; topo.n_hosts as usize];
+        *hosts.last_mut().unwrap() = 1;
+        let switches = vec![0u16; topo.switches.len()];
+        let map = PartitionMap::from_owners(&topo, 2, hosts, switches);
+        assert_eq!(map.cut_links, 2); // both directions of the NIC link
+        assert_eq!(map.lookahead, TimeDelta::from_ns(1500));
+    }
+}

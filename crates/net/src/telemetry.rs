@@ -382,6 +382,90 @@ impl Telemetry {
         self.profiler.end(self.ph_cc_update, started);
     }
 
+    // --- shard merging -----------------------------------------------------
+
+    /// Fold another shard's telemetry into this one (sharded-DES harvest).
+    ///
+    /// Every aggregate here is exact, not approximate: counters and
+    /// per-flow byte vectors are integer sums; the histograms round to
+    /// integer units before summing (see [`fncc_obs::Histogram::absorb`]);
+    /// watch lists concatenate in shard order because each shard only
+    /// registers watches for entities it owns, so the keyed lookups
+    /// (`queue_series`, …) see exactly one entry per key. Flow records
+    /// merge per id, a finished record (receiver side) winning over the
+    /// sender's open one. `rerouted_flows` is deduplicated network-wide,
+    /// so the per-flow bitmaps are unioned and the counter recomputed
+    /// rather than summed.
+    pub fn merge_shard(&mut self, other: Telemetry) {
+        let o = other.counters;
+        self.counters.data_delivered += o.data_delivered;
+        self.counters.acks_delivered += o.acks_delivered;
+        self.counters.cnps_delivered += o.cnps_delivered;
+        self.counters.ecn_marks += o.ecn_marks;
+        self.counters.drops += o.drops;
+        self.counters.pfc_pause_tx += o.pfc_pause_tx;
+        self.counters.pfc_resume_tx += o.pfc_resume_tx;
+        self.counters.fault_drops += o.fault_drops;
+        self.counters.retx += o.retx;
+        self.counters.rtos += o.rtos;
+        if self.rerouted.len() < other.rerouted.len() {
+            self.rerouted.resize(other.rerouted.len(), false);
+        }
+        for (ix, &r) in other.rerouted.iter().enumerate() {
+            if r {
+                self.rerouted[ix] = true;
+            }
+        }
+        self.counters.rerouted_flows = self.rerouted.iter().filter(|&&r| r).count() as u64;
+
+        self.metrics.absorb(&other.metrics);
+
+        if self.flow_tx_bytes.len() < other.flow_tx_bytes.len() {
+            self.flow_tx_bytes.resize(other.flow_tx_bytes.len(), 0);
+        }
+        for (ix, &b) in other.flow_tx_bytes.iter().enumerate() {
+            self.flow_tx_bytes[ix] += b;
+        }
+
+        if self.flows.len() < other.flows.len() {
+            self.flows.resize(other.flows.len(), None);
+        }
+        for (ix, rec) in other.flows.into_iter().enumerate() {
+            let Some(rec) = rec else { continue };
+            let mine = &self.flows[ix];
+            let mine_finished = mine.as_ref().is_some_and(|r| r.finish.is_some());
+            if mine.is_none() || (rec.finish.is_some() && !mine_finished) {
+                self.flows[ix] = Some(rec);
+            }
+        }
+        self.flows_started = self.flows.iter().filter(|f| f.is_some()).count();
+        self.flows_finished = self
+            .flows
+            .iter()
+            .filter(|f| f.as_ref().is_some_and(|r| r.finish.is_some()))
+            .count();
+
+        self.queues.extend(other.queues);
+        self.utils.extend(other.utils);
+        self.flows_watched.extend(other.flows_watched);
+        self.cc_watched.extend(other.cc_watched);
+
+        if self.int_age_sum.len() < other.int_age_sum.len() {
+            self.int_age_sum.resize(other.int_age_sum.len(), 0.0);
+            self.int_age_cnt.resize(other.int_age_cnt.len(), 0);
+        }
+        for (ix, &s) in other.int_age_sum.iter().enumerate() {
+            self.int_age_sum[ix] += s;
+            self.int_age_cnt[ix] += other.int_age_cnt[ix];
+        }
+
+        self.pause_episodes += other.pause_episodes;
+        self.pause_time_total += other.pause_time_total;
+        if other.pause_time_max > self.pause_time_max {
+            self.pause_time_max = other.pause_time_max;
+        }
+    }
+
     // --- harvesting --------------------------------------------------------
 
     /// All flow records (finished or not).
@@ -402,6 +486,14 @@ impl Telemetry {
     /// True if every registered flow has finished.
     pub fn all_flows_finished(&self) -> bool {
         self.flows_finished == self.flows_started
+    }
+
+    /// Number of finished flows (the sharded coordinator's termination
+    /// check needs the raw count, not just [`Telemetry::all_flows_finished`],
+    /// because receiver shards pre-register records for flows whose sender
+    /// lives elsewhere).
+    pub fn flows_finished_count(&self) -> usize {
+        self.flows_finished
     }
 
     /// Harvest the queue-depth series for a watched queue.

@@ -126,6 +126,28 @@ impl Histogram {
         }
     }
 
+    /// Fold `other`'s recorded values into `self`. Because recording
+    /// rounds to integer units first, bucket counts, totals and extrema
+    /// are all exact integer quantities (sums stay below 2^53), so the
+    /// merged histogram is byte-identical to one fed the union of values
+    /// in any order — the property the sharded DES relies on when it
+    /// combines per-shard telemetry.
+    pub fn absorb(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (ix, &c) in other.counts.iter().enumerate() {
+            self.counts[ix] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Nearest-rank percentile (`p` in [0, 100]) as a bucket-midpoint
     /// value; exact at the recorded extremes, within ~6% elsewhere.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -237,6 +259,26 @@ impl MetricsRegistry {
     /// A histogram by name, if registered.
     pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
         self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Fold another registry into this one, matching metrics by name:
+    /// counters and gauges add, histograms [`Histogram::absorb`]. Metrics
+    /// only present in `other` are appended in `other`'s registration
+    /// order, so two registries built by identical setup code merge into
+    /// one with the same export order.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (n, v) in other.counters() {
+            let id = self.counter(n);
+            self.inc(id, v);
+        }
+        for (n, v) in other.gauges() {
+            let id = self.gauge(n);
+            self.gauges[id.0].1 += v;
+        }
+        for (n, h) in other.histograms() {
+            let id = self.histogram(n);
+            self.hists[id.0].1.absorb(h);
+        }
     }
 
     /// Flatten every metric into `(name, value)` scalar pairs, in

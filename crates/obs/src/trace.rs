@@ -583,6 +583,32 @@ impl TraceSink {
         }
     }
 
+    /// Merge per-shard sinks into one deterministic sink: events are
+    /// interleaved by timestamp, with the sink's position in `sinks`
+    /// breaking ties (stable within a sink), so the result is independent
+    /// of how shard threads were scheduled. Disabled if every input is
+    /// disabled; the merged capacity is the sum of the inputs' so nothing
+    /// held by a shard is dropped again here.
+    pub fn merged(sinks: &[&TraceSink]) -> Self {
+        if sinks.iter().all(|s| !s.enabled) {
+            return TraceSink::disabled();
+        }
+        let cap: usize = sinks.iter().map(|s| s.cap).sum();
+        let mut out = TraceSink::with_capacity(cap.max(1));
+        let mut evs: Vec<(u64, usize, usize, TraceEvent)> = Vec::new();
+        for (shard, s) in sinks.iter().enumerate() {
+            out.dropped += s.dropped;
+            for (pos, ev) in s.events().enumerate() {
+                evs.push((ev.t_ps(), shard, pos, *ev));
+            }
+        }
+        evs.sort_by_key(|&(t, shard, pos, _)| (t, shard, pos));
+        for (_, _, _, ev) in evs {
+            out.record(ev);
+        }
+        out
+    }
+
     /// An enabled sink holding at most `cap` events (the most recent win).
     pub fn with_capacity(cap: usize) -> Self {
         assert!(cap > 0, "zero-capacity trace ring");

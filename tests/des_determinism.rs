@@ -117,6 +117,33 @@ fn fault_injection_is_deterministic_across_runs_and_schedulers() {
     assert_eq!(wheel_neutral, heap, "faulted run: wheel vs heap scheduler");
 }
 
+/// The scheduler oracle in sharded mode: with `threads >= 1` every shard
+/// replica picks up `FNCC_DES_SCHED` independently, so this pins the
+/// per-shard wheels to the per-shard heap references — and the sharded
+/// runtime to itself across runs — on both the lossless and the faulted
+/// probe.
+#[test]
+fn sharded_runs_are_deterministic_across_runs_and_schedulers() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for mut sc in [scenario(), faulted_scenario()] {
+        sc.threads = 2;
+        std::env::remove_var("FNCC_DES_SCHED");
+        let wheel_a = stable_json(&sc);
+        let wheel_b = stable_json(&sc);
+        assert_eq!(wheel_a, wheel_b, "{}: sharded run-to-run", sc.name);
+
+        let wheel_neutral = scheduler_neutral_json(&sc);
+        std::env::set_var("FNCC_DES_SCHED", "heap");
+        let heap = scheduler_neutral_json(&sc);
+        std::env::remove_var("FNCC_DES_SCHED");
+        assert_eq!(
+            wheel_neutral, heap,
+            "{}: sharded wheel vs heap scheduler",
+            sc.name
+        );
+    }
+}
+
 #[test]
 fn engine_health_scalars_are_reported() {
     let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -1,0 +1,184 @@
+//! Sharded-DES equivalence: the conservative-synchronization runtime
+//! (`Scenario::threads >= 1`) must produce the same `RunReport` as the
+//! legacy single-engine path, for every scheme, at every thread count.
+//!
+//! Two strengths of "the same":
+//!
+//! * **Across thread counts** the report is byte-identical modulo the one
+//!   wall-clock scalar (`events_per_sec`): the number of shards is fixed
+//!   by the topology and threads only choose which worker runs which
+//!   shard, so 1, 2 and 4 workers execute the identical event schedule.
+//! * **Against the legacy engine** the comparison additionally strips the
+//!   sharding bookkeeping scalars (`shards`, `epochs`,
+//!   `cross_shard_frames`, `lookahead_ns`, `shard_fallback`) and the
+//!   *structurally* per-shard diagnostics — `peak_queue_len` (one queue
+//!   vs k per-shard queues), `pool_hit_rate` (one packet pool vs k),
+//!   `wheel_cascades_l*` (one wheel vs k) — none of which describe
+//!   simulated behaviour. Everything observable (event totals, FCT
+//!   slowdowns, counters, series, fault scalars) must match byte-for-byte.
+
+use fncc::core::{
+    run_scenario, Scenario, SimBackend, StopCondition, TopologySpec, TrafficSpec, Workload,
+};
+use fncc_cc::CcKind;
+
+/// Scalars whose values are wall-clock-derived (non-deterministic by
+/// design) — stripped in every comparison.
+const WALL_CLOCK: &[&str] = &["events_per_sec"];
+
+/// Sharding bookkeeping plus structurally per-shard diagnostics — absent
+/// or single-engine-shaped in legacy reports, so stripped only for the
+/// legacy-vs-sharded comparison.
+const SHARD_SHAPE: &[&str] = &[
+    "shards",
+    "epochs",
+    "cross_shard_frames",
+    "lookahead_ns",
+    "shard_fallback",
+    "peak_queue_len",
+    "pool_hit_rate",
+];
+
+fn report_json(sc: &Scenario, threads: u32, strip_shard_shape: bool) -> String {
+    let mut sc = sc.clone();
+    sc.threads = threads;
+    let mut report = run_scenario(&sc, SimBackend::Packet);
+    report.scalars.retain(|(k, _)| {
+        !WALL_CLOCK.contains(&k.as_str())
+            && !(strip_shard_shape
+                && (SHARD_SHAPE.contains(&k.as_str()) || k.starts_with("wheel_cascades_")))
+    });
+    report.to_json()
+}
+
+/// Cross-pod incast on the k=4 fat-tree: INT, ECN/CNP and PFC all fire,
+/// and most traffic crosses shard boundaries.
+fn incast_scenario(cc: CcKind) -> Scenario {
+    let mut sc = Scenario::new(
+        "sharded-equiv-incast",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Incast {
+            receiver: 0,
+            fan_in: 6,
+            size: 150_000,
+            waves: 1,
+            gap_us: 50,
+        },
+        cc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 50 };
+    sc.seeds = vec![7];
+    sc
+}
+
+/// Poisson web-search cell — randomized sizes and start times spread
+/// flows over every pod pair.
+fn poisson_scenario(cc: CcKind) -> Scenario {
+    let mut sc = Scenario::new(
+        "sharded-equiv-poisson",
+        TopologySpec::FatTree { k: 4 },
+        TrafficSpec::Poisson {
+            workload: Workload::WebSearch,
+            load: 0.5,
+            flows: 60,
+        },
+        cc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 200 };
+    sc.seeds = vec![3];
+    sc
+}
+
+fn assert_equivalence(sc: &Scenario, label: &str) {
+    // Legacy engine, with the shard-shape scalars it shares stripped.
+    let legacy = report_json(sc, 0, true);
+    // Sharded runtime at 1, 2 and 4 workers.
+    let sharded: Vec<String> = [1u32, 2, 4]
+        .iter()
+        .map(|&t| report_json(sc, t, false))
+        .collect();
+    for (t, json) in [1, 2, 4].iter().zip(&sharded) {
+        assert_eq!(
+            &sharded[0], json,
+            "{label}: sharded report at {t} threads differs from 1 thread"
+        );
+    }
+    // Same run once more with the shard-shape scalars stripped: must equal
+    // the legacy engine's bytes.
+    let neutral = report_json(sc, 1, true);
+    assert_eq!(
+        legacy, neutral,
+        "{label}: sharded report differs from the legacy engine"
+    );
+}
+
+/// Every registered scheme, incast and Poisson, threads {0, 1, 2, 4}.
+#[test]
+fn all_schemes_all_thread_counts_match_legacy() {
+    for &cc in CcKind::ALL.iter() {
+        assert_equivalence(&incast_scenario(cc), &format!("{}/incast", cc.name()));
+        assert_equivalence(&poisson_scenario(cc), &format!("{}/poisson", cc.name()));
+    }
+}
+
+/// The faulted cell: a link flap on a fat-tree Poisson mix (the shipped
+/// `linkflap_fattree.json` scenario, scaled down for test time). Fault
+/// pause/release and the cross-shard teardown of the peer side of the
+/// downed link must serialize identically on every runtime.
+#[test]
+fn faulted_scenario_matches_legacy() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/linkflap_fattree.json"
+    ))
+    .expect("shipped scenario file");
+    let mut sc = Scenario::from_json(&text).expect("shipped scenario parses");
+    if let TrafficSpec::Poisson { ref mut flows, .. } = sc.traffic {
+        *flows = 60;
+    }
+    sc.seeds = vec![1];
+    assert_equivalence(&sc, "linkflap/poisson");
+}
+
+/// The sharded report carries the partition's bookkeeping scalars.
+#[test]
+fn sharded_report_exposes_partition_scalars() {
+    let mut sc = incast_scenario(CcKind::Fncc);
+    sc.threads = 2;
+    let report = run_scenario(&sc, SimBackend::Packet);
+    assert_eq!(report.scalar("shards"), Some(4.0));
+    assert_eq!(report.scalar("lookahead_ns"), Some(1500.0));
+    assert!(report.scalar("epochs").unwrap_or(0.0) > 0.0);
+    assert!(report.scalar("cross_shard_frames").unwrap_or(0.0) > 0.0);
+    assert_eq!(report.scalar("shard_fallback"), None);
+}
+
+/// Non-fat-tree topologies run sharded requests on the single-engine
+/// path and say so in the report.
+#[test]
+fn non_fat_tree_reports_fallback_reason() {
+    let mut sc = Scenario::new(
+        "sharded-equiv-fallback",
+        TopologySpec::LeafSpine {
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 4,
+        },
+        TrafficSpec::Incast {
+            receiver: 0,
+            fan_in: 4,
+            size: 100_000,
+            waves: 1,
+            gap_us: 50,
+        },
+        CcKind::Fncc,
+    );
+    sc.stop = StopCondition::Drain { cap_ms: 50 };
+    sc.seeds = vec![1];
+    sc.threads = 4;
+    let report = run_scenario(&sc, SimBackend::Packet);
+    assert_eq!(report.scalar("shards"), Some(1.0));
+    assert_eq!(report.scalar("shard_fallback"), Some(1.0));
+    assert_eq!(report.scalar("epochs"), Some(0.0));
+    assert_eq!(report.scalar("cross_shard_frames"), Some(0.0));
+}

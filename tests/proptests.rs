@@ -323,6 +323,133 @@ proptest! {
 }
 
 proptest! {
+    /// Causality safety of the sharded DES over *arbitrary* partitions:
+    /// whatever owner map the conservative epochs run over — not just the
+    /// pod partition shipped in `PartitionMap::for_topology` — no
+    /// cross-shard frame may arrive below its receiver's clock, and the
+    /// observable results must equal the single-engine run. (The pod
+    /// partition maximizes lookahead; correctness must not depend on it.)
+    #[test]
+    fn arbitrary_partitions_are_causally_safe_and_equivalent(
+        n_shards in 2u16..5,
+        host_owner_raw in proptest::collection::vec(0u16..8, 16..17),
+        switch_owner_raw in proptest::collection::vec(0u16..8, 20..21),
+        threads in 1usize..5,
+    ) {
+        use fncc::core::{ShardedSim, SimBuilder};
+        use fncc::net::partition::PartitionMap;
+        use fncc::transport::FlowSpec;
+        use std::sync::Arc;
+
+        let topo = Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let host_owner: Vec<u16> = host_owner_raw.iter().map(|&o| o % n_shards).collect();
+        let switch_owner: Vec<u16> = switch_owner_raw.iter().map(|&o| o % n_shards).collect();
+        let map = Arc::new(PartitionMap::from_owners(
+            &topo, n_shards, host_owner, switch_owner,
+        ));
+        // A degenerate draw can put every node in one shard (no cut, zero
+        // lookahead): that is the fallback path, tested elsewhere.
+        prop_assume!(map.is_sharded() && map.cut_links > 0);
+
+        // Cross-pod incast plus one intra-pod flow, staggered starts.
+        let flows: Vec<FlowSpec> = [4u32, 8, 12, 1]
+            .into_iter()
+            .enumerate()
+            .map(|(i, src)| FlowSpec {
+                id: FlowId(i as u32),
+                src: HostId(src),
+                dst: HostId(0),
+                size: 60_000,
+                start: SimTime::from_us(i as u64),
+            })
+            .collect();
+        let build = |shard: Option<(Arc<PartitionMap>, u16)>| {
+            let mut b = SimBuilder::new(topo.clone(), fncc::cc::CcKind::Fncc)
+                .flows(flows.clone());
+            if let Some((m, s)) = shard {
+                b = b.shard(m, s);
+            }
+            b.build()
+        };
+
+        let mut legacy = build(None);
+        prop_assert!(legacy.run_to_completion(TimeDelta::from_ms(1), SimTime::from_ms(50)));
+
+        let mut sharded =
+            ShardedSim::with_map(map, threads, |m, s| build(Some((m, s))));
+        prop_assert!(sharded.run_to_completion(TimeDelta::from_ms(1), SimTime::from_ms(50)));
+        let stats = sharded.stats();
+        prop_assert_eq!(stats.causality_violations, 0, "frame below the epoch horizon");
+        prop_assert_eq!(sharded.events_processed(), legacy.events_processed());
+        sharded.harvest();
+        let (lt, st) = (legacy.telemetry(), sharded.telemetry());
+        prop_assert_eq!(lt.counters.data_delivered, st.counters.data_delivered);
+        prop_assert_eq!(lt.counters.acks_delivered, st.counters.acks_delivered);
+        prop_assert_eq!(lt.counters.ecn_marks, st.counters.ecn_marks);
+        for f in &flows {
+            let a = lt.flow_record(f.id).unwrap();
+            let b = st.flow_record(f.id).unwrap();
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.finish, b.finish);
+        }
+    }
+
+    /// Which worker runs which shard — and in what order the workers are
+    /// started — must not change any result: the schedule is fixed by the
+    /// partition, threads are pure transport.
+    #[test]
+    fn worker_assignment_does_not_change_results(
+        threads in 2usize..5,
+        assign_raw in proptest::collection::vec(0usize..8, 4..5),
+    ) {
+        use fncc::core::{ShardedSim, SimBuilder};
+        use fncc::transport::FlowSpec;
+
+        let topo = Topology::fat_tree(4, Bandwidth::gbps(100), TimeDelta::from_ns(1500));
+        let flows: Vec<FlowSpec> = [4u32, 8, 12, 1]
+            .into_iter()
+            .enumerate()
+            .map(|(i, src)| FlowSpec {
+                id: FlowId(i as u32),
+                src: HostId(src),
+                dst: HostId(0),
+                size: 60_000,
+                start: SimTime::from_us(i as u64),
+            })
+            .collect();
+        let run = |threads: usize, assign: Option<Vec<usize>>| {
+            let flows = flows.clone();
+            let mut sim = ShardedSim::new(&topo, threads, |m, s| {
+                SimBuilder::new(topo.clone(), fncc::cc::CcKind::Fncc)
+                    .flows(flows.clone())
+                    .shard(m, s)
+                    .build()
+            });
+            if let Some(a) = assign {
+                sim.set_worker_assignment(a);
+            }
+            assert!(sim.run_to_completion(TimeDelta::from_ms(1), SimTime::from_ms(50)));
+            let events = sim.events_processed();
+            sim.harvest();
+            let t = sim.telemetry();
+            let records: Vec<_> = flows
+                .iter()
+                .map(|f| {
+                    let r = t.flow_record(f.id).unwrap();
+                    (r.start, r.finish)
+                })
+                .collect();
+            (events, t.counters.data_delivered, t.counters.ecn_marks, records)
+        };
+
+        let baseline = run(1, None);
+        let assign: Vec<usize> = assign_raw.iter().map(|&w| w % threads).collect();
+        let shuffled = run(threads, Some(assign));
+        prop_assert_eq!(baseline, shuffled);
+    }
+}
+
+proptest! {
     /// The fluid allocator's warm-started incremental path is pinned to
     /// the from-scratch `allocate` oracle over random arrival/departure
     /// sequences: every alive flow's rate matches within 1e-9 relative
